@@ -1,0 +1,82 @@
+//! Real wall-clock cost of the recorders, measured two ways.
+//!
+//! 1. `recorder_throughput/*`: each recorder consumes the same pre-recorded
+//!    issue-63 event stream in a tight loop — pure per-event recorder cost,
+//!    free of simulator noise. This is where the modelled ordering (value
+//!    logging ≫ schedule logging ≈ nothing) is visible on the host clock.
+//! 2. `simulator/*`: end-to-end runs of the small cluster with and without
+//!    recorders attached. At this scale the token-passing scheduler's
+//!    thread handoffs dominate host time (tens of microseconds per
+//!    operation vs tens of nanoseconds of recorder work), which is exactly
+//!    why recording overhead is accounted in virtual time by a cost model
+//!    rather than host timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_hyperstore::{HyperConfig, HyperstoreProgram};
+use dd_replay::CrewObserver;
+use dd_sim::{run_program, Event, EventMeta, Observer, RandomPolicy, RunConfig};
+use dd_trace::{ScheduleRecorder, Trace, ValueRecorder};
+
+fn record_stream(events: &[(EventMeta, Event)], mut obs: impl Observer) -> u64 {
+    let mut cost = 0;
+    for (meta, ev) in events {
+        cost += obs.on_event(meta, ev);
+    }
+    cost
+}
+
+fn bench_recorder_throughput(c: &mut Criterion) {
+    // One production run, captured once.
+    let cfg = HyperConfig::default();
+    let out = run_program(
+        &HyperstoreProgram::buggy(cfg.clone()),
+        RunConfig { seed: 7, max_steps: 500_000, inputs: cfg.input_script(), ..RunConfig::default() },
+        Box::new(RandomPolicy::new(7)),
+        vec![],
+    );
+    let trace = Trace::from_run(&out);
+    let events: Vec<(EventMeta, Event)> =
+        trace.iter().map(|e| (e.meta, e.event.clone())).collect();
+
+    let mut g = c.benchmark_group("recorder_throughput");
+    g.throughput(criterion::Throughput::Elements(events.len() as u64));
+    g.bench_function("schedule_recorder", |b| {
+        b.iter(|| record_stream(&events, ScheduleRecorder::new(dd_replay::costs::SCHEDULE)))
+    });
+    g.bench_function("value_recorder", |b| {
+        b.iter(|| record_stream(&events, ValueRecorder::new(dd_replay::costs::VALUE)))
+    });
+    g.bench_function("crew_observer", |b| {
+        b.iter(|| record_stream(&events, CrewObserver::new()))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let run_with = |observers: Vec<Box<dyn Observer>>| {
+        let cfg = HyperConfig::small();
+        let run_cfg = RunConfig {
+            seed: 7,
+            max_steps: 500_000,
+            inputs: cfg.input_script(),
+            collect_trace: false,
+            ..RunConfig::default()
+        };
+        run_program(
+            &HyperstoreProgram::buggy(cfg),
+            run_cfg,
+            Box::new(RandomPolicy::new(7)),
+            observers,
+        )
+    };
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("small_cluster_no_recorder", |b| b.iter(|| run_with(vec![])));
+    g.bench_function("small_cluster_value_recorder", |b| {
+        b.iter(|| run_with(vec![Box::new(ValueRecorder::new(dd_replay::costs::VALUE))]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder_throughput, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Real wall-clock cost of replay and inference, per determinism model.
+//!
+//! Exact schedule replay costs one execution; value replay costs one
+//! execution plus log feeding; failure-determinism inference costs a search
+//! over candidate executions — the debugging-efficiency denominator made
+//! tangible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_core::{DebugModel, DeterminismModel, InferenceBudget, RcseConfig, Workload};
+use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_replay::{FailureModel, ValueModel};
+
+fn bench_replay(c: &mut Criterion) {
+    let w = HyperstoreWorkload::discover(HyperConfig::small(), 200)
+        .expect("failing seed for the small cluster");
+    let scenario = w.scenario();
+    let seeds: Vec<(u64, u64)> =
+        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let rcse = DebugModel::prepare(
+        &scenario,
+        &seeds,
+        RcseConfig { use_triggers: false, ..RcseConfig::default() },
+    );
+
+    let value_rec = ValueModel.record(&scenario);
+    let debug_rec = rcse.record(&scenario);
+    let failure_rec = FailureModel.record(&scenario);
+
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(10);
+    g.bench_function("value_replay", |b| {
+        b.iter(|| ValueModel.replay(&scenario, &value_rec, &InferenceBudget::executions(1)))
+    });
+    g.bench_function("debug_rcse_replay", |b| {
+        b.iter(|| rcse.replay(&scenario, &debug_rec, &InferenceBudget::executions(1)))
+    });
+    g.bench_function("failure_inference_budget16", |b| {
+        b.iter(|| FailureModel.replay(&scenario, &failure_rec, &InferenceBudget::executions(16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

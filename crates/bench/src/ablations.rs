@@ -1,0 +1,218 @@
+//! Ablation studies for the design knobs §3.1 calls out.
+//!
+//! - [`threshold_sweep`] (ABL-1): how the control-plane data-rate threshold
+//!   trades recording overhead against fidelity and classifier accuracy.
+//! - [`window_sweep`] (ABL-2): how the trigger quiet window (dial-down
+//!   policy) trades overhead against fidelity.
+//! - [`budget_sweep`] (ABL-3): how inference budget buys debugging
+//!   efficiency for the ultra-relaxed models.
+//! - [`invariant_sweep`] (ABL-4): how many training runs data-based
+//!   selection needs before the learned invariants catch the error path.
+
+use crate::prepare_debug_model;
+use dd_core::{
+    evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload,
+};
+use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_workloads::{MsgServerConfig, MsgServerWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One classifier-threshold sweep point (ABL-1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Data-rate threshold (bytes per kilotick).
+    pub threshold: f64,
+    /// Fraction of sites classified control-plane.
+    pub control_fraction: f64,
+    /// Classifier accuracy against workload ground truth `(correct, total)`.
+    pub accuracy: (usize, usize),
+    /// RCSE recording overhead at this threshold.
+    pub overhead: f64,
+    /// Debugging fidelity at this threshold.
+    pub df: f64,
+}
+
+/// ABL-1: control-plane threshold sweep on the issue-63 workload.
+pub fn threshold_sweep(thresholds: &[f64]) -> Vec<ThresholdPoint> {
+    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
+        .expect("hyperstore failing seed");
+    let truth = w.plane_truth();
+    thresholds
+        .iter()
+        .map(|&t| {
+            let cfg = RcseConfig {
+                classifier_threshold: t,
+                use_triggers: false,
+                ..RcseConfig::default()
+            };
+            let model = prepare_debug_model(&w, cfg);
+            let plane_map = model.training().plane_map.clone();
+            let (report, _, _) = evaluate_model(&w, &model, &InferenceBudget::executions(1));
+            ThresholdPoint {
+                threshold: t,
+                control_fraction: plane_map.control_fraction(),
+                accuracy: plane_map.accuracy(&truth),
+                overhead: report.overhead_factor,
+                df: report.utility.fidelity.df,
+            }
+        })
+        .collect()
+}
+
+/// One quiet-window sweep point (ABL-2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Quiet window in ticks (trigger dial-down delay).
+    pub window: u64,
+    /// RCSE recording overhead.
+    pub overhead: f64,
+    /// Debugging fidelity.
+    pub df: f64,
+}
+
+/// ABL-2: trigger quiet-window sweep on the message server (combined
+/// code/data selection with the lockset trigger armed).
+pub fn window_sweep(windows: &[u64]) -> Vec<WindowPoint> {
+    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+        .expect("msgserver failing seed");
+    windows
+        .iter()
+        .map(|&window| {
+            let cfg = RcseConfig { quiet_window: window, ..RcseConfig::default() };
+            let model = prepare_debug_model(&w, cfg);
+            let scenario = w.scenario();
+            let recording = dd_core::DeterminismModel::record(&model, &scenario);
+            let replay = dd_core::DeterminismModel::replay(
+                &model,
+                &scenario,
+                &recording,
+                &InferenceBudget::executions(1),
+            );
+            let utility = dd_core::debugging_utility(&w.root_causes(), &recording, &replay);
+            WindowPoint {
+                window,
+                overhead: recording.overhead_factor,
+                df: utility.fidelity.df,
+            }
+        })
+        .collect()
+}
+
+/// One inference-budget sweep point (ABL-3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPoint {
+    /// Budget in candidate executions.
+    pub budget: u64,
+    /// Whether the failure was reproduced within budget.
+    pub reproduced: bool,
+    /// Executions actually explored.
+    pub explored: u64,
+    /// Debugging efficiency.
+    pub de: f64,
+    /// Debugging utility.
+    pub du: f64,
+}
+
+/// ABL-3: inference-budget sweep for output determinism on issue 63.
+///
+/// Output-deterministic inference must find an execution whose *entire*
+/// observable output matches the log — the search-hardest acceptance test,
+/// and the model the paper warns can need "prohibitively large post-factum
+/// analysis times".
+pub fn budget_sweep(budgets: &[u64]) -> Vec<BudgetPoint> {
+    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
+        .expect("hyperstore failing seed");
+    budgets
+        .iter()
+        .map(|&b| {
+            let (report, _, replay) =
+                evaluate_model(&w, &OutputLiteModel, &InferenceBudget::executions(b));
+            BudgetPoint {
+                budget: b,
+                reproduced: replay.reproduced_failure,
+                explored: replay.inference.explored,
+                de: report.utility.de,
+                du: report.utility.du,
+            }
+        })
+        .collect()
+}
+
+/// One payload-scale sweep point (ABL-5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Row payload size in bytes.
+    pub row_size: u32,
+    /// Value-determinism recording overhead.
+    pub value_overhead: f64,
+    /// RCSE recording overhead.
+    pub rcse_overhead: f64,
+}
+
+/// ABL-5: payload-size sweep on the issue-63 workload — the core
+/// control/data-plane claim quantified: value determinism pays per data
+/// byte, RCSE does not.
+pub fn scale_sweep(row_sizes: &[u32]) -> Vec<ScalePoint> {
+    row_sizes
+        .iter()
+        .filter_map(|&row_size| {
+            let cfg = HyperConfig { row_size, ..HyperConfig::default() };
+            let w = HyperstoreWorkload::discover(cfg, 200)?;
+            let budget = InferenceBudget::executions(1);
+            let (value, _, _) =
+                evaluate_model(&w, &dd_core::ValueModel, &budget);
+            let rcse = prepare_debug_model(
+                &w,
+                RcseConfig { use_triggers: false, ..RcseConfig::default() },
+            );
+            let (debug, _, _) = evaluate_model(&w, &rcse, &budget);
+            Some(ScalePoint {
+                row_size,
+                value_overhead: value.overhead_factor,
+                rcse_overhead: debug.overhead_factor,
+            })
+        })
+        .collect()
+}
+
+/// One invariant-training sweep point (ABL-4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantPoint {
+    /// Passing training runs used.
+    pub training_runs: usize,
+    /// Invariants learned.
+    pub invariants: usize,
+    /// Whether the `commit_owned` invariant was learned as constant-true.
+    pub commit_owned_learned: bool,
+}
+
+/// ABL-4: invariant-inference training sweep on issue 63 (data-based
+/// selection, §3.1.2): how many passing runs before the "commits are
+/// always owned" invariant is learned.
+pub fn invariant_sweep(run_counts: &[usize]) -> Vec<InvariantPoint> {
+    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
+        .expect("hyperstore failing seed");
+    let all: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
+    let scenario = w.scenario();
+    run_counts
+        .iter()
+        .map(|&n| {
+            let seeds = &all[..n.min(all.len())];
+            let cfg = RcseConfig { train_invariants: true, ..RcseConfig::default() };
+            let training = train(&scenario, seeds, &cfg);
+            let invs = training.invariants.as_ref().expect("invariants enabled");
+            let commit_owned = invs
+                .get("hyperstore.commit_owned")
+                .is_some_and(|inv| !inv.holds(&dd_sim::Value::Bool(false)));
+            InvariantPoint {
+                training_runs: n,
+                invariants: invs.len(),
+                commit_owned_learned: commit_owned,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,69 @@
+//! Regenerates the ablation studies (ABL-1 … ABL-4 in DESIGN.md).
+//!
+//! Usage: `cargo run --release -p dd-bench --bin repro-ablations [-- <which>]`
+//! where `<which>` is one of `threshold`, `window`, `budget`, `invariants`,
+//! or omitted for all.
+
+use dd_bench::{budget_sweep, invariant_sweep, scale_sweep, threshold_sweep, window_sweep};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+
+    if which == "threshold" || which == "all" {
+        println!("ABL-1 — control-plane data-rate threshold sweep (hyperstore)");
+        println!(
+            "{:>12} {:>10} {:>10} {:>9} {:>6}",
+            "bytes/ktick", "ctl-frac", "accuracy", "overhead", "DF"
+        );
+        for p in threshold_sweep(&[1.0, 16.0, 64.0, 256.0, 512.0, 1024.0, 4096.0, 1e9]) {
+            println!(
+                "{:>12} {:>10.2} {:>7}/{:<2} {:>8.2}x {:>6.3}",
+                p.threshold, p.control_fraction, p.accuracy.0, p.accuracy.1, p.overhead, p.df
+            );
+        }
+        println!();
+    }
+    if which == "window" || which == "all" {
+        println!("ABL-2 — trigger quiet-window sweep (msgserver, lockset trigger)");
+        println!("{:>8} {:>9} {:>6}", "window", "overhead", "DF");
+        for p in window_sweep(&[0, 100, 500, 2_000, 10_000]) {
+            println!("{:>8} {:>8.2}x {:>6.3}", p.window, p.overhead, p.df);
+        }
+        println!();
+    }
+    if which == "budget" || which == "all" {
+        println!("ABL-3 — inference-budget sweep (output determinism, hyperstore)");
+        println!(
+            "{:>8} {:>11} {:>9} {:>8} {:>8}",
+            "budget", "reproduced", "explored", "DE", "DU"
+        );
+        for p in budget_sweep(&[1, 2, 4, 8, 16, 64]) {
+            println!(
+                "{:>8} {:>11} {:>9} {:>8.3} {:>8.3}",
+                p.budget, p.reproduced, p.explored, p.de, p.du
+            );
+        }
+        println!();
+    }
+    if which == "scale" || which == "all" {
+        println!("ABL-5 — payload-size sweep (hyperstore): value pays per byte, RCSE does not");
+        println!("{:>9} {:>9} {:>9}", "row-bytes", "value", "RCSE");
+        for p in scale_sweep(&[64, 128, 256, 512, 1024]) {
+            println!(
+                "{:>9} {:>8.2}x {:>8.2}x",
+                p.row_size, p.value_overhead, p.rcse_overhead
+            );
+        }
+        println!();
+    }
+    if which == "invariants" || which == "all" {
+        println!("ABL-4 — invariant-training sweep (hyperstore commit_owned)");
+        println!("{:>6} {:>11} {:>14}", "runs", "invariants", "commit-owned?");
+        for p in invariant_sweep(&[1, 2, 4, 6]) {
+            println!(
+                "{:>6} {:>11} {:>14}",
+                p.training_runs, p.invariants, p.commit_owned_learned
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Fig. 1 — the relaxation trend: runtime overhead vs debugging utility.
+//!
+//! The paper's Fig. 1 is qualitative ("not based on new measurements"); we
+//! regenerate it quantitatively: every determinism model evaluated on every
+//! workload, reporting recording overhead and measured DF/DE/DU. The
+//! expected shape: overhead falls monotonically from perfect determinism to
+//! failure determinism while utility degrades unpredictably — and debug
+//! determinism (RCSE) escapes the curve with near-failure-determinism
+//! overhead at perfect-determinism fidelity.
+
+use crate::prepare_debug_model;
+use dd_core::{
+    evaluate_model, DeterminismModel, FailureModel, InferenceBudget, ModelKind,
+    OutputHeavyModel, OutputLiteModel, PerfectModel, RcseConfig, ValueModel, Workload,
+};
+use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_workloads::{MsgServerConfig, MsgServerWorkload, SumWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One Fig. 1 data point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Point {
+    /// Workload name.
+    pub workload: String,
+    /// Determinism model.
+    pub model: ModelKind,
+    /// Recording overhead factor.
+    pub overhead: f64,
+    /// Log bytes recorded.
+    pub log_bytes: u64,
+    /// Debugging fidelity.
+    pub df: f64,
+    /// Debugging efficiency.
+    pub de: f64,
+    /// Debugging utility.
+    pub du: f64,
+    /// Whether the artifact constraints held on the replay.
+    pub satisfied: bool,
+}
+
+/// Runs the Fig. 1 sweep: every model on every workload.
+///
+/// # Panics
+///
+/// Panics if no failing production seed exists for the racy workloads
+/// (deterministic for the bundled configurations).
+pub fn fig1(budget: &InferenceBudget) -> Vec<Fig1Point> {
+    let hyper = HyperstoreWorkload::discover(HyperConfig::default(), 200)
+        .expect("hyperstore failing seed");
+    let msg = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+        .expect("msgserver failing seed");
+    let sum = SumWorkload;
+    let workloads: Vec<&dyn Workload> = vec![&hyper, &msg, &sum];
+
+    let mut points = Vec::new();
+    for w in workloads {
+        let rcse = prepare_debug_model(w, RcseConfig { use_triggers: false, ..RcseConfig::default() });
+        let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
+            (&PerfectModel, ModelKind::Perfect),
+            (&ValueModel, ModelKind::Value),
+            (&OutputHeavyModel, ModelKind::OutputHeavy),
+            (&OutputLiteModel, ModelKind::OutputLite),
+            (&FailureModel, ModelKind::Failure),
+            (&rcse, ModelKind::Debug),
+        ];
+        for (model, kind) in models {
+            let (report, _, _) = evaluate_model(w, model, budget);
+            points.push(Fig1Point {
+                workload: w.name().to_owned(),
+                model: kind,
+                overhead: report.overhead_factor,
+                log_bytes: report.log.bytes,
+                df: report.utility.fidelity.df,
+                de: report.utility.de,
+                du: report.utility.du,
+                satisfied: report.artifact_satisfied,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Fig. 1 points as a text table grouped by workload.
+pub fn render_fig1(points: &[Fig1Point]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "FIG 1 — relaxation trend: runtime overhead vs debugging utility\n\
+         (chronological relaxation order; debug determinism escapes the curve)\n\n",
+    );
+    let mut last = "";
+    for p in points {
+        if p.workload != last {
+            s.push_str(&format!(
+                "== {} ==\n{:<14} {:>9} {:>10} {:>7} {:>8} {:>8} {:>10}\n",
+                p.workload, "model", "overhead", "log-bytes", "DF", "DE", "DU", "satisfied"
+            ));
+            last = &p.workload;
+        }
+        s.push_str(&format!(
+            "{:<14} {:>8.2}x {:>10} {:>7.3} {:>8.3} {:>8.3} {:>10}\n",
+            p.model.to_string(),
+            p.overhead,
+            p.log_bytes,
+            p.df,
+            p.de,
+            p.du,
+            p.satisfied,
+        ));
+    }
+    s
+}

@@ -1,0 +1,128 @@
+//! Fig. 2 — the Hypertable issue-63 case study: recording overhead and
+//! debugging fidelity for value determinism, failure determinism and RCSE,
+//! plus the §4 in-text numbers (three potential root causes; DF = 1/3 for
+//! failure determinism).
+
+use crate::prepare_debug_model;
+use dd_core::{
+    enumerate_root_causes, evaluate_model, DeterminismModel, FailureModel, InferenceBudget,
+    ModelKind, RcseConfig, ValueModel,
+};
+use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One Fig. 2 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Determinism model.
+    pub model: ModelKind,
+    /// Recording overhead factor (the y axis).
+    pub overhead: f64,
+    /// Debugging fidelity (the x axis).
+    pub df: f64,
+    /// Log bytes recorded.
+    pub log_bytes: u64,
+    /// Root causes active in the replayed execution.
+    pub replay_causes: Vec<String>,
+    /// Whether the replay reproduced the original root cause.
+    pub same_root_cause: bool,
+}
+
+/// The full Fig. 2 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// One row per determinism model.
+    pub rows: Vec<Fig2Row>,
+    /// The production failure description.
+    pub failure: String,
+    /// The root cause of the production run.
+    pub original_causes: Vec<String>,
+    /// Number of potential root causes (the `n` in DF = 1/n).
+    pub n_causes: usize,
+    /// Which declared causes the explorer verified reachable.
+    pub reachable_causes: Vec<(String, bool)>,
+}
+
+/// Runs the Fig. 2 experiment on the issue-63 workload.
+///
+/// # Panics
+///
+/// Panics if no failing production seed exists (deterministic for the
+/// default configuration).
+pub fn fig2(budget: &InferenceBudget) -> Fig2Result {
+    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
+        .expect("hyperstore failing seed");
+    // §4: "We chose RCSE based on control-plane code selection (§3.1)".
+    let rcse = prepare_debug_model(&w, RcseConfig { use_triggers: false, ..RcseConfig::default() });
+    let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
+        (&ValueModel, ModelKind::Value),
+        (&rcse, ModelKind::Debug),
+        (&FailureModel, ModelKind::Failure),
+    ];
+
+    let mut rows = Vec::new();
+    let mut failure = String::new();
+    let mut original_causes = Vec::new();
+    let mut n_causes = 0;
+    for (model, kind) in models {
+        let (report, recording, _) = evaluate_model(&w, model, budget);
+        if let Some(f) = &recording.original.failure {
+            failure = f.description.clone();
+        }
+        original_causes = report.utility.fidelity.original_causes.clone();
+        n_causes = report.utility.fidelity.n_causes;
+        rows.push(Fig2Row {
+            model: kind,
+            overhead: report.overhead_factor,
+            df: report.utility.fidelity.df,
+            log_bytes: report.log.bytes,
+            replay_causes: report.utility.fidelity.replay_causes.clone(),
+            same_root_cause: report.utility.fidelity.same_root_cause,
+        });
+    }
+
+    let reachable = enumerate_root_causes(&w, budget)
+        .into_iter()
+        .map(|(id, ok)| (id.to_owned(), ok))
+        .collect();
+
+    Fig2Result {
+        rows,
+        failure,
+        original_causes,
+        n_causes,
+        reachable_causes: reachable,
+    }
+}
+
+/// Renders the Fig. 2 result as text.
+pub fn render_fig2(r: &Fig2Result) -> String {
+    let mut s = String::new();
+    s.push_str("FIG 2 — Hypertable issue 63: recording overhead vs debugging fidelity\n\n");
+    s.push_str(&format!("production failure : {}\n", r.failure));
+    s.push_str(&format!("original root cause: {:?}\n", r.original_causes));
+    s.push_str(&format!(
+        "potential root causes for this failure: n = {} {:?}\n\n",
+        r.n_causes,
+        r.reachable_causes
+            .iter()
+            .map(|(id, ok)| format!("{id}{}", if *ok { " (reachable)" } else { "" }))
+            .collect::<Vec<_>>()
+    ));
+    s.push_str(&format!(
+        "{:<14} {:>9} {:>7} {:>10} {:>6}  {}\n",
+        "model", "overhead", "DF", "log-bytes", "same?", "replayed root cause(s)"
+    ));
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:<14} {:>8.2}x {:>7.3} {:>10} {:>6}  {:?}\n",
+            row.model.to_string(),
+            row.overhead,
+            row.df,
+            row.log_bytes,
+            row.same_root_cause,
+            row.replay_causes,
+        ));
+    }
+    s
+}

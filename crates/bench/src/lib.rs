@@ -1,0 +1,43 @@
+//! # dd-bench — the experiment harness
+//!
+//! Regenerates every figure in the paper's evaluation, plus the ablations
+//! DESIGN.md calls out:
+//!
+//! - [`fig1()`](fig1::fig1): the relaxation trend (Fig. 1) — recording overhead vs
+//!   debugging utility for every determinism model across the workload
+//!   suite.
+//! - [`fig2()`](fig2::fig2): the Hypertable issue-63 case study (Fig. 2) — recording
+//!   overhead and debugging fidelity for value determinism, failure
+//!   determinism and RCSE, plus the in-text §4 numbers (n = 3 root causes,
+//!   DF = 1/3).
+//! - [`ablations`]: classifier-threshold sweep, trigger quiet-window sweep,
+//!   inference-budget sweep, invariant-training sweep.
+//!
+//! Binaries `repro-fig1`, `repro-fig2` and `repro-ablations` print the
+//! series; Criterion benches measure the real (host wall-clock) cost of the
+//! same recorders.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+
+pub use ablations::{
+    budget_sweep, invariant_sweep, scale_sweep, threshold_sweep, window_sweep, BudgetPoint,
+    InvariantPoint, ScalePoint, ThresholdPoint, WindowPoint,
+};
+pub use fig1::{fig1, render_fig1, Fig1Point};
+pub use fig2::{fig2, render_fig2, Fig2Result, Fig2Row};
+
+use dd_core::{DebugModel, RcseConfig, Workload};
+
+/// Builds the RCSE debug-determinism model for a workload, training on the
+/// workload's passing runs.
+pub fn prepare_debug_model(workload: &dyn Workload, cfg: RcseConfig) -> DebugModel {
+    let scenario = workload.scenario();
+    let seeds: Vec<(u64, u64)> = workload
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
+    DebugModel::prepare(&scenario, &seeds, cfg)
+}

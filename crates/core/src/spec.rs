@@ -1,0 +1,100 @@
+//! I/O specifications: the paper's definition of failure.
+//!
+//! > "A failure occurs when a program produces incorrect output according to
+//! > an I/O specification. The output includes all observable behavior,
+//! > including performance characteristics."
+//!
+//! A [`Spec`] examines a run's [`IoSummary`] — ordered outputs, counters
+//! (performance evidence) and crashes — and either accepts it or assigns a
+//! stable failure identity. Failure identity is what failure determinism
+//! preserves; debug determinism additionally preserves the root cause.
+
+use dd_replay::FailureOracle;
+use dd_sim::IoSummary;
+use dd_trace::FailureSnapshot;
+use std::sync::Arc;
+
+/// An I/O specification for one workload.
+pub trait Spec: Send + Sync {
+    /// A short stable name.
+    fn name(&self) -> &'static str;
+
+    /// Checks observable behaviour; `None` means the output is correct,
+    /// `Some` describes the failure (with a stable `failure_id`).
+    fn check(&self, io: &IoSummary) -> Option<FailureSnapshot>;
+}
+
+/// Adapts a [`Spec`] into the oracle form `dd-replay` consumes.
+pub fn oracle_of(spec: Arc<dyn Spec>) -> FailureOracle {
+    Arc::new(move |io| spec.check(io))
+}
+
+/// Builds a failure snapshot with the given identity, copying crash and
+/// counter evidence from the run (what a bug report would contain).
+pub fn snapshot(id: &str, description: String, io: &IoSummary) -> FailureSnapshot {
+    FailureSnapshot {
+        failure_id: id.to_owned(),
+        description,
+        crashes: io.crashes.clone(),
+        counters: io.counters.clone(),
+    }
+}
+
+/// The closure form a [`FnSpec`] wraps.
+type SpecFn = Box<dyn Fn(&IoSummary) -> Option<FailureSnapshot> + Send + Sync>;
+
+/// A spec built from a plain closure (convenient for tests and examples).
+pub struct FnSpec {
+    name: &'static str,
+    f: SpecFn,
+}
+
+impl FnSpec {
+    /// Wraps a closure as a [`Spec`].
+    pub fn new(
+        name: &'static str,
+        f: impl Fn(&IoSummary) -> Option<FailureSnapshot> + Send + Sync + 'static,
+    ) -> Self {
+        FnSpec { name, f: Box::new(f) }
+    }
+}
+
+impl Spec for FnSpec {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn check(&self, io: &IoSummary) -> Option<FailureSnapshot> {
+        (self.f)(io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spec_delegates() {
+        let spec = FnSpec::new("positive-counter", |io| {
+            if io.counter("errors") > 0 {
+                Some(snapshot("too-many-errors", "errors observed".into(), io))
+            } else {
+                None
+            }
+        });
+        let mut io = IoSummary::default();
+        assert!(spec.check(&io).is_none());
+        io.counters.insert("errors".into(), 3);
+        let f = spec.check(&io).unwrap();
+        assert_eq!(f.failure_id, "too-many-errors");
+        assert_eq!(f.counters["errors"], 3);
+        assert_eq!(spec.name(), "positive-counter");
+    }
+
+    #[test]
+    fn oracle_adapter_works() {
+        let spec: Arc<dyn Spec> = Arc::new(FnSpec::new("s", |_| None));
+        let oracle = oracle_of(spec);
+        assert!(oracle(&IoSummary::default()).is_none());
+    }
+}

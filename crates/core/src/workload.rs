@@ -1,0 +1,169 @@
+//! The [`Workload`] abstraction: a program plus its debugging context.
+//!
+//! A workload bundles everything the experiment pipeline needs: the program,
+//! its I/O specification, the declared potential root causes, the failing
+//! production configuration, the nondeterminism space a replayer may search,
+//! passing training configurations (for classifier and invariant learning),
+//! ground-truth plane labels, and optionally a *fixed* program variant that
+//! realises the fix predicate P.
+
+use crate::rootcause::RootCause;
+use crate::spec::{oracle_of, Spec};
+use dd_classify::Plane;
+use dd_replay::{NondetSpace, Scenario};
+use dd_sim::{EnvConfig, InputScript, Program};
+use std::sync::Arc;
+
+/// One fully specified run configuration.
+#[derive(Debug, Clone)]
+pub struct RunSetup {
+    /// Kernel RNG seed.
+    pub seed: u64,
+    /// Schedule-policy seed.
+    pub sched_seed: u64,
+    /// Input script.
+    pub inputs: InputScript,
+    /// Environment.
+    pub env: EnvConfig,
+    /// Step bound.
+    pub max_steps: u64,
+}
+
+impl Default for RunSetup {
+    fn default() -> Self {
+        RunSetup {
+            seed: 0,
+            sched_seed: 0,
+            inputs: InputScript::new(),
+            env: EnvConfig::clean(),
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// A program plus its debugging context.
+pub trait Workload: Send + Sync {
+    /// Short stable name.
+    fn name(&self) -> &'static str;
+
+    /// The (buggy) program.
+    fn program(&self) -> Arc<dyn Program>;
+
+    /// The I/O specification.
+    fn spec(&self) -> Arc<dyn Spec>;
+
+    /// Every known potential root cause, per failure id.
+    fn root_causes(&self) -> Vec<RootCause>;
+
+    /// The failing production configuration (the incident to debug).
+    fn production(&self) -> RunSetup;
+
+    /// The nondeterminism space replayers may search.
+    fn space(&self) -> NondetSpace;
+
+    /// Passing configurations for offline training (classification,
+    /// invariant inference). Default: the production setup under eight
+    /// different seeds.
+    fn training(&self) -> Vec<RunSetup> {
+        let base = self.production();
+        (100..108)
+            .map(|s| RunSetup { seed: s, sched_seed: s.wrapping_mul(31), ..base.clone() })
+            .collect()
+    }
+
+    /// Ground-truth `(site prefix, plane)` labels for classifier scoring.
+    fn plane_truth(&self) -> Vec<(&'static str, Plane)> {
+        Vec::new()
+    }
+
+    /// The fixed program variant (fix predicate P holds), if provided.
+    fn fixed_program(&self) -> Option<Arc<dyn Program>> {
+        None
+    }
+
+    /// Assembles the replay scenario for the production incident.
+    fn scenario(&self) -> Scenario {
+        let p = self.production();
+        Scenario {
+            program: self.program(),
+            seed: p.seed,
+            sched_seed: p.sched_seed,
+            inputs: p.inputs,
+            env: p.env,
+            max_steps: p.max_steps,
+            failure_of: oracle_of(self.spec()),
+            space: self.space(),
+        }
+    }
+
+    /// Assembles a scenario for an arbitrary setup (training, validation).
+    fn scenario_for(&self, setup: &RunSetup) -> Scenario {
+        Scenario {
+            program: self.program(),
+            seed: setup.seed,
+            sched_seed: setup.sched_seed,
+            inputs: setup.inputs.clone(),
+            env: setup.env.clone(),
+            max_steps: setup.max_steps,
+            failure_of: oracle_of(self.spec()),
+            space: self.space(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FnSpec;
+    use dd_sim::Builder;
+
+    struct Trivial;
+    impl Program for Trivial {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn setup(&self, b: &mut Builder<'_>) {
+            let out = b.out_port("out");
+            b.spawn("t", "g", move |ctx| ctx.output(out, 1i64, "t::out"));
+        }
+    }
+
+    struct TrivialWorkload;
+    impl Workload for TrivialWorkload {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn program(&self) -> Arc<dyn Program> {
+            Arc::new(Trivial)
+        }
+        fn spec(&self) -> Arc<dyn Spec> {
+            Arc::new(FnSpec::new("always-ok", |_| None))
+        }
+        fn root_causes(&self) -> Vec<RootCause> {
+            Vec::new()
+        }
+        fn production(&self) -> RunSetup {
+            RunSetup::default()
+        }
+        fn space(&self) -> NondetSpace {
+            NondetSpace::schedules_only(4, InputScript::new())
+        }
+    }
+
+    #[test]
+    fn scenario_assembly_runs() {
+        let w = TrivialWorkload;
+        let s = w.scenario();
+        let out = s.execute(&s.original_spec(), vec![]);
+        assert_eq!(out.io.outputs_on("out").len(), 1);
+        assert!((s.failure_of)(&out.io).is_none());
+    }
+
+    #[test]
+    fn default_training_setups_vary_seeds() {
+        let w = TrivialWorkload;
+        let t = w.training();
+        assert_eq!(t.len(), 8);
+        assert!(t.iter().map(|s| s.seed).collect::<std::collections::HashSet<_>>().len() == 8);
+    }
+}

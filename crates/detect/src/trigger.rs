@@ -1,0 +1,161 @@
+//! Trigger detectors: the "potential-bug detectors" of §3.1.3.
+//!
+//! A trigger watches the event stream and fires when execution looks like it
+//! is heading toward a failure — a race is detected, an invariant breaks, a
+//! task crashes. The RCSE fidelity controller (in `dd-core`) dials recording
+//! up when any trigger fires and back down after a quiet period.
+
+use crate::invariants::{InvariantMonitor, InvariantSet};
+use crate::lockset::LocksetDetector;
+use crate::race::HbRaceDetector;
+use dd_sim::{Event, EventMeta};
+
+/// A potential-bug detector usable as an RCSE trigger.
+pub trait TriggerDetector: Send + 'static {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes one event; returns `true` if the trigger fires *now*.
+    fn observe(&mut self, meta: &EventMeta, event: &Event) -> bool;
+
+    /// Wall-tick cost this detector charges for this event (its always-on
+    /// runtime overhead).
+    fn cost(&self, event: &Event) -> u64;
+}
+
+impl TriggerDetector for LocksetDetector {
+    fn name(&self) -> &'static str {
+        "lockset-trigger"
+    }
+
+    fn observe(&mut self, meta: &EventMeta, event: &Event) -> bool {
+        self.handle(meta, event)
+    }
+
+    fn cost(&self, event: &Event) -> u64 {
+        match event {
+            Event::Read { .. } | Event::Write { .. } => self.cost_per_access,
+            _ => 0,
+        }
+    }
+}
+
+impl TriggerDetector for HbRaceDetector {
+    fn name(&self) -> &'static str {
+        "hb-race-trigger"
+    }
+
+    fn observe(&mut self, meta: &EventMeta, event: &Event) -> bool {
+        self.handle(meta, event)
+    }
+
+    fn cost(&self, event: &Event) -> u64 {
+        match event {
+            Event::Read { .. } | Event::Write { .. } => self.cost_per_access,
+            _ => 0,
+        }
+    }
+}
+
+impl TriggerDetector for InvariantMonitor {
+    fn name(&self) -> &'static str {
+        "invariant-trigger"
+    }
+
+    fn observe(&mut self, meta: &EventMeta, event: &Event) -> bool {
+        self.handle(meta, event)
+    }
+
+    fn cost(&self, event: &Event) -> u64 {
+        match event {
+            Event::Probe { .. } => self.cost_per_check,
+            _ => 0,
+        }
+    }
+}
+
+/// A trigger that fires on any task crash or failed allocation — the
+/// cheapest possible "deviant behaviour" signal (bug-fingerprinting style).
+#[derive(Debug, Default)]
+pub struct CrashTrigger;
+
+impl TriggerDetector for CrashTrigger {
+    fn name(&self) -> &'static str {
+        "crash-trigger"
+    }
+
+    fn observe(&mut self, _meta: &EventMeta, event: &Event) -> bool {
+        matches!(event, Event::Crash { .. } | Event::AllocFail { .. })
+    }
+
+    fn cost(&self, _event: &Event) -> u64 {
+        0
+    }
+}
+
+/// Builds the default trigger suite used by combined code/data selection:
+/// a lockset race detector, an invariant monitor (if invariants were
+/// learned), and the crash trigger.
+pub fn default_triggers(
+    invariants: Option<InvariantSet>,
+    lockset_cost: u64,
+) -> Vec<Box<dyn TriggerDetector>> {
+    let mut v: Vec<Box<dyn TriggerDetector>> = vec![
+        Box::new(LocksetDetector::with_cost(lockset_cost)),
+        Box::new(CrashTrigger),
+    ];
+    if let Some(set) = invariants {
+        v.push(Box::new(InvariantMonitor::new(set)));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::{TaskId, Value};
+
+    #[test]
+    fn crash_trigger_fires_on_crash_only() {
+        let mut t = CrashTrigger;
+        let meta = EventMeta { step: 0, time: 0 };
+        assert!(!t.observe(
+            &meta,
+            &Event::Yield { task: TaskId(0), site: "s".into() }
+        ));
+        assert!(t.observe(
+            &meta,
+            &Event::Crash { task: TaskId(0), reason: "x".into(), site: "s".into() }
+        ));
+        assert!(t.observe(
+            &meta,
+            &Event::AllocFail { task: TaskId(0), requested: 1, budget: 0, site: "s".into() }
+        ));
+        assert_eq!(t.cost(&Event::Yield { task: TaskId(0), site: "s".into() }), 0);
+    }
+
+    #[test]
+    fn default_suite_composition() {
+        let suite = default_triggers(None, 1);
+        assert_eq!(suite.len(), 2);
+        let mut set = InvariantSet::default();
+        set.insert("x", crate::invariants::Invariant::Const(Value::Int(1)));
+        let suite = default_triggers(Some(set), 1);
+        assert_eq!(suite.len(), 3);
+    }
+
+    #[test]
+    fn invariant_monitor_as_trigger() {
+        let mut set = InvariantSet::default();
+        set.insert("x", crate::invariants::Invariant::Const(Value::Int(1)));
+        let mut mon = InvariantMonitor::new(set);
+        let meta = EventMeta { step: 0, time: 0 };
+        let bad = Event::Probe {
+            task: TaskId(0),
+            name: "x".into(),
+            value: Value::Int(2),
+            site: "s".into(),
+        };
+        assert!(TriggerDetector::observe(&mut mon, &meta, &bad));
+    }
+}

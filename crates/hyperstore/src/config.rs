@@ -1,0 +1,220 @@
+//! Cluster configuration and key-range arithmetic.
+
+use dd_sim::{InputScript, Value};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled range migration (the master's rebalancing plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationStep {
+    /// When the master issues the migration (execution clock).
+    pub time: u64,
+    /// Which range moves.
+    pub range: u32,
+}
+
+/// Static configuration of one hyperstore cluster and load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyperConfig {
+    /// Number of range servers.
+    pub n_servers: u32,
+    /// Number of loader clients.
+    pub n_clients: u32,
+    /// Total rows loaded (split across clients).
+    pub n_rows: u32,
+    /// Key space `[0, key_space)`.
+    pub key_space: u64,
+    /// Number of key ranges.
+    pub n_ranges: u32,
+    /// Row payload size in bytes (the data-plane bulk).
+    pub row_size: u32,
+    /// The master's migration plan.
+    pub migrations: Vec<MigrationStep>,
+    /// Virtual ticks between consecutive puts per client.
+    pub put_gap: u64,
+    /// Loader's wait for a put acknowledgement.
+    pub ack_timeout: u64,
+    /// Dumper's wait for each server's dump response.
+    pub dump_timeout: u64,
+}
+
+impl Default for HyperConfig {
+    fn default() -> Self {
+        HyperConfig {
+            n_servers: 3,
+            n_clients: 2,
+            n_rows: 36,
+            key_space: 72,
+            n_ranges: 6,
+            row_size: 256,
+            migrations: vec![
+                MigrationStep { time: 220, range: 1 },
+                MigrationStep { time: 340, range: 4 },
+            ],
+            put_gap: 24,
+            ack_timeout: 400,
+            dump_timeout: 2_000,
+        }
+    }
+}
+
+impl HyperConfig {
+    /// A smaller cluster for fast tests.
+    pub fn small() -> Self {
+        HyperConfig {
+            n_servers: 2,
+            n_clients: 2,
+            n_rows: 16,
+            key_space: 32,
+            n_ranges: 4,
+            row_size: 128,
+            migrations: vec![MigrationStep { time: 100, range: 1 }],
+            put_gap: 20,
+            ack_timeout: 300,
+            dump_timeout: 1_500,
+        }
+    }
+
+    /// Returns the range id owning `key`.
+    pub fn range_of(&self, key: i64) -> u32 {
+        let width = (self.key_space / self.n_ranges as u64).max(1);
+        (((key as u64).min(self.key_space - 1)) / width).min(self.n_ranges as u64 - 1) as u32
+    }
+
+    /// Initial owner of a range (round-robin assignment).
+    pub fn initial_owner(&self, range: u32) -> u32 {
+        range % self.n_servers
+    }
+
+    /// Destination server for the `i`-th migration of `range` (the next
+    /// server in rotation from its initial owner).
+    pub fn migration_target(&self, range: u32) -> u32 {
+        (self.initial_owner(range) + 1) % self.n_servers
+    }
+
+    /// Builds the loader input scripts: each client receives an interleaved
+    /// slice of the key space, paced `put_gap` apart.
+    ///
+    /// Keys sweep the ranges cyclically so that rows keep landing in every
+    /// range throughout the load — including ranges that migrate mid-load,
+    /// which is what makes the issue-63 window reachable.
+    pub fn input_script(&self) -> InputScript {
+        let mut script = InputScript::new();
+        // A stride coprime to the key space visits every key exactly once
+        // while cycling through the ranges continuously.
+        let stride = Self::coprime_stride(self.key_space);
+        for i in 0..self.n_rows {
+            let client = i % self.n_clients;
+            let key = (i as u64 * stride) % self.key_space;
+            let time = 10 + (i / self.n_clients) as u64 * self.put_gap;
+            script.push(
+                &format!("client{client}.keys"),
+                time,
+                Value::Int(key as i64),
+            );
+        }
+        script
+    }
+
+    /// Smallest stride ≥ key_space/3 that is coprime to the key space.
+    fn coprime_stride(n: u64) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 { a } else { gcd(b, a % b) }
+        }
+        let mut s = (n / 3).max(1);
+        while gcd(s, n) != 1 {
+            s += 1;
+        }
+        s
+    }
+
+    /// Rows each client loads.
+    pub fn rows_per_client(&self, client: u32) -> u32 {
+        let base = self.n_rows / self.n_clients;
+        let extra = u32::from(client < self.n_rows % self.n_clients);
+        base + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_key_space() {
+        let cfg = HyperConfig::default();
+        for key in 0..cfg.key_space as i64 {
+            let r = cfg.range_of(key);
+            assert!(r < cfg.n_ranges, "key {key} → range {r}");
+        }
+        assert_eq!(cfg.range_of(0), 0);
+        assert_eq!(cfg.range_of(cfg.key_space as i64 - 1), cfg.n_ranges - 1);
+    }
+
+    #[test]
+    fn range_of_is_monotone() {
+        let cfg = HyperConfig::default();
+        let mut last = 0;
+        for key in 0..cfg.key_space as i64 {
+            let r = cfg.range_of(key);
+            assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn initial_owners_round_robin() {
+        let cfg = HyperConfig::default();
+        assert_eq!(cfg.initial_owner(0), 0);
+        assert_eq!(cfg.initial_owner(1), 1);
+        assert_eq!(cfg.initial_owner(cfg.n_servers), 0);
+        for r in 0..cfg.n_ranges {
+            assert_ne!(cfg.migration_target(r), cfg.initial_owner(r));
+        }
+    }
+
+    #[test]
+    fn input_script_covers_all_rows() {
+        let cfg = HyperConfig::default();
+        let script = cfg.input_script();
+        assert_eq!(script.len(), cfg.n_rows as usize);
+        let c0 = script.for_port("client0.keys");
+        let c1 = script.for_port("client1.keys");
+        assert_eq!(c0.len() + c1.len(), cfg.n_rows as usize);
+        // Keys are in range.
+        for t in c0.iter().chain(c1.iter()) {
+            let k = t.value.as_int().unwrap();
+            assert!((0..cfg.key_space as i64).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rows_per_client_sums() {
+        let cfg = HyperConfig { n_rows: 7, n_clients: 3, ..HyperConfig::default() };
+        let total: u32 = (0..3).map(|c| cfg.rows_per_client(c)).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn keys_hit_migrating_range_throughout_load() {
+        // The script must keep producing keys in every range over time,
+        // otherwise migrations can never race with commits.
+        let cfg = HyperConfig::default();
+        let script = cfg.input_script();
+        let mig_range = cfg.migrations[0].range;
+        let mut hits_before = 0;
+        let mut hits_after = 0;
+        for (_, inputs) in script.iter() {
+            for t in inputs {
+                if cfg.range_of(t.value.as_int().unwrap()) == mig_range {
+                    if t.time < cfg.migrations[0].time {
+                        hits_before += 1;
+                    } else {
+                        hits_after += 1;
+                    }
+                }
+            }
+        }
+        assert!(hits_before > 0, "range {mig_range} unused before migration");
+        assert!(hits_after > 0, "range {mig_range} unused after migration");
+    }
+}

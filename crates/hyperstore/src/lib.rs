@@ -1,0 +1,40 @@
+//! # dd-hyperstore — the paper's §4 case study, rebuilt
+//!
+//! A Hypertable-like distributed key-value store running on `dd-sim`:
+//! a master (range assignment and migration), range servers (commit log +
+//! row index + range set, with a put-handler and a control task sharing
+//! state), loader clients, a dump client, and a coordinator.
+//!
+//! The buggy build reproduces **Hypertable issue 63**: rows committed while
+//! their range concurrently migrates away are silently ignored by
+//! subsequent dumps. The same observable failure (missing rows) also arises
+//! from two alternative root causes — a range-server crash after load, and
+//! the dump client exhausting memory — which is exactly why
+//! failure-deterministic replay scores DF = 1/3 on this bug (§4).
+//!
+//! # Examples
+//!
+//! ```
+//! use dd_hyperstore::{HyperConfig, HyperstoreProgram, check_run};
+//!
+//! let cfg = HyperConfig::small();
+//! let inputs = cfg.input_script();
+//! // The fixed build never loses rows, whatever the schedule.
+//! for seed in 0..3 {
+//!     let failure = check_run(&HyperstoreProgram::fixed(cfg.clone()), seed, &inputs);
+//!     assert!(failure.is_none(), "fixed build failed: {failure:?}");
+//! }
+//! ```
+
+pub mod config;
+pub mod msg;
+pub mod program;
+pub mod workload;
+
+pub use config::{HyperConfig, MigrationStep};
+pub use msg::Msg;
+pub use program::HyperstoreProgram;
+pub use workload::{
+    check_run, env_candidates, hyperstore_root_causes, hyperstore_spec, HyperstoreWorkload,
+    INCOMPLETE, RC_CLIENT_OOM, RC_MIGRATION_RACE, RC_SERVER_CRASH, ROWS_MISSING,
+};

@@ -1,0 +1,241 @@
+//! The wire protocol: typed messages encoded into the simulator's dynamic
+//! value model.
+
+use dd_sim::{SimData, Value};
+
+/// A hyperstore protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client asks the master which server owns `key`.
+    Locate {
+        /// Asking client.
+        client: u32,
+        /// The key.
+        key: i64,
+    },
+    /// Master's answer to a locate.
+    LocateResp {
+        /// Owning server.
+        server: u32,
+    },
+    /// Client stores a row on a server.
+    Put {
+        /// Sending client.
+        client: u32,
+        /// Row key.
+        key: i64,
+        /// Row payload (data-plane bulk).
+        bytes: Vec<u8>,
+        /// Forward/requeue hops so far (the fixed build's redirect path).
+        hops: u32,
+    },
+    /// Server acknowledges a stored row.
+    PutAck {
+        /// The row key.
+        key: i64,
+    },
+    /// Master orders a server to migrate a range away.
+    Migrate {
+        /// The range to move.
+        range: u32,
+        /// Destination server.
+        to: u32,
+    },
+    /// Bulk row transfer between servers during migration.
+    Transfer {
+        /// The migrated range.
+        range: u32,
+        /// The moved rows.
+        rows: Vec<(i64, Vec<u8>)>,
+    },
+    /// Server tells the master a migration finished.
+    MigrateDone {
+        /// The migrated range.
+        range: u32,
+    },
+    /// Dumper asks a server for its rows.
+    Dump,
+    /// Server's dump answer: the keys it serves.
+    DumpResp {
+        /// Answering server.
+        server: u32,
+        /// Keys in ranges the server currently owns.
+        keys: Vec<i64>,
+    },
+    /// Loader tells the coordinator it finished.
+    LoaderDone {
+        /// The loader.
+        client: u32,
+        /// Rows it sent.
+        loaded: i64,
+    },
+    /// Coordinator starts the dump phase.
+    StartDump,
+}
+
+const TAG_LOCATE: i64 = 0;
+const TAG_LOCATE_RESP: i64 = 1;
+const TAG_PUT: i64 = 2;
+const TAG_PUT_ACK: i64 = 3;
+const TAG_MIGRATE: i64 = 4;
+const TAG_TRANSFER: i64 = 5;
+const TAG_MIGRATE_DONE: i64 = 6;
+const TAG_DUMP: i64 = 7;
+const TAG_DUMP_RESP: i64 = 8;
+const TAG_LOADER_DONE: i64 = 9;
+const TAG_START_DUMP: i64 = 10;
+
+impl SimData for Msg {
+    fn into_value(self) -> Value {
+        match self {
+            Msg::Locate { client, key } => Value::List(vec![
+                Value::Int(TAG_LOCATE),
+                Value::Int(client as i64),
+                Value::Int(key),
+            ]),
+            Msg::LocateResp { server } => {
+                Value::List(vec![Value::Int(TAG_LOCATE_RESP), Value::Int(server as i64)])
+            }
+            Msg::Put { client, key, bytes, hops } => Value::List(vec![
+                Value::Int(TAG_PUT),
+                Value::Int(client as i64),
+                Value::Int(key),
+                Value::Bytes(bytes),
+                Value::Int(hops as i64),
+            ]),
+            Msg::PutAck { key } => {
+                Value::List(vec![Value::Int(TAG_PUT_ACK), Value::Int(key)])
+            }
+            Msg::Migrate { range, to } => Value::List(vec![
+                Value::Int(TAG_MIGRATE),
+                Value::Int(range as i64),
+                Value::Int(to as i64),
+            ]),
+            Msg::Transfer { range, rows } => Value::List(vec![
+                Value::Int(TAG_TRANSFER),
+                Value::Int(range as i64),
+                Value::List(
+                    rows.into_iter()
+                        .map(|(k, b)| {
+                            Value::List(vec![Value::Int(k), Value::Bytes(b)])
+                        })
+                        .collect(),
+                ),
+            ]),
+            Msg::MigrateDone { range } => {
+                Value::List(vec![Value::Int(TAG_MIGRATE_DONE), Value::Int(range as i64)])
+            }
+            Msg::Dump => Value::List(vec![Value::Int(TAG_DUMP)]),
+            Msg::DumpResp { server, keys } => Value::List(vec![
+                Value::Int(TAG_DUMP_RESP),
+                Value::Int(server as i64),
+                Value::List(keys.into_iter().map(Value::Int).collect()),
+            ]),
+            Msg::LoaderDone { client, loaded } => Value::List(vec![
+                Value::Int(TAG_LOADER_DONE),
+                Value::Int(client as i64),
+                Value::Int(loaded),
+            ]),
+            Msg::StartDump => Value::List(vec![Value::Int(TAG_START_DUMP)]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        let tag = l.first()?.as_int()?;
+        match tag {
+            TAG_LOCATE => Some(Msg::Locate {
+                client: l.get(1)?.as_int()? as u32,
+                key: l.get(2)?.as_int()?,
+            }),
+            TAG_LOCATE_RESP => Some(Msg::LocateResp { server: l.get(1)?.as_int()? as u32 }),
+            TAG_PUT => Some(Msg::Put {
+                client: l.get(1)?.as_int()? as u32,
+                key: l.get(2)?.as_int()?,
+                bytes: match l.get(3)? {
+                    Value::Bytes(b) => b.clone(),
+                    _ => return None,
+                },
+                hops: l.get(4)?.as_int()? as u32,
+            }),
+            TAG_PUT_ACK => Some(Msg::PutAck { key: l.get(1)?.as_int()? }),
+            TAG_MIGRATE => Some(Msg::Migrate {
+                range: l.get(1)?.as_int()? as u32,
+                to: l.get(2)?.as_int()? as u32,
+            }),
+            TAG_TRANSFER => {
+                let rows = l
+                    .get(2)?
+                    .as_list()?
+                    .iter()
+                    .map(|r| {
+                        let pair = r.as_list()?;
+                        let k = pair.first()?.as_int()?;
+                        let b = match pair.get(1)? {
+                            Value::Bytes(b) => b.clone(),
+                            _ => return None,
+                        };
+                        Some((k, b))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Msg::Transfer { range: l.get(1)?.as_int()? as u32, rows })
+            }
+            TAG_MIGRATE_DONE => {
+                Some(Msg::MigrateDone { range: l.get(1)?.as_int()? as u32 })
+            }
+            TAG_DUMP => Some(Msg::Dump),
+            TAG_DUMP_RESP => Some(Msg::DumpResp {
+                server: l.get(1)?.as_int()? as u32,
+                keys: l.get(2)?.as_list()?.iter().map(Value::as_int).collect::<Option<_>>()?,
+            }),
+            TAG_LOADER_DONE => Some(Msg::LoaderDone {
+                client: l.get(1)?.as_int()? as u32,
+                loaded: l.get(2)?.as_int()?,
+            }),
+            TAG_START_DUMP => Some(Msg::StartDump),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Msg) {
+        let v = m.clone().into_value();
+        assert_eq!(Msg::from_value(&v), Some(m));
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Msg::Locate { client: 1, key: 42 });
+        round_trip(Msg::LocateResp { server: 2 });
+        round_trip(Msg::Put { client: 0, key: 7, bytes: vec![1, 2, 3], hops: 2 });
+        round_trip(Msg::PutAck { key: 7 });
+        round_trip(Msg::Migrate { range: 3, to: 1 });
+        round_trip(Msg::Transfer {
+            range: 3,
+            rows: vec![(1, vec![9]), (2, vec![8, 8])],
+        });
+        round_trip(Msg::MigrateDone { range: 3 });
+        round_trip(Msg::Dump);
+        round_trip(Msg::DumpResp { server: 0, keys: vec![1, 2, 3] });
+        round_trip(Msg::LoaderDone { client: 1, loaded: 10 });
+        round_trip(Msg::StartDump);
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert_eq!(Msg::from_value(&Value::Int(5)), None);
+        assert_eq!(Msg::from_value(&Value::List(vec![Value::Int(999)])), None);
+        assert_eq!(Msg::from_value(&Value::List(vec![])), None);
+    }
+
+    #[test]
+    fn put_carries_data_plane_bulk() {
+        let m = Msg::Put { client: 0, key: 1, bytes: vec![0; 256], hops: 0 };
+        let v = m.into_value();
+        assert!(v.byte_size() > 256);
+    }
+}

@@ -1,0 +1,558 @@
+//! The hyperstore cluster as a `dd-sim` program.
+//!
+//! Topology: one master (range assignment + migration plan), `n_servers`
+//! range servers — each a *put handler* task and a *control* task sharing
+//! the server's range set and row index through shared variables — plus
+//! loader clients, a dump client and a coordinator.
+//!
+//! ## Issue 63 (the bug)
+//!
+//! The buggy put handler commits a row without re-checking range ownership:
+//! if the row's range migrates away between the client's locate and the
+//! commit (or while the put sits in the server's queue), the row lands in
+//! the index of a server that no longer owns its range. Dumps only return
+//! keys in *owned* ranges, so the row is silently ignored — exactly
+//! Hypertable issue 63. The handler and control tasks also access the
+//! shared index without locking, so a migration partition can race with a
+//! commit (lost update).
+//!
+//! ## The fix
+//!
+//! The fixed variant takes the per-server lock around both the commit and
+//! the migration partition and re-checks ownership at commit time,
+//! forwarding the row to the range's new owner when it has moved — the fix
+//! predicate P of the paper's §3 ("ownership holds at commit time").
+
+use crate::config::HyperConfig;
+use crate::msg::Msg;
+use dd_sim::{
+    Builder, ChanClass, ChanHandle, InPort, MutexHandle, OutPort, Program, SimError, SimResult,
+    TaskCtx, TVar,
+};
+
+/// Per-server handles shared by the put handler and control tasks.
+#[derive(Clone, Copy)]
+struct ServerHandles {
+    /// Range ids this server currently owns.
+    ranges: TVar<Vec<i64>>,
+    /// Keys committed to this server.
+    index: TVar<Vec<i64>>,
+    /// Last block appended to the commit log (data-plane bulk).
+    log: TVar<Vec<u8>>,
+    /// Forwarding table `(range, to)` written by migrations (fix only).
+    fwd: TVar<Vec<(i64, i64)>>,
+    /// The per-server lock (used by the fixed variant).
+    lock: MutexHandle,
+    /// Put channel.
+    data: ChanHandle<Msg>,
+    /// Control channel (migrations, transfers, dumps).
+    ctl: ChanHandle<Msg>,
+}
+
+/// The hyperstore program (buggy or fixed).
+pub struct HyperstoreProgram {
+    /// Cluster configuration.
+    pub cfg: HyperConfig,
+    /// Whether the ownership-recheck fix is applied.
+    pub fixed: bool,
+}
+
+impl HyperstoreProgram {
+    /// The buggy production build.
+    pub fn buggy(cfg: HyperConfig) -> Self {
+        HyperstoreProgram { cfg, fixed: false }
+    }
+
+    /// The build with the issue-63 fix applied.
+    pub fn fixed(cfg: HyperConfig) -> Self {
+        HyperstoreProgram { cfg, fixed: true }
+    }
+}
+
+impl Program for HyperstoreProgram {
+    fn name(&self) -> &'static str {
+        if self.fixed {
+            "hyperstore-fixed"
+        } else {
+            "hyperstore"
+        }
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let cfg = self.cfg.clone();
+        let fixed = self.fixed;
+        let n = cfg.n_servers;
+
+        let master_ctl = b.channel::<Msg>("master.ctl", ChanClass::Network);
+        let coord_ctl = b.channel::<Msg>("coord.ctl", ChanClass::Network);
+        let dumper_cmd = b.channel::<Msg>("dumper.cmd", ChanClass::Network);
+        let dumper_reply = b.channel::<Msg>("dumper.reply", ChanClass::Network);
+
+        let servers: Vec<ServerHandles> = (0..n)
+            .map(|j| {
+                let owned: Vec<i64> = (0..cfg.n_ranges)
+                    .filter(|&r| cfg.initial_owner(r) == j)
+                    .map(|r| r as i64)
+                    .collect();
+                ServerHandles {
+                    ranges: b.var(&format!("server{j}.ranges"), owned),
+                    index: b.var(&format!("server{j}.index"), Vec::<i64>::new()),
+                    log: b.var(&format!("server{j}.log"), Vec::<u8>::new()),
+                    fwd: b.var(&format!("server{j}.fwd"), Vec::<(i64, i64)>::new()),
+                    lock: b.mutex(&format!("server{j}.lock")),
+                    data: b.channel::<Msg>(&format!("server{j}.data"), ChanClass::Network),
+                    ctl: b.channel::<Msg>(&format!("server{j}.ctl"), ChanClass::Network),
+                }
+            })
+            .collect();
+
+        let client_replies: Vec<ChanHandle<Msg>> = (0..cfg.n_clients)
+            .map(|i| b.channel::<Msg>(&format!("client{i}.reply"), ChanClass::Network))
+            .collect();
+        let key_ports: Vec<InPort> = (0..cfg.n_clients)
+            .map(|i| b.in_port(&format!("client{i}.keys")))
+            .collect();
+
+        let loaded_out = b.out_port("loaded");
+        let dumped_out = b.out_port("dumped");
+
+        // Master.
+        {
+            let cfg = cfg.clone();
+            let servers = servers.clone();
+            let client_replies = client_replies.clone();
+            b.spawn("master", "master", move |ctx| {
+                master_task(ctx, &cfg, master_ctl, &servers, &client_replies)
+            });
+        }
+
+        // Servers: put handler + control task each.
+        for j in 0..n {
+            let h = servers[j as usize];
+            let cfg_h = cfg.clone();
+            let replies = client_replies.clone();
+            let all = servers.clone();
+            b.spawn(&format!("server{j}.handler"), &format!("server{j}"), move |ctx| {
+                server_handler(ctx, &cfg_h, j, h, &replies, &all, fixed)
+            });
+            let cfg_c = cfg.clone();
+            let all = servers.clone();
+            b.spawn(&format!("server{j}.ctl"), &format!("server{j}"), move |ctx| {
+                server_ctl(ctx, &cfg_c, j, h, &all, master_ctl, dumper_reply, fixed)
+            });
+        }
+
+        // Loader clients.
+        for i in 0..cfg.n_clients {
+            let cfg_c = cfg.clone();
+            let reply = client_replies[i as usize];
+            let port = key_ports[i as usize];
+            let all = servers.clone();
+            b.spawn(&format!("client{i}"), &format!("client{i}"), move |ctx| {
+                loader_task(ctx, &cfg_c, i, port, reply, master_ctl, coord_ctl, &all)
+            });
+        }
+
+        // Dump client.
+        {
+            let cfg_d = cfg.clone();
+            let all = servers.clone();
+            b.spawn("dumper", "dumper", move |ctx| {
+                dumper_task(ctx, &cfg_d, dumper_cmd, dumper_reply, &all, dumped_out)
+            });
+        }
+
+        // Coordinator.
+        {
+            let n_clients = cfg.n_clients;
+            b.spawn("coord", "coord", move |ctx| {
+                coordinator_task(ctx, n_clients, coord_ctl, dumper_cmd, loaded_out)
+            });
+        }
+    }
+}
+
+/// Master: answers locates from its range map; issues the migration plan;
+/// applies ownership changes when migrations complete.
+fn master_task(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    inbox: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+    client_replies: &[ChanHandle<Msg>],
+) -> SimResult<()> {
+    let mut range_map: Vec<u32> = (0..cfg.n_ranges).map(|r| cfg.initial_owner(r)).collect();
+    let mut pending: Vec<(u32, u32)> = Vec::new(); // (range, destination)
+    let mut plan = cfg.migrations.clone();
+    plan.sort_by_key(|m| m.time);
+    plan.reverse(); // Pop from the back in time order.
+
+    loop {
+        // Issue due migrations.
+        while plan.last().is_some_and(|m| m.time <= ctx.now()) {
+            let step = plan.pop().expect("checked non-empty");
+            let owner = range_map[step.range as usize];
+            let to = (owner + 1) % cfg.n_servers;
+            pending.push((step.range, to));
+            ctx.probe("hyperstore.migrate_issued", step.range as i64, "master::migrate_cmd")?;
+            ctx.send(
+                &servers[owner as usize].ctl,
+                Msg::Migrate { range: step.range, to },
+                "master::migrate_cmd",
+            )?;
+        }
+        let wait = plan
+            .last()
+            .map(|m| m.time.saturating_sub(ctx.now()).max(1))
+            .unwrap_or(5_000);
+        match ctx.recv_timeout(&inbox, wait, "master::recv") {
+            Ok(Msg::Locate { client, key }) => {
+                let owner = range_map[cfg.range_of(key) as usize];
+                ctx.send(
+                    &client_replies[client as usize],
+                    Msg::LocateResp { server: owner },
+                    "master::locate",
+                )?;
+            }
+            Ok(Msg::MigrateDone { range }) => {
+                if let Some(pos) = pending.iter().position(|(r, _)| *r == range) {
+                    let (_, to) = pending.remove(pos);
+                    range_map[range as usize] = to;
+                }
+                ctx.probe("hyperstore.migrate_done", range as i64, "master::done")?;
+            }
+            Ok(_) => {}
+            Err(SimError::RecvTimeout(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Put handler: commits rows into the server's index and commit log.
+fn server_handler(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    h: ServerHandles,
+    client_replies: &[ChanHandle<Msg>],
+    all: &[ServerHandles],
+    fixed: bool,
+) -> SimResult<()> {
+    loop {
+        let msg = ctx.recv(&h.data, "server::recv_put")?;
+        let Msg::Put { client, key, bytes, hops } = msg else {
+            continue;
+        };
+        if fixed {
+            // FIX: ownership is re-checked at commit time, atomically with
+            // the commit, and moved ranges forward to their new owner.
+            ctx.lock(h.lock, "server::commit_lock")?;
+            let ranges = ctx.read(&h.ranges, "server::check_ranges")?;
+            let owned = ranges.contains(&(cfg.range_of(key) as i64));
+            if owned {
+                commit_row(ctx, me, key, &bytes, &h, cfg)?;
+                ctx.unlock(h.lock, "server::commit_unlock")?;
+                ctx.send(
+                    &client_replies[client as usize],
+                    Msg::PutAck { key },
+                    "server::ack_send",
+                )?;
+            } else {
+                let fwd = ctx.read(&h.fwd, "server::fwd_read")?;
+                ctx.unlock(h.lock, "server::commit_unlock")?;
+                match fwd.iter().find(|(r, _)| *r == cfg.range_of(key) as i64) {
+                    Some(&(_, to)) => {
+                        ctx.send(
+                            &all[to as usize].data,
+                            Msg::Put { client, key, bytes, hops: hops + 1 },
+                            "server::forward",
+                        )?;
+                    }
+                    // The range is migrating *to* this server but the bulk
+                    // transfer has not landed yet: defer the put by
+                    // requeueing it (bounded by a hop cap).
+                    None if hops < 16 => {
+                        ctx.yield_now("server::defer")?;
+                        ctx.send(
+                            &h.data,
+                            Msg::Put { client, key, bytes, hops: hops + 1 },
+                            "server::defer",
+                        )?;
+                    }
+                    None => {
+                        ctx.count("misrouted", 1, "server::misrouted")?;
+                    }
+                }
+            }
+        } else {
+            // BUG (issue 63): no ownership check at commit time, no lock —
+            // a concurrent migration makes this row vanish from dumps.
+            commit_row(ctx, me, key, &bytes, &h, cfg)?;
+            ctx.send(
+                &client_replies[client as usize],
+                Msg::PutAck { key },
+                "server::ack_send",
+            )?;
+        }
+    }
+}
+
+/// Appends the row to the commit log and index, then probes whether the
+/// server still owned the row's range at commit time (debug
+/// instrumentation; the buggy build does not act on it).
+fn commit_row(
+    ctx: &mut TaskCtx,
+    me: u32,
+    key: i64,
+    bytes: &[u8],
+    h: &ServerHandles,
+    cfg: &HyperConfig,
+) -> SimResult<()> {
+    ctx.write(&h.log, bytes.to_vec(), "server::commit_log")?;
+    let mut index = ctx.read(&h.index, "server::commit_index_read")?;
+    index.push(key);
+    ctx.write(&h.index, index, "server::commit_index_write")?;
+    let ranges = ctx.read(&h.ranges, "server::commit_check")?;
+    let owned_now = ranges.contains(&(cfg.range_of(key) as i64));
+    ctx.probe("hyperstore.commit_owned", owned_now, "server::commit_owned_probe")?;
+    ctx.probe(
+        "hyperstore.commit",
+        vec![me as i64, key, owned_now as i64],
+        "server::commit_trace",
+    )?;
+    ctx.count("rows_committed", 1, "server::commit_count")?;
+    Ok(())
+}
+
+/// Control task: migrations out, transfers in, dumps.
+#[allow(clippy::too_many_arguments)]
+fn server_ctl(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    h: ServerHandles,
+    all: &[ServerHandles],
+    master: ChanHandle<Msg>,
+    dumper_reply: ChanHandle<Msg>,
+    fixed: bool,
+) -> SimResult<()> {
+    loop {
+        match ctx.recv(&h.ctl, "serverctl::recv")? {
+            Msg::Migrate { range, to } => {
+                if fixed {
+                    ctx.lock(h.lock, "serverctl::mig_lock")?;
+                }
+                let mut ranges = ctx.read(&h.ranges, "serverctl::mig_ranges_read")?;
+                ranges.retain(|&r| r != range as i64);
+                ctx.write(&h.ranges, ranges, "serverctl::mig_ranges_write")?;
+                let index = ctx.read(&h.index, "serverctl::mig_index_read")?;
+                let (moved, kept): (Vec<i64>, Vec<i64>) =
+                    index.into_iter().partition(|&k| cfg.range_of(k) == range);
+                ctx.write(&h.index, kept, "serverctl::mig_index_write")?;
+                if fixed {
+                    let mut fwd = ctx.read(&h.fwd, "serverctl::fwd_read")?;
+                    fwd.retain(|(r, _)| *r != range as i64);
+                    fwd.push((range as i64, to as i64));
+                    ctx.write(&h.fwd, fwd, "serverctl::fwd_write")?;
+                    ctx.unlock(h.lock, "serverctl::mig_unlock")?;
+                }
+                ctx.probe(
+                    "hyperstore.migrated",
+                    vec![me as i64, range as i64, moved.len() as i64],
+                    "serverctl::migrated",
+                )?;
+                let rows: Vec<(i64, Vec<u8>)> = moved
+                    .into_iter()
+                    .map(|k| (k, vec![0u8; cfg.row_size as usize]))
+                    .collect();
+                ctx.send(
+                    &all[to as usize].ctl,
+                    Msg::Transfer { range, rows },
+                    "serverctl::transfer_send",
+                )?;
+                ctx.send(&master, Msg::MigrateDone { range }, "serverctl::done_send")?;
+            }
+            Msg::Transfer { range, rows } => {
+                if fixed {
+                    ctx.lock(h.lock, "serverctl::merge_lock")?;
+                }
+                let mut ranges = ctx.read(&h.ranges, "serverctl::merge_ranges_read")?;
+                if !ranges.contains(&(range as i64)) {
+                    ranges.push(range as i64);
+                }
+                ctx.write(&h.ranges, ranges, "serverctl::merge_ranges_write")?;
+                let mut index = ctx.read(&h.index, "serverctl::merge_index_read")?;
+                let mut ingest = Vec::new();
+                for (k, b) in rows {
+                    index.push(k);
+                    ingest.extend_from_slice(&b);
+                }
+                ctx.write(&h.index, index, "serverctl::merge_index_write")?;
+                if fixed {
+                    ctx.unlock(h.lock, "serverctl::merge_unlock")?;
+                }
+                // Bulk ingest into the local cellstore (data plane).
+                ctx.write(&h.log, ingest, "serverctl::merge_ingest")?;
+            }
+            Msg::Dump => {
+                if fixed {
+                    ctx.lock(h.lock, "serverctl::dump_lock")?;
+                }
+                let ranges = ctx.read(&h.ranges, "serverctl::dump_ranges_read")?;
+                let index = ctx.read(&h.index, "serverctl::dump_index_read")?;
+                if fixed {
+                    ctx.unlock(h.lock, "serverctl::dump_unlock")?;
+                }
+                // Issue 63's visible half: keys in unowned ranges are
+                // silently ignored.
+                let keys: Vec<i64> = index
+                    .iter()
+                    .copied()
+                    .filter(|&k| ranges.contains(&(cfg.range_of(k) as i64)))
+                    .collect();
+                let ignored = index.len() - keys.len();
+                ctx.probe("hyperstore.dump_ignored", ignored as i64, "serverctl::dump_probe")?;
+                ctx.send(
+                    &dumper_reply,
+                    Msg::DumpResp { server: me, keys },
+                    "serverctl::dump_send",
+                )?;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Loader: reads keys from its input port, locates, generates the row
+/// payload, stores it, and waits for the acknowledgement.
+#[allow(clippy::too_many_arguments)]
+fn loader_task(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    keys: InPort,
+    reply: ChanHandle<Msg>,
+    master: ChanHandle<Msg>,
+    coord: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+) -> SimResult<()> {
+    let mut loaded: i64 = 0;
+    loop {
+        let key: i64 = match ctx.input(keys, "client::input") {
+            Ok(k) => k,
+            Err(SimError::InputExhausted(_)) => break,
+            Err(e) => return Err(e),
+        };
+        ctx.send(&master, Msg::Locate { client: me, key }, "client::locate_send")?;
+        let server = match ctx.recv_timeout(&reply, cfg.ack_timeout, "client::locate_recv") {
+            Ok(Msg::LocateResp { server }) => server,
+            Ok(_) => continue,
+            Err(SimError::RecvTimeout(_)) => {
+                ctx.count("locate_timeouts", 1, "client::locate_recv")?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // One RNG draw expanded locally into the row payload: data-plane
+        // contents never influence control flow, so relaxed replay may
+        // re-synthesise them freely.
+        let seed = ctx.rand_below(0, "client::gen")?;
+        let mut sm = dd_sim::rng::SplitMix64::new(seed);
+        let bytes: Vec<u8> = (0..cfg.row_size).map(|_| sm.next_u64() as u8).collect();
+        ctx.send(
+            &servers[server as usize].data,
+            Msg::Put { client: me, key, bytes, hops: 0 },
+            "client::put_send",
+        )?;
+        loaded += 1;
+        match ctx.recv_timeout(&reply, cfg.ack_timeout, "client::ack_recv") {
+            Ok(Msg::PutAck { .. }) => {
+                ctx.count("rows_acked", 1, "client::ack_recv")?;
+            }
+            Ok(_) => {}
+            Err(SimError::RecvTimeout(_)) => {
+                ctx.count("ack_timeouts", 1, "client::ack_recv")?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    ctx.count("rows_loaded", loaded, "client::done")?;
+    ctx.send(&coord, Msg::LoaderDone { client: me, loaded }, "client::done")?;
+    Ok(())
+}
+
+/// Dump client: queries every server and accumulates the returned rows,
+/// charging its memory budget per row (the client-OOM alternative cause
+/// lives here).
+fn dumper_task(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    cmd: ChanHandle<Msg>,
+    reply: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+    out: OutPort,
+) -> SimResult<()> {
+    loop {
+        match ctx.recv(&cmd, "dumper::cmd_recv")? {
+            Msg::StartDump => break,
+            _ => continue,
+        }
+    }
+    let mut rows: Vec<i64> = Vec::new();
+    let mut oom = false;
+    'servers: for (j, s) in servers.iter().enumerate() {
+        ctx.send(&s.ctl, Msg::Dump, "dumper::dump_send")?;
+        match ctx.recv_timeout(&reply, cfg.dump_timeout, "dumper::resp_recv") {
+            Ok(Msg::DumpResp { keys, .. }) => {
+                for k in keys {
+                    // Materialising a fetched row costs memory.
+                    match ctx.alloc(cfg.row_size as u64, "dumper::alloc") {
+                        Ok(()) => rows.push(k),
+                        Err(SimError::OutOfMemory { .. }) => {
+                            ctx.count("dump_oom", 1, "dumper::alloc")?;
+                            oom = true;
+                            break 'servers;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(SimError::RecvTimeout(_)) => {
+                ctx.count("dump_timeouts", 1, "dumper::resp_recv")?;
+                let _ = j;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    let _ = oom;
+    ctx.count("rows_dumped", rows.len() as i64, "dumper::out")?;
+    ctx.output(out, rows.len() as i64, "dumper::out")?;
+    ctx.stop_run("dumper::stop")?;
+    Ok(())
+}
+
+/// Coordinator: waits for all loaders, lets in-flight work settle, reports
+/// the loaded count and starts the dump.
+fn coordinator_task(
+    ctx: &mut TaskCtx,
+    n_clients: u32,
+    inbox: ChanHandle<Msg>,
+    dumper_cmd: ChanHandle<Msg>,
+    out: OutPort,
+) -> SimResult<()> {
+    let mut total: i64 = 0;
+    for _ in 0..n_clients {
+        if let Msg::LoaderDone { loaded, .. } = ctx.recv(&inbox, "coord::recv")? {
+            total += loaded;
+        }
+    }
+    // Let in-flight puts and transfers drain: virtual-time sleep runs every
+    // runnable task to quiescence first.
+    ctx.sleep(200, "coord::settle")?;
+    ctx.output(out, total, "coord::out")?;
+    ctx.send(&dumper_cmd, Msg::StartDump, "coord::start_dump")?;
+    Ok(())
+}

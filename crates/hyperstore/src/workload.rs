@@ -1,0 +1,279 @@
+//! The hyperstore workload: spec, root causes, search space, and discovery
+//! of the failing production incident.
+
+use crate::config::HyperConfig;
+use crate::program::HyperstoreProgram;
+use dd_classify::Plane;
+use dd_core::{snapshot, CauseCtx, FnSpec, RootCause, RunSetup, Spec, Workload};
+use dd_replay::NondetSpace;
+use dd_sim::{CrashEvent, EnvConfig, Event, IoSummary, Program, RandomPolicy, RunConfig};
+use dd_trace::{FailureSnapshot, Trace};
+use std::sync::Arc;
+
+/// The failure id assigned when a dump returns fewer rows than were loaded.
+pub const ROWS_MISSING: &str = "hyperstore.rows-missing";
+/// The failure id for runs that never produced their load/dump summary.
+pub const INCOMPLETE: &str = "hyperstore.incomplete";
+
+/// Root-cause id: the issue-63 migration/commit race.
+pub const RC_MIGRATION_RACE: &str = "migration-commit-race";
+/// Root-cause id: a range server crashed after rows were loaded.
+pub const RC_SERVER_CRASH: &str = "server-crash-after-load";
+/// Root-cause id: the dump client ran out of memory mid-dump.
+pub const RC_CLIENT_OOM: &str = "client-oom-during-dump";
+
+/// Builds the hyperstore I/O specification.
+///
+/// The spec compares the coordinator's loaded count with the dumper's
+/// returned count: fewer dumped rows than loaded rows is the §4 failure
+/// ("subsequent dumps of the table do not return all rows").
+pub fn hyperstore_spec() -> Arc<dyn Spec> {
+    Arc::new(FnSpec::new("hyperstore-dump-complete", |io: &IoSummary| {
+        let loaded = io.outputs_on("loaded").first().and_then(|v| v.as_int());
+        let dumped = io.outputs_on("dumped").first().and_then(|v| v.as_int());
+        match (loaded, dumped) {
+            (Some(l), Some(d)) if d < l => Some(snapshot(
+                ROWS_MISSING,
+                format!("dump returned {d} of {l} rows"),
+                io,
+            )),
+            (Some(_), Some(_)) => None,
+            _ => Some(snapshot(
+                INCOMPLETE,
+                "run ended without a load/dump summary".into(),
+                io,
+            )),
+        }
+    }))
+}
+
+/// Builds the three §4 potential root causes for the missing-rows failure.
+pub fn hyperstore_root_causes() -> Vec<RootCause> {
+    vec![
+        RootCause::new(
+            RC_MIGRATION_RACE,
+            ROWS_MISSING,
+            "rows committed to a server concurrently losing their range \
+             (unsynchronised commit vs. migration)",
+            |ctx: &CauseCtx<'_>| {
+                // Manifestation A: a commit observed its range already gone.
+                let unowned_commit = ctx
+                    .trace
+                    .probes("hyperstore.commit_owned")
+                    .iter()
+                    .any(|(_, v)| v.as_bool() == Some(false));
+                if unowned_commit {
+                    return true;
+                }
+                // Manifestation B: a commit and a migration partition
+                // clobbered each other's index update.
+                !dd_detect::lost_updates(ctx.trace, ctx.registry, |name| {
+                    name.ends_with(".index") || name.ends_with(".ranges")
+                })
+                .is_empty()
+            },
+        ),
+        RootCause::new(
+            RC_SERVER_CRASH,
+            ROWS_MISSING,
+            "a range server crashed after rows were committed to it \
+             (expected data loss, not a code defect)",
+            |ctx: &CauseCtx<'_>| {
+                ctx.trace.any(|e| match e {
+                    Event::GroupKilled { group, .. } => group.starts_with("server"),
+                    _ => false,
+                })
+            },
+        ),
+        RootCause::new(
+            RC_CLIENT_OOM,
+            ROWS_MISSING,
+            "the dump client exhausted its memory budget before finishing \
+             the dump (apparent data corruption)",
+            |ctx: &CauseCtx<'_>| {
+                ctx.trace.any(|e| {
+                    matches!(e, Event::AllocFail { site, .. } if site == "dumper::alloc")
+                })
+            },
+        ),
+    ]
+}
+
+/// Environment candidates a replayer may consider: fault scenarios that can
+/// also explain missing rows, plus the clean production environment.
+///
+/// Fault hypotheses come first: execution synthesis favours the *simplest*
+/// execution consistent with the failure evidence, and a node crash or OOM
+/// is a much shorter causal path than a precise racy interleaving — this is
+/// exactly how a failure-deterministic replayer ends up reporting a
+/// different root cause than the original run (§2, §4).
+pub fn env_candidates(cfg: &HyperConfig) -> Vec<EnvConfig> {
+    let mut envs = Vec::new();
+    let crash_time = cfg.migrations.first().map(|m| m.time + 60).unwrap_or(300);
+    for j in 0..cfg.n_servers.min(2) {
+        envs.push(EnvConfig {
+            crashes: vec![CrashEvent { time: crash_time, group: format!("server{j}") }],
+            ..EnvConfig::clean()
+        });
+    }
+    let mut oom = EnvConfig::clean();
+    oom.mem_budget.insert(
+        "dumper".into(),
+        (cfg.row_size as u64) * (cfg.n_rows as u64 / 2).max(1),
+    );
+    envs.push(oom);
+    envs.push(EnvConfig::clean());
+    envs
+}
+
+/// The hyperstore workload, pinned to a discovered failing production run.
+pub struct HyperstoreWorkload {
+    cfg: HyperConfig,
+    production: RunSetup,
+    training: Vec<RunSetup>,
+}
+
+impl HyperstoreWorkload {
+    /// Configuration accessor.
+    pub fn config(&self) -> &HyperConfig {
+        &self.cfg
+    }
+
+    /// Searches schedule seeds for a production run that fails with the
+    /// missing-rows failure *caused by the migration race* (clean
+    /// environment), and for passing training runs. Returns `None` if no
+    /// failing seed exists within `max_seeds`.
+    pub fn discover(cfg: HyperConfig, max_seeds: u64) -> Option<Self> {
+        let program = HyperstoreProgram::buggy(cfg.clone());
+        let spec = hyperstore_spec();
+        let inputs = cfg.input_script();
+        let causes = hyperstore_root_causes();
+        let race = causes
+            .iter()
+            .find(|c| c.id == RC_MIGRATION_RACE)
+            .expect("race cause declared");
+
+        let mut production = None;
+        for seed in 0..max_seeds {
+            let out = run_once(&program, seed, &inputs);
+            let Some(f) = spec.check(&out.io) else { continue };
+            if f.failure_id != ROWS_MISSING {
+                continue;
+            }
+            let trace = Trace::from_run(&out);
+            let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+            if race.active_in(&ctx) {
+                production = Some(RunSetup {
+                    seed,
+                    sched_seed: seed,
+                    inputs: inputs.clone(),
+                    env: EnvConfig::clean(),
+                    max_steps: 500_000,
+                });
+                break;
+            }
+        }
+        let production = production?;
+
+        // Training: passing runs only (pre-release test-cluster runs).
+        let mut training = Vec::new();
+        let mut seed = 1_000;
+        while training.len() < 6 && seed < 1_000 + 200 {
+            let out = run_once(&program, seed, &inputs);
+            if spec.check(&out.io).is_none() {
+                training.push(RunSetup {
+                    seed,
+                    sched_seed: seed,
+                    inputs: inputs.clone(),
+                    env: EnvConfig::clean(),
+                    max_steps: 500_000,
+                });
+            }
+            seed += 1;
+        }
+        Some(HyperstoreWorkload { cfg, production, training })
+    }
+}
+
+fn run_once(
+    program: &HyperstoreProgram,
+    seed: u64,
+    inputs: &dd_sim::InputScript,
+) -> dd_sim::RunOutput {
+    let cfg = RunConfig {
+        seed,
+        max_steps: 500_000,
+        inputs: inputs.clone(),
+        ..RunConfig::default()
+    };
+    dd_sim::run_program(program, cfg, Box::new(RandomPolicy::new(seed)), vec![])
+}
+
+impl Workload for HyperstoreWorkload {
+    fn name(&self) -> &'static str {
+        "hyperstore-issue63"
+    }
+
+    fn program(&self) -> Arc<dyn Program> {
+        Arc::new(HyperstoreProgram::buggy(self.cfg.clone()))
+    }
+
+    fn spec(&self) -> Arc<dyn Spec> {
+        hyperstore_spec()
+    }
+
+    fn root_causes(&self) -> Vec<RootCause> {
+        hyperstore_root_causes()
+    }
+
+    fn production(&self) -> RunSetup {
+        self.production.clone()
+    }
+
+    fn space(&self) -> NondetSpace {
+        NondetSpace {
+            seeds: (0..24).collect(),
+            inputs: vec![self.cfg.input_script()],
+            envs: env_candidates(&self.cfg),
+        }
+    }
+
+    fn training(&self) -> Vec<RunSetup> {
+        self.training.clone()
+    }
+
+    fn plane_truth(&self) -> Vec<(&'static str, Plane)> {
+        vec![
+            ("master::", Plane::Control),
+            ("client::locate", Plane::Control),
+            ("client::input", Plane::Control),
+            ("client::done", Plane::Control),
+            ("client::ack_recv", Plane::Control),
+            ("client::put_send", Plane::Data),
+            ("server::commit_log", Plane::Data),
+            ("server::ack_send", Plane::Control),
+            ("serverctl::recv", Plane::Control),
+            ("serverctl::transfer_send", Plane::Data),
+            ("serverctl::merge_ingest", Plane::Data),
+            ("serverctl::done_send", Plane::Control),
+            ("serverctl::dump_send", Plane::Control),
+            ("coord::", Plane::Control),
+            ("dumper::dump_send", Plane::Control),
+        ]
+    }
+
+    fn fixed_program(&self) -> Option<Arc<dyn Program>> {
+        Some(Arc::new(HyperstoreProgram::fixed(self.cfg.clone())))
+    }
+}
+
+/// Returns the failure snapshot of one run of the given program under the
+/// workload's spec (test helper).
+pub fn check_run(
+    program: &HyperstoreProgram,
+    seed: u64,
+    inputs: &dd_sim::InputScript,
+) -> Option<FailureSnapshot> {
+    let out = run_once(program, seed, inputs);
+    hyperstore_spec().check(&out.io)
+}

@@ -1,0 +1,249 @@
+//! The inference engine: bounded search over unrecorded nondeterminism.
+//!
+//! Relaxed determinism models trade recording for *post-factum inference*:
+//! ESD synthesises an execution from a failure report, ODR infers unrecorded
+//! race outcomes. Both use program analysis; our substitute is explicit
+//! search over the scenario's [`NondetSpace`](crate::NondetSpace) (schedule seeds × inputs ×
+//! environments), with the same observable semantics — many executions
+//! satisfy the artifact, and the replayer returns whichever it finds first.
+//! The search cost is reported as inference time and feeds debugging
+//! efficiency (DE).
+
+use crate::scenario::{PolicyChoice, RunSpec, Scenario};
+use dd_sim::RunOutput;
+use serde::{Deserialize, Serialize};
+
+/// Bounds on inference work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceBudget {
+    /// Maximum candidate executions to try.
+    pub max_executions: u64,
+    /// Maximum total execution ticks to spend.
+    pub max_ticks: u64,
+}
+
+impl Default for InferenceBudget {
+    fn default() -> Self {
+        InferenceBudget { max_executions: 200, max_ticks: u64::MAX }
+    }
+}
+
+impl InferenceBudget {
+    /// A budget bounded only by execution count.
+    pub fn executions(n: u64) -> Self {
+        InferenceBudget { max_executions: n, max_ticks: u64::MAX }
+    }
+}
+
+/// Statistics of one inference search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Candidate executions tried.
+    pub explored: u64,
+    /// Total execution ticks spent across candidates.
+    pub ticks: u64,
+    /// Whether an accepting execution was found.
+    pub found: bool,
+    /// 0-based index of the accepting candidate, if found.
+    pub found_at: Option<u64>,
+}
+
+/// The result of a search: the accepted run (if any) plus statistics.
+pub struct SearchResult {
+    /// The accepted execution.
+    pub run: Option<RunOutput>,
+    /// The spec that produced it.
+    pub spec: Option<RunSpec>,
+    /// Search statistics.
+    pub stats: InferenceStats,
+}
+
+/// How schedule candidates are generated during inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Seeded uniform-random scheduling per candidate (the default).
+    Random,
+    /// Probabilistic concurrency testing per candidate: random priorities
+    /// with `depth - 1` change points, biased toward rare interleavings of
+    /// bounded depth.
+    Pct {
+        /// Expected run length in scheduling decisions.
+        expected_len: u64,
+        /// Targeted bug depth.
+        depth: u32,
+    },
+}
+
+/// Searches a scenario's nondeterminism space for an execution satisfying
+/// `accept`, with the default random-schedule strategy.
+///
+/// Candidates are enumerated deterministically, environment-fastest: the
+/// replayer tries alternative environments (faults, congestion, memory
+/// pressure) before burning through schedule seeds, mirroring how execution
+/// synthesis considers all consistent explanations — this is exactly why a
+/// failure-deterministic replay may return a *different root cause* than the
+/// original execution.
+pub fn search(
+    scenario: &Scenario,
+    budget: &InferenceBudget,
+    fixed_inputs: Option<&dd_sim::InputScript>,
+    accept: impl Fn(&RunOutput) -> bool,
+) -> SearchResult {
+    search_with(scenario, budget, SearchStrategy::Random, fixed_inputs, accept)
+}
+
+/// [`search`] with an explicit schedule-candidate strategy.
+pub fn search_with(
+    scenario: &Scenario,
+    budget: &InferenceBudget,
+    strategy: SearchStrategy,
+    fixed_inputs: Option<&dd_sim::InputScript>,
+    accept: impl Fn(&RunOutput) -> bool,
+) -> SearchResult {
+    let space = &scenario.space;
+    let seeds: &[u64] = if space.seeds.is_empty() { &[0] } else { &space.seeds };
+    let default_inputs = [dd_sim::InputScript::new()];
+    let inputs: &[dd_sim::InputScript] = match fixed_inputs {
+        Some(_) => &default_inputs[..0],
+        None if space.inputs.is_empty() => &default_inputs,
+        None => &space.inputs,
+    };
+    let n_inputs = if fixed_inputs.is_some() { 1 } else { inputs.len() };
+    let envs: &[dd_sim::EnvConfig] = if space.envs.is_empty() {
+        std::slice::from_ref(&scenario.env)
+    } else {
+        &space.envs
+    };
+
+    let total = seeds.len() as u64 * n_inputs as u64 * envs.len() as u64;
+    let mut stats = InferenceStats::default();
+
+    for i in 0..total.min(budget.max_executions) {
+        if stats.ticks >= budget.max_ticks {
+            break;
+        }
+        // Environment varies fastest, inputs next, schedule seed slowest.
+        let env_i = (i % envs.len() as u64) as usize;
+        let input_i = ((i / envs.len() as u64) % n_inputs as u64) as usize;
+        let seed_i = ((i / (envs.len() as u64 * n_inputs as u64)) % seeds.len() as u64) as usize;
+
+        let sched_seed = seeds[seed_i].wrapping_mul(0x9E3779B97F4A7C15);
+        let policy = match strategy {
+            SearchStrategy::Random => PolicyChoice::Random(sched_seed),
+            SearchStrategy::Pct { expected_len, depth } => {
+                PolicyChoice::Pct { seed: sched_seed, expected_len, depth }
+            }
+        };
+        let spec = RunSpec {
+            seed: seeds[seed_i],
+            policy,
+            inputs: match fixed_inputs {
+                Some(s) => s.clone(),
+                None => inputs[input_i].clone(),
+            },
+            env: envs[env_i].clone(),
+        };
+        let out = scenario.execute(&spec, vec![]);
+        stats.explored += 1;
+        stats.ticks += out.stats.exec_ticks;
+        if accept(&out) {
+            stats.found = true;
+            stats.found_at = Some(i);
+            return SearchResult { run: Some(out), spec: Some(spec), stats };
+        }
+    }
+    SearchResult { run: None, spec: None, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::NondetSpace;
+    use dd_sim::{Builder, EnvConfig, InputScript, Program, Value};
+    use std::sync::Arc;
+
+    /// Outputs the pair of inputs it reads plus their sum.
+    struct Summer;
+    impl Program for Summer {
+        fn name(&self) -> &'static str {
+            "summer"
+        }
+        fn setup(&self, b: &mut Builder<'_>) {
+            let p = b.in_port("operands");
+            let out = b.out_port("sum");
+            b.spawn("summer", "g", move |ctx| {
+                let a: i64 = ctx.input(p, "sum::a")?;
+                let bb: i64 = ctx.input(p, "sum::b")?;
+                ctx.output(out, a + bb, "sum::out")
+            });
+        }
+    }
+
+    fn input_pair(a: i64, b: i64) -> InputScript {
+        let mut s = InputScript::new();
+        s.push("operands", 0, Value::Int(a));
+        s.push("operands", 1, Value::Int(b));
+        s
+    }
+
+    fn scenario_with_inputs(candidates: Vec<InputScript>) -> Scenario {
+        Scenario {
+            program: Arc::new(Summer),
+            seed: 7,
+            sched_seed: 7,
+            inputs: input_pair(2, 2),
+            env: EnvConfig::clean(),
+            max_steps: 10_000,
+            failure_of: Arc::new(|_| None),
+            space: NondetSpace {
+                seeds: vec![0, 1],
+                inputs: candidates,
+                envs: vec![EnvConfig::clean()],
+            },
+        }
+    }
+
+    #[test]
+    fn search_finds_matching_inputs() {
+        let scenario = scenario_with_inputs(vec![
+            input_pair(1, 1),
+            input_pair(1, 4),
+            input_pair(2, 3),
+        ]);
+        let result = search(&scenario, &InferenceBudget::executions(50), None, |out| {
+            out.io.outputs_on("sum").first().and_then(|v| v.as_int()) == Some(5)
+        });
+        assert!(result.stats.found);
+        // The first candidate summing to 5 in enumeration order is (1,4).
+        let spec = result.spec.unwrap();
+        assert_eq!(spec.inputs.for_port("operands")[0].value, Value::Int(1));
+        assert!(result.stats.explored >= 2);
+    }
+
+    #[test]
+    fn search_respects_budget() {
+        let scenario = scenario_with_inputs(vec![input_pair(1, 1)]);
+        let result = search(&scenario, &InferenceBudget::executions(1), None, |_| false);
+        assert!(!result.stats.found);
+        assert_eq!(result.stats.explored, 1);
+        assert!(result.run.is_none());
+    }
+
+    #[test]
+    fn fixed_inputs_skip_input_enumeration() {
+        let scenario = scenario_with_inputs(vec![input_pair(9, 9)]);
+        let fixed = input_pair(3, 4);
+        let result =
+            search(&scenario, &InferenceBudget::executions(50), Some(&fixed), |out| {
+                out.io.outputs_on("sum").first().and_then(|v| v.as_int()) == Some(7)
+            });
+        assert!(result.stats.found, "fixed inputs (3,4) must be used");
+    }
+
+    #[test]
+    fn search_accumulates_ticks() {
+        let scenario = scenario_with_inputs(vec![input_pair(1, 1)]);
+        let result = search(&scenario, &InferenceBudget::executions(4), None, |_| false);
+        assert!(result.stats.ticks > 0);
+    }
+}

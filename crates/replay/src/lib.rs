@@ -1,0 +1,32 @@
+//! # dd-replay — baseline determinism models and inference
+//!
+//! The replay-debugging systems the paper positions debug determinism
+//! against, re-implemented over `dd-sim`:
+//!
+//! | Model | System | Records | Replays by |
+//! |---|---|---|---|
+//! | [`PerfectModel`] | SMP-ReVirt | schedule + inputs + env (CREW cost) | exact re-execution |
+//! | [`ValueModel`] | iDNA | every value observed per task | feeding logs back |
+//! | [`OutputLiteModel`] | ODR (light) | outputs | searching inputs × schedules × envs |
+//! | [`OutputHeavyModel`] | ODR (heavy) | outputs + inputs | searching schedules × envs |
+//! | [`FailureModel`] | ESD | failure evidence only | searching for the same failure |
+//!
+//! The debug-determinism model (RCSE) lives in `dd-core`, built from the
+//! same pieces.
+//!
+//! Inference is explicit bounded [`search`] over a scenario's
+//! [`NondetSpace`] — the substitution for symbolic execution documented in
+//! DESIGN.md. Its cost is measured and feeds debugging efficiency.
+
+pub mod explorer;
+pub mod models;
+pub mod recordings;
+pub mod scenario;
+
+pub use explorer::{search, search_with, InferenceBudget, InferenceStats, SearchResult, SearchStrategy};
+pub use models::{
+    DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
+    ReplayResult, ValueModel,
+};
+pub use recordings::{costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording};
+pub use scenario::{FailureOracle, NondetSpace, PolicyChoice, RunSpec, Scenario};

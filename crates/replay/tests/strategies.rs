@@ -1,0 +1,98 @@
+//! Search-strategy integration tests: random vs PCT candidate generation,
+//! determinism of inference results.
+
+use dd_replay::{search_with, InferenceBudget, NondetSpace, Scenario, SearchStrategy};
+use dd_sim::{Builder, ChanClass, EnvConfig, InputScript, Program};
+use std::sync::Arc;
+
+/// A counter whose failure (lost updates) needs a racy interleaving.
+struct RacyCounter;
+
+impl Program for RacyCounter {
+    fn name(&self) -> &'static str {
+        "racy"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let total = b.var("total", 0i64);
+        let out = b.out_port("result");
+        let done = b.channel::<i64>("done", ChanClass::Local);
+        for i in 0..2 {
+            b.spawn(&format!("w{i}"), "g", move |ctx| {
+                for _ in 0..10 {
+                    let v = ctx.read(&total, "w::read")?;
+                    ctx.write(&total, v + 1, "w::write")?;
+                }
+                ctx.send(&done, 1, "w::done")
+            });
+        }
+        b.spawn("r", "g", move |ctx| {
+            for _ in 0..2 {
+                ctx.recv(&done, "r::recv")?;
+            }
+            let v = ctx.read(&total, "r::read")?;
+            ctx.output(out, v, "r::out")
+        });
+    }
+}
+
+fn scenario() -> Scenario {
+    Scenario {
+        program: Arc::new(RacyCounter),
+        seed: 3,
+        sched_seed: 3,
+        inputs: InputScript::new(),
+        env: EnvConfig::clean(),
+        max_steps: 100_000,
+        failure_of: Arc::new(|_| None),
+        space: NondetSpace::schedules_only(32, InputScript::new()),
+    }
+}
+
+fn lost_updates(out: &dd_sim::RunOutput) -> bool {
+    out.io.outputs_on("result").first().and_then(|v| v.as_int()).is_some_and(|t| t < 20)
+}
+
+#[test]
+fn both_strategies_find_the_race() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(32);
+    let random = search_with(&s, &budget, SearchStrategy::Random, None, lost_updates);
+    assert!(random.stats.found, "random search should find lost updates");
+    let pct = search_with(
+        &s,
+        &budget,
+        SearchStrategy::Pct { expected_len: 60, depth: 2 },
+        None,
+        lost_updates,
+    );
+    assert!(pct.stats.found, "PCT search should find lost updates");
+}
+
+#[test]
+fn search_results_are_deterministic() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(32);
+    for strategy in [
+        SearchStrategy::Random,
+        SearchStrategy::Pct { expected_len: 60, depth: 2 },
+    ] {
+        let a = search_with(&s, &budget, strategy, None, lost_updates);
+        let b = search_with(&s, &budget, strategy, None, lost_updates);
+        assert_eq!(a.stats, b.stats, "{strategy:?}");
+        assert_eq!(
+            a.run.map(|r| r.io),
+            b.run.map(|r| r.io),
+            "{strategy:?}: accepted runs must be identical"
+        );
+    }
+}
+
+#[test]
+fn tick_budget_bounds_the_search() {
+    let s = scenario();
+    // A tick budget smaller than one run: at most one candidate executes.
+    let budget = InferenceBudget { max_executions: 100, max_ticks: 10 };
+    let r = search_with(&s, &budget, SearchStrategy::Random, None, |_| false);
+    assert!(r.stats.explored <= 2, "tick budget ignored: {:?}", r.stats);
+}

@@ -1,0 +1,592 @@
+//! The driver: token-passing scheduling over OS threads, and the public
+//! [`run_program`] entry point.
+//!
+//! # Protocol
+//!
+//! Exactly one logical processor exists. The driver thread owns scheduling:
+//! at every decision point it picks one `Ready` task, grants it, and sleeps
+//! until that task parks again (at its next operation, blocked, or exited).
+//! Task threads execute their operation *under the kernel lock* when
+//! granted, then run user code lock-free until their next operation. All
+//! cross-task interaction flows through kernel operations, so the recorded
+//! decision stream plus the input script fully determine the execution.
+
+use crate::config::RunConfig;
+use crate::error::{SimError, SimResult, StopReason};
+use crate::event::{DecisionKind, Event, EventMeta, Observer};
+use crate::ids::TaskId;
+use crate::kernel::{
+    Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir,
+};
+use crate::policy::SchedulePolicy;
+use crate::program::{Builder, Program, TaskCtx, TaskFn};
+use crate::value::Value;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// State shared between the driver and task threads.
+pub(crate) struct Shared {
+    pub state: Mutex<Kernel>,
+    /// Signalled by tasks whenever they park or exit.
+    pub driver_cv: Condvar,
+    /// Join handles of all spawned task threads.
+    pub threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Metadata describing one task, for post-run analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskMeta {
+    /// Task name.
+    pub name: String,
+    /// Failure-domain group.
+    pub group: String,
+}
+
+/// Metadata describing one channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChanMeta {
+    /// Channel name.
+    pub name: String,
+    /// Local or network.
+    pub class: crate::config::ChanClass,
+}
+
+/// Metadata describing one port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortMeta {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+}
+
+/// Name tables for every machine object, for mapping ids in traces and
+/// artifacts back to program-level names.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Registry {
+    /// Task metadata, indexed by [`TaskId`].
+    pub tasks: Vec<TaskMeta>,
+    /// Variable names, indexed by `VarId`.
+    pub vars: Vec<String>,
+    /// Lock names, indexed by `LockId`.
+    pub locks: Vec<String>,
+    /// Condition-variable names, indexed by `CondvarId`.
+    pub cvars: Vec<String>,
+    /// Channel metadata, indexed by `ChanId`.
+    pub chans: Vec<ChanMeta>,
+    /// Port metadata, indexed by `PortId`.
+    pub ports: Vec<PortMeta>,
+}
+
+impl Registry {
+    /// Looks up an input/output port id by name.
+    pub fn port_id(&self, name: &str) -> Option<crate::ids::PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| crate::ids::PortId(i as u32))
+    }
+
+    /// Looks up a channel id by name.
+    pub fn chan_id(&self, name: &str) -> Option<crate::ids::ChanId> {
+        self.chans
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| crate::ids::ChanId(i as u32))
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<crate::ids::VarId> {
+        self.vars
+            .iter()
+            .position(|v| v == name)
+            .map(|i| crate::ids::VarId(i as u32))
+    }
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Successful operations executed.
+    pub steps: u64,
+    /// Final execution-clock value (virtual ticks, semantics only).
+    pub exec_ticks: u64,
+    /// Final wall-clock value (execution plus instrumentation).
+    pub wall_ticks: u64,
+    /// Events published to observers.
+    pub events: u64,
+    /// Nondeterministic decisions resolved (multi-candidate only).
+    pub decisions: u64,
+    /// Per-observer instrumentation cost, by observer name.
+    pub observer_costs: Vec<(String, u64)>,
+}
+
+impl RunStats {
+    /// Runtime overhead factor: wall time relative to execution time.
+    ///
+    /// `1.0` means free recording; `3.0` means the instrumented run costs 3×
+    /// the native run.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.exec_ticks == 0 {
+            1.0
+        } else {
+            self.wall_ticks as f64 / self.exec_ticks as f64
+        }
+    }
+}
+
+/// The observable behaviour of a run: outputs, counters and crashes.
+///
+/// This is what I/O specifications (and therefore failure definitions) are
+/// written against, following the paper's definition that "the output
+/// includes all observable behavior, including performance characteristics".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoSummary {
+    /// Ordered outputs.
+    pub outputs: Vec<OutputRecord>,
+    /// Inputs the program consumed, in consumption order (port name, value).
+    pub inputs: Vec<(String, Value)>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, i64>,
+    /// Crashes, in order of occurrence.
+    pub crashes: Vec<CrashRecord>,
+}
+
+impl IoSummary {
+    /// Returns the output values emitted on the named port, in order.
+    pub fn outputs_on(&self, port_name: &str) -> Vec<&Value> {
+        self.outputs
+            .iter()
+            .filter(|o| o.port_name == port_name)
+            .map(|o| &o.value)
+            .collect()
+    }
+
+    /// Returns the input values consumed from the named port, in order.
+    pub fn inputs_on(&self, port_name: &str) -> Vec<&Value> {
+        self.inputs
+            .iter()
+            .filter(|(p, _)| p == port_name)
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Returns a counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> i64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if any task crashed.
+    pub fn crashed(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+}
+
+/// Everything a run produces.
+pub struct RunOutput {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Observable behaviour.
+    pub io: IoSummary,
+    /// Name tables.
+    pub registry: Registry,
+    /// The resolved decision stream (for replay and search).
+    pub decisions: Vec<DecisionRecord>,
+    /// The omniscient analysis trace, if collected.
+    pub trace: Option<Vec<(EventMeta, Event)>>,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl RunOutput {
+    /// Borrows an attached observer by concrete type.
+    pub fn observer<T: Observer>(&self) -> Option<&T> {
+        self.observers.iter().find_map(|o| o.as_any().downcast_ref())
+    }
+
+    /// Mutably borrows an attached observer by concrete type.
+    pub fn observer_mut<T: Observer>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut())
+    }
+
+    /// Returns the trace, panicking if trace collection was disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was configured with `collect_trace: false`.
+    pub fn trace(&self) -> &[(EventMeta, Event)] {
+        self.trace
+            .as_deref()
+            .expect("run was configured with collect_trace: false")
+    }
+}
+
+impl core::fmt::Debug for RunOutput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RunOutput")
+            .field("stop", &self.stop)
+            .field("stats", &self.stats)
+            .field("outputs", &self.io.outputs.len())
+            .field("crashes", &self.io.crashes.len())
+            .field("decisions", &self.decisions.len())
+            .finish()
+    }
+}
+
+/// Runs `program` to completion under the given configuration, scheduling
+/// policy and observers.
+///
+/// # Panics
+///
+/// Panics if the input script references a port the program does not
+/// declare (a configuration error).
+pub fn run_program(
+    program: &dyn Program,
+    mut cfg: RunConfig,
+    policy: Box<dyn SchedulePolicy>,
+    observers: Vec<Box<dyn Observer>>,
+) -> RunOutput {
+    let kernel = Kernel::new(
+        cfg.seed,
+        cfg.costs.clone(),
+        cfg.env.clone(),
+        policy,
+        observers,
+        cfg.nondet_override.take(),
+        cfg.collect_trace,
+        cfg.stop_on_crash,
+    );
+    let shared = Arc::new(Shared {
+        state: Mutex::new(kernel),
+        driver_cv: Condvar::new(),
+        threads: Mutex::new(Vec::new()),
+    });
+
+    // Setup: declare objects and initial tasks, then load the script.
+    let initial: Vec<(TaskId, TaskFn)> = {
+        let mut st = shared.state.lock();
+        let mut b = Builder::new(&mut st);
+        program.setup(&mut b);
+        let spawns = std::mem::take(&mut b.spawns);
+        if let Err(msg) =
+            st.load_inputs(cfg.inputs.iter().map(|(k, v)| (k.to_owned(), v.to_vec())))
+        {
+            panic!("{}: {msg}", program.name());
+        }
+        spawns
+    };
+    for (tid, f) in initial {
+        let h = spawn_task_thread(Arc::clone(&shared), tid, f);
+        shared.threads.lock().push(h);
+    }
+
+    drive(&shared, &cfg);
+
+    // All tasks have exited; join their threads.
+    loop {
+        let hs: Vec<JoinHandle<()>> = std::mem::take(&mut *shared.threads.lock());
+        if hs.is_empty() {
+            break;
+        }
+        for h in hs {
+            let _ = h.join();
+        }
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("task threads leaked a Shared reference"));
+    let mut kernel = shared.state.into_inner();
+
+    let registry = Registry {
+        tasks: kernel
+            .tasks
+            .iter()
+            .map(|t| TaskMeta { name: t.name.clone(), group: t.group.clone() })
+            .collect(),
+        vars: kernel.vars.iter().map(|v| v.name.clone()).collect(),
+        locks: kernel.locks.iter().map(|l| l.name.clone()).collect(),
+        cvars: kernel.cvars.iter().map(|c| c.name.clone()).collect(),
+        chans: kernel
+            .chans
+            .iter()
+            .map(|c| ChanMeta { name: c.name.clone(), class: c.class })
+            .collect(),
+        ports: kernel
+            .ports
+            .iter()
+            .map(|p| PortMeta { name: p.name.clone(), dir: p.dir })
+            .collect(),
+    };
+    let stats = RunStats {
+        steps: kernel.steps,
+        exec_ticks: kernel.time,
+        wall_ticks: kernel.wall_time(),
+        events: kernel.events,
+        decisions: kernel.decisions.len() as u64,
+        observer_costs: kernel.observer_costs(),
+    };
+    let io = IoSummary {
+        outputs: std::mem::take(&mut kernel.outputs),
+        inputs: std::mem::take(&mut kernel.inputs_seen),
+        counters: std::mem::take(&mut kernel.counters),
+        crashes: kernel.crashes.clone(),
+    };
+    RunOutput {
+        stop: kernel.stop.clone().unwrap_or(StopReason::Quiescent),
+        stats,
+        io,
+        registry,
+        decisions: std::mem::take(&mut kernel.decisions),
+        trace: kernel.trace.take(),
+        observers: kernel.take_observers(),
+    }
+}
+
+/// The driver loop: schedules tasks until a stop condition, then cancels
+/// everything and waits for all tasks to exit.
+fn drive(shared: &Shared, cfg: &RunConfig) {
+    let mut st = shared.state.lock();
+    'outer: loop {
+        if st.stop.is_some() {
+            break;
+        }
+        st.deliver_due();
+        if st.steps >= cfg.max_steps {
+            st.stop = Some(StopReason::MaxSteps);
+            break;
+        }
+        if st.time >= cfg.max_time {
+            st.stop = Some(StopReason::MaxTime);
+            break;
+        }
+
+        let runnable: Vec<TaskId> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.phase == Phase::Ready && !t.killed)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+
+        if runnable.is_empty() {
+            let busy = st
+                .tasks
+                .iter()
+                .any(|t| matches!(t.phase, Phase::Granted | Phase::Running));
+            if busy {
+                // The granted task is still between operations; wait for it
+                // to park.
+                shared.driver_cv.wait(&mut st);
+                continue;
+            }
+            let all_done = st.tasks.iter().all(|t| {
+                matches!(t.phase, Phase::Exited { .. }) || t.killed
+            });
+            if all_done {
+                st.stop = Some(StopReason::Quiescent);
+                break;
+            }
+            // Advance virtual time to the next pending wake source.
+            if let Some(t) = st.next_pending_time() {
+                if t > st.time {
+                    st.time = t;
+                }
+                st.deliver_due();
+                continue;
+            }
+            let blocked: Vec<TaskId> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.phase, Phase::Blocked(_)) && !t.killed)
+                .map(|(i, _)| TaskId(i as u32))
+                .collect();
+            st.stop = Some(StopReason::Deadlock { blocked });
+            break;
+        }
+
+        let chosen = match st.decide(DecisionKind::NextTask, &runnable) {
+            Some(c) => c,
+            None => break, // Policy error; stop reason already set.
+        };
+
+        st.tasks[chosen.index()].phase = Phase::Granted;
+        st.tasks[chosen.index()].cv.notify_one();
+        while matches!(
+            st.tasks[chosen.index()].phase,
+            Phase::Granted | Phase::Running
+        ) {
+            if st.stop.is_some() {
+                // The task set a stop reason mid-operation; it will park or
+                // exit on its own once we start cancelling.
+                break 'outer;
+            }
+            shared.driver_cv.wait(&mut st);
+        }
+    }
+
+    // Wind down: wake every parked task so its pending operation returns
+    // `Cancelled`, then wait for all of them to exit.
+    st.cancelling = true;
+    for t in &st.tasks {
+        t.cv.notify_one();
+    }
+    while !st
+        .tasks
+        .iter()
+        .all(|t| matches!(t.phase, Phase::Exited { .. }))
+    {
+        shared.driver_cv.wait(&mut st);
+    }
+}
+
+/// Spawns the OS thread hosting one task.
+pub(crate) fn spawn_task_thread(
+    shared: Arc<Shared>,
+    tid: TaskId,
+    f: TaskFn,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ddsim-{tid}"))
+        .spawn(move || task_main(shared, tid, f))
+        .expect("failed to spawn task thread")
+}
+
+fn task_main(shared: Arc<Shared>, tid: TaskId, f: TaskFn) {
+    // Initial park: wait to be granted for the first time.
+    {
+        let mut st = shared.state.lock();
+        let cv = Arc::clone(&st.tasks[tid.index()].cv);
+        while st.tasks[tid.index()].phase != Phase::Granted && !st.cancelling {
+            cv.wait(&mut st);
+        }
+        if st.cancelling || st.tasks[tid.index()].killed {
+            finish_task(&shared, &mut st, tid, Ok(Err(SimError::Cancelled)));
+            return;
+        }
+        st.tasks[tid.index()].phase = Phase::Running;
+    }
+    let mut ctx = TaskCtx { shared: Arc::clone(&shared), tid };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+    drop(ctx);
+    let mut st = shared.state.lock();
+    finish_task(&shared, &mut st, tid, result);
+}
+
+fn finish_task(
+    shared: &Shared,
+    st: &mut Kernel,
+    tid: TaskId,
+    result: std::thread::Result<SimResult<()>>,
+) {
+    let ok = match result {
+        Ok(Ok(())) => true,
+        // Cancellation is a clean unwind, not a program failure.
+        Ok(Err(SimError::Cancelled)) => true,
+        Ok(Err(e)) => {
+            st.record_crash(tid, format!("task error: {e}"), "task_error");
+            false
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            st.record_crash(tid, format!("panic: {msg}"), "panic");
+            false
+        }
+    };
+    let joiners = std::mem::take(&mut st.tasks[tid.index()].joiners);
+    for j in joiners {
+        st.wake(j);
+    }
+    st.tasks[tid.index()].phase = Phase::Exited { ok };
+    st.emit(Event::TaskExit { task: tid, ok });
+    shared.driver_cv.notify_one();
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// The system-call protocol used by every [`TaskCtx`] operation.
+pub(crate) fn syscall(
+    shared: &Shared,
+    me: TaskId,
+    mut op: crate::kernel::Op,
+) -> SimResult<Value> {
+    let mut st = shared.state.lock();
+    if st.cancelling || st.tasks[me.index()].killed {
+        return Err(SimError::Cancelled);
+    }
+    // Announce: park at the sync point and wait for a grant.
+    st.tasks[me.index()].phase = Phase::Ready;
+    shared.driver_cv.notify_one();
+    loop {
+        let cv = Arc::clone(&st.tasks[me.index()].cv);
+        while st.tasks[me.index()].phase != Phase::Granted && !st.cancelling {
+            cv.wait(&mut st);
+        }
+        if st.cancelling || st.tasks[me.index()].killed {
+            return Err(SimError::Cancelled);
+        }
+        match st.exec_op(me, &mut op) {
+            Attempt::Done(res) => {
+                st.tasks[me.index()].phase = Phase::Running;
+                shared.driver_cv.notify_one();
+                return res;
+            }
+            Attempt::Block(b) => {
+                st.tasks[me.index()].phase = Phase::Blocked(b);
+                shared.driver_cv.notify_one();
+                // Loop: wait to be woken (phase set back to Ready by the
+                // waker) and granted again, then retry the op.
+            }
+        }
+    }
+}
+
+/// Runtime task spawning (called from [`TaskCtx::spawn`]).
+pub(crate) fn spawn_from_ctx(
+    ctx: &mut TaskCtx,
+    name: &str,
+    group: &str,
+    f: TaskFn,
+) -> SimResult<TaskId> {
+    let shared = Arc::clone(&ctx.shared);
+    let me = ctx.tid;
+    let tid = {
+        let mut st = shared.state.lock();
+        if st.cancelling || st.tasks[me.index()].killed {
+            return Err(SimError::Cancelled);
+        }
+        st.tasks[me.index()].phase = Phase::Ready;
+        shared.driver_cv.notify_one();
+        let cv = Arc::clone(&st.tasks[me.index()].cv);
+        while st.tasks[me.index()].phase != Phase::Granted && !st.cancelling {
+            cv.wait(&mut st);
+        }
+        if st.cancelling || st.tasks[me.index()].killed {
+            return Err(SimError::Cancelled);
+        }
+        let tid = st.add_task(name, group, Some(me));
+        let spawn_cost = st.costs.spawn;
+        st.charge(spawn_cost);
+        st.tasks[me.index()].phase = Phase::Running;
+        shared.driver_cv.notify_one();
+        tid
+    };
+    let h = spawn_task_thread(Arc::clone(&shared), tid, f);
+    shared.threads.lock().push(h);
+    Ok(tid)
+}

@@ -1,0 +1,111 @@
+//! Error types for simulator operations and runs.
+
+use crate::ids::{ChanId, PortId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Errors returned by [`TaskCtx`](crate::program::TaskCtx) operations.
+///
+/// Task bodies are expected to propagate these with `?`; in particular
+/// [`SimError::Cancelled`] is how the driver unwinds tasks when the run is
+/// stopped early.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The run was cancelled (stop condition, deadlock recovery, or
+    /// environment-induced kill); the task must return promptly.
+    Cancelled,
+    /// A `recv` with a timeout expired before a message arrived.
+    RecvTimeout(ChanId),
+    /// The channel has no live senders and is empty (graceful shutdown).
+    ChannelClosed(ChanId),
+    /// An input port was exhausted: no scripted input remains.
+    InputExhausted(PortId),
+    /// The task exceeded its memory budget (environment model).
+    OutOfMemory { requested: u64, budget: u64 },
+    /// A join target does not exist.
+    NoSuchTask(TaskId),
+    /// An internal invariant was violated (simulator bug).
+    Internal(String),
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Cancelled => write!(f, "task cancelled"),
+            SimError::RecvTimeout(ch) => write!(f, "recv timeout on {ch}"),
+            SimError::ChannelClosed(ch) => write!(f, "channel {ch} closed"),
+            SimError::InputExhausted(p) => write!(f, "input port {p} exhausted"),
+            SimError::OutOfMemory { requested, budget } => {
+                write!(f, "out of memory: requested {requested} with budget {budget}")
+            }
+            SimError::NoSuchTask(t) => write!(f, "no such task {t}"),
+            SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for task-level operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// All tasks ran to completion.
+    Quiescent,
+    /// The configured maximum step count was reached.
+    MaxSteps,
+    /// The configured maximum virtual time was reached.
+    MaxTime,
+    /// No runnable task and no pending wake source: a deadlock.
+    Deadlock { blocked: Vec<TaskId> },
+    /// A replay policy diverged from the recorded decision stream.
+    ReplayDivergence { step: u64, detail: String },
+    /// The program requested an early stop.
+    Stopped,
+}
+
+impl core::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StopReason::Quiescent => write!(f, "quiescent"),
+            StopReason::MaxSteps => write!(f, "max steps reached"),
+            StopReason::MaxTime => write!(f, "max virtual time reached"),
+            StopReason::Deadlock { blocked } => {
+                write!(f, "deadlock among {} task(s)", blocked.len())
+            }
+            StopReason::ReplayDivergence { step, detail } => {
+                write!(f, "replay divergence at step {step}: {detail}")
+            }
+            StopReason::Stopped => write!(f, "stopped by program"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(SimError::Cancelled.to_string(), "task cancelled");
+        assert!(SimError::RecvTimeout(ChanId(1)).to_string().contains("ch1"));
+        assert!(SimError::OutOfMemory { requested: 10, budget: 5 }
+            .to_string()
+            .contains("requested 10"));
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert_eq!(StopReason::Quiescent.to_string(), "quiescent");
+        let d = StopReason::Deadlock { blocked: vec![TaskId(0), TaskId(1)] };
+        assert!(d.to_string().contains("2 task(s)"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = SimError::InputExhausted(PortId(3));
+        let s = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<SimError>(&s).unwrap(), e);
+    }
+}

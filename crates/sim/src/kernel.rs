@@ -1,0 +1,1480 @@
+//! Kernel state and operation execution.
+//!
+//! The kernel owns every machine object (tasks, variables, locks, condition
+//! variables, channels, ports), the virtual clocks, the RNG, the pending
+//! environment events, and the run's observers. Exactly one thread touches
+//! it at a time — either the driver (making scheduling decisions) or the
+//! single granted task (executing its operation) — so all methods take
+//! `&mut self` and there is no interior locking here.
+
+use crate::config::{ChanClass, EnvConfig, NondetOverride, OpCosts, TimedInput};
+use crate::error::{SimError, SimResult, StopReason};
+use crate::event::{DecisionKind, Event, EventMeta, Observer};
+use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
+use crate::policy::SchedulePolicy;
+use crate::rng::DetRng;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// What a blocked task is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    /// Lock is held by someone else.
+    Lock(LockId),
+    /// Channel is empty (with an optional wake deadline).
+    Chan { chan: ChanId, deadline: Option<u64> },
+    /// Waiting for a condition-variable notification.
+    Cvar(CondvarId),
+    /// Input port has no data yet.
+    Port(PortId),
+    /// Waiting for a task to exit.
+    Join(TaskId),
+    /// Sleeping until an absolute virtual time.
+    Timer { until: u64 },
+}
+
+/// Scheduling phase of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Parked at a sync point; eligible to be granted.
+    Ready,
+    /// Granted by the driver; about to execute its operation.
+    Granted,
+    /// Executing user code between operations.
+    Running,
+    /// Waiting for a resource or timer.
+    Blocked(BlockOn),
+    /// Finished (`ok = false` on error or panic).
+    Exited { ok: bool },
+}
+
+/// Direction of an external port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortDir {
+    /// Scripted inputs flow in.
+    In,
+    /// Observable outputs flow out.
+    Out,
+}
+
+pub(crate) struct TaskRec {
+    pub name: String,
+    pub group: String,
+    pub phase: Phase,
+    pub killed: bool,
+    pub joiners: Vec<TaskId>,
+    pub mem_used: u64,
+    pub mem_budget: Option<u64>,
+    /// Per-task condvar used by the grant protocol. `Arc` so waiting does not
+    /// borrow the kernel.
+    pub cv: Arc<parking_lot::Condvar>,
+}
+
+pub(crate) struct VarRec {
+    pub name: String,
+    pub value: Value,
+}
+
+pub(crate) struct LockRec {
+    pub name: String,
+    pub holder: Option<TaskId>,
+}
+
+pub(crate) struct CvarRec {
+    pub name: String,
+    /// FIFO of waiting tasks (each also remembers its lock in its op state).
+    pub waiters: Vec<TaskId>,
+}
+
+pub(crate) struct ChanRec {
+    pub name: String,
+    pub class: ChanClass,
+    pub queue: VecDeque<Value>,
+    pub closed: bool,
+}
+
+pub(crate) struct PortRec {
+    pub name: String,
+    pub dir: PortDir,
+    pub queue: VecDeque<Value>,
+    /// Scripted inputs not yet delivered (pending arrival).
+    pub remaining_inputs: usize,
+}
+
+/// A single observable output emitted by the program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputRecord {
+    /// When it was emitted (exec clock).
+    pub time: u64,
+    /// The emitting task.
+    pub task: TaskId,
+    /// The output port.
+    pub port: PortId,
+    /// Port name (denormalised for convenience).
+    pub port_name: String,
+    /// The emitted value.
+    pub value: Value,
+}
+
+/// A task crash (explicit failure or panic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRecord {
+    /// When it happened (exec clock).
+    pub time: u64,
+    /// The crashed task.
+    pub task: TaskId,
+    /// Description.
+    pub reason: String,
+    /// Program site (or `"panic"`).
+    pub site: String,
+}
+
+/// One resolved nondeterministic decision, with enough context for both
+/// exact replay (by task id) and systematic search (by candidate index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// What was decided.
+    pub kind: DecisionKind,
+    /// How many candidates there were.
+    pub n: u32,
+    /// Index of the chosen candidate.
+    pub chosen_index: u32,
+    /// The chosen task.
+    pub chosen: TaskId,
+}
+
+struct ObserverSlot {
+    obs: Box<dyn Observer>,
+    cost: u64,
+}
+
+/// A pending scripted input (time-sorted, consumed front to back).
+#[derive(Debug, Clone)]
+struct PendingInput {
+    time: u64,
+    port: PortId,
+    value: Value,
+}
+
+/// The machine state. See module docs for the threading discipline.
+pub(crate) struct Kernel {
+    pub tasks: Vec<TaskRec>,
+    pub vars: Vec<VarRec>,
+    pub locks: Vec<LockRec>,
+    pub cvars: Vec<CvarRec>,
+    pub chans: Vec<ChanRec>,
+    pub ports: Vec<PortRec>,
+
+    /// Execution clock (virtual ticks; excludes instrumentation).
+    pub time: u64,
+    /// Total instrumentation cost charged by observers (wall ticks beyond
+    /// `time`).
+    pub wall_extra: u64,
+    /// Successful operations so far.
+    pub steps: u64,
+    /// Events emitted so far.
+    pub events: u64,
+
+    pub rng: DetRng,
+    pub costs: OpCosts,
+    pub env: EnvConfig,
+
+    /// Wake-up times for sleeping tasks and receive deadlines.
+    timers: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Time-sorted scripted inputs not yet delivered.
+    pending_inputs: VecDeque<PendingInput>,
+    /// Time-sorted scheduled crashes not yet fired.
+    pending_crashes: VecDeque<(u64, String)>,
+
+    observers: Vec<ObserverSlot>,
+    pub trace: Option<Vec<(EventMeta, Event)>>,
+
+    pub outputs: Vec<OutputRecord>,
+    /// Inputs the program consumed, in consumption order (port name, value).
+    pub inputs_seen: Vec<(String, Value)>,
+    pub counters: BTreeMap<String, i64>,
+    pub crashes: Vec<CrashRecord>,
+    pub decisions: Vec<DecisionRecord>,
+
+    pub policy: Box<dyn SchedulePolicy>,
+    pub nondet_override: Option<Box<dyn NondetOverride>>,
+
+    /// Set when the run must wind down; tasks observe it and unwind.
+    pub cancelling: bool,
+    /// The final stop reason, once determined.
+    pub stop: Option<StopReason>,
+    pub stop_on_crash: bool,
+    decision_seq: u64,
+    /// Network sends seen so far (indexes the drop script).
+    net_sends: u64,
+}
+
+/// Outcome of attempting an operation.
+pub(crate) enum Attempt {
+    /// The operation completed (possibly with an error result).
+    Done(SimResult<Value>),
+    /// The operation cannot proceed; the task must block.
+    Block(BlockOn),
+}
+
+/// Stage of a condition-variable wait (the op is re-attempted across wakes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CvStage {
+    /// Not yet enqueued: release the lock and start waiting.
+    Enter,
+    /// Was notified: reacquire the lock.
+    Relock,
+}
+
+/// An operation a task asks the kernel to perform.
+///
+/// Ops are re-attempted after blocking, so variants carry any state that
+/// must persist across attempts (e.g. [`CvStage`], resolved sleep deadline).
+#[derive(Debug)]
+pub(crate) enum Op {
+    Read { var: VarId, site: Site },
+    Write { var: VarId, value: Value, site: Site },
+    Lock { lock: LockId, site: Site },
+    Unlock { lock: LockId, site: Site },
+    CvWait { cvar: CondvarId, lock: LockId, stage: CvStage, site: Site },
+    CvNotify { cvar: CondvarId, all: bool, site: Site },
+    Send { chan: ChanId, value: Value, site: Site },
+    Recv { chan: ChanId, deadline: Option<u64>, timeout: Option<u64>, site: Site },
+    CloseChan { chan: ChanId, site: Site },
+    ReadInput { port: PortId, site: Site },
+    WriteOutput { port: PortId, value: Value, site: Site },
+    Probe { name: &'static str, value: Value, site: Site },
+    Count { name: &'static str, delta: i64, site: Site },
+    Rng { bound: u64, site: Site },
+    Sleep { until: Option<u64>, ticks: u64, site: Site },
+    Yield { site: Site },
+    Alloc { bytes: u64, site: Site },
+    Free { bytes: u64, site: Site },
+    Join { task: TaskId, site: Site },
+    Crash { reason: String, site: Site },
+    StopRun { site: Site },
+}
+
+impl Kernel {
+    #[allow(clippy::too_many_arguments)] // Internal constructor fed by RunConfig.
+    pub fn new(
+        seed: u64,
+        costs: OpCosts,
+        env: EnvConfig,
+        policy: Box<dyn SchedulePolicy>,
+        observers: Vec<Box<dyn Observer>>,
+        nondet_override: Option<Box<dyn NondetOverride>>,
+        collect_trace: bool,
+        stop_on_crash: bool,
+    ) -> Self {
+        let mut pending_crashes: Vec<(u64, String)> =
+            env.crashes.iter().map(|c| (c.time, c.group.clone())).collect();
+        pending_crashes.sort_by_key(|c| c.0);
+        Kernel {
+            tasks: Vec::new(),
+            vars: Vec::new(),
+            locks: Vec::new(),
+            cvars: Vec::new(),
+            chans: Vec::new(),
+            ports: Vec::new(),
+            time: 0,
+            wall_extra: 0,
+            steps: 0,
+            events: 0,
+            rng: DetRng::seed_from(seed),
+            costs,
+            env,
+            timers: BinaryHeap::new(),
+            pending_inputs: VecDeque::new(),
+            pending_crashes: pending_crashes.into(),
+            observers: observers
+                .into_iter()
+                .map(|obs| ObserverSlot { obs, cost: 0 })
+                .collect(),
+            trace: collect_trace.then(Vec::new),
+            outputs: Vec::new(),
+            inputs_seen: Vec::new(),
+            counters: BTreeMap::new(),
+            crashes: Vec::new(),
+            decisions: Vec::new(),
+            policy,
+            nondet_override,
+            cancelling: false,
+            stop: None,
+            stop_on_crash,
+            decision_seq: 0,
+            net_sends: 0,
+        }
+    }
+
+    // ---- registration (setup time and runtime) -------------------------
+
+    pub fn add_task(&mut self, name: &str, group: &str, parent: Option<TaskId>) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        let mem_budget = self.env.mem_budget.get(group).copied();
+        self.tasks.push(TaskRec {
+            name: name.to_owned(),
+            group: group.to_owned(),
+            phase: Phase::Ready,
+            killed: false,
+            joiners: Vec::new(),
+            mem_used: 0,
+            mem_budget,
+            cv: Arc::new(parking_lot::Condvar::new()),
+        });
+        self.emit(Event::TaskSpawn {
+            parent,
+            child: id,
+            name: name.to_owned(),
+            group: group.to_owned(),
+        });
+        id
+    }
+
+    pub fn add_var(&mut self, name: &str, init: Value) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarRec { name: name.to_owned(), value: init });
+        id
+    }
+
+    pub fn add_lock(&mut self, name: &str) -> LockId {
+        let id = LockId(self.locks.len() as u32);
+        self.locks.push(LockRec { name: name.to_owned(), holder: None });
+        id
+    }
+
+    pub fn add_cvar(&mut self, name: &str) -> CondvarId {
+        let id = CondvarId(self.cvars.len() as u32);
+        self.cvars.push(CvarRec { name: name.to_owned(), waiters: Vec::new() });
+        id
+    }
+
+    pub fn add_chan(&mut self, name: &str, class: ChanClass) -> ChanId {
+        let id = ChanId(self.chans.len() as u32);
+        self.chans.push(ChanRec {
+            name: name.to_owned(),
+            class,
+            queue: VecDeque::new(),
+            closed: false,
+        });
+        id
+    }
+
+    pub fn add_port(&mut self, name: &str, dir: PortDir) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(PortRec {
+            name: name.to_owned(),
+            dir,
+            queue: VecDeque::new(),
+            remaining_inputs: 0,
+        });
+        id
+    }
+
+    /// Loads the input script (after ports exist). Unknown port names are an
+    /// error, to catch script/program mismatches early.
+    pub fn load_inputs(
+        &mut self,
+        script: impl Iterator<Item = (String, Vec<TimedInput>)>,
+    ) -> Result<(), String> {
+        let mut all: Vec<PendingInput> = Vec::new();
+        for (port_name, inputs) in script {
+            let port = self
+                .ports
+                .iter()
+                .position(|p| p.name == port_name && p.dir == PortDir::In)
+                .map(|i| PortId(i as u32))
+                .ok_or_else(|| format!("input script references unknown port {port_name:?}"))?;
+            self.ports[port.index()].remaining_inputs += inputs.len();
+            all.extend(
+                inputs
+                    .into_iter()
+                    .map(|t| PendingInput { time: t.time, port, value: t.value }),
+            );
+        }
+        all.sort_by_key(|p| p.time);
+        self.pending_inputs = all.into();
+        Ok(())
+    }
+
+    // ---- event plumbing -------------------------------------------------
+
+    /// Publishes an event to the trace and all observers, charging their
+    /// instrumentation costs to the wall clock.
+    pub fn emit(&mut self, event: Event) {
+        self.events += 1;
+        let meta = EventMeta { step: self.steps, time: self.time };
+        for slot in &mut self.observers {
+            let c = slot.obs.on_event(&meta, &event);
+            slot.cost += c;
+            self.wall_extra += c;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push((meta, event));
+        }
+    }
+
+    /// Resolves a nondeterministic decision through the policy.
+    ///
+    /// Decisions with a single candidate are trivial and are neither sent to
+    /// the policy nor logged — this keeps decision streams schedule-portable.
+    /// A policy error (replay divergence) sets the stop reason and returns
+    /// `None`.
+    pub fn decide(&mut self, kind: DecisionKind, candidates: &[TaskId]) -> Option<TaskId> {
+        debug_assert!(!candidates.is_empty());
+        debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        if candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        let point = crate::policy::DecisionPoint {
+            seq: self.decision_seq,
+            kind,
+            candidates,
+        };
+        match self.policy.decide(&point) {
+            Ok(idx) if idx < candidates.len() => {
+                self.decision_seq += 1;
+                let chosen = candidates[idx];
+                self.decisions.push(DecisionRecord {
+                    kind,
+                    n: candidates.len() as u32,
+                    chosen_index: idx as u32,
+                    chosen,
+                });
+                self.emit(Event::Decision {
+                    kind,
+                    candidates: candidates.to_vec(),
+                    chosen,
+                });
+                Some(chosen)
+            }
+            Ok(bad) => {
+                self.stop = Some(StopReason::ReplayDivergence {
+                    step: self.decision_seq,
+                    detail: format!("policy returned out-of-range index {bad}"),
+                });
+                None
+            }
+            Err(reason) => {
+                self.stop = Some(reason);
+                None
+            }
+        }
+    }
+
+    // ---- wake helpers ---------------------------------------------------
+
+    pub(crate) fn wake(&mut self, task: TaskId) {
+        let rec = &mut self.tasks[task.index()];
+        if !rec.killed && matches!(rec.phase, Phase::Blocked(_)) {
+            rec.phase = Phase::Ready;
+        }
+    }
+
+    fn wake_lock_waiters(&mut self, lock: LockId) {
+        let waiting: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.phase, Phase::Blocked(BlockOn::Lock(l)) if l == lock))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for t in waiting {
+            self.wake(t);
+        }
+    }
+
+    fn wake_chan_waiters(&mut self, chan: ChanId) {
+        let waiting: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, t)| matches!(t.phase, Phase::Blocked(BlockOn::Chan { chan: c, .. }) if c == chan),
+            )
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for t in waiting {
+            self.wake(t);
+        }
+    }
+
+    fn wake_port_waiters(&mut self, port: PortId) {
+        let waiting: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.phase, Phase::Blocked(BlockOn::Port(p)) if p == port))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for t in waiting {
+            self.wake(t);
+        }
+    }
+
+    // ---- environment ----------------------------------------------------
+
+    /// Earliest pending wake-up time (timer, input, or crash), if any.
+    pub fn next_pending_time(&self) -> Option<u64> {
+        let t1 = self.timers.peek().map(|Reverse((t, _))| *t);
+        let t2 = self.pending_inputs.front().map(|p| p.time);
+        let t3 = self.pending_crashes.front().map(|c| c.0);
+        [t1, t2, t3].into_iter().flatten().min()
+    }
+
+    /// Delivers every input, timer and crash due at or before the current
+    /// time. Returns `true` if anything was delivered.
+    pub fn deliver_due(&mut self) -> bool {
+        let mut any = false;
+        while self
+            .pending_inputs
+            .front()
+            .is_some_and(|p| p.time <= self.time)
+        {
+            let p = self.pending_inputs.pop_front().expect("checked non-empty");
+            self.ports[p.port.index()].queue.push_back(p.value.clone());
+            self.ports[p.port.index()].remaining_inputs -= 1;
+            self.emit(Event::InputArrival { port: p.port, value: p.value });
+            self.wake_port_waiters(p.port);
+            any = true;
+        }
+        while self.timers.peek().is_some_and(|Reverse((t, _))| *t <= self.time) {
+            let Reverse((due, tid)) = self.timers.pop().expect("checked non-empty");
+            let task = TaskId(tid);
+            let rec = &self.tasks[task.index()];
+            let fire = match rec.phase {
+                Phase::Blocked(BlockOn::Timer { until }) => until <= self.time,
+                Phase::Blocked(BlockOn::Chan { deadline: Some(d), .. }) => d <= self.time,
+                _ => false,
+            };
+            let _ = due;
+            if fire {
+                self.wake(task);
+                any = true;
+            }
+        }
+        while self
+            .pending_crashes
+            .front()
+            .is_some_and(|c| c.0 <= self.time)
+        {
+            let (_, group) = self.pending_crashes.pop_front().expect("checked non-empty");
+            self.kill_group(&group);
+            any = true;
+        }
+        any
+    }
+
+    /// Kills every task in `group` (node crash).
+    pub fn kill_group(&mut self, group: &str) {
+        let victims: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.group == group && !t.killed && !matches!(t.phase, Phase::Exited { .. })
+            })
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for &t in &victims {
+            self.tasks[t.index()].killed = true;
+            // Dead tasks cannot be woken by condition variables.
+            for cv in &mut self.cvars {
+                cv.waiters.retain(|&w| w != t);
+            }
+            self.emit(Event::TaskKilled {
+                task: t,
+                reason: format!("group {group:?} crashed"),
+            });
+            // A killed task will never exit on its own; release joiners now.
+            let joiners = std::mem::take(&mut self.tasks[t.index()].joiners);
+            for j in joiners {
+                self.wake(j);
+            }
+        }
+        self.emit(Event::GroupKilled { group: group.to_owned(), tasks: victims });
+    }
+
+    // ---- operation execution --------------------------------------------
+
+    /// Attempts `op` on behalf of `task`.
+    ///
+    /// On success the execution clock advances by the op's cost and the
+    /// corresponding events are emitted. On `Block` nothing is charged.
+    pub fn exec_op(&mut self, task: TaskId, op: &mut Op) -> Attempt {
+        match op {
+            Op::Read { var, site } => {
+                let actual = self.vars[var.index()].value.clone();
+                let value = match &mut self.nondet_override {
+                    Some(h) => h.override_read(task, *var, &actual).unwrap_or(actual),
+                    None => actual,
+                };
+                self.charge(self.costs.read_cost(value.byte_size()));
+                self.emit(Event::Read { task, var: *var, value: value.clone(), site: (*site).into() });
+                Attempt::Done(Ok(value))
+            }
+            Op::Write { var, value, site } => {
+                self.vars[var.index()].value = value.clone();
+                self.charge(self.costs.write_cost(value.byte_size()));
+                self.emit(Event::Write {
+                    task,
+                    var: *var,
+                    value: value.clone(),
+                    site: (*site).into(),
+                });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Lock { lock, site } => {
+                let rec = &mut self.locks[lock.index()];
+                match rec.holder {
+                    Some(h) if h != task => Attempt::Block(BlockOn::Lock(*lock)),
+                    Some(_) => Attempt::Done(Err(SimError::Internal(format!(
+                        "task {task} re-acquired lock {lock} (not reentrant)"
+                    )))),
+                    None => {
+                        rec.holder = Some(task);
+                        self.charge(self.costs.lock);
+                        self.emit(Event::LockAcquire { task, lock: *lock, site: (*site).into() });
+                        Attempt::Done(Ok(Value::Unit))
+                    }
+                }
+            }
+            Op::Unlock { lock, site } => {
+                let rec = &mut self.locks[lock.index()];
+                if rec.holder != Some(task) {
+                    return Attempt::Done(Err(SimError::Internal(format!(
+                        "task {task} released lock {lock} it does not hold"
+                    ))));
+                }
+                rec.holder = None;
+                self.charge(self.costs.lock);
+                self.emit(Event::LockRelease { task, lock: *lock, site: (*site).into() });
+                self.wake_lock_waiters(*lock);
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::CvWait { cvar, lock, stage, site } => match *stage {
+                CvStage::Enter => {
+                    let lrec = &mut self.locks[lock.index()];
+                    if lrec.holder != Some(task) {
+                        return Attempt::Done(Err(SimError::Internal(format!(
+                            "cv wait on {cvar} without holding {lock}"
+                        ))));
+                    }
+                    lrec.holder = None;
+                    self.cvars[cvar.index()].waiters.push(task);
+                    self.charge(self.costs.lock);
+                    self.emit(Event::CondWait {
+                        task,
+                        cvar: *cvar,
+                        lock: *lock,
+                        site: (*site).into(),
+                    });
+                    self.wake_lock_waiters(*lock);
+                    *stage = CvStage::Relock;
+                    Attempt::Block(BlockOn::Cvar(*cvar))
+                }
+                CvStage::Relock => {
+                    // We were notified; reacquire the lock (may block again).
+                    let rec = &mut self.locks[lock.index()];
+                    match rec.holder {
+                        Some(h) if h != task => Attempt::Block(BlockOn::Lock(*lock)),
+                        Some(_) => Attempt::Done(Err(SimError::Internal(
+                            "cv relock while already holding".into(),
+                        ))),
+                        None => {
+                            rec.holder = Some(task);
+                            self.charge(self.costs.lock);
+                            self.emit(Event::LockAcquire {
+                                task,
+                                lock: *lock,
+                                site: (*site).into(),
+                            });
+                            Attempt::Done(Ok(Value::Unit))
+                        }
+                    }
+                }
+            },
+            Op::CvNotify { cvar, all, site } => {
+                let mut waiters = self.cvars[cvar.index()].waiters.clone();
+                let woken: Vec<TaskId> = if waiters.is_empty() {
+                    Vec::new()
+                } else if *all {
+                    std::mem::take(&mut self.cvars[cvar.index()].waiters)
+                } else {
+                    waiters.sort_unstable();
+                    match self.decide(DecisionKind::WakeOne(*cvar), &waiters) {
+                        Some(chosen) => {
+                            self.cvars[cvar.index()].waiters.retain(|&w| w != chosen);
+                            vec![chosen]
+                        }
+                        // Replay divergence: the run is stopping anyway.
+                        None => return Attempt::Done(Err(SimError::Cancelled)),
+                    }
+                };
+                for &w in &woken {
+                    self.wake(w);
+                }
+                self.charge(self.costs.lock);
+                self.emit(Event::CondNotify {
+                    task,
+                    cvar: *cvar,
+                    all: *all,
+                    woken,
+                    site: (*site).into(),
+                });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Send { chan, value, site } => {
+                let bytes = value.byte_size();
+                let class = self.chans[chan.index()].class;
+                if class == ChanClass::Network {
+                    let idx = self.net_sends;
+                    self.net_sends += 1;
+                    let dropped = match &self.env.drop_script {
+                        Some(script) => script.contains(&idx),
+                        None => {
+                            self.env.drop_per_mille > 0
+                                && self.rng.chance(self.env.drop_per_mille as u64, 1000)
+                        }
+                    };
+                    if dropped {
+                        self.charge(self.costs.msg_cost(bytes));
+                        self.emit(Event::SendDropped {
+                            task,
+                            chan: *chan,
+                            bytes,
+                            site: (*site).into(),
+                        });
+                        return Attempt::Done(Ok(Value::Unit));
+                    }
+                }
+                self.chans[chan.index()].queue.push_back(value.clone());
+                self.charge(self.costs.msg_cost(bytes));
+                self.emit(Event::Send {
+                    task,
+                    chan: *chan,
+                    value: value.clone(),
+                    site: (*site).into(),
+                });
+                self.wake_chan_waiters(*chan);
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Recv { chan, deadline, timeout, site } => {
+                if let Some(h) = &mut self.nondet_override {
+                    if let Some(v) = h.override_recv(task, *chan) {
+                        self.charge(self.costs.msg_cost(v.byte_size()));
+                        self.emit(Event::Recv {
+                            task,
+                            chan: *chan,
+                            value: v.clone(),
+                            site: (*site).into(),
+                        });
+                        return Attempt::Done(Ok(v));
+                    }
+                }
+                let rec = &mut self.chans[chan.index()];
+                if let Some(v) = rec.queue.pop_front() {
+                    self.charge(self.costs.msg_cost(v.byte_size()));
+                    self.emit(Event::Recv {
+                        task,
+                        chan: *chan,
+                        value: v.clone(),
+                        site: (*site).into(),
+                    });
+                    return Attempt::Done(Ok(v));
+                }
+                if rec.closed {
+                    return Attempt::Done(Err(SimError::ChannelClosed(*chan)));
+                }
+                // Resolve the relative timeout to an absolute deadline once.
+                if deadline.is_none() {
+                    if let Some(t) = timeout {
+                        let d = self.time.saturating_add(*t);
+                        *deadline = Some(d);
+                        self.timers.push(Reverse((d, task.0)));
+                    }
+                }
+                if let Some(d) = *deadline {
+                    if d <= self.time {
+                        return Attempt::Done(Err(SimError::RecvTimeout(*chan)));
+                    }
+                }
+                Attempt::Block(BlockOn::Chan { chan: *chan, deadline: *deadline })
+            }
+            Op::CloseChan { chan, site } => {
+                self.chans[chan.index()].closed = true;
+                self.charge(self.costs.msg_base);
+                let _ = site;
+                self.wake_chan_waiters(*chan);
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::ReadInput { port, site } => {
+                if let Some(h) = &mut self.nondet_override {
+                    if let Some(v) = h.override_input(task, *port) {
+                        self.charge(self.costs.io);
+                        self.inputs_seen
+                            .push((self.ports[port.index()].name.clone(), v.clone()));
+                        self.emit(Event::InputRead {
+                            task,
+                            port: *port,
+                            value: v.clone(),
+                            site: (*site).into(),
+                        });
+                        return Attempt::Done(Ok(v));
+                    }
+                }
+                let rec = &mut self.ports[port.index()];
+                if let Some(v) = rec.queue.pop_front() {
+                    self.charge(self.costs.io);
+                    self.inputs_seen
+                        .push((self.ports[port.index()].name.clone(), v.clone()));
+                    self.emit(Event::InputRead {
+                        task,
+                        port: *port,
+                        value: v.clone(),
+                        site: (*site).into(),
+                    });
+                    return Attempt::Done(Ok(v));
+                }
+                if rec.remaining_inputs == 0 {
+                    return Attempt::Done(Err(SimError::InputExhausted(*port)));
+                }
+                Attempt::Block(BlockOn::Port(*port))
+            }
+            Op::WriteOutput { port, value, site } => {
+                self.charge(self.costs.io);
+                let rec = OutputRecord {
+                    time: self.time,
+                    task,
+                    port: *port,
+                    port_name: self.ports[port.index()].name.clone(),
+                    value: value.clone(),
+                };
+                self.outputs.push(rec);
+                self.emit(Event::Output {
+                    task,
+                    port: *port,
+                    value: value.clone(),
+                    site: (*site).into(),
+                });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Probe { name, value, site } => {
+                self.charge(self.costs.probe);
+                self.emit(Event::Probe {
+                    task,
+                    name: (*name).to_owned(),
+                    value: value.clone(),
+                    site: (*site).into(),
+                });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Count { name, delta, site } => {
+                let total = self.counters.entry((*name).to_owned()).or_insert(0);
+                *total += *delta;
+                let total = *total;
+                self.charge(self.costs.probe);
+                self.emit(Event::Counter {
+                    task,
+                    name: (*name).to_owned(),
+                    total,
+                    site: (*site).into(),
+                });
+                Attempt::Done(Ok(Value::Int(total)))
+            }
+            Op::Rng { bound, site } => {
+                let raw = match &mut self.nondet_override {
+                    Some(h) => h.override_rng(task).unwrap_or_else(|| self.rng.next_u64()),
+                    None => self.rng.next_u64(),
+                };
+                let v = if *bound == 0 { raw } else { raw % *bound };
+                self.charge(self.costs.rng);
+                self.emit(Event::RngDraw { task, value: raw, site: (*site).into() });
+                Attempt::Done(Ok(Value::Int(v as i64)))
+            }
+            Op::Sleep { until, ticks, site } => {
+                match *until {
+                    None => {
+                        let u = self.time.saturating_add(*ticks);
+                        *until = Some(u);
+                        self.timers.push(Reverse((u, task.0)));
+                        self.emit(Event::Sleep { task, until: u, site: (*site).into() });
+                        Attempt::Block(BlockOn::Timer { until: u })
+                    }
+                    Some(u) if u <= self.time => Attempt::Done(Ok(Value::Unit)),
+                    Some(u) => Attempt::Block(BlockOn::Timer { until: u }),
+                }
+            }
+            Op::Yield { site } => {
+                self.charge(self.costs.yield_);
+                self.emit(Event::Yield { task, site: (*site).into() });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Alloc { bytes, site } => {
+                let rec = &self.tasks[task.index()];
+                let new_used = rec.mem_used + *bytes;
+                if let Some(budget) = rec.mem_budget {
+                    if new_used > budget {
+                        self.charge(self.costs.alloc);
+                        self.emit(Event::AllocFail {
+                            task,
+                            requested: *bytes,
+                            budget,
+                            site: (*site).into(),
+                        });
+                        return Attempt::Done(Err(SimError::OutOfMemory {
+                            requested: *bytes,
+                            budget,
+                        }));
+                    }
+                }
+                self.tasks[task.index()].mem_used = new_used;
+                self.charge(self.costs.alloc);
+                self.emit(Event::Alloc { task, bytes: *bytes, site: (*site).into() });
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Free { bytes, site } => {
+                let rec = &mut self.tasks[task.index()];
+                rec.mem_used = rec.mem_used.saturating_sub(*bytes);
+                self.charge(self.costs.alloc);
+                let _ = site;
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::Join { task: target, site } => {
+                if target.index() >= self.tasks.len() {
+                    return Attempt::Done(Err(SimError::NoSuchTask(*target)));
+                }
+                let trec = &self.tasks[target.index()];
+                if matches!(trec.phase, Phase::Exited { .. }) || trec.killed {
+                    self.charge(self.costs.yield_);
+                    self.emit(Event::Joined {
+                        task,
+                        target: *target,
+                        site: (*site).into(),
+                    });
+                    return Attempt::Done(Ok(Value::Unit));
+                }
+                self.tasks[target.index()].joiners.push(task);
+                Attempt::Block(BlockOn::Join(*target))
+            }
+            Op::Crash { reason, site } => {
+                self.crashes.push(CrashRecord {
+                    time: self.time,
+                    task,
+                    reason: reason.clone(),
+                    site: (*site).to_owned(),
+                });
+                self.charge(self.costs.yield_);
+                self.emit(Event::Crash { task, reason: reason.clone(), site: (*site).into() });
+                if self.stop_on_crash && self.stop.is_none() {
+                    self.stop = Some(StopReason::Stopped);
+                }
+                Attempt::Done(Ok(Value::Unit))
+            }
+            Op::StopRun { site } => {
+                let _ = site;
+                if self.stop.is_none() {
+                    self.stop = Some(StopReason::Stopped);
+                }
+                Attempt::Done(Ok(Value::Unit))
+            }
+        }
+    }
+
+    /// Records a panic-style crash coming from outside `exec_op` (task body
+    /// panicked or returned an unexpected error).
+    pub fn record_crash(&mut self, task: TaskId, reason: String, site: &str) {
+        self.crashes.push(CrashRecord {
+            time: self.time,
+            task,
+            reason: reason.clone(),
+            site: site.to_owned(),
+        });
+        self.emit(Event::Crash { task, reason, site: site.to_owned().into() });
+        if self.stop_on_crash && self.stop.is_none() {
+            self.stop = Some(StopReason::Stopped);
+        }
+    }
+
+    /// Charges a successful op: advances the execution clock and the step
+    /// counter.
+    pub(crate) fn charge(&mut self, cost: u64) {
+        self.time = self.time.saturating_add(cost);
+        self.steps += 1;
+        // Deliveries that became due mid-op happen before the next decision;
+        // the driver calls `deliver_due` at every decision point.
+    }
+
+    /// Total wall ticks: execution plus instrumentation.
+    pub fn wall_time(&self) -> u64 {
+        self.time.saturating_add(self.wall_extra)
+    }
+
+    /// Per-observer instrumentation cost, by observer name.
+    pub fn observer_costs(&self) -> Vec<(String, u64)> {
+        self.observers
+            .iter()
+            .map(|s| (s.obs.name().to_owned(), s.cost))
+            .collect()
+    }
+
+    /// Consumes the kernel's observers for post-run retrieval.
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        std::mem::take(&mut self.observers)
+            .into_iter()
+            .map(|s| s.obs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RandomPolicy;
+
+    fn kernel() -> Kernel {
+        Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig::clean(),
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        )
+    }
+
+    fn kernel_with_task() -> (Kernel, TaskId) {
+        let mut k = kernel();
+        let t = k.add_task("t", "g", None);
+        (k, t)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (mut k, t) = kernel_with_task();
+        let v = k.add_var("x", Value::Int(0));
+        let mut w = Op::Write { var: v, value: Value::Int(7), site: "s" };
+        assert!(matches!(k.exec_op(t, &mut w), Attempt::Done(Ok(_))));
+        let mut r = Op::Read { var: v, site: "s" };
+        match k.exec_op(t, &mut r) {
+            Attempt::Done(Ok(val)) => assert_eq!(val, Value::Int(7)),
+            _ => panic!("read failed"),
+        }
+        assert_eq!(k.steps, 2);
+        assert!(k.time >= 2);
+    }
+
+    #[test]
+    fn lock_blocks_second_task() {
+        let (mut k, t0) = kernel_with_task();
+        let t1 = k.add_task("t1", "g", None);
+        let l = k.add_lock("m");
+        let mut a = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t0, &mut a), Attempt::Done(Ok(_))));
+        let mut b = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t1, &mut b), Attempt::Block(BlockOn::Lock(_))));
+        // Unlock wakes the blocked task.
+        k.tasks[t1.index()].phase = Phase::Blocked(BlockOn::Lock(l));
+        let mut u = Op::Unlock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t0, &mut u), Attempt::Done(Ok(_))));
+        assert_eq!(k.tasks[t1.index()].phase, Phase::Ready);
+    }
+
+    #[test]
+    fn unlock_without_holding_is_error() {
+        let (mut k, t) = kernel_with_task();
+        let l = k.add_lock("m");
+        let mut u = Op::Unlock { lock: l, site: "s" };
+        match k.exec_op(t, &mut u) {
+            Attempt::Done(Err(SimError::Internal(_))) => {}
+            _ => panic!("expected internal error"),
+        }
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (mut k, t) = kernel_with_task();
+        let c = k.add_chan("ch", ChanClass::Local);
+        let mut s = Op::Send { chan: c, value: Value::Int(3), site: "s" };
+        assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
+        let mut r = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        match k.exec_op(t, &mut r) {
+            Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(3)),
+            _ => panic!("recv failed"),
+        }
+    }
+
+    #[test]
+    fn recv_on_empty_blocks_and_closed_errors() {
+        let (mut k, t) = kernel_with_task();
+        let c = k.add_chan("ch", ChanClass::Local);
+        let mut r = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(_)));
+        let mut cl = Op::CloseChan { chan: c, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut cl), Attempt::Done(Ok(_))));
+        let mut r2 = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        assert!(matches!(
+            k.exec_op(t, &mut r2),
+            Attempt::Done(Err(SimError::ChannelClosed(_)))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_resolves_deadline_once() {
+        let (mut k, t) = kernel_with_task();
+        let c = k.add_chan("ch", ChanClass::Local);
+        let mut r = Op::Recv { chan: c, deadline: None, timeout: Some(10), site: "s" };
+        let now = k.time;
+        assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(_)));
+        match r {
+            Op::Recv { deadline: Some(d), .. } => assert_eq!(d, now + 10),
+            _ => panic!("deadline not resolved"),
+        }
+        // Past the deadline the retry reports a timeout.
+        k.time += 20;
+        assert!(matches!(
+            k.exec_op(t, &mut r),
+            Attempt::Done(Err(SimError::RecvTimeout(_)))
+        ));
+    }
+
+    #[test]
+    fn congestion_drops_network_sends() {
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig { drop_per_mille: 1000, ..EnvConfig::clean() },
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let c = k.add_chan("net", ChanClass::Network);
+        let mut s = Op::Send { chan: c, value: Value::Int(1), site: "s" };
+        assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
+        assert!(k.chans[c.index()].queue.is_empty(), "message should be dropped");
+        let dropped = k
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .any(|(_, e)| matches!(e, Event::SendDropped { .. }));
+        assert!(dropped);
+    }
+
+    #[test]
+    fn local_channels_never_drop() {
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig { drop_per_mille: 1000, ..EnvConfig::clean() },
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let c = k.add_chan("loc", ChanClass::Local);
+        let mut s = Op::Send { chan: c, value: Value::Int(1), site: "s" };
+        assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
+        assert_eq!(k.chans[c.index()].queue.len(), 1);
+    }
+
+    #[test]
+    fn alloc_respects_budget() {
+        let mut env = EnvConfig::clean();
+        env.mem_budget.insert("g".into(), 100);
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            env,
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let mut a = Op::Alloc { bytes: 60, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut a), Attempt::Done(Ok(_))));
+        let mut b = Op::Alloc { bytes: 60, site: "s" };
+        assert!(matches!(
+            k.exec_op(t, &mut b),
+            Attempt::Done(Err(SimError::OutOfMemory { .. }))
+        ));
+        let mut f = Op::Free { bytes: 30, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut f), Attempt::Done(Ok(_))));
+        let mut c = Op::Alloc { bytes: 60, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut c), Attempt::Done(Ok(_))));
+    }
+
+    #[test]
+    fn cv_wait_releases_lock_and_relocks_on_wake() {
+        let (mut k, t0) = kernel_with_task();
+        let l = k.add_lock("m");
+        let cv = k.add_cvar("cv");
+        let mut a = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t0, &mut a), Attempt::Done(Ok(_))));
+        let mut w = Op::CvWait { cvar: cv, lock: l, stage: CvStage::Enter, site: "s" };
+        assert!(matches!(k.exec_op(t0, &mut w), Attempt::Block(BlockOn::Cvar(_))));
+        assert_eq!(k.locks[l.index()].holder, None, "lock released during wait");
+        assert_eq!(k.cvars[cv.index()].waiters, vec![t0]);
+        // Notify from another task.
+        k.tasks[t0.index()].phase = Phase::Blocked(BlockOn::Cvar(cv));
+        let t1 = k.add_task("t1", "g", None);
+        let mut n = Op::CvNotify { cvar: cv, all: false, site: "s" };
+        assert!(matches!(k.exec_op(t1, &mut n), Attempt::Done(Ok(_))));
+        assert_eq!(k.tasks[t0.index()].phase, Phase::Ready);
+        assert!(k.cvars[cv.index()].waiters.is_empty());
+        // Retry reacquires the lock.
+        assert!(matches!(k.exec_op(t0, &mut w), Attempt::Done(Ok(_))));
+        assert_eq!(k.locks[l.index()].holder, Some(t0));
+    }
+
+    #[test]
+    fn notify_with_no_waiters_is_noop() {
+        let (mut k, t) = kernel_with_task();
+        let cv = k.add_cvar("cv");
+        let mut n = Op::CvNotify { cvar: cv, all: true, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut n), Attempt::Done(Ok(_))));
+    }
+
+    #[test]
+    fn input_port_exhaustion_is_reported() {
+        let (mut k, t) = kernel_with_task();
+        let p = k.add_port("in", PortDir::In);
+        let mut r = Op::ReadInput { port: p, site: "s" };
+        assert!(matches!(
+            k.exec_op(t, &mut r),
+            Attempt::Done(Err(SimError::InputExhausted(_)))
+        ));
+    }
+
+    #[test]
+    fn input_delivery_wakes_waiters() {
+        let (mut k, t) = kernel_with_task();
+        let p = k.add_port("in", PortDir::In);
+        k.load_inputs(
+            vec![(
+                "in".to_owned(),
+                vec![TimedInput { time: 5, value: Value::Int(9) }],
+            )]
+            .into_iter(),
+        )
+        .unwrap();
+        let mut r = Op::ReadInput { port: p, site: "s" };
+        assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(BlockOn::Port(_))));
+        k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Port(p));
+        k.time = 5;
+        assert!(k.deliver_due());
+        assert_eq!(k.tasks[t.index()].phase, Phase::Ready);
+        match k.exec_op(t, &mut r) {
+            Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(9)),
+            _ => panic!("input read failed"),
+        }
+    }
+
+    #[test]
+    fn load_inputs_rejects_unknown_port() {
+        let mut k = kernel();
+        let err = k.load_inputs(
+            vec![("nope".to_owned(), vec![TimedInput { time: 0, value: Value::Unit }])]
+                .into_iter(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn kill_group_marks_tasks_and_cleans_cvars() {
+        let mut k = kernel();
+        let t0 = k.add_task("a", "node1", None);
+        let t1 = k.add_task("b", "node2", None);
+        let cv = k.add_cvar("cv");
+        k.cvars[cv.index()].waiters.push(t0);
+        k.kill_group("node1");
+        assert!(k.tasks[t0.index()].killed);
+        assert!(!k.tasks[t1.index()].killed);
+        assert!(k.cvars[cv.index()].waiters.is_empty());
+    }
+
+    #[test]
+    fn join_on_killed_task_completes() {
+        let mut k = kernel();
+        let t0 = k.add_task("a", "node1", None);
+        let t1 = k.add_task("b", "node2", None);
+        k.kill_group("node1");
+        let mut j = Op::Join { task: t0, site: "s" };
+        assert!(matches!(k.exec_op(t1, &mut j), Attempt::Done(Ok(_))));
+    }
+
+    #[test]
+    fn crash_op_records_and_optionally_stops() {
+        let (mut k, t) = kernel_with_task();
+        let mut c = Op::Crash { reason: "boom".into(), site: "s" };
+        assert!(matches!(k.exec_op(t, &mut c), Attempt::Done(Ok(_))));
+        assert_eq!(k.crashes.len(), 1);
+        assert!(k.stop.is_none());
+        k.stop_on_crash = true;
+        let mut c2 = Op::Crash { reason: "boom2".into(), site: "s" };
+        let _ = k.exec_op(t, &mut c2);
+        assert!(k.stop.is_some());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (mut k, t) = kernel_with_task();
+        let mut c1 = Op::Count { name: "drops", delta: 2, site: "s" };
+        let _ = k.exec_op(t, &mut c1);
+        let mut c2 = Op::Count { name: "drops", delta: 3, site: "s" };
+        match k.exec_op(t, &mut c2) {
+            Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(5)),
+            _ => panic!("count failed"),
+        }
+        assert_eq!(k.counters["drops"], 5);
+    }
+
+    #[test]
+    fn rng_draw_is_recorded_and_bounded() {
+        let (mut k, t) = kernel_with_task();
+        for _ in 0..50 {
+            let mut r = Op::Rng { bound: 10, site: "s" };
+            match k.exec_op(t, &mut r) {
+                Attempt::Done(Ok(Value::Int(v))) => assert!((0..10).contains(&v)),
+                _ => panic!("rng failed"),
+            }
+        }
+        let draws = k
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::RngDraw { .. }))
+            .count();
+        assert_eq!(draws, 50);
+    }
+
+    #[test]
+    fn rng_override_hook_takes_precedence() {
+        struct FixedRng;
+        impl NondetOverride for FixedRng {
+            fn override_rng(&mut self, _t: TaskId) -> Option<u64> {
+                Some(7)
+            }
+        }
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig::clean(),
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            Some(Box::new(FixedRng)),
+            false,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let mut r = Op::Rng { bound: 100, site: "s" };
+        match k.exec_op(t, &mut r) {
+            Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(7)),
+            _ => panic!("rng failed"),
+        }
+    }
+
+    #[test]
+    fn read_override_hook_replaces_value() {
+        struct FixedRead;
+        impl NondetOverride for FixedRead {
+            fn override_read(&mut self, _t: TaskId, _v: VarId, _a: &Value) -> Option<Value> {
+                Some(Value::Int(99))
+            }
+        }
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig::clean(),
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            Some(Box::new(FixedRead)),
+            false,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let v = k.add_var("x", Value::Int(1));
+        let mut r = Op::Read { var: v, site: "s" };
+        match k.exec_op(t, &mut r) {
+            Attempt::Done(Ok(val)) => assert_eq!(val, Value::Int(99)),
+            _ => panic!("read failed"),
+        }
+    }
+
+    #[test]
+    fn sleep_sets_timer_and_wakes() {
+        let (mut k, t) = kernel_with_task();
+        let mut s = Op::Sleep { until: None, ticks: 10, site: "s" };
+        let start = k.time;
+        assert!(matches!(k.exec_op(t, &mut s), Attempt::Block(BlockOn::Timer { .. })));
+        k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Timer { until: start + 10 });
+        assert_eq!(k.next_pending_time(), Some(start + 10));
+        k.time = start + 10;
+        assert!(k.deliver_due());
+        assert_eq!(k.tasks[t.index()].phase, Phase::Ready);
+        assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
+    }
+
+    #[test]
+    fn decide_skips_singletons_and_records_multis() {
+        let mut k = kernel();
+        let t0 = k.add_task("a", "g", None);
+        let t1 = k.add_task("b", "g", None);
+        assert_eq!(k.decide(DecisionKind::NextTask, &[t0]), Some(t0));
+        assert!(k.decisions.is_empty());
+        let chosen = k.decide(DecisionKind::NextTask, &[t0, t1]).unwrap();
+        assert!(chosen == t0 || chosen == t1);
+        assert_eq!(k.decisions.len(), 1);
+        assert_eq!(k.decisions[0].n, 2);
+    }
+
+    #[test]
+    fn observer_costs_accrue_to_wall_clock() {
+        struct Pricey;
+        impl Observer for Pricey {
+            fn name(&self) -> &'static str {
+                "pricey"
+            }
+            fn on_event(&mut self, _m: &EventMeta, _e: &Event) -> u64 {
+                5
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            EnvConfig::clean(),
+            Box::new(RandomPolicy::new(1)),
+            vec![Box::new(Pricey)],
+            None,
+            false,
+            false,
+        );
+        let t = k.add_task("t", "g", None);
+        let v = k.add_var("x", Value::Int(0));
+        let mut w = Op::Write { var: v, value: Value::Int(1), site: "s" };
+        let _ = k.exec_op(t, &mut w);
+        // add_task + write events so far; each costs 5 wall ticks.
+        assert_eq!(k.wall_extra, 10);
+        assert!(k.wall_time() > k.time);
+        assert_eq!(k.observer_costs(), vec![("pricey".to_owned(), 10)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! # dd-sim — deterministic concurrent-execution simulator
+//!
+//! The substrate for the Debug Determinism reproduction: a machine whose
+//! *every* source of nondeterminism — scheduling, external inputs, faults,
+//! randomness — is an explicit, observable, replayable event.
+//!
+//! Programs are written against [`TaskCtx`]: virtual threads sharing typed
+//! variables, locks, condition variables and channels, reading scripted
+//! inputs and emitting observable outputs. A seeded [`SchedulePolicy`]
+//! resolves every scheduling choice, so a run is a pure function of
+//! `(program, config, policy)`.
+//!
+//! Recorders and detectors attach as [`Observer`]s; the instrumentation cost
+//! they return is charged to a separate *wall clock* so that recording
+//! overhead is measurable without perturbing program semantics (no probe
+//! effect).
+//!
+//! # Examples
+//!
+//! ```
+//! use dd_sim::{run_program, Builder, Program, RandomPolicy, RunConfig};
+//!
+//! struct Counter;
+//!
+//! impl Program for Counter {
+//!     fn name(&self) -> &'static str {
+//!         "counter"
+//!     }
+//!     fn setup(&self, b: &mut Builder<'_>) {
+//!         let total = b.var("total", 0i64);
+//!         let out = b.out_port("result");
+//!         let done = b.channel::<i64>("done", dd_sim::ChanClass::Local);
+//!         for i in 0..2 {
+//!             b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+//!                 for _ in 0..10 {
+//!                     let v = ctx.read(&total, "adder::read")?;
+//!                     ctx.write(&total, v + 1, "adder::write")?;
+//!                 }
+//!                 ctx.send(&done, 1, "adder::done")
+//!             });
+//!         }
+//!         b.spawn("reporter", "main", move |ctx| {
+//!             for _ in 0..2 {
+//!                 ctx.recv(&done, "reporter::recv")?;
+//!             }
+//!             let v = ctx.read(&total, "reporter::read")?;
+//!             ctx.output(out, v, "reporter::out")
+//!         });
+//!     }
+//! }
+//!
+//! let out = run_program(
+//!     &Counter,
+//!     RunConfig::with_seed(1),
+//!     Box::new(RandomPolicy::new(1)),
+//!     vec![],
+//! );
+//! // The unsynchronised increments race: the total may be below 20.
+//! let total = out.io.outputs_on("result")[0].as_int().unwrap();
+//! assert!(total <= 20);
+//! ```
+
+pub mod config;
+pub mod driver;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod kernel;
+pub mod policy;
+pub mod program;
+pub mod rng;
+pub mod value;
+
+pub use config::{
+    ChanClass, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride, OpCosts,
+    RunConfig, TimedInput,
+};
+pub use driver::{
+    run_program, ChanMeta, IoSummary, PortMeta, Registry, RunOutput, RunStats, TaskMeta,
+};
+pub use error::{SimError, SimResult, StopReason};
+pub use event::{AccessKind, DecisionKind, Event, EventMeta, Observer, SiteName};
+pub use ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId, KERNEL_SITE};
+pub use kernel::{CrashRecord, DecisionRecord, OutputRecord, PortDir};
+pub use policy::{
+    DecisionPoint, PctPolicy, PrefixPolicy, RandomPolicy, RecordedDecision, ReplayPolicy,
+    RoundRobinPolicy, SchedulePolicy,
+};
+pub use program::{
+    Builder, ChanHandle, CondvarHandle, InPort, MutexHandle, OutPort, Program, TaskCtx, TaskFn,
+    TVar,
+};
+pub use rng::DetRng;
+pub use value::{SimData, Value};
+
+/// Implements the [`Observer`] upcast boilerplate (`as_any`, `as_any_mut`).
+///
+/// Paste inside an `impl Observer for T` block.
+#[macro_export]
+macro_rules! observer_boilerplate {
+    () => {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    };
+}

@@ -1,0 +1,383 @@
+//! The program-facing API: [`Program`], [`Builder`], [`TaskCtx`] and typed
+//! handles.
+//!
+//! A program declares its shared objects and initial tasks in
+//! [`Program::setup`]; task bodies then interact with the machine
+//! exclusively through [`TaskCtx`] operations, each of which is a scheduling
+//! point. Every operation takes a static [`Site`] label — the stand-in for a
+//! source location — which drives plane classification and selective
+//! recording.
+
+use crate::config::ChanClass;
+use crate::error::{SimError, SimResult};
+use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
+use crate::kernel::{Kernel, PortDir};
+use crate::value::{SimData, Value};
+use std::marker::PhantomData;
+
+/// A typed shared-variable handle.
+pub struct TVar<T> {
+    /// The underlying variable id.
+    pub id: VarId,
+    _pd: PhantomData<fn(T) -> T>,
+}
+
+impl<T> TVar<T> {
+    pub(crate) fn new(id: VarId) -> Self {
+        TVar { id, _pd: PhantomData }
+    }
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TVar<T> {}
+
+impl<T> core::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "TVar({})", self.id)
+    }
+}
+
+/// A typed channel handle (usable for both sending and receiving).
+pub struct ChanHandle<T> {
+    /// The underlying channel id.
+    pub id: ChanId,
+    _pd: PhantomData<fn(T) -> T>,
+}
+
+impl<T> ChanHandle<T> {
+    pub(crate) fn new(id: ChanId) -> Self {
+        ChanHandle { id, _pd: PhantomData }
+    }
+}
+
+impl<T> Clone for ChanHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ChanHandle<T> {}
+
+impl<T> core::fmt::Debug for ChanHandle<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ChanHandle({})", self.id)
+    }
+}
+
+/// A lock handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutexHandle(pub LockId);
+
+/// A condition-variable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondvarHandle(pub CondvarId);
+
+/// An input-port handle (scripted external inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InPort(pub PortId);
+
+/// An output-port handle (observable outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutPort(pub PortId);
+
+/// A task body: runs once, must propagate [`SimError::Cancelled`] promptly.
+pub type TaskFn = Box<dyn FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static>;
+
+/// A program the machine can run.
+///
+/// Implementations must be deterministic: all nondeterminism must flow
+/// through [`TaskCtx`] operations (inputs, RNG, scheduling), never through
+/// ambient sources like `std::time` or `HashMap` iteration order.
+pub trait Program: Send + Sync {
+    /// A short stable name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Declares shared objects and spawns the initial tasks.
+    fn setup(&self, b: &mut Builder<'_>);
+}
+
+/// Setup-time construction interface handed to [`Program::setup`].
+pub struct Builder<'k> {
+    pub(crate) kernel: &'k mut Kernel,
+    pub(crate) spawns: Vec<(TaskId, TaskFn)>,
+}
+
+impl<'k> Builder<'k> {
+    pub(crate) fn new(kernel: &'k mut Kernel) -> Self {
+        Builder { kernel, spawns: Vec::new() }
+    }
+
+    /// Declares a typed shared variable with an initial value.
+    pub fn var<T: SimData>(&mut self, name: &str, init: T) -> TVar<T> {
+        TVar::new(self.kernel.add_var(name, init.into_value()))
+    }
+
+    /// Declares an untyped shared variable.
+    pub fn raw_var(&mut self, name: &str, init: Value) -> VarId {
+        self.kernel.add_var(name, init)
+    }
+
+    /// Declares a lock.
+    pub fn mutex(&mut self, name: &str) -> MutexHandle {
+        MutexHandle(self.kernel.add_lock(name))
+    }
+
+    /// Declares a condition variable.
+    pub fn condvar(&mut self, name: &str) -> CondvarHandle {
+        CondvarHandle(self.kernel.add_cvar(name))
+    }
+
+    /// Declares a typed channel.
+    pub fn channel<T: SimData>(&mut self, name: &str, class: ChanClass) -> ChanHandle<T> {
+        ChanHandle::new(self.kernel.add_chan(name, class))
+    }
+
+    /// Declares an input port fed by the run's input script.
+    pub fn in_port(&mut self, name: &str) -> InPort {
+        InPort(self.kernel.add_port(name, PortDir::In))
+    }
+
+    /// Declares an output port for observable outputs.
+    pub fn out_port(&mut self, name: &str) -> OutPort {
+        OutPort(self.kernel.add_port(name, PortDir::Out))
+    }
+
+    /// Spawns an initial task in the given failure-domain `group`.
+    pub fn spawn<F>(&mut self, name: &str, group: &str, f: F) -> TaskId
+    where
+        F: FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static,
+    {
+        let tid = self.kernel.add_task(name, group, None);
+        self.spawns.push((tid, Box::new(f)));
+        tid
+    }
+}
+
+/// The per-task operation context.
+///
+/// All methods are scheduling points: the calling task parks, the driver
+/// picks who runs next, and the operation executes atomically with respect
+/// to every other task. Methods return [`SimError::Cancelled`] once the run
+/// is winding down; bodies must propagate it (use `?`).
+pub struct TaskCtx {
+    pub(crate) shared: std::sync::Arc<crate::driver::Shared>,
+    pub(crate) tid: TaskId,
+}
+
+impl TaskCtx {
+    /// Returns this task's id.
+    pub fn me(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Returns the current execution-clock time.
+    ///
+    /// This is a lock-free-equivalent peek: the task logically owns the
+    /// processor while running, so the clock cannot move underneath it.
+    pub fn now(&self) -> u64 {
+        self.shared.state.lock().time
+    }
+
+    /// Reads a typed shared variable.
+    ///
+    /// Returns [`SimError::Internal`] if the stored value does not decode as
+    /// `T` (a programming error, surfaced loudly).
+    pub fn read<T: SimData>(&mut self, var: &TVar<T>, site: Site) -> SimResult<T> {
+        let v = self.op_read(var.id, site)?;
+        T::from_value(&v).ok_or_else(|| {
+            SimError::Internal(format!("type mismatch reading {} at {site}", var.id))
+        })
+    }
+
+    /// Writes a typed shared variable.
+    pub fn write<T: SimData>(&mut self, var: &TVar<T>, value: T, site: Site) -> SimResult<()> {
+        self.op_write(var.id, value.into_value(), site)
+    }
+
+    /// Reads an untyped shared variable.
+    pub fn read_raw(&mut self, var: VarId, site: Site) -> SimResult<Value> {
+        self.op_read(var, site)
+    }
+
+    /// Writes an untyped shared variable.
+    pub fn write_raw(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
+        self.op_write(var, value, site)
+    }
+
+    /// Acquires a lock (blocking).
+    pub fn lock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Lock { lock: m.0, site }).map(drop)
+    }
+
+    /// Releases a lock.
+    pub fn unlock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Unlock { lock: m.0, site }).map(drop)
+    }
+
+    /// Waits on a condition variable, atomically releasing `m`; on return
+    /// the lock is held again.
+    pub fn wait(&mut self, cv: CondvarHandle, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::CvWait {
+            cvar: cv.0,
+            lock: m.0,
+            stage: crate::kernel::CvStage::Enter,
+            site,
+        })
+        .map(drop)
+    }
+
+    /// Wakes one waiter (scheduling-policy choice among waiters).
+    pub fn notify_one(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::CvNotify { cvar: cv.0, all: false, site }).map(drop)
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::CvNotify { cvar: cv.0, all: true, site }).map(drop)
+    }
+
+    /// Sends a message (unbounded queue; may be dropped on congested
+    /// network channels).
+    pub fn send<T: SimData>(&mut self, ch: &ChanHandle<T>, msg: T, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Send { chan: ch.id, value: msg.into_value(), site })
+            .map(drop)
+    }
+
+    /// Receives a message (blocking).
+    pub fn recv<T: SimData>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<T> {
+        let v = self.syscall(crate::kernel::Op::Recv {
+            chan: ch.id,
+            deadline: None,
+            timeout: None,
+            site,
+        })?;
+        T::from_value(&v).ok_or_else(|| {
+            SimError::Internal(format!("type mismatch receiving on {} at {site}", ch.id))
+        })
+    }
+
+    /// Receives a message, giving up after `ticks` of virtual time.
+    pub fn recv_timeout<T: SimData>(
+        &mut self,
+        ch: &ChanHandle<T>,
+        ticks: u64,
+        site: Site,
+    ) -> SimResult<T> {
+        let v = self.syscall(crate::kernel::Op::Recv {
+            chan: ch.id,
+            deadline: None,
+            timeout: Some(ticks),
+            site,
+        })?;
+        T::from_value(&v).ok_or_else(|| {
+            SimError::Internal(format!("type mismatch receiving on {} at {site}", ch.id))
+        })
+    }
+
+    /// Closes a channel; subsequent receives on an empty queue fail with
+    /// [`SimError::ChannelClosed`].
+    pub fn close<T>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::CloseChan { chan: ch.id, site }).map(drop)
+    }
+
+    /// Reads the next scripted input from a port (blocking until arrival;
+    /// fails with [`SimError::InputExhausted`] when the script has ended).
+    pub fn input<T: SimData>(&mut self, p: InPort, site: Site) -> SimResult<T> {
+        let v = self.syscall(crate::kernel::Op::ReadInput { port: p.0, site })?;
+        T::from_value(&v).ok_or_else(|| {
+            SimError::Internal(format!("type mismatch reading input {} at {site}", p.0))
+        })
+    }
+
+    /// Emits an observable output.
+    pub fn output<T: SimData>(&mut self, p: OutPort, value: T, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::WriteOutput { port: p.0, value: value.into_value(), site })
+            .map(drop)
+    }
+
+    /// Samples a named probe point (consumed by invariant inference).
+    pub fn probe<T: SimData>(
+        &mut self,
+        name: &'static str,
+        value: T,
+        site: Site,
+    ) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Probe { name, value: value.into_value(), site }).map(drop)
+    }
+
+    /// Adjusts a named counter (part of the observable I/O summary) and
+    /// returns the new total.
+    pub fn count(&mut self, name: &'static str, delta: i64, site: Site) -> SimResult<i64> {
+        let v = self.syscall(crate::kernel::Op::Count { name, delta, site })?;
+        Ok(v.as_int().unwrap_or(0))
+    }
+
+    /// Draws a uniform value in `[0, bound)` from the kernel RNG
+    /// (`bound = 0` means the full 64-bit range).
+    pub fn rand_below(&mut self, bound: u64, site: Site) -> SimResult<u64> {
+        let v = self.syscall(crate::kernel::Op::Rng { bound, site })?;
+        Ok(v.as_int().unwrap_or(0) as u64)
+    }
+
+    /// Sleeps for `ticks` of virtual time.
+    pub fn sleep(&mut self, ticks: u64, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Sleep { until: None, ticks, site }).map(drop)
+    }
+
+    /// Yields the processor (a pure scheduling point).
+    pub fn yield_now(&mut self, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Yield { site }).map(drop)
+    }
+
+    /// Accounts `bytes` of allocation against this task's memory budget.
+    pub fn alloc(&mut self, bytes: u64, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Alloc { bytes, site }).map(drop)
+    }
+
+    /// Returns `bytes` of allocation to the budget.
+    pub fn free(&mut self, bytes: u64, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Free { bytes, site }).map(drop)
+    }
+
+    /// Blocks until `task` exits (or was killed).
+    pub fn join(&mut self, task: TaskId, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Join { task, site }).map(drop)
+    }
+
+    /// Records a crash of this task and unwinds it.
+    ///
+    /// Always returns an error so it can be written as
+    /// `return ctx.crash("reason", site)`.
+    pub fn crash(&mut self, reason: &str, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Crash { reason: reason.to_owned(), site })?;
+        Err(SimError::Cancelled)
+    }
+
+    /// Requests an orderly early stop of the whole run.
+    pub fn stop_run(&mut self, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::StopRun { site }).map(drop)
+    }
+
+    /// Spawns a new task in the given failure-domain group.
+    pub fn spawn<F>(&mut self, name: &str, group: &str, f: F) -> SimResult<TaskId>
+    where
+        F: FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static,
+    {
+        crate::driver::spawn_from_ctx(self, name, group, Box::new(f))
+    }
+
+    fn op_read(&mut self, var: VarId, site: Site) -> SimResult<Value> {
+        self.syscall(crate::kernel::Op::Read { var, site })
+    }
+
+    fn op_write(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Write { var, value, site }).map(drop)
+    }
+
+    fn syscall(&mut self, op: crate::kernel::Op) -> SimResult<Value> {
+        crate::driver::syscall(&self.shared, self.tid, op)
+    }
+}

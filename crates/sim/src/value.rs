@@ -1,0 +1,312 @@
+//! Dynamic value model for everything that flows through the machine.
+//!
+//! Shared variables, channel messages, port I/O and probe samples all carry
+//! [`Value`]s so that recorders, detectors and replayers can treat program
+//! data uniformly. Typed program code converts at the boundary via
+//! [`SimData`].
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically-typed datum stored in shared memory or carried by messages.
+#[derive(
+    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Value {
+    /// The unit value (used for pure-signal messages).
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes (data-plane payloads).
+    Bytes(Vec<u8>),
+    /// An ordered sequence of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the approximate wire size of this value in bytes.
+    ///
+    /// Used by the recording cost model and by the data-rate classifier; the
+    /// encoding is deliberately simple: scalars are 8 bytes, strings and byte
+    /// arrays are their length plus a 4-byte header, lists are the sum of
+    /// their elements plus a 4-byte header.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => 4 + s.len() as u64,
+            Value::Bytes(b) => 4 + b.len() as u64,
+            Value::List(vs) => 4 + vs.iter().map(Value::byte_size).sum::<u64>(),
+        }
+    }
+
+    /// Returns the contained integer, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained bool, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained list, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Conversion between typed program data and the dynamic [`Value`] model.
+///
+/// Implemented for scalars and common containers; program message enums
+/// implement it by hand (see `dd-hyperstore` for a worked example).
+pub trait SimData: Sized {
+    /// Encodes `self` into a dynamic value.
+    fn into_value(self) -> Value;
+    /// Decodes a dynamic value, returning `None` on shape mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+impl SimData for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl SimData for () {
+    fn into_value(self) -> Value {
+        Value::Unit
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Unit => Some(()),
+            _ => None,
+        }
+    }
+}
+
+impl SimData for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+impl SimData for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_int()
+    }
+}
+
+impl SimData for u32 {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_int().and_then(|i| u32::try_from(i).ok())
+    }
+}
+
+impl SimData for usize {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_int().and_then(|i| usize::try_from(i).ok())
+    }
+}
+
+impl SimData for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl SimData for Vec<u8> {
+    fn into_value(self) -> Value {
+        Value::Bytes(self)
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Bytes(b) => Some(b.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl<T: SimData> SimData for Vec<T> {
+    fn into_value(self) -> Value {
+        Value::List(self.into_iter().map(SimData::into_value).collect())
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        v.as_list()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: SimData, B: SimData> SimData for (A, B) {
+    fn into_value(self) -> Value {
+        Value::List(vec![self.0.into_value(), self.1.into_value()])
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 2 {
+            return None;
+        }
+        Some((A::from_value(&l[0])?, B::from_value(&l[1])?))
+    }
+}
+
+impl<A: SimData, B: SimData, C: SimData> SimData for (A, B, C) {
+    fn into_value(self) -> Value {
+        Value::List(vec![
+            self.0.into_value(),
+            self.1.into_value(),
+            self.2.into_value(),
+        ])
+    }
+    fn from_value(v: &Value) -> Option<Self> {
+        let l = v.as_list()?;
+        if l.len() != 3 {
+            return None;
+        }
+        Some((
+            A::from_value(&l[0])?,
+            B::from_value(&l[1])?,
+            C::from_value(&l[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_scalars() {
+        assert_eq!(Value::Unit.byte_size(), 1);
+        assert_eq!(Value::Bool(true).byte_size(), 1);
+        assert_eq!(Value::Int(-5).byte_size(), 8);
+        assert_eq!(Value::Str("abc".into()).byte_size(), 7);
+        assert_eq!(Value::Bytes(vec![0; 100]).byte_size(), 104);
+    }
+
+    #[test]
+    fn byte_size_list_is_recursive() {
+        let v = Value::List(vec![Value::Int(1), Value::Str("xy".into())]);
+        assert_eq!(v.byte_size(), 4 + 8 + 6);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(i64::from_value(&42i64.into_value()), Some(42));
+        assert_eq!(bool::from_value(&true.into_value()), Some(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().into_value()),
+            Some("hi".to_string())
+        );
+        assert_eq!(u32::from_value(&7u32.into_value()), Some(7));
+        assert_eq!(usize::from_value(&9usize.into_value()), Some(9));
+        assert_eq!(<()>::from_value(&().into_value()), Some(()));
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let v = vec![1i64, 2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.clone().into_value()), Some(v));
+        let p = (4i64, "s".to_string());
+        assert_eq!(
+            <(i64, String)>::from_value(&p.clone().into_value()),
+            Some(p)
+        );
+        let t = (1i64, 2i64, "z".to_string());
+        assert_eq!(
+            <(i64, i64, String)>::from_value(&t.clone().into_value()),
+            Some(t)
+        );
+    }
+
+    #[test]
+    fn mismatched_shapes_decode_to_none() {
+        assert_eq!(i64::from_value(&Value::Bool(true)), None);
+        assert_eq!(bool::from_value(&Value::Int(1)), None);
+        assert_eq!(<(i64, i64)>::from_value(&Value::List(vec![Value::Int(1)])), None);
+        assert_eq!(u32::from_value(&Value::Int(-1)), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Unit]).to_string(),
+            "[1, ()]"
+        );
+        assert_eq!(Value::Bytes(vec![1, 2]).to_string(), "bytes[2]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::List(vec![
+            Value::Int(1),
+            Value::Str("a".into()),
+            Value::Bytes(vec![9, 9]),
+        ]);
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,217 @@
+//! Coverage for the simulator's auxiliary API surface: registries, I/O
+//! summaries, condition variables, and policy decision plumbing.
+
+use dd_sim::{
+    run_program, Builder, ChanClass, InputScript, Program, RandomPolicy, RunConfig, SimResult,
+    StopReason, TaskCtx, Value,
+};
+
+struct CvarPipeline;
+
+impl Program for CvarPipeline {
+    fn name(&self) -> &'static str {
+        "cvar-pipeline"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let ready = b.var("ready", 0i64);
+        let out = b.out_port("out");
+        for i in 0..3 {
+            b.spawn(&format!("waiter{i}"), "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
+                ctx.lock(m, "w::lock")?;
+                loop {
+                    let r = ctx.read(&ready, "w::read")?;
+                    if r != 0 {
+                        break;
+                    }
+                    ctx.wait(cv, m, "w::wait")?;
+                }
+                ctx.unlock(m, "w::unlock")?;
+                ctx.output(out, 1i64, "w::done")
+            });
+        }
+        b.spawn("signaller", "g", move |ctx| {
+            ctx.sleep(50, "s::sleep")?;
+            ctx.lock(m, "s::lock")?;
+            ctx.write(&ready, 1, "s::write")?;
+            ctx.notify_all(cv, "s::notify")?;
+            ctx.unlock(m, "s::unlock")
+        });
+    }
+}
+
+#[test]
+fn notify_all_wakes_every_waiter() {
+    for seed in 0..8 {
+        let out = run_program(
+            &CvarPipeline,
+            RunConfig::with_seed(seed),
+            Box::new(RandomPolicy::new(seed)),
+            vec![],
+        );
+        assert_eq!(out.stop, StopReason::Quiescent, "seed {seed}");
+        assert_eq!(out.io.outputs_on("out").len(), 3, "seed {seed}");
+    }
+}
+
+struct NotifyOnePipeline;
+
+impl Program for NotifyOnePipeline {
+    fn name(&self) -> &'static str {
+        "notify-one"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let tokens = b.var("tokens", 0i64);
+        let out = b.out_port("out");
+        for i in 0..3 {
+            b.spawn(&format!("waiter{i}"), "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
+                ctx.lock(m, "w::lock")?;
+                loop {
+                    let t = ctx.read(&tokens, "w::read")?;
+                    if t > 0 {
+                        ctx.write(&tokens, t - 1, "w::take")?;
+                        break;
+                    }
+                    ctx.wait(cv, m, "w::wait")?;
+                }
+                ctx.unlock(m, "w::unlock")?;
+                ctx.output(out, i as i64, "w::done")
+            });
+        }
+        b.spawn("producer", "g", move |ctx| {
+            for _ in 0..3 {
+                ctx.sleep(20, "p::gap")?;
+                ctx.lock(m, "p::lock")?;
+                let t = ctx.read(&tokens, "p::read")?;
+                ctx.write(&tokens, t + 1, "p::write")?;
+                ctx.notify_one(cv, "p::notify")?;
+                ctx.unlock(m, "p::unlock")?;
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn notify_one_hands_out_tokens_to_all_waiters_eventually() {
+    for seed in 0..8 {
+        let out = run_program(
+            &NotifyOnePipeline,
+            RunConfig::with_seed(seed),
+            Box::new(RandomPolicy::new(seed)),
+            vec![],
+        );
+        assert_eq!(out.stop, StopReason::Quiescent, "seed {seed}: {:?}", out.stop);
+        let mut ids: Vec<i64> = out
+            .io
+            .outputs_on("out")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2], "seed {seed}");
+    }
+}
+
+struct EchoInputs;
+
+impl Program for EchoInputs {
+    fn name(&self) -> &'static str {
+        "echo-inputs"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let p = b.in_port("req");
+        let q = b.in_port("other");
+        let out = b.out_port("resp");
+        let _unused = b.channel::<i64>("spare", ChanClass::Network);
+        b.spawn("echo", "g", move |ctx| {
+            let _ = q;
+            loop {
+                match ctx.input::<i64>(p, "echo::in") {
+                    Ok(v) => ctx.output(out, v, "echo::out")?,
+                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn registry_lookups_resolve_names() {
+    let mut inputs = InputScript::new();
+    inputs.push("req", 0, Value::Int(7));
+    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let out = run_program(&EchoInputs, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    let reg = &out.registry;
+    assert!(reg.port_id("req").is_some());
+    assert!(reg.port_id("other").is_some());
+    assert!(reg.port_id("missing").is_none());
+    assert!(reg.chan_id("spare").is_some());
+    assert!(reg.chan_id("nope").is_none());
+    assert!(reg.var_id("anything").is_none());
+    assert_eq!(reg.tasks.len(), 1);
+    assert_eq!(reg.tasks[0].name, "echo");
+    assert_eq!(reg.tasks[0].group, "g");
+}
+
+#[test]
+fn io_summary_records_consumed_inputs() {
+    let mut inputs = InputScript::new();
+    inputs.push("req", 0, Value::Int(1));
+    inputs.push("req", 5, Value::Int(2));
+    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let out = run_program(&EchoInputs, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    let consumed: Vec<i64> = out
+        .io
+        .inputs_on("req")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(consumed, vec![1, 2]);
+    assert!(out.io.inputs_on("other").is_empty());
+    let echoed: Vec<i64> = out
+        .io
+        .outputs_on("resp")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(echoed, vec![1, 2]);
+    assert!(!out.io.crashed());
+}
+
+#[test]
+fn overhead_factor_is_one_without_observers() {
+    let out = run_program(
+        &CvarPipeline,
+        RunConfig::with_seed(1),
+        Box::new(RandomPolicy::new(1)),
+        vec![],
+    );
+    assert_eq!(out.stats.overhead_factor(), 1.0);
+    assert_eq!(out.stats.wall_ticks, out.stats.exec_ticks);
+    assert!(out.stats.decisions > 0);
+    assert!(out.stats.events >= out.stats.steps);
+}
+
+#[test]
+fn pct_policy_runs_full_programs_deterministically() {
+    let run = |seed| {
+        run_program(
+            &NotifyOnePipeline,
+            RunConfig::with_seed(9),
+            Box::new(dd_sim::PctPolicy::new(seed, 200, 3)),
+            vec![],
+        )
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.trace(), b.trace());
+    assert_eq!(a.stop, StopReason::Quiescent);
+}

@@ -1,0 +1,511 @@
+//! Integration tests for the simulator's core guarantees: determinism,
+//! exact schedule replay, and stop-condition detection.
+
+use dd_sim::{
+    run_program, Builder, ChanClass, CrashEvent, EnvConfig, Event, InputScript, Program,
+    RandomPolicy, RecordedDecision, ReplayPolicy, RoundRobinPolicy, RunConfig, RunOutput,
+    StopReason, Value,
+};
+
+/// Two unsynchronised incrementers and a reporter: the classic lost-update
+/// race. Outcome depends entirely on the schedule.
+struct RacyCounter {
+    iters: i64,
+}
+
+impl Program for RacyCounter {
+    fn name(&self) -> &'static str {
+        "racy_counter"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let total = b.var("total", 0i64);
+        let out = b.out_port("result");
+        let done = b.channel::<i64>("done", ChanClass::Local);
+        let iters = self.iters;
+        for i in 0..2 {
+            b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+                for _ in 0..iters {
+                    let v = ctx.read(&total, "adder::read")?;
+                    ctx.write(&total, v + 1, "adder::write")?;
+                }
+                ctx.send(&done, 1, "adder::done")
+            });
+        }
+        b.spawn("reporter", "main", move |ctx| {
+            for _ in 0..2 {
+                ctx.recv(&done, "reporter::recv")?;
+            }
+            let v = ctx.read(&total, "reporter::read")?;
+            ctx.output(out, v, "reporter::out")
+        });
+    }
+}
+
+fn run_racy(seed: u64) -> RunOutput {
+    run_program(
+        &RacyCounter { iters: 20 },
+        RunConfig::with_seed(seed),
+        Box::new(RandomPolicy::new(seed)),
+        vec![],
+    )
+}
+
+#[test]
+fn same_seed_produces_identical_traces() {
+    let a = run_racy(42);
+    let b = run_racy(42);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.trace(), b.trace());
+    assert_eq!(a.io, b.io);
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    let outcomes: std::collections::HashSet<i64> = (0..16)
+        .map(|s| run_racy(s).io.outputs_on("result")[0].as_int().unwrap())
+        .collect();
+    assert!(
+        outcomes.len() > 1,
+        "16 seeds should produce more than one racy outcome, got {outcomes:?}"
+    );
+}
+
+#[test]
+fn race_sometimes_loses_updates() {
+    let lost = (0..32).any(|s| {
+        run_racy(s).io.outputs_on("result")[0].as_int().unwrap() < 40
+    });
+    assert!(lost, "expected at least one seed to exhibit the lost-update race");
+}
+
+#[test]
+fn schedule_replay_reproduces_the_exact_execution() {
+    for seed in [3u64, 17, 99] {
+        let original = run_racy(seed);
+        let decisions: Vec<RecordedDecision> = original
+            .decisions
+            .iter()
+            .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+            .collect();
+        let replay = run_program(
+            &RacyCounter { iters: 20 },
+            RunConfig::with_seed(seed),
+            Box::new(ReplayPolicy::strict(decisions)),
+            vec![],
+        );
+        assert_eq!(replay.stop, StopReason::Quiescent);
+        assert_eq!(original.trace(), replay.trace(), "seed {seed}");
+        assert_eq!(original.io, replay.io, "seed {seed}");
+    }
+}
+
+#[test]
+fn replay_with_wrong_stream_reports_divergence() {
+    let original = run_racy(5);
+    // Truncate the stream so it exhausts early: strict replay must stop
+    // with a divergence, not silently continue.
+    let short: Vec<RecordedDecision> = original
+        .decisions
+        .iter()
+        .take(3)
+        .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+        .collect();
+    let replay = run_program(
+        &RacyCounter { iters: 20 },
+        RunConfig::with_seed(5),
+        Box::new(ReplayPolicy::strict(short)),
+        vec![],
+    );
+    assert!(matches!(replay.stop, StopReason::ReplayDivergence { .. }));
+}
+
+/// Classic ABBA deadlock, forced deterministically by round-robin.
+struct AbbaDeadlock;
+
+impl Program for AbbaDeadlock {
+    fn name(&self) -> &'static str {
+        "abba"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let a = b.mutex("A");
+        let m = b.mutex("B");
+        b.spawn("t0", "g", move |ctx| {
+            ctx.lock(a, "t0::lockA")?;
+            ctx.yield_now("t0::yield")?;
+            ctx.lock(m, "t0::lockB")?;
+            ctx.unlock(m, "t0::unlockB")?;
+            ctx.unlock(a, "t0::unlockA")
+        });
+        b.spawn("t1", "g", move |ctx| {
+            ctx.lock(m, "t1::lockB")?;
+            ctx.yield_now("t1::yield")?;
+            ctx.lock(a, "t1::lockA")?;
+            ctx.unlock(a, "t1::unlockA")?;
+            ctx.unlock(m, "t1::unlockB")
+        });
+    }
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let out = run_program(
+        &AbbaDeadlock,
+        RunConfig::with_seed(0),
+        Box::new(RoundRobinPolicy::new()),
+        vec![],
+    );
+    match out.stop {
+        StopReason::Deadlock { blocked } => assert_eq!(blocked.len(), 2),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+struct SleeperProgram;
+
+impl Program for SleeperProgram {
+    fn name(&self) -> &'static str {
+        "sleeper"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let out = b.out_port("events");
+        b.spawn("sleeper", "g", move |ctx| {
+            ctx.sleep(100, "sleeper::sleep")?;
+            ctx.output(out, ctx.now() as i64, "sleeper::report")
+        });
+    }
+}
+
+#[test]
+fn sleep_advances_virtual_time() {
+    let out = run_program(
+        &SleeperProgram,
+        RunConfig::with_seed(0),
+        Box::new(RandomPolicy::new(0)),
+        vec![],
+    );
+    assert_eq!(out.stop, StopReason::Quiescent);
+    let t = out.io.outputs_on("events")[0].as_int().unwrap();
+    assert!(t >= 100, "woke at {t}, expected >= 100");
+}
+
+struct InputEcho;
+
+impl Program for InputEcho {
+    fn name(&self) -> &'static str {
+        "input_echo"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let p = b.in_port("req");
+        let out = b.out_port("resp");
+        b.spawn("echo", "g", move |ctx| {
+            loop {
+                match ctx.input::<i64>(p, "echo::input") {
+                    Ok(v) => ctx.output(out, (v, ctx.now() as i64), "echo::output")?,
+                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn inputs_arrive_at_scripted_times() {
+    let mut inputs = InputScript::new();
+    inputs.push("req", 50, Value::Int(1));
+    inputs.push("req", 200, Value::Int(2));
+    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let out = run_program(&InputEcho, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    assert_eq!(out.stop, StopReason::Quiescent);
+    let resp = out.io.outputs_on("resp");
+    assert_eq!(resp.len(), 2);
+    let (v1, t1) = <(i64, i64)>::from_value(resp[0]).unwrap();
+    let (v2, t2) = <(i64, i64)>::from_value(resp[1]).unwrap();
+    assert_eq!((v1, v2), (1, 2));
+    assert!(t1 >= 50 && t2 >= 200, "t1={t1} t2={t2}");
+    // Use the conversion trait explicitly to silence unused-import warnings.
+    use dd_sim::SimData;
+    let _ = <(i64, i64)>::from_value(resp[0]);
+}
+
+struct CrashyGroup;
+
+impl Program for CrashyGroup {
+    fn name(&self) -> &'static str {
+        "crashy"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let out = b.out_port("beats");
+        b.spawn("victim", "node1", move |ctx| {
+            loop {
+                ctx.sleep(10, "victim::beat")?;
+                ctx.output(out, 1i64, "victim::output")?;
+            }
+        });
+        b.spawn("survivor", "node2", move |ctx| {
+            ctx.sleep(100, "survivor::wait")?;
+            ctx.output(out, 2i64, "survivor::output")
+        });
+    }
+}
+
+#[test]
+fn group_crash_kills_tasks_mid_run() {
+    let env = EnvConfig {
+        crashes: vec![CrashEvent { time: 45, group: "node1".into() }],
+        ..EnvConfig::clean()
+    };
+    let cfg = RunConfig { env, ..RunConfig::with_seed(0) };
+    let out = run_program(&CrashyGroup, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    assert_eq!(out.stop, StopReason::Quiescent);
+    let beats = out.io.outputs_on("beats");
+    // The victim beats at t=10,20,30,40 then dies; the survivor reports once.
+    let victim_beats = beats.iter().filter(|v| v.as_int() == Some(1)).count();
+    assert!(victim_beats <= 5, "victim should die early, beat {victim_beats} times");
+    assert_eq!(beats.iter().filter(|v| v.as_int() == Some(2)).count(), 1);
+    let killed = out
+        .trace()
+        .iter()
+        .any(|(_, e)| matches!(e, Event::TaskKilled { .. }));
+    assert!(killed);
+}
+
+struct TimeoutProgram;
+
+impl Program for TimeoutProgram {
+    fn name(&self) -> &'static str {
+        "timeout"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let ch = b.channel::<i64>("never", ChanClass::Local);
+        let out = b.out_port("result");
+        b.spawn("waiter", "g", move |ctx| {
+            match ctx.recv_timeout(&ch, 75, "waiter::recv") {
+                Err(dd_sim::SimError::RecvTimeout(_)) => {
+                    ctx.output(out, ctx.now() as i64, "waiter::timeout")
+                }
+                Ok(_) => panic!("received on an empty channel"),
+                Err(e) => Err(e),
+            }
+        });
+    }
+}
+
+#[test]
+fn recv_timeout_fires_at_deadline() {
+    let out = run_program(
+        &TimeoutProgram,
+        RunConfig::with_seed(0),
+        Box::new(RandomPolicy::new(0)),
+        vec![],
+    );
+    assert_eq!(out.stop, StopReason::Quiescent);
+    let t = out.io.outputs_on("result")[0].as_int().unwrap();
+    assert!(t >= 75, "timed out at {t}");
+}
+
+struct Forever;
+
+impl Program for Forever {
+    fn name(&self) -> &'static str {
+        "forever"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let v = b.var("x", 0i64);
+        b.spawn("spinner", "g", move |ctx| {
+            loop {
+                let x = ctx.read(&v, "spin::read")?;
+                ctx.write(&v, x + 1, "spin::write")?;
+            }
+        });
+    }
+}
+
+#[test]
+fn max_steps_bounds_runaway_programs() {
+    let cfg = RunConfig { max_steps: 500, ..RunConfig::with_seed(0) };
+    let out = run_program(&Forever, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    assert_eq!(out.stop, StopReason::MaxSteps);
+    assert!(out.stats.steps >= 500);
+}
+
+#[test]
+fn max_time_bounds_runaway_programs() {
+    let cfg = RunConfig { max_time: 300, ..RunConfig::with_seed(0) };
+    let out = run_program(&Forever, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    assert_eq!(out.stop, StopReason::MaxTime);
+}
+
+struct PanicProgram;
+
+impl Program for PanicProgram {
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        b.spawn("boomer", "g", |_ctx| panic!("intentional test panic"));
+        let out = b.out_port("ok");
+        b.spawn("bystander", "g", move |ctx| {
+            ctx.sleep(10, "bystander::sleep")?;
+            ctx.output(out, 1i64, "bystander::output")
+        });
+    }
+}
+
+#[test]
+fn panics_become_crash_records_not_aborts() {
+    let out = run_program(
+        &PanicProgram,
+        RunConfig::with_seed(0),
+        Box::new(RandomPolicy::new(0)),
+        vec![],
+    );
+    assert_eq!(out.stop, StopReason::Quiescent);
+    assert_eq!(out.io.crashes.len(), 1);
+    assert!(out.io.crashes[0].reason.contains("intentional test panic"));
+    // The bystander still completed.
+    assert_eq!(out.io.outputs_on("ok").len(), 1);
+}
+
+struct SpawnerProgram;
+
+impl Program for SpawnerProgram {
+    fn name(&self) -> &'static str {
+        "spawner"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let out = b.out_port("sum");
+        let ch = b.channel::<i64>("results", ChanClass::Local);
+        b.spawn("parent", "g", move |ctx| {
+            let mut kids = Vec::new();
+            for i in 0..4i64 {
+                let ch = ch;
+                let kid = ctx.spawn(&format!("kid{i}"), "g", move |kctx| {
+                    kctx.send(&ch, i * i, "kid::send")
+                })?;
+                kids.push(kid);
+            }
+            for kid in kids {
+                ctx.join(kid, "parent::join")?;
+            }
+            let mut sum = 0;
+            for _ in 0..4 {
+                sum += ctx.recv(&ch, "parent::recv")?;
+            }
+            ctx.output(out, sum, "parent::output")
+        });
+    }
+}
+
+#[test]
+fn runtime_spawn_and_join_work() {
+    let out = run_program(
+        &SpawnerProgram,
+        RunConfig::with_seed(7),
+        Box::new(RandomPolicy::new(7)),
+        vec![],
+    );
+    assert_eq!(out.stop, StopReason::Quiescent);
+    assert_eq!(out.io.outputs_on("sum")[0].as_int(), Some(14));
+}
+
+struct StopRunProgram;
+
+impl Program for StopRunProgram {
+    fn name(&self) -> &'static str {
+        "stopper"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        b.spawn("stopper", "g", move |ctx| {
+            ctx.sleep(10, "stopper::sleep")?;
+            ctx.stop_run("stopper::stop")
+        });
+        b.spawn("worker", "g", move |ctx| {
+            loop {
+                ctx.yield_now("worker::spin")?;
+            }
+        });
+    }
+}
+
+#[test]
+fn program_can_stop_the_run() {
+    let out = run_program(
+        &StopRunProgram,
+        RunConfig::with_seed(0),
+        Box::new(RandomPolicy::new(0)),
+        vec![],
+    );
+    assert_eq!(out.stop, StopReason::Stopped);
+}
+
+#[test]
+fn congestion_drops_are_deterministic_per_seed() {
+    struct Flood;
+    impl Program for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn setup(&self, b: &mut Builder<'_>) {
+            let net = b.channel::<i64>("net", ChanClass::Network);
+            b.spawn("sender", "g", move |ctx| {
+                for i in 0..100 {
+                    ctx.send(&net, i, "sender::send")?;
+                }
+                Ok(())
+            });
+        }
+    }
+    let run = |seed| {
+        let env = EnvConfig { drop_per_mille: 300, ..EnvConfig::clean() };
+        let cfg = RunConfig { env, ..RunConfig::with_seed(seed) };
+        let out = run_program(&Flood, cfg, Box::new(RandomPolicy::new(seed)), vec![]);
+        out.trace()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::SendDropped { .. }))
+            .count()
+    };
+    let d1 = run(9);
+    let d2 = run(9);
+    assert_eq!(d1, d2);
+    assert!(d1 > 10 && d1 < 60, "expected ~30% drops, got {d1}");
+}
+
+#[test]
+fn memory_budget_enforced_per_group() {
+    struct Hog;
+    impl Program for Hog {
+        fn name(&self) -> &'static str {
+            "hog"
+        }
+        fn setup(&self, b: &mut Builder<'_>) {
+            let out = b.out_port("result");
+            b.spawn("hog", "small", move |ctx| {
+                ctx.alloc(400, "hog::alloc")?;
+                match ctx.alloc(400, "hog::alloc2") {
+                    Err(dd_sim::SimError::OutOfMemory { .. }) => {
+                        ctx.output(out, -1i64, "hog::oom")
+                    }
+                    Ok(()) => ctx.output(out, 1i64, "hog::fine"),
+                    Err(e) => Err(e),
+                }
+            });
+        }
+    }
+    let mut env = EnvConfig::clean();
+    env.mem_budget.insert("small".into(), 500);
+    let cfg = RunConfig { env, ..RunConfig::with_seed(0) };
+    let out = run_program(&Hog, cfg, Box::new(RandomPolicy::new(0)), vec![]);
+    assert_eq!(out.io.outputs_on("result")[0].as_int(), Some(-1));
+}

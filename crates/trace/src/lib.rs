@@ -1,0 +1,33 @@
+//! # dd-trace — trace model, cost accounting and artifact formats
+//!
+//! The recording toolkit for the Debug Determinism reproduction:
+//!
+//! - [`Trace`]: the omniscient, queryable event record of a run (free for
+//!   analysis; recorders never see it).
+//! - [`CostModel`] / [`LogStats`]: how recording overhead is charged and
+//!   accounted, per logged record and byte.
+//! - Artifact formats ([`ScheduleLog`], [`ValueLog`], [`OutputLog`],
+//!   [`InputLog`], [`FailureSnapshot`], [`EventLog`]): what each determinism
+//!   model persists — relaxation means smaller artifacts.
+//! - Recorder observers ([`ScheduleRecorder`], [`ValueRecorder`],
+//!   [`OutputRecorder`], [`InputRecorder`], [`SelectiveRecorder`],
+//!   [`SiteProfiler`]): the building blocks `dd-replay` and `dd-core`
+//!   assemble into determinism models.
+
+pub mod cost;
+pub mod logs;
+pub mod persist;
+pub mod recorder;
+pub mod trace;
+
+pub use cost::{log_size, ChargeAcc, CostModel, LogStats};
+pub use persist::{load_json, save_json, PersistError};
+pub use logs::{
+    EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry,
+    ValKind, ValueCursor, ValueCursorStats, ValueLog,
+};
+pub use recorder::{
+    InputRecorder, OutputRecorder, RecordFilter, ScheduleRecorder, SelectiveRecorder,
+    SiteProfiler, ValueRecorder,
+};
+pub use trace::{AccessRecord, Trace, TraceEvent};

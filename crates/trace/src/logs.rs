@@ -1,0 +1,468 @@
+//! Artifact log formats: what each determinism model persists at runtime.
+//!
+//! A *recording artifact* is the only information a replayer gets — the
+//! whole point of relaxed determinism is that artifacts shrink as guarantees
+//! weaken. Formats here are model-agnostic containers; the determinism
+//! models in `dd-replay` and `dd-core` decide what goes into them.
+
+use crate::trace::Trace;
+use dd_sim::{
+    Event, InputScript, IoSummary, RecordedDecision, TaskId, Value,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// The recorded schedule: every multi-candidate decision, in order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleLog {
+    /// The decision stream.
+    pub decisions: Vec<RecordedDecision>,
+}
+
+impl ScheduleLog {
+    /// Builds the log from a finished run's decision records.
+    pub fn from_run(out: &dd_sim::RunOutput) -> Self {
+        ScheduleLog {
+            decisions: out
+                .decisions
+                .iter()
+                .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+                .collect(),
+        }
+    }
+
+    /// Converts into a strict replay policy.
+    pub fn into_replay_policy(self) -> dd_sim::ReplayPolicy {
+        dd_sim::ReplayPolicy::strict(self.decisions)
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Returns `true` if no decisions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+/// One recorded external input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputEntry {
+    /// Port name.
+    pub port: String,
+    /// Arrival time.
+    pub time: u64,
+    /// The value.
+    pub value: Value,
+}
+
+/// The recorded input log (port name, arrival time, value).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InputLog {
+    /// Inputs in arrival order.
+    pub entries: Vec<InputEntry>,
+}
+
+impl InputLog {
+    /// Extracts all input arrivals from a trace.
+    pub fn from_trace(trace: &Trace, registry: &dd_sim::Registry) -> Self {
+        let entries = trace
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::InputArrival { port, value } => Some(InputEntry {
+                    port: registry.ports[port.index()].name.clone(),
+                    time: e.meta.time,
+                    value: value.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        InputLog { entries }
+    }
+
+    /// Rebuilds an input script that reproduces these arrivals.
+    pub fn to_script(&self) -> InputScript {
+        let mut s = InputScript::new();
+        for e in &self.entries {
+            s.push(&e.port, e.time, e.value.clone());
+        }
+        s
+    }
+
+    /// Total payload bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.value.byte_size()).sum()
+    }
+}
+
+/// The recorded observable output: ordered port writes plus final counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutputLog {
+    /// `(port name, value)` in emission order.
+    pub outputs: Vec<(String, Value)>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, i64>,
+}
+
+impl OutputLog {
+    /// Builds the log from a run's I/O summary.
+    pub fn from_io(io: &IoSummary) -> Self {
+        OutputLog {
+            outputs: io
+                .outputs
+                .iter()
+                .map(|o| (o.port_name.clone(), o.value.clone()))
+                .collect(),
+            counters: io.counters.clone(),
+        }
+    }
+
+    /// Returns `true` if another run's observable output matches this log
+    /// exactly (the output-determinism acceptance test).
+    pub fn matches(&self, io: &IoSummary) -> bool {
+        *self == OutputLog::from_io(io)
+    }
+}
+
+/// Kinds of task-local nondeterminism captured by a [`ValueLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValKind {
+    /// A shared-variable read.
+    Read,
+    /// A channel receive.
+    Recv,
+    /// An input-port read.
+    Input,
+    /// An RNG draw (raw 64-bit value).
+    Rng,
+}
+
+/// One logged value observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValEntry {
+    /// What kind of observation.
+    pub kind: ValKind,
+    /// The observed value (for RNG draws, the raw value as an `Int`).
+    pub value: Value,
+}
+
+/// Per-task logs of every value observed — the iDNA-style value-determinism
+/// artifact. Feeding these back at the corresponding execution points
+/// reproduces each task's behaviour regardless of the global schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValueLog {
+    per_task: BTreeMap<u32, Vec<ValEntry>>,
+}
+
+impl ValueLog {
+    /// Extracts per-task value observations from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut per_task: BTreeMap<u32, Vec<ValEntry>> = BTreeMap::new();
+        for e in trace.iter() {
+            let (task, entry) = match &e.event {
+                Event::Read { task, value, .. } => {
+                    (*task, ValEntry { kind: ValKind::Read, value: value.clone() })
+                }
+                Event::Recv { task, value, .. } => {
+                    (*task, ValEntry { kind: ValKind::Recv, value: value.clone() })
+                }
+                Event::InputRead { task, value, .. } => {
+                    (*task, ValEntry { kind: ValKind::Input, value: value.clone() })
+                }
+                Event::RngDraw { task, value, .. } => (
+                    *task,
+                    ValEntry { kind: ValKind::Rng, value: Value::Int(*value as i64) },
+                ),
+                _ => continue,
+            };
+            per_task.entry(task.0).or_default().push(entry);
+        }
+        ValueLog { per_task }
+    }
+
+    /// Appends one observation for a task (used by online recorders).
+    pub fn push(&mut self, task: TaskId, entry: ValEntry) {
+        self.per_task.entry(task.0).or_default().push(entry);
+    }
+
+    /// Entries logged for one task.
+    pub fn for_task(&self, task: TaskId) -> &[ValEntry] {
+        self.per_task.get(&task.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of logged observations.
+    pub fn len(&self) -> usize {
+        self.per_task.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes (the dominant recording cost of value
+    /// determinism).
+    pub fn bytes(&self) -> u64 {
+        self.per_task
+            .values()
+            .flatten()
+            .map(|e| e.value.byte_size())
+            .sum()
+    }
+
+    /// Creates a replay cursor feeding these values back, plus a shared
+    /// stats handle for divergence accounting.
+    pub fn into_cursor(self) -> (ValueCursor, ValueCursorStats) {
+        let inner = Arc::new(Mutex::new(CursorInner {
+            queues: self
+                .per_task
+                .into_iter()
+                .map(|(t, v)| (t, VecDeque::from(v)))
+                .collect(),
+            fed: 0,
+            divergences: 0,
+        }));
+        (ValueCursor { inner: Arc::clone(&inner) }, ValueCursorStats { inner })
+    }
+}
+
+struct CursorInner {
+    queues: BTreeMap<u32, VecDeque<ValEntry>>,
+    fed: u64,
+    divergences: u64,
+}
+
+/// A [`dd_sim::NondetOverride`] that feeds a [`ValueLog`] back into a run.
+///
+/// Kind mismatches (the replay asked for a read where the log has a receive)
+/// and exhausted logs are counted as divergences and fall back to live
+/// values.
+pub struct ValueCursor {
+    inner: Arc<Mutex<CursorInner>>,
+}
+
+/// Shared handle to a [`ValueCursor`]'s statistics, readable after the run.
+#[derive(Clone)]
+pub struct ValueCursorStats {
+    inner: Arc<Mutex<CursorInner>>,
+}
+
+impl ValueCursorStats {
+    /// Values successfully fed from the log.
+    pub fn fed(&self) -> u64 {
+        self.inner.lock().expect("cursor lock poisoned").fed
+    }
+
+    /// Replay points where the log did not match.
+    pub fn divergences(&self) -> u64 {
+        self.inner.lock().expect("cursor lock poisoned").divergences
+    }
+}
+
+impl ValueCursor {
+    fn pop(&mut self, task: TaskId, want: ValKind) -> Option<Value> {
+        let mut inner = self.inner.lock().expect("cursor lock poisoned");
+        let q = inner.queues.get_mut(&task.0)?;
+        match q.front() {
+            Some(e) if e.kind == want => {
+                let v = q.pop_front().expect("front checked").value;
+                inner.fed += 1;
+                Some(v)
+            }
+            Some(_) => {
+                inner.divergences += 1;
+                None
+            }
+            None => {
+                inner.divergences += 1;
+                None
+            }
+        }
+    }
+}
+
+impl dd_sim::NondetOverride for ValueCursor {
+    fn override_read(
+        &mut self,
+        task: TaskId,
+        _var: dd_sim::VarId,
+        _actual: &Value,
+    ) -> Option<Value> {
+        self.pop(task, ValKind::Read)
+    }
+
+    fn override_recv(&mut self, task: TaskId, _chan: dd_sim::ChanId) -> Option<Value> {
+        self.pop(task, ValKind::Recv)
+    }
+
+    fn override_input(&mut self, task: TaskId, _port: dd_sim::PortId) -> Option<Value> {
+        self.pop(task, ValKind::Input)
+    }
+
+    fn override_rng(&mut self, task: TaskId) -> Option<u64> {
+        self.pop(task, ValKind::Rng)
+            .and_then(|v| v.as_int())
+            .map(|i| i as u64)
+    }
+}
+
+/// The failure-determinism artifact: a snapshot of the failure evidence
+/// (what ESD would pull from a bug report or core dump).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureSnapshot {
+    /// Stable failure identifier assigned by the I/O specification.
+    pub failure_id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Crash records, if the failure was a crash.
+    pub crashes: Vec<dd_sim::CrashRecord>,
+    /// Final counters (performance evidence).
+    pub counters: BTreeMap<String, i64>,
+}
+
+/// A selectively recorded event sequence (the RCSE artifact body).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    /// Recorded events with their step metadata.
+    pub events: Vec<crate::trace::TraceEvent>,
+}
+
+impl EventLog {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns `true` if an event satisfying `pred` was recorded.
+    pub fn contains(&self, pred: impl Fn(&Event) -> bool) -> bool {
+        self.events.iter().any(|e| pred(&e.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::{EventMeta, VarId};
+
+    fn ev(step: u64, event: Event) -> (EventMeta, Event) {
+        (EventMeta { step, time: step }, event)
+    }
+
+    #[test]
+    fn value_log_extracts_per_task_streams() {
+        let trace = Trace::from_events(vec![
+            ev(0, Event::Read {
+                task: TaskId(0),
+                var: VarId(0),
+                value: Value::Int(1),
+                site: "s".into(),
+            }),
+            ev(1, Event::RngDraw { task: TaskId(1), value: 42, site: "s".into() }),
+            ev(2, Event::Recv {
+                task: TaskId(0),
+                chan: dd_sim::ChanId(0),
+                value: Value::Str("m".into()),
+                site: "s".into(),
+            }),
+        ]);
+        let log = ValueLog::from_trace(&trace);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_task(TaskId(0)).len(), 2);
+        assert_eq!(log.for_task(TaskId(0))[0].kind, ValKind::Read);
+        assert_eq!(log.for_task(TaskId(1))[0].kind, ValKind::Rng);
+        assert!(log.bytes() >= 8 + 8 + 5);
+    }
+
+    #[test]
+    fn cursor_feeds_in_order_and_counts_divergence() {
+        let trace = Trace::from_events(vec![
+            ev(0, Event::Read {
+                task: TaskId(0),
+                var: VarId(0),
+                value: Value::Int(5),
+                site: "s".into(),
+            }),
+            ev(1, Event::Read {
+                task: TaskId(0),
+                var: VarId(0),
+                value: Value::Int(6),
+                site: "s".into(),
+            }),
+        ]);
+        let (mut cursor, stats) = ValueLog::from_trace(&trace).into_cursor();
+        use dd_sim::NondetOverride;
+        assert_eq!(
+            cursor.override_read(TaskId(0), VarId(0), &Value::Unit),
+            Some(Value::Int(5))
+        );
+        // Kind mismatch: the log has a Read queued, we ask for a Recv.
+        assert_eq!(cursor.override_recv(TaskId(0), dd_sim::ChanId(0)), None);
+        assert_eq!(
+            cursor.override_read(TaskId(0), VarId(0), &Value::Unit),
+            Some(Value::Int(6))
+        );
+        // Exhausted.
+        assert_eq!(cursor.override_read(TaskId(0), VarId(0), &Value::Unit), None);
+        assert_eq!(stats.fed(), 2);
+        assert_eq!(stats.divergences(), 2);
+    }
+
+    #[test]
+    fn output_log_matching() {
+        let mut io = IoSummary::default();
+        io.counters.insert("drops".into(), 3);
+        let log = OutputLog::from_io(&io);
+        assert!(log.matches(&io));
+        let mut io2 = io.clone();
+        io2.counters.insert("drops".into(), 4);
+        assert!(!log.matches(&io2));
+    }
+
+    #[test]
+    fn schedule_log_round_trips_serde() {
+        let log = ScheduleLog {
+            decisions: vec![RecordedDecision {
+                kind: dd_sim::DecisionKind::NextTask,
+                chosen: TaskId(2),
+            }],
+        };
+        let s = serde_json::to_string(&log).unwrap();
+        let back: ScheduleLog = serde_json::from_str(&s).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn input_log_rebuilds_script() {
+        let log = InputLog {
+            entries: vec![
+                InputEntry { port: "req".into(), time: 5, value: Value::Int(1) },
+                InputEntry { port: "req".into(), time: 9, value: Value::Int(2) },
+            ],
+        };
+        let script = log.to_script();
+        assert_eq!(script.len(), 2);
+        assert_eq!(script.for_port("req")[1].time, 9);
+        assert_eq!(log.bytes(), 16);
+    }
+
+    #[test]
+    fn event_log_contains() {
+        let log = EventLog {
+            events: vec![crate::trace::TraceEvent {
+                meta: EventMeta { step: 0, time: 0 },
+                event: Event::Yield { task: TaskId(0), site: "s".into() },
+            }],
+        };
+        assert!(log.contains(|e| matches!(e, Event::Yield { .. })));
+        assert!(!log.contains(|e| matches!(e, Event::Crash { .. })));
+    }
+}

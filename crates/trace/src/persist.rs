@@ -1,0 +1,135 @@
+//! Artifact persistence: saving and loading recordings as JSON.
+//!
+//! Production recorders stream their logs to stable storage; replay happens
+//! later, usually on a different machine. This module provides the
+//! round-trip: any serialisable artifact (trace, schedule log, value log,
+//! plane map, …) can be written to and reloaded from a file.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from artifact persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialisation or deserialisation error.
+    Codec(serde_json::Error),
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            PersistError::Codec(e) => write!(f, "artifact codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// Writes a serialisable artifact to `path` as JSON.
+pub fn save_json<T: Serialize>(artifact: &T, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, artifact)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an artifact back from `path`.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, PersistError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScheduleLog, Trace, ValueLog};
+    use dd_sim::{Event, EventMeta, RecordedDecision, TaskId, Value, VarId};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dd-trace-persist-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn trace_round_trips_through_disk() {
+        let trace = Trace::from_events(vec![(
+            EventMeta { step: 0, time: 3 },
+            Event::Read {
+                task: TaskId(0),
+                var: VarId(1),
+                value: Value::Bytes(vec![1, 2, 3]),
+                site: "s".into(),
+            },
+        )]);
+        let path = tmp("trace");
+        save_json(&trace, &path).unwrap();
+        let back: Trace = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn schedule_log_round_trips_through_disk() {
+        let log = ScheduleLog {
+            decisions: vec![RecordedDecision {
+                kind: dd_sim::DecisionKind::NextTask,
+                chosen: TaskId(4),
+            }],
+        };
+        let path = tmp("sched");
+        save_json(&log, &path).unwrap();
+        let back: ScheduleLog = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn value_log_round_trips_through_disk() {
+        let trace = Trace::from_events(vec![(
+            EventMeta { step: 0, time: 0 },
+            Event::RngDraw { task: TaskId(2), value: 99, site: "s".into() },
+        )]);
+        let log = ValueLog::from_trace(&trace);
+        let path = tmp("values");
+        save_json(&log, &path).unwrap();
+        let back: ValueLog = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = load_json::<Trace>(Path::new("/nonexistent/definitely/missing.json"))
+            .unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn garbage_reports_codec_error() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_json::<Trace>(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Codec(_)));
+    }
+}

@@ -1,0 +1,445 @@
+//! Reusable recorder observers: the building blocks determinism models are
+//! assembled from.
+//!
+//! Each recorder charges its [`CostModel`] per logged record — this is the
+//! recording overhead that Fig. 1/Fig. 2 compare — and accumulates an
+//! artifact retrievable after the run via
+//! [`RunOutput::observer`](dd_sim::RunOutput::observer).
+
+use crate::cost::{log_size, ChargeAcc, CostModel, LogStats};
+use crate::logs::{EventLog, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry, ValKind, ValueLog};
+use crate::trace::TraceEvent;
+use dd_sim::{observer_boilerplate, Event, EventMeta, Observer, RecordedDecision, Value};
+use std::collections::BTreeMap;
+
+/// Records the schedule decision stream (thread interleavings).
+pub struct ScheduleRecorder {
+    cost: CostModel,
+    acc: ChargeAcc,
+    log: ScheduleLog,
+    stats: LogStats,
+}
+
+impl ScheduleRecorder {
+    /// Creates a recorder with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        ScheduleRecorder { cost, acc: ChargeAcc::default(), log: ScheduleLog::default(), stats: LogStats::default() }
+    }
+
+    /// The recorded schedule so far.
+    pub fn log(&self) -> &ScheduleLog {
+        &self.log
+    }
+
+    /// Consumes the recorded schedule.
+    pub fn take_log(&mut self) -> ScheduleLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Recording statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+}
+
+impl Observer for ScheduleRecorder {
+    fn name(&self) -> &'static str {
+        "schedule-recorder"
+    }
+
+    fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
+        match event {
+            Event::Decision { kind, chosen, .. } => {
+                self.log.decisions.push(RecordedDecision { kind: *kind, chosen: *chosen });
+                let bytes = log_size(event);
+                self.stats.add(bytes);
+                self.acc.add(self.cost.cost_milli(bytes))
+            }
+            _ => 0,
+        }
+    }
+
+    observer_boilerplate!();
+}
+
+/// Records every value observation (reads, receives, inputs, RNG draws) —
+/// the iDNA-style value-determinism recorder. This is the most expensive
+/// recorder: it logs payload bytes on every access.
+pub struct ValueRecorder {
+    cost: CostModel,
+    acc: ChargeAcc,
+    log: ValueLog,
+    stats: LogStats,
+}
+
+impl ValueRecorder {
+    /// Creates a recorder with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        ValueRecorder { cost, acc: ChargeAcc::default(), log: ValueLog::default(), stats: LogStats::default() }
+    }
+
+    /// The accumulated value log.
+    pub fn log(&self) -> &ValueLog {
+        &self.log
+    }
+
+    /// Consumes the accumulated value log.
+    pub fn take_log(&mut self) -> ValueLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Recording statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+}
+
+impl Observer for ValueRecorder {
+    fn name(&self) -> &'static str {
+        "value-recorder"
+    }
+
+    fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
+        let (task, entry) = match event {
+            Event::Read { task, value, .. } => {
+                (*task, ValEntry { kind: ValKind::Read, value: value.clone() })
+            }
+            Event::Recv { task, value, .. } => {
+                (*task, ValEntry { kind: ValKind::Recv, value: value.clone() })
+            }
+            Event::InputRead { task, value, .. } => {
+                (*task, ValEntry { kind: ValKind::Input, value: value.clone() })
+            }
+            Event::RngDraw { task, value, .. } => (
+                *task,
+                ValEntry { kind: ValKind::Rng, value: Value::Int(*value as i64) },
+            ),
+            _ => return 0,
+        };
+        let bytes = log_size(event);
+        self.stats.add(bytes);
+        self.log.push(task, entry);
+        self.acc.add(self.cost.cost_milli(bytes))
+    }
+
+    observer_boilerplate!();
+}
+
+/// Records observable outputs and counters — the ODR-lite recorder.
+pub struct OutputRecorder {
+    cost: CostModel,
+    acc: ChargeAcc,
+    outputs: Vec<(dd_sim::PortId, Value)>,
+    counters: BTreeMap<String, i64>,
+    stats: LogStats,
+}
+
+impl OutputRecorder {
+    /// Creates a recorder with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        OutputRecorder {
+            cost,
+            acc: ChargeAcc::default(),
+            outputs: Vec::new(),
+            counters: BTreeMap::new(),
+            stats: LogStats::default(),
+        }
+    }
+
+    /// Resolves the recorded outputs against a registry into an
+    /// [`OutputLog`].
+    pub fn to_log(&self, registry: &dd_sim::Registry) -> OutputLog {
+        OutputLog {
+            outputs: self
+                .outputs
+                .iter()
+                .map(|(port, value)| {
+                    (registry.ports[port.index()].name.clone(), value.clone())
+                })
+                .collect(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Recording statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+}
+
+impl Observer for OutputRecorder {
+    fn name(&self) -> &'static str {
+        "output-recorder"
+    }
+
+    fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
+        match event {
+            Event::Output { port, value, .. } => {
+                let bytes = log_size(event);
+                self.stats.add(bytes);
+                self.outputs.push((*port, value.clone()));
+                self.acc.add(self.cost.cost_milli(bytes))
+            }
+            Event::Counter { name, total, .. } => {
+                let bytes = log_size(event);
+                self.stats.add(bytes);
+                self.counters.insert(name.clone(), *total);
+                self.acc.add(self.cost.cost_milli(bytes))
+            }
+            _ => 0,
+        }
+    }
+
+    observer_boilerplate!();
+}
+
+/// Records external input arrivals — the ODR-heavy input log.
+pub struct InputRecorder {
+    cost: CostModel,
+    acc: ChargeAcc,
+    entries: Vec<(dd_sim::PortId, u64, Value)>,
+    stats: LogStats,
+}
+
+impl InputRecorder {
+    /// Creates a recorder with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        InputRecorder { cost, acc: ChargeAcc::default(), entries: Vec::new(), stats: LogStats::default() }
+    }
+
+    /// Resolves the recorded inputs against a registry into an [`InputLog`].
+    pub fn to_log(&self, registry: &dd_sim::Registry) -> InputLog {
+        InputLog {
+            entries: self
+                .entries
+                .iter()
+                .map(|(port, time, value)| InputEntry {
+                    port: registry.ports[port.index()].name.clone(),
+                    time: *time,
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Recording statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+}
+
+impl Observer for InputRecorder {
+    fn name(&self) -> &'static str {
+        "input-recorder"
+    }
+
+    fn on_event(&mut self, meta: &EventMeta, event: &Event) -> u64 {
+        match event {
+            Event::InputArrival { port, value } => {
+                let bytes = log_size(event);
+                self.stats.add(bytes);
+                self.entries.push((*port, meta.time, value.clone()));
+                self.acc.add(self.cost.cost_milli(bytes))
+            }
+            _ => 0,
+        }
+    }
+
+    observer_boilerplate!();
+}
+
+/// A dynamic predicate deciding whether an event is recorded.
+pub type RecordFilter = Box<dyn FnMut(&EventMeta, &Event) -> bool + Send>;
+
+/// Records the subset of events matching a filter — the generic selective
+/// recorder RCSE builds on.
+pub struct SelectiveRecorder {
+    name: &'static str,
+    cost: CostModel,
+    acc: ChargeAcc,
+    filter: RecordFilter,
+    log: EventLog,
+    stats: LogStats,
+}
+
+impl SelectiveRecorder {
+    /// Creates a selective recorder.
+    pub fn new(name: &'static str, cost: CostModel, filter: RecordFilter) -> Self {
+        SelectiveRecorder {
+            name,
+            cost,
+            acc: ChargeAcc::default(),
+            filter,
+            log: EventLog::default(),
+            stats: LogStats::default(),
+        }
+    }
+
+    /// The recorded events.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consumes the recorded events.
+    pub fn take_log(&mut self) -> EventLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Recording statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+}
+
+impl Observer for SelectiveRecorder {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_event(&mut self, meta: &EventMeta, event: &Event) -> u64 {
+        if (self.filter)(meta, event) {
+            let bytes = log_size(event);
+            self.stats.add(bytes);
+            self.log.events.push(TraceEvent { meta: *meta, event: event.clone() });
+            self.acc.add(self.cost.cost_milli(bytes))
+        } else {
+            0
+        }
+    }
+
+    observer_boilerplate!();
+}
+
+/// A profiling observer counting per-site records and bytes (free — it
+/// models offline profiling, not production recording).
+#[derive(Default)]
+pub struct SiteProfiler {
+    per_site: BTreeMap<String, LogStats>,
+}
+
+impl SiteProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-site statistics accumulated so far.
+    pub fn per_site(&self) -> &BTreeMap<String, LogStats> {
+        &self.per_site
+    }
+
+    /// Consumes the accumulated statistics.
+    pub fn take(&mut self) -> BTreeMap<String, LogStats> {
+        std::mem::take(&mut self.per_site)
+    }
+}
+
+impl Observer for SiteProfiler {
+    fn name(&self) -> &'static str {
+        "site-profiler"
+    }
+
+    fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
+        if let Some(site) = event.site() {
+            self.per_site
+                .entry(site.to_owned())
+                .or_default()
+                .add(event.payload_bytes());
+        }
+        0
+    }
+
+    observer_boilerplate!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::{TaskId, VarId};
+
+    fn meta() -> EventMeta {
+        EventMeta { step: 0, time: 0 }
+    }
+
+    #[test]
+    fn schedule_recorder_only_logs_decisions() {
+        let mut r = ScheduleRecorder::new(CostModel::per_record(2));
+        let c = r.on_event(
+            &meta(),
+            &Event::Decision {
+                kind: dd_sim::DecisionKind::NextTask,
+                candidates: vec![TaskId(0), TaskId(1)],
+                chosen: TaskId(1),
+            },
+        );
+        assert_eq!(c, 2);
+        let c2 = r.on_event(
+            &meta(),
+            &Event::Yield { task: TaskId(0), site: "s".into() },
+        );
+        assert_eq!(c2, 0);
+        assert_eq!(r.log().len(), 1);
+        assert_eq!(r.stats().records, 1);
+    }
+
+    #[test]
+    fn value_recorder_charges_for_payload() {
+        let mut r = ValueRecorder::new(CostModel { record_milli: 1000, byte_milli: 1000 });
+        let big = Event::Read {
+            task: TaskId(0),
+            var: VarId(0),
+            value: Value::Bytes(vec![0; 100]),
+            site: "s".into(),
+        };
+        let c = r.on_event(&meta(), &big);
+        assert!(c > 100, "cost {c} should include payload bytes");
+        assert_eq!(r.log().len(), 1);
+    }
+
+    #[test]
+    fn selective_recorder_filters() {
+        let mut r = SelectiveRecorder::new(
+            "ctrl",
+            CostModel::per_record(1),
+            Box::new(|_m, e| e.site().is_some_and(|s| s.starts_with("ctl::"))),
+        );
+        r.on_event(&meta(), &Event::Yield { task: TaskId(0), site: "ctl::x".into() });
+        r.on_event(&meta(), &Event::Yield { task: TaskId(0), site: "data::y".into() });
+        assert_eq!(r.log().len(), 1);
+    }
+
+    #[test]
+    fn site_profiler_aggregates_bytes() {
+        let mut p = SiteProfiler::new();
+        for _ in 0..3 {
+            p.on_event(
+                &meta(),
+                &Event::Send {
+                    task: TaskId(0),
+                    chan: dd_sim::ChanId(0),
+                    value: Value::Bytes(vec![0; 10]),
+                    site: "net::send".into(),
+                },
+            );
+        }
+        let stats = p.per_site()["net::send"];
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.bytes, 42);
+    }
+
+    #[test]
+    fn output_recorder_captures_counters() {
+        let mut r = OutputRecorder::new(CostModel::per_record(1));
+        r.on_event(
+            &meta(),
+            &Event::Counter {
+                task: TaskId(0),
+                name: "drops".into(),
+                total: 4,
+                site: "s".into(),
+            },
+        );
+        let log = r.to_log(&dd_sim::Registry::default());
+        assert_eq!(log.counters["drops"], 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dd-workloads — the paper's motivating programs
+//!
+//! Three workloads, each a [`dd_core::Workload`] with an I/O specification,
+//! declared root causes, a nondeterminism space, and a fixed variant:
+//!
+//! - [`SumWorkload`] (§2): the adder that outputs 5 for 2 + 2 — the
+//!   output-determinism trap (replaying "output 5" via the non-failing
+//!   1 + 4).
+//! - [`MsgServerWorkload`] (§2): the server dropping messages — the true
+//!   root cause is a buffer race, but failure-deterministic replay blames
+//!   network congestion.
+//! - [`BufOverflowWorkload`] (§3): the crash whose root cause is a missing
+//!   input-length check (the fix-predicate example).
+
+pub mod bufoverflow;
+pub mod msgserver;
+pub mod sum;
+
+pub use bufoverflow::{
+    bufoverflow_spec, BufOverflowProgram, BufOverflowWorkload, CAPACITY, CRASH,
+    RC_MISSING_CHECK,
+};
+pub use msgserver::{
+    msgserver_spec, MsgServerConfig, MsgServerProgram, MsgServerWorkload, EXCESS_DROPS,
+    RC_BUFFER_RACE, RC_CONGESTION,
+};
+pub use sum::{sum_spec, SumProgram, SumWorkload, RC_CORRUPT_TABLE, WRONG_SUM};

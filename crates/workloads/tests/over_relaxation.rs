@@ -1,0 +1,102 @@
+//! The §2 "perils of over-relaxation" narratives, as executable tests.
+//!
+//! - TXT-SUM: an output-deterministic replay of the 2+2=5 failure produces
+//!   the non-failing execution 1+4=5 → debugging fidelity 0.
+//! - TXT-MSG: a failure-deterministic replay of the drop-rate failure finds
+//!   a congestion execution instead of the buffer race → fidelity 1/2.
+
+use dd_core::{
+    evaluate_model, DebugModel, FailureModel, InferenceBudget, OutputLiteModel, PerfectModel,
+    RcseConfig, ValueModel, Workload,
+};
+use dd_workloads::{
+    MsgServerConfig, MsgServerWorkload, SumWorkload, RC_BUFFER_RACE, RC_CONGESTION,
+};
+
+#[test]
+fn txt_sum_output_determinism_replays_one_plus_four() {
+    let w = SumWorkload;
+    let (report, recording, replay) =
+        evaluate_model(&w, &OutputLiteModel, &InferenceBudget::executions(40));
+    // The original run is the 2+2=5 failure.
+    assert!(recording.original.failure.is_some());
+    // The replayed execution matches the outputs…
+    assert!(replay.artifact_satisfied, "outputs should be matchable");
+    // …but through inputs (1, 4): same output 5, *not* a failure.
+    assert_eq!(replay.io.outputs_on("sum")[0].as_int(), Some(5));
+    let inputs: Vec<i64> = replay
+        .io
+        .inputs_on("operands")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(inputs, vec![1, 4], "the §2 example verbatim");
+    assert!(!replay.reproduced_failure);
+    assert_eq!(report.utility.fidelity.df, 0.0, "debugging fidelity is 0");
+}
+
+#[test]
+fn txt_sum_stronger_models_reproduce_the_failure() {
+    let w = SumWorkload;
+    for model in [&PerfectModel as &dyn dd_core::DeterminismModel, &ValueModel] {
+        let (report, _, replay) =
+            evaluate_model(&w, model, &InferenceBudget::executions(10));
+        assert!(replay.reproduced_failure, "{} must reproduce 2+2=5", report.model);
+        assert_eq!(report.utility.fidelity.df, 1.0);
+        assert_eq!(replay.io.outputs_on("sum")[0].as_int(), Some(5));
+        let inputs: Vec<i64> = replay
+            .io
+            .inputs_on("operands")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(inputs, vec![2, 2]);
+    }
+}
+
+#[test]
+fn txt_msg_failure_determinism_blames_congestion() {
+    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 32)
+        .expect("a racy seed exists");
+    let (report, recording, replay) =
+        evaluate_model(&w, &FailureModel, &InferenceBudget::executions(40));
+    // Original failure: drops caused by the buffer race.
+    assert_eq!(
+        report.utility.fidelity.original_causes,
+        vec![RC_BUFFER_RACE.to_string()]
+    );
+    assert!(recording.overhead_factor == 1.0);
+    // Replay reproduces the drop-rate failure…
+    assert!(replay.reproduced_failure, "stop: {:?}", replay.stop);
+    // …but explains it with congestion: the developer is deceived.
+    assert!(
+        report.utility.fidelity.replay_causes.contains(&RC_CONGESTION.to_string()),
+        "expected congestion, got {:?}",
+        report.utility.fidelity.replay_causes
+    );
+    assert!(!report.utility.fidelity.same_root_cause);
+    assert_eq!(report.utility.fidelity.n_causes, 2);
+    assert!((report.utility.fidelity.df - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn txt_msg_debug_determinism_catches_the_race() {
+    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 32)
+        .expect("a racy seed exists");
+    let scenario = w.scenario();
+    // Combined code/data selection (§3.1.3): the lockset race detector is
+    // armed as a trigger.
+    let seeds: Vec<(u64, u64)> =
+        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let model = DebugModel::prepare(&scenario, &seeds, RcseConfig::default());
+    let (report, _, replay) =
+        evaluate_model(&w, &model, &InferenceBudget::executions(1));
+    assert!(replay.artifact_satisfied, "stop: {:?}", replay.stop);
+    assert!(replay.reproduced_failure);
+    assert!(
+        report.utility.fidelity.same_root_cause,
+        "RCSE must reproduce the buffer race, got {:?}",
+        report.utility.fidelity.replay_causes
+    );
+    assert_eq!(report.utility.fidelity.df, 1.0);
+}

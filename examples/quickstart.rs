@@ -1,0 +1,117 @@
+//! Quickstart: record a racy program with debug determinism, replay it,
+//! and measure debugging fidelity.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use debug_determinism::core::{
+    debugging_utility, oracle_of, snapshot, CauseCtx, DebugModel, DeterminismModel, FnSpec,
+    InferenceBudget, RcseConfig, RootCause,
+};
+use debug_determinism::replay::{NondetSpace, Scenario};
+use debug_determinism::sim::{Builder, ChanClass, EnvConfig, InputScript, Program};
+use std::sync::Arc;
+
+/// A tiny racy program: two workers increment a shared counter without a
+/// lock; the reporter outputs the final total.
+struct RacyCounter;
+
+impl Program for RacyCounter {
+    fn name(&self) -> &'static str {
+        "racy-counter"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let total = b.var("total", 0i64);
+        let out = b.out_port("result");
+        let done = b.channel::<i64>("done", ChanClass::Local);
+        for i in 0..2 {
+            b.spawn(&format!("worker{i}"), "workers", move |ctx| {
+                for _ in 0..10 {
+                    // BUG: unsynchronised read-modify-write.
+                    let v = ctx.read(&total, "worker::read")?;
+                    ctx.write(&total, v + 1, "worker::write")?;
+                }
+                ctx.send(&done, 1, "worker::done")
+            });
+        }
+        b.spawn("reporter", "main", move |ctx| {
+            for _ in 0..2 {
+                ctx.recv(&done, "reporter::join")?;
+            }
+            let v = ctx.read(&total, "reporter::read")?;
+            ctx.output(out, v, "reporter::out")
+        });
+    }
+}
+
+fn main() {
+    // 1. The I/O specification: 20 increments must yield 20.
+    let spec = Arc::new(FnSpec::new("counter-total", |io| {
+        let total = io.outputs_on("result").first().and_then(|v| v.as_int())?;
+        (total < 20)
+            .then(|| snapshot("lost-updates", format!("total {total}, expected 20"), io))
+    }));
+
+    // 2. The root cause, as a predicate (the negation of "the RMW is
+    //    atomic").
+    let causes = vec![RootCause::new(
+        "unsynchronised-increment",
+        "lost-updates",
+        "two workers race on the shared total",
+        |ctx: &CauseCtx<'_>| {
+            !debug_determinism::detect::lost_updates(ctx.trace, ctx.registry, |n| n == "total")
+                .is_empty()
+        },
+    )];
+
+    // 3. Find a failing production run.
+    let mut scenario = Scenario {
+        program: Arc::new(RacyCounter),
+        seed: 0,
+        sched_seed: 0,
+        inputs: InputScript::new(),
+        env: EnvConfig::clean(),
+        max_steps: 100_000,
+        failure_of: oracle_of(spec),
+        space: NondetSpace::schedules_only(16, InputScript::new()),
+    };
+    let failing_seed = (0..64)
+        .find(|&s| {
+            scenario.sched_seed = s;
+            let out = scenario.execute(&scenario.original_spec(), vec![]);
+            (scenario.failure_of)(&out.io).is_some()
+        })
+        .expect("some schedule loses updates");
+    scenario.sched_seed = failing_seed;
+    println!("production incident: schedule seed {failing_seed} loses updates\n");
+
+    // 4. Record under debug determinism (RCSE with the race trigger), then
+    //    replay from the artifact alone.
+    let model =
+        DebugModel::prepare(&scenario, &[(100, 100), (101, 101)], RcseConfig::default());
+    let recording = model.record(&scenario);
+    let replay = model.replay(&scenario, &recording, &InferenceBudget::executions(1));
+    let utility = debugging_utility(&causes, &recording, &replay);
+
+    println!("recording overhead : {:.2}x", recording.overhead_factor);
+    println!("log volume         : {} bytes", recording.log.bytes);
+    println!(
+        "original failure   : {}",
+        recording
+            .original
+            .failure
+            .as_ref()
+            .map(|f| f.description.as_str())
+            .unwrap_or("-")
+    );
+    println!("replay reproduced the failure: {}", replay.reproduced_failure);
+    println!(
+        "replay exhibits the same root cause: {}",
+        utility.fidelity.same_root_cause
+    );
+    println!(
+        "\nDF = {:.3}   DE = {:.3}   DU = {:.3}",
+        utility.fidelity.df, utility.de, utility.du
+    );
+    assert!(utility.fidelity.df == 1.0, "debug determinism reproduces the root cause");
+}

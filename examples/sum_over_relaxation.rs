@@ -1,0 +1,54 @@
+//! The §2 sum example: why output determinism can be useless for
+//! debugging.
+//!
+//! The production run computes 2 + 2 = 5 (a corrupted memo table). An
+//! output-deterministic replayer only guarantees the same *output* — and
+//! synthesises inputs 1 and 4, whose output 5 is correct. No failure, no
+//! root cause, nothing to debug.
+//!
+//! Run with: `cargo run --release --example sum_over_relaxation`
+
+use debug_determinism::core::{
+    evaluate_model, InferenceBudget, OutputLiteModel, ValueModel,
+};
+use debug_determinism::workloads::SumWorkload;
+
+fn main() {
+    let w = SumWorkload;
+    let budget = InferenceBudget::executions(40);
+
+    println!("production run: inputs (2, 2) → output 5   [WRONG: 2+2=4]\n");
+
+    println!("== output determinism (ODR lightweight): records outputs only ==");
+    let (report, _, replay) = evaluate_model(&w, &OutputLiteModel, &budget);
+    let inputs: Vec<i64> = replay
+        .io
+        .inputs_on("operands")
+        .iter()
+        .filter_map(|v| v.as_int())
+        .collect();
+    let output = replay.io.outputs_on("sum")[0].as_int().unwrap();
+    println!("  replayed execution: inputs {inputs:?} → output {output}");
+    println!("  same output, but {} + {} = {} is CORRECT: no failure to inspect", inputs[0], inputs[1], output);
+    println!(
+        "  reproduced failure: {}   DF = {:.1}\n",
+        replay.reproduced_failure, report.utility.fidelity.df
+    );
+
+    println!("== value determinism: records every value the program observed ==");
+    let (report, _, replay) = evaluate_model(&w, &ValueModel, &budget);
+    let inputs: Vec<i64> = replay
+        .io
+        .inputs_on("operands")
+        .iter()
+        .filter_map(|v| v.as_int())
+        .collect();
+    let output = replay.io.outputs_on("sum")[0].as_int().unwrap();
+    println!("  replayed execution: inputs {inputs:?} → output {output}");
+    println!(
+        "  reproduced failure: {}   DF = {:.1}   (root cause: {:?})",
+        replay.reproduced_failure,
+        report.utility.fidelity.df,
+        report.utility.fidelity.replay_causes
+    );
+}
