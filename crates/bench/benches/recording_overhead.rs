@@ -30,13 +30,17 @@ fn bench_recorder_throughput(c: &mut Criterion) {
     let cfg = HyperConfig::default();
     let out = run_program(
         &HyperstoreProgram::buggy(cfg.clone()),
-        RunConfig { seed: 7, max_steps: 500_000, inputs: cfg.input_script(), ..RunConfig::default() },
+        RunConfig {
+            seed: 7,
+            max_steps: 500_000,
+            inputs: cfg.input_script(),
+            ..RunConfig::default()
+        },
         Box::new(RandomPolicy::new(7)),
         vec![],
     );
     let trace = Trace::from_run(&out);
-    let events: Vec<(EventMeta, Event)> =
-        trace.iter().map(|e| (e.meta, e.event.clone())).collect();
+    let events: Vec<(EventMeta, Event)> = trace.iter().map(|e| (e.meta, e.event.clone())).collect();
 
     let mut g = c.benchmark_group("recorder_throughput");
     g.throughput(criterion::Throughput::Elements(events.len() as u64));

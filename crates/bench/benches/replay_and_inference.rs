@@ -14,12 +14,18 @@ fn bench_replay(c: &mut Criterion) {
     let w = HyperstoreWorkload::discover(HyperConfig::small(), 200)
         .expect("failing seed for the small cluster");
     let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let rcse = DebugModel::prepare(
         &scenario,
         &seeds,
-        RcseConfig { use_triggers: false, ..RcseConfig::default() },
+        RcseConfig {
+            use_triggers: false,
+            ..RcseConfig::default()
+        },
     );
 
     let value_rec = ValueModel.record(&scenario);

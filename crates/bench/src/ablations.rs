@@ -10,9 +10,7 @@
 //!   selection needs before the learned invariants catch the error path.
 
 use crate::prepare_debug_model;
-use dd_core::{
-    evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload,
-};
+use dd_core::{evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_workloads::{MsgServerConfig, MsgServerWorkload};
 use serde::{Deserialize, Serialize};
@@ -34,8 +32,8 @@ pub struct ThresholdPoint {
 
 /// ABL-1: control-plane threshold sweep on the issue-63 workload.
 pub fn threshold_sweep(thresholds: &[f64]) -> Vec<ThresholdPoint> {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("hyperstore failing seed");
+    let w =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     let truth = w.plane_truth();
     thresholds
         .iter()
@@ -78,7 +76,10 @@ pub fn window_sweep(windows: &[u64]) -> Vec<WindowPoint> {
     windows
         .iter()
         .map(|&window| {
-            let cfg = RcseConfig { quiet_window: window, ..RcseConfig::default() };
+            let cfg = RcseConfig {
+                quiet_window: window,
+                ..RcseConfig::default()
+            };
             let model = prepare_debug_model(&w, cfg);
             let scenario = w.scenario();
             let recording = dd_core::DeterminismModel::record(&model, &scenario);
@@ -120,8 +121,8 @@ pub struct BudgetPoint {
 /// and the model the paper warns can need "prohibitively large post-factum
 /// analysis times".
 pub fn budget_sweep(budgets: &[u64]) -> Vec<BudgetPoint> {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("hyperstore failing seed");
+    let w =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     budgets
         .iter()
         .map(|&b| {
@@ -156,14 +157,19 @@ pub fn scale_sweep(row_sizes: &[u32]) -> Vec<ScalePoint> {
     row_sizes
         .iter()
         .filter_map(|&row_size| {
-            let cfg = HyperConfig { row_size, ..HyperConfig::default() };
+            let cfg = HyperConfig {
+                row_size,
+                ..HyperConfig::default()
+            };
             let w = HyperstoreWorkload::discover(cfg, 200)?;
             let budget = InferenceBudget::executions(1);
-            let (value, _, _) =
-                evaluate_model(&w, &dd_core::ValueModel, &budget);
+            let (value, _, _) = evaluate_model(&w, &dd_core::ValueModel, &budget);
             let rcse = prepare_debug_model(
                 &w,
-                RcseConfig { use_triggers: false, ..RcseConfig::default() },
+                RcseConfig {
+                    use_triggers: false,
+                    ..RcseConfig::default()
+                },
             );
             let (debug, _, _) = evaluate_model(&w, &rcse, &budget);
             Some(ScalePoint {
@@ -190,8 +196,8 @@ pub struct InvariantPoint {
 /// selection, §3.1.2): how many passing runs before the "commits are
 /// always owned" invariant is learned.
 pub fn invariant_sweep(run_counts: &[usize]) -> Vec<InvariantPoint> {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("hyperstore failing seed");
+    let w =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     let all: Vec<(u64, u64)> = w
         .training()
         .iter()
@@ -202,7 +208,10 @@ pub fn invariant_sweep(run_counts: &[usize]) -> Vec<InvariantPoint> {
         .iter()
         .map(|&n| {
             let seeds = &all[..n.min(all.len())];
-            let cfg = RcseConfig { train_invariants: true, ..RcseConfig::default() };
+            let cfg = RcseConfig {
+                train_invariants: true,
+                ..RcseConfig::default()
+            };
             let training = train(&scenario, seeds, &cfg);
             let invs = training.invariants.as_ref().expect("invariants enabled");
             let commit_owned = invs

@@ -1,6 +1,6 @@
 //! Regenerates the ablation studies (ABL-1 … ABL-4 in DESIGN.md).
 //!
-//! Usage: `cargo run --release -p dd-bench --bin repro-ablations [-- <which>]`
+//! Usage: `cargo run --release --bin repro-ablations [-- <which>]`
 //! where `<which>` is one of `threshold`, `window`, `budget`, `invariants`,
 //! or omitted for all.
 

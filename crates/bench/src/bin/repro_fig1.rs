@@ -1,6 +1,6 @@
 //! Regenerates Fig. 1: the relaxation trend across the workload suite.
 //!
-//! Usage: `cargo run --release -p dd-bench --bin repro-fig1 [-- --json]`
+//! Usage: `cargo run --release --bin repro-fig1 [-- --json]`
 
 use dd_bench::{fig1, render_fig1};
 use dd_core::InferenceBudget;
@@ -9,7 +9,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let points = fig1(&InferenceBudget::executions(64));
     if json {
-        println!("{}", serde_json::to_string_pretty(&points).expect("serialise fig1"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&points).expect("serialise fig1")
+        );
     } else {
         print!("{}", render_fig1(&points));
     }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 2: the Hypertable issue-63 case study.
 //!
-//! Usage: `cargo run --release -p dd-bench --bin repro-fig2 [-- --json]`
+//! Usage: `cargo run --release --bin repro-fig2 [-- --json]`
 
 use dd_bench::{fig2, render_fig2};
 use dd_core::InferenceBudget;
@@ -9,7 +9,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let result = fig2(&InferenceBudget::executions(96));
     if json {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialise fig2"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialise fig2")
+        );
     } else {
         print!("{}", render_fig2(&result));
     }

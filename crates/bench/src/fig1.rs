@@ -10,8 +10,8 @@
 
 use crate::prepare_debug_model;
 use dd_core::{
-    evaluate_model, DeterminismModel, FailureModel, InferenceBudget, ModelKind,
-    OutputHeavyModel, OutputLiteModel, PerfectModel, RcseConfig, ValueModel, Workload,
+    evaluate_model, DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel,
+    OutputLiteModel, PerfectModel, RcseConfig, ValueModel, Workload,
 };
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_workloads::{MsgServerConfig, MsgServerWorkload, SumWorkload};
@@ -45,8 +45,8 @@ pub struct Fig1Point {
 /// Panics if no failing production seed exists for the racy workloads
 /// (deterministic for the bundled configurations).
 pub fn fig1(budget: &InferenceBudget) -> Vec<Fig1Point> {
-    let hyper = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("hyperstore failing seed");
+    let hyper =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     let msg = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
         .expect("msgserver failing seed");
     let sum = SumWorkload;
@@ -54,7 +54,13 @@ pub fn fig1(budget: &InferenceBudget) -> Vec<Fig1Point> {
 
     let mut points = Vec::new();
     for w in workloads {
-        let rcse = prepare_debug_model(w, RcseConfig { use_triggers: false, ..RcseConfig::default() });
+        let rcse = prepare_debug_model(
+            w,
+            RcseConfig {
+                use_triggers: false,
+                ..RcseConfig::default()
+            },
+        );
         let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
             (&PerfectModel, ModelKind::Perfect),
             (&ValueModel, ModelKind::Value),

@@ -50,10 +50,16 @@ pub struct Fig2Result {
 /// Panics if no failing production seed exists (deterministic for the
 /// default configuration).
 pub fn fig2(budget: &InferenceBudget) -> Fig2Result {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("hyperstore failing seed");
+    let w =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     // §4: "We chose RCSE based on control-plane code selection (§3.1)".
-    let rcse = prepare_debug_model(&w, RcseConfig { use_triggers: false, ..RcseConfig::default() });
+    let rcse = prepare_debug_model(
+        &w,
+        RcseConfig {
+            use_triggers: false,
+            ..RcseConfig::default()
+        },
+    );
     let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
         (&ValueModel, ModelKind::Value),
         (&rcse, ModelKind::Debug),

@@ -47,41 +47,47 @@ impl Default for RateClassifier {
         // instrumentation probes run well below this, bulk payload paths an
         // order of magnitude above (see ablation ABL-1 — classification
         // accuracy against ground truth peaks in the 512–1024 range).
-        RateClassifier { threshold_bytes_per_kilotick: 512.0 }
+        RateClassifier {
+            threshold_bytes_per_kilotick: 512.0,
+        }
     }
 }
 
 impl RateClassifier {
     /// Creates a classifier with an explicit threshold.
     pub fn with_threshold(threshold_bytes_per_kilotick: f64) -> Self {
-        RateClassifier { threshold_bytes_per_kilotick }
+        RateClassifier {
+            threshold_bytes_per_kilotick,
+        }
     }
 
     /// Classifies a profiled run into a [`PlaneMap`].
     pub fn classify(&self, profile: &ProfileReport) -> PlaneMap {
         let mut sites = BTreeMap::new();
         for (site, stats) in &profile.per_site {
-            let plane = if stats.rate_per_kilotick(profile.duration)
-                > self.threshold_bytes_per_kilotick
-            {
-                Plane::Data
-            } else {
-                Plane::Control
-            };
+            let plane =
+                if stats.rate_per_kilotick(profile.duration) > self.threshold_bytes_per_kilotick {
+                    Plane::Data
+                } else {
+                    Plane::Control
+                };
             sites.insert(site.clone(), plane);
         }
         let mut chans = BTreeMap::new();
         for (chan, stats) in &profile.per_chan {
-            let plane = if stats.rate_per_kilotick(profile.duration)
-                > self.threshold_bytes_per_kilotick
-            {
-                Plane::Data
-            } else {
-                Plane::Control
-            };
+            let plane =
+                if stats.rate_per_kilotick(profile.duration) > self.threshold_bytes_per_kilotick {
+                    Plane::Data
+                } else {
+                    Plane::Control
+                };
             chans.insert(chan.clone(), plane);
         }
-        PlaneMap { sites, chans, overrides: BTreeMap::new() }
+        PlaneMap {
+            sites,
+            chans,
+            overrides: BTreeMap::new(),
+        }
     }
 }
 
@@ -125,12 +131,10 @@ impl PlaneMap {
         match event {
             Event::Send { chan, .. }
             | Event::Recv { chan, .. }
-            | Event::SendDropped { chan, .. } => {
-                match registry.chans.get(chan.index()) {
-                    Some(meta) => self.chan_plane(&meta.name),
-                    None => Plane::Control,
-                }
-            }
+            | Event::SendDropped { chan, .. } => match registry.chans.get(chan.index()) {
+                Some(meta) => self.chan_plane(&meta.name),
+                None => Plane::Control,
+            },
             _ => match event.site() {
                 Some(site) => self.site_plane(site),
                 // Kernel events (decisions, arrivals) are control.
@@ -144,7 +148,11 @@ impl PlaneMap {
         if self.sites.is_empty() {
             return 1.0;
         }
-        let c = self.sites.values().filter(|&&p| p == Plane::Control).count();
+        let c = self
+            .sites
+            .values()
+            .filter(|&&p| p == Plane::Control)
+            .count();
         c as f64 / self.sites.len() as f64
     }
 
@@ -183,7 +191,10 @@ mod tests {
         // Control: 5 small writes.
         for i in 0..5u64 {
             events.push((
-                EventMeta { step: i, time: i * 200 },
+                EventMeta {
+                    step: i,
+                    time: i * 200,
+                },
                 Event::Write {
                     task: TaskId(0),
                     var: VarId(0),
@@ -195,7 +206,10 @@ mod tests {
         // Data: 50 large writes.
         for i in 0..50u64 {
             events.push((
-                EventMeta { step: 5 + i, time: i * 20 },
+                EventMeta {
+                    step: 5 + i,
+                    time: i * 20,
+                },
                 Event::Write {
                     task: TaskId(1),
                     var: VarId(1),
@@ -205,8 +219,14 @@ mod tests {
             ));
         }
         events.push((
-            EventMeta { step: 60, time: 1000 },
-            Event::Yield { task: TaskId(0), site: "master::idle".into() },
+            EventMeta {
+                step: 60,
+                time: 1000,
+            },
+            Event::Yield {
+                task: TaskId(0),
+                site: "master::idle".into(),
+            },
         ));
         Trace::from_events(events)
     }

@@ -44,7 +44,10 @@ impl ProfileReport {
     /// Channel names resolve through `registry`; if the registry is empty
     /// (unit tests), channel traffic is keyed by channel id.
     pub fn from_trace(trace: &Trace, registry: &Registry) -> Self {
-        let mut report = ProfileReport { duration: trace.duration(), ..Default::default() };
+        let mut report = ProfileReport {
+            duration: trace.duration(),
+            ..Default::default()
+        };
         for e in trace.iter() {
             let bytes = e.event.payload_bytes();
             if let Some(site) = e.event.site() {
@@ -120,7 +123,10 @@ mod tests {
                 },
             ),
             (
-                EventMeta { step: 2, time: 1000 },
+                EventMeta {
+                    step: 2,
+                    time: 1000,
+                },
                 Event::Send {
                     task: TaskId(0),
                     chan: dd_sim::ChanId(0),
@@ -148,7 +154,10 @@ mod tests {
 
     #[test]
     fn rates_scale_with_duration() {
-        let s = SiteStats { records: 1, bytes: 500 };
+        let s = SiteStats {
+            records: 1,
+            bytes: 500,
+        };
         assert!((s.rate_per_kilotick(1000) - 500.0).abs() < 1e-9);
         assert!((s.rate_per_kilotick(2000) - 250.0).abs() < 1e-9);
     }

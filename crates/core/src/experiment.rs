@@ -151,7 +151,11 @@ pub fn find_cause_equivalent_executions(
     let Some(failure) = (scenario.failure_of)(&original.io) else {
         return causes
             .iter()
-            .map(|c| CauseWitness { cause: c.id, witness: None, explored: 0 })
+            .map(|c| CauseWitness {
+                cause: c.id,
+                witness: None,
+                explored: 0,
+            })
             .collect();
     };
     causes_for(&causes, &failure.failure_id)
@@ -165,7 +169,11 @@ pub fn find_cause_equivalent_executions(
                     return false;
                 }
                 let trace = dd_trace::Trace::from_run(out);
-                let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+                let ctx = CauseCtx {
+                    trace: &trace,
+                    registry: &out.registry,
+                    io: &out.io,
+                };
                 cause.active_in(&ctx)
             });
             CauseWitness {
@@ -188,7 +196,10 @@ mod tests {
             workload: "w".into(),
             model: ModelKind::Value,
             overhead_factor: 3.2,
-            log: LogStats { records: 10, bytes: 1000 },
+            log: LogStats {
+                records: 10,
+                bytes: 1000,
+            },
             utility: UtilityReport {
                 fidelity: FidelityReport {
                     df: 1.0,

@@ -33,8 +33,8 @@ pub use metrics::{
     debugging_efficiency, debugging_fidelity, debugging_utility, FidelityReport, UtilityReport,
 };
 pub use rcse::{
-    root_cause_recorded, train, DebugModel, Fidelity, RcseConfig, RcseRecorder,
-    ResolvedPlaneMap, Training,
+    root_cause_recorded, train, DebugModel, Fidelity, RcseConfig, RcseRecorder, ResolvedPlaneMap,
+    Training,
 };
 pub use rootcause::{active_causes, causes_for, CauseCtx, CausePredicate, RootCause};
 pub use spec::{oracle_of, snapshot, FnSpec, Spec};
@@ -42,6 +42,6 @@ pub use workload::{RunSetup, Workload};
 
 // Re-export the pieces users need alongside the core API.
 pub use dd_replay::{
-    DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel,
-    OutputLiteModel, PerfectModel, Recording, ReplayResult, ValueModel,
+    DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel, OutputLiteModel,
+    PerfectModel, Recording, ReplayResult, ValueModel,
 };

@@ -105,7 +105,10 @@ pub fn debugging_fidelity(
 /// Measures debugging efficiency per §3.2: original duration over total
 /// reproduction time (inference plus the replayed execution itself).
 pub fn debugging_efficiency(recording: &Recording, replay: &ReplayResult) -> f64 {
-    let reproduce_ticks = replay.replay_ticks.saturating_add(replay.inference.ticks).max(1);
+    let reproduce_ticks = replay
+        .replay_ticks
+        .saturating_add(replay.inference.ticks)
+        .max(1);
     recording.original.duration as f64 / reproduce_ticks as f64
 }
 
@@ -142,7 +145,9 @@ mod tests {
     fn recording(failure: Option<FailureSnapshot>, duration: u64) -> Recording {
         Recording {
             model: ModelKind::Failure,
-            artifact: Artifact::OutputLite { outputs: OutputLog::default() },
+            artifact: Artifact::OutputLite {
+                outputs: OutputLog::default(),
+            },
             overhead_factor: 1.0,
             log: LogStats::default(),
             original: OriginalRun {
@@ -177,7 +182,10 @@ mod tests {
     }
 
     fn snapshot(id: &str) -> FailureSnapshot {
-        FailureSnapshot { failure_id: id.into(), ..Default::default() }
+        FailureSnapshot {
+            failure_id: id.into(),
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -20,12 +20,11 @@ use dd_replay::{
     PolicyChoice, Recording, ReplayResult, RunSpec, Scenario,
 };
 use dd_sim::{
-    observer_boilerplate, ChanClass, CrashEvent, EnvConfig, Event, EventMeta, Observer,
-    Registry, StopReason,
+    observer_boilerplate, ChanClass, CrashEvent, EnvConfig, Event, EventMeta, Observer, Registry,
+    StopReason,
 };
 use dd_trace::{
-    ChargeAcc, CostModel, EventLog, InputEntry, InputLog, LogStats, ScheduleLog, Trace,
-    TraceEvent,
+    ChargeAcc, CostModel, EventLog, InputEntry, InputLog, LogStats, ScheduleLog, Trace, TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -129,7 +128,10 @@ impl ResolvedPlaneMap {
     }
 
     fn is_network(&self, chan: dd_sim::ChanId) -> bool {
-        self.chan_is_network.get(chan.index()).copied().unwrap_or(false)
+        self.chan_is_network
+            .get(chan.index())
+            .copied()
+            .unwrap_or(false)
     }
 }
 
@@ -237,7 +239,10 @@ impl RcseRecorder {
     fn record_event(&mut self, meta: &EventMeta, event: &Event, cost: CostModel) -> u64 {
         let bytes = dd_trace::log_size(event);
         self.stats.add(bytes);
-        self.control.events.push(TraceEvent { meta: *meta, event: event.clone() });
+        self.control.events.push(TraceEvent {
+            meta: *meta,
+            event: event.clone(),
+        });
         if self.level == Fidelity::High {
             self.high_records += 1;
         }
@@ -277,9 +282,10 @@ impl Observer for RcseRecorder {
             // control-plane channels and the thread schedule").
             Event::Decision { .. } => {
                 if let Event::Decision { kind, chosen, .. } = event {
-                    self.schedule
-                        .decisions
-                        .push(dd_sim::RecordedDecision { kind: *kind, chosen: *chosen });
+                    self.schedule.decisions.push(dd_sim::RecordedDecision {
+                        kind: *kind,
+                        chosen: *chosen,
+                    });
                 }
                 let bytes = dd_trace::log_size(event);
                 self.stats.add(bytes);
@@ -312,7 +318,10 @@ impl Observer for RcseRecorder {
                 }
             }
             Event::GroupKilled { group, .. } => {
-                self.crashes_seen.push(CrashEvent { time: meta.time, group: group.clone() });
+                self.crashes_seen.push(CrashEvent {
+                    time: meta.time,
+                    group: group.clone(),
+                });
                 cost += self.record_event(meta, event, self.control_cost);
             }
             _ => {
@@ -372,10 +381,14 @@ pub fn train(scenario: &Scenario, setups: &[(u64, u64)], cfg: &RcseConfig) -> Tr
             .map(|t| ProfileReport::from_trace(t, &registry))
             .collect::<Vec<_>>(),
     );
-    let plane_map =
-        RateClassifier::with_threshold(cfg.classifier_threshold).classify(&profile);
+    let plane_map = RateClassifier::with_threshold(cfg.classifier_threshold).classify(&profile);
     let invariants = cfg.train_invariants.then(|| InvariantSet::infer(&traces));
-    Training { plane_map, registry, invariants, profile }
+    Training {
+        plane_map,
+        registry,
+        invariants,
+        profile,
+    }
 }
 
 /// The §4 *indirect* fidelity check: is the root cause contained in what
@@ -438,10 +451,7 @@ impl DebugModel {
     fn make_recorder(&self) -> RcseRecorder {
         let resolved = ResolvedPlaneMap::new(&self.training.plane_map, &self.training.registry);
         let triggers = if self.cfg.use_triggers {
-            dd_detect::default_triggers(
-                self.training.invariants.clone(),
-                self.cfg.lockset_cost,
-            )
+            dd_detect::default_triggers(self.training.invariants.clone(), self.cfg.lockset_cost)
         } else {
             Vec::new()
         };
@@ -490,7 +500,13 @@ impl DeterminismModel for DebugModel {
         recording: &Recording,
         _budget: &InferenceBudget,
     ) -> ReplayResult {
-        let Artifact::Debug { schedule, inputs, env, .. } = &recording.artifact else {
+        let Artifact::Debug {
+            schedule,
+            inputs,
+            env,
+            ..
+        } = &recording.artifact
+        else {
             panic!("debug replay requires a debug artifact");
         };
         let spec = RunSpec {
@@ -532,7 +548,10 @@ mod tests {
     #[test]
     fn resolved_map_defaults_to_control() {
         let m = ResolvedPlaneMap::default();
-        let e = Event::Yield { task: dd_sim::TaskId(0), site: "unknown::site".into() };
+        let e = Event::Yield {
+            task: dd_sim::TaskId(0),
+            site: "unknown::site".into(),
+        };
         assert_eq!(m.event_plane(&e), Plane::Control);
     }
 
@@ -550,13 +569,22 @@ mod tests {
                 0
             }
         }
-        let cfg = RcseConfig { quiet_window: 100, ..RcseConfig::default() };
-        let mut rec =
-            RcseRecorder::new(ResolvedPlaneMap::default(), vec![Box::new(AlwaysOnStep5)], &cfg);
+        let cfg = RcseConfig {
+            quiet_window: 100,
+            ..RcseConfig::default()
+        };
+        let mut rec = RcseRecorder::new(
+            ResolvedPlaneMap::default(),
+            vec![Box::new(AlwaysOnStep5)],
+            &cfg,
+        );
         let yield_ev = |t: u64| {
             (
                 EventMeta { step: t, time: t },
-                Event::Yield { task: dd_sim::TaskId(0), site: "x".into() },
+                Event::Yield {
+                    task: dd_sim::TaskId(0),
+                    site: "x".into(),
+                },
             )
         };
         let (m, e) = yield_ev(10);

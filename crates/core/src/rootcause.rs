@@ -51,7 +51,12 @@ impl RootCause {
         description: &'static str,
         predicate: impl Fn(&CauseCtx<'_>) -> bool + Send + Sync + 'static,
     ) -> Self {
-        RootCause { id, description, failure_id, predicate: Arc::new(predicate) }
+        RootCause {
+            id,
+            description,
+            failure_id,
+            predicate: Arc::new(predicate),
+        }
     }
 
     /// Evaluates the predicate on an execution.
@@ -76,7 +81,10 @@ pub fn active_causes<'a>(causes: &'a [RootCause], ctx: &CauseCtx<'_>) -> Vec<&'a
 
 /// Returns the causes that can explain the given failure id.
 pub fn causes_for<'a>(causes: &'a [RootCause], failure_id: &str) -> Vec<&'a RootCause> {
-    causes.iter().filter(|c| c.failure_id == failure_id).collect()
+    causes
+        .iter()
+        .filter(|c| c.failure_id == failure_id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,7 +97,11 @@ mod tests {
         registry: &'a Registry,
         io: &'a IoSummary,
     ) -> CauseCtx<'a> {
-        CauseCtx { trace, registry, io }
+        CauseCtx {
+            trace,
+            registry,
+            io,
+        }
     }
 
     #[test]
@@ -104,7 +116,11 @@ mod tests {
 
         let crashing = Trace::from_events(vec![(
             dd_sim::EventMeta { step: 0, time: 0 },
-            Event::Crash { task: dd_sim::TaskId(0), reason: "x".into(), site: "s".into() },
+            Event::Crash {
+                task: dd_sim::TaskId(0),
+                reason: "x".into(),
+                site: "s".into(),
+            },
         )]);
         assert!(cause.active_in(&ctx_with_crash(&crashing, &registry, &io)));
     }
@@ -121,9 +137,16 @@ mod tests {
         let trace = Trace::default();
         let registry = Registry::default();
         let io = IoSummary::default();
-        let ctx = CauseCtx { trace: &trace, registry: &registry, io: &io };
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &registry,
+            io: &io,
+        };
         let active = active_causes(&causes, &ctx);
-        assert_eq!(active.iter().map(|c| c.id).collect::<Vec<_>>(), vec!["a", "c"]);
+        assert_eq!(
+            active.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
     }
 
     #[test]

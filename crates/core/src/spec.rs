@@ -55,7 +55,10 @@ impl FnSpec {
         name: &'static str,
         f: impl Fn(&IoSummary) -> Option<FailureSnapshot> + Send + Sync + 'static,
     ) -> Self {
-        FnSpec { name, f: Box::new(f) }
+        FnSpec {
+            name,
+            f: Box::new(f),
+        }
     }
 }
 

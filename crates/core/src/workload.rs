@@ -67,7 +67,11 @@ pub trait Workload: Send + Sync {
     fn training(&self) -> Vec<RunSetup> {
         let base = self.production();
         (100..108)
-            .map(|s| RunSetup { seed: s, sched_seed: s.wrapping_mul(31), ..base.clone() })
+            .map(|s| RunSetup {
+                seed: s,
+                sched_seed: s.wrapping_mul(31),
+                ..base.clone()
+            })
             .collect()
     }
 
@@ -164,6 +168,12 @@ mod tests {
         let w = TrivialWorkload;
         let t = w.training();
         assert_eq!(t.len(), 8);
-        assert!(t.iter().map(|s| s.seed).collect::<std::collections::HashSet<_>>().len() == 8);
+        assert!(
+            t.iter()
+                .map(|s| s.seed)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == 8
+        );
     }
 }

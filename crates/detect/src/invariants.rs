@@ -91,7 +91,10 @@ impl InvariantSet {
                 let slack = ((max - min) * RANGE_SLACK_NUM / RANGE_SLACK_DEN).max(0);
                 invariants.insert(
                     name,
-                    Invariant::Range { min: min - slack, max: max + slack },
+                    Invariant::Range {
+                        min: min - slack,
+                        max: max + slack,
+                    },
                 );
                 continue;
             }
@@ -125,7 +128,9 @@ impl InvariantSet {
     /// Checks a sample; `true` means it satisfies the (possibly absent)
     /// invariant.
     pub fn check(&self, probe: &str, value: &Value) -> bool {
-        self.invariants.get(probe).is_none_or(|inv| inv.holds(value))
+        self.invariants
+            .get(probe)
+            .is_none_or(|inv| inv.holds(value))
     }
 }
 
@@ -154,12 +159,20 @@ pub struct InvariantMonitor {
 impl InvariantMonitor {
     /// Creates a monitor for the given invariants.
     pub fn new(set: InvariantSet) -> Self {
-        InvariantMonitor { set, violations: Vec::new(), cost_per_check: 0 }
+        InvariantMonitor {
+            set,
+            violations: Vec::new(),
+            cost_per_check: 0,
+        }
     }
 
     /// Creates a monitor charging `cost` per probe check.
     pub fn with_cost(set: InvariantSet, cost: u64) -> Self {
-        InvariantMonitor { set, violations: Vec::new(), cost_per_check: cost }
+        InvariantMonitor {
+            set,
+            violations: Vec::new(),
+            cost_per_check: cost,
+        }
     }
 
     /// Violations seen so far.
@@ -217,7 +230,10 @@ mod tests {
                 .enumerate()
                 .map(|(i, &v)| {
                     (
-                        EventMeta { step: i as u64, time: i as u64 },
+                        EventMeta {
+                            step: i as u64,
+                            time: i as u64,
+                        },
                         Event::Probe {
                             task: TaskId(0),
                             name: name.to_owned(),

@@ -48,7 +48,12 @@ struct VarLockState {
 
 impl Default for VarLockState {
     fn default() -> Self {
-        VarLockState { mode: VarMode::Virgin, owner: None, candidates: None, reported: false }
+        VarLockState {
+            mode: VarMode::Virgin,
+            owner: None,
+            candidates: None,
+            reported: false,
+        }
     }
 }
 
@@ -71,7 +76,10 @@ impl LocksetDetector {
 
     /// Creates a detector charging `cost_per_access` per shared access.
     pub fn with_cost(cost_per_access: u64) -> Self {
-        LocksetDetector { cost_per_access, ..Self::default() }
+        LocksetDetector {
+            cost_per_access,
+            ..Self::default()
+        }
     }
 
     /// Warnings so far.
@@ -105,10 +113,14 @@ impl LocksetDetector {
                     h.remove(&lock.0);
                 }
             }
-            Event::Read { task, var, site, .. } => {
+            Event::Read {
+                task, var, site, ..
+            } => {
                 self.access(meta, *task, *var, site, false);
             }
-            Event::Write { task, var, site, .. } => {
+            Event::Write {
+                task, var, site, ..
+            } => {
                 self.access(meta, *task, *var, site, true);
             }
             _ => {}
@@ -126,7 +138,11 @@ impl LocksetDetector {
             }
             VarMode::Exclusive => {
                 if state.owner != Some(task) {
-                    state.mode = if write { VarMode::SharedModified } else { VarMode::Shared };
+                    state.mode = if write {
+                        VarMode::SharedModified
+                    } else {
+                        VarMode::Shared
+                    };
                     state.candidates = Some(held.clone());
                 }
             }
@@ -214,8 +230,12 @@ mod tests {
     }
 
     fn trace_of(p: &dyn Program, seed: u64) -> Trace {
-        let out =
-            run_program(p, RunConfig::with_seed(seed), Box::new(RandomPolicy::new(seed)), vec![]);
+        let out = run_program(
+            p,
+            RunConfig::with_seed(seed),
+            Box::new(RandomPolicy::new(seed)),
+            vec![],
+        );
         Trace::from_run(&out)
     }
 

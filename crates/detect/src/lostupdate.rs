@@ -42,9 +42,8 @@ pub fn lost_updates(
     let mut vars: HashMap<u32, VarState> = HashMap::new();
     let mut out = Vec::new();
 
-    let var_name = |v: VarId| -> String {
-        registry.vars.get(v.index()).cloned().unwrap_or_default()
-    };
+    let var_name =
+        |v: VarId| -> String { registry.vars.get(v.index()).cloned().unwrap_or_default() };
 
     for e in trace.iter() {
         match &e.event {
@@ -52,7 +51,10 @@ pub fn lost_updates(
                 if !name_filter(&var_name(*var)) {
                     continue;
                 }
-                vars.entry(var.0).or_default().pending_reads.insert(task.0, e.meta.step);
+                vars.entry(var.0)
+                    .or_default()
+                    .pending_reads
+                    .insert(task.0, e.meta.step);
             }
             Event::Write { task, var, .. } => {
                 if !name_filter(&var_name(*var)) {
@@ -95,35 +97,40 @@ mod tests {
     }
 
     fn read(step: u64, task: u32, var: u32) -> (EventMeta, Event) {
-        ev(step, Event::Read {
-            task: TaskId(task),
-            var: VarId(var),
-            value: Value::Int(0),
-            site: "s".into(),
-        })
+        ev(
+            step,
+            Event::Read {
+                task: TaskId(task),
+                var: VarId(var),
+                value: Value::Int(0),
+                site: "s".into(),
+            },
+        )
     }
 
     fn write(step: u64, task: u32, var: u32) -> (EventMeta, Event) {
-        ev(step, Event::Write {
-            task: TaskId(task),
-            var: VarId(var),
-            value: Value::Int(1),
-            site: "s".into(),
-        })
+        ev(
+            step,
+            Event::Write {
+                task: TaskId(task),
+                var: VarId(var),
+                value: Value::Int(1),
+                site: "s".into(),
+            },
+        )
     }
 
     fn registry_with_var() -> Registry {
-        Registry { vars: vec!["x".into()], ..Registry::default() }
+        Registry {
+            vars: vec!["x".into()],
+            ..Registry::default()
+        }
     }
 
     #[test]
     fn interleaved_rmw_is_flagged() {
         // A reads, B writes, A writes → B's write lost.
-        let trace = Trace::from_events(vec![
-            read(0, 0, 0),
-            write(1, 1, 0),
-            write(2, 0, 0),
-        ]);
+        let trace = Trace::from_events(vec![read(0, 0, 0), write(1, 1, 0), write(2, 0, 0)]);
         let lu = lost_updates(&trace, &registry_with_var(), |_| true);
         assert_eq!(lu.len(), 1);
         assert_eq!(lu[0].writer, TaskId(0));
@@ -144,22 +151,17 @@ mod tests {
 
     #[test]
     fn same_task_interleaving_is_not_a_lost_update() {
-        let trace = Trace::from_events(vec![
-            read(0, 0, 0),
-            write(1, 0, 0),
-            write(2, 0, 0),
-        ]);
+        let trace = Trace::from_events(vec![read(0, 0, 0), write(1, 0, 0), write(2, 0, 0)]);
         assert!(lost_updates(&trace, &registry_with_var(), |_| true).is_empty());
     }
 
     #[test]
     fn name_filter_limits_scope() {
-        let trace = Trace::from_events(vec![
-            read(0, 0, 0),
-            write(1, 1, 0),
-            write(2, 0, 0),
-        ]);
+        let trace = Trace::from_events(vec![read(0, 0, 0), write(1, 1, 0), write(2, 0, 0)]);
         assert!(lost_updates(&trace, &registry_with_var(), |n| n == "y").is_empty());
-        assert_eq!(lost_updates(&trace, &registry_with_var(), |n| n == "x").len(), 1);
+        assert_eq!(
+            lost_updates(&trace, &registry_with_var(), |n| n == "x").len(),
+            1
+        );
     }
 }

@@ -12,9 +12,7 @@
 //! (§3.1.3 of the paper).
 
 use crate::vclock::VectorClock;
-use dd_sim::{
-    observer_boilerplate, AccessKind, ChanId, Event, EventMeta, Observer, TaskId, VarId,
-};
+use dd_sim::{observer_boilerplate, AccessKind, ChanId, Event, EventMeta, Observer, TaskId, VarId};
 use dd_trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -77,7 +75,10 @@ impl HbRaceDetector {
     /// Creates a detector charging `cost_per_access` wall ticks per shared
     /// access when run online.
     pub fn with_cost(cost_per_access: u64) -> Self {
-        HbRaceDetector { cost_per_access, ..Self::default() }
+        HbRaceDetector {
+            cost_per_access,
+            ..Self::default()
+        }
     }
 
     /// The races found so far.
@@ -169,11 +170,15 @@ impl HbRaceDetector {
             Event::TaskExit { task, .. } => {
                 self.clock_mut(*task).tick(*task);
             }
-            Event::Read { task, var, site, .. } => {
+            Event::Read {
+                task, var, site, ..
+            } => {
                 self.clock_mut(*task).tick(*task);
                 self.check_read(meta, *task, *var, site);
             }
-            Event::Write { task, var, site, .. } => {
+            Event::Write {
+                task, var, site, ..
+            } => {
                 self.clock_mut(*task).tick(*task);
                 self.check_write(meta, *task, *var, site);
             }
@@ -343,7 +348,12 @@ mod tests {
     }
 
     fn trace_of(p: &dyn Program, seed: u64) -> Trace {
-        let out = run_program(p, RunConfig::with_seed(seed), Box::new(RandomPolicy::new(seed)), vec![]);
+        let out = run_program(
+            p,
+            RunConfig::with_seed(seed),
+            Box::new(RandomPolicy::new(seed)),
+            vec![],
+        );
         Trace::from_run(&out)
     }
 
@@ -404,7 +414,10 @@ mod tests {
         }
         for seed in 0..8 {
             let races = HbRaceDetector::analyze(&trace_of(&SpawnSync, seed));
-            assert!(races.is_empty(), "seed {seed}: spawn edge missing {races:?}");
+            assert!(
+                races.is_empty(),
+                "seed {seed}: spawn edge missing {races:?}"
+            );
         }
     }
 
@@ -418,9 +431,8 @@ mod tests {
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 0i64);
                 b.spawn("parent", "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    let child = ctx.spawn("child", "g", move |cctx| {
-                        cctx.write(&x, 9, "child::write")
-                    })?;
+                    let child =
+                        ctx.spawn("child", "g", move |cctx| cctx.write(&x, 9, "child::write"))?;
                     ctx.join(child, "parent::join")?;
                     let _ = ctx.read(&x, "parent::read")?;
                     Ok(())
@@ -456,6 +468,10 @@ mod tests {
         let races = HbRaceDetector::analyze(&trace_of(&ManyRaces, 1));
         // At most a handful of distinct site pairs, not hundreds of reports.
         assert!(!races.is_empty());
-        assert!(races.len() <= 4, "expected deduped reports, got {}", races.len());
+        assert!(
+            races.len() <= 4,
+            "expected deduped reports, got {}",
+            races.len()
+        );
     }
 }

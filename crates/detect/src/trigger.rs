@@ -121,17 +121,35 @@ mod tests {
         let meta = EventMeta { step: 0, time: 0 };
         assert!(!t.observe(
             &meta,
-            &Event::Yield { task: TaskId(0), site: "s".into() }
+            &Event::Yield {
+                task: TaskId(0),
+                site: "s".into()
+            }
         ));
         assert!(t.observe(
             &meta,
-            &Event::Crash { task: TaskId(0), reason: "x".into(), site: "s".into() }
+            &Event::Crash {
+                task: TaskId(0),
+                reason: "x".into(),
+                site: "s".into()
+            }
         ));
         assert!(t.observe(
             &meta,
-            &Event::AllocFail { task: TaskId(0), requested: 1, budget: 0, site: "s".into() }
+            &Event::AllocFail {
+                task: TaskId(0),
+                requested: 1,
+                budget: 0,
+                site: "s".into()
+            }
         ));
-        assert_eq!(t.cost(&Event::Yield { task: TaskId(0), site: "s".into() }), 0);
+        assert_eq!(
+            t.cost(&Event::Yield {
+                task: TaskId(0),
+                site: "s".into()
+            }),
+            0
+        );
     }
 
     #[test]

@@ -47,8 +47,14 @@ impl Default for HyperConfig {
             n_ranges: 6,
             row_size: 256,
             migrations: vec![
-                MigrationStep { time: 220, range: 1 },
-                MigrationStep { time: 340, range: 4 },
+                MigrationStep {
+                    time: 220,
+                    range: 1,
+                },
+                MigrationStep {
+                    time: 340,
+                    range: 4,
+                },
             ],
             put_gap: 24,
             ack_timeout: 400,
@@ -67,7 +73,10 @@ impl HyperConfig {
             key_space: 32,
             n_ranges: 4,
             row_size: 128,
-            migrations: vec![MigrationStep { time: 100, range: 1 }],
+            migrations: vec![MigrationStep {
+                time: 100,
+                range: 1,
+            }],
             put_gap: 20,
             ack_timeout: 300,
             dump_timeout: 1_500,
@@ -118,7 +127,11 @@ impl HyperConfig {
     /// Smallest stride ≥ key_space/3 that is coprime to the key space.
     fn coprime_stride(n: u64) -> u64 {
         fn gcd(a: u64, b: u64) -> u64 {
-            if b == 0 { a } else { gcd(b, a % b) }
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
         }
         let mut s = (n / 3).max(1);
         while gcd(s, n) != 1 {
@@ -189,7 +202,11 @@ mod tests {
 
     #[test]
     fn rows_per_client_sums() {
-        let cfg = HyperConfig { n_rows: 7, n_clients: 3, ..HyperConfig::default() };
+        let cfg = HyperConfig {
+            n_rows: 7,
+            n_clients: 3,
+            ..HyperConfig::default()
+        };
         let total: u32 = (0..3).map(|c| cfg.rows_per_client(c)).sum();
         assert_eq!(total, 7);
     }

@@ -96,16 +96,19 @@ impl SimData for Msg {
             Msg::LocateResp { server } => {
                 Value::List(vec![Value::Int(TAG_LOCATE_RESP), Value::Int(server as i64)])
             }
-            Msg::Put { client, key, bytes, hops } => Value::List(vec![
+            Msg::Put {
+                client,
+                key,
+                bytes,
+                hops,
+            } => Value::List(vec![
                 Value::Int(TAG_PUT),
                 Value::Int(client as i64),
                 Value::Int(key),
                 Value::Bytes(bytes),
                 Value::Int(hops as i64),
             ]),
-            Msg::PutAck { key } => {
-                Value::List(vec![Value::Int(TAG_PUT_ACK), Value::Int(key)])
-            }
+            Msg::PutAck { key } => Value::List(vec![Value::Int(TAG_PUT_ACK), Value::Int(key)]),
             Msg::Migrate { range, to } => Value::List(vec![
                 Value::Int(TAG_MIGRATE),
                 Value::Int(range as i64),
@@ -116,9 +119,7 @@ impl SimData for Msg {
                 Value::Int(range as i64),
                 Value::List(
                     rows.into_iter()
-                        .map(|(k, b)| {
-                            Value::List(vec![Value::Int(k), Value::Bytes(b)])
-                        })
+                        .map(|(k, b)| Value::List(vec![Value::Int(k), Value::Bytes(b)]))
                         .collect(),
                 ),
             ]),
@@ -148,7 +149,9 @@ impl SimData for Msg {
                 client: l.get(1)?.as_int()? as u32,
                 key: l.get(2)?.as_int()?,
             }),
-            TAG_LOCATE_RESP => Some(Msg::LocateResp { server: l.get(1)?.as_int()? as u32 }),
+            TAG_LOCATE_RESP => Some(Msg::LocateResp {
+                server: l.get(1)?.as_int()? as u32,
+            }),
             TAG_PUT => Some(Msg::Put {
                 client: l.get(1)?.as_int()? as u32,
                 key: l.get(2)?.as_int()?,
@@ -158,7 +161,9 @@ impl SimData for Msg {
                 },
                 hops: l.get(4)?.as_int()? as u32,
             }),
-            TAG_PUT_ACK => Some(Msg::PutAck { key: l.get(1)?.as_int()? }),
+            TAG_PUT_ACK => Some(Msg::PutAck {
+                key: l.get(1)?.as_int()?,
+            }),
             TAG_MIGRATE => Some(Msg::Migrate {
                 range: l.get(1)?.as_int()? as u32,
                 to: l.get(2)?.as_int()? as u32,
@@ -178,15 +183,23 @@ impl SimData for Msg {
                         Some((k, b))
                     })
                     .collect::<Option<Vec<_>>>()?;
-                Some(Msg::Transfer { range: l.get(1)?.as_int()? as u32, rows })
+                Some(Msg::Transfer {
+                    range: l.get(1)?.as_int()? as u32,
+                    rows,
+                })
             }
-            TAG_MIGRATE_DONE => {
-                Some(Msg::MigrateDone { range: l.get(1)?.as_int()? as u32 })
-            }
+            TAG_MIGRATE_DONE => Some(Msg::MigrateDone {
+                range: l.get(1)?.as_int()? as u32,
+            }),
             TAG_DUMP => Some(Msg::Dump),
             TAG_DUMP_RESP => Some(Msg::DumpResp {
                 server: l.get(1)?.as_int()? as u32,
-                keys: l.get(2)?.as_list()?.iter().map(Value::as_int).collect::<Option<_>>()?,
+                keys: l
+                    .get(2)?
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_int)
+                    .collect::<Option<_>>()?,
             }),
             TAG_LOADER_DONE => Some(Msg::LoaderDone {
                 client: l.get(1)?.as_int()? as u32,
@@ -211,7 +224,12 @@ mod tests {
     fn all_variants_round_trip() {
         round_trip(Msg::Locate { client: 1, key: 42 });
         round_trip(Msg::LocateResp { server: 2 });
-        round_trip(Msg::Put { client: 0, key: 7, bytes: vec![1, 2, 3], hops: 2 });
+        round_trip(Msg::Put {
+            client: 0,
+            key: 7,
+            bytes: vec![1, 2, 3],
+            hops: 2,
+        });
         round_trip(Msg::PutAck { key: 7 });
         round_trip(Msg::Migrate { range: 3, to: 1 });
         round_trip(Msg::Transfer {
@@ -220,8 +238,14 @@ mod tests {
         });
         round_trip(Msg::MigrateDone { range: 3 });
         round_trip(Msg::Dump);
-        round_trip(Msg::DumpResp { server: 0, keys: vec![1, 2, 3] });
-        round_trip(Msg::LoaderDone { client: 1, loaded: 10 });
+        round_trip(Msg::DumpResp {
+            server: 0,
+            keys: vec![1, 2, 3],
+        });
+        round_trip(Msg::LoaderDone {
+            client: 1,
+            loaded: 10,
+        });
         round_trip(Msg::StartDump);
     }
 
@@ -234,7 +258,12 @@ mod tests {
 
     #[test]
     fn put_carries_data_plane_bulk() {
-        let m = Msg::Put { client: 0, key: 1, bytes: vec![0; 256], hops: 0 };
+        let m = Msg::Put {
+            client: 0,
+            key: 1,
+            bytes: vec![0; 256],
+            hops: 0,
+        };
         let v = m.into_value();
         assert!(v.byte_size() > 256);
     }

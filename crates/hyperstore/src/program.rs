@@ -27,7 +27,7 @@ use crate::config::HyperConfig;
 use crate::msg::Msg;
 use dd_sim::{
     Builder, ChanClass, ChanHandle, InPort, MutexHandle, OutPort, Program, SimError, SimResult,
-    TaskCtx, TVar,
+    TVar, TaskCtx,
 };
 
 /// Per-server handles shared by the put handler and control tasks.
@@ -132,14 +132,18 @@ impl Program for HyperstoreProgram {
             let cfg_h = cfg.clone();
             let replies = client_replies.clone();
             let all = servers.clone();
-            b.spawn(&format!("server{j}.handler"), &format!("server{j}"), move |ctx| {
-                server_handler(ctx, &cfg_h, j, h, &replies, &all, fixed)
-            });
+            b.spawn(
+                &format!("server{j}.handler"),
+                &format!("server{j}"),
+                move |ctx| server_handler(ctx, &cfg_h, j, h, &replies, &all, fixed),
+            );
             let cfg_c = cfg.clone();
             let all = servers.clone();
-            b.spawn(&format!("server{j}.ctl"), &format!("server{j}"), move |ctx| {
-                server_ctl(ctx, &cfg_c, j, h, &all, master_ctl, dumper_reply, fixed)
-            });
+            b.spawn(
+                &format!("server{j}.ctl"),
+                &format!("server{j}"),
+                move |ctx| server_ctl(ctx, &cfg_c, j, h, &all, master_ctl, dumper_reply, fixed),
+            );
         }
 
         // Loader clients.
@@ -194,10 +198,17 @@ fn master_task(
             let owner = range_map[step.range as usize];
             let to = (owner + 1) % cfg.n_servers;
             pending.push((step.range, to));
-            ctx.probe("hyperstore.migrate_issued", step.range as i64, "master::migrate_cmd")?;
+            ctx.probe(
+                "hyperstore.migrate_issued",
+                step.range as i64,
+                "master::migrate_cmd",
+            )?;
             ctx.send(
                 &servers[owner as usize].ctl,
-                Msg::Migrate { range: step.range, to },
+                Msg::Migrate {
+                    range: step.range,
+                    to,
+                },
                 "master::migrate_cmd",
             )?;
         }
@@ -240,7 +251,13 @@ fn server_handler(
 ) -> SimResult<()> {
     loop {
         let msg = ctx.recv(&h.data, "server::recv_put")?;
-        let Msg::Put { client, key, bytes, hops } = msg else {
+        let Msg::Put {
+            client,
+            key,
+            bytes,
+            hops,
+        } = msg
+        else {
             continue;
         };
         if fixed {
@@ -264,7 +281,12 @@ fn server_handler(
                     Some(&(_, to)) => {
                         ctx.send(
                             &all[to as usize].data,
-                            Msg::Put { client, key, bytes, hops: hops + 1 },
+                            Msg::Put {
+                                client,
+                                key,
+                                bytes,
+                                hops: hops + 1,
+                            },
                             "server::forward",
                         )?;
                     }
@@ -275,7 +297,12 @@ fn server_handler(
                         ctx.yield_now("server::defer")?;
                         ctx.send(
                             &h.data,
-                            Msg::Put { client, key, bytes, hops: hops + 1 },
+                            Msg::Put {
+                                client,
+                                key,
+                                bytes,
+                                hops: hops + 1,
+                            },
                             "server::defer",
                         )?;
                     }
@@ -314,7 +341,11 @@ fn commit_row(
     ctx.write(&h.index, index, "server::commit_index_write")?;
     let ranges = ctx.read(&h.ranges, "server::commit_check")?;
     let owned_now = ranges.contains(&(cfg.range_of(key) as i64));
-    ctx.probe("hyperstore.commit_owned", owned_now, "server::commit_owned_probe")?;
+    ctx.probe(
+        "hyperstore.commit_owned",
+        owned_now,
+        "server::commit_owned_probe",
+    )?;
     ctx.probe(
         "hyperstore.commit",
         vec![me as i64, key, owned_now as i64],
@@ -411,7 +442,11 @@ fn server_ctl(
                     .filter(|&k| ranges.contains(&(cfg.range_of(k) as i64)))
                     .collect();
                 let ignored = index.len() - keys.len();
-                ctx.probe("hyperstore.dump_ignored", ignored as i64, "serverctl::dump_probe")?;
+                ctx.probe(
+                    "hyperstore.dump_ignored",
+                    ignored as i64,
+                    "serverctl::dump_probe",
+                )?;
                 ctx.send(
                     &dumper_reply,
                     Msg::DumpResp { server: me, keys },
@@ -443,7 +478,11 @@ fn loader_task(
             Err(SimError::InputExhausted(_)) => break,
             Err(e) => return Err(e),
         };
-        ctx.send(&master, Msg::Locate { client: me, key }, "client::locate_send")?;
+        ctx.send(
+            &master,
+            Msg::Locate { client: me, key },
+            "client::locate_send",
+        )?;
         let server = match ctx.recv_timeout(&reply, cfg.ack_timeout, "client::locate_recv") {
             Ok(Msg::LocateResp { server }) => server,
             Ok(_) => continue,
@@ -461,7 +500,12 @@ fn loader_task(
         let bytes: Vec<u8> = (0..cfg.row_size).map(|_| sm.next_u64() as u8).collect();
         ctx.send(
             &servers[server as usize].data,
-            Msg::Put { client: me, key, bytes, hops: 0 },
+            Msg::Put {
+                client: me,
+                key,
+                bytes,
+                hops: 0,
+            },
             "client::put_send",
         )?;
         loaded += 1;
@@ -477,7 +521,11 @@ fn loader_task(
         }
     }
     ctx.count("rows_loaded", loaded, "client::done")?;
-    ctx.send(&coord, Msg::LoaderDone { client: me, loaded }, "client::done")?;
+    ctx.send(
+        &coord,
+        Msg::LoaderDone { client: me, loaded },
+        "client::done",
+    )?;
     Ok(())
 }
 

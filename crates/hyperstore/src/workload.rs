@@ -91,9 +91,8 @@ pub fn hyperstore_root_causes() -> Vec<RootCause> {
             "the dump client exhausted its memory budget before finishing \
              the dump (apparent data corruption)",
             |ctx: &CauseCtx<'_>| {
-                ctx.trace.any(|e| {
-                    matches!(e, Event::AllocFail { site, .. } if site == "dumper::alloc")
-                })
+                ctx.trace
+                    .any(|e| matches!(e, Event::AllocFail { site, .. } if site == "dumper::alloc"))
             },
         ),
     ]
@@ -112,7 +111,10 @@ pub fn env_candidates(cfg: &HyperConfig) -> Vec<EnvConfig> {
     let crash_time = cfg.migrations.first().map(|m| m.time + 60).unwrap_or(300);
     for j in 0..cfg.n_servers.min(2) {
         envs.push(EnvConfig {
-            crashes: vec![CrashEvent { time: crash_time, group: format!("server{j}") }],
+            crashes: vec![CrashEvent {
+                time: crash_time,
+                group: format!("server{j}"),
+            }],
             ..EnvConfig::clean()
         });
     }
@@ -156,12 +158,18 @@ impl HyperstoreWorkload {
         let mut production = None;
         for seed in 0..max_seeds {
             let out = run_once(&program, seed, &inputs);
-            let Some(f) = spec.check(&out.io) else { continue };
+            let Some(f) = spec.check(&out.io) else {
+                continue;
+            };
             if f.failure_id != ROWS_MISSING {
                 continue;
             }
             let trace = Trace::from_run(&out);
-            let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+            let ctx = CauseCtx {
+                trace: &trace,
+                registry: &out.registry,
+                io: &out.io,
+            };
             if race.active_in(&ctx) {
                 production = Some(RunSetup {
                     seed,
@@ -191,7 +199,11 @@ impl HyperstoreWorkload {
             }
             seed += 1;
         }
-        Some(HyperstoreWorkload { cfg, production, training })
+        Some(HyperstoreWorkload {
+            cfg,
+            production,
+            training,
+        })
     }
 }
 

@@ -22,7 +22,10 @@ fn value_determinism_df1_high_overhead() {
         "production run must fail: {:?}",
         recording.original.io.counters
     );
-    assert!(replay.reproduced_failure, "value replay must reproduce the failure");
+    assert!(
+        replay.reproduced_failure,
+        "value replay must reproduce the failure"
+    );
     assert_eq!(report.utility.fidelity.df, 1.0, "report: {report:?}");
     assert!(
         report.utility.fidelity.original_causes == vec![RC_MIGRATION_RACE.to_string()],
@@ -41,14 +44,26 @@ fn rcse_df1_low_overhead() {
     let w = workload();
     let scenario = w.scenario();
     // Fig. 2 used code-based selection only (§4).
-    let cfg = RcseConfig { use_triggers: false, ..RcseConfig::default() };
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let cfg = RcseConfig {
+        use_triggers: false,
+        ..RcseConfig::default()
+    };
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let model = DebugModel::prepare(&scenario, &seeds, cfg);
-    let (report, _recording, replay) =
-        evaluate_model(&w, &model, &InferenceBudget::executions(1));
-    assert!(replay.artifact_satisfied, "schedule replay must not diverge: {:?}", replay.stop);
-    assert!(replay.reproduced_failure, "RCSE replay must reproduce the failure");
+    let (report, _recording, replay) = evaluate_model(&w, &model, &InferenceBudget::executions(1));
+    assert!(
+        replay.artifact_satisfied,
+        "schedule replay must not diverge: {:?}",
+        replay.stop
+    );
+    assert!(
+        replay.reproduced_failure,
+        "RCSE replay must reproduce the failure"
+    );
     assert_eq!(report.utility.fidelity.df, 1.0, "report: {report:?}");
     assert!(
         report.utility.fidelity.same_root_cause,
@@ -66,9 +81,15 @@ fn failure_determinism_df_one_third_no_overhead() {
     let w = workload();
     let (report, recording, replay) =
         evaluate_model(&w, &FailureModel, &InferenceBudget::executions(120));
-    assert_eq!(report.overhead_factor, 1.0, "ESD records nothing at runtime");
+    assert_eq!(
+        report.overhead_factor, 1.0,
+        "ESD records nothing at runtime"
+    );
     assert_eq!(recording.log.bytes, 0);
-    assert!(replay.artifact_satisfied, "search must find the failure again");
+    assert!(
+        replay.artifact_satisfied,
+        "search must find the failure again"
+    );
     assert!(replay.reproduced_failure);
     assert_eq!(report.utility.fidelity.n_causes, 3);
     // The search finds *a* root cause; the paper's point is that it is not
@@ -88,12 +109,18 @@ fn overhead_ordering_matches_fig2() {
     let scenario = w.scenario();
     let budget = InferenceBudget::executions(60);
     let (value_report, _, _) = evaluate_model(&w, &ValueModel, &budget);
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let rcse = DebugModel::prepare(
         &scenario,
         &seeds,
-        RcseConfig { use_triggers: false, ..RcseConfig::default() },
+        RcseConfig {
+            use_triggers: false,
+            ..RcseConfig::default()
+        },
     );
     let (rcse_report, _, _) = evaluate_model(&w, &rcse, &budget);
     let (failure_report, _, _) = evaluate_model(&w, &FailureModel, &budget);
@@ -122,9 +149,15 @@ fn rcse_artifact_contains_the_root_cause_indirect_method() {
     // re-running anything.
     let w = workload();
     let scenario = w.scenario();
-    let cfg = RcseConfig { use_triggers: false, ..RcseConfig::default() };
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let cfg = RcseConfig {
+        use_triggers: false,
+        ..RcseConfig::default()
+    };
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let model = DebugModel::prepare(&scenario, &seeds, cfg);
     let recording = dd_core::DeterminismModel::record(&model, &scenario);
     let causes = dd_hyperstore::hyperstore_root_causes();

@@ -11,11 +11,7 @@ use dd_hyperstore::{
 use dd_sim::{run_program, RandomPolicy, RunConfig};
 use dd_trace::Trace;
 
-fn run(
-    program: &HyperstoreProgram,
-    seed: u64,
-    env: dd_sim::EnvConfig,
-) -> dd_sim::RunOutput {
+fn run(program: &HyperstoreProgram, seed: u64, env: dd_sim::EnvConfig) -> dd_sim::RunOutput {
     let cfg = RunConfig {
         seed,
         max_steps: 500_000,
@@ -44,7 +40,10 @@ fn buggy_build_loses_rows_for_some_schedule() {
         }
     }
     assert!(failing > 0, "no racy schedule lost rows in 24 seeds");
-    assert!(passing > 0, "every schedule failed — bug should be schedule-dependent");
+    assert!(
+        passing > 0,
+        "every schedule failed — bug should be schedule-dependent"
+    );
 }
 
 #[test]
@@ -54,7 +53,10 @@ fn fixed_build_never_loses_rows() {
     let program = HyperstoreProgram::fixed(cfg);
     for seed in 0..24 {
         let failure = check_run(&program, seed, &inputs);
-        assert!(failure.is_none(), "seed {seed}: fixed build failed: {failure:?}");
+        assert!(
+            failure.is_none(),
+            "seed {seed}: fixed build failed: {failure:?}"
+        );
     }
 }
 
@@ -68,7 +70,11 @@ fn race_cause_is_active_in_failing_runs() {
     assert_eq!(failure.failure_id, ROWS_MISSING);
 
     let trace = Trace::from_run(&out);
-    let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+    let ctx = CauseCtx {
+        trace: &trace,
+        registry: &out.registry,
+        io: &out.io,
+    };
     let causes = hyperstore_root_causes();
     let active: Vec<&str> = causes
         .iter()
@@ -100,7 +106,11 @@ fn server_crash_env_loses_rows_with_crash_cause() {
                 continue;
             }
             let trace = Trace::from_run(&out);
-            let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+            let ctx = CauseCtx {
+                trace: &trace,
+                registry: &out.registry,
+                io: &out.io,
+            };
             let crash = causes.iter().find(|c| c.id == RC_SERVER_CRASH).unwrap();
             if crash.active_in(&ctx) {
                 found = true;
@@ -108,7 +118,10 @@ fn server_crash_env_loses_rows_with_crash_cause() {
             }
         }
     }
-    assert!(found, "server crash should reproduce the missing-rows failure");
+    assert!(
+        found,
+        "server crash should reproduce the missing-rows failure"
+    );
 }
 
 #[test]
@@ -129,7 +142,11 @@ fn dumper_oom_env_loses_rows_with_oom_cause() {
                 continue;
             }
             let trace = Trace::from_run(&out);
-            let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+            let ctx = CauseCtx {
+                trace: &trace,
+                registry: &out.registry,
+                io: &out.io,
+            };
             let oom = causes.iter().find(|c| c.id == RC_CLIENT_OOM).unwrap();
             if oom.active_in(&ctx) {
                 found = true;
@@ -144,19 +161,24 @@ fn dumper_oom_env_loses_rows_with_oom_cause() {
 fn all_rows_arrive_when_there_is_no_migration() {
     // Without migrations the buggy build is correct: the race needs a
     // migration to lose anything.
-    let cfg = HyperConfig { migrations: vec![], ..HyperConfig::default() };
+    let cfg = HyperConfig {
+        migrations: vec![],
+        ..HyperConfig::default()
+    };
     let inputs = cfg.input_script();
     let program = HyperstoreProgram::buggy(cfg);
     for seed in 0..8 {
         let failure = check_run(&program, seed, &inputs);
-        assert!(failure.is_none(), "seed {seed}: lost rows without migration: {failure:?}");
+        assert!(
+            failure.is_none(),
+            "seed {seed}: lost rows without migration: {failure:?}"
+        );
     }
 }
 
 #[test]
 fn workload_training_runs_pass() {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("discovery succeeds");
+    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("discovery succeeds");
     let spec = hyperstore_spec();
     assert!(!w.training().is_empty(), "training setups found");
     for setup in w.training() {

@@ -24,14 +24,20 @@ pub struct InferenceBudget {
 
 impl Default for InferenceBudget {
     fn default() -> Self {
-        InferenceBudget { max_executions: 200, max_ticks: u64::MAX }
+        InferenceBudget {
+            max_executions: 200,
+            max_ticks: u64::MAX,
+        }
     }
 }
 
 impl InferenceBudget {
     /// A budget bounded only by execution count.
     pub fn executions(n: u64) -> Self {
-        InferenceBudget { max_executions: n, max_ticks: u64::MAX }
+        InferenceBudget {
+            max_executions: n,
+            max_ticks: u64::MAX,
+        }
     }
 }
 
@@ -89,7 +95,13 @@ pub fn search(
     fixed_inputs: Option<&dd_sim::InputScript>,
     accept: impl Fn(&RunOutput) -> bool,
 ) -> SearchResult {
-    search_with(scenario, budget, SearchStrategy::Random, fixed_inputs, accept)
+    search_with(
+        scenario,
+        budget,
+        SearchStrategy::Random,
+        fixed_inputs,
+        accept,
+    )
 }
 
 /// [`search`] with an explicit schedule-candidate strategy.
@@ -101,14 +113,22 @@ pub fn search_with(
     accept: impl Fn(&RunOutput) -> bool,
 ) -> SearchResult {
     let space = &scenario.space;
-    let seeds: &[u64] = if space.seeds.is_empty() { &[0] } else { &space.seeds };
+    let seeds: &[u64] = if space.seeds.is_empty() {
+        &[0]
+    } else {
+        &space.seeds
+    };
     let default_inputs = [dd_sim::InputScript::new()];
     let inputs: &[dd_sim::InputScript] = match fixed_inputs {
         Some(_) => &default_inputs[..0],
         None if space.inputs.is_empty() => &default_inputs,
         None => &space.inputs,
     };
-    let n_inputs = if fixed_inputs.is_some() { 1 } else { inputs.len() };
+    let n_inputs = if fixed_inputs.is_some() {
+        1
+    } else {
+        inputs.len()
+    };
     let envs: &[dd_sim::EnvConfig] = if space.envs.is_empty() {
         std::slice::from_ref(&scenario.env)
     } else {
@@ -130,9 +150,14 @@ pub fn search_with(
         let sched_seed = seeds[seed_i].wrapping_mul(0x9E3779B97F4A7C15);
         let policy = match strategy {
             SearchStrategy::Random => PolicyChoice::Random(sched_seed),
-            SearchStrategy::Pct { expected_len, depth } => {
-                PolicyChoice::Pct { seed: sched_seed, expected_len, depth }
-            }
+            SearchStrategy::Pct {
+                expected_len,
+                depth,
+            } => PolicyChoice::Pct {
+                seed: sched_seed,
+                expected_len,
+                depth,
+            },
         };
         let spec = RunSpec {
             seed: seeds[seed_i],
@@ -149,10 +174,18 @@ pub fn search_with(
         if accept(&out) {
             stats.found = true;
             stats.found_at = Some(i);
-            return SearchResult { run: Some(out), spec: Some(spec), stats };
+            return SearchResult {
+                run: Some(out),
+                spec: Some(spec),
+                stats,
+            };
         }
     }
-    SearchResult { run: None, spec: None, stats }
+    SearchResult {
+        run: None,
+        spec: None,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -205,11 +238,8 @@ mod tests {
 
     #[test]
     fn search_finds_matching_inputs() {
-        let scenario = scenario_with_inputs(vec![
-            input_pair(1, 1),
-            input_pair(1, 4),
-            input_pair(2, 3),
-        ]);
+        let scenario =
+            scenario_with_inputs(vec![input_pair(1, 1), input_pair(1, 4), input_pair(2, 3)]);
         let result = search(&scenario, &InferenceBudget::executions(50), None, |out| {
             out.io.outputs_on("sum").first().and_then(|v| v.as_int()) == Some(5)
         });
@@ -233,10 +263,12 @@ mod tests {
     fn fixed_inputs_skip_input_enumeration() {
         let scenario = scenario_with_inputs(vec![input_pair(9, 9)]);
         let fixed = input_pair(3, 4);
-        let result =
-            search(&scenario, &InferenceBudget::executions(50), Some(&fixed), |out| {
-                out.io.outputs_on("sum").first().and_then(|v| v.as_int()) == Some(7)
-            });
+        let result = search(
+            &scenario,
+            &InferenceBudget::executions(50),
+            Some(&fixed),
+            |out| out.io.outputs_on("sum").first().and_then(|v| v.as_int()) == Some(7),
+        );
         assert!(result.stats.found, "fixed inputs (3,4) must be used");
     }
 

@@ -23,10 +23,12 @@ pub mod models;
 pub mod recordings;
 pub mod scenario;
 
-pub use explorer::{search, search_with, InferenceBudget, InferenceStats, SearchResult, SearchStrategy};
+pub use explorer::{
+    search, search_with, InferenceBudget, InferenceStats, SearchResult, SearchStrategy,
+};
 pub use models::{
-    DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
-    ReplayResult, ValueModel,
+    DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel, ReplayResult,
+    ValueModel,
 };
 pub use recordings::{costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording};
 pub use scenario::{FailureOracle, NondetSpace, PolicyChoice, RunSpec, Scenario};

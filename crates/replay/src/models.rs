@@ -133,9 +133,14 @@ impl DeterminismModel for PerfectModel {
             .observer_mut::<ScheduleRecorder>()
             .expect("schedule recorder attached")
             .take_log();
-        let input_rec = out.observer::<InputRecorder>().expect("input recorder attached");
+        let input_rec = out
+            .observer::<InputRecorder>()
+            .expect("input recorder attached");
         let inputs = input_rec.to_log(&out.registry);
-        let mut log = out.observer::<ScheduleRecorder>().expect("attached").stats();
+        let mut log = out
+            .observer::<ScheduleRecorder>()
+            .expect("attached")
+            .stats();
         log.merge(input_rec.stats());
         Recording {
             model: ModelKind::Perfect,
@@ -157,7 +162,13 @@ impl DeterminismModel for PerfectModel {
         recording: &Recording,
         _budget: &InferenceBudget,
     ) -> ReplayResult {
-        let Artifact::Perfect { schedule, inputs, env, seed } = &recording.artifact else {
+        let Artifact::Perfect {
+            schedule,
+            inputs,
+            env,
+            seed,
+        } = &recording.artifact
+        else {
             panic!("perfect replay requires a perfect artifact");
         };
         let spec = RunSpec {
@@ -196,10 +207,11 @@ impl DeterminismModel for ValueModel {
     }
 
     fn record(&self, scenario: &Scenario) -> Recording {
-        let observers: Vec<Box<dyn Observer>> =
-            vec![Box::new(ValueRecorder::new(costs::VALUE))];
+        let observers: Vec<Box<dyn Observer>> = vec![Box::new(ValueRecorder::new(costs::VALUE))];
         let mut out = scenario.execute(&scenario.original_spec(), observers);
-        let rec = out.observer_mut::<ValueRecorder>().expect("value recorder attached");
+        let rec = out
+            .observer_mut::<ValueRecorder>()
+            .expect("value recorder attached");
         let log = rec.stats();
         let values = rec.take_log();
         Recording {
@@ -258,24 +270,34 @@ pub struct OutputLiteModel;
 pub struct OutputHeavyModel;
 
 fn record_outputs(scenario: &Scenario, with_inputs: bool) -> Recording {
-    let mut observers: Vec<Box<dyn Observer>> =
-        vec![Box::new(OutputRecorder::new(costs::OUTPUT))];
+    let mut observers: Vec<Box<dyn Observer>> = vec![Box::new(OutputRecorder::new(costs::OUTPUT))];
     if with_inputs {
         observers.push(Box::new(InputRecorder::new(costs::INPUT)));
     }
     let out = scenario.execute(&scenario.original_spec(), observers);
-    let out_rec = out.observer::<OutputRecorder>().expect("output recorder attached");
+    let out_rec = out
+        .observer::<OutputRecorder>()
+        .expect("output recorder attached");
     let outputs = out_rec.to_log(&out.registry);
     let mut log = out_rec.stats();
     let artifact = if with_inputs {
-        let input_rec = out.observer::<InputRecorder>().expect("input recorder attached");
+        let input_rec = out
+            .observer::<InputRecorder>()
+            .expect("input recorder attached");
         log.merge(input_rec.stats());
-        Artifact::OutputHeavy { outputs, inputs: input_rec.to_log(&out.registry) }
+        Artifact::OutputHeavy {
+            outputs,
+            inputs: input_rec.to_log(&out.registry),
+        }
     } else {
         Artifact::OutputLite { outputs }
     };
     Recording {
-        model: if with_inputs { ModelKind::OutputHeavy } else { ModelKind::OutputLite },
+        model: if with_inputs {
+            ModelKind::OutputHeavy
+        } else {
+            ModelKind::OutputLite
+        },
         artifact,
         overhead_factor: out.stats.overhead_factor(),
         log,
@@ -290,11 +312,11 @@ fn replay_outputs(
     outputs: &dd_trace::OutputLog,
     fixed_inputs: Option<&InputScript>,
 ) -> ReplayResult {
-    let result = search(scenario, budget, fixed_inputs, |out| outputs.matches(&out.io));
+    let result = search(scenario, budget, fixed_inputs, |out| {
+        outputs.matches(&out.io)
+    });
     match result.run {
-        Some(out) => {
-            replay_result_from_run(scenario, recording, out, true, result.stats, 0)
-        }
+        Some(out) => replay_result_from_run(scenario, recording, out, true, result.stats, 0),
         None => {
             // Inference failed within budget: produce a best-effort run so
             // the developer still gets *an* execution, flagged unsatisfied.
@@ -510,7 +532,10 @@ mod tests {
         assert!(rec.overhead_factor > 1.0);
         assert!(rec.log.bytes > 0);
         let replay = ValueModel.replay(&s, &rec, &InferenceBudget::default());
-        assert!(replay.reproduced_failure, "value feeding must reproduce the failure");
+        assert!(
+            replay.reproduced_failure,
+            "value feeding must reproduce the failure"
+        );
         assert_eq!(
             replay.io.outputs_on("result")[0],
             rec.original.io.outputs_on("result")[0]
@@ -539,7 +564,10 @@ mod tests {
         assert_eq!(rec.overhead_factor, 1.0);
         assert_eq!(rec.log.bytes, 0);
         let replay = FailureModel.replay(&s, &rec, &InferenceBudget::executions(64));
-        assert!(replay.artifact_satisfied, "search should find a lost-update run");
+        assert!(
+            replay.artifact_satisfied,
+            "search should find a lost-update run"
+        );
         assert!(replay.reproduced_failure);
         assert!(replay.inference.explored >= 1);
     }

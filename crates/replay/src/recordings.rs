@@ -1,9 +1,7 @@
 //! Recording artifacts and model cost constants.
 
 use dd_sim::{observer_boilerplate, EnvConfig, Event, EventMeta, IoSummary, Observer, StopReason};
-use dd_trace::{
-    FailureSnapshot, InputLog, LogStats, OutputLog, ScheduleLog, Trace, ValueLog,
-};
+use dd_trace::{FailureSnapshot, InputLog, LogStats, OutputLog, ScheduleLog, Trace, ValueLog};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -18,16 +16,31 @@ pub mod costs {
 
     /// Schedule (interleaving) log appends: run-length-encoded tiny records
     /// (well under one tick each).
-    pub const SCHEDULE: CostModel = CostModel { record_milli: 400, byte_milli: 0 };
+    pub const SCHEDULE: CostModel = CostModel {
+        record_milli: 400,
+        byte_milli: 0,
+    };
     /// Value logging: per-access record plus payload copy. The dominant
     /// recording cost of iDNA-style value determinism.
-    pub const VALUE: CostModel = CostModel { record_milli: 2000, byte_milli: 150 };
+    pub const VALUE: CostModel = CostModel {
+        record_milli: 2000,
+        byte_milli: 150,
+    };
     /// Output logging.
-    pub const OUTPUT: CostModel = CostModel { record_milli: 1000, byte_milli: 30 };
+    pub const OUTPUT: CostModel = CostModel {
+        record_milli: 1000,
+        byte_milli: 30,
+    };
     /// Input logging.
-    pub const INPUT: CostModel = CostModel { record_milli: 1000, byte_milli: 30 };
+    pub const INPUT: CostModel = CostModel {
+        record_milli: 1000,
+        byte_milli: 30,
+    };
     /// Control-plane record logging (RCSE low-fidelity records).
-    pub const CONTROL: CostModel = CostModel { record_milli: 500, byte_milli: 30 };
+    pub const CONTROL: CostModel = CostModel {
+        record_milli: 500,
+        byte_milli: 30,
+    };
     /// CREW ownership-transfer penalty (page-protection fault + shootdown),
     /// charged by perfect determinism per cross-task shared access.
     pub const CREW_TRANSFER: u64 = 40;
@@ -235,7 +248,11 @@ mod tests {
         assert_eq!(crew.on_event(&meta, &read(0, 0)), 0, "same owner is free");
         assert_eq!(crew.on_event(&meta, &read(1, 0)), 10, "transfer faults");
         assert_eq!(crew.on_event(&meta, &read(1, 0)), 0);
-        assert_eq!(crew.on_event(&meta, &read(0, 1)), 0, "per-variable ownership");
+        assert_eq!(
+            crew.on_event(&meta, &read(0, 1)),
+            0,
+            "per-variable ownership"
+        );
         assert_eq!(crew.transfers, 1);
     }
 
@@ -247,7 +264,9 @@ mod tests {
 
     #[test]
     fn artifact_serde_round_trip() {
-        let a = Artifact::OutputLite { outputs: OutputLog::default() };
+        let a = Artifact::OutputLite {
+            outputs: OutputLog::default(),
+        };
         let s = serde_json::to_string(&a).unwrap();
         assert_eq!(serde_json::from_str::<Artifact>(&s).unwrap(), a);
     }

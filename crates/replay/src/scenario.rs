@@ -8,8 +8,8 @@
 //! once, to produce the original run.
 
 use dd_sim::{
-    EnvConfig, InputScript, IoSummary, NondetOverride, Observer, Program, RunConfig,
-    RunOutput, SchedulePolicy,
+    EnvConfig, InputScript, IoSummary, NondetOverride, Observer, Program, RunConfig, RunOutput,
+    SchedulePolicy,
 };
 use dd_trace::{FailureSnapshot, ScheduleLog};
 use std::sync::Arc;
@@ -158,9 +158,11 @@ impl PolicyChoice {
             PolicyChoice::Prefix(prefix, seed) => {
                 Box::new(dd_sim::PrefixPolicy::new(prefix.clone(), *seed))
             }
-            PolicyChoice::Pct { seed, expected_len, depth } => {
-                Box::new(dd_sim::PctPolicy::new(*seed, *expected_len, *depth))
-            }
+            PolicyChoice::Pct {
+                seed,
+                expected_len,
+                depth,
+            } => Box::new(dd_sim::PctPolicy::new(*seed, *expected_len, *depth)),
         }
     }
 }
@@ -239,7 +241,11 @@ mod tests {
             PolicyChoice::Replay(ScheduleLog::default()),
             PolicyChoice::ReplayLoose(ScheduleLog::default(), 2),
             PolicyChoice::Prefix(vec![0, 1], 3),
-            PolicyChoice::Pct { seed: 4, expected_len: 100, depth: 3 },
+            PolicyChoice::Pct {
+                seed: 4,
+                expected_len: 100,
+                depth: 3,
+            },
         ] {
             let _ = p.build();
         }

@@ -50,7 +50,11 @@ fn scenario() -> Scenario {
 }
 
 fn lost_updates(out: &dd_sim::RunOutput) -> bool {
-    out.io.outputs_on("result").first().and_then(|v| v.as_int()).is_some_and(|t| t < 20)
+    out.io
+        .outputs_on("result")
+        .first()
+        .and_then(|v| v.as_int())
+        .is_some_and(|t| t < 20)
 }
 
 #[test]
@@ -62,7 +66,10 @@ fn both_strategies_find_the_race() {
     let pct = search_with(
         &s,
         &budget,
-        SearchStrategy::Pct { expected_len: 60, depth: 2 },
+        SearchStrategy::Pct {
+            expected_len: 60,
+            depth: 2,
+        },
         None,
         lost_updates,
     );
@@ -75,7 +82,10 @@ fn search_results_are_deterministic() {
     let budget = InferenceBudget::executions(32);
     for strategy in [
         SearchStrategy::Random,
-        SearchStrategy::Pct { expected_len: 60, depth: 2 },
+        SearchStrategy::Pct {
+            expected_len: 60,
+            depth: 2,
+        },
     ] {
         let a = search_with(&s, &budget, strategy, None, lost_updates);
         let b = search_with(&s, &budget, strategy, None, lost_updates);
@@ -92,7 +102,10 @@ fn search_results_are_deterministic() {
 fn tick_budget_bounds_the_search() {
     let s = scenario();
     // A tick budget smaller than one run: at most one candidate executes.
-    let budget = InferenceBudget { max_executions: 100, max_ticks: 10 };
+    let budget = InferenceBudget {
+        max_executions: 100,
+        max_ticks: 10,
+    };
     let r = search_with(&s, &budget, SearchStrategy::Random, None, |_| false);
     assert!(r.stats.explored <= 2, "tick budget ignored: {:?}", r.stats);
 }

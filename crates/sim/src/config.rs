@@ -269,7 +269,10 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Creates a default configuration with the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        RunConfig { seed, ..Default::default() }
+        RunConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 

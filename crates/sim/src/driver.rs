@@ -15,9 +15,7 @@ use crate::config::RunConfig;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
 use crate::ids::TaskId;
-use crate::kernel::{
-    Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir,
-};
+use crate::kernel::{Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir};
 use crate::policy::SchedulePolicy;
 use crate::program::{Builder, Program, TaskCtx, TaskFn};
 use crate::value::Value;
@@ -206,7 +204,9 @@ pub struct RunOutput {
 impl RunOutput {
     /// Borrows an attached observer by concrete type.
     pub fn observer<T: Observer>(&self) -> Option<&T> {
-        self.observers.iter().find_map(|o| o.as_any().downcast_ref())
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref())
     }
 
     /// Mutably borrows an attached observer by concrete type.
@@ -275,8 +275,7 @@ pub fn run_program(
         let mut b = Builder::new(&mut st);
         program.setup(&mut b);
         let spawns = std::mem::take(&mut b.spawns);
-        if let Err(msg) =
-            st.load_inputs(cfg.inputs.iter().map(|(k, v)| (k.to_owned(), v.to_vec())))
+        if let Err(msg) = st.load_inputs(cfg.inputs.iter().map(|(k, v)| (k.to_owned(), v.to_vec())))
         {
             panic!("{}: {msg}", program.name());
         }
@@ -308,7 +307,10 @@ pub fn run_program(
         tasks: kernel
             .tasks
             .iter()
-            .map(|t| TaskMeta { name: t.name.clone(), group: t.group.clone() })
+            .map(|t| TaskMeta {
+                name: t.name.clone(),
+                group: t.group.clone(),
+            })
             .collect(),
         vars: kernel.vars.iter().map(|v| v.name.clone()).collect(),
         locks: kernel.locks.iter().map(|l| l.name.clone()).collect(),
@@ -316,12 +318,18 @@ pub fn run_program(
         chans: kernel
             .chans
             .iter()
-            .map(|c| ChanMeta { name: c.name.clone(), class: c.class })
+            .map(|c| ChanMeta {
+                name: c.name.clone(),
+                class: c.class,
+            })
             .collect(),
         ports: kernel
             .ports
             .iter()
-            .map(|p| PortMeta { name: p.name.clone(), dir: p.dir })
+            .map(|p| PortMeta {
+                name: p.name.clone(),
+                dir: p.dir,
+            })
             .collect(),
     };
     let stats = RunStats {
@@ -386,9 +394,10 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
                 shared.driver_cv.wait(&mut st);
                 continue;
             }
-            let all_done = st.tasks.iter().all(|t| {
-                matches!(t.phase, Phase::Exited { .. }) || t.killed
-            });
+            let all_done = st
+                .tasks
+                .iter()
+                .all(|t| matches!(t.phase, Phase::Exited { .. }) || t.killed);
             if all_done {
                 st.stop = Some(StopReason::Quiescent);
                 break;
@@ -432,27 +441,36 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
         }
     }
 
-    // Wind down: wake every parked task so its pending operation returns
-    // `Cancelled`, then wait for all of them to exit.
+    // Wind down: wake parked tasks so their pending operations return
+    // `Cancelled`. Tasks are cancelled strictly one at a time, in task-id
+    // order, because each exit emits a `TaskExit` event: waking them all at
+    // once would record the exits in racy OS-scheduling order and make the
+    // trace nondeterministic.
     st.cancelling = true;
-    for t in &st.tasks {
-        t.cv.notify_one();
-    }
-    while !st
+    // At most one task can be between grant and park; let it park or exit
+    // first so the serialized sweep below is the only activity left.
+    while st
         .tasks
         .iter()
-        .all(|t| matches!(t.phase, Phase::Exited { .. }))
+        .any(|t| matches!(t.phase, Phase::Granted | Phase::Running))
     {
         shared.driver_cv.wait(&mut st);
+    }
+    for i in 0..st.tasks.len() {
+        // The poke is what licenses task i to take the cancellation exit;
+        // un-poked tasks keep waiting even if woken spuriously, and a task
+        // whose thread first acquires the lock after `cancelling` was set
+        // (e.g. spawned just before the stop) parks until its turn.
+        st.tasks[i].cancel_poked = true;
+        while !matches!(st.tasks[i].phase, Phase::Exited { .. }) {
+            st.tasks[i].cv.notify_one();
+            shared.driver_cv.wait(&mut st);
+        }
     }
 }
 
 /// Spawns the OS thread hosting one task.
-pub(crate) fn spawn_task_thread(
-    shared: Arc<Shared>,
-    tid: TaskId,
-    f: TaskFn,
-) -> JoinHandle<()> {
+pub(crate) fn spawn_task_thread(shared: Arc<Shared>, tid: TaskId, f: TaskFn) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("ddsim-{tid}"))
         .spawn(move || task_main(shared, tid, f))
@@ -464,7 +482,9 @@ fn task_main(shared: Arc<Shared>, tid: TaskId, f: TaskFn) {
     {
         let mut st = shared.state.lock();
         let cv = Arc::clone(&st.tasks[tid.index()].cv);
-        while st.tasks[tid.index()].phase != Phase::Granted && !st.cancelling {
+        while st.tasks[tid.index()].phase != Phase::Granted
+            && !(st.cancelling && st.tasks[tid.index()].cancel_poked)
+        {
             cv.wait(&mut st);
         }
         if st.cancelling || st.tasks[tid.index()].killed {
@@ -473,7 +493,10 @@ fn task_main(shared: Arc<Shared>, tid: TaskId, f: TaskFn) {
         }
         st.tasks[tid.index()].phase = Phase::Running;
     }
-    let mut ctx = TaskCtx { shared: Arc::clone(&shared), tid };
+    let mut ctx = TaskCtx {
+        shared: Arc::clone(&shared),
+        tid,
+    };
     let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
     drop(ctx);
     let mut st = shared.state.lock();
@@ -520,11 +543,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The system-call protocol used by every [`TaskCtx`] operation.
-pub(crate) fn syscall(
-    shared: &Shared,
-    me: TaskId,
-    mut op: crate::kernel::Op,
-) -> SimResult<Value> {
+pub(crate) fn syscall(shared: &Shared, me: TaskId, mut op: crate::kernel::Op) -> SimResult<Value> {
     let mut st = shared.state.lock();
     if st.cancelling || st.tasks[me.index()].killed {
         return Err(SimError::Cancelled);
@@ -534,7 +553,9 @@ pub(crate) fn syscall(
     shared.driver_cv.notify_one();
     loop {
         let cv = Arc::clone(&st.tasks[me.index()].cv);
-        while st.tasks[me.index()].phase != Phase::Granted && !st.cancelling {
+        while st.tasks[me.index()].phase != Phase::Granted
+            && !(st.cancelling && st.tasks[me.index()].cancel_poked)
+        {
             cv.wait(&mut st);
         }
         if st.cancelling || st.tasks[me.index()].killed {
@@ -573,7 +594,9 @@ pub(crate) fn spawn_from_ctx(
         st.tasks[me.index()].phase = Phase::Ready;
         shared.driver_cv.notify_one();
         let cv = Arc::clone(&st.tasks[me.index()].cv);
-        while st.tasks[me.index()].phase != Phase::Granted && !st.cancelling {
+        while st.tasks[me.index()].phase != Phase::Granted
+            && !(st.cancelling && st.tasks[me.index()].cancel_poked)
+        {
             cv.wait(&mut st);
         }
         if st.cancelling || st.tasks[me.index()].killed {

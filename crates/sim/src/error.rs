@@ -35,7 +35,10 @@ impl core::fmt::Display for SimError {
             SimError::ChannelClosed(ch) => write!(f, "channel {ch} closed"),
             SimError::InputExhausted(p) => write!(f, "input port {p} exhausted"),
             SimError::OutOfMemory { requested, budget } => {
-                write!(f, "out of memory: requested {requested} with budget {budget}")
+                write!(
+                    f,
+                    "out of memory: requested {requested} with budget {budget}"
+                )
             }
             SimError::NoSuchTask(t) => write!(f, "no such task {t}"),
             SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
@@ -90,15 +93,20 @@ mod tests {
     fn errors_display() {
         assert_eq!(SimError::Cancelled.to_string(), "task cancelled");
         assert!(SimError::RecvTimeout(ChanId(1)).to_string().contains("ch1"));
-        assert!(SimError::OutOfMemory { requested: 10, budget: 5 }
-            .to_string()
-            .contains("requested 10"));
+        assert!(SimError::OutOfMemory {
+            requested: 10,
+            budget: 5
+        }
+        .to_string()
+        .contains("requested 10"));
     }
 
     #[test]
     fn stop_reason_display() {
         assert_eq!(StopReason::Quiescent.to_string(), "quiescent");
-        let d = StopReason::Deadlock { blocked: vec![TaskId(0), TaskId(1)] };
+        let d = StopReason::Deadlock {
+            blocked: vec![TaskId(0), TaskId(1)],
+        };
         assert!(d.to_string().contains("2 task(s)"));
     }
 

@@ -334,9 +334,7 @@ impl Event {
             | Event::Joined { task, .. }
             | Event::Yield { task, .. }
             | Event::RngDraw { task, .. } => Some(*task),
-            Event::Decision { .. } | Event::InputArrival { .. } | Event::GroupKilled { .. } => {
-                None
-            }
+            Event::Decision { .. } | Event::InputArrival { .. } | Event::GroupKilled { .. } => None,
         }
     }
 
@@ -481,7 +479,11 @@ mod tests {
             site: "s".into(),
         };
         assert_eq!(s.payload_bytes(), 68);
-        let l = Event::LockAcquire { task: TaskId(0), lock: LockId(0), site: "s".into() };
+        let l = Event::LockAcquire {
+            task: TaskId(0),
+            lock: LockId(0),
+            site: "s".into(),
+        };
         assert_eq!(l.payload_bytes(), 0);
     }
 
@@ -489,10 +491,21 @@ mod tests {
     fn kind_names_are_distinct_for_common_kinds() {
         let evs = [
             read_event().kind_name(),
-            Event::TaskExit { task: TaskId(0), ok: true }.kind_name(),
-            Event::Yield { task: TaskId(0), site: "s".into() }.kind_name(),
+            Event::TaskExit {
+                task: TaskId(0),
+                ok: true,
+            }
+            .kind_name(),
+            Event::Yield {
+                task: TaskId(0),
+                site: "s".into(),
+            }
+            .kind_name(),
         ];
-        assert_eq!(evs.len(), evs.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            evs.len(),
+            evs.iter().collect::<std::collections::HashSet<_>>().len()
+        );
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub(crate) struct TaskRec {
     /// Per-task condvar used by the grant protocol. `Arc` so waiting does not
     /// borrow the kernel.
     pub cv: Arc<parking_lot::Condvar>,
+    /// Set by the wind-down sweep when it is this task's turn to cancel.
+    /// Parked tasks may only take the cancellation exit once poked: exiting
+    /// on `cancelling` alone would let late-arriving or spuriously-woken
+    /// threads emit `TaskExit` in racy OS order instead of task-id order.
+    pub cancel_poked: bool,
 }
 
 pub(crate) struct VarRec {
@@ -235,27 +240,99 @@ pub(crate) enum CvStage {
 /// must persist across attempts (e.g. [`CvStage`], resolved sleep deadline).
 #[derive(Debug)]
 pub(crate) enum Op {
-    Read { var: VarId, site: Site },
-    Write { var: VarId, value: Value, site: Site },
-    Lock { lock: LockId, site: Site },
-    Unlock { lock: LockId, site: Site },
-    CvWait { cvar: CondvarId, lock: LockId, stage: CvStage, site: Site },
-    CvNotify { cvar: CondvarId, all: bool, site: Site },
-    Send { chan: ChanId, value: Value, site: Site },
-    Recv { chan: ChanId, deadline: Option<u64>, timeout: Option<u64>, site: Site },
-    CloseChan { chan: ChanId, site: Site },
-    ReadInput { port: PortId, site: Site },
-    WriteOutput { port: PortId, value: Value, site: Site },
-    Probe { name: &'static str, value: Value, site: Site },
-    Count { name: &'static str, delta: i64, site: Site },
-    Rng { bound: u64, site: Site },
-    Sleep { until: Option<u64>, ticks: u64, site: Site },
-    Yield { site: Site },
-    Alloc { bytes: u64, site: Site },
-    Free { bytes: u64, site: Site },
-    Join { task: TaskId, site: Site },
-    Crash { reason: String, site: Site },
-    StopRun { site: Site },
+    Read {
+        var: VarId,
+        site: Site,
+    },
+    Write {
+        var: VarId,
+        value: Value,
+        site: Site,
+    },
+    Lock {
+        lock: LockId,
+        site: Site,
+    },
+    Unlock {
+        lock: LockId,
+        site: Site,
+    },
+    CvWait {
+        cvar: CondvarId,
+        lock: LockId,
+        stage: CvStage,
+        site: Site,
+    },
+    CvNotify {
+        cvar: CondvarId,
+        all: bool,
+        site: Site,
+    },
+    Send {
+        chan: ChanId,
+        value: Value,
+        site: Site,
+    },
+    Recv {
+        chan: ChanId,
+        deadline: Option<u64>,
+        timeout: Option<u64>,
+        site: Site,
+    },
+    CloseChan {
+        chan: ChanId,
+        site: Site,
+    },
+    ReadInput {
+        port: PortId,
+        site: Site,
+    },
+    WriteOutput {
+        port: PortId,
+        value: Value,
+        site: Site,
+    },
+    Probe {
+        name: &'static str,
+        value: Value,
+        site: Site,
+    },
+    Count {
+        name: &'static str,
+        delta: i64,
+        site: Site,
+    },
+    Rng {
+        bound: u64,
+        site: Site,
+    },
+    Sleep {
+        until: Option<u64>,
+        ticks: u64,
+        site: Site,
+    },
+    Yield {
+        site: Site,
+    },
+    Alloc {
+        bytes: u64,
+        site: Site,
+    },
+    Free {
+        bytes: u64,
+        site: Site,
+    },
+    Join {
+        task: TaskId,
+        site: Site,
+    },
+    Crash {
+        reason: String,
+        site: Site,
+    },
+    StopRun {
+        site: Site,
+    },
 }
 
 impl Kernel {
@@ -270,8 +347,11 @@ impl Kernel {
         collect_trace: bool,
         stop_on_crash: bool,
     ) -> Self {
-        let mut pending_crashes: Vec<(u64, String)> =
-            env.crashes.iter().map(|c| (c.time, c.group.clone())).collect();
+        let mut pending_crashes: Vec<(u64, String)> = env
+            .crashes
+            .iter()
+            .map(|c| (c.time, c.group.clone()))
+            .collect();
         pending_crashes.sort_by_key(|c| c.0);
         Kernel {
             tasks: Vec::new(),
@@ -324,6 +404,7 @@ impl Kernel {
             mem_used: 0,
             mem_budget,
             cv: Arc::new(parking_lot::Condvar::new()),
+            cancel_poked: false,
         });
         self.emit(Event::TaskSpawn {
             parent,
@@ -336,19 +417,28 @@ impl Kernel {
 
     pub fn add_var(&mut self, name: &str, init: Value) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarRec { name: name.to_owned(), value: init });
+        self.vars.push(VarRec {
+            name: name.to_owned(),
+            value: init,
+        });
         id
     }
 
     pub fn add_lock(&mut self, name: &str) -> LockId {
         let id = LockId(self.locks.len() as u32);
-        self.locks.push(LockRec { name: name.to_owned(), holder: None });
+        self.locks.push(LockRec {
+            name: name.to_owned(),
+            holder: None,
+        });
         id
     }
 
     pub fn add_cvar(&mut self, name: &str) -> CondvarId {
         let id = CondvarId(self.cvars.len() as u32);
-        self.cvars.push(CvarRec { name: name.to_owned(), waiters: Vec::new() });
+        self.cvars.push(CvarRec {
+            name: name.to_owned(),
+            waiters: Vec::new(),
+        });
         id
     }
 
@@ -389,11 +479,11 @@ impl Kernel {
                 .map(|i| PortId(i as u32))
                 .ok_or_else(|| format!("input script references unknown port {port_name:?}"))?;
             self.ports[port.index()].remaining_inputs += inputs.len();
-            all.extend(
-                inputs
-                    .into_iter()
-                    .map(|t| PendingInput { time: t.time, port, value: t.value }),
-            );
+            all.extend(inputs.into_iter().map(|t| PendingInput {
+                time: t.time,
+                port,
+                value: t.value,
+            }));
         }
         all.sort_by_key(|p| p.time);
         self.pending_inputs = all.into();
@@ -406,7 +496,10 @@ impl Kernel {
     /// instrumentation costs to the wall clock.
     pub fn emit(&mut self, event: Event) {
         self.events += 1;
-        let meta = EventMeta { step: self.steps, time: self.time };
+        let meta = EventMeta {
+            step: self.steps,
+            time: self.time,
+        };
         for slot in &mut self.observers {
             let c = slot.obs.on_event(&meta, &event);
             slot.cost += c;
@@ -537,17 +630,26 @@ impl Kernel {
             let p = self.pending_inputs.pop_front().expect("checked non-empty");
             self.ports[p.port.index()].queue.push_back(p.value.clone());
             self.ports[p.port.index()].remaining_inputs -= 1;
-            self.emit(Event::InputArrival { port: p.port, value: p.value });
+            self.emit(Event::InputArrival {
+                port: p.port,
+                value: p.value,
+            });
             self.wake_port_waiters(p.port);
             any = true;
         }
-        while self.timers.peek().is_some_and(|Reverse((t, _))| *t <= self.time) {
+        while self
+            .timers
+            .peek()
+            .is_some_and(|Reverse((t, _))| *t <= self.time)
+        {
             let Reverse((due, tid)) = self.timers.pop().expect("checked non-empty");
             let task = TaskId(tid);
             let rec = &self.tasks[task.index()];
             let fire = match rec.phase {
                 Phase::Blocked(BlockOn::Timer { until }) => until <= self.time,
-                Phase::Blocked(BlockOn::Chan { deadline: Some(d), .. }) => d <= self.time,
+                Phase::Blocked(BlockOn::Chan {
+                    deadline: Some(d), ..
+                }) => d <= self.time,
                 _ => false,
             };
             let _ = due;
@@ -595,7 +697,10 @@ impl Kernel {
                 self.wake(j);
             }
         }
-        self.emit(Event::GroupKilled { group: group.to_owned(), tasks: victims });
+        self.emit(Event::GroupKilled {
+            group: group.to_owned(),
+            tasks: victims,
+        });
     }
 
     // ---- operation execution --------------------------------------------
@@ -613,7 +718,12 @@ impl Kernel {
                     None => actual,
                 };
                 self.charge(self.costs.read_cost(value.byte_size()));
-                self.emit(Event::Read { task, var: *var, value: value.clone(), site: (*site).into() });
+                self.emit(Event::Read {
+                    task,
+                    var: *var,
+                    value: value.clone(),
+                    site: (*site).into(),
+                });
                 Attempt::Done(Ok(value))
             }
             Op::Write { var, value, site } => {
@@ -637,7 +747,11 @@ impl Kernel {
                     None => {
                         rec.holder = Some(task);
                         self.charge(self.costs.lock);
-                        self.emit(Event::LockAcquire { task, lock: *lock, site: (*site).into() });
+                        self.emit(Event::LockAcquire {
+                            task,
+                            lock: *lock,
+                            site: (*site).into(),
+                        });
                         Attempt::Done(Ok(Value::Unit))
                     }
                 }
@@ -651,11 +765,20 @@ impl Kernel {
                 }
                 rec.holder = None;
                 self.charge(self.costs.lock);
-                self.emit(Event::LockRelease { task, lock: *lock, site: (*site).into() });
+                self.emit(Event::LockRelease {
+                    task,
+                    lock: *lock,
+                    site: (*site).into(),
+                });
                 self.wake_lock_waiters(*lock);
                 Attempt::Done(Ok(Value::Unit))
             }
-            Op::CvWait { cvar, lock, stage, site } => match *stage {
+            Op::CvWait {
+                cvar,
+                lock,
+                stage,
+                site,
+            } => match *stage {
                 CvStage::Enter => {
                     let lrec = &mut self.locks[lock.index()];
                     if lrec.holder != Some(task) {
@@ -762,7 +885,12 @@ impl Kernel {
                 self.wake_chan_waiters(*chan);
                 Attempt::Done(Ok(Value::Unit))
             }
-            Op::Recv { chan, deadline, timeout, site } => {
+            Op::Recv {
+                chan,
+                deadline,
+                timeout,
+                site,
+            } => {
                 if let Some(h) = &mut self.nondet_override {
                     if let Some(v) = h.override_recv(task, *chan) {
                         self.charge(self.costs.msg_cost(v.byte_size()));
@@ -802,7 +930,10 @@ impl Kernel {
                         return Attempt::Done(Err(SimError::RecvTimeout(*chan)));
                     }
                 }
-                Attempt::Block(BlockOn::Chan { chan: *chan, deadline: *deadline })
+                Attempt::Block(BlockOn::Chan {
+                    chan: *chan,
+                    deadline: *deadline,
+                })
             }
             Op::CloseChan { chan, site } => {
                 self.chans[chan.index()].closed = true;
@@ -892,25 +1023,34 @@ impl Kernel {
                 };
                 let v = if *bound == 0 { raw } else { raw % *bound };
                 self.charge(self.costs.rng);
-                self.emit(Event::RngDraw { task, value: raw, site: (*site).into() });
+                self.emit(Event::RngDraw {
+                    task,
+                    value: raw,
+                    site: (*site).into(),
+                });
                 Attempt::Done(Ok(Value::Int(v as i64)))
             }
-            Op::Sleep { until, ticks, site } => {
-                match *until {
-                    None => {
-                        let u = self.time.saturating_add(*ticks);
-                        *until = Some(u);
-                        self.timers.push(Reverse((u, task.0)));
-                        self.emit(Event::Sleep { task, until: u, site: (*site).into() });
-                        Attempt::Block(BlockOn::Timer { until: u })
-                    }
-                    Some(u) if u <= self.time => Attempt::Done(Ok(Value::Unit)),
-                    Some(u) => Attempt::Block(BlockOn::Timer { until: u }),
+            Op::Sleep { until, ticks, site } => match *until {
+                None => {
+                    let u = self.time.saturating_add(*ticks);
+                    *until = Some(u);
+                    self.timers.push(Reverse((u, task.0)));
+                    self.emit(Event::Sleep {
+                        task,
+                        until: u,
+                        site: (*site).into(),
+                    });
+                    Attempt::Block(BlockOn::Timer { until: u })
                 }
-            }
+                Some(u) if u <= self.time => Attempt::Done(Ok(Value::Unit)),
+                Some(u) => Attempt::Block(BlockOn::Timer { until: u }),
+            },
             Op::Yield { site } => {
                 self.charge(self.costs.yield_);
-                self.emit(Event::Yield { task, site: (*site).into() });
+                self.emit(Event::Yield {
+                    task,
+                    site: (*site).into(),
+                });
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Alloc { bytes, site } => {
@@ -933,7 +1073,11 @@ impl Kernel {
                 }
                 self.tasks[task.index()].mem_used = new_used;
                 self.charge(self.costs.alloc);
-                self.emit(Event::Alloc { task, bytes: *bytes, site: (*site).into() });
+                self.emit(Event::Alloc {
+                    task,
+                    bytes: *bytes,
+                    site: (*site).into(),
+                });
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Free { bytes, site } => {
@@ -968,7 +1112,11 @@ impl Kernel {
                     site: (*site).to_owned(),
                 });
                 self.charge(self.costs.yield_);
-                self.emit(Event::Crash { task, reason: reason.clone(), site: (*site).into() });
+                self.emit(Event::Crash {
+                    task,
+                    reason: reason.clone(),
+                    site: (*site).into(),
+                });
                 if self.stop_on_crash && self.stop.is_none() {
                     self.stop = Some(StopReason::Stopped);
                 }
@@ -993,7 +1141,11 @@ impl Kernel {
             reason: reason.clone(),
             site: site.to_owned(),
         });
-        self.emit(Event::Crash { task, reason, site: site.to_owned().into() });
+        self.emit(Event::Crash {
+            task,
+            reason,
+            site: site.to_owned().into(),
+        });
         if self.stop_on_crash && self.stop.is_none() {
             self.stop = Some(StopReason::Stopped);
         }
@@ -1058,7 +1210,11 @@ mod tests {
     fn read_write_round_trip() {
         let (mut k, t) = kernel_with_task();
         let v = k.add_var("x", Value::Int(0));
-        let mut w = Op::Write { var: v, value: Value::Int(7), site: "s" };
+        let mut w = Op::Write {
+            var: v,
+            value: Value::Int(7),
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut w), Attempt::Done(Ok(_))));
         let mut r = Op::Read { var: v, site: "s" };
         match k.exec_op(t, &mut r) {
@@ -1077,7 +1233,10 @@ mod tests {
         let mut a = Op::Lock { lock: l, site: "s" };
         assert!(matches!(k.exec_op(t0, &mut a), Attempt::Done(Ok(_))));
         let mut b = Op::Lock { lock: l, site: "s" };
-        assert!(matches!(k.exec_op(t1, &mut b), Attempt::Block(BlockOn::Lock(_))));
+        assert!(matches!(
+            k.exec_op(t1, &mut b),
+            Attempt::Block(BlockOn::Lock(_))
+        ));
         // Unlock wakes the blocked task.
         k.tasks[t1.index()].phase = Phase::Blocked(BlockOn::Lock(l));
         let mut u = Op::Unlock { lock: l, site: "s" };
@@ -1100,9 +1259,18 @@ mod tests {
     fn send_recv_round_trip() {
         let (mut k, t) = kernel_with_task();
         let c = k.add_chan("ch", ChanClass::Local);
-        let mut s = Op::Send { chan: c, value: Value::Int(3), site: "s" };
+        let mut s = Op::Send {
+            chan: c,
+            value: Value::Int(3),
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
-        let mut r = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        let mut r = Op::Recv {
+            chan: c,
+            deadline: None,
+            timeout: None,
+            site: "s",
+        };
         match k.exec_op(t, &mut r) {
             Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(3)),
             _ => panic!("recv failed"),
@@ -1113,11 +1281,21 @@ mod tests {
     fn recv_on_empty_blocks_and_closed_errors() {
         let (mut k, t) = kernel_with_task();
         let c = k.add_chan("ch", ChanClass::Local);
-        let mut r = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        let mut r = Op::Recv {
+            chan: c,
+            deadline: None,
+            timeout: None,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(_)));
         let mut cl = Op::CloseChan { chan: c, site: "s" };
         assert!(matches!(k.exec_op(t, &mut cl), Attempt::Done(Ok(_))));
-        let mut r2 = Op::Recv { chan: c, deadline: None, timeout: None, site: "s" };
+        let mut r2 = Op::Recv {
+            chan: c,
+            deadline: None,
+            timeout: None,
+            site: "s",
+        };
         assert!(matches!(
             k.exec_op(t, &mut r2),
             Attempt::Done(Err(SimError::ChannelClosed(_)))
@@ -1128,11 +1306,18 @@ mod tests {
     fn recv_timeout_resolves_deadline_once() {
         let (mut k, t) = kernel_with_task();
         let c = k.add_chan("ch", ChanClass::Local);
-        let mut r = Op::Recv { chan: c, deadline: None, timeout: Some(10), site: "s" };
+        let mut r = Op::Recv {
+            chan: c,
+            deadline: None,
+            timeout: Some(10),
+            site: "s",
+        };
         let now = k.time;
         assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(_)));
         match r {
-            Op::Recv { deadline: Some(d), .. } => assert_eq!(d, now + 10),
+            Op::Recv {
+                deadline: Some(d), ..
+            } => assert_eq!(d, now + 10),
             _ => panic!("deadline not resolved"),
         }
         // Past the deadline the retry reports a timeout.
@@ -1148,7 +1333,10 @@ mod tests {
         let mut k = Kernel::new(
             1,
             OpCosts::default(),
-            EnvConfig { drop_per_mille: 1000, ..EnvConfig::clean() },
+            EnvConfig {
+                drop_per_mille: 1000,
+                ..EnvConfig::clean()
+            },
             Box::new(RandomPolicy::new(1)),
             Vec::new(),
             None,
@@ -1157,9 +1345,16 @@ mod tests {
         );
         let t = k.add_task("t", "g", None);
         let c = k.add_chan("net", ChanClass::Network);
-        let mut s = Op::Send { chan: c, value: Value::Int(1), site: "s" };
+        let mut s = Op::Send {
+            chan: c,
+            value: Value::Int(1),
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
-        assert!(k.chans[c.index()].queue.is_empty(), "message should be dropped");
+        assert!(
+            k.chans[c.index()].queue.is_empty(),
+            "message should be dropped"
+        );
         let dropped = k
             .trace
             .as_ref()
@@ -1174,7 +1369,10 @@ mod tests {
         let mut k = Kernel::new(
             1,
             OpCosts::default(),
-            EnvConfig { drop_per_mille: 1000, ..EnvConfig::clean() },
+            EnvConfig {
+                drop_per_mille: 1000,
+                ..EnvConfig::clean()
+            },
             Box::new(RandomPolicy::new(1)),
             Vec::new(),
             None,
@@ -1183,7 +1381,11 @@ mod tests {
         );
         let t = k.add_task("t", "g", None);
         let c = k.add_chan("loc", ChanClass::Local);
-        let mut s = Op::Send { chan: c, value: Value::Int(1), site: "s" };
+        let mut s = Op::Send {
+            chan: c,
+            value: Value::Int(1),
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
         assert_eq!(k.chans[c.index()].queue.len(), 1);
     }
@@ -1203,16 +1405,28 @@ mod tests {
             false,
         );
         let t = k.add_task("t", "g", None);
-        let mut a = Op::Alloc { bytes: 60, site: "s" };
+        let mut a = Op::Alloc {
+            bytes: 60,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut a), Attempt::Done(Ok(_))));
-        let mut b = Op::Alloc { bytes: 60, site: "s" };
+        let mut b = Op::Alloc {
+            bytes: 60,
+            site: "s",
+        };
         assert!(matches!(
             k.exec_op(t, &mut b),
             Attempt::Done(Err(SimError::OutOfMemory { .. }))
         ));
-        let mut f = Op::Free { bytes: 30, site: "s" };
+        let mut f = Op::Free {
+            bytes: 30,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut f), Attempt::Done(Ok(_))));
-        let mut c = Op::Alloc { bytes: 60, site: "s" };
+        let mut c = Op::Alloc {
+            bytes: 60,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut c), Attempt::Done(Ok(_))));
     }
 
@@ -1223,14 +1437,26 @@ mod tests {
         let cv = k.add_cvar("cv");
         let mut a = Op::Lock { lock: l, site: "s" };
         assert!(matches!(k.exec_op(t0, &mut a), Attempt::Done(Ok(_))));
-        let mut w = Op::CvWait { cvar: cv, lock: l, stage: CvStage::Enter, site: "s" };
-        assert!(matches!(k.exec_op(t0, &mut w), Attempt::Block(BlockOn::Cvar(_))));
+        let mut w = Op::CvWait {
+            cvar: cv,
+            lock: l,
+            stage: CvStage::Enter,
+            site: "s",
+        };
+        assert!(matches!(
+            k.exec_op(t0, &mut w),
+            Attempt::Block(BlockOn::Cvar(_))
+        ));
         assert_eq!(k.locks[l.index()].holder, None, "lock released during wait");
         assert_eq!(k.cvars[cv.index()].waiters, vec![t0]);
         // Notify from another task.
         k.tasks[t0.index()].phase = Phase::Blocked(BlockOn::Cvar(cv));
         let t1 = k.add_task("t1", "g", None);
-        let mut n = Op::CvNotify { cvar: cv, all: false, site: "s" };
+        let mut n = Op::CvNotify {
+            cvar: cv,
+            all: false,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t1, &mut n), Attempt::Done(Ok(_))));
         assert_eq!(k.tasks[t0.index()].phase, Phase::Ready);
         assert!(k.cvars[cv.index()].waiters.is_empty());
@@ -1243,7 +1469,11 @@ mod tests {
     fn notify_with_no_waiters_is_noop() {
         let (mut k, t) = kernel_with_task();
         let cv = k.add_cvar("cv");
-        let mut n = Op::CvNotify { cvar: cv, all: true, site: "s" };
+        let mut n = Op::CvNotify {
+            cvar: cv,
+            all: true,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut n), Attempt::Done(Ok(_))));
     }
 
@@ -1265,13 +1495,19 @@ mod tests {
         k.load_inputs(
             vec![(
                 "in".to_owned(),
-                vec![TimedInput { time: 5, value: Value::Int(9) }],
+                vec![TimedInput {
+                    time: 5,
+                    value: Value::Int(9),
+                }],
             )]
             .into_iter(),
         )
         .unwrap();
         let mut r = Op::ReadInput { port: p, site: "s" };
-        assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(BlockOn::Port(_))));
+        assert!(matches!(
+            k.exec_op(t, &mut r),
+            Attempt::Block(BlockOn::Port(_))
+        ));
         k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Port(p));
         k.time = 5;
         assert!(k.deliver_due());
@@ -1286,8 +1522,14 @@ mod tests {
     fn load_inputs_rejects_unknown_port() {
         let mut k = kernel();
         let err = k.load_inputs(
-            vec![("nope".to_owned(), vec![TimedInput { time: 0, value: Value::Unit }])]
-                .into_iter(),
+            vec![(
+                "nope".to_owned(),
+                vec![TimedInput {
+                    time: 0,
+                    value: Value::Unit,
+                }],
+            )]
+            .into_iter(),
         );
         assert!(err.is_err());
     }
@@ -1311,19 +1553,28 @@ mod tests {
         let t0 = k.add_task("a", "node1", None);
         let t1 = k.add_task("b", "node2", None);
         k.kill_group("node1");
-        let mut j = Op::Join { task: t0, site: "s" };
+        let mut j = Op::Join {
+            task: t0,
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t1, &mut j), Attempt::Done(Ok(_))));
     }
 
     #[test]
     fn crash_op_records_and_optionally_stops() {
         let (mut k, t) = kernel_with_task();
-        let mut c = Op::Crash { reason: "boom".into(), site: "s" };
+        let mut c = Op::Crash {
+            reason: "boom".into(),
+            site: "s",
+        };
         assert!(matches!(k.exec_op(t, &mut c), Attempt::Done(Ok(_))));
         assert_eq!(k.crashes.len(), 1);
         assert!(k.stop.is_none());
         k.stop_on_crash = true;
-        let mut c2 = Op::Crash { reason: "boom2".into(), site: "s" };
+        let mut c2 = Op::Crash {
+            reason: "boom2".into(),
+            site: "s",
+        };
         let _ = k.exec_op(t, &mut c2);
         assert!(k.stop.is_some());
     }
@@ -1331,9 +1582,17 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let (mut k, t) = kernel_with_task();
-        let mut c1 = Op::Count { name: "drops", delta: 2, site: "s" };
+        let mut c1 = Op::Count {
+            name: "drops",
+            delta: 2,
+            site: "s",
+        };
         let _ = k.exec_op(t, &mut c1);
-        let mut c2 = Op::Count { name: "drops", delta: 3, site: "s" };
+        let mut c2 = Op::Count {
+            name: "drops",
+            delta: 3,
+            site: "s",
+        };
         match k.exec_op(t, &mut c2) {
             Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(5)),
             _ => panic!("count failed"),
@@ -1345,7 +1604,10 @@ mod tests {
     fn rng_draw_is_recorded_and_bounded() {
         let (mut k, t) = kernel_with_task();
         for _ in 0..50 {
-            let mut r = Op::Rng { bound: 10, site: "s" };
+            let mut r = Op::Rng {
+                bound: 10,
+                site: "s",
+            };
             match k.exec_op(t, &mut r) {
                 Attempt::Done(Ok(Value::Int(v))) => assert!((0..10).contains(&v)),
                 _ => panic!("rng failed"),
@@ -1380,7 +1642,10 @@ mod tests {
             false,
         );
         let t = k.add_task("t", "g", None);
-        let mut r = Op::Rng { bound: 100, site: "s" };
+        let mut r = Op::Rng {
+            bound: 100,
+            site: "s",
+        };
         match k.exec_op(t, &mut r) {
             Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(7)),
             _ => panic!("rng failed"),
@@ -1417,9 +1682,16 @@ mod tests {
     #[test]
     fn sleep_sets_timer_and_wakes() {
         let (mut k, t) = kernel_with_task();
-        let mut s = Op::Sleep { until: None, ticks: 10, site: "s" };
+        let mut s = Op::Sleep {
+            until: None,
+            ticks: 10,
+            site: "s",
+        };
         let start = k.time;
-        assert!(matches!(k.exec_op(t, &mut s), Attempt::Block(BlockOn::Timer { .. })));
+        assert!(matches!(
+            k.exec_op(t, &mut s),
+            Attempt::Block(BlockOn::Timer { .. })
+        ));
         k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Timer { until: start + 10 });
         assert_eq!(k.next_pending_time(), Some(start + 10));
         k.time = start + 10;
@@ -1470,7 +1742,11 @@ mod tests {
         );
         let t = k.add_task("t", "g", None);
         let v = k.add_var("x", Value::Int(0));
-        let mut w = Op::Write { var: v, value: Value::Int(1), site: "s" };
+        let mut w = Op::Write {
+            var: v,
+            value: Value::Int(1),
+            site: "s",
+        };
         let _ = k.exec_op(t, &mut w);
         // add_task + write events so far; each costs 5 wall ticks.
         assert_eq!(k.wall_extra, 10);

@@ -72,8 +72,8 @@ pub mod rng;
 pub mod value;
 
 pub use config::{
-    ChanClass, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride, OpCosts,
-    RunConfig, TimedInput,
+    ChanClass, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride, OpCosts, RunConfig,
+    TimedInput,
 };
 pub use driver::{
     run_program, ChanMeta, IoSummary, PortMeta, Registry, RunOutput, RunStats, TaskMeta,
@@ -87,8 +87,8 @@ pub use policy::{
     RoundRobinPolicy, SchedulePolicy,
 };
 pub use program::{
-    Builder, ChanHandle, CondvarHandle, InPort, MutexHandle, OutPort, Program, TaskCtx, TaskFn,
-    TVar,
+    Builder, ChanHandle, CondvarHandle, InPort, MutexHandle, OutPort, Program, TVar, TaskCtx,
+    TaskFn,
 };
 pub use rng::DetRng;
 pub use value::{SimData, Value};

@@ -62,7 +62,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Creates a policy from a seed.
     pub fn new(seed: u64) -> Self {
-        RandomPolicy { rng: DetRng::seed_from(seed) }
+        RandomPolicy {
+            rng: DetRng::seed_from(seed),
+        }
     }
 }
 
@@ -100,11 +102,7 @@ impl SchedulePolicy for RoundRobinPolicy {
             Some(prev) => {
                 // First candidate strictly greater than the previous pick,
                 // wrapping to the smallest.
-                point
-                    .candidates
-                    .iter()
-                    .position(|&t| t > prev)
-                    .unwrap_or(0)
+                point.candidates.iter().position(|&t| t > prev).unwrap_or(0)
             }
         };
         if point.kind == DecisionKind::NextTask {
@@ -218,7 +216,11 @@ impl PrefixPolicy {
     /// Creates a policy forcing `prefix` (candidate indices), then random
     /// choices from `seed`.
     pub fn new(prefix: Vec<u32>, seed: u64) -> Self {
-        PrefixPolicy { prefix, cursor: 0, tail: DetRng::seed_from(seed) }
+        PrefixPolicy {
+            prefix,
+            cursor: 0,
+            tail: DetRng::seed_from(seed),
+        }
     }
 }
 
@@ -276,7 +278,13 @@ impl PctPolicy {
             change_points.push(rng.next_below(expected_len.max(1)));
         }
         change_points.sort_unstable();
-        PctPolicy { rng, change_points, priorities: Default::default(), next_low: 0, steps: 0 }
+        PctPolicy {
+            rng,
+            change_points,
+            priorities: Default::default(),
+            next_low: 0,
+            steps: 0,
+        }
     }
 }
 
@@ -302,7 +310,11 @@ impl SchedulePolicy for PctPolicy {
             .enumerate()
             .max_by_key(|&(_, &t)| (self.priorities[&t], t))
             .expect("candidates are never empty");
-        if self.change_points.first().is_some_and(|&cp| self.steps > cp) {
+        if self
+            .change_points
+            .first()
+            .is_some_and(|&cp| self.steps > cp)
+        {
             self.change_points.remove(0);
             // Demote the chosen task below every base priority.
             self.next_low += 1;
@@ -320,9 +332,17 @@ mod tests {
         (cands.iter().map(|&c| TaskId(c)).collect(), seq)
     }
 
-    fn decide_with(p: &mut dyn SchedulePolicy, seq: u64, cands: &[u32]) -> Result<usize, StopReason> {
+    fn decide_with(
+        p: &mut dyn SchedulePolicy,
+        seq: u64,
+        cands: &[u32],
+    ) -> Result<usize, StopReason> {
         let (c, seq) = point(seq, cands);
-        p.decide(&DecisionPoint { seq, kind: DecisionKind::NextTask, candidates: &c })
+        p.decide(&DecisionPoint {
+            seq,
+            kind: DecisionKind::NextTask,
+            candidates: &c,
+        })
     }
 
     #[test]
@@ -358,8 +378,14 @@ mod tests {
     #[test]
     fn replay_follows_recorded_choices() {
         let rec = vec![
-            RecordedDecision { kind: DecisionKind::NextTask, chosen: TaskId(2) },
-            RecordedDecision { kind: DecisionKind::NextTask, chosen: TaskId(0) },
+            RecordedDecision {
+                kind: DecisionKind::NextTask,
+                chosen: TaskId(2),
+            },
+            RecordedDecision {
+                kind: DecisionKind::NextTask,
+                chosen: TaskId(0),
+            },
         ];
         let mut p = ReplayPolicy::strict(rec);
         assert_eq!(decide_with(&mut p, 0, &[0, 1, 2]).unwrap(), 2);
@@ -369,7 +395,10 @@ mod tests {
 
     #[test]
     fn replay_divergence_on_missing_candidate() {
-        let rec = vec![RecordedDecision { kind: DecisionKind::NextTask, chosen: TaskId(5) }];
+        let rec = vec![RecordedDecision {
+            kind: DecisionKind::NextTask,
+            chosen: TaskId(5),
+        }];
         let mut p = ReplayPolicy::strict(rec);
         let err = decide_with(&mut p, 0, &[0, 1]).unwrap_err();
         assert!(matches!(err, StopReason::ReplayDivergence { .. }));

@@ -24,7 +24,10 @@ pub struct TVar<T> {
 
 impl<T> TVar<T> {
     pub(crate) fn new(id: VarId) -> Self {
-        TVar { id, _pd: PhantomData }
+        TVar {
+            id,
+            _pd: PhantomData,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub struct ChanHandle<T> {
 
 impl<T> ChanHandle<T> {
     pub(crate) fn new(id: ChanId) -> Self {
-        ChanHandle { id, _pd: PhantomData }
+        ChanHandle {
+            id,
+            _pd: PhantomData,
+        }
     }
 }
 
@@ -107,7 +113,10 @@ pub struct Builder<'k> {
 
 impl<'k> Builder<'k> {
     pub(crate) fn new(kernel: &'k mut Kernel) -> Self {
-        Builder { kernel, spawns: Vec::new() }
+        Builder {
+            kernel,
+            spawns: Vec::new(),
+        }
     }
 
     /// Declares a typed shared variable with an initial value.
@@ -209,12 +218,14 @@ impl TaskCtx {
 
     /// Acquires a lock (blocking).
     pub fn lock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Lock { lock: m.0, site }).map(drop)
+        self.syscall(crate::kernel::Op::Lock { lock: m.0, site })
+            .map(drop)
     }
 
     /// Releases a lock.
     pub fn unlock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Unlock { lock: m.0, site }).map(drop)
+        self.syscall(crate::kernel::Op::Unlock { lock: m.0, site })
+            .map(drop)
     }
 
     /// Waits on a condition variable, atomically releasing `m`; on return
@@ -231,19 +242,33 @@ impl TaskCtx {
 
     /// Wakes one waiter (scheduling-policy choice among waiters).
     pub fn notify_one(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CvNotify { cvar: cv.0, all: false, site }).map(drop)
+        self.syscall(crate::kernel::Op::CvNotify {
+            cvar: cv.0,
+            all: false,
+            site,
+        })
+        .map(drop)
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CvNotify { cvar: cv.0, all: true, site }).map(drop)
+        self.syscall(crate::kernel::Op::CvNotify {
+            cvar: cv.0,
+            all: true,
+            site,
+        })
+        .map(drop)
     }
 
     /// Sends a message (unbounded queue; may be dropped on congested
     /// network channels).
     pub fn send<T: SimData>(&mut self, ch: &ChanHandle<T>, msg: T, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Send { chan: ch.id, value: msg.into_value(), site })
-            .map(drop)
+        self.syscall(crate::kernel::Op::Send {
+            chan: ch.id,
+            value: msg.into_value(),
+            site,
+        })
+        .map(drop)
     }
 
     /// Receives a message (blocking).
@@ -280,7 +305,8 @@ impl TaskCtx {
     /// Closes a channel; subsequent receives on an empty queue fail with
     /// [`SimError::ChannelClosed`].
     pub fn close<T>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CloseChan { chan: ch.id, site }).map(drop)
+        self.syscall(crate::kernel::Op::CloseChan { chan: ch.id, site })
+            .map(drop)
     }
 
     /// Reads the next scripted input from a port (blocking until arrival;
@@ -294,18 +320,22 @@ impl TaskCtx {
 
     /// Emits an observable output.
     pub fn output<T: SimData>(&mut self, p: OutPort, value: T, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::WriteOutput { port: p.0, value: value.into_value(), site })
-            .map(drop)
+        self.syscall(crate::kernel::Op::WriteOutput {
+            port: p.0,
+            value: value.into_value(),
+            site,
+        })
+        .map(drop)
     }
 
     /// Samples a named probe point (consumed by invariant inference).
-    pub fn probe<T: SimData>(
-        &mut self,
-        name: &'static str,
-        value: T,
-        site: Site,
-    ) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Probe { name, value: value.into_value(), site }).map(drop)
+    pub fn probe<T: SimData>(&mut self, name: &'static str, value: T, site: Site) -> SimResult<()> {
+        self.syscall(crate::kernel::Op::Probe {
+            name,
+            value: value.into_value(),
+            site,
+        })
+        .map(drop)
     }
 
     /// Adjusts a named counter (part of the observable I/O summary) and
@@ -324,7 +354,12 @@ impl TaskCtx {
 
     /// Sleeps for `ticks` of virtual time.
     pub fn sleep(&mut self, ticks: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Sleep { until: None, ticks, site }).map(drop)
+        self.syscall(crate::kernel::Op::Sleep {
+            until: None,
+            ticks,
+            site,
+        })
+        .map(drop)
     }
 
     /// Yields the processor (a pure scheduling point).
@@ -334,17 +369,20 @@ impl TaskCtx {
 
     /// Accounts `bytes` of allocation against this task's memory budget.
     pub fn alloc(&mut self, bytes: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Alloc { bytes, site }).map(drop)
+        self.syscall(crate::kernel::Op::Alloc { bytes, site })
+            .map(drop)
     }
 
     /// Returns `bytes` of allocation to the budget.
     pub fn free(&mut self, bytes: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Free { bytes, site }).map(drop)
+        self.syscall(crate::kernel::Op::Free { bytes, site })
+            .map(drop)
     }
 
     /// Blocks until `task` exits (or was killed).
     pub fn join(&mut self, task: TaskId, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Join { task, site }).map(drop)
+        self.syscall(crate::kernel::Op::Join { task, site })
+            .map(drop)
     }
 
     /// Records a crash of this task and unwinds it.
@@ -352,7 +390,10 @@ impl TaskCtx {
     /// Always returns an error so it can be written as
     /// `return ctx.crash("reason", site)`.
     pub fn crash(&mut self, reason: &str, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Crash { reason: reason.to_owned(), site })?;
+        self.syscall(crate::kernel::Op::Crash {
+            reason: reason.to_owned(),
+            site,
+        })?;
         Err(SimError::Cancelled)
     }
 
@@ -374,7 +415,8 @@ impl TaskCtx {
     }
 
     fn op_write(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Write { var, value, site }).map(drop)
+        self.syscall(crate::kernel::Op::Write { var, value, site })
+            .map(drop)
     }
 
     fn syscall(&mut self, op: crate::kernel::Op) -> SimResult<Value> {

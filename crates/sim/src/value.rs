@@ -8,9 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A dynamically-typed datum stored in shared memory or carried by messages.
-#[derive(
-    Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// The unit value (used for pure-signal messages).
     #[default]
@@ -284,7 +282,10 @@ mod tests {
     fn mismatched_shapes_decode_to_none() {
         assert_eq!(i64::from_value(&Value::Bool(true)), None);
         assert_eq!(bool::from_value(&Value::Int(1)), None);
-        assert_eq!(<(i64, i64)>::from_value(&Value::List(vec![Value::Int(1)])), None);
+        assert_eq!(
+            <(i64, i64)>::from_value(&Value::List(vec![Value::Int(1)])),
+            None
+        );
         assert_eq!(u32::from_value(&Value::Int(-1)), None);
     }
 

@@ -19,18 +19,22 @@ impl Program for CvarPipeline {
         let ready = b.var("ready", 0i64);
         let out = b.out_port("out");
         for i in 0..3 {
-            b.spawn(&format!("waiter{i}"), "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
-                ctx.lock(m, "w::lock")?;
-                loop {
-                    let r = ctx.read(&ready, "w::read")?;
-                    if r != 0 {
-                        break;
+            b.spawn(
+                &format!("waiter{i}"),
+                "g",
+                move |ctx: &mut TaskCtx| -> SimResult<()> {
+                    ctx.lock(m, "w::lock")?;
+                    loop {
+                        let r = ctx.read(&ready, "w::read")?;
+                        if r != 0 {
+                            break;
+                        }
+                        ctx.wait(cv, m, "w::wait")?;
                     }
-                    ctx.wait(cv, m, "w::wait")?;
-                }
-                ctx.unlock(m, "w::unlock")?;
-                ctx.output(out, 1i64, "w::done")
-            });
+                    ctx.unlock(m, "w::unlock")?;
+                    ctx.output(out, 1i64, "w::done")
+                },
+            );
         }
         b.spawn("signaller", "g", move |ctx| {
             ctx.sleep(50, "s::sleep")?;
@@ -69,19 +73,23 @@ impl Program for NotifyOnePipeline {
         let tokens = b.var("tokens", 0i64);
         let out = b.out_port("out");
         for i in 0..3 {
-            b.spawn(&format!("waiter{i}"), "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
-                ctx.lock(m, "w::lock")?;
-                loop {
-                    let t = ctx.read(&tokens, "w::read")?;
-                    if t > 0 {
-                        ctx.write(&tokens, t - 1, "w::take")?;
-                        break;
+            b.spawn(
+                &format!("waiter{i}"),
+                "g",
+                move |ctx: &mut TaskCtx| -> SimResult<()> {
+                    ctx.lock(m, "w::lock")?;
+                    loop {
+                        let t = ctx.read(&tokens, "w::read")?;
+                        if t > 0 {
+                            ctx.write(&tokens, t - 1, "w::take")?;
+                            break;
+                        }
+                        ctx.wait(cv, m, "w::wait")?;
                     }
-                    ctx.wait(cv, m, "w::wait")?;
-                }
-                ctx.unlock(m, "w::unlock")?;
-                ctx.output(out, i as i64, "w::done")
-            });
+                    ctx.unlock(m, "w::unlock")?;
+                    ctx.output(out, i as i64, "w::done")
+                },
+            );
         }
         b.spawn("producer", "g", move |ctx| {
             for _ in 0..3 {
@@ -106,7 +114,12 @@ fn notify_one_hands_out_tokens_to_all_waiters_eventually() {
             Box::new(RandomPolicy::new(seed)),
             vec![],
         );
-        assert_eq!(out.stop, StopReason::Quiescent, "seed {seed}: {:?}", out.stop);
+        assert_eq!(
+            out.stop,
+            StopReason::Quiescent,
+            "seed {seed}: {:?}",
+            out.stop
+        );
         let mut ids: Vec<i64> = out
             .io
             .outputs_on("out")
@@ -147,7 +160,10 @@ impl Program for EchoInputs {
 fn registry_lookups_resolve_names() {
     let mut inputs = InputScript::new();
     inputs.push("req", 0, Value::Int(7));
-    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        inputs,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&EchoInputs, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     let reg = &out.registry;
     assert!(reg.port_id("req").is_some());
@@ -166,7 +182,10 @@ fn io_summary_records_consumed_inputs() {
     let mut inputs = InputScript::new();
     inputs.push("req", 0, Value::Int(1));
     inputs.push("req", 5, Value::Int(2));
-    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        inputs,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&EchoInputs, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     let consumed: Vec<i64> = out
         .io

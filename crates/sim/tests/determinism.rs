@@ -74,10 +74,11 @@ fn different_seeds_usually_differ() {
 
 #[test]
 fn race_sometimes_loses_updates() {
-    let lost = (0..32).any(|s| {
-        run_racy(s).io.outputs_on("result")[0].as_int().unwrap() < 40
-    });
-    assert!(lost, "expected at least one seed to exhibit the lost-update race");
+    let lost = (0..32).any(|s| run_racy(s).io.outputs_on("result")[0].as_int().unwrap() < 40);
+    assert!(
+        lost,
+        "expected at least one seed to exhibit the lost-update race"
+    );
 }
 
 #[test]
@@ -87,7 +88,10 @@ fn schedule_replay_reproduces_the_exact_execution() {
         let decisions: Vec<RecordedDecision> = original
             .decisions
             .iter()
-            .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+            .map(|d| RecordedDecision {
+                kind: d.kind,
+                chosen: d.chosen,
+            })
             .collect();
         let replay = run_program(
             &RacyCounter { iters: 20 },
@@ -110,7 +114,10 @@ fn replay_with_wrong_stream_reports_divergence() {
         .decisions
         .iter()
         .take(3)
-        .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+        .map(|d| RecordedDecision {
+            kind: d.kind,
+            chosen: d.chosen,
+        })
         .collect();
     let replay = run_program(
         &RacyCounter { iters: 20 },
@@ -202,13 +209,11 @@ impl Program for InputEcho {
     fn setup(&self, b: &mut Builder<'_>) {
         let p = b.in_port("req");
         let out = b.out_port("resp");
-        b.spawn("echo", "g", move |ctx| {
-            loop {
-                match ctx.input::<i64>(p, "echo::input") {
-                    Ok(v) => ctx.output(out, (v, ctx.now() as i64), "echo::output")?,
-                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
-                    Err(e) => return Err(e),
-                }
+        b.spawn("echo", "g", move |ctx| loop {
+            match ctx.input::<i64>(p, "echo::input") {
+                Ok(v) => ctx.output(out, (v, ctx.now() as i64), "echo::output")?,
+                Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                Err(e) => return Err(e),
             }
         });
     }
@@ -219,7 +224,10 @@ fn inputs_arrive_at_scripted_times() {
     let mut inputs = InputScript::new();
     inputs.push("req", 50, Value::Int(1));
     inputs.push("req", 200, Value::Int(2));
-    let cfg = RunConfig { inputs, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        inputs,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&InputEcho, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     assert_eq!(out.stop, StopReason::Quiescent);
     let resp = out.io.outputs_on("resp");
@@ -242,11 +250,9 @@ impl Program for CrashyGroup {
 
     fn setup(&self, b: &mut Builder<'_>) {
         let out = b.out_port("beats");
-        b.spawn("victim", "node1", move |ctx| {
-            loop {
-                ctx.sleep(10, "victim::beat")?;
-                ctx.output(out, 1i64, "victim::output")?;
-            }
+        b.spawn("victim", "node1", move |ctx| loop {
+            ctx.sleep(10, "victim::beat")?;
+            ctx.output(out, 1i64, "victim::output")?;
         });
         b.spawn("survivor", "node2", move |ctx| {
             ctx.sleep(100, "survivor::wait")?;
@@ -258,16 +264,25 @@ impl Program for CrashyGroup {
 #[test]
 fn group_crash_kills_tasks_mid_run() {
     let env = EnvConfig {
-        crashes: vec![CrashEvent { time: 45, group: "node1".into() }],
+        crashes: vec![CrashEvent {
+            time: 45,
+            group: "node1".into(),
+        }],
         ..EnvConfig::clean()
     };
-    let cfg = RunConfig { env, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        env,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&CrashyGroup, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     assert_eq!(out.stop, StopReason::Quiescent);
     let beats = out.io.outputs_on("beats");
     // The victim beats at t=10,20,30,40 then dies; the survivor reports once.
     let victim_beats = beats.iter().filter(|v| v.as_int() == Some(1)).count();
-    assert!(victim_beats <= 5, "victim should die early, beat {victim_beats} times");
+    assert!(
+        victim_beats <= 5,
+        "victim should die early, beat {victim_beats} times"
+    );
     assert_eq!(beats.iter().filter(|v| v.as_int() == Some(2)).count(), 1);
     let killed = out
         .trace()
@@ -320,18 +335,19 @@ impl Program for Forever {
 
     fn setup(&self, b: &mut Builder<'_>) {
         let v = b.var("x", 0i64);
-        b.spawn("spinner", "g", move |ctx| {
-            loop {
-                let x = ctx.read(&v, "spin::read")?;
-                ctx.write(&v, x + 1, "spin::write")?;
-            }
+        b.spawn("spinner", "g", move |ctx| loop {
+            let x = ctx.read(&v, "spin::read")?;
+            ctx.write(&v, x + 1, "spin::write")?;
         });
     }
 }
 
 #[test]
 fn max_steps_bounds_runaway_programs() {
-    let cfg = RunConfig { max_steps: 500, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        max_steps: 500,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&Forever, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     assert_eq!(out.stop, StopReason::MaxSteps);
     assert!(out.stats.steps >= 500);
@@ -339,7 +355,10 @@ fn max_steps_bounds_runaway_programs() {
 
 #[test]
 fn max_time_bounds_runaway_programs() {
-    let cfg = RunConfig { max_time: 300, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        max_time: 300,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&Forever, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     assert_eq!(out.stop, StopReason::MaxTime);
 }
@@ -431,10 +450,8 @@ impl Program for StopRunProgram {
             ctx.sleep(10, "stopper::sleep")?;
             ctx.stop_run("stopper::stop")
         });
-        b.spawn("worker", "g", move |ctx| {
-            loop {
-                ctx.yield_now("worker::spin")?;
-            }
+        b.spawn("worker", "g", move |ctx| loop {
+            ctx.yield_now("worker::spin")?;
         });
     }
 }
@@ -468,8 +485,14 @@ fn congestion_drops_are_deterministic_per_seed() {
         }
     }
     let run = |seed| {
-        let env = EnvConfig { drop_per_mille: 300, ..EnvConfig::clean() };
-        let cfg = RunConfig { env, ..RunConfig::with_seed(seed) };
+        let env = EnvConfig {
+            drop_per_mille: 300,
+            ..EnvConfig::clean()
+        };
+        let cfg = RunConfig {
+            env,
+            ..RunConfig::with_seed(seed)
+        };
         let out = run_program(&Flood, cfg, Box::new(RandomPolicy::new(seed)), vec![]);
         out.trace()
             .iter()
@@ -494,9 +517,7 @@ fn memory_budget_enforced_per_group() {
             b.spawn("hog", "small", move |ctx| {
                 ctx.alloc(400, "hog::alloc")?;
                 match ctx.alloc(400, "hog::alloc2") {
-                    Err(dd_sim::SimError::OutOfMemory { .. }) => {
-                        ctx.output(out, -1i64, "hog::oom")
-                    }
+                    Err(dd_sim::SimError::OutOfMemory { .. }) => ctx.output(out, -1i64, "hog::oom"),
                     Ok(()) => ctx.output(out, 1i64, "hog::fine"),
                     Err(e) => Err(e),
                 }
@@ -505,7 +526,10 @@ fn memory_budget_enforced_per_group() {
     }
     let mut env = EnvConfig::clean();
     env.mem_budget.insert("small".into(), 500);
-    let cfg = RunConfig { env, ..RunConfig::with_seed(0) };
+    let cfg = RunConfig {
+        env,
+        ..RunConfig::with_seed(0)
+    };
     let out = run_program(&Hog, cfg, Box::new(RandomPolicy::new(0)), vec![]);
     assert_eq!(out.io.outputs_on("result")[0].as_int(), Some(-1));
 }

@@ -29,12 +29,18 @@ pub struct CostModel {
 impl CostModel {
     /// A cost model with only a fixed per-record cost (whole ticks).
     pub const fn per_record(ticks: u64) -> Self {
-        CostModel { record_milli: ticks * 1000, byte_milli: 0 }
+        CostModel {
+            record_milli: ticks * 1000,
+            byte_milli: 0,
+        }
     }
 
     /// A free recorder (failure determinism records nothing at runtime).
     pub const fn free() -> Self {
-        CostModel { record_milli: 0, byte_milli: 0 }
+        CostModel {
+            record_milli: 0,
+            byte_milli: 0,
+        }
     }
 
     /// Returns the millitick cost of logging `bytes` of payload.
@@ -47,7 +53,10 @@ impl Default for CostModel {
     fn default() -> Self {
         // One tick per record plus an eighth of a tick per 8 payload bytes:
         // roughly a software log append with copy.
-        CostModel { record_milli: 1000, byte_milli: 125 }
+        CostModel {
+            record_milli: 1000,
+            byte_milli: 125,
+        }
     }
 }
 
@@ -116,7 +125,10 @@ mod tests {
 
     #[test]
     fn cost_scales_with_bytes() {
-        let m = CostModel { record_milli: 2000, byte_milli: 250 };
+        let m = CostModel {
+            record_milli: 2000,
+            byte_milli: 250,
+        };
         assert_eq!(m.cost_milli(0), 2000);
         assert_eq!(m.cost_milli(8), 4000);
         assert_eq!(CostModel::free().cost_milli(1_000_000), 0);
@@ -161,10 +173,22 @@ mod tests {
         let mut s = LogStats::default();
         s.add(10);
         s.add(20);
-        assert_eq!(s, LogStats { records: 2, bytes: 30 });
+        assert_eq!(
+            s,
+            LogStats {
+                records: 2,
+                bytes: 30
+            }
+        );
         let mut t = LogStats::default();
         t.add(5);
         t.merge(s);
-        assert_eq!(t, LogStats { records: 3, bytes: 35 });
+        assert_eq!(
+            t,
+            LogStats {
+                records: 3,
+                bytes: 35
+            }
+        );
     }
 }

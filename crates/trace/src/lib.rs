@@ -21,13 +21,13 @@ pub mod recorder;
 pub mod trace;
 
 pub use cost::{log_size, ChargeAcc, CostModel, LogStats};
-pub use persist::{load_json, save_json, PersistError};
 pub use logs::{
-    EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry,
-    ValKind, ValueCursor, ValueCursorStats, ValueLog,
+    EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry, ValKind,
+    ValueCursor, ValueCursorStats, ValueLog,
 };
+pub use persist::{load_json, save_json, PersistError};
 pub use recorder::{
-    InputRecorder, OutputRecorder, RecordFilter, ScheduleRecorder, SelectiveRecorder,
-    SiteProfiler, ValueRecorder,
+    InputRecorder, OutputRecorder, RecordFilter, ScheduleRecorder, SelectiveRecorder, SiteProfiler,
+    ValueRecorder,
 };
 pub use trace::{AccessRecord, Trace, TraceEvent};

@@ -6,9 +6,7 @@
 //! models in `dd-replay` and `dd-core` decide what goes into them.
 
 use crate::trace::Trace;
-use dd_sim::{
-    Event, InputScript, IoSummary, RecordedDecision, TaskId, Value,
-};
+use dd_sim::{Event, InputScript, IoSummary, RecordedDecision, TaskId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -27,7 +25,10 @@ impl ScheduleLog {
             decisions: out
                 .decisions
                 .iter()
-                .map(|d| RecordedDecision { kind: d.kind, chosen: d.chosen })
+                .map(|d| RecordedDecision {
+                    kind: d.kind,
+                    chosen: d.chosen,
+                })
                 .collect(),
         }
     }
@@ -163,18 +164,33 @@ impl ValueLog {
         let mut per_task: BTreeMap<u32, Vec<ValEntry>> = BTreeMap::new();
         for e in trace.iter() {
             let (task, entry) = match &e.event {
-                Event::Read { task, value, .. } => {
-                    (*task, ValEntry { kind: ValKind::Read, value: value.clone() })
-                }
-                Event::Recv { task, value, .. } => {
-                    (*task, ValEntry { kind: ValKind::Recv, value: value.clone() })
-                }
-                Event::InputRead { task, value, .. } => {
-                    (*task, ValEntry { kind: ValKind::Input, value: value.clone() })
-                }
+                Event::Read { task, value, .. } => (
+                    *task,
+                    ValEntry {
+                        kind: ValKind::Read,
+                        value: value.clone(),
+                    },
+                ),
+                Event::Recv { task, value, .. } => (
+                    *task,
+                    ValEntry {
+                        kind: ValKind::Recv,
+                        value: value.clone(),
+                    },
+                ),
+                Event::InputRead { task, value, .. } => (
+                    *task,
+                    ValEntry {
+                        kind: ValKind::Input,
+                        value: value.clone(),
+                    },
+                ),
                 Event::RngDraw { task, value, .. } => (
                     *task,
-                    ValEntry { kind: ValKind::Rng, value: Value::Int(*value as i64) },
+                    ValEntry {
+                        kind: ValKind::Rng,
+                        value: Value::Int(*value as i64),
+                    },
                 ),
                 _ => continue,
             };
@@ -225,7 +241,12 @@ impl ValueLog {
             fed: 0,
             divergences: 0,
         }));
-        (ValueCursor { inner: Arc::clone(&inner) }, ValueCursorStats { inner })
+        (
+            ValueCursor {
+                inner: Arc::clone(&inner),
+            },
+            ValueCursorStats { inner },
+        )
     }
 }
 
@@ -359,19 +380,32 @@ mod tests {
     #[test]
     fn value_log_extracts_per_task_streams() {
         let trace = Trace::from_events(vec![
-            ev(0, Event::Read {
-                task: TaskId(0),
-                var: VarId(0),
-                value: Value::Int(1),
-                site: "s".into(),
-            }),
-            ev(1, Event::RngDraw { task: TaskId(1), value: 42, site: "s".into() }),
-            ev(2, Event::Recv {
-                task: TaskId(0),
-                chan: dd_sim::ChanId(0),
-                value: Value::Str("m".into()),
-                site: "s".into(),
-            }),
+            ev(
+                0,
+                Event::Read {
+                    task: TaskId(0),
+                    var: VarId(0),
+                    value: Value::Int(1),
+                    site: "s".into(),
+                },
+            ),
+            ev(
+                1,
+                Event::RngDraw {
+                    task: TaskId(1),
+                    value: 42,
+                    site: "s".into(),
+                },
+            ),
+            ev(
+                2,
+                Event::Recv {
+                    task: TaskId(0),
+                    chan: dd_sim::ChanId(0),
+                    value: Value::Str("m".into()),
+                    site: "s".into(),
+                },
+            ),
         ]);
         let log = ValueLog::from_trace(&trace);
         assert_eq!(log.len(), 3);
@@ -384,18 +418,24 @@ mod tests {
     #[test]
     fn cursor_feeds_in_order_and_counts_divergence() {
         let trace = Trace::from_events(vec![
-            ev(0, Event::Read {
-                task: TaskId(0),
-                var: VarId(0),
-                value: Value::Int(5),
-                site: "s".into(),
-            }),
-            ev(1, Event::Read {
-                task: TaskId(0),
-                var: VarId(0),
-                value: Value::Int(6),
-                site: "s".into(),
-            }),
+            ev(
+                0,
+                Event::Read {
+                    task: TaskId(0),
+                    var: VarId(0),
+                    value: Value::Int(5),
+                    site: "s".into(),
+                },
+            ),
+            ev(
+                1,
+                Event::Read {
+                    task: TaskId(0),
+                    var: VarId(0),
+                    value: Value::Int(6),
+                    site: "s".into(),
+                },
+            ),
         ]);
         let (mut cursor, stats) = ValueLog::from_trace(&trace).into_cursor();
         use dd_sim::NondetOverride;
@@ -410,7 +450,10 @@ mod tests {
             Some(Value::Int(6))
         );
         // Exhausted.
-        assert_eq!(cursor.override_read(TaskId(0), VarId(0), &Value::Unit), None);
+        assert_eq!(
+            cursor.override_read(TaskId(0), VarId(0), &Value::Unit),
+            None
+        );
         assert_eq!(stats.fed(), 2);
         assert_eq!(stats.divergences(), 2);
     }
@@ -444,8 +487,16 @@ mod tests {
     fn input_log_rebuilds_script() {
         let log = InputLog {
             entries: vec![
-                InputEntry { port: "req".into(), time: 5, value: Value::Int(1) },
-                InputEntry { port: "req".into(), time: 9, value: Value::Int(2) },
+                InputEntry {
+                    port: "req".into(),
+                    time: 5,
+                    value: Value::Int(1),
+                },
+                InputEntry {
+                    port: "req".into(),
+                    time: 9,
+                    value: Value::Int(2),
+                },
             ],
         };
         let script = log.to_script();
@@ -459,7 +510,10 @@ mod tests {
         let log = EventLog {
             events: vec![crate::trace::TraceEvent {
                 meta: EventMeta { step: 0, time: 0 },
-                event: Event::Yield { task: TaskId(0), site: "s".into() },
+                event: Event::Yield {
+                    task: TaskId(0),
+                    site: "s".into(),
+                },
             }],
         };
         assert!(log.contains(|e| matches!(e, Event::Yield { .. })));

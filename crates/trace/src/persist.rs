@@ -65,7 +65,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("dd-trace-persist-{}-{name}.json", std::process::id()));
+        p.push(format!(
+            "dd-trace-persist-{}-{name}.json",
+            std::process::id()
+        ));
         p
     }
 
@@ -106,7 +109,11 @@ mod tests {
     fn value_log_round_trips_through_disk() {
         let trace = Trace::from_events(vec![(
             EventMeta { step: 0, time: 0 },
-            Event::RngDraw { task: TaskId(2), value: 99, site: "s".into() },
+            Event::RngDraw {
+                task: TaskId(2),
+                value: 99,
+                site: "s".into(),
+            },
         )]);
         let log = ValueLog::from_trace(&trace);
         let path = tmp("values");
@@ -118,8 +125,8 @@ mod tests {
 
     #[test]
     fn missing_file_reports_io_error() {
-        let err = load_json::<Trace>(Path::new("/nonexistent/definitely/missing.json"))
-            .unwrap_err();
+        let err =
+            load_json::<Trace>(Path::new("/nonexistent/definitely/missing.json")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
         assert!(err.to_string().contains("I/O"));
     }

@@ -7,7 +7,9 @@
 //! [`RunOutput::observer`](dd_sim::RunOutput::observer).
 
 use crate::cost::{log_size, ChargeAcc, CostModel, LogStats};
-use crate::logs::{EventLog, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry, ValKind, ValueLog};
+use crate::logs::{
+    EventLog, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry, ValKind, ValueLog,
+};
 use crate::trace::TraceEvent;
 use dd_sim::{observer_boilerplate, Event, EventMeta, Observer, RecordedDecision, Value};
 use std::collections::BTreeMap;
@@ -23,7 +25,12 @@ pub struct ScheduleRecorder {
 impl ScheduleRecorder {
     /// Creates a recorder with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        ScheduleRecorder { cost, acc: ChargeAcc::default(), log: ScheduleLog::default(), stats: LogStats::default() }
+        ScheduleRecorder {
+            cost,
+            acc: ChargeAcc::default(),
+            log: ScheduleLog::default(),
+            stats: LogStats::default(),
+        }
     }
 
     /// The recorded schedule so far.
@@ -50,7 +57,10 @@ impl Observer for ScheduleRecorder {
     fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
         match event {
             Event::Decision { kind, chosen, .. } => {
-                self.log.decisions.push(RecordedDecision { kind: *kind, chosen: *chosen });
+                self.log.decisions.push(RecordedDecision {
+                    kind: *kind,
+                    chosen: *chosen,
+                });
                 let bytes = log_size(event);
                 self.stats.add(bytes);
                 self.acc.add(self.cost.cost_milli(bytes))
@@ -75,7 +85,12 @@ pub struct ValueRecorder {
 impl ValueRecorder {
     /// Creates a recorder with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        ValueRecorder { cost, acc: ChargeAcc::default(), log: ValueLog::default(), stats: LogStats::default() }
+        ValueRecorder {
+            cost,
+            acc: ChargeAcc::default(),
+            log: ValueLog::default(),
+            stats: LogStats::default(),
+        }
     }
 
     /// The accumulated value log.
@@ -101,18 +116,33 @@ impl Observer for ValueRecorder {
 
     fn on_event(&mut self, _meta: &EventMeta, event: &Event) -> u64 {
         let (task, entry) = match event {
-            Event::Read { task, value, .. } => {
-                (*task, ValEntry { kind: ValKind::Read, value: value.clone() })
-            }
-            Event::Recv { task, value, .. } => {
-                (*task, ValEntry { kind: ValKind::Recv, value: value.clone() })
-            }
-            Event::InputRead { task, value, .. } => {
-                (*task, ValEntry { kind: ValKind::Input, value: value.clone() })
-            }
+            Event::Read { task, value, .. } => (
+                *task,
+                ValEntry {
+                    kind: ValKind::Read,
+                    value: value.clone(),
+                },
+            ),
+            Event::Recv { task, value, .. } => (
+                *task,
+                ValEntry {
+                    kind: ValKind::Recv,
+                    value: value.clone(),
+                },
+            ),
+            Event::InputRead { task, value, .. } => (
+                *task,
+                ValEntry {
+                    kind: ValKind::Input,
+                    value: value.clone(),
+                },
+            ),
             Event::RngDraw { task, value, .. } => (
                 *task,
-                ValEntry { kind: ValKind::Rng, value: Value::Int(*value as i64) },
+                ValEntry {
+                    kind: ValKind::Rng,
+                    value: Value::Int(*value as i64),
+                },
             ),
             _ => return 0,
         };
@@ -153,9 +183,7 @@ impl OutputRecorder {
             outputs: self
                 .outputs
                 .iter()
-                .map(|(port, value)| {
-                    (registry.ports[port.index()].name.clone(), value.clone())
-                })
+                .map(|(port, value)| (registry.ports[port.index()].name.clone(), value.clone()))
                 .collect(),
             counters: self.counters.clone(),
         }
@@ -204,7 +232,12 @@ pub struct InputRecorder {
 impl InputRecorder {
     /// Creates a recorder with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        InputRecorder { cost, acc: ChargeAcc::default(), entries: Vec::new(), stats: LogStats::default() }
+        InputRecorder {
+            cost,
+            acc: ChargeAcc::default(),
+            entries: Vec::new(),
+            stats: LogStats::default(),
+        }
     }
 
     /// Resolves the recorded inputs against a registry into an [`InputLog`].
@@ -300,7 +333,10 @@ impl Observer for SelectiveRecorder {
         if (self.filter)(meta, event) {
             let bytes = log_size(event);
             self.stats.add(bytes);
-            self.log.events.push(TraceEvent { meta: *meta, event: event.clone() });
+            self.log.events.push(TraceEvent {
+                meta: *meta,
+                event: event.clone(),
+            });
             self.acc.add(self.cost.cost_milli(bytes))
         } else {
             0
@@ -375,7 +411,10 @@ mod tests {
         assert_eq!(c, 2);
         let c2 = r.on_event(
             &meta(),
-            &Event::Yield { task: TaskId(0), site: "s".into() },
+            &Event::Yield {
+                task: TaskId(0),
+                site: "s".into(),
+            },
         );
         assert_eq!(c2, 0);
         assert_eq!(r.log().len(), 1);
@@ -384,7 +423,10 @@ mod tests {
 
     #[test]
     fn value_recorder_charges_for_payload() {
-        let mut r = ValueRecorder::new(CostModel { record_milli: 1000, byte_milli: 1000 });
+        let mut r = ValueRecorder::new(CostModel {
+            record_milli: 1000,
+            byte_milli: 1000,
+        });
         let big = Event::Read {
             task: TaskId(0),
             var: VarId(0),
@@ -403,8 +445,20 @@ mod tests {
             CostModel::per_record(1),
             Box::new(|_m, e| e.site().is_some_and(|s| s.starts_with("ctl::"))),
         );
-        r.on_event(&meta(), &Event::Yield { task: TaskId(0), site: "ctl::x".into() });
-        r.on_event(&meta(), &Event::Yield { task: TaskId(0), site: "data::y".into() });
+        r.on_event(
+            &meta(),
+            &Event::Yield {
+                task: TaskId(0),
+                site: "ctl::x".into(),
+            },
+        );
+        r.on_event(
+            &meta(),
+            &Event::Yield {
+                task: TaskId(0),
+                site: "data::y".into(),
+            },
+        );
         assert_eq!(r.log().len(), 1);
     }
 

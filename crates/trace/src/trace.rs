@@ -79,14 +79,13 @@ impl Trace {
 
     /// Iterates over events issued by `task`.
     pub fn by_task(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.event.task() == Some(task))
+        self.events
+            .iter()
+            .filter(move |e| e.event.task() == Some(task))
     }
 
     /// Iterates over events whose site starts with `prefix`.
-    pub fn by_site_prefix<'a>(
-        &'a self,
-        prefix: &'a str,
-    ) -> impl Iterator<Item = &'a TraceEvent> {
+    pub fn by_site_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
         self.events
             .iter()
             .filter(move |e| e.event.site().is_some_and(|s| s.starts_with(prefix)))
@@ -97,7 +96,12 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.event {
-                Event::Read { task, var, value, site } => Some(AccessRecord {
+                Event::Read {
+                    task,
+                    var,
+                    value,
+                    site,
+                } => Some(AccessRecord {
                     step: e.meta.step,
                     time: e.meta.time,
                     task: *task,
@@ -106,7 +110,12 @@ impl Trace {
                     value: value.clone(),
                     site: site.to_string(),
                 }),
-                Event::Write { task, var, value, site } => Some(AccessRecord {
+                Event::Write {
+                    task,
+                    var,
+                    value,
+                    site,
+                } => Some(AccessRecord {
                     step: e.meta.step,
                     time: e.meta.time,
                     task: *task,
@@ -136,9 +145,12 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match &e.event {
-                Event::Probe { task, name: n, value, .. } if n == name => {
-                    Some((*task, value))
-                }
+                Event::Probe {
+                    task,
+                    name: n,
+                    value,
+                    ..
+                } if n == name => Some((*task, value)),
                 _ => None,
             })
             .collect()
@@ -198,7 +210,10 @@ mod tests {
     use dd_sim::Value;
 
     fn meta(step: u64) -> EventMeta {
-        EventMeta { step, time: step * 2 }
+        EventMeta {
+            step,
+            time: step * 2,
+        }
     }
 
     fn sample() -> Trace {

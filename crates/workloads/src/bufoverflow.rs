@@ -92,7 +92,11 @@ impl BufOverflowWorkload {
     pub fn production_inputs() -> InputScript {
         let mut s = InputScript::new();
         for i in 0..6u64 {
-            s.push("requests", 10 + i * 20, Value::Bytes(vec![7; 24 + i as usize]));
+            s.push(
+                "requests",
+                10 + i * 20,
+                Value::Bytes(vec![7; 24 + i as usize]),
+            );
         }
         s.push("requests", 140, Value::Bytes(vec![9; CAPACITY + 33]));
         s.push("requests", 160, Value::Bytes(vec![7; 30]));
@@ -167,7 +171,10 @@ mod tests {
     use dd_core::Workload;
 
     fn run(fixed: bool, inputs: InputScript) -> dd_sim::RunOutput {
-        let cfg = dd_sim::RunConfig { inputs, ..dd_sim::RunConfig::with_seed(1) };
+        let cfg = dd_sim::RunConfig {
+            inputs,
+            ..dd_sim::RunConfig::with_seed(1)
+        };
         dd_sim::run_program(
             &BufOverflowProgram { fixed },
             cfg,
@@ -208,13 +215,21 @@ mod tests {
         let cause = &w.root_causes()[0];
         let bad = run(false, BufOverflowWorkload::production_inputs());
         let trace = dd_trace::Trace::from_run(&bad);
-        let ctx = CauseCtx { trace: &trace, registry: &bad.registry, io: &bad.io };
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &bad.registry,
+            io: &bad.io,
+        };
         assert!(cause.active_in(&ctx));
 
         // The fixed build rejects before the copy: predicate is quiet.
         let good = run(true, BufOverflowWorkload::production_inputs());
         let trace = dd_trace::Trace::from_run(&good);
-        let ctx = CauseCtx { trace: &trace, registry: &good.registry, io: &good.io };
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &good.registry,
+            io: &good.io,
+        };
         assert!(!cause.active_in(&ctx));
     }
 }

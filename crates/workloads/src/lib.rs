@@ -17,8 +17,7 @@ pub mod msgserver;
 pub mod sum;
 
 pub use bufoverflow::{
-    bufoverflow_spec, BufOverflowProgram, BufOverflowWorkload, CAPACITY, CRASH,
-    RC_MISSING_CHECK,
+    bufoverflow_spec, BufOverflowProgram, BufOverflowWorkload, CAPACITY, CRASH, RC_MISSING_CHECK,
 };
 pub use msgserver::{
     msgserver_spec, MsgServerConfig, MsgServerProgram, MsgServerWorkload, EXCESS_DROPS,

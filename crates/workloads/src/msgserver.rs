@@ -15,9 +15,7 @@
 
 use dd_core::{snapshot, CauseCtx, FnSpec, RootCause, RunSetup, Spec, Workload};
 use dd_replay::NondetSpace;
-use dd_sim::{
-    Builder, ChanClass, EnvConfig, Event, InputScript, IoSummary, Program,
-};
+use dd_sim::{Builder, ChanClass, EnvConfig, Event, InputScript, IoSummary, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -101,25 +99,29 @@ impl Program for MsgServerProgram {
 
         for p in 0..cfg.n_producers {
             let cfg_p = cfg.clone();
-            b.spawn(&format!("producer{p}"), &format!("producer{p}"), move |ctx| {
-                let mut i = 0;
-                while i < cfg_p.msgs_per_producer {
-                    ctx.sleep(cfg_p.send_gap, "producer::pace")?;
-                    for _ in 0..cfg_p.burst.min(cfg_p.msgs_per_producer - i) {
-                        let id = (p as i64) * 1_000_000 + i as i64;
-                        // One draw expanded locally into the payload; the
-                        // message carries its id in the first 8 bytes.
-                        let seed = ctx.rand_below(0, "producer::gen")?;
-                        let mut sm = dd_sim::rng::SplitMix64::new(seed);
-                        let mut bytes = id.to_le_bytes().to_vec();
-                        bytes.extend((8..cfg_p.payload).map(|_| sm.next_u64() as u8));
-                        ctx.send(&net, bytes, "producer::send")?;
-                        ctx.count("msgs_sent", 1, "producer::send")?;
-                        i += 1;
+            b.spawn(
+                &format!("producer{p}"),
+                &format!("producer{p}"),
+                move |ctx| {
+                    let mut i = 0;
+                    while i < cfg_p.msgs_per_producer {
+                        ctx.sleep(cfg_p.send_gap, "producer::pace")?;
+                        for _ in 0..cfg_p.burst.min(cfg_p.msgs_per_producer - i) {
+                            let id = (p as i64) * 1_000_000 + i as i64;
+                            // One draw expanded locally into the payload; the
+                            // message carries its id in the first 8 bytes.
+                            let seed = ctx.rand_below(0, "producer::gen")?;
+                            let mut sm = dd_sim::rng::SplitMix64::new(seed);
+                            let mut bytes = id.to_le_bytes().to_vec();
+                            bytes.extend((8..cfg_p.payload).map(|_| sm.next_u64() as u8));
+                            ctx.send(&net, bytes, "producer::send")?;
+                            ctx.count("msgs_sent", 1, "producer::send")?;
+                            i += 1;
+                        }
                     }
-                }
-                Ok(())
-            });
+                    Ok(())
+                },
+            );
         }
 
         // Receiver: network → shared buffer, compacting when it grows.
@@ -241,7 +243,10 @@ impl MsgServerWorkload {
     /// Finds a schedule seed whose clean-environment run violates the drop
     /// SLO through the buffer race.
     pub fn discover(cfg: MsgServerConfig, max_seeds: u64) -> Option<Self> {
-        let program = MsgServerProgram { cfg: cfg.clone(), fixed: false };
+        let program = MsgServerProgram {
+            cfg: cfg.clone(),
+            fixed: false,
+        };
         let spec = msgserver_spec(&cfg);
         for seed in 0..max_seeds {
             let run_cfg = dd_sim::RunConfig {
@@ -278,7 +283,10 @@ impl Workload for MsgServerWorkload {
     }
 
     fn program(&self) -> Arc<dyn Program> {
-        Arc::new(MsgServerProgram { cfg: self.cfg.clone(), fixed: false })
+        Arc::new(MsgServerProgram {
+            cfg: self.cfg.clone(),
+            fixed: false,
+        })
     }
 
     fn spec(&self) -> Arc<dyn Spec> {
@@ -297,20 +305,19 @@ impl Workload for MsgServerWorkload {
                     // The harmful clobber direction must be present: the
                     // consumer's commit overwrote the receiver's reset. (The
                     // other order just reprocesses, absorbed by dedup.)
-                    let harmful = dd_detect::lost_updates(ctx.trace, ctx.registry, |n| {
-                        n == "consumed"
-                    })
-                    .iter()
-                    .any(|lu| {
-                        let name = |t: dd_sim::TaskId| {
-                            ctx.registry
-                                .tasks
-                                .get(t.index())
-                                .map(|m| m.name.as_str())
-                                .unwrap_or("")
-                        };
-                        name(lu.writer) == "consumer" && name(lu.overwritten) == "receiver"
-                    });
+                    let harmful =
+                        dd_detect::lost_updates(ctx.trace, ctx.registry, |n| n == "consumed")
+                            .iter()
+                            .any(|lu| {
+                                let name = |t: dd_sim::TaskId| {
+                                    ctx.registry
+                                        .tasks
+                                        .get(t.index())
+                                        .map(|m| m.name.as_str())
+                                        .unwrap_or("")
+                                };
+                                name(lu.writer) == "consumer" && name(lu.overwritten) == "receiver"
+                            });
                     if !harmful {
                         return false;
                     }
@@ -354,14 +361,20 @@ impl Workload for MsgServerWorkload {
             seeds: (0..16).collect(),
             inputs: vec![InputScript::new()],
             envs: vec![
-                EnvConfig { drop_per_mille: 120, ..EnvConfig::clean() },
+                EnvConfig {
+                    drop_per_mille: 120,
+                    ..EnvConfig::clean()
+                },
                 EnvConfig::clean(),
             ],
         }
     }
 
     fn fixed_program(&self) -> Option<Arc<dyn Program>> {
-        Some(Arc::new(MsgServerProgram { cfg: self.cfg.clone(), fixed: true }))
+        Some(Arc::new(MsgServerProgram {
+            cfg: self.cfg.clone(),
+            fixed: true,
+        }))
     }
 }
 
@@ -372,7 +385,12 @@ mod tests {
 
     fn run(fixed: bool, seed: u64, env: EnvConfig) -> dd_sim::RunOutput {
         let cfg = MsgServerConfig::default();
-        let run_cfg = RunConfig { seed, env, max_steps: 500_000, ..RunConfig::default() };
+        let run_cfg = RunConfig {
+            seed,
+            env,
+            max_steps: 500_000,
+            ..RunConfig::default()
+        };
         run_program(
             &MsgServerProgram { cfg, fixed },
             run_cfg,
@@ -384,9 +402,8 @@ mod tests {
     #[test]
     fn racy_buffer_drops_for_some_schedule() {
         let spec = msgserver_spec(&MsgServerConfig::default());
-        let failing = (0..16).filter(|&s| {
-            spec.check(&run(false, s, EnvConfig::clean()).io).is_some()
-        });
+        let failing =
+            (0..16).filter(|&s| spec.check(&run(false, s, EnvConfig::clean()).io).is_some());
         assert!(failing.count() > 0, "no seed lost messages");
     }
 
@@ -407,9 +424,15 @@ mod tests {
     #[test]
     fn congestion_also_violates_the_slo() {
         let spec = msgserver_spec(&MsgServerConfig::default());
-        let env = EnvConfig { drop_per_mille: 120, ..EnvConfig::clean() };
+        let env = EnvConfig {
+            drop_per_mille: 120,
+            ..EnvConfig::clean()
+        };
         let failing = (0..8).filter(|&s| spec.check(&run(true, s, env.clone()).io).is_some());
-        assert!(failing.count() > 0, "congestion at 12% should breach a 5% SLO");
+        assert!(
+            failing.count() > 0,
+            "congestion at 12% should breach a 5% SLO"
+        );
     }
 
     #[test]
@@ -421,9 +444,16 @@ mod tests {
         let s = w.scenario();
         let out = s.execute(&s.original_spec(), vec![]);
         let trace = dd_trace::Trace::from_run(&out);
-        let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
-        let active: Vec<&str> =
-            causes.iter().filter(|c| c.active_in(&ctx)).map(|c| c.id).collect();
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &out.registry,
+            io: &out.io,
+        };
+        let active: Vec<&str> = causes
+            .iter()
+            .filter(|c| c.active_in(&ctx))
+            .map(|c| c.id)
+            .collect();
         assert_eq!(active, vec![RC_BUFFER_RACE]);
     }
 
@@ -432,10 +462,17 @@ mod tests {
         let causes = MsgServerWorkload::discover(MsgServerConfig::default(), 32)
             .unwrap()
             .root_causes();
-        let env = EnvConfig { drop_per_mille: 200, ..EnvConfig::clean() };
+        let env = EnvConfig {
+            drop_per_mille: 200,
+            ..EnvConfig::clean()
+        };
         let out = run(true, 3, env);
         let trace = dd_trace::Trace::from_run(&out);
-        let ctx = CauseCtx { trace: &trace, registry: &out.registry, io: &out.io };
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &out.registry,
+            io: &out.io,
+        };
         let congestion = causes.iter().find(|c| c.id == RC_CONGESTION).unwrap();
         assert!(congestion.active_in(&ctx));
         let race = causes.iter().find(|c| c.id == RC_BUFFER_RACE).unwrap();

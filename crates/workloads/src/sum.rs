@@ -46,25 +46,23 @@ impl Program for SumProgram {
         let lut = b.var("sum.table", table);
         let operands = b.in_port("operands");
         let out = b.out_port("sum");
-        b.spawn("adder", "adder", move |ctx| {
-            loop {
-                let a: i64 = match ctx.input(operands, "sum::input_a") {
-                    Ok(v) => v,
-                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
-                    Err(e) => return Err(e),
-                };
-                let bb: i64 = ctx.input(operands, "sum::input_b")?;
-                let naive = a + bb;
-                let result = if (0..TABLE_SIZE).contains(&naive) {
-                    let table = ctx.read(&lut, "sum::table_lookup")?;
-                    let hit = table[naive as usize];
-                    ctx.probe("sum.lut_hit", vec![naive, hit], "sum::table_lookup")?;
-                    hit
-                } else {
-                    naive
-                };
-                ctx.output(out, result, "sum::output")?;
-            }
+        b.spawn("adder", "adder", move |ctx| loop {
+            let a: i64 = match ctx.input(operands, "sum::input_a") {
+                Ok(v) => v,
+                Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let bb: i64 = ctx.input(operands, "sum::input_b")?;
+            let naive = a + bb;
+            let result = if (0..TABLE_SIZE).contains(&naive) {
+                let table = ctx.read(&lut, "sum::table_lookup")?;
+                let hit = table[naive as usize];
+                ctx.probe("sum.lut_hit", vec![naive, hit], "sum::table_lookup")?;
+                hit
+            } else {
+                naive
+            };
+            ctx.output(out, result, "sum::output")?;
         });
     }
 }
@@ -84,11 +82,7 @@ pub fn sum_spec() -> Arc<dyn Spec> {
                 continue;
             };
             if s != a + b {
-                return Some(snapshot(
-                    WRONG_SUM,
-                    format!("{a} + {b} returned {s}"),
-                    io,
-                ));
+                return Some(snapshot(WRONG_SUM, format!("{a} + {b} returned {s}"), io));
             }
         }
         None
@@ -127,8 +121,7 @@ impl Workload for SumWorkload {
             "memo-table entry corrupted by the off-by-one initialiser",
             |ctx: &CauseCtx<'_>| {
                 ctx.trace.probes("sum.lut_hit").iter().any(|(_, v)| {
-                    <Vec<i64>>::from_value(v)
-                        .is_some_and(|p| p.len() == 2 && p[0] != p[1])
+                    <Vec<i64>>::from_value(v).is_some_and(|p| p.len() == 2 && p[0] != p[1])
                 })
             },
         )]
@@ -177,7 +170,12 @@ mod tests {
             inputs: SumWorkload::inputs_for(a, b),
             ..RunConfig::with_seed(1)
         };
-        run_program(&SumProgram { fixed }, cfg, Box::new(RandomPolicy::new(1)), vec![])
+        run_program(
+            &SumProgram { fixed },
+            cfg,
+            Box::new(RandomPolicy::new(1)),
+            vec![],
+        )
     }
 
     #[test]
@@ -191,7 +189,10 @@ mod tests {
     fn one_plus_four_is_five_and_correct() {
         let out = run(false, 1, 4);
         assert_eq!(out.io.outputs_on("sum")[0].as_int(), Some(5));
-        assert!(sum_spec().check(&out.io).is_none(), "1+4=5 is not a failure");
+        assert!(
+            sum_spec().check(&out.io).is_none(),
+            "1+4=5 is not a failure"
+        );
     }
 
     #[test]
@@ -208,13 +209,24 @@ mod tests {
         let causes = w.root_causes();
         let bad = run(false, 2, 2);
         let trace = dd_trace::Trace::from_run(&bad);
-        let ctx = CauseCtx { trace: &trace, registry: &bad.registry, io: &bad.io };
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &bad.registry,
+            io: &bad.io,
+        };
         assert!(causes[0].active_in(&ctx));
 
         let good = run(false, 1, 4);
         let trace = dd_trace::Trace::from_run(&good);
-        let ctx = CauseCtx { trace: &trace, registry: &good.registry, io: &good.io };
-        assert!(!causes[0].active_in(&ctx), "1+4 never touches the bad entry");
+        let ctx = CauseCtx {
+            trace: &trace,
+            registry: &good.registry,
+            io: &good.io,
+        };
+        assert!(
+            !causes[0].active_in(&ctx),
+            "1+4 never touches the bad entry"
+        );
     }
 
     #[test]

@@ -39,9 +39,12 @@ fn txt_sum_output_determinism_replays_one_plus_four() {
 fn txt_sum_stronger_models_reproduce_the_failure() {
     let w = SumWorkload;
     for model in [&PerfectModel as &dyn dd_core::DeterminismModel, &ValueModel] {
-        let (report, _, replay) =
-            evaluate_model(&w, model, &InferenceBudget::executions(10));
-        assert!(replay.reproduced_failure, "{} must reproduce 2+2=5", report.model);
+        let (report, _, replay) = evaluate_model(&w, model, &InferenceBudget::executions(10));
+        assert!(
+            replay.reproduced_failure,
+            "{} must reproduce 2+2=5",
+            report.model
+        );
         assert_eq!(report.utility.fidelity.df, 1.0);
         assert_eq!(replay.io.outputs_on("sum")[0].as_int(), Some(5));
         let inputs: Vec<i64> = replay
@@ -56,8 +59,8 @@ fn txt_sum_stronger_models_reproduce_the_failure() {
 
 #[test]
 fn txt_msg_failure_determinism_blames_congestion() {
-    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 32)
-        .expect("a racy seed exists");
+    let w =
+        MsgServerWorkload::discover(MsgServerConfig::default(), 32).expect("a racy seed exists");
     let (report, recording, replay) =
         evaluate_model(&w, &FailureModel, &InferenceBudget::executions(40));
     // Original failure: drops caused by the buffer race.
@@ -70,7 +73,11 @@ fn txt_msg_failure_determinism_blames_congestion() {
     assert!(replay.reproduced_failure, "stop: {:?}", replay.stop);
     // …but explains it with congestion: the developer is deceived.
     assert!(
-        report.utility.fidelity.replay_causes.contains(&RC_CONGESTION.to_string()),
+        report
+            .utility
+            .fidelity
+            .replay_causes
+            .contains(&RC_CONGESTION.to_string()),
         "expected congestion, got {:?}",
         report.utility.fidelity.replay_causes
     );
@@ -81,16 +88,18 @@ fn txt_msg_failure_determinism_blames_congestion() {
 
 #[test]
 fn txt_msg_debug_determinism_catches_the_race() {
-    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 32)
-        .expect("a racy seed exists");
+    let w =
+        MsgServerWorkload::discover(MsgServerConfig::default(), 32).expect("a racy seed exists");
     let scenario = w.scenario();
     // Combined code/data selection (§3.1.3): the lockset race detector is
     // armed as a trigger.
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let model = DebugModel::prepare(&scenario, &seeds, RcseConfig::default());
-    let (report, _, replay) =
-        evaluate_model(&w, &model, &InferenceBudget::executions(1));
+    let (report, _, replay) = evaluate_model(&w, &model, &InferenceBudget::executions(1));
     assert!(replay.artifact_satisfied, "stop: {:?}", replay.stop);
     assert!(replay.reproduced_failure);
     assert!(

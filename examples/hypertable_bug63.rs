@@ -3,11 +3,11 @@
 //!
 //! Run with: `cargo run --release --example hypertable_bug63`
 
-use debug_determinism::core::{
-    enumerate_root_causes, evaluate_model, FailureModel, InferenceBudget,
-    RcseConfig, ValueModel, Workload,
-};
 use debug_determinism::core::DebugModel;
+use debug_determinism::core::{
+    enumerate_root_causes, evaluate_model, FailureModel, InferenceBudget, RcseConfig, ValueModel,
+    Workload,
+};
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreWorkload};
 
 fn main() {
@@ -24,7 +24,12 @@ fn main() {
     let (report, recording, replay) = evaluate_model(&w, &ValueModel, &budget);
     println!(
         "  failure: {}",
-        recording.original.failure.as_ref().map(|f| f.description.as_str()).unwrap_or("-")
+        recording
+            .original
+            .failure
+            .as_ref()
+            .map(|f| f.description.as_str())
+            .unwrap_or("-")
     );
     println!(
         "  overhead {:.2}x, log {} bytes, replay divergences {}",
@@ -37,12 +42,18 @@ fn main() {
 
     println!("== RCSE / debug determinism (control-plane code selection, §3.1.1) ==");
     let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     let rcse = DebugModel::prepare(
         &scenario,
         &seeds,
-        RcseConfig { use_triggers: false, ..RcseConfig::default() },
+        RcseConfig {
+            use_triggers: false,
+            ..RcseConfig::default()
+        },
     );
     let plane = &rcse.training().plane_map;
     let (correct, total) = plane.accuracy(&w.plane_truth());
@@ -53,9 +64,7 @@ fn main() {
     let (report, _, replay) = evaluate_model(&w, &rcse, &budget);
     println!(
         "  overhead {:.2}x, log {} bytes, schedule replay diverged: {}",
-        report.overhead_factor,
-        report.log.bytes,
-        !replay.artifact_satisfied
+        report.overhead_factor, report.log.bytes, !replay.artifact_satisfied
     );
     println!(
         "  DF = {:.3} (replay exhibits {:?})\n",

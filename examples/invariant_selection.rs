@@ -16,8 +16,8 @@ use debug_determinism::sim::Observer;
 use debug_determinism::trace::Trace;
 
 fn main() {
-    let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
-        .expect("a racy schedule exists");
+    let w =
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("a racy schedule exists");
     let scenario = w.scenario();
 
     // Train on passing runs (a pre-release test cluster).
@@ -27,10 +27,17 @@ fn main() {
         .take(4)
         .map(|s| (s.seed, s.sched_seed))
         .collect();
-    let cfg = RcseConfig { train_invariants: true, ..RcseConfig::default() };
+    let cfg = RcseConfig {
+        train_invariants: true,
+        ..RcseConfig::default()
+    };
     let training = train(&scenario, &seeds, &cfg);
     let invariants = training.invariants.expect("invariant inference enabled");
-    println!("learned {} invariants from {} passing runs:", invariants.len(), seeds.len());
+    println!(
+        "learned {} invariants from {} passing runs:",
+        invariants.len(),
+        seeds.len()
+    );
     for name in [
         "hyperstore.commit_owned",
         "hyperstore.dump_ignored",
@@ -46,7 +53,10 @@ fn main() {
     for e in trace.iter() {
         monitor.on_event(&e.meta, &e.event);
     }
-    println!("\nproduction run: {} invariant violation(s)", monitor.violations().len());
+    println!(
+        "\nproduction run: {} invariant violation(s)",
+        monitor.violations().len()
+    );
     for v in monitor.violations().iter().take(5) {
         println!(
             "  step {:>5}  probe {:<28} value {}",

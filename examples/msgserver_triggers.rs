@@ -11,9 +11,12 @@ use debug_determinism::workloads::{MsgServerConfig, MsgServerWorkload};
 
 fn main() {
     println!("discovering a schedule where the buffer race breaches the drop SLO…");
-    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
-        .expect("a racy seed exists");
-    println!("  production incident: schedule seed {}\n", w.production().sched_seed);
+    let w =
+        MsgServerWorkload::discover(MsgServerConfig::default(), 64).expect("a racy seed exists");
+    println!(
+        "  production incident: schedule seed {}\n",
+        w.production().sched_seed
+    );
     let budget = InferenceBudget::executions(64);
 
     println!("== failure determinism: reproduces the drops, blames the network ==");
@@ -29,15 +32,21 @@ fn main() {
 
     println!("== RCSE with the lockset trigger armed (combined selection) ==");
     let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     // The lockset detector fires on the unlocked buffer/cursor sharing and
     // dials recording up from that point (§3.1.3); a short quiet window
     // dials it back down.
     let model = DebugModel::prepare(
         &scenario,
         &seeds,
-        RcseConfig { quiet_window: 400, ..RcseConfig::default() },
+        RcseConfig {
+            quiet_window: 400,
+            ..RcseConfig::default()
+        },
     );
     let (report, _, replay) = evaluate_model(&w, &model, &budget);
     println!(

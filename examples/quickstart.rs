@@ -48,8 +48,7 @@ fn main() {
     // 1. The I/O specification: 20 increments must yield 20.
     let spec = Arc::new(FnSpec::new("counter-total", |io| {
         let total = io.outputs_on("result").first().and_then(|v| v.as_int())?;
-        (total < 20)
-            .then(|| snapshot("lost-updates", format!("total {total}, expected 20"), io))
+        (total < 20).then(|| snapshot("lost-updates", format!("total {total}, expected 20"), io))
     }));
 
     // 2. The root cause, as a predicate (the negation of "the RMW is
@@ -87,8 +86,7 @@ fn main() {
 
     // 4. Record under debug determinism (RCSE with the race trigger), then
     //    replay from the artifact alone.
-    let model =
-        DebugModel::prepare(&scenario, &[(100, 100), (101, 101)], RcseConfig::default());
+    let model = DebugModel::prepare(&scenario, &[(100, 100), (101, 101)], RcseConfig::default());
     let recording = model.record(&scenario);
     let replay = model.replay(&scenario, &recording, &InferenceBudget::executions(1));
     let utility = debugging_utility(&causes, &recording, &replay);
@@ -104,7 +102,10 @@ fn main() {
             .map(|f| f.description.as_str())
             .unwrap_or("-")
     );
-    println!("replay reproduced the failure: {}", replay.reproduced_failure);
+    println!(
+        "replay reproduced the failure: {}",
+        replay.reproduced_failure
+    );
     println!(
         "replay exhibits the same root cause: {}",
         utility.fidelity.same_root_cause
@@ -113,5 +114,8 @@ fn main() {
         "\nDF = {:.3}   DE = {:.3}   DU = {:.3}",
         utility.fidelity.df, utility.de, utility.du
     );
-    assert!(utility.fidelity.df == 1.0, "debug determinism reproduces the root cause");
+    assert!(
+        utility.fidelity.df == 1.0,
+        "debug determinism reproduces the root cause"
+    );
 }

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example sum_over_relaxation`
 
-use debug_determinism::core::{
-    evaluate_model, InferenceBudget, OutputLiteModel, ValueModel,
-};
+use debug_determinism::core::{evaluate_model, InferenceBudget, OutputLiteModel, ValueModel};
 use debug_determinism::workloads::SumWorkload;
 
 fn main() {
@@ -29,7 +27,10 @@ fn main() {
         .collect();
     let output = replay.io.outputs_on("sum")[0].as_int().unwrap();
     println!("  replayed execution: inputs {inputs:?} → output {output}");
-    println!("  same output, but {} + {} = {} is CORRECT: no failure to inspect", inputs[0], inputs[1], output);
+    println!(
+        "  same output, but {} + {} = {} is CORRECT: no failure to inspect",
+        inputs[0], inputs[1], output
+    );
     println!(
         "  reproduced failure: {}   DF = {:.1}\n",
         replay.reproduced_failure, report.utility.fidelity.df

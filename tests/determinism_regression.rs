@@ -1,0 +1,91 @@
+//! The workspace-level determinism regression test — the property this
+//! repository's CI exists to protect.
+//!
+//! Runs the same seeded scenarios twice through `dd-sim` and asserts the
+//! serialized traces hash identically, bit for bit. If any nondeterminism
+//! leaks into the simulator (hash-map iteration order, host randomness,
+//! wall-clock dependence), these tests catch it before it can corrupt every
+//! replay-debugging result built on top.
+
+use debug_determinism::hyperstore::{HyperConfig, HyperstoreProgram};
+use debug_determinism::sim::{run_program, Program, RandomPolicy, RunConfig};
+use debug_determinism::trace::Trace;
+use debug_determinism::workloads::{MsgServerConfig, MsgServerProgram, SumProgram};
+
+/// FNV-1a over the serialized trace: any divergence anywhere in the event
+/// stream changes the hash.
+fn trace_hash(program: &dyn Program, cfg: RunConfig, policy_seed: u64) -> u64 {
+    let out = run_program(
+        program,
+        cfg,
+        Box::new(RandomPolicy::new(policy_seed)),
+        vec![],
+    );
+    let json = serde_json::to_string(&Trace::from_run(&out)).expect("trace serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn assert_deterministic(name: &str, program: &dyn Program, mk_cfg: impl Fn() -> RunConfig) {
+    for seed in [0u64, 1, 7, 42, 1337] {
+        let first = trace_hash(program, RunConfig { seed, ..mk_cfg() }, seed);
+        let second = trace_hash(program, RunConfig { seed, ..mk_cfg() }, seed);
+        assert_eq!(
+            first, second,
+            "{name}: trace hash diverged between identically-seeded runs (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn sum_trace_hashes_are_reproducible() {
+    assert_deterministic("sum", &SumProgram { fixed: false }, RunConfig::default);
+}
+
+#[test]
+fn msgserver_trace_hashes_are_reproducible() {
+    let program = MsgServerProgram {
+        cfg: MsgServerConfig::default(),
+        fixed: false,
+    };
+    assert_deterministic("msgserver", &program, RunConfig::default);
+}
+
+#[test]
+fn hyperstore_trace_hashes_are_reproducible() {
+    let cfg = HyperConfig::small();
+    let program = HyperstoreProgram::buggy(cfg.clone());
+    assert_deterministic("hyperstore", &program, || RunConfig {
+        inputs: cfg.input_script(),
+        max_steps: 500_000,
+        ..RunConfig::default()
+    });
+}
+
+/// Different seeds must be able to produce different schedules — otherwise
+/// the "same seed ⇒ same trace" checks above would pass vacuously.
+#[test]
+fn different_seeds_change_the_racy_schedule() {
+    let cfg = HyperConfig::small();
+    let program = HyperstoreProgram::buggy(cfg.clone());
+    let hashes: Vec<u64> = (0..8)
+        .map(|seed| {
+            let run_cfg = RunConfig {
+                seed,
+                inputs: cfg.input_script(),
+                max_steps: 500_000,
+                ..RunConfig::default()
+            };
+            trace_hash(&program, run_cfg, seed)
+        })
+        .collect();
+    let distinct: std::collections::BTreeSet<u64> = hashes.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "8 different seeds all produced identical traces: {hashes:?}"
+    );
+}

@@ -13,12 +13,18 @@ use debug_determinism::workloads::{
 
 fn rcse_for(w: &dyn Workload, triggers: bool) -> DebugModel {
     let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> =
-        w.training().iter().map(|s| (s.seed, s.sched_seed)).collect();
+    let seeds: Vec<(u64, u64)> = w
+        .training()
+        .iter()
+        .map(|s| (s.seed, s.sched_seed))
+        .collect();
     DebugModel::prepare(
         &scenario,
         &seeds,
-        RcseConfig { use_triggers: triggers, ..RcseConfig::default() },
+        RcseConfig {
+            use_triggers: triggers,
+            ..RcseConfig::default()
+        },
     )
 }
 
@@ -64,14 +70,23 @@ fn debug_determinism_is_the_sweet_spot() {
     // degenerate RCSE to full recording (see ABL-2), so the sweet spot
     // there is code-based selection: the schedule log already carries the
     // race.
-    let workloads: Vec<(&dyn Workload, bool)> =
-        vec![(&hyper, false), (&msg, false), (&SumWorkload, false), (&BufOverflowWorkload, true)];
+    let workloads: Vec<(&dyn Workload, bool)> = vec![
+        (&hyper, false),
+        (&msg, false),
+        (&SumWorkload, false),
+        (&BufOverflowWorkload, true),
+    ];
     for (w, triggers) in workloads {
         let rcse = rcse_for(w, triggers);
         let (debug_report, _, debug_replay) = evaluate_model(w, &rcse, &budget);
         let (value_report, _, _) = evaluate_model(w, &ValueModel, &budget);
         assert!(debug_replay.reproduced_failure, "RCSE on {}", w.name());
-        assert_eq!(debug_report.utility.fidelity.df, 1.0, "RCSE on {}", w.name());
+        assert_eq!(
+            debug_report.utility.fidelity.df,
+            1.0,
+            "RCSE on {}",
+            w.name()
+        );
         assert!(
             debug_report.overhead_factor < value_report.overhead_factor,
             "{}: RCSE {:.2}x should beat value {:.2}x",
@@ -93,11 +108,19 @@ fn failure_determinism_fidelity_is_one_over_n() {
     let (r, _, _) = evaluate_model(&hyper, &FailureModel, &budget);
     assert_eq!(r.overhead_factor, 1.0);
     assert_eq!(r.utility.fidelity.n_causes, 3);
-    assert!((r.utility.fidelity.df - 1.0 / 3.0).abs() < 1e-9, "{:?}", r.utility.fidelity);
+    assert!(
+        (r.utility.fidelity.df - 1.0 / 3.0).abs() < 1e-9,
+        "{:?}",
+        r.utility.fidelity
+    );
 
     let (r, _, _) = evaluate_model(&msg, &FailureModel, &budget);
     assert_eq!(r.utility.fidelity.n_causes, 2);
-    assert!((r.utility.fidelity.df - 0.5).abs() < 1e-9, "{:?}", r.utility.fidelity);
+    assert!(
+        (r.utility.fidelity.df - 0.5).abs() < 1e-9,
+        "{:?}",
+        r.utility.fidelity
+    );
 
     // Single-cause workloads: any failure-reproducing replay has DF 1.
     let (r, _, _) = evaluate_model(&BufOverflowWorkload, &FailureModel, &budget);
@@ -124,8 +147,14 @@ fn fig1_overhead_ordering() {
     assert!(perfect > value, "perfect {perfect:.2} > value {value:.2}");
     assert!(value > debug, "value {value:.2} > debug {debug:.2}");
     assert!(debug > heavy, "debug {debug:.2} > output-heavy {heavy:.2}");
-    assert!(heavy >= lite, "output-heavy {heavy:.2} >= output-lite {lite:.2}");
-    assert!(lite > fail || (lite - fail).abs() < 0.2, "lite {lite:.2} vs failure {fail:.2}");
+    assert!(
+        heavy >= lite,
+        "output-heavy {heavy:.2} >= output-lite {lite:.2}"
+    );
+    assert!(
+        lite > fail || (lite - fail).abs() < 0.2,
+        "lite {lite:.2} vs failure {fail:.2}"
+    );
     assert_eq!(fail, 1.0);
 }
 
@@ -203,7 +232,10 @@ fn all_root_causes_have_witness_executions() {
         let spec = w.witness.unwrap();
         let out = scenario.execute(&spec, vec![]);
         let failure = (scenario.failure_of)(&out.io).expect("witness must fail");
-        assert_eq!(failure.failure_id, debug_determinism::hyperstore::ROWS_MISSING);
+        assert_eq!(
+            failure.failure_id,
+            debug_determinism::hyperstore::ROWS_MISSING
+        );
         let trace = debug_determinism::trace::Trace::from_run(&out);
         let ctx = debug_determinism::core::CauseCtx {
             trace: &trace,
@@ -211,6 +243,10 @@ fn all_root_causes_have_witness_executions() {
             io: &out.io,
         };
         let cause = causes.iter().find(|c| c.id == w.cause).unwrap();
-        assert!(cause.active_in(&ctx), "witness for {} does not exhibit it", w.cause);
+        assert!(
+            cause.active_in(&ctx),
+            "witness for {} does not exhibit it",
+            w.cause
+        );
     }
 }

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness subset this workspace uses: benchmark
+//! groups, `Bencher::iter`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it takes a handful of timed samples and reports the
+//! median wall-clock time per iteration (plus derived throughput) on stdout
+//! — enough for `cargo bench` to run meaningfully and for bench targets to
+//! be first-class compile-checked code.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, None, 10, f);
+        self
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units of work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.min(10) {
+        let mut b = Bencher {
+            elapsed_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        if let Some(per_iter) = b.elapsed_ns.checked_div(b.iters) {
+            samples.push(per_iter);
+        }
+    }
+    samples.sort_unstable();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+    let rate = |per_iter: u64| {
+        if median == 0 {
+            "inf".to_owned()
+        } else {
+            format!("{:.0}", per_iter as f64 * 1e9 / median as f64)
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("bench {id}: {median} ns/iter ({} elem/s)", rate(n));
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("bench {id}: {median} ns/iter ({} B/s)", rate(n));
+        }
+        None => println!("bench {id}: {median} ns/iter"),
+    }
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup, then a few timed iterations.
+        black_box(routine());
+        let iters = 3u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as u64;
+        self.iters += iters;
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(2);
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs = black_box(runs + 1)));
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Value-generation strategies for the proptest stub.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                let offset = rng.below(span);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-range generation for `any::<T>()`.
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Alphabet used by string-pattern strategies: mixes ASCII (including JSON
+/// specials), multi-byte code points, and an astral-plane character, so
+/// serialization round trips get exercised properly.
+const STRING_ALPHABET: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', ',', ':', '"', '\\', '/', '{', '}', '[',
+    ']', '\t', 'é', 'λ', '中', '🦀',
+];
+
+/// `&str` as a strategy: the pattern is interpreted as a regex the way the
+/// real proptest does. Only the `.{min,max}` shape (arbitrary characters,
+/// bounded length) is supported; other patterns are rejected loudly rather
+/// than silently generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repetition(self).unwrap_or_else(|| {
+            panic!("proptest stub: unsupported string pattern {self:?} (expected `.{{min,max}}`)")
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| STRING_ALPHABET[rng.below(STRING_ALPHABET.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = body.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 1);
+        for _ in 0..500 {
+            let v = (3u32..7).gen_value(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-5i64..-1).gen_value(&mut rng);
+            assert!((-5..-1).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::for_case("strings", 2);
+        for _ in 0..200 {
+            let s = ".{0,24}".gen_value(&mut rng);
+            assert!(s.chars().count() <= 24);
+        }
+    }
+}

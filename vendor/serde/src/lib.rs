@@ -1,0 +1,561 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors an API-compatible subset of serde sufficient for this
+//! codebase: the `Serialize`/`Deserialize` traits, their derive macros, and
+//! impls for the std types that appear in the tree.
+//!
+//! Instead of serde's visitor-based data model, this stub serializes through
+//! a concrete [`Content`] tree (a superset of the JSON data model). The
+//! companion `serde_json` stub encodes/decodes that tree as real JSON text,
+//! so round trips through `serde_json::to_string`/`from_str` behave like the
+//! real thing for the shapes used here (no `#[serde(...)]` attributes, no
+//! generic derived types).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete serialization data model.
+///
+/// `Map` holds arbitrary key/value pairs; derived structs always use
+/// `Str` keys. Collections with non-string keys serialize as `Seq`s of
+/// two-element `Seq`s, which keeps the JSON encoding valid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Borrows the sequence elements, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the key/value pairs, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up a named field in a derived struct's map encoding.
+pub fn field<'a>(
+    map: &'a [(Content, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Content, Error> {
+    map.iter()
+        .find(|(k, _)| k.as_str() == Some(name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{ty}`")))
+}
+
+/// Serialization/deserialization error for the stub data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    fn expected(what: &str, got: &Content) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be encoded into the [`Content`] data model.
+pub trait Serialize {
+    /// Encodes `self` as a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be decoded from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Decodes a value from a [`Content`] tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization marker traits, mirroring `serde::de`.
+
+    /// Owned deserialization: blanket-implemented for every [`crate::Deserialize`].
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization traits, mirroring `serde::ser`.
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v: i64 = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| Error::expected("signed integer", content))?,
+                    _ => return Err(Error::expected("integer", content)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v: u64 = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) => u64::try_from(v)
+                        .map_err(|_| Error::expected("unsigned integer", content))?,
+                    _ => return Err(Error::expected("integer", content)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    _ => Err(Error::expected("number", content)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", content)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| Error::expected("single-char string", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", content))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(()),
+            _ => Err(Error::expected("null", content)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: ToOwned + Serialize + ?Sized> Serialize for std::borrow::Cow<'_, T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        String::from_content(content).map(std::borrow::Cow::Owned)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+fn seq_to_content<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Content {
+    Content::Seq(items.map(Serialize::to_content).collect())
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        seq_to_content(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        seq_to_content(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        seq_to_content(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(content).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        seq_to_content(self.iter())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let v = Vec::<T>::from_content(content)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let s = content
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("tuple sequence", content))?;
+                if s.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {}, got {}",
+                        $len,
+                        s.len()
+                    )));
+                }
+                Ok(($($name::from_content(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A:0 ; 1);
+impl_tuple!(A:0, B:1 ; 2);
+impl_tuple!(A:0, B:1, C:2 ; 3);
+impl_tuple!(A:0, B:1, C:2, D:3 ; 4);
+
+// ---------------------------------------------------------------------------
+// Maps and sets
+// ---------------------------------------------------------------------------
+//
+// Maps serialize as sequences of `[key, value]` pairs — not JSON objects —
+// so non-string keys stay representable. Hash collections are sorted by
+// their encoded key so serialization is deterministic across runs.
+
+fn sorted_pairs(mut pairs: Vec<(Content, Content)>) -> Content {
+    pairs.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+    Content::Seq(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Content::Seq(vec![k, v]))
+            .collect(),
+    )
+}
+
+fn pairs_from_content<K: Deserialize, V: Deserialize>(
+    content: &Content,
+) -> Result<Vec<(K, V)>, Error> {
+    match content {
+        Content::Seq(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("[key, value] pair", item))?;
+                if pair.len() != 2 {
+                    return Err(Error::custom("expected [key, value] pair"));
+                }
+                Ok((K::from_content(&pair[0])?, V::from_content(&pair[1])?))
+            })
+            .collect(),
+        Content::Map(pairs) => pairs
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect(),
+        _ => Err(Error::expected("map", content)),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        pairs_from_content(content).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        sorted_pairs(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        pairs_from_content(content).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        seq_to_content(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_cross_conversion() {
+        assert_eq!(i64::from_content(&Content::U64(5)).unwrap(), 5);
+        assert_eq!(u64::from_content(&Content::I64(5)).unwrap(), 5);
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+        assert!(u8::from_content(&Content::U64(256)).is_err());
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let m: BTreeMap<String, i64> = [("a".to_owned(), 1), ("b".to_owned(), -2)]
+            .into_iter()
+            .collect();
+        let c = m.to_content();
+        assert_eq!(BTreeMap::<String, i64>::from_content(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::from_content(&a.to_content()).unwrap(), a);
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's [`Content`] data model, without `syn`/`quote`
+//! (neither is available offline). The input item is parsed directly from
+//! the `proc_macro` token stream, which is sufficient because this codebase
+//! derives only on non-generic structs and enums with no `#[serde(...)]`
+//! attributes.
+//!
+//! Encoding (mirrors serde_json's externally-tagged defaults):
+//! - named struct        → `Map` of field name → value
+//! - newtype struct      → the inner value
+//! - tuple struct        → `Seq`
+//! - unit struct         → `Null`
+//! - unit enum variant   → `Str(variant_name)`
+//! - newtype variant     → `Map { variant_name: value }`
+//! - tuple variant       → `Map { variant_name: Seq }`
+//! - struct variant      → `Map { variant_name: Map }`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub: generated Deserialize impl did not parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments included) and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("serde stub: expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("serde stub: expected type name, got {t:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            t => panic!("serde stub: unexpected struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(variants(g.stream()))
+            }
+            t => panic!("serde stub: unexpected enum body for `{name}`: {t:?}"),
+        },
+        other => panic!("serde stub: cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+/// Splits a token stream on commas that sit outside any `<...>` nesting.
+/// Delimited groups are single tokens, so only angle brackets need manual
+/// depth tracking; `->` is skipped so the `>` doesn't count as a close.
+fn split_top(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0usize;
+    let mut prev_dash = false;
+    for tt in stream {
+        let mut dash = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_dash => {} // `->` in a fn type
+                '>' => angle = angle.saturating_sub(1),
+                '-' => dash = true,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = dash;
+        chunks.last_mut().expect("chunks is never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Skips attributes and visibility at the front of a field/variant chunk,
+/// returning the index of the first "real" token.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top(stream)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("serde stub: expected field name, got {t:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_top(stream).len()
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_top(stream)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                t => panic!("serde stub: expected variant name, got {t:?}"),
+            };
+            let shape = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_fields(g.stream()))
+                }
+                _ => Shape::Unit, // unit variant, possibly `= discriminant`
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_struct_ser(fields: &[String], accessor: &str) -> String {
+    let pairs = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::serde::Content::Str(\"{f}\".to_owned()), \
+                 ::serde::Serialize::to_content({accessor}{f}))"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::Content::Map(vec![{pairs}])")
+}
+
+fn named_struct_de(ty: &str, path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(\
+                 ::serde::field({map_expr}, \"{f}\", \"{ty}\")?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::std::result::Result::Ok({path} {{ {inits} }})")
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_owned(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Kind::NamedStruct(fields) => named_struct_ser(fields, "&self."),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(\"{vname}\".to_owned()),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_owned()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Content::Seq(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vname}\".to_owned()), {payload})]),"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let payload = named_struct_ser(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str(\"{vname}\".to_owned()), {payload})]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match __c {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(\
+                     ::serde::Error::custom(format!(\
+                         \"expected null for unit struct {name}, got {{__other:?}}\"))),\n\
+             }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\n\
+                     let __s = __c.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                     if __s.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple length for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({items}))\n\
+                 }}"
+            )
+        }
+        Kind::NamedStruct(fields) => format!(
+            "{{\n\
+                 let __m = __c.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 {}\n\
+             }}",
+            named_struct_de(name, name, fields, "__m")
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __s = __v.as_seq().ok_or_else(|| \
+                                         ::serde::Error::custom(\
+                                             \"expected sequence for {name}::{vname}\"))?;\n\
+                                     if __s.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::custom(\
+                                                 \"wrong tuple length for {name}::{vname}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                 }}"
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ty = format!("{name}::{vname}");
+                            let inner = named_struct_de(&ty, &ty, fields, "__vm");
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __vm = __v.as_map().ok_or_else(|| \
+                                         ::serde::Error::custom(\
+                                             \"expected map for {name}::{vname}\"))?;\n\
+                                     {inner}\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         let __k = __k.as_str().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected string variant tag for {name}\"))?;\n\
+                         match __k {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected variant encoding for {name}, \
+                                  got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

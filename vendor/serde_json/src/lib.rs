@@ -1,0 +1,437 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Encodes the vendored `serde` stub's [`Content`] data model as real JSON
+//! text and parses it back, so `to_string`/`from_str` round trips behave
+//! like the real crate for the shapes this workspace uses. Maps from
+//! collection types arrive as sequences of `[key, value]` pairs (see the
+//! `serde` stub), so every encoded document is plain JSON arrays, objects,
+//! strings, numbers, booleans and nulls.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialization/deserialization failure.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("I/O error: {e}"))
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse_document()?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserializes a value from a JSON reader.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut s = String::new();
+    reader.read_to_string(&mut s)?;
+    from_str(&s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(
+    out: &mut String,
+    c: &Content,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{}` on f64 is shortest-round-trip decimal: parses back to
+                // the identical bits.
+                out.push_str(&v.to_string());
+            } else {
+                // Like real serde_json, non-finite floats encode as null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                let key = k
+                    .as_str()
+                    .ok_or_else(|| Error::new("JSON object keys must be strings"))?;
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1)?;
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((Content::Str(key), value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let c = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("bad escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0c}',
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair.
+                    if !self.eat_literal("\\u") {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                    char::from_u32(code).ok_or_else(|| self.err("bad surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("bad unicode escape"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Content::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-5i64).unwrap(), "-5");
+        assert_eq!(from_str::<i64>("-5").unwrap(), -5);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}é中🦀".to_owned();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>("\"\\ud83e\\udd80\"").unwrap(), "🦀");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u64, "one".to_owned()), (2, "two".to_owned())];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(u64, String)>>(&json).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Vec<(u64, String)>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+    }
+}
