@@ -8,10 +8,13 @@
 //!   efficiency for the ultra-relaxed models.
 //! - [`invariant_sweep`] (ABL-4): how many training runs data-based
 //!   selection needs before the learned invariants catch the error path.
+//! - [`strategy_sweep`] (ABL-6): how the search strategies compare on the
+//!   msgserver race — interleavings executed vs pruned, failures found.
 
 use crate::prepare_debug_model;
 use dd_core::{evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_replay::{enumerate_failures, SearchStrategy};
 use dd_workloads::{MsgServerConfig, MsgServerWorkload};
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +182,65 @@ pub fn scale_sweep(row_sizes: &[u32]) -> Vec<ScalePoint> {
             })
         })
         .collect()
+}
+
+/// One search-strategy sweep point (ABL-6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyPoint {
+    /// Strategy label.
+    pub strategy: String,
+    /// Interleavings actually executed.
+    pub executed: u64,
+    /// Sibling branches identified and skipped (systematic strategies).
+    pub pruned: u64,
+    /// Distinct failure ids found.
+    pub failures: usize,
+    /// Execution ticks spent across all executed interleavings.
+    pub ticks: u64,
+}
+
+/// ABL-6: search-strategy comparison on the msgserver production incident.
+///
+/// Exhaustive enumeration is the ground truth for the bounded tree; DPOR
+/// must match its failure set while executing a fraction of the
+/// interleavings (the `repro-ablations` table CI's conformance suite pins
+/// at ≤ 50%); random and PCT show what the same budget buys without
+/// systematic coverage.
+pub fn strategy_sweep(budget_executions: u64, max_depth: u32) -> Vec<StrategyPoint> {
+    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+        .expect("msgserver failing seed");
+    let scenario = w.scenario();
+    let budget = InferenceBudget::executions(budget_executions);
+    [
+        ("random".to_owned(), SearchStrategy::Random),
+        (
+            "pct(d=3)".to_owned(),
+            SearchStrategy::Pct {
+                expected_len: 200,
+                depth: 3,
+            },
+        ),
+        (
+            format!("exhaustive(d={max_depth})"),
+            SearchStrategy::Exhaustive { max_depth },
+        ),
+        (
+            format!("dpor(d={max_depth})"),
+            SearchStrategy::Dpor { max_depth },
+        ),
+    ]
+    .into_iter()
+    .map(|(label, strategy)| {
+        let (failures, stats) = enumerate_failures(&scenario, &budget, strategy);
+        StrategyPoint {
+            strategy: label,
+            executed: stats.explored,
+            pruned: stats.pruned,
+            failures: failures.len(),
+            ticks: stats.ticks,
+        }
+    })
+    .collect()
 }
 
 /// One invariant-training sweep point (ABL-4).

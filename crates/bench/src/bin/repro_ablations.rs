@@ -4,7 +4,9 @@
 //! where `<which>` is one of `threshold`, `window`, `budget`, `invariants`,
 //! or omitted for all.
 
-use dd_bench::{budget_sweep, invariant_sweep, scale_sweep, threshold_sweep, window_sweep};
+use dd_bench::{
+    budget_sweep, invariant_sweep, scale_sweep, strategy_sweep, threshold_sweep, window_sweep,
+};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -52,6 +54,20 @@ fn main() {
             println!(
                 "{:>9} {:>8.2}x {:>8.2}x",
                 p.row_size, p.value_overhead, p.rcse_overhead
+            );
+        }
+        println!();
+    }
+    if which == "strategies" || which == "all" {
+        println!("ABL-6 — search-strategy comparison (msgserver, bounded schedule tree)");
+        println!(
+            "{:>16} {:>9} {:>7} {:>9} {:>12}",
+            "strategy", "executed", "pruned", "failures", "exec-ticks"
+        );
+        for p in strategy_sweep(2_000, 4) {
+            println!(
+                "{:>16} {:>9} {:>7} {:>9} {:>12}",
+                p.strategy, p.executed, p.pruned, p.failures, p.ticks
             );
         }
         println!();

@@ -172,6 +172,7 @@ mod tests {
             artifact_satisfied: true,
             inference: InferenceStats {
                 explored: 1,
+                pruned: 0,
                 ticks: infer_ticks,
                 found: true,
                 found_at: Some(0),

@@ -498,7 +498,7 @@ impl DeterminismModel for DebugModel {
         &self,
         scenario: &Scenario,
         recording: &Recording,
-        _budget: &InferenceBudget,
+        budget: &InferenceBudget,
     ) -> ReplayResult {
         let Artifact::Debug {
             schedule,
@@ -518,8 +518,36 @@ impl DeterminismModel for DebugModel {
             inputs: inputs.to_script(),
             env: env.clone(),
         };
-        let out = scenario.execute(&spec, vec![]);
+        let mut out = scenario.execute(&spec, vec![]);
         let satisfied = !matches!(out.stop, StopReason::ReplayDivergence { .. });
+        let mut inference = InferenceStats::default();
+        if !satisfied {
+            // The recorded schedule could not be re-applied (e.g. the
+            // selective artifact under-constrained a data-plane path).
+            // Fall back to the budget's search strategy — the same
+            // machinery the ultra-relaxed models use — hunting for an
+            // execution over the recorded inputs/environment that
+            // reproduces the recorded failure. The artifact stays marked
+            // unsatisfied; only the replayed behaviour improves.
+            let script = inputs.to_script();
+            let want = recording.original.failure.clone();
+            // The artifact pins the environment (crashes, drop script), so
+            // the search may only vary schedules — not wander into
+            // environments the recording rules out.
+            let mut pinned = scenario.clone();
+            pinned.space.envs = vec![env.clone()];
+            let result = dd_replay::search(&pinned, budget, Some(&script), |candidate| {
+                match ((scenario.failure_of)(&candidate.io), &want) {
+                    (Some(f), Some(w)) => f.failure_id == w.failure_id,
+                    (None, None) => true,
+                    _ => false,
+                }
+            });
+            inference = result.stats;
+            if let Some(found) = result.run {
+                out = found;
+            }
+        }
         let failure = (scenario.failure_of)(&out.io);
         let reproduced_failure = match (&recording.original.failure, &failure) {
             (Some(a), Some(b)) => a.failure_id == b.failure_id,
@@ -535,7 +563,7 @@ impl DeterminismModel for DebugModel {
             failure,
             reproduced_failure,
             artifact_satisfied: satisfied,
-            inference: InferenceStats::default(),
+            inference,
             value_divergences: 0,
         }
     }

@@ -1,0 +1,364 @@
+//! Partial-order-reduced exploration of the schedule tree (DPOR-lite).
+//!
+//! Blind enumeration of schedules wastes most of its budget re-executing
+//! interleavings that only reorder *commuting* operations. This module
+//! explores the tree of scheduling decisions depth-first via
+//! [`PrefixPolicy`](dd_sim::PrefixPolicy)-forced runs and — in DPOR mode —
+//! expands only the sibling branches that dynamic conflict analysis proves
+//! worth visiting, in the style of Flanagan–Godefroid dynamic partial-order
+//! reduction:
+//!
+//! - `dd-sim` reports, at every recorded decision, the enabled task set and
+//!   each candidate's pending-operation footprint
+//!   ([`OpDesc`](dd_sim::OpDesc)).
+//! - After each run, a vector-clock pass over the trace (the same
+//!   happens-before edges `dd-detect`'s race detector uses: spawn, join,
+//!   lock hand-off, channel message, notification) finds pairs of
+//!   conflicting, concurrent transitions and adds *backtrack points*: the
+//!   decision nodes where reordering the pair could reach a new state.
+//! - Sibling branches never added to a node's backtrack set are *pruned* —
+//!   counted separately from executed interleavings in
+//!   [`InferenceStats`](crate::InferenceStats) so debugging-efficiency
+//!   numbers reflect work actually done.
+//!
+//! Exploration is bounded by `max_depth` (decisions beyond it follow a
+//! deterministic seeded tail) and by the caller's
+//! [`InferenceBudget`](crate::InferenceBudget). Exhaustive mode uses the
+//! same tree walk with every sibling in every backtrack set, which makes
+//! "DPOR executes a subset of exhaustive's interleavings" directly
+//! measurable.
+
+use crate::explorer::{InferenceBudget, InferenceStats};
+use crate::scenario::{PolicyChoice, RunSpec, Scenario};
+use dd_detect::VectorClock;
+use dd_sim::{DecisionKind, EnvConfig, Event, InputScript, OpDesc, RunOutput, TaskId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// One configuration of the tree walk: which run parameters are fixed and
+/// how aggressively to prune.
+pub(crate) struct TreeConfig<'a> {
+    /// Kernel RNG seed for every run in this tree.
+    pub seed: u64,
+    /// Seed of the deterministic tail policy past the forced prefix.
+    pub tail_seed: u64,
+    /// Input script for every run.
+    pub inputs: &'a InputScript,
+    /// Environment for every run.
+    pub env: &'a EnvConfig,
+    /// `true` for DPOR pruning, `false` for exhaustive enumeration.
+    pub dpor: bool,
+    /// Decisions beyond this depth are never branched.
+    pub max_depth: usize,
+}
+
+/// One decision node on the DFS stack.
+struct Node {
+    /// The enabled tasks, sorted by id.
+    candidates: Vec<TaskId>,
+    /// Candidate index the current path takes at this node.
+    chosen_index: u32,
+    /// Tasks worth exploring at this node (grows as conflicts are found).
+    backtrack: BTreeSet<TaskId>,
+    /// Tasks already explored at this node.
+    done: BTreeSet<TaskId>,
+}
+
+/// A backtrack-set addition derived from one conflicting transition pair.
+enum Add {
+    /// The conflicting task was enabled at the node: explore it there.
+    Task(TaskId),
+    /// The conflicting task was not enabled: explore every sibling.
+    All,
+}
+
+/// Walks the schedule tree rooted at `cfg`'s run parameters, calling
+/// `visit` on every executed interleaving. Stops when `visit` returns
+/// `true` (returning that run), the tree is exhausted (`None`), or the
+/// budget runs out (`None`). `stats` accumulates across calls so one budget
+/// can span several trees.
+pub(crate) fn explore_tree(
+    scenario: &Scenario,
+    cfg: &TreeConfig<'_>,
+    budget: &InferenceBudget,
+    stats: &mut InferenceStats,
+    visit: &mut dyn FnMut(&RunOutput, &RunSpec) -> bool,
+) -> Option<(RunOutput, RunSpec)> {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut prefix: Vec<u32> = Vec::new();
+    loop {
+        if stats.explored >= budget.max_executions || stats.ticks >= budget.max_ticks {
+            return None;
+        }
+        let spec = RunSpec {
+            seed: cfg.seed,
+            policy: PolicyChoice::Prefix(prefix.clone(), cfg.tail_seed),
+            inputs: cfg.inputs.clone(),
+            env: cfg.env.clone(),
+        };
+        let out = scenario.execute(&spec, vec![]);
+        stats.explored += 1;
+        stats.ticks += out.stats.exec_ticks;
+
+        // Extend the stack with the decisions this run took past the forced
+        // prefix. The prefix replays deterministically, so decisions the
+        // stack already covers are unchanged.
+        let horizon = out.decisions.len().min(cfg.max_depth);
+        for i in stack.len()..horizon {
+            let enabled = &out.decision_enabled[i];
+            let chosen = out.decisions[i].chosen;
+            let backtrack: BTreeSet<TaskId> = if cfg.dpor {
+                BTreeSet::from([chosen])
+            } else {
+                enabled.iter().map(|(t, _)| *t).collect()
+            };
+            stack.push(Node {
+                candidates: enabled.iter().map(|(t, _)| *t).collect(),
+                chosen_index: out.decisions[i].chosen_index,
+                backtrack,
+                done: BTreeSet::from([chosen]),
+            });
+        }
+        if cfg.dpor {
+            for (i, add) in backtrack_points(&out, cfg.max_depth) {
+                let Some(node) = stack.get_mut(i) else {
+                    continue;
+                };
+                match add {
+                    Add::Task(t) => {
+                        node.backtrack.insert(t);
+                    }
+                    Add::All => {
+                        let all: Vec<TaskId> = node.candidates.clone();
+                        node.backtrack.extend(all);
+                    }
+                }
+            }
+        }
+        if visit(&out, &spec) {
+            stats.found = true;
+            stats.found_at = Some(stats.explored - 1);
+            return Some((out, spec));
+        }
+
+        // Backtrack: pop exhausted nodes (counting their never-explored
+        // siblings as pruned), then branch at the deepest pending node.
+        loop {
+            let Some(top) = stack.last_mut() else {
+                return None; // Tree exhausted.
+            };
+            match top.backtrack.difference(&top.done).next().copied() {
+                Some(t) => {
+                    top.done.insert(t);
+                    top.chosen_index = top
+                        .candidates
+                        .iter()
+                        .position(|&c| c == t)
+                        .expect("backtrack tasks are always candidates")
+                        as u32;
+                    prefix = stack.iter().map(|n| n.chosen_index).collect();
+                    break;
+                }
+                None => {
+                    stats.pruned += (top.candidates.len() - top.done.len()) as u64;
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// The conflict footprint an executed trace event implies, or `None` for
+/// events that commute with everything (and so never create backtracks).
+fn event_desc(event: &Event) -> Option<OpDesc> {
+    match event {
+        Event::Read { var, .. } => Some(OpDesc::Var {
+            var: *var,
+            write: false,
+        }),
+        Event::Write { var, .. } => Some(OpDesc::Var {
+            var: *var,
+            write: true,
+        }),
+        Event::LockAcquire { lock, .. } | Event::LockRelease { lock, .. } => {
+            Some(OpDesc::Lock { lock: *lock })
+        }
+        Event::CondWait { cvar, lock, .. } => Some(OpDesc::CvWait {
+            cvar: *cvar,
+            lock: *lock,
+        }),
+        Event::CondNotify { cvar, .. } => Some(OpDesc::CvNotify { cvar: *cvar }),
+        Event::Send { chan, .. } | Event::Recv { chan, .. } | Event::SendDropped { chan, .. } => {
+            Some(OpDesc::Chan { chan: *chan })
+        }
+        Event::InputRead { port, .. } => Some(OpDesc::PortIn { port: *port }),
+        Event::Output { port, .. } => Some(OpDesc::PortOut { port: *port }),
+        Event::RngDraw { .. } => Some(OpDesc::Rng),
+        Event::Crash { .. } => Some(OpDesc::Global),
+        _ => None,
+    }
+}
+
+/// Finds the backtrack points one executed run implies.
+///
+/// For every executed operation `j` by task `q`, scans the decisions inside
+/// the branching horizon for the *latest* one whose transition conflicts
+/// with `j` and was taken by a different task. Variable conflicts are
+/// additionally filtered through the vector-clock happens-before check (a
+/// write that already happened-before the access cannot be reordered with
+/// it); resource-competition conflicts (locks, channels, ports, RNG,
+/// condition variables) create happens-before edges themselves, so they are
+/// always treated as reorderable.
+fn backtrack_points(out: &RunOutput, max_depth: usize) -> Vec<(usize, Add)> {
+    let decisions = &out.decisions;
+    let enabled = &out.decision_enabled;
+    let horizon = decisions.len().min(max_depth);
+    let Some(trace) = out.trace.as_deref() else {
+        return Vec::new();
+    };
+    if horizon == 0 {
+        return Vec::new();
+    }
+
+    // Footprint of each decision's transition: the op the chosen task was
+    // parked on when granted (known even when the attempt blocked).
+    let exec_op: Vec<OpDesc> = decisions
+        .iter()
+        .zip(enabled)
+        .map(|(d, en)| {
+            en.iter()
+                .find(|(t, _)| *t == d.chosen)
+                .and_then(|(_, desc)| *desc)
+                .unwrap_or(OpDesc::Global)
+        })
+        .collect();
+
+    let mut task_clocks: HashMap<u32, VectorClock> = HashMap::new();
+    let mut lock_clocks: HashMap<u32, VectorClock> = HashMap::new();
+    let mut chan_clocks: HashMap<u32, VecDeque<VectorClock>> = HashMap::new();
+    // Clock of each in-horizon decision's transition, once it executes.
+    let mut decision_clock: Vec<Option<VectorClock>> = vec![None; horizon];
+    // Index of the latest Decision event seen (-1 before the first).
+    let mut cursor: isize = -1;
+    // Decision whose transition's clock snapshot is still outstanding.
+    let mut awaiting: Option<(usize, TaskId)> = None;
+
+    let mut adds: BTreeSet<(usize, Option<u32>)> = BTreeSet::new();
+
+    for (_, event) in trace {
+        // 1. Happens-before bookkeeping (same edges as dd-detect's
+        //    race detector).
+        match event {
+            Event::Decision { kind, chosen, .. } => {
+                cursor += 1;
+                let i = cursor as usize;
+                awaiting = match kind {
+                    // The next op event after a NextTask grant is the chosen
+                    // task's transition. WakeOne decisions happen inside a
+                    // notifier's op; their transition clock is not needed
+                    // (cvar conflicts never take the clock path).
+                    DecisionKind::NextTask if i < horizon => Some((i, *chosen)),
+                    _ => None,
+                };
+                continue;
+            }
+            Event::TaskSpawn { parent, child, .. } => {
+                if let Some(p) = parent {
+                    let pvc = task_clocks.entry(p.0).or_default().clone();
+                    task_clocks.entry(child.0).or_default().join(&pvc);
+                }
+                task_clocks.entry(child.0).or_default().tick(*child);
+                continue;
+            }
+            Event::LockAcquire { task, lock, .. } => {
+                if let Some(lvc) = lock_clocks.get(&lock.0).cloned() {
+                    task_clocks.entry(task.0).or_default().join(&lvc);
+                }
+                task_clocks.entry(task.0).or_default().tick(*task);
+            }
+            Event::LockRelease { task, lock, .. } => {
+                let c = task_clocks.entry(task.0).or_default();
+                c.tick(*task);
+                lock_clocks.insert(lock.0, c.clone());
+            }
+            Event::CondNotify { task, woken, .. } => {
+                task_clocks.entry(task.0).or_default().tick(*task);
+                let nvc = task_clocks.entry(task.0).or_default().clone();
+                for w in woken {
+                    task_clocks.entry(w.0).or_default().join(&nvc);
+                }
+            }
+            Event::Send { task, chan, .. } => {
+                let c = task_clocks.entry(task.0).or_default();
+                c.tick(*task);
+                chan_clocks.entry(chan.0).or_default().push_back(c.clone());
+            }
+            Event::Recv { task, chan, .. } => {
+                if let Some(mvc) = chan_clocks.entry(chan.0).or_default().pop_front() {
+                    task_clocks.entry(task.0).or_default().join(&mvc);
+                }
+                task_clocks.entry(task.0).or_default().tick(*task);
+            }
+            Event::Joined { task, target, .. } => {
+                let tvc = task_clocks.entry(target.0).or_default().clone();
+                let c = task_clocks.entry(task.0).or_default();
+                c.join(&tvc);
+                c.tick(*task);
+            }
+            e => {
+                if let Some(task) = e.task() {
+                    task_clocks.entry(task.0).or_default().tick(task);
+                }
+            }
+        }
+
+        let Some(q) = event.task() else { continue };
+
+        // 2. Snapshot the awaited decision-transition clock.
+        if let Some((i, t)) = awaiting {
+            if t == q {
+                decision_clock[i] = Some(task_clocks.entry(q.0).or_default().clone());
+                awaiting = None;
+            }
+        }
+
+        // 3. Conflict scan for this executed operation.
+        let Some(o_j) = event_desc(event) else {
+            continue;
+        };
+        let c_j = task_clocks.entry(q.0).or_default().clone();
+        let upto = (cursor.min(horizon as isize - 1)).max(-1);
+        for i in (0..=upto).rev() {
+            let i = i as usize;
+            if decisions[i].chosen == q {
+                continue;
+            }
+            if !exec_op[i].conflicts(&o_j) {
+                continue;
+            }
+            let both_vars =
+                matches!(exec_op[i], OpDesc::Var { .. }) && matches!(o_j, OpDesc::Var { .. });
+            if both_vars {
+                if let Some(c_i) = &decision_clock[i] {
+                    if c_i.leq(&c_j) {
+                        // Already happens-before ordered: not reorderable.
+                        continue;
+                    }
+                }
+            }
+            let add = if enabled[i].iter().any(|(t, _)| *t == q) {
+                (i, Some(q.0))
+            } else {
+                (i, None)
+            };
+            adds.insert(add);
+            break; // Only the latest reorderable conflict matters.
+        }
+    }
+
+    adds.into_iter()
+        .map(|(i, t)| match t {
+            Some(t) => (i, Add::Task(TaskId(t))),
+            None => (i, Add::All),
+        })
+        .collect()
+}

@@ -9,17 +9,24 @@
 //! The search cost is reported as inference time and feeds debugging
 //! efficiency (DE).
 
+use crate::dpor::{explore_tree, TreeConfig};
 use crate::scenario::{PolicyChoice, RunSpec, Scenario};
 use dd_sim::RunOutput;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
-/// Bounds on inference work.
+/// Bounds on inference work, plus the schedule-candidate strategy the
+/// replayer should use inside those bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InferenceBudget {
     /// Maximum candidate executions to try.
     pub max_executions: u64,
     /// Maximum total execution ticks to spend.
     pub max_ticks: u64,
+    /// How schedule candidates are generated. Determinism models pick this
+    /// up in their `replay` implementations, so callers select the search
+    /// strategy the same way they bound its cost.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for InferenceBudget {
@@ -27,6 +34,7 @@ impl Default for InferenceBudget {
         InferenceBudget {
             max_executions: 200,
             max_ticks: u64::MAX,
+            strategy: SearchStrategy::Random,
         }
     }
 }
@@ -36,16 +44,41 @@ impl InferenceBudget {
     pub fn executions(n: u64) -> Self {
         InferenceBudget {
             max_executions: n,
-            max_ticks: u64::MAX,
+            ..Self::default()
         }
+    }
+
+    /// A budget of `n` executions searching with DPOR-reduced systematic
+    /// exploration of branching depth `max_depth`.
+    pub fn dpor(n: u64, max_depth: u32) -> Self {
+        InferenceBudget {
+            max_executions: n,
+            ..Self::default()
+        }
+        .with_strategy(SearchStrategy::Dpor { max_depth })
+    }
+
+    /// Replaces the search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
 /// Statistics of one inference search.
+///
+/// `explored` counts interleavings actually *executed*; `pruned` counts
+/// sibling branches a systematic strategy identified and skipped. Only
+/// executed interleavings burn the execution budget and contribute ticks to
+/// debugging-efficiency accounting — conflating the two would make DPOR
+/// look slower exactly when it prunes best.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InferenceStats {
     /// Candidate executions tried.
     pub explored: u64,
+    /// Schedule branches identified but skipped as redundant (DPOR) or
+    /// out of reach of the depth bound. Zero for non-systematic strategies.
+    pub pruned: u64,
     /// Total execution ticks spent across candidates.
     pub ticks: u64,
     /// Whether an accepting execution was found.
@@ -78,10 +111,27 @@ pub enum SearchStrategy {
         /// Targeted bug depth.
         depth: u32,
     },
+    /// Systematic depth-first enumeration of the schedule tree: every
+    /// branch of the first `max_depth` scheduling decisions, with a
+    /// deterministic seeded tail beyond.
+    Exhaustive {
+        /// Branching-depth bound.
+        max_depth: u32,
+    },
+    /// Partial-order-reduced systematic exploration: like `Exhaustive`,
+    /// but dynamic conflict analysis (pending-op footprints from `dd-sim`
+    /// plus `dd-detect` vector clocks) prunes sibling branches that only
+    /// reorder commuting operations. Finds the same failures as
+    /// `Exhaustive` at the same depth while executing far fewer
+    /// interleavings.
+    Dpor {
+        /// Branching-depth bound.
+        max_depth: u32,
+    },
 }
 
 /// Searches a scenario's nondeterminism space for an execution satisfying
-/// `accept`, with the default random-schedule strategy.
+/// `accept`, using the strategy selected by the budget.
 ///
 /// Candidates are enumerated deterministically, environment-fastest: the
 /// replayer tries alternative environments (faults, congestion, memory
@@ -95,16 +145,11 @@ pub fn search(
     fixed_inputs: Option<&dd_sim::InputScript>,
     accept: impl Fn(&RunOutput) -> bool,
 ) -> SearchResult {
-    search_with(
-        scenario,
-        budget,
-        SearchStrategy::Random,
-        fixed_inputs,
-        accept,
-    )
+    search_with(scenario, budget, budget.strategy, fixed_inputs, accept)
 }
 
-/// [`search`] with an explicit schedule-candidate strategy.
+/// [`search`] with an explicit schedule-candidate strategy (overriding the
+/// budget's).
 pub fn search_with(
     scenario: &Scenario,
     budget: &InferenceBudget,
@@ -135,9 +180,54 @@ pub fn search_with(
         &space.envs
     };
 
-    let total = seeds.len() as u64 * n_inputs as u64 * envs.len() as u64;
     let mut stats = InferenceStats::default();
 
+    if let SearchStrategy::Exhaustive { max_depth } | SearchStrategy::Dpor { max_depth } = strategy
+    {
+        // Systematic strategies replace random schedule seeding with a tree
+        // walk per (seed, input, environment) combination, sharing one
+        // budget; environment still varies fastest.
+        let dpor = matches!(strategy, SearchStrategy::Dpor { .. });
+        let scripts: Vec<&dd_sim::InputScript> = match fixed_inputs {
+            Some(s) => vec![s],
+            None => inputs.iter().collect(),
+        };
+        for &seed in seeds {
+            for script in &scripts {
+                for env in envs {
+                    if stats.explored >= budget.max_executions || stats.ticks >= budget.max_ticks {
+                        break;
+                    }
+                    let cfg = TreeConfig {
+                        seed,
+                        tail_seed: seed.wrapping_mul(0x9E3779B97F4A7C15),
+                        inputs: script,
+                        env,
+                        dpor,
+                        max_depth: max_depth as usize,
+                    };
+                    if let Some((out, spec)) =
+                        explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
+                            accept(out)
+                        })
+                    {
+                        return SearchResult {
+                            run: Some(out),
+                            spec: Some(spec),
+                            stats,
+                        };
+                    }
+                }
+            }
+        }
+        return SearchResult {
+            run: None,
+            spec: None,
+            stats,
+        };
+    }
+
+    let total = seeds.len() as u64 * n_inputs as u64 * envs.len() as u64;
     for i in 0..total.min(budget.max_executions) {
         if stats.ticks >= budget.max_ticks {
             break;
@@ -158,6 +248,9 @@ pub fn search_with(
                 expected_len,
                 depth,
             },
+            SearchStrategy::Exhaustive { .. } | SearchStrategy::Dpor { .. } => {
+                unreachable!("systematic strategies handled above")
+            }
         };
         let spec = RunSpec {
             seed: seeds[seed_i],
@@ -186,6 +279,76 @@ pub fn search_with(
         spec: None,
         stats,
     }
+}
+
+/// Enumerates every distinct failure id reachable from the scenario's
+/// *production* configuration (original seed, inputs and environment) under
+/// the given strategy and budget, without stopping at the first hit.
+///
+/// This is the apples-to-apples harness for comparing strategies: with the
+/// same `max_depth`, [`SearchStrategy::Dpor`] must find the same failure
+/// set as [`SearchStrategy::Exhaustive`] while executing strictly fewer
+/// interleavings (the pruned ones only reorder commuting operations).
+pub fn enumerate_failures(
+    scenario: &Scenario,
+    budget: &InferenceBudget,
+    strategy: SearchStrategy,
+) -> (BTreeSet<String>, InferenceStats) {
+    let mut stats = InferenceStats::default();
+    let mut failures = BTreeSet::new();
+    match strategy {
+        SearchStrategy::Exhaustive { max_depth } | SearchStrategy::Dpor { max_depth } => {
+            let cfg = TreeConfig {
+                seed: scenario.seed,
+                tail_seed: scenario.sched_seed.wrapping_mul(0x9E3779B97F4A7C15),
+                inputs: &scenario.inputs,
+                env: &scenario.env,
+                dpor: matches!(strategy, SearchStrategy::Dpor { .. }),
+                max_depth: max_depth as usize,
+            };
+            explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
+                if let Some(f) = (scenario.failure_of)(&out.io) {
+                    failures.insert(f.failure_id);
+                }
+                false
+            });
+        }
+        SearchStrategy::Random | SearchStrategy::Pct { .. } => {
+            for i in 0..budget.max_executions {
+                if stats.ticks >= budget.max_ticks {
+                    break;
+                }
+                let sched_seed = scenario
+                    .sched_seed
+                    .wrapping_add(i)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                let policy = match strategy {
+                    SearchStrategy::Pct {
+                        expected_len,
+                        depth,
+                    } => PolicyChoice::Pct {
+                        seed: sched_seed,
+                        expected_len,
+                        depth,
+                    },
+                    _ => PolicyChoice::Random(sched_seed),
+                };
+                let spec = RunSpec {
+                    seed: scenario.seed,
+                    policy,
+                    inputs: scenario.inputs.clone(),
+                    env: scenario.env.clone(),
+                };
+                let out = scenario.execute(&spec, vec![]);
+                stats.explored += 1;
+                stats.ticks += out.stats.exec_ticks;
+                if let Some(f) = (scenario.failure_of)(&out.io) {
+                    failures.insert(f.failure_id);
+                }
+            }
+        }
+    }
+    (failures, stats)
 }
 
 #[cfg(test)]

@@ -18,13 +18,15 @@
 //! [`NondetSpace`] — the substitution for symbolic execution documented in
 //! DESIGN.md. Its cost is measured and feeds debugging efficiency.
 
+pub mod dpor;
 pub mod explorer;
 pub mod models;
 pub mod recordings;
 pub mod scenario;
 
 pub use explorer::{
-    search, search_with, InferenceBudget, InferenceStats, SearchResult, SearchStrategy,
+    enumerate_failures, search, search_with, InferenceBudget, InferenceStats, SearchResult,
+    SearchStrategy,
 };
 pub use models::{
     DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel, ReplayResult,

@@ -1,7 +1,10 @@
 //! Search-strategy integration tests: random vs PCT candidate generation,
-//! determinism of inference results.
+//! systematic exhaustive vs DPOR exploration, determinism of inference
+//! results, and pruned-vs-executed budget accounting.
 
-use dd_replay::{search_with, InferenceBudget, NondetSpace, Scenario, SearchStrategy};
+use dd_replay::{
+    enumerate_failures, search_with, InferenceBudget, NondetSpace, Scenario, SearchStrategy,
+};
 use dd_sim::{Builder, ChanClass, EnvConfig, InputScript, Program};
 use std::sync::Arc;
 
@@ -44,7 +47,15 @@ fn scenario() -> Scenario {
         inputs: InputScript::new(),
         env: EnvConfig::clean(),
         max_steps: 100_000,
-        failure_of: Arc::new(|_| None),
+        failure_of: Arc::new(|io| {
+            let total = io.outputs_on("result").first().and_then(|v| v.as_int())?;
+            (total < 20).then(|| dd_trace::FailureSnapshot {
+                failure_id: "lost-updates".into(),
+                description: format!("total {total} < 20"),
+                crashes: vec![],
+                counters: Default::default(),
+            })
+        }),
         space: NondetSpace::schedules_only(32, InputScript::new()),
     }
 }
@@ -105,7 +116,110 @@ fn tick_budget_bounds_the_search() {
     let budget = InferenceBudget {
         max_executions: 100,
         max_ticks: 10,
+        ..InferenceBudget::default()
     };
     let r = search_with(&s, &budget, SearchStrategy::Random, None, |_| false);
     assert!(r.stats.explored <= 2, "tick budget ignored: {:?}", r.stats);
+}
+
+#[test]
+fn systematic_strategies_find_the_race() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(512);
+    for strategy in [
+        SearchStrategy::Exhaustive { max_depth: 6 },
+        SearchStrategy::Dpor { max_depth: 6 },
+    ] {
+        let r = search_with(&s, &budget, strategy, None, lost_updates);
+        assert!(r.stats.found, "{strategy:?} should find lost updates");
+        assert!(r.run.is_some() && r.spec.is_some());
+    }
+}
+
+#[test]
+fn dpor_matches_exhaustive_failure_set_with_fewer_runs() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(4_000);
+    let (ex_failures, ex_stats) =
+        enumerate_failures(&s, &budget, SearchStrategy::Exhaustive { max_depth: 5 });
+    let (po_failures, po_stats) =
+        enumerate_failures(&s, &budget, SearchStrategy::Dpor { max_depth: 5 });
+    assert!(
+        ex_stats.explored < budget.max_executions,
+        "exhaustive tree must fit the budget for a fair comparison \
+         (executed {})",
+        ex_stats.explored
+    );
+    assert_eq!(po_failures, ex_failures, "DPOR must find the same failures");
+    assert!(
+        po_stats.explored < ex_stats.explored,
+        "DPOR must execute strictly fewer interleavings ({} vs {})",
+        po_stats.explored,
+        ex_stats.explored
+    );
+    assert!(po_stats.pruned > 0, "DPOR should report pruned branches");
+    assert_eq!(ex_stats.pruned, 0, "exhaustive never prunes");
+}
+
+#[test]
+fn pruned_branches_do_not_burn_the_execution_budget() {
+    let s = scenario();
+    // A budget DPOR exhausts: executed interleavings alone must hit the cap.
+    let budget = InferenceBudget::executions(8);
+    let (_, stats) = enumerate_failures(&s, &budget, SearchStrategy::Dpor { max_depth: 5 });
+    assert_eq!(
+        stats.explored, 8,
+        "executed runs stop exactly at the budget"
+    );
+    // Pruning is accounted separately from the execution budget: a budget
+    // of exactly the executed count must still cover the whole tree. Under
+    // the pre-fix conflation, pruned branches would burn budget and the
+    // exact-budget run would stop `pruned` executions short.
+    let generous = InferenceBudget::executions(4_000);
+    let (full_failures, full) =
+        enumerate_failures(&s, &generous, SearchStrategy::Dpor { max_depth: 5 });
+    assert!(full.pruned > 0, "racy counter must offer pruning");
+    assert!(full.explored < generous.max_executions, "tree fits budget");
+    let exact = InferenceBudget::executions(full.explored);
+    let (exact_failures, capped) =
+        enumerate_failures(&s, &exact, SearchStrategy::Dpor { max_depth: 5 });
+    assert_eq!(
+        capped.explored, full.explored,
+        "a budget equal to the executed count must cover the whole tree \
+         — pruned branches may not burn it"
+    );
+    assert_eq!(capped.pruned, full.pruned);
+    assert_eq!(exact_failures, full_failures);
+}
+
+#[test]
+fn systematic_search_is_deterministic() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(256);
+    for strategy in [
+        SearchStrategy::Exhaustive { max_depth: 5 },
+        SearchStrategy::Dpor { max_depth: 5 },
+    ] {
+        let a = search_with(&s, &budget, strategy, None, lost_updates);
+        let b = search_with(&s, &budget, strategy, None, lost_updates);
+        assert_eq!(a.stats, b.stats, "{strategy:?}");
+        assert_eq!(
+            a.run.map(|r| r.io),
+            b.run.map(|r| r.io),
+            "{strategy:?}: accepted runs must be identical"
+        );
+    }
+}
+
+#[test]
+fn budget_strategy_drives_plain_search() {
+    let s = scenario();
+    let budget = InferenceBudget::dpor(512, 6);
+    let r = dd_replay::search(&s, &budget, None, lost_updates);
+    assert!(r.stats.found, "budget-selected DPOR should find the race");
+    let spec = r.spec.unwrap();
+    assert!(
+        matches!(spec.policy, dd_replay::PolicyChoice::Prefix(..)),
+        "systematic strategies produce prefix-forced specs"
+    );
 }

@@ -196,6 +196,11 @@ pub struct RunOutput {
     pub registry: Registry,
     /// The resolved decision stream (for replay and search).
     pub decisions: Vec<DecisionRecord>,
+    /// Per-decision enabled-set snapshots with each candidate's
+    /// pending-operation conflict footprint, aligned with `decisions`.
+    /// Partial-order-reduced search uses this to decide which sibling
+    /// schedule branches commute.
+    pub decision_enabled: Vec<Vec<(TaskId, Option<crate::conflict::OpDesc>)>>,
     /// The omniscient analysis trace, if collected.
     pub trace: Option<Vec<(EventMeta, Event)>>,
     observers: Vec<Box<dyn Observer>>,
@@ -352,6 +357,7 @@ pub fn run_program(
         io,
         registry,
         decisions: std::mem::take(&mut kernel.decisions),
+        decision_enabled: std::mem::take(&mut kernel.decision_enabled),
         trace: kernel.trace.take(),
         observers: kernel.take_observers(),
     }
@@ -548,7 +554,9 @@ pub(crate) fn syscall(shared: &Shared, me: TaskId, mut op: crate::kernel::Op) ->
     if st.cancelling || st.tasks[me.index()].killed {
         return Err(SimError::Cancelled);
     }
-    // Announce: park at the sync point and wait for a grant.
+    // Announce: park at the sync point and wait for a grant. The pending
+    // footprint is what the driver snapshots at decision points.
+    st.tasks[me.index()].pending = Some(op.desc());
     st.tasks[me.index()].phase = Phase::Ready;
     shared.driver_cv.notify_one();
     loop {
@@ -563,6 +571,7 @@ pub(crate) fn syscall(shared: &Shared, me: TaskId, mut op: crate::kernel::Op) ->
         }
         match st.exec_op(me, &mut op) {
             Attempt::Done(res) => {
+                st.tasks[me.index()].pending = None;
                 st.tasks[me.index()].phase = Phase::Running;
                 shared.driver_cv.notify_one();
                 return res;
@@ -591,6 +600,8 @@ pub(crate) fn spawn_from_ctx(
         if st.cancelling || st.tasks[me.index()].killed {
             return Err(SimError::Cancelled);
         }
+        // Spawning changes the enabled set itself; its footprint is global.
+        st.tasks[me.index()].pending = Some(crate::conflict::OpDesc::Global);
         st.tasks[me.index()].phase = Phase::Ready;
         shared.driver_cv.notify_one();
         let cv = Arc::clone(&st.tasks[me.index()].cv);
@@ -605,6 +616,7 @@ pub(crate) fn spawn_from_ctx(
         let tid = st.add_task(name, group, Some(me));
         let spawn_cost = st.costs.spawn;
         st.charge(spawn_cost);
+        st.tasks[me.index()].pending = None;
         st.tasks[me.index()].phase = Phase::Running;
         shared.driver_cv.notify_one();
         tid

@@ -8,6 +8,7 @@
 //! `&mut self` and there is no interior locking here.
 
 use crate::config::{ChanClass, EnvConfig, NondetOverride, OpCosts, TimedInput};
+use crate::conflict::OpDesc;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
 use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
@@ -76,6 +77,11 @@ pub(crate) struct TaskRec {
     /// on `cancelling` alone would let late-arriving or spuriously-woken
     /// threads emit `TaskExit` in racy OS order instead of task-id order.
     pub cancel_poked: bool,
+    /// Conflict footprint of the operation this task is parked on (set when
+    /// the task announces at a sync point, cleared when the op completes).
+    /// `None` means the task's next operation is not yet known — explorers
+    /// must treat it as conflicting with everything.
+    pub pending: Option<OpDesc>,
 }
 
 pub(crate) struct VarRec {
@@ -203,6 +209,11 @@ pub(crate) struct Kernel {
     pub counters: BTreeMap<String, i64>,
     pub crashes: Vec<CrashRecord>,
     pub decisions: Vec<DecisionRecord>,
+    /// Per-decision snapshot of the enabled set with each candidate's
+    /// pending-operation footprint, aligned index-for-index with
+    /// `decisions`. This is the conflict metadata partial-order-reduced
+    /// search consumes.
+    pub decision_enabled: Vec<Vec<(TaskId, Option<OpDesc>)>>,
 
     pub policy: Box<dyn SchedulePolicy>,
     pub nondet_override: Option<Box<dyn NondetOverride>>,
@@ -335,6 +346,46 @@ pub(crate) enum Op {
     },
 }
 
+impl Op {
+    /// The conflict footprint of this operation (see [`OpDesc`]).
+    pub(crate) fn desc(&self) -> OpDesc {
+        match self {
+            Op::Read { var, .. } => OpDesc::Var {
+                var: *var,
+                write: false,
+            },
+            Op::Write { var, .. } => OpDesc::Var {
+                var: *var,
+                write: true,
+            },
+            Op::Lock { lock, .. } | Op::Unlock { lock, .. } => OpDesc::Lock { lock: *lock },
+            Op::CvWait { cvar, lock, .. } => OpDesc::CvWait {
+                cvar: *cvar,
+                lock: *lock,
+            },
+            Op::CvNotify { cvar, .. } => OpDesc::CvNotify { cvar: *cvar },
+            Op::Send { chan, .. } | Op::Recv { chan, .. } | Op::CloseChan { chan, .. } => {
+                OpDesc::Chan { chan: *chan }
+            }
+            Op::ReadInput { port, .. } => OpDesc::PortIn { port: *port },
+            Op::WriteOutput { port, .. } => OpDesc::PortOut { port: *port },
+            Op::Rng { .. } => OpDesc::Rng,
+            // Probes and counters only observe task-local values; sleeps,
+            // yields, allocations and joins touch no shared program state.
+            Op::Probe { .. }
+            | Op::Count { .. }
+            | Op::Sleep { .. }
+            | Op::Yield { .. }
+            | Op::Alloc { .. }
+            | Op::Free { .. }
+            | Op::Join { .. } => OpDesc::Local,
+            // Crashing or stopping the run changes what every other task
+            // gets to execute.
+            Op::Crash { .. } | Op::StopRun { .. } => OpDesc::Global,
+        }
+    }
+}
+
 impl Kernel {
     #[allow(clippy::too_many_arguments)] // Internal constructor fed by RunConfig.
     pub fn new(
@@ -380,6 +431,7 @@ impl Kernel {
             counters: BTreeMap::new(),
             crashes: Vec::new(),
             decisions: Vec::new(),
+            decision_enabled: Vec::new(),
             policy,
             nondet_override,
             cancelling: false,
@@ -405,6 +457,7 @@ impl Kernel {
             mem_budget,
             cv: Arc::new(parking_lot::Condvar::new()),
             cancel_poked: false,
+            pending: None,
         });
         self.emit(Event::TaskSpawn {
             parent,
@@ -531,6 +584,12 @@ impl Kernel {
             Ok(idx) if idx < candidates.len() => {
                 self.decision_seq += 1;
                 let chosen = candidates[idx];
+                self.decision_enabled.push(
+                    candidates
+                        .iter()
+                        .map(|&t| (t, self.tasks[t.index()].pending))
+                        .collect(),
+                );
                 self.decisions.push(DecisionRecord {
                     kind,
                     n: candidates.len() as u32,

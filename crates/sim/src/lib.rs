@@ -61,6 +61,7 @@
 //! ```
 
 pub mod config;
+pub mod conflict;
 pub mod driver;
 pub mod error;
 pub mod event;
@@ -75,6 +76,7 @@ pub use config::{
     ChanClass, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride, OpCosts, RunConfig,
     TimedInput,
 };
+pub use conflict::OpDesc;
 pub use driver::{
     run_program, ChanMeta, IoSummary, PortMeta, Registry, RunOutput, RunStats, TaskMeta,
 };

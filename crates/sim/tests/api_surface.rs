@@ -234,3 +234,40 @@ fn pct_policy_runs_full_programs_deterministically() {
     assert_eq!(a.trace(), b.trace());
     assert_eq!(a.stop, StopReason::Quiescent);
 }
+
+#[test]
+fn decision_enabled_snapshots_align_with_decisions() {
+    let out = run_program(
+        &CvarPipeline,
+        RunConfig::with_seed(3),
+        Box::new(RandomPolicy::new(3)),
+        vec![],
+    );
+    assert_eq!(out.decision_enabled.len(), out.decisions.len());
+    for (d, enabled) in out.decisions.iter().zip(&out.decision_enabled) {
+        assert_eq!(enabled.len() as u32, d.n, "snapshot width matches n");
+        assert!(
+            enabled.iter().any(|(t, _)| *t == d.chosen),
+            "chosen task {:?} present in its enabled snapshot",
+            d.chosen
+        );
+        // Candidate lists are sorted by task id, so snapshots must be too.
+        assert!(enabled.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+    // The pipeline contends on a lock and a condition variable: at least one
+    // snapshot must expose a known (non-Global) pending footprint.
+    let known = out
+        .decision_enabled
+        .iter()
+        .flatten()
+        .filter(|(_, op)| {
+            matches!(
+                op,
+                Some(dd_sim::OpDesc::Lock { .. })
+                    | Some(dd_sim::OpDesc::Var { .. })
+                    | Some(dd_sim::OpDesc::CvWait { .. })
+            )
+        })
+        .count();
+    assert!(known > 0, "no pending footprints captured at decisions");
+}

@@ -18,7 +18,7 @@
 //! | [`trace`] | `dd-trace` | traces, recording cost accounting, artifact log formats, recorder observers |
 //! | [`detect`] | `dd-detect` | happens-before & lockset race detection, lost-update analysis, invariant inference, trigger detectors |
 //! | [`classify`] | `dd-classify` | control/data-plane classification by data rate |
-//! | [`replay`] | `dd-replay` | the baseline determinism models and the search-based inference engine |
+//! | [`replay`] | `dd-replay` | the baseline determinism models and the search-based inference engine (random, PCT, exhaustive and DPOR-reduced schedule exploration) |
 //! | [`core`] | `dd-core` | debug determinism: specs, root causes, RCSE, the `DebugModel`, DF/DE/DU metrics, the experiment runner |
 //! | [`hyperstore`] | `dd-hyperstore` | the §4 case study: a distributed KV store with issue 63 |
 //! | [`workloads`] | `dd-workloads` | the §2/§3 motivating programs: sum (2+2=5), msgserver, bufoverflow |

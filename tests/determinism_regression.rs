@@ -8,18 +8,26 @@
 //! replay-debugging result built on top.
 
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreProgram};
-use debug_determinism::sim::{run_program, Program, RandomPolicy, RunConfig};
-use debug_determinism::trace::Trace;
-use debug_determinism::workloads::{MsgServerConfig, MsgServerProgram, SumProgram};
+use debug_determinism::replay::costs;
+use debug_determinism::sim::{run_program, Observer, Program, RandomPolicy, RunConfig};
+use debug_determinism::trace::{InputRecorder, ScheduleRecorder, Trace, ValueRecorder};
+use debug_determinism::workloads::{
+    BufOverflowProgram, BufOverflowWorkload, MsgServerConfig, MsgServerProgram, SumProgram,
+};
 
 /// FNV-1a over the serialized trace: any divergence anywhere in the event
 /// stream changes the hash.
-fn trace_hash(program: &dyn Program, cfg: RunConfig, policy_seed: u64) -> u64 {
+fn trace_hash_with(
+    program: &dyn Program,
+    cfg: RunConfig,
+    policy_seed: u64,
+    observers: Vec<Box<dyn Observer>>,
+) -> u64 {
     let out = run_program(
         program,
         cfg,
         Box::new(RandomPolicy::new(policy_seed)),
-        vec![],
+        observers,
     );
     let json = serde_json::to_string(&Trace::from_run(&out)).expect("trace serializes");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -28,6 +36,10 @@ fn trace_hash(program: &dyn Program, cfg: RunConfig, policy_seed: u64) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+fn trace_hash(program: &dyn Program, cfg: RunConfig, policy_seed: u64) -> u64 {
+    trace_hash_with(program, cfg, policy_seed, vec![])
 }
 
 fn assert_deterministic(name: &str, program: &dyn Program, mk_cfg: impl Fn() -> RunConfig) {
@@ -64,6 +76,111 @@ fn hyperstore_trace_hashes_are_reproducible() {
         max_steps: 500_000,
         ..RunConfig::default()
     });
+}
+
+#[test]
+fn bufoverflow_trace_hashes_are_reproducible() {
+    let program = BufOverflowProgram { fixed: false };
+    assert_deterministic("bufoverflow", &program, || RunConfig {
+        inputs: BufOverflowWorkload::production_inputs(),
+        max_steps: 50_000,
+        ..RunConfig::default()
+    });
+}
+
+/// The two recording fidelities the golden table is checked under: `Low`
+/// matches RCSE's always-on layer (schedule + inputs), `High` adds
+/// value-determinism-grade recording. Observers charge the wall clock, not
+/// the execution clock, so the trace must be bit-identical to the bare run
+/// under both — recording may never perturb the execution it records.
+fn fidelity_observers(level: &str) -> Vec<Box<dyn Observer>> {
+    match level {
+        "bare" => vec![],
+        "low" => vec![
+            Box::new(ScheduleRecorder::new(costs::SCHEDULE)),
+            Box::new(InputRecorder::new(costs::INPUT)),
+        ],
+        "high" => vec![
+            Box::new(ScheduleRecorder::new(costs::SCHEDULE)),
+            Box::new(InputRecorder::new(costs::INPUT)),
+            Box::new(ValueRecorder::new(costs::VALUE)),
+        ],
+        other => panic!("unknown fidelity {other}"),
+    }
+}
+
+/// The golden trace-hash table: every workload's seed-42 production trace,
+/// pinned. Any kernel/driver/scheduling change that perturbs any workload's
+/// event stream fails this test loudly, naming the workload and fidelity.
+/// If a change is *intentional* (new event kind, cost model change),
+/// regenerate the constants with the command in the assertion message.
+#[test]
+fn golden_trace_hash_table_covers_all_workloads_and_fidelities() {
+    const GOLDEN: &[(&str, u64)] = &[
+        ("sum", 0x2111_6735_7344_eceb),
+        ("msgserver", 0x5749_569f_767f_d389),
+        ("bufoverflow", 0xbbeb_f678_ca4d_9894),
+        ("hyperstore", 0x126c_6455_5282_2fcb),
+    ];
+    let run = |name: &str, level: &str| -> u64 {
+        match name {
+            "sum" => trace_hash_with(
+                &SumProgram { fixed: false },
+                RunConfig::with_seed(42),
+                42,
+                fidelity_observers(level),
+            ),
+            "msgserver" => trace_hash_with(
+                &MsgServerProgram {
+                    cfg: MsgServerConfig::default(),
+                    fixed: false,
+                },
+                RunConfig::with_seed(42),
+                42,
+                fidelity_observers(level),
+            ),
+            "bufoverflow" => trace_hash_with(
+                &BufOverflowProgram { fixed: false },
+                RunConfig {
+                    seed: 42,
+                    inputs: BufOverflowWorkload::production_inputs(),
+                    max_steps: 50_000,
+                    ..RunConfig::default()
+                },
+                42,
+                fidelity_observers(level),
+            ),
+            "hyperstore" => {
+                let cfg = HyperConfig::small();
+                trace_hash_with(
+                    &HyperstoreProgram::buggy(cfg.clone()),
+                    RunConfig {
+                        seed: 42,
+                        inputs: cfg.input_script(),
+                        max_steps: 500_000,
+                        ..RunConfig::default()
+                    },
+                    42,
+                    fidelity_observers(level),
+                )
+            }
+            other => panic!("unknown workload {other}"),
+        }
+    };
+    for &(name, golden) in GOLDEN {
+        for level in ["bare", "low", "high"] {
+            let actual = run(name, level);
+            assert_eq!(
+                actual, golden,
+                "workload {name:?} at fidelity {level:?}: trace hash {actual:#018x} \
+                 does not match the golden {golden:#018x}. A kernel change perturbed \
+                 this workload's trace; if intentional, update GOLDEN in \
+                 tests/determinism_regression.rs (cargo test golden_trace -- --nocapture \
+                 prints actuals)."
+            );
+        }
+        println!("golden ok: {name} {:#018x}", golden);
+    }
 }
 
 /// Different seeds must be able to produce different schedules — otherwise
