@@ -10,12 +10,15 @@
 //!   selection needs before the learned invariants catch the error path.
 //! - [`strategy_sweep`] (ABL-6): how the search strategies compare on the
 //!   msgserver race — interleavings executed vs pruned, failures found.
+//! - [`checkpoint_sweep`] (ABL-7): what checkpointed (fork-based) DFS saves
+//!   over from-scratch DFS — kernel operations executed vs skipped via
+//!   snapshot restore, and wall time — on all four workloads.
 
 use crate::prepare_debug_model;
 use dd_core::{evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_replay::{enumerate_failures, SearchStrategy};
-use dd_workloads::{MsgServerConfig, MsgServerWorkload};
+use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
 use serde::{Deserialize, Serialize};
 
 /// One classifier-threshold sweep point (ABL-1).
@@ -241,6 +244,104 @@ pub fn strategy_sweep(budget_executions: u64, max_depth: u32) -> Vec<StrategyPoi
         }
     })
     .collect()
+}
+
+/// One scratch-vs-checkpointed sweep point (ABL-7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPoint {
+    /// Workload name.
+    pub workload: String,
+    /// `"scratch"` or `"checkpointed"`.
+    pub mode: String,
+    /// Branching-depth bound of the DFS.
+    pub depth: u32,
+    /// Interleavings executed.
+    pub executed: u64,
+    /// Kernel operations executed.
+    pub steps_executed: u64,
+    /// Kernel operations skipped via snapshot restore.
+    pub steps_skipped: u64,
+    /// `(executed + skipped) / executed` — 1.0 for scratch.
+    pub speedup: f64,
+    /// Host wall-clock milliseconds for the whole walk.
+    pub wall_ms: u64,
+    /// Distinct failure ids found (must match between modes).
+    pub failures: usize,
+}
+
+/// ABL-7: scratch vs checkpointed DFS on all four workloads.
+///
+/// Both modes walk the identical DPOR-reduced schedule tree and must
+/// return byte-identical failure sets; the table shows what snapshot
+/// restore saves. Two regimes per the fork-based-DFS cost model:
+///
+/// - *Shallow* horizons (the depth-4 rows): every branch point sits in the
+///   run's first few scheduling decisions, before the program has executed
+///   anything — there is simply no prefix work to skip, for any
+///   implementation. The rows are kept to make that visible.
+/// - *Deep* horizons (the msgserver deep row): a budget-capped DFS spends
+///   its budget near the horizon, so restored prefixes carry a large share
+///   of each run — this is where checkpointing pays (the acceptance gate:
+///   ≥ 30 % fewer kernel operations than scratch).
+///
+/// `modes` filters rows (`["scratch", "checkpointed"]` runs both).
+pub fn checkpoint_sweep(modes: &[&str]) -> Vec<CheckpointPoint> {
+    let workloads: Vec<(Box<dyn Workload>, u32, u64)> = vec![
+        (Box::new(SumWorkload), 4, 1_000),
+        (
+            Box::new(
+                MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                    .expect("msgserver failing seed"),
+            ),
+            4,
+            1_000,
+        ),
+        (Box::new(BufOverflowWorkload), 4, 1_000),
+        (
+            Box::new(
+                HyperstoreWorkload::discover(HyperConfig::default(), 200)
+                    .expect("hyperstore failing seed"),
+            ),
+            4,
+            1_000,
+        ),
+        // The deep-horizon regime where restored prefixes dominate.
+        (
+            Box::new(
+                MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                    .expect("msgserver failing seed"),
+            ),
+            256,
+            150,
+        ),
+    ];
+    let mut points = Vec::new();
+    for (w, depth, budget_n) in &workloads {
+        let scenario = w.scenario();
+        let strategy = SearchStrategy::Dpor { max_depth: *depth };
+        for &mode in modes {
+            let budget = match mode {
+                "scratch" => InferenceBudget::executions(*budget_n),
+                "checkpointed" => InferenceBudget::executions(*budget_n)
+                    .with_checkpoints(InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL),
+                other => panic!("unknown ABL-7 mode {other:?} (scratch|checkpointed)"),
+            };
+            let t0 = std::time::Instant::now();
+            let (failures, stats) = enumerate_failures(&scenario, &budget, strategy);
+            points.push(CheckpointPoint {
+                workload: w.name().to_owned(),
+                mode: mode.to_owned(),
+                depth: *depth,
+                executed: stats.explored,
+                steps_executed: stats.steps_executed,
+                steps_skipped: stats.steps_skipped,
+                speedup: stats.replay_speedup(),
+                wall_ms: t0.elapsed().as_millis() as u64,
+                failures: failures.len(),
+            });
+        }
+    }
+    points
 }
 
 /// One invariant-training sweep point (ABL-4).

@@ -172,10 +172,10 @@ mod tests {
             artifact_satisfied: true,
             inference: InferenceStats {
                 explored: 1,
-                pruned: 0,
                 ticks: infer_ticks,
                 found: true,
                 found_at: Some(0),
+                ..InferenceStats::default()
             },
             replay_ticks,
             value_divergences: 0,

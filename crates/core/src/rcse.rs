@@ -536,7 +536,16 @@ impl DeterminismModel for DebugModel {
             // environments the recording rules out.
             let mut pinned = scenario.clone();
             pinned.space.envs = vec![env.clone()];
-            let result = dd_replay::search(&pinned, budget, Some(&script), |candidate| {
+            // Debug determinism takes the checkpointed path on its
+            // fallback: when the budget selects a systematic strategy, the
+            // tree walk forks from kernel snapshots instead of re-executing
+            // every candidate's shared prefix from the first instruction.
+            // (Non-systematic strategies ignore the interval.)
+            let mut budget = *budget;
+            if budget.checkpoint_interval == 0 {
+                budget.checkpoint_interval = InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL;
+            }
+            let result = dd_replay::search(&pinned, &budget, Some(&script), |candidate| {
                 match ((scenario.failure_of)(&candidate.io), &want) {
                     (Some(f), Some(w)) => f.failure_id == w.failure_id,
                     (None, None) => true,

@@ -27,12 +27,32 @@
 //! same tree walk with every sibling in every backtrack set, which makes
 //! "DPOR executes a subset of exhaustive's interleavings" directly
 //! measurable.
+//!
+//! With a checkpoint interval on the budget the walk becomes a *fork-based
+//! DFS*: runs snapshot the kernel [`WorldState`](dd_sim::WorldSnapshot) at
+//! decision points inside the horizon, and each backtracked branch resumes
+//! from the deepest snapshot compatible with its forced prefix instead of
+//! re-executing the shared prefix from the first instruction. Forking is
+//! invisible to the search: the same interleavings are visited in the same
+//! order with bit-identical traces, and only the genuinely executed steps
+//! are charged to [`InferenceStats`](crate::InferenceStats).
+//!
+//! One deliberate asymmetry: because inherited (skipped) ticks are not
+//! re-spent, a `max_ticks`-bounded budget stretches further under
+//! checkpointing — the walk covers *more* interleavings before the tick
+//! cutoff than scratch does. Walk-for-walk equivalence (same interleavings,
+//! same failure set) is therefore guaranteed under execution-count budgets;
+//! under tick budgets checkpointed search dominates scratch rather than
+//! mirroring it.
 
 use crate::explorer::{InferenceBudget, InferenceStats};
 use crate::scenario::{PolicyChoice, RunSpec, Scenario};
 use dd_detect::VectorClock;
-use dd_sim::{DecisionKind, EnvConfig, Event, InputScript, OpDesc, RunOutput, TaskId};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use dd_sim::{
+    CheckpointPlan, DecisionKind, EnvConfig, Event, InputScript, OpDesc, PrefixPolicy, RunOutput,
+    TaskId, WorldSnapshot,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// One configuration of the tree walk: which run parameters are fixed and
 /// how aggressively to prune.
@@ -49,6 +69,12 @@ pub(crate) struct TreeConfig<'a> {
     pub dpor: bool,
     /// Decisions beyond this depth are never branched.
     pub max_depth: usize,
+    /// `Some(k)`: fork-based DFS — runs snapshot the kernel world every
+    /// `k`-th decision inside the branching horizon, and each backtracked
+    /// branch resumes from the deepest snapshot compatible with its forced
+    /// prefix instead of re-executing from the first instruction. `None`
+    /// re-executes every branch from scratch.
+    pub checkpoint_every: Option<u64>,
 }
 
 /// One decision node on the DFS stack.
@@ -85,6 +111,18 @@ pub(crate) fn explore_tree(
 ) -> Option<(RunOutput, RunSpec)> {
     let mut stack: Vec<Node> = Vec::new();
     let mut prefix: Vec<u32> = Vec::new();
+    // Snapshots along the *current* DFS path, keyed by decision index. An
+    // entry at `d` captures the world before decision `d`, with decisions
+    // `0..d` equal to `prefix[0..d]`; the backtrack step drops entries past
+    // each fork point, so everything in the pool stays prefix-compatible.
+    let mut pool: BTreeMap<u64, WorldSnapshot> = BTreeMap::new();
+    // A usable snapshot must sit strictly inside a future forced prefix,
+    // and prefixes never exceed `max_depth` — so the deepest restorable
+    // snapshot is at decision `max_depth - 1`; snapshotting at `max_depth`
+    // itself would be a full-world clone nothing can ever restore.
+    let plan = cfg
+        .checkpoint_every
+        .map(|k| CheckpointPlan::new(k, (cfg.max_depth as u64).saturating_sub(1)));
     loop {
         if stats.explored >= budget.max_executions || stats.ticks >= budget.max_ticks {
             return None;
@@ -95,9 +133,32 @@ pub(crate) fn explore_tree(
             inputs: cfg.inputs.clone(),
             env: cfg.env.clone(),
         };
-        let out = scenario.execute(&spec, vec![]);
-        stats.explored += 1;
-        stats.ticks += out.stats.exec_ticks;
+        let mut out = match plan {
+            None => scenario.execute(&spec, vec![]),
+            Some(plan) => {
+                // Fork instead of replaying from scratch: restore the
+                // deepest snapshot strictly inside the unchanged prefix
+                // (the fork decision itself is `prefix.len() - 1`, so any
+                // snapshot at `d < prefix.len()` is compatible) and force
+                // only the remaining prefix decisions.
+                match pool.range(..prefix.len() as u64).next_back() {
+                    Some((&d, snap)) => {
+                        let forced: Vec<u32> = prefix[d as usize..].to_vec();
+                        scenario.resume(
+                            &spec,
+                            snap,
+                            Box::new(PrefixPolicy::new(forced, cfg.tail_seed)),
+                            plan,
+                        )
+                    }
+                    None => scenario.execute_checkpointed(&spec, plan, vec![]),
+                }
+            }
+        };
+        for s in std::mem::take(&mut out.snapshots) {
+            pool.entry(s.at_decision()).or_insert(s);
+        }
+        stats.charge_run(&out);
 
         // Extend the stack with the decisions this run took past the forced
         // prefix. The prefix replays deterministically, so decisions the
@@ -156,6 +217,9 @@ pub(crate) fn explore_tree(
                         .expect("backtrack tasks are always candidates")
                         as u32;
                     prefix = stack.iter().map(|n| n.chosen_index).collect();
+                    // Snapshots at or past the fork decision captured the
+                    // abandoned branch; only the shared prefix stays usable.
+                    pool.retain(|&d, _| d < prefix.len() as u64);
                     break;
                 }
                 None => {

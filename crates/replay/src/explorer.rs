@@ -27,6 +27,16 @@ pub struct InferenceBudget {
     /// up in their `replay` implementations, so callers select the search
     /// strategy the same way they bound its cost.
     pub strategy: SearchStrategy,
+    /// Snapshot-interval policy for the systematic strategies: `0` runs
+    /// every interleaving from scratch (the pre-checkpointing behaviour);
+    /// `k > 0` makes the tree walk snapshot the kernel world every `k`-th
+    /// decision inside its branching horizon and, at each backtrack point,
+    /// restore the deepest usable snapshot instead of re-executing the
+    /// shared prefix. Ignored by the non-systematic strategies. Skipped
+    /// (inherited) work is not charged against `max_ticks`, so a
+    /// tick-bounded checkpointed walk covers at least as many interleavings
+    /// as the scratch walk before cutoff (see `dpor` module docs).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for InferenceBudget {
@@ -35,6 +45,7 @@ impl Default for InferenceBudget {
             max_executions: 200,
             max_ticks: u64::MAX,
             strategy: SearchStrategy::Random,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -63,6 +74,17 @@ impl InferenceBudget {
         self.strategy = strategy;
         self
     }
+
+    /// Enables checkpointed (fork-based) systematic exploration with the
+    /// given snapshot interval (`0` disables it again).
+    pub fn with_checkpoints(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// The default snapshot interval for callers that just want
+    /// checkpointing on (snapshot at every decision in the horizon).
+    pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1;
 }
 
 /// Statistics of one inference search.
@@ -79,12 +101,45 @@ pub struct InferenceStats {
     /// Schedule branches identified but skipped as redundant (DPOR) or
     /// out of reach of the depth bound. Zero for non-systematic strategies.
     pub pruned: u64,
-    /// Total execution ticks spent across candidates.
+    /// Total execution ticks spent across candidates (for snapshot-resumed
+    /// candidates, only the post-restore ticks — inherited prefix work is
+    /// not re-spent).
     pub ticks: u64,
+    /// Kernel operations actually executed across candidates. For
+    /// checkpointed search this excludes the prefix work a restored
+    /// snapshot carried; comparing it against
+    /// `steps_executed + steps_skipped` (what from-scratch search would
+    /// have executed) is the apples-to-apples DE comparison.
+    pub steps_executed: u64,
+    /// Kernel operations skipped by restoring snapshots instead of
+    /// re-executing shared schedule prefixes. Zero for scratch search.
+    pub steps_skipped: u64,
     /// Whether an accepting execution was found.
     pub found: bool,
     /// 0-based index of the accepting candidate, if found.
     pub found_at: Option<u64>,
+}
+
+impl InferenceStats {
+    /// Accounts one candidate execution's step/tick cost.
+    pub(crate) fn charge_run(&mut self, out: &RunOutput) {
+        self.explored += 1;
+        self.ticks += out.stats.exec_ticks - out.stats.resumed_ticks;
+        self.steps_executed += out.stats.steps - out.stats.resumed_steps;
+        self.steps_skipped += out.stats.resumed_steps;
+    }
+
+    /// How much execution the snapshots saved: total kernel operations the
+    /// same exploration would have executed from scratch, divided by the
+    /// operations actually executed. `1.0` means no savings (scratch
+    /// search); `2.0` means half the work was skipped.
+    pub fn replay_speedup(&self) -> f64 {
+        if self.steps_executed == 0 {
+            1.0
+        } else {
+            (self.steps_executed + self.steps_skipped) as f64 / self.steps_executed as f64
+        }
+    }
 }
 
 /// The result of a search: the accepted run (if any) plus statistics.
@@ -205,6 +260,8 @@ pub fn search_with(
                         env,
                         dpor,
                         max_depth: max_depth as usize,
+                        checkpoint_every: (budget.checkpoint_interval > 0)
+                            .then_some(budget.checkpoint_interval),
                     };
                     if let Some((out, spec)) =
                         explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
@@ -262,8 +319,7 @@ pub fn search_with(
             env: envs[env_i].clone(),
         };
         let out = scenario.execute(&spec, vec![]);
-        stats.explored += 1;
-        stats.ticks += out.stats.exec_ticks;
+        stats.charge_run(&out);
         if accept(&out) {
             stats.found = true;
             stats.found_at = Some(i);
@@ -305,6 +361,8 @@ pub fn enumerate_failures(
                 env: &scenario.env,
                 dpor: matches!(strategy, SearchStrategy::Dpor { .. }),
                 max_depth: max_depth as usize,
+                checkpoint_every: (budget.checkpoint_interval > 0)
+                    .then_some(budget.checkpoint_interval),
             };
             explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
                 if let Some(f) = (scenario.failure_of)(&out.io) {
@@ -340,8 +398,7 @@ pub fn enumerate_failures(
                     env: scenario.env.clone(),
                 };
                 let out = scenario.execute(&spec, vec![]);
-                stats.explored += 1;
-                stats.ticks += out.stats.exec_ticks;
+                stats.charge_run(&out);
                 if let Some(f) = (scenario.failure_of)(&out.io) {
                     failures.insert(f.failure_id);
                 }

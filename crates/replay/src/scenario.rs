@@ -89,6 +89,47 @@ impl Scenario {
         self.execute_with_override(spec, observers, None)
     }
 
+    /// Runs a spec collecting resumable world snapshots per `plan`
+    /// (see [`dd_sim::CheckpointPlan`]). Snapshot collection does not
+    /// perturb the run: the trace is bit-identical to [`Scenario::execute`].
+    pub fn execute_checkpointed(
+        &self,
+        spec: &RunSpec,
+        plan: dd_sim::CheckpointPlan,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            checkpoints: Some(plan),
+            ..RunConfig::default()
+        };
+        dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)
+    }
+
+    /// Resumes this scenario's program from a snapshot under `policy`,
+    /// continuing to collect deeper snapshots per `plan`. `spec` must carry
+    /// the same seed/inputs/environment as the run the snapshot came from.
+    pub fn resume(
+        &self,
+        spec: &RunSpec,
+        snapshot: &dd_sim::WorldSnapshot,
+        policy: Box<dyn SchedulePolicy>,
+        plan: dd_sim::CheckpointPlan,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            checkpoints: Some(plan),
+            ..RunConfig::default()
+        };
+        dd_sim::resume_program(self.program.as_ref(), cfg, snapshot, Some(policy), vec![])
+    }
+
     /// Runs a spec with an optional nondeterminism override (value replay).
     pub fn execute_with_override(
         &self,

@@ -223,3 +223,97 @@ fn budget_strategy_drives_plain_search() {
         "systematic strategies produce prefix-forced specs"
     );
 }
+
+/// Checkpointed (fork-based) DFS is an *execution strategy*, not a search
+/// strategy: it must visit the same interleavings in the same order, find
+/// the same failures, and prune the same branches as from-scratch DFS —
+/// while executing fewer kernel operations once the branching horizon is
+/// deep enough for prefixes to carry real work.
+#[test]
+fn checkpointed_dfs_matches_scratch_dfs_exactly() {
+    let s = scenario();
+    for strategy in [
+        SearchStrategy::Exhaustive { max_depth: 24 },
+        SearchStrategy::Dpor { max_depth: 24 },
+    ] {
+        let budget = InferenceBudget::executions(120);
+        let (scratch_failures, scratch) = enumerate_failures(&s, &budget, strategy);
+        let (ck_failures, ck) = enumerate_failures(&s, &budget.with_checkpoints(1), strategy);
+        assert_eq!(
+            ck_failures, scratch_failures,
+            "{strategy:?}: failure sets diverged"
+        );
+        assert_eq!(
+            ck.explored, scratch.explored,
+            "{strategy:?}: walk order changed"
+        );
+        assert_eq!(ck.pruned, scratch.pruned, "{strategy:?}: pruning changed");
+        // Scratch and checkpointed walks cover the same interleavings, so
+        // executed + skipped must equal scratch's executed total.
+        assert_eq!(
+            ck.steps_executed + ck.steps_skipped,
+            scratch.steps_executed,
+            "{strategy:?}: step accounting inconsistent"
+        );
+        assert!(
+            ck.steps_skipped > 0,
+            "{strategy:?}: nothing was skipped at depth 24"
+        );
+        assert!(ck.replay_speedup() > 1.0);
+        assert!((scratch.replay_speedup() - 1.0).abs() < 1e-12);
+    }
+}
+
+/// The snapshot-interval policy trades snapshot count for restore depth:
+/// any interval must leave the walk's results untouched.
+#[test]
+fn snapshot_interval_does_not_change_results() {
+    let s = scenario();
+    let strategy = SearchStrategy::Exhaustive { max_depth: 16 };
+    let base = enumerate_failures(&s, &InferenceBudget::executions(80), strategy);
+    for interval in [1u64, 2, 5] {
+        let ck = enumerate_failures(
+            &s,
+            &InferenceBudget::executions(80).with_checkpoints(interval),
+            strategy,
+        );
+        assert_eq!(ck.0, base.0, "interval {interval}: failure set changed");
+        assert_eq!(ck.1.explored, base.1.explored);
+        assert_eq!(
+            ck.1.steps_executed + ck.1.steps_skipped,
+            base.1.steps_executed,
+            "interval {interval}"
+        );
+    }
+}
+
+/// A found run from a checkpointed search must carry a spec that reproduces
+/// it from scratch (the returned prefix is always the full one).
+#[test]
+fn checkpointed_search_returns_scratch_reproducible_specs() {
+    let s = scenario();
+    let budget = InferenceBudget::executions(200).with_checkpoints(1);
+    let found = search_with(
+        &s,
+        &budget,
+        SearchStrategy::Exhaustive { max_depth: 24 },
+        None,
+        |out| {
+            out.io
+                .outputs_on("result")
+                .first()
+                .and_then(|v| v.as_int())
+                .is_some_and(|t| t < 20)
+        },
+    );
+    assert!(
+        found.stats.found,
+        "racy counter must lose updates somewhere"
+    );
+    let run = found.run.expect("accepting run returned");
+    let spec = found.spec.expect("accepting spec returned");
+    // Re-execute the spec from scratch: identical observable behaviour.
+    let again = s.execute(&spec, vec![]);
+    assert_eq!(again.io, run.io);
+    assert_eq!(again.decisions, run.decisions);
+}

@@ -228,6 +228,33 @@ pub struct NoOverride;
 
 impl NondetOverride for NoOverride {}
 
+/// When the driver snapshots the world for checkpointed resume.
+///
+/// Snapshots are taken at decision points (nothing granted or running), at
+/// decision indices `d` with `d > 0`, `d % every == 0` and
+/// `d <= max_decision`. Each snapshot clones the whole
+/// [`WorldState`](crate::kernel::WorldSnapshot), so callers bound the
+/// region of interest: schedule explorers set `max_decision` to their
+/// branching horizon — snapshots past the last branch point can never be
+/// restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    /// Snapshot every `every`-th recorded decision (`1` = every decision).
+    pub every: u64,
+    /// No snapshots past this decision index.
+    pub max_decision: u64,
+}
+
+impl CheckpointPlan {
+    /// Snapshots every `every`-th decision up to `max_decision`.
+    pub fn new(every: u64, max_decision: u64) -> Self {
+        CheckpointPlan {
+            every: every.max(1),
+            max_decision,
+        }
+    }
+}
+
 /// Full configuration of a single run.
 pub struct RunConfig {
     /// Seed for the kernel RNG (task-visible draws + congestion).
@@ -248,6 +275,9 @@ pub struct RunConfig {
     pub nondet_override: Option<Box<dyn NondetOverride>>,
     /// If `true`, the run stops at the first task crash.
     pub stop_on_crash: bool,
+    /// When set, the run records the syscall log and takes resumable
+    /// [`WorldSnapshot`](crate::kernel::WorldSnapshot)s per this plan.
+    pub checkpoints: Option<CheckpointPlan>,
 }
 
 impl Default for RunConfig {
@@ -262,6 +292,7 @@ impl Default for RunConfig {
             costs: OpCosts::default(),
             nondet_override: None,
             stop_on_crash: false,
+            checkpoints: None,
         }
     }
 }
@@ -287,6 +318,7 @@ impl core::fmt::Debug for RunConfig {
             .field("env", &self.env)
             .field("has_override", &self.nondet_override.is_some())
             .field("stop_on_crash", &self.stop_on_crash)
+            .field("checkpoints", &self.checkpoints)
             .finish()
     }
 }

@@ -15,7 +15,10 @@ use crate::config::RunConfig;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
 use crate::ids::TaskId;
-use crate::kernel::{Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir};
+use crate::kernel::{
+    Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir, SysLogEntry,
+    WorldSnapshot,
+};
 use crate::policy::SchedulePolicy;
 use crate::program::{Builder, Program, TaskCtx, TaskFn};
 use crate::value::Value;
@@ -119,6 +122,13 @@ pub struct RunStats {
     pub events: u64,
     /// Nondeterministic decisions resolved (multi-candidate only).
     pub decisions: u64,
+    /// Steps inherited from a restored snapshot rather than executed by
+    /// this run (`0` for from-scratch runs). `steps - resumed_steps` is the
+    /// work this run actually performed.
+    pub resumed_steps: u64,
+    /// Execution-clock ticks inherited from a restored snapshot (`0` for
+    /// from-scratch runs).
+    pub resumed_ticks: u64,
     /// Per-observer instrumentation cost, by observer name.
     pub observer_costs: Vec<(String, u64)>,
 }
@@ -203,6 +213,10 @@ pub struct RunOutput {
     pub decision_enabled: Vec<Vec<(TaskId, Option<crate::conflict::OpDesc>)>>,
     /// The omniscient analysis trace, if collected.
     pub trace: Option<Vec<(EventMeta, Event)>>,
+    /// Resumable world snapshots taken per the run's
+    /// [`CheckpointPlan`](crate::config::CheckpointPlan), in increasing
+    /// decision order (empty when checkpointing is disabled).
+    pub snapshots: Vec<WorldSnapshot>,
     observers: Vec<Box<dyn Observer>>,
 }
 
@@ -258,7 +272,7 @@ pub fn run_program(
     policy: Box<dyn SchedulePolicy>,
     observers: Vec<Box<dyn Observer>>,
 ) -> RunOutput {
-    let kernel = Kernel::new(
+    let mut kernel = Kernel::new(
         cfg.seed,
         cfg.costs.clone(),
         cfg.env.clone(),
@@ -268,6 +282,8 @@ pub fn run_program(
         cfg.collect_trace,
         cfg.stop_on_crash,
     );
+    kernel.checkpoints = cfg.checkpoints;
+    kernel.world.record_syslog = cfg.checkpoints.is_some();
     let shared = Arc::new(Shared {
         state: Mutex::new(kernel),
         driver_cv: Condvar::new(),
@@ -286,12 +302,79 @@ pub fn run_program(
         }
         spawns
     };
+    run_to_completion(shared, initial, &cfg, 0, 0)
+}
+
+/// Resumes a run from a [`WorldSnapshot`].
+///
+/// `program` must be the same program the snapshot came from, and `cfg`
+/// must carry the same seed, inputs, environment and costs — the restored
+/// world already encodes their effects, and the determinism guarantee
+/// (resume + re-run ⇒ the identical trace) only holds against the original
+/// configuration. `policy` replaces the scheduling policy from the snapshot
+/// point on; pass `None` to continue with the snapshot's own policy state,
+/// which replays the remainder of the original run exactly.
+///
+/// Task threads cannot be cloned, so each task body is re-run in
+/// fast-forward: completed operations are fed from the snapshot's syscall
+/// log (no kernel work, no events — the restored world already contains
+/// their effects) until the task reaches the sync point it was parked at.
+/// [`RunStats::resumed_steps`]/[`RunStats::resumed_ticks`] report the
+/// inherited (skipped) work.
+pub fn resume_program(
+    program: &dyn Program,
+    mut cfg: RunConfig,
+    snapshot: &WorldSnapshot,
+    policy: Option<Box<dyn SchedulePolicy>>,
+    observers: Vec<Box<dyn Observer>>,
+) -> RunOutput {
+    let snap = snapshot.clone();
+    let resumed_steps = snap.steps();
+    let resumed_ticks = snap.time();
+    let mut kernel = Kernel::resume(
+        snap.world,
+        cfg.costs.clone(),
+        cfg.env.clone(),
+        policy.unwrap_or(snap.policy),
+        observers,
+        cfg.nondet_override.take(),
+        cfg.stop_on_crash,
+        cfg.checkpoints,
+    );
+    kernel.world.record_syslog = cfg.checkpoints.is_some();
+    let shared = Arc::new(Shared {
+        state: Mutex::new(kernel),
+        driver_cv: Condvar::new(),
+        threads: Mutex::new(Vec::new()),
+    });
+
+    // Rebind setup: re-collect the initial task bodies against the restored
+    // world without re-declaring anything (and without re-loading inputs —
+    // the pending script is part of the world).
+    let initial: Vec<(TaskId, TaskFn)> = {
+        let mut st = shared.state.lock();
+        let mut b = Builder::rebind(&mut st);
+        program.setup(&mut b);
+        std::mem::take(&mut b.spawns)
+    };
+    run_to_completion(shared, initial, &cfg, resumed_steps, resumed_ticks)
+}
+
+/// Spawns the initial task threads, drives the run to completion, and
+/// assembles the [`RunOutput`].
+fn run_to_completion(
+    shared: Arc<Shared>,
+    initial: Vec<(TaskId, TaskFn)>,
+    cfg: &RunConfig,
+    resumed_steps: u64,
+    resumed_ticks: u64,
+) -> RunOutput {
     for (tid, f) in initial {
         let h = spawn_task_thread(Arc::clone(&shared), tid, f);
         shared.threads.lock().push(h);
     }
 
-    drive(&shared, &cfg);
+    drive(&shared, cfg);
 
     // All tasks have exited; join their threads.
     loop {
@@ -310,6 +393,7 @@ pub fn run_program(
 
     let registry = Registry {
         tasks: kernel
+            .world
             .tasks
             .iter()
             .map(|t| TaskMeta {
@@ -317,10 +401,11 @@ pub fn run_program(
                 group: t.group.clone(),
             })
             .collect(),
-        vars: kernel.vars.iter().map(|v| v.name.clone()).collect(),
-        locks: kernel.locks.iter().map(|l| l.name.clone()).collect(),
-        cvars: kernel.cvars.iter().map(|c| c.name.clone()).collect(),
+        vars: kernel.world.vars.iter().map(|v| v.name.clone()).collect(),
+        locks: kernel.world.locks.iter().map(|l| l.name.clone()).collect(),
+        cvars: kernel.world.cvars.iter().map(|c| c.name.clone()).collect(),
         chans: kernel
+            .world
             .chans
             .iter()
             .map(|c| ChanMeta {
@@ -329,6 +414,7 @@ pub fn run_program(
             })
             .collect(),
         ports: kernel
+            .world
             .ports
             .iter()
             .map(|p| PortMeta {
@@ -338,27 +424,30 @@ pub fn run_program(
             .collect(),
     };
     let stats = RunStats {
-        steps: kernel.steps,
-        exec_ticks: kernel.time,
+        steps: kernel.world.steps,
+        exec_ticks: kernel.world.time,
         wall_ticks: kernel.wall_time(),
-        events: kernel.events,
-        decisions: kernel.decisions.len() as u64,
+        events: kernel.world.events,
+        decisions: kernel.world.decisions.len() as u64,
+        resumed_steps,
+        resumed_ticks,
         observer_costs: kernel.observer_costs(),
     };
     let io = IoSummary {
-        outputs: std::mem::take(&mut kernel.outputs),
-        inputs: std::mem::take(&mut kernel.inputs_seen),
-        counters: std::mem::take(&mut kernel.counters),
-        crashes: kernel.crashes.clone(),
+        outputs: std::mem::take(&mut kernel.world.outputs),
+        inputs: std::mem::take(&mut kernel.world.inputs_seen),
+        counters: std::mem::take(&mut kernel.world.counters),
+        crashes: kernel.world.crashes.clone(),
     };
     RunOutput {
-        stop: kernel.stop.clone().unwrap_or(StopReason::Quiescent),
+        stop: kernel.world.stop.clone().unwrap_or(StopReason::Quiescent),
         stats,
         io,
         registry,
-        decisions: std::mem::take(&mut kernel.decisions),
-        decision_enabled: std::mem::take(&mut kernel.decision_enabled),
-        trace: kernel.trace.take(),
+        decisions: std::mem::take(&mut kernel.world.decisions),
+        decision_enabled: std::mem::take(&mut kernel.world.decision_enabled),
+        trace: kernel.world.trace.take(),
+        snapshots: std::mem::take(&mut kernel.snapshots),
         observers: kernel.take_observers(),
     }
 }
@@ -368,20 +457,21 @@ pub fn run_program(
 fn drive(shared: &Shared, cfg: &RunConfig) {
     let mut st = shared.state.lock();
     'outer: loop {
-        if st.stop.is_some() {
+        if st.world.stop.is_some() {
             break;
         }
         st.deliver_due();
-        if st.steps >= cfg.max_steps {
-            st.stop = Some(StopReason::MaxSteps);
+        if st.world.steps >= cfg.max_steps {
+            st.world.stop = Some(StopReason::MaxSteps);
             break;
         }
-        if st.time >= cfg.max_time {
-            st.stop = Some(StopReason::MaxTime);
+        if st.world.time >= cfg.max_time {
+            st.world.stop = Some(StopReason::MaxTime);
             break;
         }
 
         let runnable: Vec<TaskId> = st
+            .world
             .tasks
             .iter()
             .enumerate()
@@ -391,6 +481,7 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
 
         if runnable.is_empty() {
             let busy = st
+                .world
                 .tasks
                 .iter()
                 .any(|t| matches!(t.phase, Phase::Granted | Phase::Running));
@@ -401,30 +492,57 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
                 continue;
             }
             let all_done = st
+                .world
                 .tasks
                 .iter()
                 .all(|t| matches!(t.phase, Phase::Exited { .. }) || t.killed);
             if all_done {
-                st.stop = Some(StopReason::Quiescent);
+                st.world.stop = Some(StopReason::Quiescent);
                 break;
             }
             // Advance virtual time to the next pending wake source.
             if let Some(t) = st.next_pending_time() {
-                if t > st.time {
-                    st.time = t;
+                if t > st.world.time {
+                    st.world.time = t;
                 }
                 st.deliver_due();
                 continue;
             }
             let blocked: Vec<TaskId> = st
+                .world
                 .tasks
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| matches!(t.phase, Phase::Blocked(_)) && !t.killed)
                 .map(|(i, _)| TaskId(i as u32))
                 .collect();
-            st.stop = Some(StopReason::Deadlock { blocked });
+            st.world.stop = Some(StopReason::Deadlock { blocked });
             break;
+        }
+
+        // A recorded (multi-candidate) decision is about to be made and no
+        // task is granted or running: the canonical checkpoint position.
+        if let Some(plan) = st.checkpoints {
+            let d = st.world.decision_seq;
+            if runnable.len() > 1
+                && d > 0
+                && d <= plan.max_decision
+                && d.is_multiple_of(plan.every.max(1))
+                && st.snapshots.last().is_none_or(|s| s.at_decision() < d)
+                // A resumed run's caller already holds the snapshot it was
+                // restored from; re-taking it would be a full-world clone
+                // the explorer immediately discards.
+                && st.resumed_at != Some(d)
+            {
+                let snap = st.take_snapshot();
+                st.snapshots.push(snap);
+            }
+            // Past the last possible snapshot point the syscall log has no
+            // consumer (restores replay a *snapshot's* log, never the final
+            // one) — stop paying to grow it.
+            if st.world.record_syslog && d > plan.max_decision {
+                st.world.record_syslog = false;
+            }
         }
 
         let chosen = match st.decide(DecisionKind::NextTask, &runnable) {
@@ -432,13 +550,13 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
             None => break, // Policy error; stop reason already set.
         };
 
-        st.tasks[chosen.index()].phase = Phase::Granted;
-        st.tasks[chosen.index()].cv.notify_one();
+        st.world.tasks[chosen.index()].phase = Phase::Granted;
+        st.runtime[chosen.index()].cv.notify_one();
         while matches!(
-            st.tasks[chosen.index()].phase,
+            st.world.tasks[chosen.index()].phase,
             Phase::Granted | Phase::Running
         ) {
-            if st.stop.is_some() {
+            if st.world.stop.is_some() {
                 // The task set a stop reason mid-operation; it will park or
                 // exit on its own once we start cancelling.
                 break 'outer;
@@ -452,24 +570,25 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
     // order, because each exit emits a `TaskExit` event: waking them all at
     // once would record the exits in racy OS-scheduling order and make the
     // trace nondeterministic.
-    st.cancelling = true;
+    st.world.cancelling = true;
     // At most one task can be between grant and park; let it park or exit
     // first so the serialized sweep below is the only activity left.
     while st
+        .world
         .tasks
         .iter()
         .any(|t| matches!(t.phase, Phase::Granted | Phase::Running))
     {
         shared.driver_cv.wait(&mut st);
     }
-    for i in 0..st.tasks.len() {
+    for i in 0..st.world.tasks.len() {
         // The poke is what licenses task i to take the cancellation exit;
         // un-poked tasks keep waiting even if woken spuriously, and a task
         // whose thread first acquires the lock after `cancelling` was set
         // (e.g. spawned just before the stop) parks until its turn.
-        st.tasks[i].cancel_poked = true;
-        while !matches!(st.tasks[i].phase, Phase::Exited { .. }) {
-            st.tasks[i].cv.notify_one();
+        st.runtime[i].cancel_poked = true;
+        while !matches!(st.world.tasks[i].phase, Phase::Exited { .. }) {
+            st.runtime[i].cv.notify_one();
             shared.driver_cv.wait(&mut st);
         }
     }
@@ -484,20 +603,28 @@ pub(crate) fn spawn_task_thread(shared: Arc<Shared>, tid: TaskId, f: TaskFn) -> 
 }
 
 fn task_main(shared: Arc<Shared>, tid: TaskId, f: TaskFn) {
-    // Initial park: wait to be granted for the first time.
+    // A task re-spawned after a restore had already been granted its first
+    // slice in the restored world; it goes straight into fast-forward (or,
+    // if it had exited, replays its body to completion). Fresh tasks park
+    // until the driver grants them for the first time.
     {
         let mut st = shared.state.lock();
-        let cv = Arc::clone(&st.tasks[tid.index()].cv);
-        while st.tasks[tid.index()].phase != Phase::Granted
-            && !(st.cancelling && st.tasks[tid.index()].cancel_poked)
-        {
-            cv.wait(&mut st);
+        let started = st.runtime[tid.index()].ff_remaining > 0
+            || st.runtime[tid.index()].resume_parked
+            || matches!(st.world.tasks[tid.index()].phase, Phase::Exited { .. });
+        if !started {
+            let cv = Arc::clone(&st.runtime[tid.index()].cv);
+            while st.world.tasks[tid.index()].phase != Phase::Granted
+                && !(st.world.cancelling && st.runtime[tid.index()].cancel_poked)
+            {
+                cv.wait(&mut st);
+            }
+            if st.world.cancelling || st.world.tasks[tid.index()].killed {
+                finish_task(&shared, &mut st, tid, Ok(Err(SimError::Cancelled)));
+                return;
+            }
+            st.world.tasks[tid.index()].phase = Phase::Running;
         }
-        if st.cancelling || st.tasks[tid.index()].killed {
-            finish_task(&shared, &mut st, tid, Ok(Err(SimError::Cancelled)));
-            return;
-        }
-        st.tasks[tid.index()].phase = Phase::Running;
     }
     let mut ctx = TaskCtx {
         shared: Arc::clone(&shared),
@@ -515,6 +642,13 @@ fn finish_task(
     tid: TaskId,
     result: std::thread::Result<SimResult<()>>,
 ) {
+    if matches!(st.world.tasks[tid.index()].phase, Phase::Exited { .. }) {
+        // Fast-forward replay of a task that had already exited before the
+        // snapshot: its exit event, crash records and joiner wakes are all
+        // part of the restored world. Nothing to do.
+        shared.driver_cv.notify_one();
+        return;
+    }
     let ok = match result {
         Ok(Ok(())) => true,
         // Cancellation is a clean unwind, not a program failure.
@@ -529,11 +663,11 @@ fn finish_task(
             false
         }
     };
-    let joiners = std::mem::take(&mut st.tasks[tid.index()].joiners);
+    let joiners = std::mem::take(&mut st.world.tasks[tid.index()].joiners);
     for j in joiners {
         st.wake(j);
     }
-    st.tasks[tid.index()].phase = Phase::Exited { ok };
+    st.world.tasks[tid.index()].phase = Phase::Exited { ok };
     st.emit(Event::TaskExit { task: tid, ok });
     shared.driver_cv.notify_one();
 }
@@ -551,39 +685,117 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The system-call protocol used by every [`TaskCtx`] operation.
 pub(crate) fn syscall(shared: &Shared, me: TaskId, mut op: crate::kernel::Op) -> SimResult<Value> {
     let mut st = shared.state.lock();
-    if st.cancelling || st.tasks[me.index()].killed {
-        return Err(SimError::Cancelled);
+    // Fast-forward: the restored world already contains this operation's
+    // effects, events and cost — just feed the recorded result back.
+    if st.runtime[me.index()].ff_remaining > 0 {
+        return match st.consume_ff(me) {
+            SysLogEntry::Ret(res) => res,
+            other => Err(SimError::Internal(format!(
+                "fast-forward divergence for {me}: expected an op result, log has {other:?}"
+            ))),
+        };
     }
-    // Announce: park at the sync point and wait for a grant. The pending
-    // footprint is what the driver snapshots at decision points.
-    st.tasks[me.index()].pending = Some(op.desc());
-    st.tasks[me.index()].phase = Phase::Ready;
-    shared.driver_cv.notify_one();
+    let resuming = std::mem::take(&mut st.runtime[me.index()].resume_parked);
+    if resuming {
+        // First live attempt after a restore: the restored world already has
+        // this task parked at this sync point (phase, pending footprint,
+        // waiter queues), so re-announcing would corrupt it — in particular
+        // it would flip a Blocked task back to Ready and change the enabled
+        // set. Re-apply any op-local state the in-flight op had accumulated
+        // and fall through to waiting for a grant.
+        if matches!(st.world.tasks[me.index()].phase, Phase::Exited { .. }) {
+            return Err(SimError::Internal(format!(
+                "fast-forward divergence for {me}: syscall after replayed exit"
+            )));
+        }
+        use crate::kernel::{CvStage, InflightPatch, Op};
+        match (&mut op, st.world.tasks[me.index()].inflight) {
+            (Op::CvWait { stage, .. }, Some(InflightPatch::CvRelock)) => {
+                *stage = CvStage::Relock;
+            }
+            (Op::Recv { deadline, .. }, Some(InflightPatch::RecvDeadline(d))) => {
+                *deadline = Some(d);
+            }
+            (Op::Sleep { until, .. }, Some(InflightPatch::SleepUntil(u))) => {
+                *until = Some(u);
+            }
+            _ => {}
+        }
+    } else {
+        if st.world.cancelling || st.world.tasks[me.index()].killed {
+            return Err(SimError::Cancelled);
+        }
+        // Announce: park at the sync point and wait for a grant. The pending
+        // footprint is what the driver snapshots at decision points.
+        st.world.tasks[me.index()].pending = Some(op.desc());
+        st.world.tasks[me.index()].inflight = None;
+        st.world.tasks[me.index()].phase = Phase::Ready;
+        shared.driver_cv.notify_one();
+    }
     loop {
-        let cv = Arc::clone(&st.tasks[me.index()].cv);
-        while st.tasks[me.index()].phase != Phase::Granted
-            && !(st.cancelling && st.tasks[me.index()].cancel_poked)
+        let cv = Arc::clone(&st.runtime[me.index()].cv);
+        while st.world.tasks[me.index()].phase != Phase::Granted
+            && !(st.world.cancelling && st.runtime[me.index()].cancel_poked)
         {
             cv.wait(&mut st);
         }
-        if st.cancelling || st.tasks[me.index()].killed {
+        if st.world.cancelling || st.world.tasks[me.index()].killed {
             return Err(SimError::Cancelled);
         }
         match st.exec_op(me, &mut op) {
             Attempt::Done(res) => {
-                st.tasks[me.index()].pending = None;
-                st.tasks[me.index()].phase = Phase::Running;
+                // The clone is only worth paying when the log keeps it.
+                if st.world.record_syslog {
+                    st.log_syscall(me, SysLogEntry::Ret(res.clone()));
+                }
+                st.world.tasks[me.index()].pending = None;
+                st.world.tasks[me.index()].inflight = None;
+                st.world.tasks[me.index()].phase = Phase::Running;
                 shared.driver_cv.notify_one();
                 return res;
             }
             Attempt::Block(b) => {
-                st.tasks[me.index()].phase = Phase::Blocked(b);
+                st.world.tasks[me.index()].phase = Phase::Blocked(b);
                 shared.driver_cv.notify_one();
                 // Loop: wait to be woken (phase set back to Ready by the
                 // waker) and granted again, then retry the op.
             }
         }
     }
+}
+
+/// The [`TaskCtx::now`] peek, fast-forward aware: replayed tasks observe
+/// the clock value the original execution observed, not the restored
+/// world's (later) clock.
+pub(crate) fn observe_now(shared: &Shared, me: TaskId) -> u64 {
+    let mut st = shared.state.lock();
+    if st.runtime[me.index()].ff_remaining > 0 {
+        // Peek before consuming: swallowing a mismatched entry would shift
+        // every later fast-forward read by one and corrupt the replay far
+        // from the real divergence point.
+        if matches!(st.peek_ff(me), Some(SysLogEntry::Now(_))) {
+            match st.consume_ff(me) {
+                SysLogEntry::Now(t) => return t,
+                _ => unreachable!("peeked entry changed under the kernel lock"),
+            }
+        }
+        // Divergence (the log holds an op result where the body asked for
+        // the clock). now() cannot propagate an error, so stop the run
+        // loudly and return the restored clock.
+        if st.world.stop.is_none() {
+            st.world.stop = Some(StopReason::ReplayDivergence {
+                step: st.world.decision_seq,
+                detail: format!(
+                    "fast-forward divergence for {me}: body observed the clock \
+                     where the log has an op result"
+                ),
+            });
+        }
+        return st.world.time;
+    }
+    let t = st.world.time;
+    st.log_syscall(me, SysLogEntry::Now(t));
+    t
 }
 
 /// Runtime task spawning (called from [`TaskCtx::spawn`]).
@@ -597,27 +809,49 @@ pub(crate) fn spawn_from_ctx(
     let me = ctx.tid;
     let tid = {
         let mut st = shared.state.lock();
-        if st.cancelling || st.tasks[me.index()].killed {
-            return Err(SimError::Cancelled);
+        // Fast-forward: the child already exists in the restored world; all
+        // that is missing is its OS thread, re-created with the body the
+        // re-run parent just handed us.
+        if st.runtime[me.index()].ff_remaining > 0 {
+            let tid = match st.consume_ff(me) {
+                SysLogEntry::Spawn(tid) => tid,
+                other => {
+                    return Err(SimError::Internal(format!(
+                        "fast-forward divergence for {me}: expected a spawn, log has {other:?}"
+                    )))
+                }
+            };
+            drop(st);
+            let h = spawn_task_thread(Arc::clone(&shared), tid, f);
+            shared.threads.lock().push(h);
+            return Ok(tid);
         }
-        // Spawning changes the enabled set itself; its footprint is global.
-        st.tasks[me.index()].pending = Some(crate::conflict::OpDesc::Global);
-        st.tasks[me.index()].phase = Phase::Ready;
-        shared.driver_cv.notify_one();
-        let cv = Arc::clone(&st.tasks[me.index()].cv);
-        while st.tasks[me.index()].phase != Phase::Granted
-            && !(st.cancelling && st.tasks[me.index()].cancel_poked)
+        let resuming = std::mem::take(&mut st.runtime[me.index()].resume_parked);
+        if !resuming {
+            if st.world.cancelling || st.world.tasks[me.index()].killed {
+                return Err(SimError::Cancelled);
+            }
+            // Spawning changes the enabled set itself; its footprint is
+            // global.
+            st.world.tasks[me.index()].pending = Some(crate::conflict::OpDesc::Global);
+            st.world.tasks[me.index()].phase = Phase::Ready;
+            shared.driver_cv.notify_one();
+        }
+        let cv = Arc::clone(&st.runtime[me.index()].cv);
+        while st.world.tasks[me.index()].phase != Phase::Granted
+            && !(st.world.cancelling && st.runtime[me.index()].cancel_poked)
         {
             cv.wait(&mut st);
         }
-        if st.cancelling || st.tasks[me.index()].killed {
+        if st.world.cancelling || st.world.tasks[me.index()].killed {
             return Err(SimError::Cancelled);
         }
         let tid = st.add_task(name, group, Some(me));
         let spawn_cost = st.costs.spawn;
         st.charge(spawn_cost);
-        st.tasks[me.index()].pending = None;
-        st.tasks[me.index()].phase = Phase::Running;
+        st.log_syscall(me, SysLogEntry::Spawn(tid));
+        st.world.tasks[me.index()].pending = None;
+        st.world.tasks[me.index()].phase = Phase::Running;
         shared.driver_cv.notify_one();
         tid
     };

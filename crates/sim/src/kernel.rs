@@ -6,8 +6,33 @@
 //! it at a time — either the driver (making scheduling decisions) or the
 //! single granted task (executing its operation) — so all methods take
 //! `&mut self` and there is no interior locking here.
+//!
+//! # The `WorldState` / shell split
+//!
+//! The kernel is two layers:
+//!
+//! - [`WorldState`] — every piece of *machine* state a run evolves: tasks,
+//!   variables, locks, condition variables, channels, ports, clocks, RNG,
+//!   pending timers/inputs/crashes, the trace, the decision stream, and the
+//!   per-task syscall-result log. It is plain data and `Clone`: cloning it
+//!   at a decision point yields a [`WorldSnapshot`] from which the run can
+//!   be resumed deterministically (restore + re-run ⇒ the identical trace).
+//! - The shell — everything tied to *this* execution of the run rather
+//!   than the machine it simulates: observers, the scheduling policy, the
+//!   nondeterminism-override hook, per-task OS-thread plumbing
+//!   ([`TaskRuntime`]: grant condvars, cancellation pokes, fast-forward
+//!   cursors), and collected snapshots. None of it is cloneable and none of
+//!   it is needed to reconstruct the machine.
+//!
+//! Restoring a snapshot cannot revive the original task threads (their
+//! stacks are gone), so `resume` re-runs each task body in *fast-forward*
+//! mode: completed operations are fed back from the world's syscall log
+//! without touching kernel state, decisions, or events — those are already
+//! part of the restored world — until the task reaches the sync point it
+//! was parked at when the snapshot was taken. Only from there on do its
+//! operations execute (and cost) anything.
 
-use crate::config::{ChanClass, EnvConfig, NondetOverride, OpCosts, TimedInput};
+use crate::config::{ChanClass, CheckpointPlan, EnvConfig, NondetOverride, OpCosts, TimedInput};
 use crate::conflict::OpDesc;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
@@ -61,6 +86,9 @@ pub enum PortDir {
     Out,
 }
 
+/// Snapshot-able per-task machine state. The OS-thread plumbing for the
+/// same task lives in [`TaskRuntime`].
+#[derive(Debug, Clone)]
 pub(crate) struct TaskRec {
     pub name: String,
     pub group: String,
@@ -69,6 +97,20 @@ pub(crate) struct TaskRec {
     pub joiners: Vec<TaskId>,
     pub mem_used: u64,
     pub mem_budget: Option<u64>,
+    /// Conflict footprint of the operation this task is parked on (set when
+    /// the task announces at a sync point, cleared when the op completes).
+    /// `None` means the task's next operation is not yet known — explorers
+    /// must treat it as conflicting with everything.
+    pub pending: Option<OpDesc>,
+    /// Op-local state the in-flight (announced but not completed) operation
+    /// has accumulated across blocked attempts. A resumed task body holds a
+    /// *fresh* copy of the op, so the first live attempt after a restore
+    /// re-applies this patch before executing.
+    pub inflight: Option<InflightPatch>,
+}
+
+/// Per-task execution plumbing — the non-snapshotable half of a task.
+pub(crate) struct TaskRuntime {
     /// Per-task condvar used by the grant protocol. `Arc` so waiting does not
     /// borrow the kernel.
     pub cv: Arc<parking_lot::Condvar>,
@@ -77,29 +119,73 @@ pub(crate) struct TaskRec {
     /// on `cancelling` alone would let late-arriving or spuriously-woken
     /// threads emit `TaskExit` in racy OS order instead of task-id order.
     pub cancel_poked: bool,
-    /// Conflict footprint of the operation this task is parked on (set when
-    /// the task announces at a sync point, cleared when the op completes).
-    /// `None` means the task's next operation is not yet known — explorers
-    /// must treat it as conflicting with everything.
-    pub pending: Option<OpDesc>,
+    /// Syscall-log entries this task must consume (fast-forward) before its
+    /// operations execute live again. `0` means live.
+    pub ff_remaining: usize,
+    /// `true` until the first live syscall after a restore re-attaches this
+    /// task to the sync point it was parked at when the snapshot was taken
+    /// (that syscall must neither re-announce nor take the cancellation
+    /// exit early — the restored world already encodes the parked state).
+    pub resume_parked: bool,
 }
 
+impl TaskRuntime {
+    fn fresh() -> Self {
+        TaskRuntime {
+            cv: Arc::new(parking_lot::Condvar::new()),
+            cancel_poked: false,
+            ff_remaining: 0,
+            resume_parked: false,
+        }
+    }
+}
+
+/// Mutations an in-flight operation made to its own op-local state (not the
+/// world) across blocked attempts; re-applied on resume. See
+/// [`TaskRec::inflight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InflightPatch {
+    /// A `CvWait` executed its `Enter` stage (lock released, waiter queued).
+    CvRelock,
+    /// A `Recv` resolved its relative timeout to this absolute deadline.
+    RecvDeadline(u64),
+    /// A `Sleep` resolved its tick count to this absolute wake time.
+    SleepUntil(u64),
+}
+
+/// One completed interaction between a task body and the kernel, recorded
+/// (when checkpointing is enabled) so a restored run can fast-forward the
+/// re-spawned task thread to its snapshot position by feeding these back.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SysLogEntry {
+    /// A completed operation's result.
+    Ret(SimResult<Value>),
+    /// A completed runtime spawn (the child's id).
+    Spawn(TaskId),
+    /// A `TaskCtx::now()` observation.
+    Now(u64),
+}
+
+#[derive(Debug, Clone)]
 pub(crate) struct VarRec {
     pub name: String,
     pub value: Value,
 }
 
+#[derive(Debug, Clone)]
 pub(crate) struct LockRec {
     pub name: String,
     pub holder: Option<TaskId>,
 }
 
+#[derive(Debug, Clone)]
 pub(crate) struct CvarRec {
     pub name: String,
     /// FIFO of waiting tasks (each also remembers its lock in its op state).
     pub waiters: Vec<TaskId>,
 }
 
+#[derive(Debug, Clone)]
 pub(crate) struct ChanRec {
     pub name: String,
     pub class: ChanClass,
@@ -107,6 +193,7 @@ pub(crate) struct ChanRec {
     pub closed: bool,
 }
 
+#[derive(Debug, Clone)]
 pub(crate) struct PortRec {
     pub name: String,
     pub dir: PortDir,
@@ -164,14 +251,19 @@ struct ObserverSlot {
 
 /// A pending scripted input (time-sorted, consumed front to back).
 #[derive(Debug, Clone)]
-struct PendingInput {
+pub(crate) struct PendingInput {
     time: u64,
     port: PortId,
     value: Value,
 }
 
-/// The machine state. See module docs for the threading discipline.
-pub(crate) struct Kernel {
+/// The complete snapshotable machine state of a run (see module docs).
+///
+/// Everything here is plain data: cloning a `WorldState` at a decision
+/// point (no task granted or running) captures the run exactly, and a run
+/// resumed from the clone evolves identically to the original.
+#[derive(Clone)]
+pub(crate) struct WorldState {
     pub tasks: Vec<TaskRec>,
     pub vars: Vec<VarRec>,
     pub locks: Vec<LockRec>,
@@ -190,17 +282,14 @@ pub(crate) struct Kernel {
     pub events: u64,
 
     pub rng: DetRng,
-    pub costs: OpCosts,
-    pub env: EnvConfig,
 
     /// Wake-up times for sleeping tasks and receive deadlines.
-    timers: BinaryHeap<Reverse<(u64, u32)>>,
+    pub timers: BinaryHeap<Reverse<(u64, u32)>>,
     /// Time-sorted scripted inputs not yet delivered.
-    pending_inputs: VecDeque<PendingInput>,
+    pub pending_inputs: VecDeque<PendingInput>,
     /// Time-sorted scheduled crashes not yet fired.
-    pending_crashes: VecDeque<(u64, String)>,
+    pub pending_crashes: VecDeque<(u64, String)>,
 
-    observers: Vec<ObserverSlot>,
     pub trace: Option<Vec<(EventMeta, Event)>>,
 
     pub outputs: Vec<OutputRecord>,
@@ -215,17 +304,96 @@ pub(crate) struct Kernel {
     /// search consumes.
     pub decision_enabled: Vec<Vec<(TaskId, Option<OpDesc>)>>,
 
-    pub policy: Box<dyn SchedulePolicy>,
-    pub nondet_override: Option<Box<dyn NondetOverride>>,
-
     /// Set when the run must wind down; tasks observe it and unwind.
     pub cancelling: bool,
     /// The final stop reason, once determined.
     pub stop: Option<StopReason>,
-    pub stop_on_crash: bool,
-    decision_seq: u64,
+    pub decision_seq: u64,
     /// Network sends seen so far (indexes the drop script).
-    net_sends: u64,
+    pub net_sends: u64,
+
+    /// Per-task log of completed syscalls since the start of the run, the
+    /// raw material of fast-forward resume. Only grows when
+    /// [`record_syslog`](Self::record_syslog) is set.
+    pub sys_log: Vec<Vec<SysLogEntry>>,
+    /// Whether completed syscalls are being logged (checkpointing enabled).
+    pub record_syslog: bool,
+}
+
+/// A resumable checkpoint: a clone of the machine state at a decision
+/// point, plus the scheduling policy's state at the same instant.
+///
+/// Produced by runs configured with [`CheckpointPlan`](crate::config::CheckpointPlan)
+/// (see [`RunOutput::snapshots`](crate::driver::RunOutput)); consumed by
+/// [`resume_program`](crate::driver::resume_program). Resuming with the
+/// snapshot's own policy replays the remainder of the original run
+/// identically; resuming with an override policy forks the schedule at this
+/// point.
+pub struct WorldSnapshot {
+    pub(crate) world: WorldState,
+    pub(crate) policy: Box<dyn SchedulePolicy>,
+}
+
+impl WorldSnapshot {
+    /// The decision index this snapshot was taken at (state *before* the
+    /// decision with this sequence number was made).
+    pub fn at_decision(&self) -> u64 {
+        self.world.decision_seq
+    }
+
+    /// Successful operations executed up to the snapshot point.
+    pub fn steps(&self) -> u64 {
+        self.world.steps
+    }
+
+    /// Execution-clock value at the snapshot point.
+    pub fn time(&self) -> u64 {
+        self.world.time
+    }
+}
+
+impl Clone for WorldSnapshot {
+    fn clone(&self) -> Self {
+        WorldSnapshot {
+            world: self.world.clone(),
+            policy: self.policy.clone_box(),
+        }
+    }
+}
+
+impl core::fmt::Debug for WorldSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("at_decision", &self.at_decision())
+            .field("steps", &self.steps())
+            .field("time", &self.time())
+            .finish()
+    }
+}
+
+/// The machine state plus the execution shell. See module docs for the
+/// threading discipline and the `WorldState`/shell split.
+pub(crate) struct Kernel {
+    /// The snapshotable machine state.
+    pub world: WorldState,
+
+    // ---- the shell: this execution's I/O and observation plumbing ------
+    pub costs: OpCosts,
+    pub env: EnvConfig,
+    observers: Vec<ObserverSlot>,
+    pub policy: Box<dyn SchedulePolicy>,
+    pub nondet_override: Option<Box<dyn NondetOverride>>,
+    pub stop_on_crash: bool,
+    /// Per-task OS-thread plumbing, aligned with `world.tasks`.
+    pub runtime: Vec<TaskRuntime>,
+    /// When to clone the world (set from `RunConfig::checkpoints`).
+    pub checkpoints: Option<CheckpointPlan>,
+    /// Snapshots taken so far, in increasing decision order.
+    pub snapshots: Vec<WorldSnapshot>,
+    /// Decision index this kernel was resumed at, if it was restored from a
+    /// snapshot. The driver skips re-snapshotting at this index — the
+    /// caller, by definition, already holds that snapshot.
+    pub resumed_at: Option<u64>,
 }
 
 /// Outcome of attempting an operation.
@@ -404,7 +572,7 @@ impl Kernel {
             .map(|c| (c.time, c.group.clone()))
             .collect();
         pending_crashes.sort_by_key(|c| c.0);
-        Kernel {
+        let world = WorldState {
             tasks: Vec::new(),
             vars: Vec::new(),
             locks: Vec::new(),
@@ -416,15 +584,9 @@ impl Kernel {
             steps: 0,
             events: 0,
             rng: DetRng::seed_from(seed),
-            costs,
-            env,
             timers: BinaryHeap::new(),
             pending_inputs: VecDeque::new(),
             pending_crashes: pending_crashes.into(),
-            observers: observers
-                .into_iter()
-                .map(|obs| ObserverSlot { obs, cost: 0 })
-                .collect(),
             trace: collect_trace.then(Vec::new),
             outputs: Vec::new(),
             inputs_seen: Vec::new(),
@@ -432,22 +594,134 @@ impl Kernel {
             crashes: Vec::new(),
             decisions: Vec::new(),
             decision_enabled: Vec::new(),
-            policy,
-            nondet_override,
             cancelling: false,
             stop: None,
-            stop_on_crash,
             decision_seq: 0,
             net_sends: 0,
+            sys_log: Vec::new(),
+            record_syslog: false,
+        };
+        Kernel {
+            world,
+            costs,
+            env,
+            observers: observers
+                .into_iter()
+                .map(|obs| ObserverSlot { obs, cost: 0 })
+                .collect(),
+            policy,
+            nondet_override,
+            stop_on_crash,
+            runtime: Vec::new(),
+            checkpoints: None,
+            snapshots: Vec::new(),
+            resumed_at: None,
+        }
+    }
+
+    /// Rebuilds a kernel around a restored [`WorldState`].
+    ///
+    /// The shell (observers, policy, override, checkpoint plan) is fresh;
+    /// per-task runtimes are initialised for *fast-forward*: every task that
+    /// had started running by the snapshot point replays its syscall log,
+    /// and — unless it had already exited — re-attaches to the sync point it
+    /// was parked at.
+    #[allow(clippy::too_many_arguments)] // Internal constructor fed by RunConfig.
+    pub fn resume(
+        world: WorldState,
+        costs: OpCosts,
+        env: EnvConfig,
+        policy: Box<dyn SchedulePolicy>,
+        observers: Vec<Box<dyn Observer>>,
+        nondet_override: Option<Box<dyn NondetOverride>>,
+        stop_on_crash: bool,
+        checkpoints: Option<CheckpointPlan>,
+    ) -> Self {
+        let resumed_at = world.decision_seq;
+        let runtime: Vec<TaskRuntime> = world
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut rt = TaskRuntime::fresh();
+                rt.ff_remaining = world.sys_log.get(i).map_or(0, Vec::len);
+                // A parked task (announced an op that has not completed) must
+                // re-attach to that sync point after its fast-forward;
+                // exited tasks replay to completion, and tasks that never
+                // started take the normal initial-park path.
+                rt.resume_parked = t.pending.is_some() && !matches!(t.phase, Phase::Exited { .. });
+                rt
+            })
+            .collect();
+        Kernel {
+            world,
+            costs,
+            env,
+            observers: observers
+                .into_iter()
+                .map(|obs| ObserverSlot { obs, cost: 0 })
+                .collect(),
+            policy,
+            nondet_override,
+            stop_on_crash,
+            runtime,
+            checkpoints,
+            snapshots: Vec::new(),
+            resumed_at: Some(resumed_at),
+        }
+    }
+
+    /// Clones the world (and policy) into a [`WorldSnapshot`].
+    ///
+    /// Must only be called at a decision point: no task granted or running.
+    pub fn take_snapshot(&mut self) -> WorldSnapshot {
+        debug_assert!(
+            self.world
+                .tasks
+                .iter()
+                .all(|t| !matches!(t.phase, Phase::Granted | Phase::Running)),
+            "snapshots are only valid at decision points"
+        );
+        WorldSnapshot {
+            world: self.world.clone(),
+            policy: self.policy.clone_box(),
+        }
+    }
+
+    /// Peeks at the next fast-forward log entry for `task` without
+    /// consuming it (`None` when the task is live).
+    pub(crate) fn peek_ff(&self, task: TaskId) -> Option<&SysLogEntry> {
+        let rt = &self.runtime[task.index()];
+        if rt.ff_remaining == 0 {
+            return None;
+        }
+        let log = &self.world.sys_log[task.index()];
+        Some(&log[log.len() - rt.ff_remaining])
+    }
+
+    /// Consumes the next fast-forward log entry for `task`.
+    pub(crate) fn consume_ff(&mut self, task: TaskId) -> SysLogEntry {
+        let rt = &mut self.runtime[task.index()];
+        let log = &self.world.sys_log[task.index()];
+        debug_assert!(rt.ff_remaining > 0 && rt.ff_remaining <= log.len());
+        let entry = log[log.len() - rt.ff_remaining].clone();
+        rt.ff_remaining -= 1;
+        entry
+    }
+
+    /// Appends a completed-syscall log entry for `task` (when enabled).
+    pub(crate) fn log_syscall(&mut self, task: TaskId, entry: SysLogEntry) {
+        if self.world.record_syslog {
+            self.world.sys_log[task.index()].push(entry);
         }
     }
 
     // ---- registration (setup time and runtime) -------------------------
 
     pub fn add_task(&mut self, name: &str, group: &str, parent: Option<TaskId>) -> TaskId {
-        let id = TaskId(self.tasks.len() as u32);
+        let id = TaskId(self.world.tasks.len() as u32);
         let mem_budget = self.env.mem_budget.get(group).copied();
-        self.tasks.push(TaskRec {
+        self.world.tasks.push(TaskRec {
             name: name.to_owned(),
             group: group.to_owned(),
             phase: Phase::Ready,
@@ -455,10 +729,11 @@ impl Kernel {
             joiners: Vec::new(),
             mem_used: 0,
             mem_budget,
-            cv: Arc::new(parking_lot::Condvar::new()),
-            cancel_poked: false,
             pending: None,
+            inflight: None,
         });
+        self.runtime.push(TaskRuntime::fresh());
+        self.world.sys_log.push(Vec::new());
         self.emit(Event::TaskSpawn {
             parent,
             child: id,
@@ -469,8 +744,8 @@ impl Kernel {
     }
 
     pub fn add_var(&mut self, name: &str, init: Value) -> VarId {
-        let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarRec {
+        let id = VarId(self.world.vars.len() as u32);
+        self.world.vars.push(VarRec {
             name: name.to_owned(),
             value: init,
         });
@@ -478,8 +753,8 @@ impl Kernel {
     }
 
     pub fn add_lock(&mut self, name: &str) -> LockId {
-        let id = LockId(self.locks.len() as u32);
-        self.locks.push(LockRec {
+        let id = LockId(self.world.locks.len() as u32);
+        self.world.locks.push(LockRec {
             name: name.to_owned(),
             holder: None,
         });
@@ -487,8 +762,8 @@ impl Kernel {
     }
 
     pub fn add_cvar(&mut self, name: &str) -> CondvarId {
-        let id = CondvarId(self.cvars.len() as u32);
-        self.cvars.push(CvarRec {
+        let id = CondvarId(self.world.cvars.len() as u32);
+        self.world.cvars.push(CvarRec {
             name: name.to_owned(),
             waiters: Vec::new(),
         });
@@ -496,8 +771,8 @@ impl Kernel {
     }
 
     pub fn add_chan(&mut self, name: &str, class: ChanClass) -> ChanId {
-        let id = ChanId(self.chans.len() as u32);
-        self.chans.push(ChanRec {
+        let id = ChanId(self.world.chans.len() as u32);
+        self.world.chans.push(ChanRec {
             name: name.to_owned(),
             class,
             queue: VecDeque::new(),
@@ -507,8 +782,8 @@ impl Kernel {
     }
 
     pub fn add_port(&mut self, name: &str, dir: PortDir) -> PortId {
-        let id = PortId(self.ports.len() as u32);
-        self.ports.push(PortRec {
+        let id = PortId(self.world.ports.len() as u32);
+        self.world.ports.push(PortRec {
             name: name.to_owned(),
             dir,
             queue: VecDeque::new(),
@@ -526,12 +801,13 @@ impl Kernel {
         let mut all: Vec<PendingInput> = Vec::new();
         for (port_name, inputs) in script {
             let port = self
+                .world
                 .ports
                 .iter()
                 .position(|p| p.name == port_name && p.dir == PortDir::In)
                 .map(|i| PortId(i as u32))
                 .ok_or_else(|| format!("input script references unknown port {port_name:?}"))?;
-            self.ports[port.index()].remaining_inputs += inputs.len();
+            self.world.ports[port.index()].remaining_inputs += inputs.len();
             all.extend(inputs.into_iter().map(|t| PendingInput {
                 time: t.time,
                 port,
@@ -539,7 +815,7 @@ impl Kernel {
             }));
         }
         all.sort_by_key(|p| p.time);
-        self.pending_inputs = all.into();
+        self.world.pending_inputs = all.into();
         Ok(())
     }
 
@@ -548,17 +824,17 @@ impl Kernel {
     /// Publishes an event to the trace and all observers, charging their
     /// instrumentation costs to the wall clock.
     pub fn emit(&mut self, event: Event) {
-        self.events += 1;
+        self.world.events += 1;
         let meta = EventMeta {
-            step: self.steps,
-            time: self.time,
+            step: self.world.steps,
+            time: self.world.time,
         };
         for slot in &mut self.observers {
             let c = slot.obs.on_event(&meta, &event);
             slot.cost += c;
-            self.wall_extra += c;
+            self.world.wall_extra += c;
         }
-        if let Some(trace) = &mut self.trace {
+        if let Some(trace) = &mut self.world.trace {
             trace.push((meta, event));
         }
     }
@@ -576,21 +852,21 @@ impl Kernel {
             return Some(candidates[0]);
         }
         let point = crate::policy::DecisionPoint {
-            seq: self.decision_seq,
+            seq: self.world.decision_seq,
             kind,
             candidates,
         };
         match self.policy.decide(&point) {
             Ok(idx) if idx < candidates.len() => {
-                self.decision_seq += 1;
+                self.world.decision_seq += 1;
                 let chosen = candidates[idx];
-                self.decision_enabled.push(
+                self.world.decision_enabled.push(
                     candidates
                         .iter()
-                        .map(|&t| (t, self.tasks[t.index()].pending))
+                        .map(|&t| (t, self.world.tasks[t.index()].pending))
                         .collect(),
                 );
-                self.decisions.push(DecisionRecord {
+                self.world.decisions.push(DecisionRecord {
                     kind,
                     n: candidates.len() as u32,
                     chosen_index: idx as u32,
@@ -604,14 +880,14 @@ impl Kernel {
                 Some(chosen)
             }
             Ok(bad) => {
-                self.stop = Some(StopReason::ReplayDivergence {
-                    step: self.decision_seq,
+                self.world.stop = Some(StopReason::ReplayDivergence {
+                    step: self.world.decision_seq,
                     detail: format!("policy returned out-of-range index {bad}"),
                 });
                 None
             }
             Err(reason) => {
-                self.stop = Some(reason);
+                self.world.stop = Some(reason);
                 None
             }
         }
@@ -620,7 +896,7 @@ impl Kernel {
     // ---- wake helpers ---------------------------------------------------
 
     pub(crate) fn wake(&mut self, task: TaskId) {
-        let rec = &mut self.tasks[task.index()];
+        let rec = &mut self.world.tasks[task.index()];
         if !rec.killed && matches!(rec.phase, Phase::Blocked(_)) {
             rec.phase = Phase::Ready;
         }
@@ -628,6 +904,7 @@ impl Kernel {
 
     fn wake_lock_waiters(&mut self, lock: LockId) {
         let waiting: Vec<TaskId> = self
+            .world
             .tasks
             .iter()
             .enumerate()
@@ -641,6 +918,7 @@ impl Kernel {
 
     fn wake_chan_waiters(&mut self, chan: ChanId) {
         let waiting: Vec<TaskId> = self
+            .world
             .tasks
             .iter()
             .enumerate()
@@ -656,6 +934,7 @@ impl Kernel {
 
     fn wake_port_waiters(&mut self, port: PortId) {
         let waiting: Vec<TaskId> = self
+            .world
             .tasks
             .iter()
             .enumerate()
@@ -671,9 +950,9 @@ impl Kernel {
 
     /// Earliest pending wake-up time (timer, input, or crash), if any.
     pub fn next_pending_time(&self) -> Option<u64> {
-        let t1 = self.timers.peek().map(|Reverse((t, _))| *t);
-        let t2 = self.pending_inputs.front().map(|p| p.time);
-        let t3 = self.pending_crashes.front().map(|c| c.0);
+        let t1 = self.world.timers.peek().map(|Reverse((t, _))| *t);
+        let t2 = self.world.pending_inputs.front().map(|p| p.time);
+        let t3 = self.world.pending_crashes.front().map(|c| c.0);
         [t1, t2, t3].into_iter().flatten().min()
     }
 
@@ -682,13 +961,20 @@ impl Kernel {
     pub fn deliver_due(&mut self) -> bool {
         let mut any = false;
         while self
+            .world
             .pending_inputs
             .front()
-            .is_some_and(|p| p.time <= self.time)
+            .is_some_and(|p| p.time <= self.world.time)
         {
-            let p = self.pending_inputs.pop_front().expect("checked non-empty");
-            self.ports[p.port.index()].queue.push_back(p.value.clone());
-            self.ports[p.port.index()].remaining_inputs -= 1;
+            let p = self
+                .world
+                .pending_inputs
+                .pop_front()
+                .expect("checked non-empty");
+            self.world.ports[p.port.index()]
+                .queue
+                .push_back(p.value.clone());
+            self.world.ports[p.port.index()].remaining_inputs -= 1;
             self.emit(Event::InputArrival {
                 port: p.port,
                 value: p.value,
@@ -697,18 +983,19 @@ impl Kernel {
             any = true;
         }
         while self
+            .world
             .timers
             .peek()
-            .is_some_and(|Reverse((t, _))| *t <= self.time)
+            .is_some_and(|Reverse((t, _))| *t <= self.world.time)
         {
-            let Reverse((due, tid)) = self.timers.pop().expect("checked non-empty");
+            let Reverse((due, tid)) = self.world.timers.pop().expect("checked non-empty");
             let task = TaskId(tid);
-            let rec = &self.tasks[task.index()];
+            let rec = &self.world.tasks[task.index()];
             let fire = match rec.phase {
-                Phase::Blocked(BlockOn::Timer { until }) => until <= self.time,
+                Phase::Blocked(BlockOn::Timer { until }) => until <= self.world.time,
                 Phase::Blocked(BlockOn::Chan {
                     deadline: Some(d), ..
-                }) => d <= self.time,
+                }) => d <= self.world.time,
                 _ => false,
             };
             let _ = due;
@@ -718,11 +1005,16 @@ impl Kernel {
             }
         }
         while self
+            .world
             .pending_crashes
             .front()
-            .is_some_and(|c| c.0 <= self.time)
+            .is_some_and(|c| c.0 <= self.world.time)
         {
-            let (_, group) = self.pending_crashes.pop_front().expect("checked non-empty");
+            let (_, group) = self
+                .world
+                .pending_crashes
+                .pop_front()
+                .expect("checked non-empty");
             self.kill_group(&group);
             any = true;
         }
@@ -732,6 +1024,7 @@ impl Kernel {
     /// Kills every task in `group` (node crash).
     pub fn kill_group(&mut self, group: &str) {
         let victims: Vec<TaskId> = self
+            .world
             .tasks
             .iter()
             .enumerate()
@@ -741,9 +1034,9 @@ impl Kernel {
             .map(|(i, _)| TaskId(i as u32))
             .collect();
         for &t in &victims {
-            self.tasks[t.index()].killed = true;
+            self.world.tasks[t.index()].killed = true;
             // Dead tasks cannot be woken by condition variables.
-            for cv in &mut self.cvars {
+            for cv in &mut self.world.cvars {
                 cv.waiters.retain(|&w| w != t);
             }
             self.emit(Event::TaskKilled {
@@ -751,7 +1044,7 @@ impl Kernel {
                 reason: format!("group {group:?} crashed"),
             });
             // A killed task will never exit on its own; release joiners now.
-            let joiners = std::mem::take(&mut self.tasks[t.index()].joiners);
+            let joiners = std::mem::take(&mut self.world.tasks[t.index()].joiners);
             for j in joiners {
                 self.wake(j);
             }
@@ -771,7 +1064,7 @@ impl Kernel {
     pub fn exec_op(&mut self, task: TaskId, op: &mut Op) -> Attempt {
         match op {
             Op::Read { var, site } => {
-                let actual = self.vars[var.index()].value.clone();
+                let actual = self.world.vars[var.index()].value.clone();
                 let value = match &mut self.nondet_override {
                     Some(h) => h.override_read(task, *var, &actual).unwrap_or(actual),
                     None => actual,
@@ -786,7 +1079,7 @@ impl Kernel {
                 Attempt::Done(Ok(value))
             }
             Op::Write { var, value, site } => {
-                self.vars[var.index()].value = value.clone();
+                self.world.vars[var.index()].value = value.clone();
                 self.charge(self.costs.write_cost(value.byte_size()));
                 self.emit(Event::Write {
                     task,
@@ -797,7 +1090,7 @@ impl Kernel {
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Lock { lock, site } => {
-                let rec = &mut self.locks[lock.index()];
+                let rec = &mut self.world.locks[lock.index()];
                 match rec.holder {
                     Some(h) if h != task => Attempt::Block(BlockOn::Lock(*lock)),
                     Some(_) => Attempt::Done(Err(SimError::Internal(format!(
@@ -816,7 +1109,7 @@ impl Kernel {
                 }
             }
             Op::Unlock { lock, site } => {
-                let rec = &mut self.locks[lock.index()];
+                let rec = &mut self.world.locks[lock.index()];
                 if rec.holder != Some(task) {
                     return Attempt::Done(Err(SimError::Internal(format!(
                         "task {task} released lock {lock} it does not hold"
@@ -839,14 +1132,14 @@ impl Kernel {
                 site,
             } => match *stage {
                 CvStage::Enter => {
-                    let lrec = &mut self.locks[lock.index()];
+                    let lrec = &mut self.world.locks[lock.index()];
                     if lrec.holder != Some(task) {
                         return Attempt::Done(Err(SimError::Internal(format!(
                             "cv wait on {cvar} without holding {lock}"
                         ))));
                     }
                     lrec.holder = None;
-                    self.cvars[cvar.index()].waiters.push(task);
+                    self.world.cvars[cvar.index()].waiters.push(task);
                     self.charge(self.costs.lock);
                     self.emit(Event::CondWait {
                         task,
@@ -856,11 +1149,12 @@ impl Kernel {
                     });
                     self.wake_lock_waiters(*lock);
                     *stage = CvStage::Relock;
+                    self.world.tasks[task.index()].inflight = Some(InflightPatch::CvRelock);
                     Attempt::Block(BlockOn::Cvar(*cvar))
                 }
                 CvStage::Relock => {
                     // We were notified; reacquire the lock (may block again).
-                    let rec = &mut self.locks[lock.index()];
+                    let rec = &mut self.world.locks[lock.index()];
                     match rec.holder {
                         Some(h) if h != task => Attempt::Block(BlockOn::Lock(*lock)),
                         Some(_) => Attempt::Done(Err(SimError::Internal(
@@ -880,16 +1174,18 @@ impl Kernel {
                 }
             },
             Op::CvNotify { cvar, all, site } => {
-                let mut waiters = self.cvars[cvar.index()].waiters.clone();
+                let mut waiters = self.world.cvars[cvar.index()].waiters.clone();
                 let woken: Vec<TaskId> = if waiters.is_empty() {
                     Vec::new()
                 } else if *all {
-                    std::mem::take(&mut self.cvars[cvar.index()].waiters)
+                    std::mem::take(&mut self.world.cvars[cvar.index()].waiters)
                 } else {
                     waiters.sort_unstable();
                     match self.decide(DecisionKind::WakeOne(*cvar), &waiters) {
                         Some(chosen) => {
-                            self.cvars[cvar.index()].waiters.retain(|&w| w != chosen);
+                            self.world.cvars[cvar.index()]
+                                .waiters
+                                .retain(|&w| w != chosen);
                             vec![chosen]
                         }
                         // Replay divergence: the run is stopping anyway.
@@ -911,15 +1207,15 @@ impl Kernel {
             }
             Op::Send { chan, value, site } => {
                 let bytes = value.byte_size();
-                let class = self.chans[chan.index()].class;
+                let class = self.world.chans[chan.index()].class;
                 if class == ChanClass::Network {
-                    let idx = self.net_sends;
-                    self.net_sends += 1;
+                    let idx = self.world.net_sends;
+                    self.world.net_sends += 1;
                     let dropped = match &self.env.drop_script {
                         Some(script) => script.contains(&idx),
                         None => {
                             self.env.drop_per_mille > 0
-                                && self.rng.chance(self.env.drop_per_mille as u64, 1000)
+                                && self.world.rng.chance(self.env.drop_per_mille as u64, 1000)
                         }
                     };
                     if dropped {
@@ -933,7 +1229,9 @@ impl Kernel {
                         return Attempt::Done(Ok(Value::Unit));
                     }
                 }
-                self.chans[chan.index()].queue.push_back(value.clone());
+                self.world.chans[chan.index()]
+                    .queue
+                    .push_back(value.clone());
                 self.charge(self.costs.msg_cost(bytes));
                 self.emit(Event::Send {
                     task,
@@ -962,7 +1260,7 @@ impl Kernel {
                         return Attempt::Done(Ok(v));
                     }
                 }
-                let rec = &mut self.chans[chan.index()];
+                let rec = &mut self.world.chans[chan.index()];
                 if let Some(v) = rec.queue.pop_front() {
                     self.charge(self.costs.msg_cost(v.byte_size()));
                     self.emit(Event::Recv {
@@ -979,13 +1277,15 @@ impl Kernel {
                 // Resolve the relative timeout to an absolute deadline once.
                 if deadline.is_none() {
                     if let Some(t) = timeout {
-                        let d = self.time.saturating_add(*t);
+                        let d = self.world.time.saturating_add(*t);
                         *deadline = Some(d);
-                        self.timers.push(Reverse((d, task.0)));
+                        self.world.timers.push(Reverse((d, task.0)));
+                        self.world.tasks[task.index()].inflight =
+                            Some(InflightPatch::RecvDeadline(d));
                     }
                 }
                 if let Some(d) = *deadline {
-                    if d <= self.time {
+                    if d <= self.world.time {
                         return Attempt::Done(Err(SimError::RecvTimeout(*chan)));
                     }
                 }
@@ -995,7 +1295,7 @@ impl Kernel {
                 })
             }
             Op::CloseChan { chan, site } => {
-                self.chans[chan.index()].closed = true;
+                self.world.chans[chan.index()].closed = true;
                 self.charge(self.costs.msg_base);
                 let _ = site;
                 self.wake_chan_waiters(*chan);
@@ -1005,8 +1305,9 @@ impl Kernel {
                 if let Some(h) = &mut self.nondet_override {
                     if let Some(v) = h.override_input(task, *port) {
                         self.charge(self.costs.io);
-                        self.inputs_seen
-                            .push((self.ports[port.index()].name.clone(), v.clone()));
+                        self.world
+                            .inputs_seen
+                            .push((self.world.ports[port.index()].name.clone(), v.clone()));
                         self.emit(Event::InputRead {
                             task,
                             port: *port,
@@ -1016,11 +1317,12 @@ impl Kernel {
                         return Attempt::Done(Ok(v));
                     }
                 }
-                let rec = &mut self.ports[port.index()];
+                let rec = &mut self.world.ports[port.index()];
                 if let Some(v) = rec.queue.pop_front() {
                     self.charge(self.costs.io);
-                    self.inputs_seen
-                        .push((self.ports[port.index()].name.clone(), v.clone()));
+                    self.world
+                        .inputs_seen
+                        .push((self.world.ports[port.index()].name.clone(), v.clone()));
                     self.emit(Event::InputRead {
                         task,
                         port: *port,
@@ -1037,13 +1339,13 @@ impl Kernel {
             Op::WriteOutput { port, value, site } => {
                 self.charge(self.costs.io);
                 let rec = OutputRecord {
-                    time: self.time,
+                    time: self.world.time,
                     task,
                     port: *port,
-                    port_name: self.ports[port.index()].name.clone(),
+                    port_name: self.world.ports[port.index()].name.clone(),
                     value: value.clone(),
                 };
-                self.outputs.push(rec);
+                self.world.outputs.push(rec);
                 self.emit(Event::Output {
                     task,
                     port: *port,
@@ -1063,7 +1365,7 @@ impl Kernel {
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Count { name, delta, site } => {
-                let total = self.counters.entry((*name).to_owned()).or_insert(0);
+                let total = self.world.counters.entry((*name).to_owned()).or_insert(0);
                 *total += *delta;
                 let total = *total;
                 self.charge(self.costs.probe);
@@ -1077,8 +1379,10 @@ impl Kernel {
             }
             Op::Rng { bound, site } => {
                 let raw = match &mut self.nondet_override {
-                    Some(h) => h.override_rng(task).unwrap_or_else(|| self.rng.next_u64()),
-                    None => self.rng.next_u64(),
+                    Some(h) => h
+                        .override_rng(task)
+                        .unwrap_or_else(|| self.world.rng.next_u64()),
+                    None => self.world.rng.next_u64(),
                 };
                 let v = if *bound == 0 { raw } else { raw % *bound };
                 self.charge(self.costs.rng);
@@ -1091,9 +1395,10 @@ impl Kernel {
             }
             Op::Sleep { until, ticks, site } => match *until {
                 None => {
-                    let u = self.time.saturating_add(*ticks);
+                    let u = self.world.time.saturating_add(*ticks);
                     *until = Some(u);
-                    self.timers.push(Reverse((u, task.0)));
+                    self.world.timers.push(Reverse((u, task.0)));
+                    self.world.tasks[task.index()].inflight = Some(InflightPatch::SleepUntil(u));
                     self.emit(Event::Sleep {
                         task,
                         until: u,
@@ -1101,7 +1406,7 @@ impl Kernel {
                     });
                     Attempt::Block(BlockOn::Timer { until: u })
                 }
-                Some(u) if u <= self.time => Attempt::Done(Ok(Value::Unit)),
+                Some(u) if u <= self.world.time => Attempt::Done(Ok(Value::Unit)),
                 Some(u) => Attempt::Block(BlockOn::Timer { until: u }),
             },
             Op::Yield { site } => {
@@ -1113,7 +1418,7 @@ impl Kernel {
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Alloc { bytes, site } => {
-                let rec = &self.tasks[task.index()];
+                let rec = &self.world.tasks[task.index()];
                 let new_used = rec.mem_used + *bytes;
                 if let Some(budget) = rec.mem_budget {
                     if new_used > budget {
@@ -1130,7 +1435,7 @@ impl Kernel {
                         }));
                     }
                 }
-                self.tasks[task.index()].mem_used = new_used;
+                self.world.tasks[task.index()].mem_used = new_used;
                 self.charge(self.costs.alloc);
                 self.emit(Event::Alloc {
                     task,
@@ -1140,17 +1445,17 @@ impl Kernel {
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Free { bytes, site } => {
-                let rec = &mut self.tasks[task.index()];
+                let rec = &mut self.world.tasks[task.index()];
                 rec.mem_used = rec.mem_used.saturating_sub(*bytes);
                 self.charge(self.costs.alloc);
                 let _ = site;
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::Join { task: target, site } => {
-                if target.index() >= self.tasks.len() {
+                if target.index() >= self.world.tasks.len() {
                     return Attempt::Done(Err(SimError::NoSuchTask(*target)));
                 }
-                let trec = &self.tasks[target.index()];
+                let trec = &self.world.tasks[target.index()];
                 if matches!(trec.phase, Phase::Exited { .. }) || trec.killed {
                     self.charge(self.costs.yield_);
                     self.emit(Event::Joined {
@@ -1160,12 +1465,12 @@ impl Kernel {
                     });
                     return Attempt::Done(Ok(Value::Unit));
                 }
-                self.tasks[target.index()].joiners.push(task);
+                self.world.tasks[target.index()].joiners.push(task);
                 Attempt::Block(BlockOn::Join(*target))
             }
             Op::Crash { reason, site } => {
-                self.crashes.push(CrashRecord {
-                    time: self.time,
+                self.world.crashes.push(CrashRecord {
+                    time: self.world.time,
                     task,
                     reason: reason.clone(),
                     site: (*site).to_owned(),
@@ -1176,15 +1481,15 @@ impl Kernel {
                     reason: reason.clone(),
                     site: (*site).into(),
                 });
-                if self.stop_on_crash && self.stop.is_none() {
-                    self.stop = Some(StopReason::Stopped);
+                if self.stop_on_crash && self.world.stop.is_none() {
+                    self.world.stop = Some(StopReason::Stopped);
                 }
                 Attempt::Done(Ok(Value::Unit))
             }
             Op::StopRun { site } => {
                 let _ = site;
-                if self.stop.is_none() {
-                    self.stop = Some(StopReason::Stopped);
+                if self.world.stop.is_none() {
+                    self.world.stop = Some(StopReason::Stopped);
                 }
                 Attempt::Done(Ok(Value::Unit))
             }
@@ -1194,8 +1499,8 @@ impl Kernel {
     /// Records a panic-style crash coming from outside `exec_op` (task body
     /// panicked or returned an unexpected error).
     pub fn record_crash(&mut self, task: TaskId, reason: String, site: &str) {
-        self.crashes.push(CrashRecord {
-            time: self.time,
+        self.world.crashes.push(CrashRecord {
+            time: self.world.time,
             task,
             reason: reason.clone(),
             site: site.to_owned(),
@@ -1205,23 +1510,23 @@ impl Kernel {
             reason,
             site: site.to_owned().into(),
         });
-        if self.stop_on_crash && self.stop.is_none() {
-            self.stop = Some(StopReason::Stopped);
+        if self.stop_on_crash && self.world.stop.is_none() {
+            self.world.stop = Some(StopReason::Stopped);
         }
     }
 
     /// Charges a successful op: advances the execution clock and the step
     /// counter.
     pub(crate) fn charge(&mut self, cost: u64) {
-        self.time = self.time.saturating_add(cost);
-        self.steps += 1;
+        self.world.time = self.world.time.saturating_add(cost);
+        self.world.steps += 1;
         // Deliveries that became due mid-op happen before the next decision;
         // the driver calls `deliver_due` at every decision point.
     }
 
     /// Total wall ticks: execution plus instrumentation.
     pub fn wall_time(&self) -> u64 {
-        self.time.saturating_add(self.wall_extra)
+        self.world.time.saturating_add(self.world.wall_extra)
     }
 
     /// Per-observer instrumentation cost, by observer name.
@@ -1280,8 +1585,8 @@ mod tests {
             Attempt::Done(Ok(val)) => assert_eq!(val, Value::Int(7)),
             _ => panic!("read failed"),
         }
-        assert_eq!(k.steps, 2);
-        assert!(k.time >= 2);
+        assert_eq!(k.world.steps, 2);
+        assert!(k.world.time >= 2);
     }
 
     #[test]
@@ -1297,10 +1602,10 @@ mod tests {
             Attempt::Block(BlockOn::Lock(_))
         ));
         // Unlock wakes the blocked task.
-        k.tasks[t1.index()].phase = Phase::Blocked(BlockOn::Lock(l));
+        k.world.tasks[t1.index()].phase = Phase::Blocked(BlockOn::Lock(l));
         let mut u = Op::Unlock { lock: l, site: "s" };
         assert!(matches!(k.exec_op(t0, &mut u), Attempt::Done(Ok(_))));
-        assert_eq!(k.tasks[t1.index()].phase, Phase::Ready);
+        assert_eq!(k.world.tasks[t1.index()].phase, Phase::Ready);
     }
 
     #[test]
@@ -1371,7 +1676,7 @@ mod tests {
             timeout: Some(10),
             site: "s",
         };
-        let now = k.time;
+        let now = k.world.time;
         assert!(matches!(k.exec_op(t, &mut r), Attempt::Block(_)));
         match r {
             Op::Recv {
@@ -1380,7 +1685,7 @@ mod tests {
             _ => panic!("deadline not resolved"),
         }
         // Past the deadline the retry reports a timeout.
-        k.time += 20;
+        k.world.time += 20;
         assert!(matches!(
             k.exec_op(t, &mut r),
             Attempt::Done(Err(SimError::RecvTimeout(_)))
@@ -1411,10 +1716,11 @@ mod tests {
         };
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
         assert!(
-            k.chans[c.index()].queue.is_empty(),
+            k.world.chans[c.index()].queue.is_empty(),
             "message should be dropped"
         );
         let dropped = k
+            .world
             .trace
             .as_ref()
             .unwrap()
@@ -1446,7 +1752,7 @@ mod tests {
             site: "s",
         };
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
-        assert_eq!(k.chans[c.index()].queue.len(), 1);
+        assert_eq!(k.world.chans[c.index()].queue.len(), 1);
     }
 
     #[test]
@@ -1506,10 +1812,14 @@ mod tests {
             k.exec_op(t0, &mut w),
             Attempt::Block(BlockOn::Cvar(_))
         ));
-        assert_eq!(k.locks[l.index()].holder, None, "lock released during wait");
-        assert_eq!(k.cvars[cv.index()].waiters, vec![t0]);
+        assert_eq!(
+            k.world.locks[l.index()].holder,
+            None,
+            "lock released during wait"
+        );
+        assert_eq!(k.world.cvars[cv.index()].waiters, vec![t0]);
         // Notify from another task.
-        k.tasks[t0.index()].phase = Phase::Blocked(BlockOn::Cvar(cv));
+        k.world.tasks[t0.index()].phase = Phase::Blocked(BlockOn::Cvar(cv));
         let t1 = k.add_task("t1", "g", None);
         let mut n = Op::CvNotify {
             cvar: cv,
@@ -1517,11 +1827,11 @@ mod tests {
             site: "s",
         };
         assert!(matches!(k.exec_op(t1, &mut n), Attempt::Done(Ok(_))));
-        assert_eq!(k.tasks[t0.index()].phase, Phase::Ready);
-        assert!(k.cvars[cv.index()].waiters.is_empty());
+        assert_eq!(k.world.tasks[t0.index()].phase, Phase::Ready);
+        assert!(k.world.cvars[cv.index()].waiters.is_empty());
         // Retry reacquires the lock.
         assert!(matches!(k.exec_op(t0, &mut w), Attempt::Done(Ok(_))));
-        assert_eq!(k.locks[l.index()].holder, Some(t0));
+        assert_eq!(k.world.locks[l.index()].holder, Some(t0));
     }
 
     #[test]
@@ -1567,10 +1877,10 @@ mod tests {
             k.exec_op(t, &mut r),
             Attempt::Block(BlockOn::Port(_))
         ));
-        k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Port(p));
-        k.time = 5;
+        k.world.tasks[t.index()].phase = Phase::Blocked(BlockOn::Port(p));
+        k.world.time = 5;
         assert!(k.deliver_due());
-        assert_eq!(k.tasks[t.index()].phase, Phase::Ready);
+        assert_eq!(k.world.tasks[t.index()].phase, Phase::Ready);
         match k.exec_op(t, &mut r) {
             Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(9)),
             _ => panic!("input read failed"),
@@ -1599,11 +1909,11 @@ mod tests {
         let t0 = k.add_task("a", "node1", None);
         let t1 = k.add_task("b", "node2", None);
         let cv = k.add_cvar("cv");
-        k.cvars[cv.index()].waiters.push(t0);
+        k.world.cvars[cv.index()].waiters.push(t0);
         k.kill_group("node1");
-        assert!(k.tasks[t0.index()].killed);
-        assert!(!k.tasks[t1.index()].killed);
-        assert!(k.cvars[cv.index()].waiters.is_empty());
+        assert!(k.world.tasks[t0.index()].killed);
+        assert!(!k.world.tasks[t1.index()].killed);
+        assert!(k.world.cvars[cv.index()].waiters.is_empty());
     }
 
     #[test]
@@ -1627,15 +1937,15 @@ mod tests {
             site: "s",
         };
         assert!(matches!(k.exec_op(t, &mut c), Attempt::Done(Ok(_))));
-        assert_eq!(k.crashes.len(), 1);
-        assert!(k.stop.is_none());
+        assert_eq!(k.world.crashes.len(), 1);
+        assert!(k.world.stop.is_none());
         k.stop_on_crash = true;
         let mut c2 = Op::Crash {
             reason: "boom2".into(),
             site: "s",
         };
         let _ = k.exec_op(t, &mut c2);
-        assert!(k.stop.is_some());
+        assert!(k.world.stop.is_some());
     }
 
     #[test]
@@ -1656,7 +1966,7 @@ mod tests {
             Attempt::Done(Ok(v)) => assert_eq!(v, Value::Int(5)),
             _ => panic!("count failed"),
         }
-        assert_eq!(k.counters["drops"], 5);
+        assert_eq!(k.world.counters["drops"], 5);
     }
 
     #[test]
@@ -1673,6 +1983,7 @@ mod tests {
             }
         }
         let draws = k
+            .world
             .trace
             .as_ref()
             .unwrap()
@@ -1746,16 +2057,16 @@ mod tests {
             ticks: 10,
             site: "s",
         };
-        let start = k.time;
+        let start = k.world.time;
         assert!(matches!(
             k.exec_op(t, &mut s),
             Attempt::Block(BlockOn::Timer { .. })
         ));
-        k.tasks[t.index()].phase = Phase::Blocked(BlockOn::Timer { until: start + 10 });
+        k.world.tasks[t.index()].phase = Phase::Blocked(BlockOn::Timer { until: start + 10 });
         assert_eq!(k.next_pending_time(), Some(start + 10));
-        k.time = start + 10;
+        k.world.time = start + 10;
         assert!(k.deliver_due());
-        assert_eq!(k.tasks[t.index()].phase, Phase::Ready);
+        assert_eq!(k.world.tasks[t.index()].phase, Phase::Ready);
         assert!(matches!(k.exec_op(t, &mut s), Attempt::Done(Ok(_))));
     }
 
@@ -1765,11 +2076,11 @@ mod tests {
         let t0 = k.add_task("a", "g", None);
         let t1 = k.add_task("b", "g", None);
         assert_eq!(k.decide(DecisionKind::NextTask, &[t0]), Some(t0));
-        assert!(k.decisions.is_empty());
+        assert!(k.world.decisions.is_empty());
         let chosen = k.decide(DecisionKind::NextTask, &[t0, t1]).unwrap();
         assert!(chosen == t0 || chosen == t1);
-        assert_eq!(k.decisions.len(), 1);
-        assert_eq!(k.decisions[0].n, 2);
+        assert_eq!(k.world.decisions.len(), 1);
+        assert_eq!(k.world.decisions[0].n, 2);
     }
 
     #[test]
@@ -1808,8 +2119,8 @@ mod tests {
         };
         let _ = k.exec_op(t, &mut w);
         // add_task + write events so far; each costs 5 wall ticks.
-        assert_eq!(k.wall_extra, 10);
-        assert!(k.wall_time() > k.time);
+        assert_eq!(k.world.wall_extra, 10);
+        assert!(k.wall_time() > k.world.time);
         assert_eq!(k.observer_costs(), vec![("pricey".to_owned(), 10)]);
     }
 }

@@ -73,17 +73,18 @@ pub mod rng;
 pub mod value;
 
 pub use config::{
-    ChanClass, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride, OpCosts, RunConfig,
-    TimedInput,
+    ChanClass, CheckpointPlan, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride,
+    OpCosts, RunConfig, TimedInput,
 };
 pub use conflict::OpDesc;
 pub use driver::{
-    run_program, ChanMeta, IoSummary, PortMeta, Registry, RunOutput, RunStats, TaskMeta,
+    resume_program, run_program, ChanMeta, IoSummary, PortMeta, Registry, RunOutput, RunStats,
+    TaskMeta,
 };
 pub use error::{SimError, SimResult, StopReason};
 pub use event::{AccessKind, DecisionKind, Event, EventMeta, Observer, SiteName};
 pub use ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId, KERNEL_SITE};
-pub use kernel::{CrashRecord, DecisionRecord, OutputRecord, PortDir};
+pub use kernel::{CrashRecord, DecisionRecord, OutputRecord, PortDir, WorldSnapshot};
 pub use policy::{
     DecisionPoint, PctPolicy, PrefixPolicy, RandomPolicy, RecordedDecision, ReplayPolicy,
     RoundRobinPolicy, SchedulePolicy,

@@ -51,6 +51,12 @@ pub trait SchedulePolicy: Send {
     /// Returning `Err` aborts the run with the given [`StopReason`]
     /// (used by replay divergence detection).
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason>;
+
+    /// Clones the policy *with its current state* into a fresh box.
+    ///
+    /// World snapshots capture this alongside the machine state so that a
+    /// resumed run's remaining decisions match the original's exactly.
+    fn clone_box(&self) -> Box<dyn SchedulePolicy>;
 }
 
 /// Seeded uniform-random policy.
@@ -71,6 +77,10 @@ impl RandomPolicy {
 impl SchedulePolicy for RandomPolicy {
     fn label(&self) -> &'static str {
         "random"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulePolicy> {
+        Box::new(self.clone())
     }
 
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason> {
@@ -94,6 +104,10 @@ impl RoundRobinPolicy {
 impl SchedulePolicy for RoundRobinPolicy {
     fn label(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulePolicy> {
+        Box::new(self.clone())
     }
 
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason> {
@@ -164,6 +178,10 @@ impl SchedulePolicy for ReplayPolicy {
         "replay"
     }
 
+    fn clone_box(&self) -> Box<dyn SchedulePolicy> {
+        Box::new(self.clone())
+    }
+
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason> {
         if self.cursor >= self.decisions.len() {
             return match self.on_exhausted {
@@ -229,6 +247,10 @@ impl SchedulePolicy for PrefixPolicy {
         "prefix"
     }
 
+    fn clone_box(&self) -> Box<dyn SchedulePolicy> {
+        Box::new(self.clone())
+    }
+
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason> {
         if self.cursor < self.prefix.len() {
             let want = self.prefix[self.cursor] as usize;
@@ -291,6 +313,10 @@ impl PctPolicy {
 impl SchedulePolicy for PctPolicy {
     fn label(&self) -> &'static str {
         "pct"
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulePolicy> {
+        Box::new(self.clone())
     }
 
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason> {

@@ -105,10 +105,30 @@ pub trait Program: Send + Sync {
     fn setup(&self, b: &mut Builder<'_>);
 }
 
+/// Object-declaration counters for rebind-mode setup (see [`Builder`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct RebindCursor {
+    vars: u32,
+    locks: u32,
+    cvars: u32,
+    chans: u32,
+    ports: u32,
+    tasks: u32,
+}
+
 /// Setup-time construction interface handed to [`Program::setup`].
+///
+/// In the normal (fresh) mode every declaration registers a new machine
+/// object. In *rebind* mode — used when resuming a run from a
+/// [`WorldSnapshot`](crate::kernel::WorldSnapshot) — the machine objects
+/// already exist in the restored world; declarations merely hand back the
+/// ids in the original declaration order (setup is deterministic, so the
+/// orders match; names are validated as a divergence tripwire) and
+/// re-collect the initial task bodies for fast-forward.
 pub struct Builder<'k> {
     pub(crate) kernel: &'k mut Kernel,
     pub(crate) spawns: Vec<(TaskId, TaskFn)>,
+    rebind: Option<RebindCursor>,
 }
 
 impl<'k> Builder<'k> {
@@ -116,42 +136,135 @@ impl<'k> Builder<'k> {
         Builder {
             kernel,
             spawns: Vec::new(),
+            rebind: None,
+        }
+    }
+
+    pub(crate) fn rebind(kernel: &'k mut Kernel) -> Self {
+        Builder {
+            kernel,
+            spawns: Vec::new(),
+            rebind: Some(RebindCursor::default()),
+        }
+    }
+
+    fn rebind_check(kind: &str, declared: &str, existing: Option<&str>) {
+        match existing {
+            Some(have) if have == declared => {}
+            have => panic!(
+                "resume rebind diverged: program declared {kind} {declared:?}, \
+                 restored world has {have:?} at this position"
+            ),
         }
     }
 
     /// Declares a typed shared variable with an initial value.
     pub fn var<T: SimData>(&mut self, name: &str, init: T) -> TVar<T> {
-        TVar::new(self.kernel.add_var(name, init.into_value()))
+        TVar::new(self.raw_var(name, init.into_value()))
     }
 
     /// Declares an untyped shared variable.
     pub fn raw_var(&mut self, name: &str, init: Value) -> VarId {
+        if let Some(cur) = &mut self.rebind {
+            let id = VarId(cur.vars);
+            cur.vars += 1;
+            Self::rebind_check(
+                "var",
+                name,
+                self.kernel
+                    .world
+                    .vars
+                    .get(id.index())
+                    .map(|v| v.name.as_str()),
+            );
+            return id;
+        }
         self.kernel.add_var(name, init)
     }
 
     /// Declares a lock.
     pub fn mutex(&mut self, name: &str) -> MutexHandle {
+        if let Some(cur) = &mut self.rebind {
+            let id = crate::ids::LockId(cur.locks);
+            cur.locks += 1;
+            Self::rebind_check(
+                "lock",
+                name,
+                self.kernel
+                    .world
+                    .locks
+                    .get(id.index())
+                    .map(|l| l.name.as_str()),
+            );
+            return MutexHandle(id);
+        }
         MutexHandle(self.kernel.add_lock(name))
     }
 
     /// Declares a condition variable.
     pub fn condvar(&mut self, name: &str) -> CondvarHandle {
+        if let Some(cur) = &mut self.rebind {
+            let id = CondvarId(cur.cvars);
+            cur.cvars += 1;
+            Self::rebind_check(
+                "condvar",
+                name,
+                self.kernel
+                    .world
+                    .cvars
+                    .get(id.index())
+                    .map(|c| c.name.as_str()),
+            );
+            return CondvarHandle(id);
+        }
         CondvarHandle(self.kernel.add_cvar(name))
     }
 
     /// Declares a typed channel.
     pub fn channel<T: SimData>(&mut self, name: &str, class: ChanClass) -> ChanHandle<T> {
+        if let Some(cur) = &mut self.rebind {
+            let id = ChanId(cur.chans);
+            cur.chans += 1;
+            Self::rebind_check(
+                "channel",
+                name,
+                self.kernel
+                    .world
+                    .chans
+                    .get(id.index())
+                    .map(|c| c.name.as_str()),
+            );
+            return ChanHandle::new(id);
+        }
         ChanHandle::new(self.kernel.add_chan(name, class))
     }
 
     /// Declares an input port fed by the run's input script.
     pub fn in_port(&mut self, name: &str) -> InPort {
-        InPort(self.kernel.add_port(name, PortDir::In))
+        InPort(self.port(name, PortDir::In))
     }
 
     /// Declares an output port for observable outputs.
     pub fn out_port(&mut self, name: &str) -> OutPort {
-        OutPort(self.kernel.add_port(name, PortDir::Out))
+        OutPort(self.port(name, PortDir::Out))
+    }
+
+    fn port(&mut self, name: &str, dir: PortDir) -> PortId {
+        if let Some(cur) = &mut self.rebind {
+            let id = PortId(cur.ports);
+            cur.ports += 1;
+            Self::rebind_check(
+                "port",
+                name,
+                self.kernel
+                    .world
+                    .ports
+                    .get(id.index())
+                    .map(|p| p.name.as_str()),
+            );
+            return id;
+        }
+        self.kernel.add_port(name, dir)
     }
 
     /// Spawns an initial task in the given failure-domain `group`.
@@ -159,6 +272,21 @@ impl<'k> Builder<'k> {
     where
         F: FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static,
     {
+        if let Some(cur) = &mut self.rebind {
+            let tid = TaskId(cur.tasks);
+            cur.tasks += 1;
+            Self::rebind_check(
+                "task",
+                name,
+                self.kernel
+                    .world
+                    .tasks
+                    .get(tid.index())
+                    .map(|t| t.name.as_str()),
+            );
+            self.spawns.push((tid, Box::new(f)));
+            return tid;
+        }
         let tid = self.kernel.add_task(name, group, None);
         self.spawns.push((tid, Box::new(f)));
         tid
@@ -186,8 +314,10 @@ impl TaskCtx {
     ///
     /// This is a lock-free-equivalent peek: the task logically owns the
     /// processor while running, so the clock cannot move underneath it.
+    /// During fast-forward after a restore it returns the clock value the
+    /// original execution observed at this point.
     pub fn now(&self) -> u64 {
-        self.shared.state.lock().time
+        crate::driver::observe_now(&self.shared, self.tid)
     }
 
     /// Reads a typed shared variable.

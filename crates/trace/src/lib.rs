@@ -22,8 +22,8 @@ pub mod trace;
 
 pub use cost::{log_size, ChargeAcc, CostModel, LogStats};
 pub use logs::{
-    EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry, ValKind,
-    ValueCursor, ValueCursorStats, ValueLog,
+    EpochMark, EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry,
+    ValKind, ValueCursor, ValueCursorStats, ValueLog, SCHEDULE_LOG_VERSION,
 };
 pub use persist::{load_json, save_json, PersistError};
 pub use recorder::{

@@ -11,17 +11,99 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// The recorded schedule: every multi-candidate decision, in order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Schema version of [`ScheduleLog`] artifacts.
+///
+/// - v1 — decision stream only (implicit; artifacts predating the version
+///   field).
+/// - v2 — adds `version` and `epochs`: checkpoint markers recording where
+///   resumable snapshot points existed during the recorded run.
+pub const SCHEDULE_LOG_VERSION: u32 = 2;
+
+/// One epoch marker: a point in the recorded run where a resumable world
+/// snapshot existed. Replay tooling uses these to pick intermediate replay
+/// starting points instead of always re-executing from the first
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochMark {
+    /// Decision index the snapshot was taken at (state before this
+    /// decision).
+    pub decision: u64,
+    /// Kernel steps executed up to the snapshot point.
+    pub step: u64,
+    /// Execution-clock value at the snapshot point.
+    pub time: u64,
+}
+
+impl EpochMark {
+    /// The epoch marker for a world snapshot.
+    pub fn of(snapshot: &dd_sim::WorldSnapshot) -> Self {
+        EpochMark {
+            decision: snapshot.at_decision(),
+            step: snapshot.steps(),
+            time: snapshot.time(),
+        }
+    }
+}
+
+/// The recorded schedule: every multi-candidate decision, in order, plus
+/// the checkpoint epochs at which the run can be resumed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScheduleLog {
+    /// Schema version (see [`SCHEDULE_LOG_VERSION`]).
+    pub version: u32,
     /// The decision stream.
     pub decisions: Vec<RecordedDecision>,
+    /// Checkpoint markers, in increasing decision order (empty when the
+    /// recorded run took no snapshots).
+    pub epochs: Vec<EpochMark>,
+}
+
+impl Default for ScheduleLog {
+    fn default() -> Self {
+        ScheduleLog {
+            version: SCHEDULE_LOG_VERSION,
+            decisions: Vec::new(),
+            epochs: Vec::new(),
+        }
+    }
+}
+
+// Hand-written so v1 artifacts (decision stream only, predating `version`
+// and `epochs`) keep loading: missing fields default to version 1 with no
+// epochs instead of failing deserialization.
+impl serde::Deserialize for ScheduleLog {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a ScheduleLog map"))?;
+        let field = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k.as_str() == Some(name))
+                .map(|(_, v)| v)
+        };
+        Ok(ScheduleLog {
+            version: match field("version") {
+                Some(v) => u32::from_content(v)?,
+                None => 1,
+            },
+            decisions: match field("decisions") {
+                Some(v) => Vec::<RecordedDecision>::from_content(v)?,
+                None => Vec::new(),
+            },
+            epochs: match field("epochs") {
+                Some(v) => Vec::<EpochMark>::from_content(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl ScheduleLog {
-    /// Builds the log from a finished run's decision records.
+    /// Builds the log from a finished run's decision records, carrying over
+    /// the run's checkpoint epochs (if it took snapshots).
     pub fn from_run(out: &dd_sim::RunOutput) -> Self {
         ScheduleLog {
+            version: SCHEDULE_LOG_VERSION,
             decisions: out
                 .decisions
                 .iter()
@@ -30,6 +112,7 @@ impl ScheduleLog {
                     chosen: d.chosen,
                 })
                 .collect(),
+            epochs: out.snapshots.iter().map(EpochMark::of).collect(),
         }
     }
 
@@ -46,6 +129,17 @@ impl ScheduleLog {
     /// Returns `true` if no decisions were recorded.
     pub fn is_empty(&self) -> bool {
         self.decisions.is_empty()
+    }
+
+    /// The deepest epoch at or before `decision`, if any — the resumable
+    /// point a replayer should start from when it needs decisions from
+    /// `decision` onward.
+    pub fn deepest_epoch_at_or_before(&self, decision: u64) -> Option<EpochMark> {
+        self.epochs
+            .iter()
+            .take_while(|e| e.decision <= decision)
+            .last()
+            .copied()
     }
 }
 
@@ -476,11 +570,61 @@ mod tests {
                 kind: dd_sim::DecisionKind::NextTask,
                 chosen: TaskId(2),
             }],
+            epochs: vec![
+                EpochMark {
+                    decision: 1,
+                    step: 0,
+                    time: 0,
+                },
+                EpochMark {
+                    decision: 4,
+                    step: 12,
+                    time: 31,
+                },
+            ],
+            ..ScheduleLog::default()
         };
+        assert_eq!(log.version, SCHEDULE_LOG_VERSION);
         let s = serde_json::to_string(&log).unwrap();
         let back: ScheduleLog = serde_json::from_str(&s).unwrap();
         assert_eq!(log, back);
         assert_eq!(back.len(), 1);
+        assert_eq!(back.epochs.len(), 2);
+    }
+
+    #[test]
+    fn v1_schedule_artifacts_still_load() {
+        // A decision-stream-only artifact as persisted before the version
+        // field existed.
+        let v1 = r#"{"decisions":[{"kind":"NextTask","chosen":3}]}"#;
+        let log: ScheduleLog = serde_json::from_str(v1).expect("v1 artifact loads");
+        assert_eq!(log.version, 1);
+        assert_eq!(log.decisions.len(), 1);
+        assert_eq!(log.decisions[0].chosen, TaskId(3));
+        assert!(log.epochs.is_empty());
+    }
+
+    #[test]
+    fn deepest_epoch_lookup() {
+        let log = ScheduleLog {
+            epochs: vec![
+                EpochMark {
+                    decision: 2,
+                    step: 3,
+                    time: 5,
+                },
+                EpochMark {
+                    decision: 6,
+                    step: 11,
+                    time: 20,
+                },
+            ],
+            ..ScheduleLog::default()
+        };
+        assert_eq!(log.deepest_epoch_at_or_before(1), None);
+        assert_eq!(log.deepest_epoch_at_or_before(2).unwrap().decision, 2);
+        assert_eq!(log.deepest_epoch_at_or_before(5).unwrap().decision, 2);
+        assert_eq!(log.deepest_epoch_at_or_before(9).unwrap().decision, 6);
     }
 
     #[test]

@@ -97,6 +97,12 @@ mod tests {
                 kind: dd_sim::DecisionKind::NextTask,
                 chosen: TaskId(4),
             }],
+            epochs: vec![crate::EpochMark {
+                decision: 2,
+                step: 17,
+                time: 40,
+            }],
+            ..ScheduleLog::default()
         };
         let path = tmp("sched");
         save_json(&log, &path).unwrap();

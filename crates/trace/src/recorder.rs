@@ -43,6 +43,16 @@ impl ScheduleRecorder {
         std::mem::take(&mut self.log)
     }
 
+    /// Stamps the checkpoint epochs of the finished run into the artifact.
+    ///
+    /// Snapshots are taken by the driver, not published as events, so the
+    /// observer cannot see them; models call this after the run with the
+    /// snapshots from the [`RunOutput`](dd_sim::RunOutput) the recorder was
+    /// attached to.
+    pub fn absorb_epochs(&mut self, snapshots: &[dd_sim::WorldSnapshot]) {
+        self.log.epochs = snapshots.iter().map(crate::EpochMark::of).collect();
+    }
+
     /// Recording statistics.
     pub fn stats(&self) -> LogStats {
         self.stats

@@ -125,7 +125,16 @@ proptest! {
                     chosen: TaskId(rng.below(6) as u32),
                 })
                 .collect(),
+            epochs: (0..len / 4)
+                .map(|i| dd_trace::EpochMark {
+                    decision: i as u64 * 2 + 1,
+                    step: i as u64 * 11 + rng.below(7),
+                    time: i as u64 * 23 + rng.below(9),
+                })
+                .collect(),
+            ..ScheduleLog::default()
         };
+        prop_assert_eq!(log.version, dd_trace::SCHEDULE_LOG_VERSION);
 
         let a = serde_json::to_string(&log).expect("serializes");
         prop_assert_eq!(a.clone(), serde_json::to_string(&log).expect("serializes"));

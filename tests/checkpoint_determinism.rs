@@ -1,0 +1,82 @@
+//! Workspace-level snapshot-determinism suite: on all four paper workloads,
+//! across the conformance seed grid, a run resumed from *any* checkpoint
+//! must reproduce the uninterrupted run exactly — identical trace hash and
+//! identical failure verdict — while inheriting (not re-executing) the
+//! pre-snapshot work. This is the contract the fork-based DFS, the ABL-7
+//! table and the RCSE checkpointed fallback all stand on.
+
+mod common;
+
+use common::{all_workloads, trace_hash, SEED_GRID};
+use debug_determinism::core::RunSetup;
+use debug_determinism::sim::{
+    resume_program, run_program, CheckpointPlan, RandomPolicy, RunConfig,
+};
+
+fn run_cfg(setup: &RunSetup, plan: Option<CheckpointPlan>) -> RunConfig {
+    RunConfig {
+        seed: setup.seed,
+        max_steps: setup.max_steps,
+        inputs: setup.inputs.clone(),
+        env: setup.env.clone(),
+        checkpoints: plan,
+        ..RunConfig::default()
+    }
+}
+
+/// Snapshot after k decisions, restore, re-run ⇒ identical trace hash and
+/// identical failure set as the uninterrupted run — every workload, every
+/// grid seed, every snapshot depth the run produced.
+#[test]
+fn snapshot_restore_rerun_is_identity_on_all_workloads_and_seeds() {
+    for workload in all_workloads() {
+        let spec = workload.spec();
+        let base = workload.production();
+        let mut setups = vec![base.clone()];
+        for &seed in SEED_GRID {
+            setups.push(RunSetup {
+                seed,
+                sched_seed: seed.wrapping_mul(31).wrapping_add(7),
+                ..base.clone()
+            });
+        }
+        let program = workload.program();
+        for setup in &setups {
+            let plan = CheckpointPlan::new(2, 24);
+            let original = run_program(
+                program.as_ref(),
+                run_cfg(setup, Some(plan)),
+                Box::new(RandomPolicy::new(setup.sched_seed)),
+                vec![],
+            );
+            let want_hash = trace_hash(&original);
+            let want_failure = spec.check(&original.io).map(|f| f.failure_id);
+            for snap in &original.snapshots {
+                let resumed =
+                    resume_program(program.as_ref(), run_cfg(setup, None), snap, None, vec![]);
+                let label = format!(
+                    "{} seed {} snapshot@{}",
+                    workload.name(),
+                    setup.seed,
+                    snap.at_decision()
+                );
+                assert_eq!(trace_hash(&resumed), want_hash, "{label}: trace diverged");
+                assert_eq!(
+                    resumed.io, original.io,
+                    "{label}: observable behaviour diverged"
+                );
+                assert_eq!(
+                    spec.check(&resumed.io).map(|f| f.failure_id),
+                    want_failure,
+                    "{label}: failure verdict diverged"
+                );
+                assert_eq!(resumed.stats.steps, original.stats.steps, "{label}");
+                assert_eq!(
+                    resumed.stats.resumed_steps,
+                    snap.steps(),
+                    "{label}: inherited-work accounting wrong"
+                );
+            }
+        }
+    }
+}

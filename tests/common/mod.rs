@@ -1,3 +1,5 @@
+#![allow(dead_code)] // Each test binary uses a different fixture subset.
+
 //! Shared fixtures for the workspace-level conformance suite: the paper's
 //! four workloads, the full determinism-model suite, and the seed grid the
 //! cross-model invariants are checked over.
@@ -78,6 +80,24 @@ pub fn model_suite(workload: &dyn Workload) -> Vec<Box<dyn DeterminismModel>> {
         Box::new(FailureModel),
         Box::new(debug),
     ]
+}
+
+/// FNV-1a over a serialized artifact: any divergence anywhere in the input
+/// changes the hash. The single definition every workspace-level suite
+/// (golden table, conformance, checkpoint determinism) compares against.
+pub fn fnv(json: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a hash of a run's serialized trace.
+pub fn trace_hash(out: &debug_determinism::sim::RunOutput) -> u64 {
+    let trace = debug_determinism::trace::Trace::from_run(out);
+    fnv(&serde_json::to_string(&trace).expect("trace serializes"))
 }
 
 /// Schedule-order-insensitive view of a run's observable output: per-port

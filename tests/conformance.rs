@@ -358,3 +358,96 @@ fn models_select_dpor_through_the_inference_budget() {
     );
     assert!(random.inference.pruned == 0, "random search never prunes");
 }
+
+/// Checkpointed (fork-based) DFS is an execution mechanism, not a search
+/// policy: on every workload it must walk the same tree as from-scratch
+/// DFS — executing the same interleavings in the same order, pruning the
+/// same branches, and returning the byte-identical failure set — while the
+/// step accounting stays conservative (executed + skipped = scratch's
+/// executed).
+#[test]
+fn checkpointed_dfs_is_execution_equivalent_on_every_workload() {
+    let budget = InferenceBudget::executions(1_000);
+    for workload in all_workloads() {
+        let scenario = workload.scenario();
+        for strategy in [
+            SearchStrategy::Exhaustive { max_depth: 3 },
+            SearchStrategy::Dpor { max_depth: 3 },
+        ] {
+            let (scratch_failures, scratch) = enumerate_failures(&scenario, &budget, strategy);
+            let (ck_failures, ck) =
+                enumerate_failures(&scenario, &budget.with_checkpoints(1), strategy);
+            let label = format!("{} / {strategy:?}", workload.name());
+            assert_eq!(
+                ck_failures, scratch_failures,
+                "{label}: checkpointed DFS changed the failure set"
+            );
+            assert_eq!(ck.explored, scratch.explored, "{label}: walk changed");
+            assert_eq!(ck.pruned, scratch.pruned, "{label}: pruning changed");
+            assert_eq!(
+                ck.steps_executed + ck.steps_skipped,
+                scratch.steps_executed,
+                "{label}: step accounting inconsistent"
+            );
+        }
+    }
+}
+
+/// Every interleaving a checkpointed walk produces is byte-identical to the
+/// one the scratch walk produces at the same position: same trace hash,
+/// decision for decision. (Snapshot restore may never perturb an
+/// execution.)
+#[test]
+fn checkpointed_dfs_interleavings_are_byte_identical_to_scratch() {
+    let workload = msgserver();
+    let scenario = workload.scenario();
+    let budget = InferenceBudget::executions(40);
+    let strategy = SearchStrategy::Dpor { max_depth: 16 };
+
+    let collect = |budget: &InferenceBudget| -> Vec<u64> {
+        let hashes = std::cell::RefCell::new(Vec::new());
+        debug_determinism::replay::search_with(&scenario, budget, strategy, None, |out| {
+            hashes.borrow_mut().push(common::trace_hash(out));
+            false
+        });
+        hashes.into_inner()
+    };
+    let scratch = collect(&budget);
+    let checkpointed = collect(&budget.with_checkpoints(1));
+    assert_eq!(scratch.len(), checkpointed.len());
+    assert_eq!(
+        scratch, checkpointed,
+        "a snapshot-resumed interleaving diverged from its scratch twin"
+    );
+    assert!(scratch.len() >= 30, "walk too small to be meaningful");
+}
+
+/// The ABL-7 acceptance gate: in the deep-horizon regime (budget-capped
+/// DFS, branch points far into each run), checkpointed search must execute
+/// at least 30% fewer kernel operations than scratch search on msgserver —
+/// with the identical failure set. (At shallow depths there is nothing to
+/// skip: every branch point precedes the first executed operation; see the
+/// ABL-7 notes in README.)
+#[test]
+fn checkpointed_search_saves_at_least_30_percent_on_deep_msgserver() {
+    let workload = msgserver();
+    let scenario = workload.scenario();
+    let budget = InferenceBudget::executions(150);
+    let strategy = SearchStrategy::Dpor { max_depth: 256 };
+    let (scratch_failures, scratch) = enumerate_failures(&scenario, &budget, strategy);
+    let (ck_failures, ck) = enumerate_failures(&scenario, &budget.with_checkpoints(1), strategy);
+    assert_eq!(ck_failures, scratch_failures, "failure sets must match");
+    assert_eq!(
+        ck.steps_executed + ck.steps_skipped,
+        scratch.steps_executed,
+        "step accounting inconsistent"
+    );
+    assert!(
+        ck.steps_executed * 10 <= scratch.steps_executed * 7,
+        "checkpointed search must execute >= 30% fewer kernel operations \
+         ({} vs {}, speedup {:.2}x)",
+        ck.steps_executed,
+        scratch.steps_executed,
+        ck.replay_speedup()
+    );
+}

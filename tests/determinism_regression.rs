@@ -9,14 +9,18 @@
 
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreProgram};
 use debug_determinism::replay::costs;
-use debug_determinism::sim::{run_program, Observer, Program, RandomPolicy, RunConfig};
-use debug_determinism::trace::{InputRecorder, ScheduleRecorder, Trace, ValueRecorder};
+use debug_determinism::sim::{
+    resume_program, run_program, CheckpointPlan, Observer, Program, RandomPolicy, RunConfig,
+};
+use debug_determinism::trace::{InputRecorder, ScheduleRecorder, ValueRecorder};
 use debug_determinism::workloads::{
     BufOverflowProgram, BufOverflowWorkload, MsgServerConfig, MsgServerProgram, SumProgram,
 };
 
+mod common;
+
 /// FNV-1a over the serialized trace: any divergence anywhere in the event
-/// stream changes the hash.
+/// stream changes the hash (delegates to the shared `common::fnv`).
 fn trace_hash_with(
     program: &dyn Program,
     cfg: RunConfig,
@@ -29,13 +33,7 @@ fn trace_hash_with(
         Box::new(RandomPolicy::new(policy_seed)),
         observers,
     );
-    let json = serde_json::to_string(&Trace::from_run(&out)).expect("trace serializes");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in json.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    common::trace_hash(&out)
 }
 
 fn trace_hash(program: &dyn Program, cfg: RunConfig, policy_seed: u64) -> u64 {
@@ -109,6 +107,54 @@ fn fidelity_observers(level: &str) -> Vec<Box<dyn Observer>> {
     }
 }
 
+/// The golden table: every workload's seed-42 production trace, pinned.
+const GOLDEN: &[(&str, u64)] = &[
+    ("sum", 0x2111_6735_7344_eceb),
+    ("msgserver", 0x5749_569f_767f_d389),
+    ("bufoverflow", 0xbbeb_f678_ca4d_9894),
+    ("hyperstore", 0x126c_6455_5282_2fcb),
+];
+
+/// The seed-42 production configuration for a named golden workload.
+fn golden_cfg(name: &str) -> (Box<dyn Fn() -> RunConfig>, Box<dyn Program>) {
+    match name {
+        "sum" => (
+            Box::new(|| RunConfig::with_seed(42)),
+            Box::new(SumProgram { fixed: false }),
+        ),
+        "msgserver" => (
+            Box::new(|| RunConfig::with_seed(42)),
+            Box::new(MsgServerProgram {
+                cfg: MsgServerConfig::default(),
+                fixed: false,
+            }),
+        ),
+        "bufoverflow" => (
+            Box::new(|| RunConfig {
+                seed: 42,
+                inputs: BufOverflowWorkload::production_inputs(),
+                max_steps: 50_000,
+                ..RunConfig::default()
+            }),
+            Box::new(BufOverflowProgram { fixed: false }),
+        ),
+        "hyperstore" => {
+            let cfg = HyperConfig::small();
+            let inputs = cfg.input_script();
+            (
+                Box::new(move || RunConfig {
+                    seed: 42,
+                    inputs: inputs.clone(),
+                    max_steps: 500_000,
+                    ..RunConfig::default()
+                }),
+                Box::new(HyperstoreProgram::buggy(cfg)),
+            )
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
 /// The golden trace-hash table: every workload's seed-42 production trace,
 /// pinned. Any kernel/driver/scheduling change that perturbs any workload's
 /// event stream fails this test loudly, naming the workload and fidelity.
@@ -116,12 +162,6 @@ fn fidelity_observers(level: &str) -> Vec<Box<dyn Observer>> {
 /// regenerate the constants with the command in the assertion message.
 #[test]
 fn golden_trace_hash_table_covers_all_workloads_and_fidelities() {
-    const GOLDEN: &[(&str, u64)] = &[
-        ("sum", 0x2111_6735_7344_eceb),
-        ("msgserver", 0x5749_569f_767f_d389),
-        ("bufoverflow", 0xbbeb_f678_ca4d_9894),
-        ("hyperstore", 0x126c_6455_5282_2fcb),
-    ];
     let run = |name: &str, level: &str| -> u64 {
         match name {
             "sum" => trace_hash_with(
@@ -181,6 +221,48 @@ fn golden_trace_hash_table_covers_all_workloads_and_fidelities() {
         }
         println!("golden ok: {name} {:#018x}", golden);
     }
+}
+
+/// The golden table must hold for *snapshot-resumed* runs too: running each
+/// workload with checkpointing enabled and resuming from every snapshot
+/// must land on the exact pinned hash. Checkpointed execution is only
+/// admissible because it is invisible in the trace.
+#[test]
+fn golden_trace_hash_table_holds_for_snapshot_resumed_runs() {
+    let mut total_snapshots = 0usize;
+    for &(name, golden) in GOLDEN {
+        let (mk_cfg, program) = golden_cfg(name);
+        let mut cfg = mk_cfg();
+        cfg.checkpoints = Some(CheckpointPlan::new(2, 16));
+        let original = run_program(
+            program.as_ref(),
+            cfg,
+            Box::new(RandomPolicy::new(42)),
+            vec![],
+        );
+        let full = common::trace_hash(&original);
+        assert_eq!(
+            full, golden,
+            "workload {name:?}: checkpointing perturbed the production trace"
+        );
+        // A single-task workload (sum) never hits a multi-candidate
+        // decision, so it legitimately produces no snapshots.
+        total_snapshots += original.snapshots.len();
+        for snap in &original.snapshots {
+            let resumed = resume_program(program.as_ref(), mk_cfg(), snap, None, vec![]);
+            assert_eq!(
+                common::trace_hash(&resumed),
+                golden,
+                "workload {name:?}: snapshot-resumed run (from decision {}) \
+                 does not match the golden hash",
+                snap.at_decision()
+            );
+        }
+    }
+    assert!(
+        total_snapshots > 0,
+        "no workload produced a snapshot — the resumed-run rows are vacuous"
+    );
 }
 
 /// Different seeds must be able to produce different schedules — otherwise
