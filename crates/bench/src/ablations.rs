@@ -13,6 +13,9 @@
 //! - [`checkpoint_sweep`] (ABL-7): what checkpointed (fork-based) DFS saves
 //!   over from-scratch DFS — kernel operations executed vs skipped via
 //!   snapshot restore, and wall time — on all four workloads.
+//! - [`scaling_sweep`] (ABL-8): how the multi-worker explorer scales with
+//!   worker count — identical walks, wall-clock only — scratch vs
+//!   checkpointed, shallow vs deep horizons.
 
 use crate::prepare_debug_model;
 use dd_core::{evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload};
@@ -261,8 +264,10 @@ pub struct CheckpointPoint {
     pub steps_executed: u64,
     /// Kernel operations skipped via snapshot restore.
     pub steps_skipped: u64,
-    /// `(executed + skipped) / executed` — 1.0 for scratch.
-    pub speedup: f64,
+    /// `(executed + skipped) / executed` — `Some(1.0)` for scratch, `None`
+    /// when every kernel operation was inherited from snapshots (the ratio
+    /// is unbounded; rendered as `-`).
+    pub speedup: Option<f64>,
     /// Host wall-clock milliseconds for the whole walk.
     pub wall_ms: u64,
     /// Distinct failure ids found (must match between modes).
@@ -339,6 +344,131 @@ pub fn checkpoint_sweep(modes: &[&str]) -> Vec<CheckpointPoint> {
                 wall_ms: t0.elapsed().as_millis() as u64,
                 failures: failures.len(),
             });
+        }
+    }
+    points
+}
+
+/// One worker-scaling sweep point (ABL-8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Workload name.
+    pub workload: String,
+    /// `"scratch"` or `"checkpointed"`.
+    pub mode: String,
+    /// Branching-depth bound of the DFS.
+    pub depth: u32,
+    /// Worker threads the parallel explorer used (`1` = the sequential
+    /// coordinator path).
+    pub workers: u32,
+    /// Interleavings executed (identical across worker counts).
+    pub executed: u64,
+    /// Branches pruned by DPOR (identical across worker counts).
+    pub pruned: u64,
+    /// Distinct failure ids found (identical across worker counts).
+    pub failures: usize,
+    /// Host wall-clock milliseconds for the whole walk.
+    pub wall_ms: u64,
+    /// Wall-clock scaling vs this row's 1-worker cell — `None` when the
+    /// sweep did not include `workers = 1`.
+    pub scaling: Option<f64>,
+}
+
+/// ABL-8: worker-scaling sweep — `SearchStrategy::DporParallel` at 1/2/4/8
+/// workers, scratch vs checkpointed, on all four workloads plus the
+/// deep-horizon msgserver row.
+///
+/// The determinism contract makes the table three-quarters boring on
+/// purpose: `executed`, `pruned` and `failures` must be identical down
+/// every worker column (the sweep panics if they are not — the same
+/// property CI's `determinism-matrix` job and the `DporParallel` proptests
+/// gate), so the only number that moves is wall-clock. Expect the deep
+/// msgserver row to scale and the shallow depth-4 rows not to: with every
+/// branch point in a run's first few decisions, the next branch is only
+/// discovered by executing the previous run — a serial chain no worker
+/// pool can shorten (subtree granularity; see README "Parallel
+/// exploration").
+///
+/// `deep_only` restricts the sweep to the deep-horizon msgserver row (the
+/// CI perf-smoke configuration).
+pub fn scaling_sweep(workers_list: &[u32], deep_only: bool) -> Vec<ScalingPoint> {
+    let mut workloads: Vec<(Box<dyn Workload>, u32, u64)> = Vec::new();
+    if !deep_only {
+        workloads.push((Box::new(SumWorkload), 4, 1_000));
+        workloads.push((
+            Box::new(
+                MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                    .expect("msgserver failing seed"),
+            ),
+            4,
+            1_000,
+        ));
+        workloads.push((Box::new(BufOverflowWorkload), 4, 1_000));
+        workloads.push((
+            Box::new(
+                HyperstoreWorkload::discover(HyperConfig::default(), 200)
+                    .expect("hyperstore failing seed"),
+            ),
+            4,
+            1_000,
+        ));
+    }
+    // The deep-horizon regime where independent subtrees dominate.
+    workloads.push((
+        Box::new(
+            MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                .expect("msgserver failing seed"),
+        ),
+        256,
+        150,
+    ));
+
+    let mut points = Vec::new();
+    for (w, depth, budget_n) in &workloads {
+        let scenario = w.scenario();
+        for mode in ["scratch", "checkpointed"] {
+            let budget = match mode {
+                "scratch" => InferenceBudget::executions(*budget_n),
+                _ => InferenceBudget::executions(*budget_n)
+                    .with_checkpoints(InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL),
+            };
+            let mut base_wall: Option<std::time::Duration> = None;
+            let mut base_results: Option<(std::collections::BTreeSet<String>, u64, u64)> = None;
+            for &workers in workers_list {
+                let strategy = SearchStrategy::DporParallel {
+                    max_depth: *depth,
+                    workers,
+                };
+                let t0 = std::time::Instant::now();
+                let (failures, stats) = enumerate_failures(&scenario, &budget, strategy);
+                let wall = t0.elapsed();
+                match &base_results {
+                    None => base_results = Some((failures.clone(), stats.explored, stats.pruned)),
+                    Some((f, e, p)) => assert!(
+                        *f == failures && *e == stats.explored && *p == stats.pruned,
+                        "{} / {mode}: {workers}-worker walk diverged from the \
+                         {}-worker walk — the determinism contract is broken",
+                        w.name(),
+                        workers_list[0],
+                    ),
+                }
+                if workers == 1 {
+                    base_wall = Some(wall);
+                }
+                points.push(ScalingPoint {
+                    workload: w.name().to_owned(),
+                    mode: mode.to_owned(),
+                    depth: *depth,
+                    workers,
+                    executed: stats.explored,
+                    pruned: stats.pruned,
+                    failures: failures.len(),
+                    wall_ms: wall.as_millis() as u64,
+                    // Ratio of full-precision durations: sub-millisecond
+                    // rows must not collapse to a 0.00x baseline.
+                    scaling: base_wall.map(|b| b.as_secs_f64() / wall.as_secs_f64().max(1e-9)),
+                });
+            }
         }
     }
     points

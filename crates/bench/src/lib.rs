@@ -22,9 +22,9 @@ pub mod fig1;
 pub mod fig2;
 
 pub use ablations::{
-    budget_sweep, checkpoint_sweep, invariant_sweep, scale_sweep, strategy_sweep, threshold_sweep,
-    window_sweep, BudgetPoint, CheckpointPoint, InvariantPoint, ScalePoint, StrategyPoint,
-    ThresholdPoint, WindowPoint,
+    budget_sweep, checkpoint_sweep, invariant_sweep, scale_sweep, scaling_sweep, strategy_sweep,
+    threshold_sweep, window_sweep, BudgetPoint, CheckpointPoint, InvariantPoint, ScalePoint,
+    ScalingPoint, StrategyPoint, ThresholdPoint, WindowPoint,
 };
 pub use fig1::{fig1, render_fig1, Fig1Point};
 pub use fig2::{fig2, render_fig2, Fig2Result, Fig2Row};

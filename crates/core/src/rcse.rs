@@ -17,7 +17,7 @@ use dd_classify::{Plane, PlaneMap, ProfileReport, RateClassifier};
 use dd_detect::{InvariantSet, TriggerDetector};
 use dd_replay::{
     Artifact, DeterminismModel, InferenceBudget, InferenceStats, ModelKind, OriginalRun,
-    PolicyChoice, Recording, ReplayResult, RunSpec, Scenario,
+    PolicyChoice, Recording, ReplayResult, RunSpec, Scenario, SearchStrategy,
 };
 use dd_sim::{
     observer_boilerplate, ChanClass, CrashEvent, EnvConfig, Event, EventMeta, Observer, Registry,
@@ -536,14 +536,30 @@ impl DeterminismModel for DebugModel {
             // environments the recording rules out.
             let mut pinned = scenario.clone();
             pinned.space.envs = vec![env.clone()];
-            // Debug determinism takes the checkpointed path on its
-            // fallback: when the budget selects a systematic strategy, the
-            // tree walk forks from kernel snapshots instead of re-executing
-            // every candidate's shared prefix from the first instruction.
-            // (Non-systematic strategies ignore the interval.)
+            // Debug determinism takes the checkpointed, parallel path on
+            // its fallback: when the budget selects a systematic strategy,
+            // the tree walk forks from kernel snapshots instead of
+            // re-executing every candidate's shared prefix from the first
+            // instruction, and the fork executions are spread over a
+            // worker pool. Neither changes what the search returns — the
+            // parallel walk is byte-equivalent to the sequential one (see
+            // `dd_replay::parallel`) — only how fast the fallback
+            // reconnects the relaxed recording to the failure.
+            // (Non-systematic strategies ignore both knobs.)
             let mut budget = *budget;
             if budget.checkpoint_interval == 0 {
                 budget.checkpoint_interval = InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL;
+            }
+            if let SearchStrategy::Dpor { max_depth } = budget.strategy {
+                budget.strategy = SearchStrategy::DporParallel {
+                    max_depth,
+                    workers: 0,
+                };
+                if budget.workers <= 1 {
+                    // Host-sized: resolves to the sequential path on
+                    // single-core machines, a real pool elsewhere.
+                    budget.workers = InferenceBudget::default_worker_pool();
+                }
             }
             let result = dd_replay::search(&pinned, &budget, Some(&script), |candidate| {
                 match ((scenario.failure_of)(&candidate.io), &want) {

@@ -9,7 +9,8 @@
 //! The search cost is reported as inference time and feeds debugging
 //! efficiency (DE).
 
-use crate::dpor::{explore_tree, TreeConfig};
+use crate::dpor::TreeConfig;
+use crate::parallel::explore_tree_parallel;
 use crate::scenario::{PolicyChoice, RunSpec, Scenario};
 use dd_sim::RunOutput;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,13 @@ pub struct InferenceBudget {
     /// tick-bounded checkpointed walk covers at least as many interleavings
     /// as the scratch walk before cutoff (see `dpor` module docs).
     pub checkpoint_interval: u64,
+    /// Worker threads a parallel systematic strategy may use. `1` (the
+    /// default) keeps everything on the calling thread;
+    /// [`SearchStrategy::DporParallel`] with `workers: 0` reads its pool
+    /// size from here, so callers can scale inference without touching the
+    /// strategy. The worker count never changes what the search returns —
+    /// only how fast (see the `parallel` module's determinism contract).
+    pub workers: u32,
 }
 
 impl Default for InferenceBudget {
@@ -46,6 +54,7 @@ impl Default for InferenceBudget {
             max_ticks: u64::MAX,
             strategy: SearchStrategy::Random,
             checkpoint_interval: 0,
+            workers: 1,
         }
     }
 }
@@ -82,9 +91,49 @@ impl InferenceBudget {
         self
     }
 
+    /// Sets the worker-thread pool size parallel systematic strategies may
+    /// use (`0` and `1` both mean sequential).
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// A budget of `n` executions searching with parallel DPOR at branching
+    /// depth `max_depth` over `workers` worker threads, with checkpointing
+    /// on (parallel exploration forks subtrees from pooled snapshots).
+    pub fn dpor_parallel(n: u64, max_depth: u32, workers: u32) -> Self {
+        InferenceBudget {
+            max_executions: n,
+            ..Self::default()
+        }
+        .with_strategy(SearchStrategy::DporParallel {
+            max_depth,
+            workers: 0,
+        })
+        .with_checkpoints(Self::DEFAULT_CHECKPOINT_INTERVAL)
+        .with_workers(workers)
+    }
+
     /// The default snapshot interval for callers that just want
     /// checkpointing on (snapshot at every decision in the horizon).
     pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1;
+
+    /// The ceiling of [`default_worker_pool`](Self::default_worker_pool).
+    pub const DEFAULT_WORKERS: u32 = 4;
+
+    /// The host-sized worker pool for callers that just want parallel
+    /// exploration on (e.g. the RCSE replay-divergence fallback):
+    /// `min(available cores, DEFAULT_WORKERS)`. Resolves to `1` — the
+    /// sequential path — on single-core hosts, where speculating workers
+    /// could only steal cycles from the coordinator. Explicit
+    /// [`SearchStrategy::DporParallel`] counts are honored as-is; the
+    /// determinism contract makes either choice return identical results.
+    pub fn default_worker_pool() -> u32 {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+            .min(Self::DEFAULT_WORKERS)
+    }
 }
 
 /// Statistics of one inference search.
@@ -131,13 +180,19 @@ impl InferenceStats {
 
     /// How much execution the snapshots saved: total kernel operations the
     /// same exploration would have executed from scratch, divided by the
-    /// operations actually executed. `1.0` means no savings (scratch
-    /// search); `2.0` means half the work was skipped.
-    pub fn replay_speedup(&self) -> f64 {
+    /// operations actually executed. `Some(1.0)` means no savings (scratch
+    /// search); `Some(2.0)` means half the work was skipped.
+    ///
+    /// Returns `None` when `steps_executed == 0` — an all-skipped search
+    /// (every interleaving resumed entirely from snapshots, which deep
+    /// horizons can produce) or one that never ran. The ratio is unbounded
+    /// there, not `1.0`; renderers print a `-` sentinel instead of a
+    /// number.
+    pub fn replay_speedup(&self) -> Option<f64> {
         if self.steps_executed == 0 {
-            1.0
+            None
         } else {
-            (self.steps_executed + self.steps_skipped) as f64 / self.steps_executed as f64
+            Some((self.steps_executed + self.steps_skipped) as f64 / self.steps_executed as f64)
         }
     }
 }
@@ -183,6 +238,42 @@ pub enum SearchStrategy {
         /// Branching-depth bound.
         max_depth: u32,
     },
+    /// `Dpor`, with run execution spread over a pool of worker threads: a
+    /// coordinator walks the identical DPOR-reduced tree while workers
+    /// speculatively execute pending branches from pooled kernel
+    /// snapshots (see the `parallel` module). The failure set, walk order,
+    /// per-interleaving traces and every statistic are byte-identical to
+    /// `Dpor` at the same depth and checkpoint interval, for any worker
+    /// count — parallelism buys wall-clock time only.
+    DporParallel {
+        /// Branching-depth bound.
+        max_depth: u32,
+        /// Worker threads (`0` defers to [`InferenceBudget::workers`];
+        /// `1` runs sequentially).
+        workers: u32,
+    },
+}
+
+impl SearchStrategy {
+    /// For the systematic strategies: the branching-depth bound, whether
+    /// DPOR pruning is on, and the worker-pool size after resolving a
+    /// deferred (`0`) count against the budget. `None` for the
+    /// non-systematic strategies.
+    fn systematic(&self, budget: &InferenceBudget) -> Option<(u32, bool, u32)> {
+        match *self {
+            SearchStrategy::Exhaustive { max_depth } => Some((max_depth, false, 1)),
+            SearchStrategy::Dpor { max_depth } => Some((max_depth, true, 1)),
+            SearchStrategy::DporParallel { max_depth, workers } => {
+                let workers = if workers == 0 {
+                    budget.workers
+                } else {
+                    workers
+                };
+                Some((max_depth, true, workers.max(1)))
+            }
+            SearchStrategy::Random | SearchStrategy::Pct { .. } => None,
+        }
+    }
 }
 
 /// Searches a scenario's nondeterminism space for an execution satisfying
@@ -237,12 +328,10 @@ pub fn search_with(
 
     let mut stats = InferenceStats::default();
 
-    if let SearchStrategy::Exhaustive { max_depth } | SearchStrategy::Dpor { max_depth } = strategy
-    {
+    if let Some((max_depth, dpor, workers)) = strategy.systematic(budget) {
         // Systematic strategies replace random schedule seeding with a tree
         // walk per (seed, input, environment) combination, sharing one
         // budget; environment still varies fastest.
-        let dpor = matches!(strategy, SearchStrategy::Dpor { .. });
         let scripts: Vec<&dd_sim::InputScript> = match fixed_inputs {
             Some(s) => vec![s],
             None => inputs.iter().collect(),
@@ -263,11 +352,14 @@ pub fn search_with(
                         checkpoint_every: (budget.checkpoint_interval > 0)
                             .then_some(budget.checkpoint_interval),
                     };
-                    if let Some((out, spec)) =
-                        explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
-                            accept(out)
-                        })
-                    {
+                    if let Some((out, spec)) = explore_tree_parallel(
+                        scenario,
+                        &cfg,
+                        budget,
+                        workers,
+                        &mut stats,
+                        &mut |out, _| accept(out),
+                    ) {
                         return SearchResult {
                             run: Some(out),
                             spec: Some(spec),
@@ -305,7 +397,9 @@ pub fn search_with(
                 expected_len,
                 depth,
             },
-            SearchStrategy::Exhaustive { .. } | SearchStrategy::Dpor { .. } => {
+            SearchStrategy::Exhaustive { .. }
+            | SearchStrategy::Dpor { .. }
+            | SearchStrategy::DporParallel { .. } => {
                 unreachable!("systematic strategies handled above")
             }
         };
@@ -352,26 +446,33 @@ pub fn enumerate_failures(
 ) -> (BTreeSet<String>, InferenceStats) {
     let mut stats = InferenceStats::default();
     let mut failures = BTreeSet::new();
-    match strategy {
-        SearchStrategy::Exhaustive { max_depth } | SearchStrategy::Dpor { max_depth } => {
+    match strategy.systematic(budget) {
+        Some((max_depth, dpor, workers)) => {
             let cfg = TreeConfig {
                 seed: scenario.seed,
                 tail_seed: scenario.sched_seed.wrapping_mul(0x9E3779B97F4A7C15),
                 inputs: &scenario.inputs,
                 env: &scenario.env,
-                dpor: matches!(strategy, SearchStrategy::Dpor { .. }),
+                dpor,
                 max_depth: max_depth as usize,
                 checkpoint_every: (budget.checkpoint_interval > 0)
                     .then_some(budget.checkpoint_interval),
             };
-            explore_tree(scenario, &cfg, budget, &mut stats, &mut |out, _| {
-                if let Some(f) = (scenario.failure_of)(&out.io) {
-                    failures.insert(f.failure_id);
-                }
-                false
-            });
+            explore_tree_parallel(
+                scenario,
+                &cfg,
+                budget,
+                workers,
+                &mut stats,
+                &mut |out, _| {
+                    if let Some(f) = (scenario.failure_of)(&out.io) {
+                        failures.insert(f.failure_id);
+                    }
+                    false
+                },
+            );
         }
-        SearchStrategy::Random | SearchStrategy::Pct { .. } => {
+        None => {
             for i in 0..budget.max_executions {
                 if stats.ticks >= budget.max_ticks {
                     break;

@@ -16,11 +16,15 @@
 //!
 //! Inference is explicit bounded [`search`] over a scenario's
 //! [`NondetSpace`] — the substitution for symbolic execution documented in
-//! DESIGN.md. Its cost is measured and feeds debugging efficiency.
+//! DESIGN.md. Its cost is measured and feeds debugging efficiency. The
+//! systematic strategies can run multi-worker
+//! ([`SearchStrategy::DporParallel`], see [`parallel`]) with byte-identical
+//! results for any worker count.
 
 pub mod dpor;
 pub mod explorer;
 pub mod models;
+pub mod parallel;
 pub mod recordings;
 pub mod scenario;
 

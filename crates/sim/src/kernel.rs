@@ -11,7 +11,7 @@
 //!
 //! The kernel is two layers:
 //!
-//! - [`WorldState`] — every piece of *machine* state a run evolves: tasks,
+//! - `WorldState` — every piece of *machine* state a run evolves: tasks,
 //!   variables, locks, condition variables, channels, ports, clocks, RNG,
 //!   pending timers/inputs/crashes, the trace, the decision stream, and the
 //!   per-task syscall-result log. It is plain data and `Clone`: cloning it
@@ -20,7 +20,7 @@
 //! - The shell — everything tied to *this* execution of the run rather
 //!   than the machine it simulates: observers, the scheduling policy, the
 //!   nondeterminism-override hook, per-task OS-thread plumbing
-//!   ([`TaskRuntime`]: grant condvars, cancellation pokes, fast-forward
+//!   (`TaskRuntime`: grant condvars, cancellation pokes, fast-forward
 //!   cursors), and collected snapshots. None of it is cloneable and none of
 //!   it is needed to reconstruct the machine.
 //!
@@ -31,6 +31,18 @@
 //! part of the restored world — until the task reaches the sync point it
 //! was parked at when the snapshot was taken. Only from there on do its
 //! operations execute (and cost) anything.
+//!
+//! # Thread-safety of the split
+//!
+//! The split is also a *thread-safety* boundary. `WorldState` and
+//! [`WorldSnapshot`] are `Send + Sync`: a parallel schedule explorer keeps
+//! one shared pool of snapshots and hands them to worker threads, each of
+//! which owns a private execution shell — its own observers, policy clone
+//! ([`SchedulePolicy::clone_box`] is `Send`-safe), and per-task
+//! `TaskRuntime` pool (grant condvars and fast-forward cursors are
+//! per-execution, never shared between concurrent restores of the same
+//! snapshot). Nothing in the shell crosses threads; everything in the world
+//! may.
 
 use crate::config::{ChanClass, CheckpointPlan, EnvConfig, NondetOverride, OpCosts, TimedInput};
 use crate::conflict::OpDesc;
@@ -323,7 +335,7 @@ pub(crate) struct WorldState {
 /// A resumable checkpoint: a clone of the machine state at a decision
 /// point, plus the scheduling policy's state at the same instant.
 ///
-/// Produced by runs configured with [`CheckpointPlan`](crate::config::CheckpointPlan)
+/// Produced by runs configured with [`CheckpointPlan`]
 /// (see [`RunOutput::snapshots`](crate::driver::RunOutput)); consumed by
 /// [`resume_program`](crate::driver::resume_program). Resuming with the
 /// snapshot's own policy replays the remainder of the original run
@@ -350,6 +362,18 @@ impl WorldSnapshot {
     pub fn time(&self) -> u64 {
         self.world.time
     }
+
+    /// The decision path that leads to this snapshot: the chosen candidate
+    /// index of each recorded decision, in order ([`at_decision`](Self::at_decision)
+    /// entries).
+    ///
+    /// Parallel schedule explorers use this to re-bind a queued subtree job
+    /// to the deepest snapshot *compatible with the job's forced prefix* at
+    /// execution time — a snapshot is usable for a prefix iff the prefix
+    /// starts with the snapshot's decision path.
+    pub fn decision_prefix(&self) -> impl Iterator<Item = u32> + '_ {
+        self.world.decisions.iter().map(|d| d.chosen_index)
+    }
 }
 
 impl Clone for WorldSnapshot {
@@ -370,6 +394,17 @@ impl core::fmt::Debug for WorldSnapshot {
             .finish()
     }
 }
+
+// The load-bearing bounds of parallel exploration, pinned at compile time:
+// snapshots (world + policy clone) move between — and are shared by — the
+// worker threads of a parallel explorer. If a field ever loses `Send` or
+// `Sync`, this fails to compile rather than surfacing as a distant trait
+// error in `dd-replay`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WorldState>();
+    assert_send_sync::<WorldSnapshot>();
+};
 
 /// The machine state plus the execution shell. See module docs for the
 /// threading discipline and the `WorldState`/shell split.

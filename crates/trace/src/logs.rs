@@ -141,6 +141,39 @@ impl ScheduleLog {
             .last()
             .copied()
     }
+
+    /// Merges epoch marks from another observer of the same logical run
+    /// into this log, keeping the union sorted by decision index and free
+    /// of duplicates.
+    ///
+    /// Concurrent recorders — e.g. one per worker of a parallel schedule
+    /// explorer — each see only the snapshot slice their own executions
+    /// took (a resumed run reports epochs past its restore point only).
+    /// Because snapshots at the same decision index of the same schedule
+    /// prefix capture the identical world (the determinism contract),
+    /// merging is a pure set union: order of merging does not matter, and
+    /// a duplicate decision index carries an identical mark, so the first
+    /// occurrence is kept.
+    pub fn merge_epochs(&mut self, marks: impl IntoIterator<Item = EpochMark>) {
+        self.epochs.extend(marks);
+        self.epochs.sort_by_key(|e| e.decision);
+        self.epochs.dedup_by(|a, b| {
+            if a.decision != b.decision {
+                return false;
+            }
+            debug_assert!(
+                a.step == b.step && a.time == b.time,
+                "epoch marks at decision {} disagree ({}/{} vs {}/{}) — \
+                 recorders observed diverging runs",
+                a.decision,
+                a.step,
+                a.time,
+                b.step,
+                b.time
+            );
+            true
+        });
+    }
 }
 
 /// One recorded external input.
@@ -625,6 +658,37 @@ mod tests {
         assert_eq!(log.deepest_epoch_at_or_before(2).unwrap().decision, 2);
         assert_eq!(log.deepest_epoch_at_or_before(5).unwrap().decision, 2);
         assert_eq!(log.deepest_epoch_at_or_before(9).unwrap().decision, 6);
+    }
+
+    #[test]
+    fn merge_epochs_unions_sorted_and_deduplicated() {
+        let mark = |decision: u64, step: u64| EpochMark {
+            decision,
+            step,
+            time: step * 2,
+        };
+        // Three concurrent recorders, each observing a different slice of
+        // the same run's snapshot stream (resumed runs only report epochs
+        // past their restore point), merged in arbitrary order.
+        let slices = [
+            vec![mark(2, 3), mark(6, 11)],
+            vec![mark(4, 7), mark(6, 11)],
+            vec![mark(2, 3), mark(8, 15)],
+        ];
+        let mut forward = ScheduleLog::default();
+        for s in &slices {
+            forward.merge_epochs(s.iter().copied());
+        }
+        let mut backward = ScheduleLog::default();
+        for s in slices.iter().rev() {
+            backward.merge_epochs(s.iter().copied());
+        }
+        let want = vec![mark(2, 3), mark(4, 7), mark(6, 11), mark(8, 15)];
+        assert_eq!(forward.epochs, want, "union, sorted, deduplicated");
+        assert_eq!(backward.epochs, want, "merge order must not matter");
+        // The merged log answers resume-point queries across all slices.
+        assert_eq!(forward.deepest_epoch_at_or_before(5).unwrap().decision, 4);
+        assert_eq!(forward.deepest_epoch_at_or_before(9).unwrap().decision, 8);
     }
 
     #[test]

@@ -43,14 +43,26 @@ impl ScheduleRecorder {
         std::mem::take(&mut self.log)
     }
 
-    /// Stamps the checkpoint epochs of the finished run into the artifact.
+    /// Merges the checkpoint epochs of a finished run into the artifact.
     ///
     /// Snapshots are taken by the driver, not published as events, so the
     /// observer cannot see them; models call this after the run with the
     /// snapshots from the [`RunOutput`](dd_sim::RunOutput) the recorder was
-    /// attached to.
+    /// attached to. Calling it repeatedly *unions* the marks (sorted by
+    /// decision, deduplicated) — that is what lets the epoch streams of
+    /// concurrent recorders, each attached to one worker of a parallel
+    /// explorer re-executing slices of the same schedule, be folded into
+    /// one artifact in any order (see [`ScheduleLog::merge_epochs`]).
     pub fn absorb_epochs(&mut self, snapshots: &[dd_sim::WorldSnapshot]) {
-        self.log.epochs = snapshots.iter().map(crate::EpochMark::of).collect();
+        self.log
+            .merge_epochs(snapshots.iter().map(crate::EpochMark::of));
+    }
+
+    /// Merges another recorder's epoch marks into this one (the
+    /// concurrent-recorder join: each worker's recorder saw only its own
+    /// executions' snapshot slice).
+    pub fn merge_epochs_from(&mut self, other: &ScheduleLog) {
+        self.log.merge_epochs(other.epochs.iter().copied());
     }
 
     /// Recording statistics.
@@ -505,5 +517,26 @@ mod tests {
         );
         let log = r.to_log(&dd_sim::Registry::default());
         assert_eq!(log.counters["drops"], 4);
+    }
+
+    #[test]
+    fn concurrent_recorders_epochs_merge_into_one_artifact() {
+        let mark = |decision: u64| crate::EpochMark {
+            decision,
+            step: decision * 10,
+            time: decision * 20,
+        };
+        // Two workers of a parallel explorer re-executed slices of the
+        // same schedule; each recorder carries the epochs its own
+        // executions saw.
+        let mut a = ScheduleRecorder::new(CostModel::free());
+        a.log.epochs = vec![mark(2), mark(4)];
+        let mut b = ScheduleRecorder::new(CostModel::free());
+        b.log.epochs = vec![mark(4), mark(6)];
+        a.merge_epochs_from(b.log());
+        assert_eq!(a.log().epochs, vec![mark(2), mark(4), mark(6)]);
+        // Merging is idempotent: folding the same slice again is a no-op.
+        a.merge_epochs_from(b.log());
+        assert_eq!(a.log().epochs, vec![mark(2), mark(4), mark(6)]);
     }
 }

@@ -445,9 +445,135 @@ fn checkpointed_search_saves_at_least_30_percent_on_deep_msgserver() {
     assert!(
         ck.steps_executed * 10 <= scratch.steps_executed * 7,
         "checkpointed search must execute >= 30% fewer kernel operations \
-         ({} vs {}, speedup {:.2}x)",
+         ({} vs {}, speedup {:?})",
         ck.steps_executed,
         scratch.steps_executed,
         ck.replay_speedup()
+    );
+}
+
+/// Worker-pool size of the parallel explorer under test. CI's
+/// `determinism-matrix` job sweeps this (`DD_SEARCH_WORKERS ∈ {1, 4}`,
+/// crossed with `--test-threads`) so any hash or failure-set difference
+/// between worker counts — or any interference between concurrently
+/// running explorers — fails the gate.
+fn search_workers() -> u32 {
+    std::env::var("DD_SEARCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// The parallel determinism contract, workload by workload: for every
+/// workload, scratch and checkpointed, `DporParallel` at the matrix's
+/// worker count returns the byte-identical failure set *and* the identical
+/// `InferenceStats` — explored, pruned, ticks, step accounting — as the
+/// sequential explorer. The coordinator consumes runs in sequential order
+/// and charges them against its canonical snapshot pool, so even the
+/// steps-skipped accounting is worker-count-invariant.
+#[test]
+fn parallel_dfs_is_byte_identical_to_sequential_on_every_workload() {
+    let workers = search_workers();
+    for workload in all_workloads() {
+        let scenario = workload.scenario();
+        for interval in [0u64, 1] {
+            let budget = InferenceBudget::executions(400).with_checkpoints(interval);
+            let (seq_failures, seq) =
+                enumerate_failures(&scenario, &budget, SearchStrategy::Dpor { max_depth: 4 });
+            let (par_failures, par) = enumerate_failures(
+                &scenario,
+                &budget,
+                SearchStrategy::DporParallel {
+                    max_depth: 4,
+                    workers,
+                },
+            );
+            let label = format!(
+                "{} / interval {interval} / {workers} workers",
+                workload.name()
+            );
+            assert_eq!(
+                par_failures, seq_failures,
+                "{label}: parallel DPOR changed the failure set"
+            );
+            assert_eq!(par, seq, "{label}: parallel DPOR changed the statistics");
+        }
+    }
+}
+
+/// Every interleaving the parallel walk visits is byte-identical to the
+/// sequential walk's, at the same position: same trace hash, decision for
+/// decision — on the deep-horizon msgserver walk where workers genuinely
+/// race ahead over pooled snapshots.
+#[test]
+fn parallel_walk_trace_hashes_match_sequential() {
+    let workload = msgserver();
+    let scenario = workload.scenario();
+    let budget = InferenceBudget::executions(60).with_checkpoints(1);
+
+    let collect = |strategy: SearchStrategy| -> Vec<u64> {
+        let hashes = std::cell::RefCell::new(Vec::new());
+        debug_determinism::replay::search_with(&scenario, &budget, strategy, None, |out| {
+            hashes.borrow_mut().push(common::trace_hash(out));
+            false
+        });
+        hashes.into_inner()
+    };
+    let sequential = collect(SearchStrategy::Dpor { max_depth: 256 });
+    assert!(sequential.len() >= 40, "walk too small to be meaningful");
+    for workers in [2u32, search_workers().max(2)] {
+        let parallel = collect(SearchStrategy::DporParallel {
+            max_depth: 256,
+            workers,
+        });
+        assert_eq!(
+            parallel, sequential,
+            "{workers} workers: a speculatively executed interleaving \
+             diverged from its sequential twin"
+        );
+    }
+}
+
+/// The ABL-8 wall-clock acceptance gate: on the deep-horizon msgserver row,
+/// 4 workers must finish the identical checkpointed walk at least 1.5×
+/// faster than the sequential explorer. Wall-clock on shared CI runners is
+/// noisy, so this is ignored in the gating test job and run explicitly by
+/// the non-gating `perf-smoke` job (the *correctness* half — identical
+/// walks — is gated above and by the `determinism-matrix` job).
+#[test]
+#[ignore = "wall-clock perf gate; run explicitly by the CI perf-smoke job"]
+fn parallel_search_is_1_5x_faster_on_deep_msgserver() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!(
+            "SKIP: host exposes {cores} core(s); wall-clock scaling cannot \
+             be demonstrated without hardware parallelism"
+        );
+        return;
+    }
+    let workload = msgserver();
+    let scenario = workload.scenario();
+    let budget = InferenceBudget::executions(150).with_checkpoints(1);
+
+    let time = |strategy: SearchStrategy| {
+        let t0 = std::time::Instant::now();
+        let (failures, stats) = enumerate_failures(&scenario, &budget, strategy);
+        (t0.elapsed(), failures, stats)
+    };
+    // Warm-up: touch both paths once so allocator and page-cache effects
+    // do not bias whichever variant runs first.
+    time(SearchStrategy::Dpor { max_depth: 256 });
+    let (seq_wall, seq_failures, seq_stats) = time(SearchStrategy::Dpor { max_depth: 256 });
+    let (par_wall, par_failures, par_stats) = time(SearchStrategy::DporParallel {
+        max_depth: 256,
+        workers: 4,
+    });
+    assert_eq!(par_failures, seq_failures, "failure sets must match");
+    assert_eq!(par_stats, seq_stats, "statistics must match");
+    assert!(
+        par_wall.as_secs_f64() * 1.5 <= seq_wall.as_secs_f64(),
+        "4-worker walk must be >= 1.5x faster than sequential \
+         ({par_wall:?} vs {seq_wall:?}, {:.2}x)",
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64()
     );
 }

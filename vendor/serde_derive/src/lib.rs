@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
-//! the vendored `serde` stub's [`Content`] data model, without `syn`/`quote`
+//! the vendored `serde` stub's `Content` data model, without `syn`/`quote`
 //! (neither is available offline). The input item is parsed directly from
 //! the `proc_macro` token stream, which is sufficient because this codebase
 //! derives only on non-generic structs and enums with no `#[serde(...)]`
