@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release --bin repro-fig1 [-- --json]`
 
-use dd_bench::{fig1, render_fig1};
+use dd_bench::{emit_bench, fig1, render_fig1};
 use dd_core::InferenceBudget;
 
 fn main() {
@@ -15,5 +15,6 @@ fn main() {
         );
     } else {
         print!("{}", render_fig1(&points));
+        emit_bench("fig1", &points);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release --bin repro-fig2 [-- --json]`
 
-use dd_bench::{fig2, render_fig2};
+use dd_bench::{emit_bench, fig2, render_fig2};
 use dd_core::InferenceBudget;
 
 fn main() {
@@ -15,5 +15,6 @@ fn main() {
         );
     } else {
         print!("{}", render_fig2(&result));
+        emit_bench("fig2", &result.rows);
     }
 }

@@ -18,16 +18,20 @@
 //! same recorders.
 
 pub mod ablations;
+pub mod emit;
 pub mod fig1;
 pub mod fig2;
+pub mod snapshot_cost;
 
 pub use ablations::{
     budget_sweep, checkpoint_sweep, invariant_sweep, scale_sweep, scaling_sweep, strategy_sweep,
     threshold_sweep, window_sweep, BudgetPoint, CheckpointPoint, InvariantPoint, ScalePoint,
     ScalingPoint, StrategyPoint, ThresholdPoint, WindowPoint,
 };
+pub use emit::{emit_bench, write_bench_json};
 pub use fig1::{fig1, render_fig1, Fig1Point};
 pub use fig2::{fig2, render_fig2, Fig2Result, Fig2Row};
+pub use snapshot_cost::{deep_msgserver_point, snapshot_cost_sweep, SnapshotCostPoint};
 
 use dd_core::{DebugModel, RcseConfig, Workload};
 

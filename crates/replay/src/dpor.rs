@@ -65,7 +65,11 @@ use std::sync::Arc;
 /// The walk's snapshot pool: prefix-compatible [`WorldSnapshot`]s along the
 /// current DFS path, keyed by the decision index they were taken at.
 /// `Arc`-shared so a parallel fetcher can hand the same snapshot to several
-/// worker threads without cloning the world per job.
+/// worker threads without cloning the world per job. Sharing is two-level:
+/// the pool shares snapshots by handle, and the snapshots themselves share
+/// their sealed history chunks (`dd_sim::ChunkedLog`, `Send + Sync`) with
+/// each other and with every run forked from them — so the pool's memory
+/// and per-fork clone cost are O(live state) per entry, not O(history).
 pub(crate) type SnapshotPool = BTreeMap<u64, Arc<WorldSnapshot>>;
 
 /// One configuration of the tree walk: which run parameters are fixed and
@@ -419,7 +423,7 @@ fn backtrack_points(out: &RunOutput, max_depth: usize) -> Vec<(usize, Add)> {
     let decisions = &out.decisions;
     let enabled = &out.decision_enabled;
     let horizon = decisions.len().min(max_depth);
-    let Some(trace) = out.trace.as_deref() else {
+    let Some(trace) = out.trace.as_ref() else {
         return Vec::new();
     };
     if horizon == 0 {

@@ -19,7 +19,10 @@
 //!   `TaskRuntime` pools — see `dd-sim`'s world/shell split). They pull
 //!   jobs from a shared LIFO frontier of `(forced prefix, deepest usable
 //!   WorldSnapshot)` items, restore the snapshot, force the remaining
-//!   prefix, and post the finished [`RunOutput`] back.
+//!   prefix, and post the finished [`RunOutput`] back. Restoring is cheap
+//!   everywhere: a snapshot's history lives in `Send + Sync`
+//!   `dd_sim::ChunkedLog` chunks shared across the whole pool and all
+//!   worker threads, so a fork clones O(live state), never the trace.
 //! - After consuming each run, the coordinator **speculatively enqueues**
 //!   every branch pending anywhere on its stack (all of them will be
 //!   consumed eventually; DPOR backtrack sets only grow). The frontier is

@@ -14,10 +14,11 @@
 use crate::config::RunConfig;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
+use crate::history::ChunkedLog;
 use crate::ids::TaskId;
 use crate::kernel::{
-    Attempt, CrashRecord, DecisionRecord, Kernel, OutputRecord, Phase, PortDir, SysLogEntry,
-    WorldSnapshot,
+    Attempt, CrashRecord, DecisionRecord, EnabledSet, Kernel, OutputRecord, Phase, PortDir,
+    SysLogEntry, WorldSnapshot,
 };
 use crate::policy::SchedulePolicy;
 use crate::program::{Builder, Program, TaskCtx, TaskFn};
@@ -204,15 +205,17 @@ pub struct RunOutput {
     pub io: IoSummary,
     /// Name tables.
     pub registry: Registry,
-    /// The resolved decision stream (for replay and search).
-    pub decisions: Vec<DecisionRecord>,
+    /// The resolved decision stream (for replay and search). Chunk-shared
+    /// with any snapshots the run took — cloning or absorbing it into a
+    /// schedule artifact bumps chunk handles instead of copying records.
+    pub decisions: ChunkedLog<DecisionRecord>,
     /// Per-decision enabled-set snapshots with each candidate's
     /// pending-operation conflict footprint, aligned with `decisions`.
     /// Partial-order-reduced search uses this to decide which sibling
     /// schedule branches commute.
-    pub decision_enabled: Vec<Vec<(TaskId, Option<crate::conflict::OpDesc>)>>,
+    pub decision_enabled: ChunkedLog<EnabledSet>,
     /// The omniscient analysis trace, if collected.
-    pub trace: Option<Vec<(EventMeta, Event)>>,
+    pub trace: Option<ChunkedLog<(EventMeta, Event)>>,
     /// Resumable world snapshots taken per the run's
     /// [`CheckpointPlan`](crate::config::CheckpointPlan), in increasing
     /// decision order (empty when checkpointing is disabled).
@@ -240,9 +243,9 @@ impl RunOutput {
     /// # Panics
     ///
     /// Panics if the run was configured with `collect_trace: false`.
-    pub fn trace(&self) -> &[(EventMeta, Event)] {
+    pub fn trace(&self) -> &ChunkedLog<(EventMeta, Event)> {
         self.trace
-            .as_deref()
+            .as_ref()
             .expect("run was configured with collect_trace: false")
     }
 }
@@ -433,11 +436,14 @@ fn run_to_completion(
         resumed_ticks,
         observer_costs: kernel.observer_costs(),
     };
+    // The I/O summary materializes contiguous vectors once, at run end;
+    // during the run these lived in chunk-shared history logs so that
+    // snapshots never paid for them.
     let io = IoSummary {
-        outputs: std::mem::take(&mut kernel.world.outputs),
-        inputs: std::mem::take(&mut kernel.world.inputs_seen),
+        outputs: kernel.world.outputs.to_vec(),
+        inputs: kernel.world.inputs_seen.to_vec(),
         counters: std::mem::take(&mut kernel.world.counters),
-        crashes: kernel.world.crashes.clone(),
+        crashes: kernel.world.crashes.to_vec(),
     };
     RunOutput {
         stop: kernel.world.stop.clone().unwrap_or(StopReason::Quiescent),

@@ -17,6 +17,13 @@
 //!   per-task syscall-result log. It is plain data and `Clone`: cloning it
 //!   at a decision point yields a [`WorldSnapshot`] from which the run can
 //!   be resumed deterministically (restore + re-run ⇒ the identical trace).
+//!   Within the world, *hot* machine state (bounded by the number of live
+//!   objects) is cloned eagerly, while the append-only history logs — the
+//!   trace, decisions, enabled sets, outputs, consumed inputs, crashes and
+//!   syscall logs — live in [`ChunkedLog`]s whose sealed chunks are
+//!   `Arc`-shared between the run and every snapshot, so snapshot cost is
+//!   O(live state), independent of how long the run has been going (see
+//!   [`WorldSnapshot::cost`]).
 //! - The shell — everything tied to *this* execution of the run rather
 //!   than the machine it simulates: observers, the scheduling policy, the
 //!   nondeterminism-override hook, per-task OS-thread plumbing
@@ -48,6 +55,7 @@ use crate::config::{ChanClass, CheckpointPlan, EnvConfig, NondetOverride, OpCost
 use crate::conflict::OpDesc;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
+use crate::history::ChunkedLog;
 use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
 use crate::policy::SchedulePolicy;
 use crate::rng::DetRng;
@@ -269,11 +277,24 @@ pub(crate) struct PendingInput {
     value: Value,
 }
 
+/// One recorded enabled set: every candidate task at a decision point with
+/// its pending-operation conflict footprint.
+pub type EnabledSet = Vec<(TaskId, Option<OpDesc>)>;
+
+/// Chunk capacity of the per-task syscall logs. Deliberately smaller than
+/// the [default](crate::history::DEFAULT_CHUNK_LEN): a snapshot copies one
+/// tail *per task*, so the per-task bound is what keeps many-task worlds
+/// cheap to clone.
+const SYSLOG_CHUNK_LEN: usize = 64;
+
 /// The complete snapshotable machine state of a run (see module docs).
 ///
 /// Everything here is plain data: cloning a `WorldState` at a decision
 /// point (no task granted or running) captures the run exactly, and a run
-/// resumed from the clone evolves identically to the original.
+/// resumed from the clone evolves identically to the original. The
+/// append-only history logs are [`ChunkedLog`]s, so the clone deep-copies
+/// only the hot machine state plus each log's bounded tail; sealed history
+/// chunks are shared by reference.
 #[derive(Clone)]
 pub(crate) struct WorldState {
     pub tasks: Vec<TaskRec>,
@@ -302,19 +323,19 @@ pub(crate) struct WorldState {
     /// Time-sorted scheduled crashes not yet fired.
     pub pending_crashes: VecDeque<(u64, String)>,
 
-    pub trace: Option<Vec<(EventMeta, Event)>>,
+    pub trace: Option<ChunkedLog<(EventMeta, Event)>>,
 
-    pub outputs: Vec<OutputRecord>,
+    pub outputs: ChunkedLog<OutputRecord>,
     /// Inputs the program consumed, in consumption order (port name, value).
-    pub inputs_seen: Vec<(String, Value)>,
+    pub inputs_seen: ChunkedLog<(String, Value)>,
     pub counters: BTreeMap<String, i64>,
-    pub crashes: Vec<CrashRecord>,
-    pub decisions: Vec<DecisionRecord>,
+    pub crashes: ChunkedLog<CrashRecord>,
+    pub decisions: ChunkedLog<DecisionRecord>,
     /// Per-decision snapshot of the enabled set with each candidate's
     /// pending-operation footprint, aligned index-for-index with
     /// `decisions`. This is the conflict metadata partial-order-reduced
     /// search consumes.
-    pub decision_enabled: Vec<Vec<(TaskId, Option<OpDesc>)>>,
+    pub decision_enabled: ChunkedLog<EnabledSet>,
 
     /// Set when the run must wind down; tasks observe it and unwind.
     pub cancelling: bool,
@@ -327,9 +348,247 @@ pub(crate) struct WorldState {
     /// Per-task log of completed syscalls since the start of the run, the
     /// raw material of fast-forward resume. Only grows when
     /// [`record_syslog`](Self::record_syslog) is set.
-    pub sys_log: Vec<Vec<SysLogEntry>>,
+    pub sys_log: Vec<ChunkedLog<SysLogEntry>>,
     /// Whether completed syscalls are being logged (checkpointing enabled).
     pub record_syslog: bool,
+}
+
+// ---- snapshot byte accounting ------------------------------------------
+//
+// Estimators for the heap footprint of one element of each state
+// collection, used to report what a snapshot clone copies vs. shares. All
+// include `size_of` of the element itself plus its owned heap payload
+// (strings, values); they are estimates, but the same estimator is applied
+// to both sides of every old-vs-new comparison.
+
+fn sz<T>() -> u64 {
+    std::mem::size_of::<T>() as u64
+}
+
+fn trace_elem_bytes(e: &(EventMeta, Event)) -> u64 {
+    sz::<(EventMeta, Event)>() + e.1.payload_bytes()
+}
+
+fn enabled_bytes(en: &EnabledSet) -> u64 {
+    sz::<EnabledSet>() + en.len() as u64 * sz::<(TaskId, Option<OpDesc>)>()
+}
+
+fn syslog_bytes(e: &SysLogEntry) -> u64 {
+    sz::<SysLogEntry>()
+        + match e {
+            SysLogEntry::Ret(Ok(v)) => v.byte_size(),
+            SysLogEntry::Ret(Err(_)) => 16,
+            SysLogEntry::Spawn(_) | SysLogEntry::Now(_) => 0,
+        }
+}
+
+fn output_bytes(o: &OutputRecord) -> u64 {
+    sz::<OutputRecord>() + o.port_name.len() as u64 + o.value.byte_size()
+}
+
+fn input_seen_bytes(e: &(String, Value)) -> u64 {
+    sz::<(String, Value)>() + e.0.len() as u64 + e.1.byte_size()
+}
+
+fn crash_bytes(c: &CrashRecord) -> u64 {
+    sz::<CrashRecord>() + c.reason.len() as u64 + c.site.len() as u64
+}
+
+fn decision_bytes(_: &DecisionRecord) -> u64 {
+    sz::<DecisionRecord>()
+}
+
+/// The approximate heap footprint of one [`WorldSnapshot`], split into the
+/// part a snapshot clone *copies* and the part it *shares* with the run
+/// that produced it (see [`WorldSnapshot::cost`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotCost {
+    /// Bytes of hot machine state (tasks, vars, locks, cvars, channels,
+    /// ports, timers, pending environment events, counters) — always
+    /// copied, bounded by the number of live objects.
+    pub live_bytes: u64,
+    /// Bytes of history a clone copies: one 8-byte handle per sealed chunk
+    /// plus each log's bounded mutable tail.
+    pub history_cloned_bytes: u64,
+    /// Bytes the full history occupies — what a structure-unaware deep
+    /// clone (the pre-chunking representation) would copy.
+    pub history_total_bytes: u64,
+}
+
+impl SnapshotCost {
+    /// Bytes one snapshot clone actually copies: O(live state).
+    pub fn cloned_bytes(&self) -> u64 {
+        self.live_bytes + self.history_cloned_bytes
+    }
+
+    /// Bytes a deep (history-unaware) clone would copy: O(history).
+    pub fn deep_bytes(&self) -> u64 {
+        self.live_bytes + self.history_total_bytes
+    }
+
+    /// How many times fewer bytes the shared representation copies.
+    pub fn reduction(&self) -> f64 {
+        self.deep_bytes() as f64 / self.cloned_bytes().max(1) as f64
+    }
+}
+
+impl WorldState {
+    /// Approximate heap bytes of the hot machine state a clone copies.
+    fn live_bytes(&self) -> u64 {
+        let tasks: u64 = self
+            .tasks
+            .iter()
+            .map(|t| {
+                sz::<TaskRec>()
+                    + t.name.len() as u64
+                    + t.group.len() as u64
+                    + t.joiners.len() as u64 * sz::<TaskId>()
+            })
+            .sum();
+        let vars: u64 = self
+            .vars
+            .iter()
+            .map(|v| sz::<VarRec>() + v.name.len() as u64 + v.value.byte_size())
+            .sum();
+        let locks: u64 = self
+            .locks
+            .iter()
+            .map(|l| sz::<LockRec>() + l.name.len() as u64)
+            .sum();
+        let cvars: u64 = self
+            .cvars
+            .iter()
+            .map(|c| {
+                sz::<CvarRec>() + c.name.len() as u64 + c.waiters.len() as u64 * sz::<TaskId>()
+            })
+            .sum();
+        let chans: u64 = self
+            .chans
+            .iter()
+            .map(|c| {
+                sz::<ChanRec>()
+                    + c.name.len() as u64
+                    + c.queue
+                        .iter()
+                        .map(|v| sz::<Value>() + v.byte_size())
+                        .sum::<u64>()
+            })
+            .sum();
+        let ports: u64 = self
+            .ports
+            .iter()
+            .map(|p| {
+                sz::<PortRec>()
+                    + p.name.len() as u64
+                    + p.queue
+                        .iter()
+                        .map(|v| sz::<Value>() + v.byte_size())
+                        .sum::<u64>()
+            })
+            .sum();
+        let timers = self.timers.len() as u64 * sz::<Reverse<(u64, u32)>>();
+        let pending_inputs: u64 = self
+            .pending_inputs
+            .iter()
+            .map(|p| sz::<PendingInput>() + p.value.byte_size())
+            .sum();
+        let pending_crashes: u64 = self
+            .pending_crashes
+            .iter()
+            .map(|(_, g)| sz::<(u64, String)>() + g.len() as u64)
+            .sum();
+        let counters: u64 = self
+            .counters
+            .keys()
+            .map(|k| k.len() as u64 + 8 + 48) // key + value + node overhead
+            .sum();
+        sz::<WorldState>()
+            + tasks
+            + vars
+            + locks
+            + cvars
+            + chans
+            + ports
+            + timers
+            + pending_inputs
+            + pending_crashes
+            + counters
+    }
+
+    /// Bytes of history a clone of this world copies (chunk handles plus
+    /// tails) and bytes the full history occupies, as
+    /// `(cloned, total)`.
+    fn history_bytes(&self) -> (u64, u64) {
+        let mut cloned = 0;
+        let mut total = 0;
+        if let Some(trace) = &self.trace {
+            cloned += trace.clone_bytes(trace_elem_bytes);
+            total += trace.total_bytes(trace_elem_bytes);
+        }
+        cloned += self.outputs.clone_bytes(output_bytes);
+        total += self.outputs.total_bytes(output_bytes);
+        cloned += self.inputs_seen.clone_bytes(input_seen_bytes);
+        total += self.inputs_seen.total_bytes(input_seen_bytes);
+        cloned += self.crashes.clone_bytes(crash_bytes);
+        total += self.crashes.total_bytes(crash_bytes);
+        cloned += self.decisions.clone_bytes(decision_bytes);
+        total += self.decisions.total_bytes(decision_bytes);
+        cloned += self.decision_enabled.clone_bytes(enabled_bytes);
+        total += self.decision_enabled.total_bytes(enabled_bytes);
+        for log in &self.sys_log {
+            cloned += log.clone_bytes(syslog_bytes);
+            total += log.total_bytes(syslog_bytes);
+        }
+        (cloned, total)
+    }
+
+    /// The cost split of snapshotting this world.
+    pub(crate) fn snapshot_cost(&self) -> SnapshotCost {
+        let (history_cloned_bytes, history_total_bytes) = self.history_bytes();
+        SnapshotCost {
+            live_bytes: self.live_bytes(),
+            history_cloned_bytes,
+            history_total_bytes,
+        }
+    }
+
+    /// Sealed history chunks this world shares (same allocations) with
+    /// `other` — two snapshots of the same run share their common prefix.
+    fn shared_history_chunks(&self, other: &WorldState) -> usize {
+        let mut shared = match (&self.trace, &other.trace) {
+            (Some(a), Some(b)) => a.shared_chunks_with(b),
+            _ => 0,
+        };
+        shared += self.outputs.shared_chunks_with(&other.outputs);
+        shared += self.inputs_seen.shared_chunks_with(&other.inputs_seen);
+        shared += self.crashes.shared_chunks_with(&other.crashes);
+        shared += self.decisions.shared_chunks_with(&other.decisions);
+        shared += self
+            .decision_enabled
+            .shared_chunks_with(&other.decision_enabled);
+        shared += self
+            .sys_log
+            .iter()
+            .zip(&other.sys_log)
+            .map(|(a, b)| a.shared_chunks_with(b))
+            .sum::<usize>();
+        shared
+    }
+
+    /// A deep copy sharing no history chunks with `self` — the
+    /// pre-chunking snapshot representation, kept as the baseline the
+    /// `snapshot_cost` benchmark measures against.
+    fn unshared(&self) -> WorldState {
+        let mut w = self.clone();
+        w.trace = self.trace.as_ref().map(ChunkedLog::unshared);
+        w.outputs = self.outputs.unshared();
+        w.inputs_seen = self.inputs_seen.unshared();
+        w.crashes = self.crashes.unshared();
+        w.decisions = self.decisions.unshared();
+        w.decision_enabled = self.decision_enabled.unshared();
+        w.sys_log = self.sys_log.iter().map(ChunkedLog::unshared).collect();
+        w
+    }
 }
 
 /// A resumable checkpoint: a clone of the machine state at a decision
@@ -373,6 +632,34 @@ impl WorldSnapshot {
     /// starts with the snapshot's decision path.
     pub fn decision_prefix(&self) -> impl Iterator<Item = u32> + '_ {
         self.world.decisions.iter().map(|d| d.chosen_index)
+    }
+
+    /// The approximate byte cost of this snapshot: what a clone copies
+    /// (hot state + history chunk handles + history tails) vs. what a
+    /// history-unaware deep clone would copy. `cost().cloned_bytes()` is
+    /// O(live state) — independent of how long the run had been going —
+    /// while `cost().deep_bytes()` grows with the trace.
+    pub fn cost(&self) -> SnapshotCost {
+        self.world.snapshot_cost()
+    }
+
+    /// Number of sealed history chunks this snapshot shares (same
+    /// allocation) with `other`. Snapshots of the same run share their
+    /// entire common history prefix; a [`deep_clone`](Self::deep_clone)
+    /// shares nothing.
+    pub fn shared_history_chunks(&self, other: &WorldSnapshot) -> usize {
+        self.world.shared_history_chunks(&other.world)
+    }
+
+    /// A clone sharing no history chunks with `self` — the pre-chunking
+    /// O(history) snapshot representation. Exists so the `snapshot_cost`
+    /// benchmark (and regression tests) can measure the old cost against
+    /// the new one on identical state; exploration never calls this.
+    pub fn deep_clone(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            world: self.world.unshared(),
+            policy: self.policy.clone_box(),
+        }
     }
 }
 
@@ -622,13 +909,13 @@ impl Kernel {
             timers: BinaryHeap::new(),
             pending_inputs: VecDeque::new(),
             pending_crashes: pending_crashes.into(),
-            trace: collect_trace.then(Vec::new),
-            outputs: Vec::new(),
-            inputs_seen: Vec::new(),
+            trace: collect_trace.then(ChunkedLog::new),
+            outputs: ChunkedLog::new(),
+            inputs_seen: ChunkedLog::new(),
             counters: BTreeMap::new(),
-            crashes: Vec::new(),
-            decisions: Vec::new(),
-            decision_enabled: Vec::new(),
+            crashes: ChunkedLog::new(),
+            decisions: ChunkedLog::new(),
+            decision_enabled: ChunkedLog::new(),
             cancelling: false,
             stop: None,
             decision_seq: 0,
@@ -679,7 +966,7 @@ impl Kernel {
             .enumerate()
             .map(|(i, t)| {
                 let mut rt = TaskRuntime::fresh();
-                rt.ff_remaining = world.sys_log.get(i).map_or(0, Vec::len);
+                rt.ff_remaining = world.sys_log.get(i).map_or(0, ChunkedLog::len);
                 // A parked task (announced an op that has not completed) must
                 // re-attach to that sync point after its fast-forward;
                 // exited tasks replay to completion, and tasks that never
@@ -731,10 +1018,12 @@ impl Kernel {
             return None;
         }
         let log = &self.world.sys_log[task.index()];
-        Some(&log[log.len() - rt.ff_remaining])
+        log.get(log.len() - rt.ff_remaining)
     }
 
-    /// Consumes the next fast-forward log entry for `task`.
+    /// Consumes the next fast-forward log entry for `task`. The cursor is
+    /// an offset into the (chunk-shared) restored log, so fast-forward
+    /// reads never copy or mutate history.
     pub(crate) fn consume_ff(&mut self, task: TaskId) -> SysLogEntry {
         let rt = &mut self.runtime[task.index()];
         let log = &self.world.sys_log[task.index()];
@@ -768,7 +1057,9 @@ impl Kernel {
             inflight: None,
         });
         self.runtime.push(TaskRuntime::fresh());
-        self.world.sys_log.push(Vec::new());
+        self.world
+            .sys_log
+            .push(ChunkedLog::with_chunk_len(SYSLOG_CHUNK_LEN));
         self.emit(Event::TaskSpawn {
             parent,
             child: id,
@@ -1209,12 +1500,19 @@ impl Kernel {
                 }
             },
             Op::CvNotify { cvar, all, site } => {
-                let mut waiters = self.world.cvars[cvar.index()].waiters.clone();
-                let woken: Vec<TaskId> = if waiters.is_empty() {
+                let queue = &mut self.world.cvars[cvar.index()].waiters;
+                let woken: Vec<TaskId> = if queue.is_empty() {
                     Vec::new()
                 } else if *all {
-                    std::mem::take(&mut self.world.cvars[cvar.index()].waiters)
+                    // Broadcast drains the queue in place — no copy of a
+                    // possibly-long waiter list.
+                    std::mem::take(queue)
                 } else {
+                    // Single wake: the policy wants candidates sorted by
+                    // id while the queue keeps FIFO order, and `decide`
+                    // needs the kernel mutably — so only this path pays
+                    // for a sorted copy.
+                    let mut waiters = queue.clone();
                     waiters.sort_unstable();
                     match self.decide(DecisionKind::WakeOne(*cvar), &waiters) {
                         Some(chosen) => {

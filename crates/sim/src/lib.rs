@@ -65,6 +65,7 @@ pub mod conflict;
 pub mod driver;
 pub mod error;
 pub mod event;
+pub mod history;
 pub mod ids;
 pub mod kernel;
 pub mod policy;
@@ -83,8 +84,11 @@ pub use driver::{
 };
 pub use error::{SimError, SimResult, StopReason};
 pub use event::{AccessKind, DecisionKind, Event, EventMeta, Observer, SiteName};
+pub use history::ChunkedLog;
 pub use ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId, KERNEL_SITE};
-pub use kernel::{CrashRecord, DecisionRecord, OutputRecord, PortDir, WorldSnapshot};
+pub use kernel::{
+    CrashRecord, DecisionRecord, EnabledSet, OutputRecord, PortDir, SnapshotCost, WorldSnapshot,
+};
 pub use policy::{
     DecisionPoint, PctPolicy, PrefixPolicy, RandomPolicy, RecordedDecision, ReplayPolicy,
     RoundRobinPolicy, SchedulePolicy,

@@ -17,6 +17,7 @@
 
 use crate::error::StopReason;
 use crate::event::DecisionKind;
+use crate::history::ChunkedLog;
 use crate::ids::TaskId;
 use crate::rng::DetRng;
 use serde::{Deserialize, Serialize};
@@ -135,9 +136,14 @@ impl SchedulePolicy for RoundRobinPolicy {
 }
 
 /// Replays a recorded decision stream exactly.
+///
+/// The stream is a [`ChunkedLog`], so building the policy from a recorded
+/// artifact — and cloning it into every [`WorldSnapshot`](crate::WorldSnapshot)
+/// taken during replay — bumps chunk handles instead of copying the
+/// decision history.
 #[derive(Debug, Clone)]
 pub struct ReplayPolicy {
-    decisions: Vec<RecordedDecision>,
+    decisions: ChunkedLog<RecordedDecision>,
     cursor: usize,
     /// What to do when the stream is exhausted or diverges.
     on_exhausted: ExhaustedBehavior,
@@ -155,9 +161,9 @@ pub enum ExhaustedBehavior {
 
 impl ReplayPolicy {
     /// Creates a strict replay policy (divergence aborts the run).
-    pub fn strict(decisions: Vec<RecordedDecision>) -> Self {
+    pub fn strict(decisions: impl Into<ChunkedLog<RecordedDecision>>) -> Self {
         ReplayPolicy {
-            decisions,
+            decisions: decisions.into(),
             cursor: 0,
             on_exhausted: ExhaustedBehavior::Strict,
             fallback: DetRng::seed_from(0),
@@ -166,9 +172,9 @@ impl ReplayPolicy {
 
     /// Creates a replay policy that falls back to random choices (seeded by
     /// `seed`) once the recorded stream is exhausted.
-    pub fn with_random_tail(decisions: Vec<RecordedDecision>, seed: u64) -> Self {
+    pub fn with_random_tail(decisions: impl Into<ChunkedLog<RecordedDecision>>, seed: u64) -> Self {
         ReplayPolicy {
-            decisions,
+            decisions: decisions.into(),
             cursor: 0,
             on_exhausted: ExhaustedBehavior::RandomContinue,
             fallback: DetRng::seed_from(seed),

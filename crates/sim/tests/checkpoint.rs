@@ -164,7 +164,11 @@ fn resume_with_override_policy_forks_the_schedule() {
     );
     // The forked run shares the prefix decision-for-decision…
     assert!(forked.decisions.len() > d);
-    assert_eq!(forked.decisions[..d], original.decisions[..d]);
+    assert!(forked
+        .decisions
+        .iter()
+        .take(d)
+        .eq(original.decisions.iter().take(d)));
     // …and diverges exactly at the fork point.
     assert_ne!(forked.decisions[d].chosen_index, original_choice);
     assert_eq!(forked.stats.resumed_steps, snap.steps());

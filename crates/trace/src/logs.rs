@@ -6,7 +6,7 @@
 //! models in `dd-replay` and `dd-core` decide what goes into them.
 
 use crate::trace::Trace;
-use dd_sim::{Event, InputScript, IoSummary, RecordedDecision, TaskId, Value};
+use dd_sim::{ChunkedLog, Event, InputScript, IoSummary, RecordedDecision, TaskId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -47,12 +47,17 @@ impl EpochMark {
 
 /// The recorded schedule: every multi-candidate decision, in order, plus
 /// the checkpoint epochs at which the run can be resumed.
+///
+/// The decision stream is a [`ChunkedLog`], so cloning an artifact —
+/// something replay does per candidate run when it re-applies a recorded
+/// schedule — bumps shared chunk handles instead of copying the history.
+/// The serialized form is unchanged (a flat sequence).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScheduleLog {
     /// Schema version (see [`SCHEDULE_LOG_VERSION`]).
     pub version: u32,
     /// The decision stream.
-    pub decisions: Vec<RecordedDecision>,
+    pub decisions: ChunkedLog<RecordedDecision>,
     /// Checkpoint markers, in increasing decision order (empty when the
     /// recorded run took no snapshots).
     pub epochs: Vec<EpochMark>,
@@ -62,7 +67,7 @@ impl Default for ScheduleLog {
     fn default() -> Self {
         ScheduleLog {
             version: SCHEDULE_LOG_VERSION,
-            decisions: Vec::new(),
+            decisions: ChunkedLog::new(),
             epochs: Vec::new(),
         }
     }
@@ -87,8 +92,8 @@ impl serde::Deserialize for ScheduleLog {
                 None => 1,
             },
             decisions: match field("decisions") {
-                Some(v) => Vec::<RecordedDecision>::from_content(v)?,
-                None => Vec::new(),
+                Some(v) => ChunkedLog::<RecordedDecision>::from_content(v)?,
+                None => ChunkedLog::new(),
             },
             epochs: match field("epochs") {
                 Some(v) => Vec::<EpochMark>::from_content(v)?,
@@ -154,25 +159,57 @@ impl ScheduleLog {
     /// merging is a pure set union: order of merging does not matter, and
     /// a duplicate decision index carries an identical mark, so the first
     /// occurrence is kept.
+    ///
+    /// Both sides are already ordered by decision (the list invariant, and
+    /// snapshots are reported in increasing decision order), so the union
+    /// is a single forward merge pass — merging M slices into a log of E
+    /// epochs costs O(M + E), not a full re-sort per merge.
     pub fn merge_epochs(&mut self, marks: impl IntoIterator<Item = EpochMark>) {
-        self.epochs.extend(marks);
-        self.epochs.sort_by_key(|e| e.decision);
-        self.epochs.dedup_by(|a, b| {
-            if a.decision != b.decision {
-                return false;
+        let mut incoming: Vec<EpochMark> = marks.into_iter().collect();
+        // No early-out on empty input: normalizing `epochs` below is part
+        // of this function's contract, and an empty merge must repair an
+        // unsorted deserialized list just like a non-empty one.
+        // Callers normally hand marks in decision order; tolerate the
+        // exception without losing the linear merge below.
+        if !incoming.windows(2).all(|w| w[0].decision <= w[1].decision) {
+            incoming.sort_by_key(|e| e.decision);
+        }
+        let mut old = std::mem::take(&mut self.epochs);
+        // `epochs` is a pub field a deserialized artifact populates
+        // verbatim, so the list invariant cannot be assumed on this side
+        // either — re-establish it (once) before the linear merge instead
+        // of silently producing an unsorted union.
+        if !old.windows(2).all(|w| w[0].decision <= w[1].decision) {
+            old.sort_by_key(|e| e.decision);
+        }
+        let mut merged: Vec<EpochMark> = Vec::with_capacity(old.len() + incoming.len());
+        let mut a = old.into_iter().peekable();
+        let mut b = incoming.into_iter().peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.decision <= y.decision,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if take_a { a.next() } else { b.next() }.expect("peeked side is non-empty");
+            match merged.last() {
+                Some(prev) if prev.decision == next.decision => {
+                    debug_assert!(
+                        prev.step == next.step && prev.time == next.time,
+                        "epoch marks at decision {} disagree ({}/{} vs {}/{}) — \
+                         recorders observed diverging runs",
+                        next.decision,
+                        prev.step,
+                        prev.time,
+                        next.step,
+                        next.time
+                    );
+                }
+                _ => merged.push(next),
             }
-            debug_assert!(
-                a.step == b.step && a.time == b.time,
-                "epoch marks at decision {} disagree ({}/{} vs {}/{}) — \
-                 recorders observed diverging runs",
-                a.decision,
-                a.step,
-                a.time,
-                b.step,
-                b.time
-            );
-            true
-        });
+        }
+        self.epochs = merged;
     }
 }
 
@@ -602,7 +639,8 @@ mod tests {
             decisions: vec![RecordedDecision {
                 kind: dd_sim::DecisionKind::NextTask,
                 chosen: TaskId(2),
-            }],
+            }]
+            .into(),
             epochs: vec![
                 EpochMark {
                     decision: 1,
@@ -689,6 +727,33 @@ mod tests {
         // The merged log answers resume-point queries across all slices.
         assert_eq!(forward.deepest_epoch_at_or_before(5).unwrap().decision, 4);
         assert_eq!(forward.deepest_epoch_at_or_before(9).unwrap().decision, 8);
+    }
+
+    #[test]
+    fn merge_epochs_repairs_an_unsorted_deserialized_artifact() {
+        let mark = |decision: u64| EpochMark {
+            decision,
+            step: decision * 10,
+            time: decision * 20,
+        };
+        // `epochs` is a pub field: an externally-produced artifact can
+        // arrive unsorted and with duplicates. A merge must re-establish
+        // the list invariant rather than assume it.
+        let mut log = ScheduleLog {
+            epochs: vec![mark(6), mark(2), mark(6)],
+            ..ScheduleLog::default()
+        };
+        log.merge_epochs([mark(4)]);
+        assert_eq!(log.epochs, vec![mark(2), mark(4), mark(6)]);
+        assert_eq!(log.deepest_epoch_at_or_before(5).unwrap().decision, 4);
+        // The repair is part of the merge contract even for an empty
+        // slice (a recorder that took no snapshots still absorbs).
+        let mut untouched = ScheduleLog {
+            epochs: vec![mark(6), mark(2)],
+            ..ScheduleLog::default()
+        };
+        untouched.merge_epochs([]);
+        assert_eq!(untouched.epochs, vec![mark(2), mark(6)]);
     }
 
     #[test]

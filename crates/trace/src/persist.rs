@@ -96,7 +96,8 @@ mod tests {
             decisions: vec![RecordedDecision {
                 kind: dd_sim::DecisionKind::NextTask,
                 chosen: TaskId(4),
-            }],
+            }]
+            .into(),
             epochs: vec![crate::EpochMark {
                 decision: 2,
                 step: 17,
