@@ -17,12 +17,12 @@
 //!   worker count — identical walks, wall-clock only — scratch vs
 //!   checkpointed, shallow vs deep horizons.
 
-use crate::prepare_debug_model;
-use dd_core::{evaluate_model, train, InferenceBudget, OutputLiteModel, RcseConfig, Workload};
+use dd_core::{InferenceBudget, OutputLiteModel, RcseConfig, Session, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_replay::{enumerate_failures, SearchStrategy};
 use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One classifier-threshold sweep point (ABL-1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,20 +41,23 @@ pub struct ThresholdPoint {
 
 /// ABL-1: control-plane threshold sweep on the issue-63 workload.
 pub fn threshold_sweep(thresholds: &[f64]) -> Vec<ThresholdPoint> {
-    let w =
-        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
+    let w: Arc<dyn Workload> = Arc::new(
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed"),
+    );
     let truth = w.plane_truth();
     thresholds
         .iter()
         .map(|&t| {
-            let cfg = RcseConfig {
-                classifier_threshold: t,
-                use_triggers: false,
-                ..RcseConfig::default()
-            };
-            let model = prepare_debug_model(&w, cfg);
+            let session = Session::new(w.clone())
+                .with_executions(1)
+                .with_recording(RcseConfig {
+                    classifier_threshold: t,
+                    use_triggers: false,
+                    ..RcseConfig::default()
+                });
+            let model = session.debug_model();
             let plane_map = model.training().plane_map.clone();
-            let (report, _, _) = evaluate_model(&w, &model, &InferenceBudget::executions(1));
+            let (report, _, _) = session.evaluate(&model);
             ThresholdPoint {
                 threshold: t,
                 control_fraction: plane_map.control_fraction(),
@@ -80,29 +83,25 @@ pub struct WindowPoint {
 /// ABL-2: trigger quiet-window sweep on the message server (combined
 /// code/data selection with the lockset trigger armed).
 pub fn window_sweep(windows: &[u64]) -> Vec<WindowPoint> {
-    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
-        .expect("msgserver failing seed");
+    let w: Arc<dyn Workload> = Arc::new(
+        MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+            .expect("msgserver failing seed"),
+    );
     windows
         .iter()
         .map(|&window| {
-            let cfg = RcseConfig {
-                quiet_window: window,
-                ..RcseConfig::default()
-            };
-            let model = prepare_debug_model(&w, cfg);
-            let scenario = w.scenario();
-            let recording = dd_core::DeterminismModel::record(&model, &scenario);
-            let replay = dd_core::DeterminismModel::replay(
-                &model,
-                &scenario,
-                &recording,
-                &InferenceBudget::executions(1),
-            );
-            let utility = dd_core::debugging_utility(&w.root_causes(), &recording, &replay);
+            let session = Session::new(w.clone())
+                .with_executions(1)
+                .with_recording(RcseConfig {
+                    quiet_window: window,
+                    ..RcseConfig::default()
+                });
+            let model = session.debug_model();
+            let (report, _, _) = session.evaluate(&model);
             WindowPoint {
                 window,
-                overhead: recording.overhead_factor,
-                df: utility.fidelity.df,
+                overhead: report.overhead_factor,
+                df: report.utility.fidelity.df,
             }
         })
         .collect()
@@ -130,13 +129,14 @@ pub struct BudgetPoint {
 /// and the model the paper warns can need "prohibitively large post-factum
 /// analysis times".
 pub fn budget_sweep(budgets: &[u64]) -> Vec<BudgetPoint> {
-    let w =
-        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
+    let w: Arc<dyn Workload> = Arc::new(
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed"),
+    );
     budgets
         .iter()
         .map(|&b| {
-            let (report, _, replay) =
-                evaluate_model(&w, &OutputLiteModel, &InferenceBudget::executions(b));
+            let session = Session::new(w.clone()).with_executions(b);
+            let (report, _, replay) = session.evaluate(&OutputLiteModel);
             BudgetPoint {
                 budget: b,
                 reproduced: replay.reproduced_failure,
@@ -171,16 +171,15 @@ pub fn scale_sweep(row_sizes: &[u32]) -> Vec<ScalePoint> {
                 ..HyperConfig::default()
             };
             let w = HyperstoreWorkload::discover(cfg, 200)?;
-            let budget = InferenceBudget::executions(1);
-            let (value, _, _) = evaluate_model(&w, &dd_core::ValueModel, &budget);
-            let rcse = prepare_debug_model(
-                &w,
-                RcseConfig {
+            let session = Session::new(Arc::new(w))
+                .with_executions(1)
+                .with_recording(RcseConfig {
                     use_triggers: false,
                     ..RcseConfig::default()
-                },
-            );
-            let (debug, _, _) = evaluate_model(&w, &rcse, &budget);
+                });
+            let (value, _, _) = session.evaluate(&dd_core::ValueModel);
+            let rcse = session.debug_model();
+            let (debug, _, _) = session.evaluate(&rcse);
             Some(ScalePoint {
                 row_size,
                 value_overhead: value.overhead_factor,
@@ -489,23 +488,19 @@ pub struct InvariantPoint {
 /// selection, §3.1.2): how many passing runs before the "commits are
 /// always owned" invariant is learned.
 pub fn invariant_sweep(run_counts: &[usize]) -> Vec<InvariantPoint> {
-    let w =
-        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
-    let all: Vec<(u64, u64)> = w
-        .training()
-        .iter()
-        .map(|s| (s.seed, s.sched_seed))
-        .collect();
-    let scenario = w.scenario();
+    let w: Arc<dyn Workload> = Arc::new(
+        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed"),
+    );
     run_counts
         .iter()
         .map(|&n| {
-            let seeds = &all[..n.min(all.len())];
-            let cfg = RcseConfig {
-                train_invariants: true,
-                ..RcseConfig::default()
-            };
-            let training = train(&scenario, seeds, &cfg);
+            let session = Session::new(w.clone())
+                .with_training_runs(n)
+                .with_recording(RcseConfig {
+                    train_invariants: true,
+                    ..RcseConfig::default()
+                });
+            let training = session.train();
             let invs = training.invariants.as_ref().expect("invariants enabled");
             let commit_owned = invs
                 .get("hyperstore.commit_owned")

@@ -7,7 +7,11 @@ use dd_core::InferenceBudget;
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let points = fig1(&InferenceBudget::executions(64));
+    let budget = InferenceBudget::builder()
+        .max_executions(64)
+        .build()
+        .expect("static budget is coherent");
+    let points = fig1(&budget);
     if json {
         println!(
             "{}",

@@ -7,7 +7,11 @@ use dd_core::InferenceBudget;
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
-    let result = fig2(&InferenceBudget::executions(96));
+    let budget = InferenceBudget::builder()
+        .max_executions(96)
+        .build()
+        .expect("static budget is coherent");
+    let result = fig2(&budget);
     if json {
         println!(
             "{}",

@@ -8,14 +8,14 @@
 //! determinism (RCSE) escapes the curve with near-failure-determinism
 //! overhead at perfect-determinism fidelity.
 
-use crate::prepare_debug_model;
 use dd_core::{
-    evaluate_model, DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel,
-    OutputLiteModel, PerfectModel, RcseConfig, ValueModel, Workload,
+    DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel, OutputLiteModel,
+    PerfectModel, RcseConfig, Session, ValueModel, Workload,
 };
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_workloads::{MsgServerConfig, MsgServerWorkload, SumWorkload};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One Fig. 1 data point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,22 +45,27 @@ pub struct Fig1Point {
 /// Panics if no failing production seed exists for the racy workloads
 /// (deterministic for the bundled configurations).
 pub fn fig1(budget: &InferenceBudget) -> Vec<Fig1Point> {
-    let hyper =
-        HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
-    let msg = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
-        .expect("msgserver failing seed");
-    let sum = SumWorkload;
-    let workloads: Vec<&dyn Workload> = vec![&hyper, &msg, &sum];
+    let workloads: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(
+            HyperstoreWorkload::discover(HyperConfig::default(), 200)
+                .expect("hyperstore failing seed"),
+        ),
+        Arc::new(
+            MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                .expect("msgserver failing seed"),
+        ),
+        Arc::new(SumWorkload),
+    ];
 
     let mut points = Vec::new();
     for w in workloads {
-        let rcse = prepare_debug_model(
-            w,
-            RcseConfig {
+        let session = Session::new(w)
+            .with_budget(*budget)
+            .with_recording(RcseConfig {
                 use_triggers: false,
                 ..RcseConfig::default()
-            },
-        );
+            });
+        let rcse = session.debug_model();
         let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
             (&PerfectModel, ModelKind::Perfect),
             (&ValueModel, ModelKind::Value),
@@ -70,9 +75,9 @@ pub fn fig1(budget: &InferenceBudget) -> Vec<Fig1Point> {
             (&rcse, ModelKind::Debug),
         ];
         for (model, kind) in models {
-            let (report, _, _) = evaluate_model(w, model, budget);
+            let (report, _, _) = session.evaluate(model);
             points.push(Fig1Point {
-                workload: w.name().to_owned(),
+                workload: session.workload().name().to_owned(),
                 model: kind,
                 overhead: report.overhead_factor,
                 log_bytes: report.log.bytes,

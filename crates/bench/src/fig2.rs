@@ -3,13 +3,12 @@
 //! plus the §4 in-text numbers (three potential root causes; DF = 1/3 for
 //! failure determinism).
 
-use crate::prepare_debug_model;
 use dd_core::{
-    enumerate_root_causes, evaluate_model, DeterminismModel, FailureModel, InferenceBudget,
-    ModelKind, RcseConfig, ValueModel,
+    DeterminismModel, FailureModel, InferenceBudget, ModelKind, RcseConfig, Session, ValueModel,
 };
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One Fig. 2 row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,13 +52,13 @@ pub fn fig2(budget: &InferenceBudget) -> Fig2Result {
     let w =
         HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("hyperstore failing seed");
     // §4: "We chose RCSE based on control-plane code selection (§3.1)".
-    let rcse = prepare_debug_model(
-        &w,
-        RcseConfig {
+    let session = Session::new(Arc::new(w))
+        .with_budget(*budget)
+        .with_recording(RcseConfig {
             use_triggers: false,
             ..RcseConfig::default()
-        },
-    );
+        });
+    let rcse = session.debug_model();
     let models: Vec<(&dyn DeterminismModel, ModelKind)> = vec![
         (&ValueModel, ModelKind::Value),
         (&rcse, ModelKind::Debug),
@@ -71,7 +70,7 @@ pub fn fig2(budget: &InferenceBudget) -> Fig2Result {
     let mut original_causes = Vec::new();
     let mut n_causes = 0;
     for (model, kind) in models {
-        let (report, recording, _) = evaluate_model(&w, model, budget);
+        let (report, recording, _) = session.evaluate(model);
         if let Some(f) = &recording.original.failure {
             failure = f.description.clone();
         }
@@ -87,7 +86,8 @@ pub fn fig2(budget: &InferenceBudget) -> Fig2Result {
         });
     }
 
-    let reachable = enumerate_root_causes(&w, budget)
+    let reachable = session
+        .reachable_causes()
         .into_iter()
         .map(|(id, ok)| (id.to_owned(), ok))
         .collect();

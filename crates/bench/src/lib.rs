@@ -32,17 +32,3 @@ pub use emit::{emit_bench, write_bench_json};
 pub use fig1::{fig1, render_fig1, Fig1Point};
 pub use fig2::{fig2, render_fig2, Fig2Result, Fig2Row};
 pub use snapshot_cost::{deep_msgserver_point, snapshot_cost_sweep, SnapshotCostPoint};
-
-use dd_core::{DebugModel, RcseConfig, Workload};
-
-/// Builds the RCSE debug-determinism model for a workload, training on the
-/// workload's passing runs.
-pub fn prepare_debug_model(workload: &dyn Workload, cfg: RcseConfig) -> DebugModel {
-    let scenario = workload.scenario();
-    let seeds: Vec<(u64, u64)> = workload
-        .training()
-        .iter()
-        .map(|s| (s.seed, s.sched_seed))
-        .collect();
-    DebugModel::prepare(&scenario, &seeds, cfg)
-}

@@ -1,0 +1,718 @@
+//! # dd-cli — the `dd` command-line driver
+//!
+//! Four verbs over [`dd_core::driver::Session`]:
+//!
+//! - `dd record <workload>`: run the workload's production incident with
+//!   per-decision state digests and write an append-only JSONL trace.
+//! - `dd replay <trace>`: re-execute the trace under the strict schedule
+//!   policy, comparing state digests at every decision, and stop at the
+//!   first divergence.
+//! - `dd explore <trace>`: hand the recorded configuration to the
+//!   systematic (DPOR / parallel) search and look for other executions of
+//!   the recorded failure.
+//! - `dd promote <trace> --emit-test`: render the trace into a committed
+//!   fixture plus a Rust integration test that replays it in tier-1.
+//!
+//! ## Exit codes
+//!
+//! The contract scripts rely on (see `exit` constants):
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | replay identical to the recording (or verb succeeded) |
+//! | 1 | replay diverged from the recorded digest stream |
+//! | 2 | behavioural (invariant) drift: the specification verdict changed |
+//! | 3 | usage error: unknown verb, workload or flag |
+//! | 4 | I/O or parse error (bad path, truncated or garbled trace) |
+
+use dd_core::driver::Session;
+use dd_core::Workload;
+use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_replay::SearchStrategy;
+use dd_trace::JsonlTrace;
+use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Exit codes of the `dd` binary (stable contract).
+pub mod exit {
+    /// Replay identical / verb succeeded.
+    pub const OK: i32 = 0;
+    /// Replay diverged from the recorded digest stream.
+    pub const DIVERGENCE: i32 = 1;
+    /// Behavioural (invariant) drift between recording and replay.
+    pub const INVARIANT: i32 = 2;
+    /// Usage error (unknown verb/workload/flag).
+    pub const USAGE: i32 = 3;
+    /// I/O or parse error.
+    pub const IO: i32 = 4;
+}
+
+/// Workload names `dd record` accepts (canonical name first, then the
+/// short alias).
+pub const WORKLOADS: &[(&str, &str)] = &[
+    ("msgserver-drops", "msgserver"),
+    ("sum-2plus2", "sum"),
+    ("bufoverflow", "bufoverflow"),
+    ("hyperstore-issue63", "hyperstore"),
+];
+
+/// Resolves a workload by canonical name or alias. Discovery-based
+/// workloads (msgserver, hyperstore) scan their deterministic seed range
+/// for the failing production schedule, exactly like the repro binaries.
+pub fn workload_by_name(name: &str) -> Option<Arc<dyn Workload>> {
+    match name {
+        "msgserver" | "msgserver-drops" => Some(Arc::new(
+            MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                .expect("msgserver failing seed exists for the default config"),
+        )),
+        "sum" | "sum-2plus2" => Some(Arc::new(SumWorkload)),
+        "bufoverflow" => Some(Arc::new(BufOverflowWorkload)),
+        "hyperstore" | "hyperstore-issue63" => Some(Arc::new(
+            HyperstoreWorkload::discover(HyperConfig::default(), 200)
+                .expect("hyperstore failing seed exists for the default config"),
+        )),
+        _ => None,
+    }
+}
+
+/// FNV-1a over bytes — the workspace-standard stable digest, used to print
+/// golden trace hashes.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const USAGE: &str = "\
+dd — record/replay debugging over the debug-determinism simulator
+
+USAGE:
+    dd record  <workload> [--out FILE] [--seed N] [--sched-seed N]
+                          [--max-steps N] [--discover N]
+    dd replay  <trace>    [--invariant-only] [--snapshot FILE]
+    dd explore <trace>    [--executions N] [--depth N] [--workers N]
+    dd promote <trace>    --emit-test [--name NAME] [--dir DIR]
+
+WORKLOADS:
+    msgserver | sum | bufoverflow | hyperstore (or their canonical names)
+
+EXIT CODES:
+    0 identical   1 divergence   2 invariant drift   3 usage   4 I/O
+";
+
+/// Entry point: parses `args` (without the program name) and runs one verb.
+/// Returns the process exit code; diagnostics go to stderr.
+pub fn run(args: &[String]) -> i32 {
+    let Some(verb) = args.first() else {
+        eprint!("{USAGE}");
+        return exit::USAGE;
+    };
+    let rest = &args[1..];
+    match verb.as_str() {
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "explore" => cmd_explore(rest),
+        "promote" => cmd_promote(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            exit::OK
+        }
+        other => {
+            eprintln!("dd: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            exit::USAGE
+        }
+    }
+}
+
+/// Minimal flag cursor: positional operands plus `--flag value` pairs.
+struct Args<'a> {
+    rest: &'a [String],
+    i: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(rest: &'a [String]) -> Self {
+        Args { rest, i: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let a = self.rest.get(self.i)?;
+        self.i += 1;
+        Some(a.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|_| format!("{flag}: cannot parse `{v}`"))
+    }
+}
+
+fn load_trace(path: &str) -> Result<JsonlTrace, i32> {
+    JsonlTrace::load(Path::new(path)).map_err(|e| {
+        eprintln!("dd: {path}: {e}");
+        exit::IO
+    })
+}
+
+fn session_for_trace(trace: &JsonlTrace) -> Result<Session, i32> {
+    match workload_by_name(&trace.header.workload) {
+        Some(w) => Ok(Session::new(w)),
+        None => {
+            eprintln!(
+                "dd: trace was recorded from workload `{}`, which this binary does not know",
+                trace.header.workload
+            );
+            Err(exit::USAGE)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dd record
+// ---------------------------------------------------------------------------
+
+fn cmd_record(rest: &[String]) -> i32 {
+    let mut args = Args::new(rest);
+    let mut workload: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut seed: Option<u64> = None;
+    let mut sched_seed: Option<u64> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut discover: Option<u64> = None;
+    while let Some(a) = args.next() {
+        let r = match a {
+            "--out" => args.value("--out").map(|v| out = Some(PathBuf::from(v))),
+            "--seed" => args.parse("--seed").map(|v| seed = Some(v)),
+            "--sched-seed" => args.parse("--sched-seed").map(|v| sched_seed = Some(v)),
+            "--max-steps" => args.parse("--max-steps").map(|v| max_steps = Some(v)),
+            "--discover" => args.parse("--discover").map(|v| discover = Some(v)),
+            p if !p.starts_with('-') && workload.is_none() => {
+                workload = Some(p.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        if let Err(e) = r {
+            eprintln!("dd record: {e}");
+            return exit::USAGE;
+        }
+    }
+    let Some(name) = workload else {
+        eprintln!("dd record: missing <workload>");
+        return exit::USAGE;
+    };
+    let Some(w) = workload_by_name(&name) else {
+        eprintln!(
+            "dd record: unknown workload `{name}` (known: {})",
+            WORKLOADS
+                .iter()
+                .map(|(_, alias)| *alias)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return exit::USAGE;
+    };
+
+    let mut session = Session::new(w);
+    if seed.is_some() || sched_seed.is_some() || max_steps.is_some() {
+        let mut p = session.production();
+        if let Some(s) = seed {
+            p.seed = s;
+        }
+        if let Some(s) = sched_seed {
+            p.sched_seed = s;
+        }
+        if let Some(s) = max_steps {
+            p.max_steps = s;
+        }
+        session = session.with_production(p);
+    }
+    if let Some(limit) = discover {
+        let (s, found) = session.discover_failing_schedule(limit);
+        session = s;
+        match found {
+            Some(seed) => println!("discovered failing schedule seed {seed}"),
+            None => {
+                eprintln!("dd record: no failing schedule in 0..{limit}");
+                return exit::USAGE;
+            }
+        }
+    }
+
+    let trace = match session.record() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dd record: {e}");
+            return exit::IO;
+        }
+    };
+    let text = trace.render();
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("dd-{name}.trace.jsonl")));
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("dd record: {}: {e}", path.display());
+        return exit::IO;
+    }
+    let failure = (session.scenario_for_trace(&trace.header).failure_of)(&trace.footer.io);
+    println!("workload   : {}", trace.header.workload);
+    println!(
+        "run        : seed {} sched-seed {}",
+        trace.header.seed, trace.header.sched_seed
+    );
+    println!("decisions  : {}", trace.footer.decisions);
+    println!("stop       : {}", trace.footer.stop);
+    println!(
+        "failure    : {}",
+        failure
+            .as_ref()
+            .map(|f| f.failure_id.as_str())
+            .unwrap_or("none (run passed)")
+    );
+    println!("trace      : {}", path.display());
+    println!("trace-hash : {:016x}", fnv64(text.as_bytes()));
+    exit::OK
+}
+
+// ---------------------------------------------------------------------------
+// dd replay
+// ---------------------------------------------------------------------------
+
+fn cmd_replay(rest: &[String]) -> i32 {
+    let mut args = Args::new(rest);
+    let mut trace_path: Option<String> = None;
+    let mut invariant_only = false;
+    let mut snapshot: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        let r = match a {
+            "--invariant-only" => {
+                invariant_only = true;
+                Ok(())
+            }
+            "--snapshot" => args
+                .value("--snapshot")
+                .map(|v| snapshot = Some(PathBuf::from(v))),
+            p if !p.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(p.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        if let Err(e) = r {
+            eprintln!("dd replay: {e}");
+            return exit::USAGE;
+        }
+    }
+    let Some(path) = trace_path else {
+        eprintln!("dd replay: missing <trace>");
+        return exit::USAGE;
+    };
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let session = match session_for_trace(&trace) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    let report = session.replay(&trace);
+    println!(
+        "replayed {} of {} recorded decisions ({} digest comparison points matched)",
+        report.replayed_decisions, trace.footer.decisions, report.matched
+    );
+
+    if invariant_only {
+        // Behavioural comparison only: did the specification verdict move?
+        let check = session.behavior_check(&trace, &report.out.io);
+        let show = |f: &Option<String>| f.clone().unwrap_or_else(|| "pass".into());
+        println!("recorded verdict : {}", show(&check.recorded_failure));
+        println!("replayed verdict : {}", show(&check.replayed_failure));
+        return if check.drifted {
+            println!("behavioural drift: the replay is not debugging the recorded incident");
+            exit::INVARIANT
+        } else {
+            println!("behaviour identical (state digests not enforced)");
+            exit::OK
+        };
+    }
+
+    match &report.divergence {
+        None => {
+            println!("replay identical: every state digest matched, final digest matched");
+            exit::OK
+        }
+        Some(div) => {
+            println!("FIRST DIVERGENCE at decision {}", div.decision);
+            println!("  {}", div.detail);
+            if let (Some(r), Some(p)) = (div.recorded_hash, div.replayed_hash) {
+                println!("  recorded digest {r:016x} / replayed digest {p:016x}");
+            }
+            // The failing decision sequence: a window of recorded decisions
+            // leading into the divergence point.
+            let end = (div.decision as usize + 1).min(trace.decisions.len());
+            let start = end.saturating_sub(5);
+            println!(
+                "  failing decision sequence (last {} of {}):",
+                end - start,
+                end
+            );
+            for d in &trace.decisions[start..end] {
+                println!(
+                    "    #{:<6} {:?} chose {} ({} of {} candidates)",
+                    d.i,
+                    d.kind,
+                    d.chosen,
+                    d.chosen_index + 1,
+                    d.n
+                );
+            }
+            if let Some(snap) = snapshot {
+                match write_snapshot_diff(&snap, &trace, &report) {
+                    Ok(()) => println!("  state diff written to {}", snap.display()),
+                    Err(e) => {
+                        eprintln!("dd replay: {}: {e}", snap.display());
+                        return exit::IO;
+                    }
+                }
+            }
+            exit::DIVERGENCE
+        }
+    }
+}
+
+/// One endpoint (recorded or replayed) in the `--snapshot` diff file.
+#[derive(serde::Serialize)]
+struct DiffEndpoint {
+    decisions: u64,
+    stop: String,
+    final_hash: Option<u64>,
+}
+
+/// One recorded decision in the diff's context window.
+#[derive(serde::Serialize)]
+struct DiffDecision {
+    i: u64,
+    kind: String,
+    chosen: String,
+    n: u32,
+    hash: u64,
+}
+
+/// The `--snapshot` state-diff document: where the digest streams parted,
+/// with the surrounding recorded decisions and both runs' endpoints.
+#[derive(serde::Serialize)]
+struct SnapshotDiff {
+    diverged_at_decision: u64,
+    detail: String,
+    recorded_hash: Option<u64>,
+    replayed_hash: Option<u64>,
+    digest_points_matched: u64,
+    recorded: DiffEndpoint,
+    replayed: DiffEndpoint,
+    decision_window: Vec<DiffDecision>,
+}
+
+fn write_snapshot_diff(
+    path: &Path,
+    trace: &JsonlTrace,
+    report: &dd_replay::DivergenceReport,
+) -> std::io::Result<()> {
+    let div = report
+        .divergence
+        .as_ref()
+        .expect("diff requires divergence");
+    let window_end = (div.decision as usize + 2).min(trace.decisions.len());
+    let window_start = window_end.saturating_sub(8);
+    let diff = SnapshotDiff {
+        diverged_at_decision: div.decision,
+        detail: div.detail.clone(),
+        recorded_hash: div.recorded_hash,
+        replayed_hash: div.replayed_hash,
+        digest_points_matched: report.matched,
+        recorded: DiffEndpoint {
+            decisions: trace.footer.decisions,
+            stop: trace.footer.stop.to_string(),
+            final_hash: Some(trace.footer.final_hash),
+        },
+        replayed: DiffEndpoint {
+            decisions: report.replayed_decisions,
+            stop: report.out.stop.to_string(),
+            final_hash: report.out.final_state_hash,
+        },
+        decision_window: trace.decisions[window_start..window_end]
+            .iter()
+            .map(|d| DiffDecision {
+                i: d.i,
+                kind: format!("{:?}", d.kind),
+                chosen: d.chosen.to_string(),
+                n: d.n,
+                hash: d.hash,
+            })
+            .collect(),
+    };
+    let body = serde_json::to_string_pretty(&diff).expect("serialisable");
+    std::fs::write(path, body + "\n")
+}
+
+// ---------------------------------------------------------------------------
+// dd explore
+// ---------------------------------------------------------------------------
+
+fn cmd_explore(rest: &[String]) -> i32 {
+    let mut args = Args::new(rest);
+    let mut trace_path: Option<String> = None;
+    let mut executions: u64 = 256;
+    let mut depth: u32 = dd_core::driver::DEFAULT_EXPLORE_DEPTH;
+    let mut workers: u32 = 1;
+    while let Some(a) = args.next() {
+        let r = match a {
+            "--executions" => args.parse("--executions").map(|v| executions = v),
+            "--depth" => args.parse("--depth").map(|v| depth = v),
+            "--workers" => args.parse("--workers").map(|v| workers = v),
+            p if !p.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(p.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        if let Err(e) = r {
+            eprintln!("dd explore: {e}");
+            return exit::USAGE;
+        }
+    }
+    let Some(path) = trace_path else {
+        eprintln!("dd explore: missing <trace>");
+        return exit::USAGE;
+    };
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let session = match session_for_trace(&trace) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let strategy = if workers > 1 {
+        SearchStrategy::DporParallel {
+            max_depth: depth,
+            workers,
+        }
+    } else {
+        SearchStrategy::Dpor { max_depth: depth }
+    };
+    let session = session.with_executions(executions).with_strategy(strategy);
+
+    let exploration = session.explore(&trace);
+    println!(
+        "target     : {}",
+        exploration
+            .target
+            .as_deref()
+            .unwrap_or("any failure (recorded run passed)")
+    );
+    let stats = &exploration.result.stats;
+    println!(
+        "search     : {} executed, {} pruned, {} ticks",
+        stats.explored, stats.pruned, stats.ticks
+    );
+    match (&exploration.result.spec, stats.found_at) {
+        (Some(spec), at) => {
+            println!(
+                "found      : candidate {} reproduces the failure",
+                at.map(|i| i.to_string()).unwrap_or_else(|| "?".into())
+            );
+            println!("  spec     : seed {} policy {:?}", spec.seed, spec.policy);
+        }
+        (None, _) => println!("found      : nothing within budget"),
+    }
+    exit::OK
+}
+
+// ---------------------------------------------------------------------------
+// dd promote
+// ---------------------------------------------------------------------------
+
+fn cmd_promote(rest: &[String]) -> i32 {
+    let mut args = Args::new(rest);
+    let mut trace_path: Option<String> = None;
+    let mut emit_test = false;
+    let mut name: Option<String> = None;
+    let mut dir = PathBuf::from("tests");
+    while let Some(a) = args.next() {
+        let r = match a {
+            "--emit-test" => {
+                emit_test = true;
+                Ok(())
+            }
+            "--name" => args.value("--name").map(|v| name = Some(v.to_owned())),
+            "--dir" => args.value("--dir").map(|v| dir = PathBuf::from(v)),
+            p if !p.starts_with('-') && trace_path.is_none() => {
+                trace_path = Some(p.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unexpected argument `{other}`")),
+        };
+        if let Err(e) = r {
+            eprintln!("dd promote: {e}");
+            return exit::USAGE;
+        }
+    }
+    let Some(path) = trace_path else {
+        eprintln!("dd promote: missing <trace>");
+        return exit::USAGE;
+    };
+    if !emit_test {
+        eprintln!("dd promote: nothing to do (pass --emit-test)");
+        return exit::USAGE;
+    }
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    // Promotion only makes sense for traces this binary can replay later.
+    if let Err(code) = session_for_trace(&trace) {
+        return code;
+    }
+    let name = name.unwrap_or_else(|| {
+        format!(
+            "promoted_{}",
+            trace.header.workload.replace(['-', '.'], "_")
+        )
+    });
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        eprintln!("dd promote: --name must be a valid Rust module name, got `{name}`");
+        return exit::USAGE;
+    }
+
+    let fixture_rel = format!("fixtures/{name}.jsonl");
+    let fixture_path = dir.join(&fixture_rel);
+    let test_path = dir.join(format!("{name}.rs"));
+    if let Some(parent) = fixture_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("dd promote: {}: {e}", parent.display());
+            return exit::IO;
+        }
+    }
+    if let Err(e) = std::fs::write(&fixture_path, trace.render()) {
+        eprintln!("dd promote: {}: {e}", fixture_path.display());
+        return exit::IO;
+    }
+    if let Err(e) = std::fs::write(&test_path, render_promoted_test(&trace, &name)) {
+        eprintln!("dd promote: {}: {e}", test_path.display());
+        return exit::IO;
+    }
+    println!("fixture    : {}", fixture_path.display());
+    println!("test       : {}", test_path.display());
+    println!("run it with: cargo test --test {name}");
+    exit::OK
+}
+
+/// Renders the integration test `dd promote --emit-test` commits next to
+/// its fixture. The test replays the fixture through the same driver facade
+/// and fails on the first divergence.
+pub fn render_promoted_test(trace: &JsonlTrace, name: &str) -> String {
+    format!(
+        r#"//! Promoted replay fixture for `{workload}` — generated by
+//! `dd promote --emit-test`; regenerate rather than editing by hand.
+//!
+//! The fixture seals {decisions} scheduling decisions with per-decision
+//! state digests. Replaying it must reproduce every digest and the final
+//! state digest ({final_hash:#018x}); any divergence names the first
+//! differing decision.
+
+use dd_cli::workload_by_name;
+use debug_determinism::core::Session;
+use debug_determinism::trace::JsonlTrace;
+
+const FIXTURE: &str = include_str!("fixtures/{name}.jsonl");
+
+#[test]
+fn fixture_parses_and_is_sealed() {{
+    let trace = JsonlTrace::parse(FIXTURE).expect("committed fixture parses");
+    assert_eq!(trace.header.workload, "{workload}");
+    assert_eq!(trace.footer.decisions, {decisions});
+}}
+
+#[test]
+fn fixture_replays_without_divergence() {{
+    let trace = JsonlTrace::parse(FIXTURE).expect("committed fixture parses");
+    let workload = workload_by_name(&trace.header.workload).expect("workload registered");
+    let report = Session::new(workload).replay(&trace);
+    assert!(
+        report.identical(),
+        "replay diverged: {{:?}}",
+        report.divergence
+    );
+    assert_eq!(report.replayed_decisions, trace.footer.decisions);
+}}
+"#,
+        workload = trace.header.workload,
+        decisions = trace.footer.decisions,
+        final_hash = trace.footer.final_hash,
+        name = name,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_aliases_and_canonical_names() {
+        for (canonical, alias) in [("sum-2plus2", "sum"), ("bufoverflow", "bufoverflow")] {
+            let by_alias = workload_by_name(alias).expect("alias resolves");
+            let by_name = workload_by_name(canonical).expect("canonical resolves");
+            assert_eq!(by_alias.name(), canonical);
+            assert_eq!(by_name.name(), canonical);
+        }
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert_eq!(run(&["frobnicate".to_owned()]), exit::USAGE);
+        assert_eq!(run(&[]), exit::USAGE);
+    }
+
+    #[test]
+    fn record_requires_known_workload() {
+        assert_eq!(run(&["record".to_owned()]), exit::USAGE);
+        assert_eq!(
+            run(&["record".to_owned(), "no-such-workload".to_owned()]),
+            exit::USAGE
+        );
+    }
+
+    #[test]
+    fn replay_rejects_missing_file_with_io_code() {
+        assert_eq!(
+            run(&["replay".to_owned(), "/nonexistent/trace.jsonl".to_owned()]),
+            exit::IO
+        );
+    }
+
+    #[test]
+    fn promoted_test_references_fixture_and_workload() {
+        let session = Session::new(workload_by_name("sum").unwrap());
+        let trace = session.record().expect("sum records");
+        let test = render_promoted_test(&trace, "promoted_sum");
+        assert!(test.contains("include_str!(\"fixtures/promoted_sum.jsonl\")"));
+        assert!(test.contains("sum-2plus2"));
+        assert!(test.contains(&format!("{}", trace.footer.decisions)));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

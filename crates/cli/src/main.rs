@@ -1,0 +1,6 @@
+//! The `dd` binary: thin shell over [`dd_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dd_cli::run(&args));
+}

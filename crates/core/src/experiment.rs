@@ -63,9 +63,20 @@ pub fn evaluate_model(
     model: &dyn DeterminismModel,
     budget: &InferenceBudget,
 ) -> (ModelReport, Recording, ReplayResult) {
-    let scenario = workload.scenario();
-    let recording = model.record(&scenario);
-    let replay = model.replay(&scenario, &recording, budget);
+    evaluate_model_on(&workload.scenario(), workload, model, budget)
+}
+
+/// [`evaluate_model`] against an explicit scenario — the same pipeline for
+/// callers that override the production incident (e.g. a
+/// [`Session`](crate::driver::Session) with a discovered failing schedule).
+pub fn evaluate_model_on(
+    scenario: &dd_replay::Scenario,
+    workload: &dyn Workload,
+    model: &dyn DeterminismModel,
+    budget: &InferenceBudget,
+) -> (ModelReport, Recording, ReplayResult) {
+    let recording = model.record(scenario);
+    let replay = model.replay(scenario, &recording, budget);
     let causes = workload.root_causes();
     let utility = debugging_utility(&causes, &recording, &replay);
     let report = ModelReport {

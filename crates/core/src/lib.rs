@@ -18,6 +18,7 @@
 //! - The [`experiment`] runner evaluates any [`DeterminismModel`] on any
 //!   [`Workload`] and prints the Fig. 1 / Fig. 2 rows.
 
+pub mod driver;
 pub mod experiment;
 pub mod metrics;
 pub mod rcse;
@@ -25,9 +26,10 @@ pub mod rootcause;
 pub mod spec;
 pub mod workload;
 
+pub use driver::{BehaviorCheck, Exploration, Session};
 pub use experiment::{
-    enumerate_root_causes, evaluate_model, evaluate_suite, find_cause_equivalent_executions,
-    format_table, CauseWitness, ModelReport,
+    enumerate_root_causes, evaluate_model, evaluate_model_on, evaluate_suite,
+    find_cause_equivalent_executions, format_table, CauseWitness, ModelReport,
 };
 pub use metrics::{
     debugging_efficiency, debugging_fidelity, debugging_utility, FidelityReport, UtilityReport,

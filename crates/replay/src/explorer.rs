@@ -18,6 +18,13 @@ use std::collections::BTreeSet;
 
 /// Bounds on inference work, plus the schedule-candidate strategy the
 /// replayer should use inside those bounds.
+///
+/// Construct with [`InferenceBudget::builder`] or the purpose-named
+/// constructors ([`executions`](Self::executions), [`dpor`](Self::dpor),
+/// [`dpor_parallel`](Self::dpor_parallel)); direct struct-literal assembly
+/// is discouraged because the fields are interdependent (`workers` and
+/// `checkpoint_interval` only apply to some strategies) and literals skip
+/// the builder's validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InferenceBudget {
     /// Maximum candidate executions to try.
@@ -60,6 +67,17 @@ impl Default for InferenceBudget {
 }
 
 impl InferenceBudget {
+    /// Starts a validated [`InferenceBudgetBuilder`]. Prefer this (or the
+    /// purpose-named constructors below) over assembling the struct field
+    /// by field: the builder rejects incoherent combinations — e.g. a
+    /// worker pool without a parallel strategy — at `build()` time instead
+    /// of silently ignoring fields at search time.
+    pub fn builder() -> InferenceBudgetBuilder {
+        InferenceBudgetBuilder {
+            budget: Self::default(),
+        }
+    }
+
     /// A budget bounded only by execution count.
     pub fn executions(n: u64) -> Self {
         InferenceBudget {
@@ -133,6 +151,143 @@ impl InferenceBudget {
             .map(|n| n.get() as u32)
             .unwrap_or(1)
             .min(Self::DEFAULT_WORKERS)
+    }
+}
+
+/// A rejected [`InferenceBudgetBuilder`] combination, explaining which
+/// fields conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError(String);
+
+impl core::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid inference budget: {}", self.0)
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Typed, validated construction of an [`InferenceBudget`].
+///
+/// The budget's fields have grown interdependent: `workers` is only
+/// consumed by [`SearchStrategy::DporParallel`], `checkpoint_interval`
+/// only by the systematic strategies, and a parallel strategy with an
+/// explicit worker count overrides the budget's pool. The builder makes
+/// those couplings explicit and turns silent field-ignoring into
+/// [`BudgetError`]s:
+///
+/// ```
+/// use dd_replay::{InferenceBudget, SearchStrategy};
+///
+/// let budget = InferenceBudget::builder()
+///     .max_executions(500)
+///     .strategy(SearchStrategy::Dpor { max_depth: 8 })
+///     .checkpoint_interval(2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(budget.max_executions, 500);
+///
+/// // A worker pool without a parallel strategy is rejected, not ignored.
+/// assert!(InferenceBudget::builder().workers(4).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceBudgetBuilder {
+    budget: InferenceBudget,
+}
+
+impl InferenceBudgetBuilder {
+    /// Maximum candidate executions to try (must stay above zero).
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.budget.max_executions = n;
+        self
+    }
+
+    /// Maximum total execution ticks to spend (must stay above zero).
+    pub fn max_ticks(mut self, ticks: u64) -> Self {
+        self.budget.max_ticks = ticks;
+        self
+    }
+
+    /// How schedule candidates are generated.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.budget.strategy = strategy;
+        self
+    }
+
+    /// Snapshot interval for the systematic strategies (`0` = from-scratch
+    /// exploration). Rejected at `build()` for non-systematic strategies,
+    /// which would silently ignore it.
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.budget.checkpoint_interval = interval;
+        self
+    }
+
+    /// Worker-thread pool for [`SearchStrategy::DporParallel`] (`1` = the
+    /// sequential path). Rejected at `build()` for every other strategy.
+    pub fn workers(mut self, workers: u32) -> Self {
+        self.budget.workers = workers;
+        self
+    }
+
+    /// Validates the combination and produces the budget.
+    pub fn build(self) -> Result<InferenceBudget, BudgetError> {
+        let b = self.budget;
+        if b.max_executions == 0 {
+            return Err(BudgetError(
+                "max_executions is 0 — the search could never run a candidate".into(),
+            ));
+        }
+        if b.max_ticks == 0 {
+            return Err(BudgetError(
+                "max_ticks is 0 — the search could never run a candidate".into(),
+            ));
+        }
+        let systematic = matches!(
+            b.strategy,
+            SearchStrategy::Exhaustive { .. }
+                | SearchStrategy::Dpor { .. }
+                | SearchStrategy::DporParallel { .. }
+        );
+        if b.checkpoint_interval > 0 && !systematic {
+            return Err(BudgetError(format!(
+                "checkpoint_interval {} is only honored by the systematic \
+                 strategies (Exhaustive/Dpor/DporParallel), not {:?}",
+                b.checkpoint_interval, b.strategy
+            )));
+        }
+        match b.strategy {
+            SearchStrategy::Exhaustive { max_depth }
+            | SearchStrategy::Dpor { max_depth }
+            | SearchStrategy::DporParallel { max_depth, .. }
+                if max_depth == 0 =>
+            {
+                return Err(BudgetError(
+                    "systematic strategy with max_depth 0 explores nothing".into(),
+                ));
+            }
+            _ => {}
+        }
+        if b.workers > 1 {
+            match b.strategy {
+                SearchStrategy::DporParallel { workers: 0, .. } => {}
+                SearchStrategy::DporParallel { workers, .. } => {
+                    return Err(BudgetError(format!(
+                        "budget workers {} conflicts with the strategy's explicit \
+                         worker count {} (use workers: 0 in the strategy to defer \
+                         to the budget)",
+                        b.workers, workers
+                    )));
+                }
+                _ => {
+                    return Err(BudgetError(format!(
+                        "workers {} has no effect under {:?} — only \
+                         SearchStrategy::DporParallel consumes the budget's pool",
+                        b.workers, b.strategy
+                    )));
+                }
+            }
+        }
+        Ok(b)
     }
 }
 
@@ -598,5 +753,73 @@ mod tests {
         let scenario = scenario_with_inputs(vec![input_pair(1, 1)]);
         let result = search(&scenario, &InferenceBudget::executions(4), None, |_| false);
         assert!(result.stats.ticks > 0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = InferenceBudget::builder().build().unwrap();
+        assert_eq!(built, InferenceBudget::default());
+    }
+
+    #[test]
+    fn builder_matches_named_constructors() {
+        let built = InferenceBudget::builder()
+            .max_executions(64)
+            .strategy(SearchStrategy::Dpor { max_depth: 6 })
+            .build()
+            .unwrap();
+        assert_eq!(built, InferenceBudget::dpor(64, 6));
+
+        let built = InferenceBudget::builder()
+            .max_executions(64)
+            .strategy(SearchStrategy::DporParallel {
+                max_depth: 6,
+                workers: 0,
+            })
+            .checkpoint_interval(InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL)
+            .workers(4)
+            .build()
+            .unwrap();
+        assert_eq!(built, InferenceBudget::dpor_parallel(64, 6, 4));
+    }
+
+    #[test]
+    fn builder_rejects_incoherent_combinations() {
+        // Zero bounds could never execute a candidate.
+        assert!(InferenceBudget::builder()
+            .max_executions(0)
+            .build()
+            .is_err());
+        assert!(InferenceBudget::builder().max_ticks(0).build().is_err());
+
+        // Worker pools are only consumed by DporParallel.
+        assert!(InferenceBudget::builder().workers(4).build().is_err());
+        assert!(InferenceBudget::builder()
+            .strategy(SearchStrategy::Dpor { max_depth: 4 })
+            .workers(4)
+            .build()
+            .is_err());
+
+        // An explicit strategy worker count conflicts with a budget pool.
+        assert!(InferenceBudget::builder()
+            .strategy(SearchStrategy::DporParallel {
+                max_depth: 4,
+                workers: 2,
+            })
+            .workers(4)
+            .build()
+            .is_err());
+
+        // Checkpointing is a systematic-strategy facility.
+        assert!(InferenceBudget::builder()
+            .checkpoint_interval(1)
+            .build()
+            .is_err());
+
+        // A depth-0 systematic walk explores nothing.
+        assert!(InferenceBudget::builder()
+            .strategy(SearchStrategy::Exhaustive { max_depth: 0 })
+            .build()
+            .is_err());
     }
 }

@@ -21,6 +21,7 @@
 //! ([`SearchStrategy::DporParallel`], see [`parallel`]) with byte-identical
 //! results for any worker count.
 
+pub mod divergence;
 pub mod dpor;
 pub mod explorer;
 pub mod models;
@@ -28,13 +29,16 @@ pub mod parallel;
 pub mod recordings;
 pub mod scenario;
 
+pub use divergence::{
+    compare_streams, replay_trace, replay_trace_with, Divergence, DivergenceReport,
+};
 pub use explorer::{
-    enumerate_failures, search, search_with, InferenceBudget, InferenceStats, SearchResult,
-    SearchStrategy,
+    enumerate_failures, search, search_with, BudgetError, InferenceBudget, InferenceBudgetBuilder,
+    InferenceStats, SearchResult, SearchStrategy,
 };
 pub use models::{
     DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel, ReplayResult,
-    ValueModel,
+    ValueModel, RECORDING_CHECKPOINTS,
 };
 pub use recordings::{costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording};
 pub use scenario::{FailureOracle, NondetSpace, PolicyChoice, RunSpec, Scenario};

@@ -114,7 +114,7 @@ fn replay_result_from_run(
 /// Checkpoint cadence of recording runs: coarse (every 8th decision, first
 /// 128 decisions) — enough for artifacts to advertise intermediate replay
 /// starting points without cloning the world on every decision.
-const RECORDING_CHECKPOINTS: dd_sim::CheckpointPlan = dd_sim::CheckpointPlan {
+pub const RECORDING_CHECKPOINTS: dd_sim::CheckpointPlan = dd_sim::CheckpointPlan {
     every: 8,
     max_decision: 128,
 };

@@ -89,6 +89,23 @@ impl Scenario {
         self.execute_with_override(spec, observers, None)
     }
 
+    /// Runs a spec with per-decision state digests enabled (see
+    /// [`dd_sim::RunConfig::hash_decisions`]). The run itself is
+    /// bit-identical to [`Scenario::execute`]; the output additionally
+    /// carries `decision_hashes` and `final_state_hash` for divergence
+    /// localisation.
+    pub fn execute_hashed(&self, spec: &RunSpec, observers: Vec<Box<dyn Observer>>) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            hash_decisions: true,
+            ..RunConfig::default()
+        };
+        dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)
+    }
+
     /// Runs a spec collecting resumable world snapshots per `plan`
     /// (see [`dd_sim::CheckpointPlan`]). Snapshot collection does not
     /// perturb the run: the trace is bit-identical to [`Scenario::execute`].
@@ -104,6 +121,28 @@ impl Scenario {
             inputs: spec.inputs.clone(),
             env: spec.env.clone(),
             checkpoints: Some(plan),
+            ..RunConfig::default()
+        };
+        dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)
+    }
+
+    /// Runs a spec with both snapshot collection (per `plan`) and
+    /// per-decision state digests enabled — the configuration `dd record`
+    /// uses to produce a replayable JSONL trace artifact. Neither facility
+    /// perturbs the run: the trace is bit-identical to [`Scenario::execute`].
+    pub fn execute_recorded(
+        &self,
+        spec: &RunSpec,
+        plan: dd_sim::CheckpointPlan,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            checkpoints: Some(plan),
+            hash_decisions: true,
             ..RunConfig::default()
         };
         dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)

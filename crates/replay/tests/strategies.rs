@@ -113,11 +113,11 @@ fn search_results_are_deterministic() {
 fn tick_budget_bounds_the_search() {
     let s = scenario();
     // A tick budget smaller than one run: at most one candidate executes.
-    let budget = InferenceBudget {
-        max_executions: 100,
-        max_ticks: 10,
-        ..InferenceBudget::default()
-    };
+    let budget = InferenceBudget::builder()
+        .max_executions(100)
+        .max_ticks(10)
+        .build()
+        .expect("valid budget");
     let r = search_with(&s, &budget, SearchStrategy::Random, None, |_| false);
     assert!(r.stats.explored <= 2, "tick budget ignored: {:?}", r.stats);
 }

@@ -278,6 +278,13 @@ pub struct RunConfig {
     /// When set, the run records the syscall log and takes resumable
     /// [`WorldSnapshot`](crate::kernel::WorldSnapshot)s per this plan.
     pub checkpoints: Option<CheckpointPlan>,
+    /// When `true`, the kernel records an FNV-1a digest of the machine
+    /// state before every multi-candidate decision (see
+    /// [`RunOutput::decision_hashes`](crate::driver::RunOutput)), plus a
+    /// final end-of-run digest. Replay tooling compares these streams to
+    /// localise the first diverging decision. Digests never emit events and
+    /// never charge cost, so enabling them does not perturb the run.
+    pub hash_decisions: bool,
 }
 
 impl Default for RunConfig {
@@ -293,6 +300,7 @@ impl Default for RunConfig {
             nondet_override: None,
             stop_on_crash: false,
             checkpoints: None,
+            hash_decisions: false,
         }
     }
 }
@@ -319,6 +327,7 @@ impl core::fmt::Debug for RunConfig {
             .field("has_override", &self.nondet_override.is_some())
             .field("stop_on_crash", &self.stop_on_crash)
             .field("checkpoints", &self.checkpoints)
+            .field("hash_decisions", &self.hash_decisions)
             .finish()
     }
 }

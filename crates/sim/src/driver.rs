@@ -220,6 +220,19 @@ pub struct RunOutput {
     /// [`CheckpointPlan`](crate::config::CheckpointPlan), in increasing
     /// decision order (empty when checkpointing is disabled).
     pub snapshots: Vec<WorldSnapshot>,
+    /// FNV-1a digests of the machine state before each recorded decision,
+    /// aligned index-for-index with `decisions` (empty unless the run was
+    /// configured with [`hash_decisions`](crate::config::RunConfig)).
+    /// Digest `i` covers the world after decisions `0..i` were applied and
+    /// their granted operations executed — so the first index at which a
+    /// replay's stream differs from the recording's implicates decision
+    /// `i - 1` as the first diverging choice.
+    pub decision_hashes: ChunkedLog<u64>,
+    /// Digest of the final machine state (`None` unless the run was
+    /// configured with `hash_decisions`). Plays the role of the digest "one
+    /// past" the last decision: it is what catches a divergence after the
+    /// final decision point.
+    pub final_state_hash: Option<u64>,
     observers: Vec<Box<dyn Observer>>,
 }
 
@@ -287,6 +300,7 @@ pub fn run_program(
     );
     kernel.checkpoints = cfg.checkpoints;
     kernel.world.record_syslog = cfg.checkpoints.is_some();
+    kernel.world.hash_decisions = cfg.hash_decisions;
     let shared = Arc::new(Shared {
         state: Mutex::new(kernel),
         driver_cv: Condvar::new(),
@@ -345,6 +359,7 @@ pub fn resume_program(
         cfg.checkpoints,
     );
     kernel.world.record_syslog = cfg.checkpoints.is_some();
+    kernel.world.hash_decisions = cfg.hash_decisions;
     let shared = Arc::new(Shared {
         state: Mutex::new(kernel),
         driver_cv: Condvar::new(),
@@ -436,6 +451,9 @@ fn run_to_completion(
         resumed_ticks,
         observer_costs: kernel.observer_costs(),
     };
+    // The final digest plays the role of the hash one past the last
+    // decision; computed before the counters are moved into the summary.
+    let final_state_hash = kernel.world.hash_decisions.then(|| kernel.world.digest());
     // The I/O summary materializes contiguous vectors once, at run end;
     // during the run these lived in chunk-shared history logs so that
     // snapshots never paid for them.
@@ -454,6 +472,8 @@ fn run_to_completion(
         decision_enabled: std::mem::take(&mut kernel.world.decision_enabled),
         trace: kernel.world.trace.take(),
         snapshots: std::mem::take(&mut kernel.snapshots),
+        decision_hashes: std::mem::take(&mut kernel.world.decision_hashes),
+        final_state_hash,
         observers: kernel.take_observers(),
     }
 }

@@ -351,6 +351,14 @@ pub(crate) struct WorldState {
     pub sys_log: Vec<ChunkedLog<SysLogEntry>>,
     /// Whether completed syscalls are being logged (checkpointing enabled).
     pub record_syslog: bool,
+
+    /// FNV-1a digest of the machine state *before* each recorded decision,
+    /// aligned index-for-index with `decisions` (digest `i` covers the
+    /// world after decisions `0..i` were applied and executed). Only grows
+    /// when [`hash_decisions`](Self::hash_decisions) is set.
+    pub decision_hashes: ChunkedLog<u64>,
+    /// Whether pre-decision state digests are being recorded.
+    pub hash_decisions: bool,
 }
 
 // ---- snapshot byte accounting ------------------------------------------
@@ -396,6 +404,169 @@ fn crash_bytes(c: &CrashRecord) -> u64 {
 
 fn decision_bytes(_: &DecisionRecord) -> u64 {
     sz::<DecisionRecord>()
+}
+
+fn hash_elem_bytes(_: &u64) -> u64 {
+    sz::<u64>()
+}
+
+// ---- state digests ------------------------------------------------------
+
+/// Incremental FNV-1a hasher over manually-fed bytes: the workspace-standard
+/// stable hash (the golden-hash suites use the same constants), hand-rolled
+/// rather than `DefaultHasher` so digests are reproducible across Rust
+/// versions and platforms — promoted trace fixtures commit these values.
+#[derive(Debug, Clone, Copy)]
+struct StateHasher(u64);
+
+impl StateHasher {
+    fn new() -> Self {
+        StateHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u64(0),
+            Some(x) => {
+                self.u64(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.u64(0),
+            Value::Bool(b) => {
+                self.u64(1);
+                self.u64(*b as u64);
+            }
+            Value::Int(i) => {
+                self.u64(2);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u64(3);
+                self.str(s);
+            }
+            Value::Bytes(b) => {
+                self.u64(4);
+                self.u64(b.len() as u64);
+                self.bytes(b);
+            }
+            Value::List(vs) => {
+                self.u64(5);
+                self.u64(vs.len() as u64);
+                for v in vs {
+                    self.value(v);
+                }
+            }
+        }
+    }
+
+    fn op_desc(&mut self, d: &OpDesc) {
+        match d {
+            OpDesc::Var { var, write } => {
+                self.u64(0);
+                self.u64(var.index() as u64);
+                self.u64(*write as u64);
+            }
+            OpDesc::Lock { lock } => {
+                self.u64(1);
+                self.u64(lock.index() as u64);
+            }
+            OpDesc::CvWait { cvar, lock } => {
+                self.u64(2);
+                self.u64(cvar.index() as u64);
+                self.u64(lock.index() as u64);
+            }
+            OpDesc::CvNotify { cvar } => {
+                self.u64(3);
+                self.u64(cvar.index() as u64);
+            }
+            OpDesc::Chan { chan } => {
+                self.u64(4);
+                self.u64(chan.index() as u64);
+            }
+            OpDesc::PortIn { port } => {
+                self.u64(5);
+                self.u64(port.index() as u64);
+            }
+            OpDesc::PortOut { port } => {
+                self.u64(6);
+                self.u64(port.index() as u64);
+            }
+            OpDesc::Rng => self.u64(7),
+            OpDesc::Local => self.u64(8),
+            OpDesc::Global => self.u64(9),
+        }
+    }
+
+    fn phase(&mut self, p: &Phase) {
+        match p {
+            Phase::Ready => self.u64(0),
+            Phase::Granted => self.u64(1),
+            Phase::Running => self.u64(2),
+            Phase::Blocked(b) => {
+                self.u64(3);
+                match b {
+                    BlockOn::Lock(l) => {
+                        self.u64(0);
+                        self.u64(l.index() as u64);
+                    }
+                    BlockOn::Chan { chan, deadline } => {
+                        self.u64(1);
+                        self.u64(chan.index() as u64);
+                        self.opt_u64(*deadline);
+                    }
+                    BlockOn::Cvar(c) => {
+                        self.u64(2);
+                        self.u64(c.index() as u64);
+                    }
+                    BlockOn::Port(p) => {
+                        self.u64(3);
+                        self.u64(p.index() as u64);
+                    }
+                    BlockOn::Join(t) => {
+                        self.u64(4);
+                        self.u64(t.index() as u64);
+                    }
+                    BlockOn::Timer { until } => {
+                        self.u64(5);
+                        self.u64(*until);
+                    }
+                }
+            }
+            Phase::Exited { ok } => {
+                self.u64(4);
+                self.u64(*ok as u64);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// The approximate heap footprint of one [`WorldSnapshot`], split into the
@@ -535,6 +706,8 @@ impl WorldState {
         total += self.decisions.total_bytes(decision_bytes);
         cloned += self.decision_enabled.clone_bytes(enabled_bytes);
         total += self.decision_enabled.total_bytes(enabled_bytes);
+        cloned += self.decision_hashes.clone_bytes(hash_elem_bytes);
+        total += self.decision_hashes.total_bytes(hash_elem_bytes);
         for log in &self.sys_log {
             cloned += log.clone_bytes(syslog_bytes);
             total += log.total_bytes(syslog_bytes);
@@ -567,6 +740,9 @@ impl WorldState {
             .decision_enabled
             .shared_chunks_with(&other.decision_enabled);
         shared += self
+            .decision_hashes
+            .shared_chunks_with(&other.decision_hashes);
+        shared += self
             .sys_log
             .iter()
             .zip(&other.sys_log)
@@ -586,8 +762,122 @@ impl WorldState {
         w.crashes = self.crashes.unshared();
         w.decisions = self.decisions.unshared();
         w.decision_enabled = self.decision_enabled.unshared();
+        w.decision_hashes = self.decision_hashes.unshared();
         w.sys_log = self.sys_log.iter().map(ChunkedLog::unshared).collect();
         w
+    }
+
+    /// FNV-1a digest of the live machine state (see
+    /// [`decision_hashes`](Self::decision_hashes)).
+    ///
+    /// Covers everything that determines the run's future: clocks, step and
+    /// event counts, the RNG, every task, variable, lock, condition
+    /// variable, channel and port, timers, pending environment events,
+    /// counters and the history *lengths* (hashing full history content
+    /// would make each digest O(run length); any content divergence
+    /// necessarily flows through the live state that produced it).
+    /// Instrumentation cost (`wall_extra`) is deliberately excluded:
+    /// attached observers differ between a recording and its replay, and
+    /// recording overhead must not perturb the digest.
+    pub(crate) fn digest(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.u64(self.time);
+        h.u64(self.steps);
+        h.u64(self.events);
+        h.u64(self.decision_seq);
+        h.u64(self.net_sends);
+        h.u64(self.cancelling as u64);
+        for w in self.rng.digest_words() {
+            h.u64(w);
+        }
+        h.u64(self.tasks.len() as u64);
+        for t in &self.tasks {
+            h.phase(&t.phase);
+            h.u64(t.killed as u64);
+            h.u64(t.mem_used);
+            h.u64(t.joiners.len() as u64);
+            for j in &t.joiners {
+                h.u64(j.index() as u64);
+            }
+            match &t.pending {
+                None => h.u64(0),
+                Some(d) => {
+                    h.u64(1);
+                    h.op_desc(d);
+                }
+            }
+            match &t.inflight {
+                None => h.u64(0),
+                Some(InflightPatch::CvRelock) => h.u64(1),
+                Some(InflightPatch::RecvDeadline(d)) => {
+                    h.u64(2);
+                    h.u64(*d);
+                }
+                Some(InflightPatch::SleepUntil(u)) => {
+                    h.u64(3);
+                    h.u64(*u);
+                }
+            }
+        }
+        h.u64(self.vars.len() as u64);
+        for v in &self.vars {
+            h.value(&v.value);
+        }
+        h.u64(self.locks.len() as u64);
+        for l in &self.locks {
+            h.opt_u64(l.holder.map(|t| t.index() as u64));
+        }
+        h.u64(self.cvars.len() as u64);
+        for c in &self.cvars {
+            h.u64(c.waiters.len() as u64);
+            for w in &c.waiters {
+                h.u64(w.index() as u64);
+            }
+        }
+        h.u64(self.chans.len() as u64);
+        for c in &self.chans {
+            h.u64(c.closed as u64);
+            h.u64(c.queue.len() as u64);
+            for v in &c.queue {
+                h.value(v);
+            }
+        }
+        h.u64(self.ports.len() as u64);
+        for p in &self.ports {
+            h.u64(p.remaining_inputs as u64);
+            h.u64(p.queue.len() as u64);
+            for v in &p.queue {
+                h.value(v);
+            }
+        }
+        // BinaryHeap iteration order is unspecified; hash the sorted view.
+        let mut timers: Vec<(u64, u32)> = self.timers.iter().map(|r| r.0).collect();
+        timers.sort_unstable();
+        h.u64(timers.len() as u64);
+        for (when, seq) in timers {
+            h.u64(when);
+            h.u64(seq as u64);
+        }
+        h.u64(self.pending_inputs.len() as u64);
+        for p in &self.pending_inputs {
+            h.u64(p.time);
+            h.u64(p.port.index() as u64);
+            h.value(&p.value);
+        }
+        h.u64(self.pending_crashes.len() as u64);
+        for (time, group) in &self.pending_crashes {
+            h.u64(*time);
+            h.str(group);
+        }
+        h.u64(self.counters.len() as u64);
+        for (name, total) in &self.counters {
+            h.str(name);
+            h.i64(*total);
+        }
+        h.u64(self.outputs.len() as u64);
+        h.u64(self.inputs_seen.len() as u64);
+        h.u64(self.crashes.len() as u64);
+        h.finish()
     }
 }
 
@@ -922,6 +1212,8 @@ impl Kernel {
             net_sends: 0,
             sys_log: Vec::new(),
             record_syslog: false,
+            decision_hashes: ChunkedLog::new(),
+            hash_decisions: false,
         };
         Kernel {
             world,
@@ -1182,6 +1474,18 @@ impl Kernel {
             kind,
             candidates,
         };
+        // Digest the pre-decision machine state (covering every decision
+        // already applied and executed) before the policy resolves this one,
+        // so replay can localise the first diverging decision. Pushed even
+        // when the policy aborts the run: a strict replay that forced a
+        // wrong earlier choice still surfaces the digest covering it, so
+        // divergence localisation sees the drift rather than the abort.
+        // Never emits an event and never charges cost: golden traces must
+        // not move.
+        if self.world.hash_decisions {
+            let digest = self.world.digest();
+            self.world.decision_hashes.push(digest);
+        }
         match self.policy.decide(&point) {
             Ok(idx) if idx < candidates.len() => {
                 self.world.decision_seq += 1;

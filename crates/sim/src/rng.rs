@@ -113,6 +113,13 @@ impl DetRng {
         self.draws
     }
 
+    /// The raw generator state — the four `xoshiro256**` state words plus
+    /// the draw count — for feeding into state digests. Two generators with
+    /// equal digest words produce identical future streams.
+    pub fn digest_words(&self) -> [u64; 5] {
+        [self.s[0], self.s[1], self.s[2], self.s[3], self.draws]
+    }
+
     /// Forks a child generator whose stream is independent of the parent's
     /// subsequent output.
     pub fn fork(&mut self) -> DetRng {

@@ -15,12 +15,16 @@
 //!   assemble into determinism models.
 
 pub mod cost;
+pub mod jsonl;
 pub mod logs;
 pub mod persist;
 pub mod recorder;
 pub mod trace;
 
 pub use cost::{log_size, ChargeAcc, CostModel, LogStats};
+pub use jsonl::{
+    JsonlError, JsonlTrace, TraceDecision, TraceFooter, TraceHeader, JSONL_FORMAT, JSONL_VERSION,
+};
 pub use logs::{
     EpochMark, EventLog, FailureSnapshot, InputEntry, InputLog, OutputLog, ScheduleLog, ValEntry,
     ValKind, ValueCursor, ValueCursorStats, ValueLog, SCHEDULE_LOG_VERSION,

@@ -3,25 +3,29 @@
 //!
 //! Run with: `cargo run --release --example hypertable_bug63`
 
-use debug_determinism::core::DebugModel;
-use debug_determinism::core::{
-    enumerate_root_causes, evaluate_model, FailureModel, InferenceBudget, RcseConfig, ValueModel,
-    Workload,
-};
+use debug_determinism::core::{FailureModel, RcseConfig, Session, ValueModel};
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreWorkload};
+use std::sync::Arc;
 
 fn main() {
     println!("discovering a failing production run (concurrent load + range migration)…");
     let w = HyperstoreWorkload::discover(HyperConfig::default(), 200)
         .expect("a racy schedule exists for the default cluster");
-    let p = w.production();
-    println!("  production incident: schedule seed {}\n", p.sched_seed);
-
-    let budget = InferenceBudget::executions(96);
+    // §3.1.1 control-plane code selection: classification only, no triggers.
+    let session = Session::new(Arc::new(w))
+        .with_executions(96)
+        .with_recording(RcseConfig {
+            use_triggers: false,
+            ..RcseConfig::default()
+        });
+    println!(
+        "  production incident: schedule seed {}\n",
+        session.production().sched_seed
+    );
 
     // The paper's §4 measurement method, model by model.
     println!("== value determinism (Friday / iDNA style) ==");
-    let (report, recording, replay) = evaluate_model(&w, &ValueModel, &budget);
+    let (report, recording, replay) = session.evaluate(&ValueModel);
     println!(
         "  failure: {}",
         recording
@@ -41,27 +45,14 @@ fn main() {
     );
 
     println!("== RCSE / debug determinism (control-plane code selection, §3.1.1) ==");
-    let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> = w
-        .training()
-        .iter()
-        .map(|s| (s.seed, s.sched_seed))
-        .collect();
-    let rcse = DebugModel::prepare(
-        &scenario,
-        &seeds,
-        RcseConfig {
-            use_triggers: false,
-            ..RcseConfig::default()
-        },
-    );
+    let rcse = session.debug_model();
     let plane = &rcse.training().plane_map;
-    let (correct, total) = plane.accuracy(&w.plane_truth());
+    let (correct, total) = plane.accuracy(&session.workload().plane_truth());
     println!(
         "  offline classification: {:.0}% of sites control-plane, accuracy {correct}/{total}",
         plane.control_fraction() * 100.0
     );
-    let (report, _, replay) = evaluate_model(&w, &rcse, &budget);
+    let (report, _, replay) = session.evaluate(&rcse);
     println!(
         "  overhead {:.2}x, log {} bytes, schedule replay diverged: {}",
         report.overhead_factor, report.log.bytes, !replay.artifact_satisfied
@@ -72,7 +63,7 @@ fn main() {
     );
 
     println!("== failure determinism (ESD style) ==");
-    let (report, _, replay) = evaluate_model(&w, &FailureModel, &budget);
+    let (report, _, replay) = session.evaluate(&FailureModel);
     println!(
         "  overhead {:.2}x, log {} bytes, inference explored {} executions",
         report.overhead_factor, report.log.bytes, replay.inference.explored
@@ -83,7 +74,7 @@ fn main() {
     );
 
     println!("\n== the n in DF = 1/n: every §4 root cause is reachable ==");
-    for (cause, reachable) in enumerate_root_causes(&w, &budget) {
+    for (cause, reachable) in session.reachable_causes() {
         println!("  {cause:<28} reachable: {reachable}");
     }
 }

@@ -9,34 +9,30 @@
 //!
 //! Run with: `cargo run --release --example invariant_selection`
 
-use debug_determinism::core::{train, RcseConfig, Workload};
+use debug_determinism::core::{RcseConfig, Session};
 use debug_determinism::detect::InvariantMonitor;
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreWorkload};
 use debug_determinism::sim::Observer;
 use debug_determinism::trace::Trace;
+use std::sync::Arc;
 
 fn main() {
     let w =
         HyperstoreWorkload::discover(HyperConfig::default(), 200).expect("a racy schedule exists");
-    let scenario = w.scenario();
 
     // Train on passing runs (a pre-release test cluster).
-    let seeds: Vec<(u64, u64)> = w
-        .training()
-        .iter()
-        .take(4)
-        .map(|s| (s.seed, s.sched_seed))
-        .collect();
-    let cfg = RcseConfig {
-        train_invariants: true,
-        ..RcseConfig::default()
-    };
-    let training = train(&scenario, &seeds, &cfg);
+    let session = Session::new(Arc::new(w))
+        .with_training_runs(4)
+        .with_recording(RcseConfig {
+            train_invariants: true,
+            ..RcseConfig::default()
+        });
+    let training = session.train();
     let invariants = training.invariants.expect("invariant inference enabled");
     println!(
         "learned {} invariants from {} passing runs:",
         invariants.len(),
-        seeds.len()
+        session.training_seeds().len()
     );
     for name in [
         "hyperstore.commit_owned",
@@ -48,6 +44,7 @@ fn main() {
 
     // Monitor the production run.
     let mut monitor = InvariantMonitor::new(invariants);
+    let scenario = session.scenario();
     let out = scenario.execute(&scenario.original_spec(), vec![]);
     let trace = Trace::from_run(&out);
     for e in trace.iter() {

@@ -4,23 +4,30 @@
 //!
 //! Run with: `cargo run --release --example msgserver_triggers`
 
-use debug_determinism::core::{
-    evaluate_model, DebugModel, FailureModel, InferenceBudget, RcseConfig, Workload,
-};
+use debug_determinism::core::{FailureModel, RcseConfig, Session};
 use debug_determinism::workloads::{MsgServerConfig, MsgServerWorkload};
+use std::sync::Arc;
 
 fn main() {
     println!("discovering a schedule where the buffer race breaches the drop SLO…");
     let w =
         MsgServerWorkload::discover(MsgServerConfig::default(), 64).expect("a racy seed exists");
+    // The lockset detector fires on the unlocked buffer/cursor sharing and
+    // dials recording up from that point (§3.1.3); a short quiet window
+    // dials it back down.
+    let session = Session::new(Arc::new(w))
+        .with_executions(64)
+        .with_recording(RcseConfig {
+            quiet_window: 400,
+            ..RcseConfig::default()
+        });
     println!(
         "  production incident: schedule seed {}\n",
-        w.production().sched_seed
+        session.production().sched_seed
     );
-    let budget = InferenceBudget::executions(64);
 
     println!("== failure determinism: reproduces the drops, blames the network ==");
-    let (report, _, replay) = evaluate_model(&w, &FailureModel, &budget);
+    let (report, _, replay) = session.evaluate(&FailureModel);
     println!(
         "  replay exhibits {:?} → the developer concludes 'nothing can be done'",
         report.utility.fidelity.replay_causes
@@ -31,24 +38,8 @@ fn main() {
     );
 
     println!("== RCSE with the lockset trigger armed (combined selection) ==");
-    let scenario = w.scenario();
-    let seeds: Vec<(u64, u64)> = w
-        .training()
-        .iter()
-        .map(|s| (s.seed, s.sched_seed))
-        .collect();
-    // The lockset detector fires on the unlocked buffer/cursor sharing and
-    // dials recording up from that point (§3.1.3); a short quiet window
-    // dials it back down.
-    let model = DebugModel::prepare(
-        &scenario,
-        &seeds,
-        RcseConfig {
-            quiet_window: 400,
-            ..RcseConfig::default()
-        },
-    );
-    let (report, _, replay) = evaluate_model(&w, &model, &budget);
+    let model = session.debug_model();
+    let (report, _, replay) = session.evaluate(&model);
     println!(
         "  overhead {:.2}x, log {} bytes",
         report.overhead_factor, report.log.bytes

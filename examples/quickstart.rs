@@ -4,11 +4,10 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use debug_determinism::core::{
-    debugging_utility, oracle_of, snapshot, CauseCtx, DebugModel, DeterminismModel, FnSpec,
-    InferenceBudget, RcseConfig, RootCause,
+    snapshot, CauseCtx, FnSpec, RcseConfig, RootCause, RunSetup, Session, Spec, Workload,
 };
-use debug_determinism::replay::{NondetSpace, Scenario};
-use debug_determinism::sim::{Builder, ChanClass, EnvConfig, InputScript, Program};
+use debug_determinism::replay::NondetSpace;
+use debug_determinism::sim::{Builder, ChanClass, InputScript, Program};
 use std::sync::Arc;
 
 /// A tiny racy program: two workers increment a shared counter without a
@@ -44,52 +43,78 @@ impl Program for RacyCounter {
     }
 }
 
+/// The program plus its debugging context: the I/O specification ("20
+/// increments must yield 20"), the root cause as a predicate, and the
+/// passing configurations training runs use.
+struct RacyCounterWorkload;
+
+impl Workload for RacyCounterWorkload {
+    fn name(&self) -> &'static str {
+        "racy-counter"
+    }
+
+    fn program(&self) -> Arc<dyn Program> {
+        Arc::new(RacyCounter)
+    }
+
+    fn spec(&self) -> Arc<dyn Spec> {
+        Arc::new(FnSpec::new("counter-total", |io| {
+            let total = io.outputs_on("result").first().and_then(|v| v.as_int())?;
+            (total < 20)
+                .then(|| snapshot("lost-updates", format!("total {total}, expected 20"), io))
+        }))
+    }
+
+    fn root_causes(&self) -> Vec<RootCause> {
+        // The negation of "the RMW is atomic".
+        vec![RootCause::new(
+            "unsynchronised-increment",
+            "lost-updates",
+            "two workers race on the shared total",
+            |ctx: &CauseCtx<'_>| {
+                !debug_determinism::detect::lost_updates(ctx.trace, ctx.registry, |n| n == "total")
+                    .is_empty()
+            },
+        )]
+    }
+
+    fn production(&self) -> RunSetup {
+        RunSetup {
+            max_steps: 100_000,
+            ..RunSetup::default()
+        }
+    }
+
+    fn space(&self) -> NondetSpace {
+        NondetSpace::schedules_only(16, InputScript::new())
+    }
+
+    fn training(&self) -> Vec<RunSetup> {
+        [(100, 100), (101, 101)]
+            .into_iter()
+            .map(|(seed, sched_seed)| RunSetup {
+                seed,
+                sched_seed,
+                ..self.production()
+            })
+            .collect()
+    }
+}
+
 fn main() {
-    // 1. The I/O specification: 20 increments must yield 20.
-    let spec = Arc::new(FnSpec::new("counter-total", |io| {
-        let total = io.outputs_on("result").first().and_then(|v| v.as_int())?;
-        (total < 20).then(|| snapshot("lost-updates", format!("total {total}, expected 20"), io))
-    }));
-
-    // 2. The root cause, as a predicate (the negation of "the RMW is
-    //    atomic").
-    let causes = vec![RootCause::new(
-        "unsynchronised-increment",
-        "lost-updates",
-        "two workers race on the shared total",
-        |ctx: &CauseCtx<'_>| {
-            !debug_determinism::detect::lost_updates(ctx.trace, ctx.registry, |n| n == "total")
-                .is_empty()
-        },
-    )];
-
-    // 3. Find a failing production run.
-    let mut scenario = Scenario {
-        program: Arc::new(RacyCounter),
-        seed: 0,
-        sched_seed: 0,
-        inputs: InputScript::new(),
-        env: EnvConfig::clean(),
-        max_steps: 100_000,
-        failure_of: oracle_of(spec),
-        space: NondetSpace::schedules_only(16, InputScript::new()),
-    };
-    let failing_seed = (0..64)
-        .find(|&s| {
-            scenario.sched_seed = s;
-            let out = scenario.execute(&scenario.original_spec(), vec![]);
-            (scenario.failure_of)(&out.io).is_some()
-        })
-        .expect("some schedule loses updates");
-    scenario.sched_seed = failing_seed;
+    // 1. Find a failing production run and pin the session to it.
+    let (session, failing_seed) =
+        Session::new(Arc::new(RacyCounterWorkload)).discover_failing_schedule(64);
+    let failing_seed = failing_seed.expect("some schedule loses updates");
+    let session = session
+        .with_executions(1)
+        .with_recording(RcseConfig::default());
     println!("production incident: schedule seed {failing_seed} loses updates\n");
 
-    // 4. Record under debug determinism (RCSE with the race trigger), then
+    // 2. Record under debug determinism (RCSE with the race trigger), then
     //    replay from the artifact alone.
-    let model = DebugModel::prepare(&scenario, &[(100, 100), (101, 101)], RcseConfig::default());
-    let recording = model.record(&scenario);
-    let replay = model.replay(&scenario, &recording, &InferenceBudget::executions(1));
-    let utility = debugging_utility(&causes, &recording, &replay);
+    let model = session.debug_model();
+    let (report, recording, replay) = session.evaluate(&model);
 
     println!("recording overhead : {:.2}x", recording.overhead_factor);
     println!("log volume         : {} bytes", recording.log.bytes);
@@ -108,14 +133,14 @@ fn main() {
     );
     println!(
         "replay exhibits the same root cause: {}",
-        utility.fidelity.same_root_cause
+        report.utility.fidelity.same_root_cause
     );
     println!(
         "\nDF = {:.3}   DE = {:.3}   DU = {:.3}",
-        utility.fidelity.df, utility.de, utility.du
+        report.utility.fidelity.df, report.utility.de, report.utility.du
     );
     assert!(
-        utility.fidelity.df == 1.0,
+        report.utility.fidelity.df == 1.0,
         "debug determinism reproduces the root cause"
     );
 }

@@ -8,17 +8,17 @@
 //!
 //! Run with: `cargo run --release --example sum_over_relaxation`
 
-use debug_determinism::core::{evaluate_model, InferenceBudget, OutputLiteModel, ValueModel};
+use debug_determinism::core::{OutputLiteModel, Session, ValueModel};
 use debug_determinism::workloads::SumWorkload;
+use std::sync::Arc;
 
 fn main() {
-    let w = SumWorkload;
-    let budget = InferenceBudget::executions(40);
+    let session = Session::new(Arc::new(SumWorkload)).with_executions(40);
 
     println!("production run: inputs (2, 2) → output 5   [WRONG: 2+2=4]\n");
 
     println!("== output determinism (ODR lightweight): records outputs only ==");
-    let (report, _, replay) = evaluate_model(&w, &OutputLiteModel, &budget);
+    let (report, _, replay) = session.evaluate(&OutputLiteModel);
     let inputs: Vec<i64> = replay
         .io
         .inputs_on("operands")
@@ -37,7 +37,7 @@ fn main() {
     );
 
     println!("== value determinism: records every value the program observed ==");
-    let (report, _, replay) = evaluate_model(&w, &ValueModel, &budget);
+    let (report, _, replay) = session.evaluate(&ValueModel);
     let inputs: Vec<i64> = replay
         .io
         .inputs_on("operands")

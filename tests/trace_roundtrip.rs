@@ -1,0 +1,154 @@
+//! Property tests for the JSONL trace envelope: rendering is a bijection on
+//! sealed traces (record → render → parse → render is byte-identical), and
+//! damaged artifacts — truncated, garbage-injected, or trailing-junk — are
+//! rejected with the offending line number.
+
+use debug_determinism::sim::{
+    run_program, Builder, ChanClass, InputScript, Program, RandomPolicy, RunConfig,
+};
+use debug_determinism::trace::{JsonlTrace, TraceHeader};
+use proptest::prelude::*;
+
+/// A parameterised racy counter: `workers` tasks each incrementing
+/// `iters` times — enough shape variety to exercise every envelope field.
+struct RacyCounter {
+    workers: u32,
+    iters: i64,
+}
+
+impl Program for RacyCounter {
+    fn name(&self) -> &'static str {
+        "prop-jsonl-counter"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let total = b.var("total", 0i64);
+        let out = b.out_port("result");
+        let done = b.channel::<i64>("done", ChanClass::Local);
+        let n = self.workers;
+        let iters = self.iters;
+        for i in 0..n {
+            b.spawn(&format!("w{i}"), "g", move |ctx| {
+                for _ in 0..iters {
+                    let v = ctx.read(&total, "w::read")?;
+                    ctx.write(&total, v + 1, "w::write")?;
+                }
+                ctx.send(&done, 1, "w::done")
+            });
+        }
+        b.spawn("reporter", "main", move |ctx| {
+            for _ in 0..n {
+                ctx.recv(&done, "r::recv")?;
+            }
+            let v = ctx.read(&total, "r::read")?;
+            ctx.output(out, v, "r::out")
+        });
+    }
+}
+
+/// Records one hashed run and seals it into the JSONL envelope.
+fn record(workers: u32, iters: i64, seed: u64, sched_seed: u64) -> JsonlTrace {
+    let cfg = RunConfig {
+        seed,
+        max_steps: 100_000,
+        hash_decisions: true,
+        ..RunConfig::default()
+    };
+    let out = run_program(
+        &RacyCounter { workers, iters },
+        cfg,
+        Box::new(RandomPolicy::new(sched_seed)),
+        vec![],
+    );
+    let header = TraceHeader::new(
+        "prop-jsonl-counter",
+        seed,
+        sched_seed,
+        100_000,
+        InputScript::new(),
+        debug_determinism::sim::EnvConfig::clean(),
+    );
+    JsonlTrace::from_run(header, &out).expect("hashed run seals")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// render ∘ parse ∘ render is the identity on rendered traces, and the
+    /// parsed artifact preserves the schedule and digest streams.
+    #[test]
+    fn render_parse_render_is_byte_identical(
+        workers in 1u32..4,
+        iters in 1i64..6,
+        seed in 0u64..500,
+        sched_seed in 0u64..500,
+    ) {
+        let trace = record(workers, iters, seed, sched_seed);
+        let text = trace.render();
+        let reparsed = JsonlTrace::parse(&text).expect("rendered trace parses");
+        prop_assert_eq!(&text, &reparsed.render());
+        prop_assert_eq!(trace.hashes(), reparsed.hashes());
+        prop_assert_eq!(
+            trace.schedule_log().decisions.len(),
+            reparsed.schedule_log().decisions.len()
+        );
+        prop_assert_eq!(trace.footer.final_hash, reparsed.footer.final_hash);
+    }
+
+    /// Dropping the footer line (a torn write) is rejected as truncation.
+    #[test]
+    fn truncated_trace_is_rejected(
+        seed in 0u64..500,
+        sched_seed in 0u64..500,
+    ) {
+        let text = record(2, 3, seed, sched_seed).render();
+        let without_footer: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        let err = JsonlTrace::parse(&without_footer).expect_err("must reject");
+        prop_assert_eq!(err.line, 0);
+        prop_assert!(err.msg.contains("missing footer"), "{}", err.msg);
+    }
+
+    /// A garbage line in the middle is rejected with that 1-based line
+    /// number; junk appended after the footer names the trailing line.
+    #[test]
+    fn garbage_lines_are_rejected_with_line_numbers(
+        seed in 0u64..500,
+        sched_seed in 0u64..500,
+        junk_pick in 0usize..4,
+    ) {
+        const JUNK: [&str; 4] = ["not json", "{", "{\"t\":\"???\"", "]]]"];
+        let junk = JUNK[junk_pick].to_owned();
+        let text = record(2, 3, seed, sched_seed).render();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let n = lines.len();
+
+        // Corrupt a line in the middle (the first decision line).
+        let mut corrupted = lines.clone();
+        corrupted[1] = junk.clone();
+        let err = JsonlTrace::parse(&corrupted.join("\n")).expect_err("must reject");
+        prop_assert_eq!(err.line, 2);
+
+        // Append junk after the sealed footer.
+        lines.push(junk);
+        let err = JsonlTrace::parse(&lines.join("\n")).expect_err("must reject");
+        prop_assert_eq!(err.line, n + 1);
+    }
+
+    /// Reordered decision indices break the envelope's contiguity seal.
+    #[test]
+    fn out_of_order_decisions_are_rejected(
+        seed in 0u64..500,
+        sched_seed in 0u64..500,
+    ) {
+        let mut trace = record(3, 4, seed, sched_seed);
+        prop_assert!(trace.decisions.len() >= 2, "3 racing tasks always branch");
+        trace.decisions.swap(0, 1);
+        let err = JsonlTrace::parse(&trace.render()).expect_err("must reject");
+        prop_assert!(err.line >= 2, "the offending decision line is named");
+        prop_assert!(err.msg.contains("out of order"), "{}", err.msg);
+    }
+}
