@@ -16,8 +16,12 @@
 //! - [`scaling_sweep`] (ABL-8): how the multi-worker explorer scales with
 //!   worker count — identical walks, wall-clock only — scratch vs
 //!   checkpointed, shallow vs deep horizons.
+//! - [`fidelity_sweep`] (ABL-10): the recording-cost axis — every
+//!   determinism model on every workload, reporting bytes recorded and
+//!   DF/DE/DU, with the two order-logging fidelities (message-order and
+//!   race-complete) placed between value and perfect determinism.
 
-use dd_core::{InferenceBudget, OutputLiteModel, RcseConfig, Session, Workload};
+use dd_core::{InferenceBudget, ModelKind, OutputLiteModel, RcseConfig, Session, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_replay::{enumerate_failures, SearchStrategy};
 use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
@@ -468,6 +472,86 @@ pub fn scaling_sweep(workers_list: &[u32], deep_only: bool) -> Vec<ScalingPoint>
                     scaling: base_wall.map(|b| b.as_secs_f64() / wall.as_secs_f64().max(1e-9)),
                 });
             }
+        }
+    }
+    points
+}
+
+/// One recording-fidelity sweep point (ABL-10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Determinism model.
+    pub model: ModelKind,
+    /// Log bytes recorded for the production incident.
+    pub bytes: u64,
+    /// Recording overhead factor.
+    pub overhead: f64,
+    /// Debugging fidelity.
+    pub df: f64,
+    /// Debugging efficiency.
+    pub de: f64,
+    /// Debugging utility.
+    pub du: f64,
+    /// Whether the artifact's constraints held on the replayed execution.
+    pub satisfied: bool,
+}
+
+/// ABL-10: the recording-cost axis — every determinism model on all four
+/// workloads.
+///
+/// The table pins the lattice placement of the two order-logging
+/// fidelities: message-order determinism records strictly fewer bytes than
+/// value determinism everywhere (it logs *who ran*, never *what they
+/// read*), and race-complete determinism records no more than perfect
+/// determinism (it logs only the racing fraction of the order, plus the
+/// dd-detect race report) while still reproducing every workload's
+/// failure.
+pub fn fidelity_sweep(budget: &InferenceBudget) -> Vec<FidelityPoint> {
+    let workloads: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(SumWorkload),
+        Arc::new(
+            MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+                .expect("msgserver failing seed"),
+        ),
+        Arc::new(BufOverflowWorkload),
+        Arc::new(
+            HyperstoreWorkload::discover(HyperConfig::default(), 200)
+                .expect("hyperstore failing seed"),
+        ),
+    ];
+    let kinds = [
+        ModelKind::Perfect,
+        ModelKind::MsgOrder,
+        ModelKind::Value,
+        ModelKind::RaceComplete,
+        ModelKind::OutputHeavy,
+        ModelKind::OutputLite,
+        ModelKind::Failure,
+        ModelKind::Debug,
+    ];
+    let mut points = Vec::new();
+    for w in workloads {
+        let session = Session::new(w)
+            .with_budget(*budget)
+            .with_recording(RcseConfig {
+                use_triggers: false,
+                ..RcseConfig::default()
+            });
+        for kind in kinds {
+            let model = session.model(kind);
+            let (report, _, _) = session.evaluate(model.as_ref());
+            points.push(FidelityPoint {
+                workload: report.workload.clone(),
+                model: kind,
+                bytes: report.log.bytes,
+                overhead: report.overhead_factor,
+                df: report.utility.fidelity.df,
+                de: report.utility.de,
+                du: report.utility.du,
+                satisfied: report.artifact_satisfied,
+            });
         }
     }
     points

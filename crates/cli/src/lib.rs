@@ -4,9 +4,13 @@
 //!
 //! - `dd record <workload>`: run the workload's production incident with
 //!   per-decision state digests and write an append-only JSONL trace.
+//!   With `--model <kind>`, record under a named determinism model
+//!   (perfect, value, …, msg-order, race-complete) instead and write its
+//!   artifact as a JSON document.
 //! - `dd replay <trace>`: re-execute the trace under the strict schedule
 //!   policy, comparing state digests at every decision, and stop at the
-//!   first divergence.
+//!   first divergence. With `--model`, replay a model artifact written by
+//!   `dd record --model` through that model's replayer instead.
 //! - `dd explore <trace>`: hand the recorded configuration to the
 //!   systematic (DPOR / parallel) search and look for other executions of
 //!   the recorded failure.
@@ -28,8 +32,8 @@
 use dd_core::driver::Session;
 use dd_core::Workload;
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
-use dd_replay::SearchStrategy;
-use dd_trace::JsonlTrace;
+use dd_replay::{Artifact, ModelKind, SearchStrategy};
+use dd_trace::{JsonlTrace, TraceHeader};
 use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -92,13 +96,17 @@ dd — record/replay debugging over the debug-determinism simulator
 
 USAGE:
     dd record  <workload> [--out FILE] [--seed N] [--sched-seed N]
-                          [--max-steps N] [--discover N]
-    dd replay  <trace>    [--invariant-only] [--snapshot FILE]
+                          [--max-steps N] [--discover N] [--model KIND]
+    dd replay  <trace>    [--invariant-only] [--snapshot FILE] [--model]
     dd explore <trace>    [--executions N] [--depth N] [--workers N]
     dd promote <trace>    --emit-test [--name NAME] [--dir DIR]
 
 WORKLOADS:
     msgserver | sum | bufoverflow | hyperstore (or their canonical names)
+
+MODELS (--model):
+    perfect | value | output-lite | output-heavy | failure | debug |
+    msg-order | race-complete
 
 EXIT CODES:
     0 identical   1 divergence   2 invariant drift   3 usage   4 I/O
@@ -189,6 +197,11 @@ fn cmd_record(rest: &[String]) -> i32 {
     let mut sched_seed: Option<u64> = None;
     let mut max_steps: Option<u64> = None;
     let mut discover: Option<u64> = None;
+    let mut model: Option<ModelKind> = None;
+    let parse_model = |v: &str| -> Result<ModelKind, String> {
+        v.parse()
+            .map_err(|e: dd_replay::UnknownModelKind| e.to_string())
+    };
     while let Some(a) = args.next() {
         let r = match a {
             "--out" => args.value("--out").map(|v| out = Some(PathBuf::from(v))),
@@ -196,6 +209,13 @@ fn cmd_record(rest: &[String]) -> i32 {
             "--sched-seed" => args.parse("--sched-seed").map(|v| sched_seed = Some(v)),
             "--max-steps" => args.parse("--max-steps").map(|v| max_steps = Some(v)),
             "--discover" => args.parse("--discover").map(|v| discover = Some(v)),
+            "--model" => args
+                .value("--model")
+                .and_then(&parse_model)
+                .map(|k| model = Some(k)),
+            kv if kv.starts_with("--model=") => {
+                parse_model(&kv["--model=".len()..]).map(|k| model = Some(k))
+            }
             p if !p.starts_with('-') && workload.is_none() => {
                 workload = Some(p.to_owned());
                 Ok(())
@@ -249,6 +269,10 @@ fn cmd_record(rest: &[String]) -> i32 {
         }
     }
 
+    if let Some(kind) = model {
+        return record_model_artifact(&session, kind, &name, out);
+    }
+
     let trace = match session.record() {
         Ok(t) => t,
         Err(e) => {
@@ -283,6 +307,139 @@ fn cmd_record(rest: &[String]) -> i32 {
 }
 
 // ---------------------------------------------------------------------------
+// dd record --model / dd replay --model: determinism-model artifacts
+// ---------------------------------------------------------------------------
+
+/// The JSON document `dd record --model` writes: enough to rebuild the
+/// production scenario (the header — same envelope as the JSONL trace) plus
+/// the model's persisted [`Artifact`]. Ground truth is *not* persisted;
+/// `dd replay --model` regenerates it deterministically by re-recording.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ModelArtifactDoc {
+    model: ModelKind,
+    header: TraceHeader,
+    artifact: Artifact,
+}
+
+/// Filesystem-safe rendering of a model kind (`"debug (RCSE)"` → `"debug"`).
+fn model_slug(kind: ModelKind) -> String {
+    kind.to_string()
+        .split_whitespace()
+        .next()
+        .expect("model kinds render non-empty")
+        .to_owned()
+}
+
+fn record_model_artifact(
+    session: &Session,
+    kind: ModelKind,
+    name: &str,
+    out: Option<PathBuf>,
+) -> i32 {
+    let p = session.production();
+    let rec = session.record_model(kind);
+    let doc = ModelArtifactDoc {
+        model: kind,
+        header: TraceHeader::new(
+            session.workload().name(),
+            p.seed,
+            p.sched_seed,
+            p.max_steps,
+            p.inputs,
+            p.env,
+        ),
+        artifact: rec.artifact.clone(),
+    };
+    let text = serde_json::to_string_pretty(&doc).expect("artifact serialises") + "\n";
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("dd-{name}.{}.json", model_slug(kind))));
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("dd record: {}: {e}", path.display());
+        return exit::IO;
+    }
+    println!("workload   : {}", session.workload().name());
+    println!("model      : {kind}");
+    println!(
+        "log        : {} records, {} bytes",
+        rec.log.records, rec.log.bytes
+    );
+    println!("overhead   : {:.2}x", rec.overhead_factor);
+    println!(
+        "failure    : {}",
+        rec.original
+            .failure
+            .as_ref()
+            .map(|f| f.failure_id.as_str())
+            .unwrap_or("none (run passed)")
+    );
+    println!("artifact   : {}", path.display());
+    println!("artifact-hash : {:016x}", fnv64(text.as_bytes()));
+    exit::OK
+}
+
+fn replay_model_artifact(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dd replay: {path}: {e}");
+            return exit::IO;
+        }
+    };
+    let doc: ModelArtifactDoc = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dd replay: {path}: {e}");
+            return exit::IO;
+        }
+    };
+    let Some(w) = workload_by_name(&doc.header.workload) else {
+        eprintln!(
+            "dd replay: artifact was recorded from workload `{}`, which this binary does not know",
+            doc.header.workload
+        );
+        return exit::USAGE;
+    };
+    let session = Session::new(w).with_production(dd_core::workload::RunSetup {
+        seed: doc.header.seed,
+        sched_seed: doc.header.sched_seed,
+        inputs: doc.header.inputs.clone(),
+        env: doc.header.env.clone(),
+        max_steps: doc.header.max_steps,
+    });
+    let (recording, result) = session.replay_artifact(doc.model, doc.artifact);
+    println!("model      : {}", doc.model);
+    println!("satisfied  : {}", result.artifact_satisfied);
+    println!("io identical : {}", result.io == recording.original.io);
+    let show = |f: Option<&str>| f.unwrap_or("pass").to_owned();
+    println!(
+        "recorded verdict : {}",
+        show(
+            recording
+                .original
+                .failure
+                .as_ref()
+                .map(|f| f.failure_id.as_str())
+        )
+    );
+    println!(
+        "failure reproduced : {}",
+        if result.reproduced_failure {
+            "yes"
+        } else {
+            "no (behavioural drift)"
+        }
+    );
+    if !result.artifact_satisfied {
+        println!("replay did not satisfy the recorded artifact");
+        return exit::DIVERGENCE;
+    }
+    if !result.reproduced_failure {
+        return exit::INVARIANT;
+    }
+    println!("replay satisfied the artifact and reproduced the recorded verdict");
+    exit::OK
+}
+
+// ---------------------------------------------------------------------------
 // dd replay
 // ---------------------------------------------------------------------------
 
@@ -290,11 +447,16 @@ fn cmd_replay(rest: &[String]) -> i32 {
     let mut args = Args::new(rest);
     let mut trace_path: Option<String> = None;
     let mut invariant_only = false;
+    let mut model = false;
     let mut snapshot: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         let r = match a {
             "--invariant-only" => {
                 invariant_only = true;
+                Ok(())
+            }
+            "--model" => {
+                model = true;
                 Ok(())
             }
             "--snapshot" => args
@@ -315,6 +477,9 @@ fn cmd_replay(rest: &[String]) -> i32 {
         eprintln!("dd replay: missing <trace>");
         return exit::USAGE;
     };
+    if model {
+        return replay_model_artifact(&path);
+    }
     let trace = match load_trace(&path) {
         Ok(t) => t,
         Err(code) => return code,
@@ -708,6 +873,47 @@ mod tests {
         assert!(test.contains("include_str!(\"fixtures/promoted_sum.jsonl\")"));
         assert!(test.contains("sum-2plus2"));
         assert!(test.contains(&format!("{}", trace.footer.decisions)));
+    }
+
+    #[test]
+    fn record_rejects_unknown_model_kind() {
+        let a = |s: &str| s.to_owned();
+        assert_eq!(
+            run(&[a("record"), a("sum"), a("--model"), a("nope")]),
+            exit::USAGE
+        );
+        assert_eq!(
+            run(&[a("record"), a("sum"), a("--model=nope")]),
+            exit::USAGE
+        );
+    }
+
+    #[test]
+    fn model_artifact_round_trips_through_record_and_replay() {
+        let out = std::env::temp_dir().join(format!("dd-cli-model-{}.json", std::process::id()));
+        let a = |s: &str| s.to_owned();
+        assert_eq!(
+            run(&[
+                a("record"),
+                a("sum"),
+                a("--model=msg-order"),
+                a("--out"),
+                out.display().to_string(),
+            ]),
+            exit::OK
+        );
+        assert_eq!(
+            run(&[a("replay"), out.display().to_string(), a("--model")]),
+            exit::OK
+        );
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn model_slugs_are_filesystem_safe() {
+        assert_eq!(model_slug(ModelKind::Debug), "debug");
+        assert_eq!(model_slug(ModelKind::RaceComplete), "race-complete");
+        assert_eq!(model_slug(ModelKind::MsgOrder), "msg-order");
     }
 
     #[test]

@@ -25,8 +25,10 @@ use crate::experiment::{enumerate_root_causes, evaluate_model_on, ModelReport};
 use crate::rcse::{train, DebugModel, RcseConfig, Training};
 use crate::workload::{RunSetup, Workload};
 use dd_replay::{
-    replay_trace, search_with, DeterminismModel, DivergenceReport, InferenceBudget, Recording,
-    ReplayResult, Scenario, SearchResult, SearchStrategy, RECORDING_CHECKPOINTS,
+    replay_trace, search_with, Artifact, DeterminismModel, DivergenceReport, FailureModel,
+    InferenceBudget, ModelKind, MsgOrderModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
+    RaceCompleteModel, Recording, ReplayResult, Scenario, SearchResult, SearchStrategy, ValueModel,
+    RECORDING_CHECKPOINTS,
 };
 use dd_sim::{CheckpointPlan, IoSummary};
 use dd_trace::{JsonlError, JsonlTrace, TraceHeader};
@@ -213,6 +215,52 @@ impl Session {
     /// this session's budget (the §3.2 empirical `n`).
     pub fn reachable_causes(&self) -> Vec<(&'static str, bool)> {
         enumerate_root_causes(self.workload(), &self.budget)
+    }
+
+    // ---- determinism-model verbs (`dd record --model=<kind>`) ------------
+
+    /// Builds the determinism model a [`ModelKind`] names. The baselines are
+    /// stateless; the RCSE debug model is trained on this session's passing
+    /// configurations first.
+    pub fn model(&self, kind: ModelKind) -> Box<dyn DeterminismModel> {
+        match kind {
+            ModelKind::Perfect => Box::new(PerfectModel),
+            ModelKind::Value => Box::new(ValueModel),
+            ModelKind::OutputLite => Box::new(OutputLiteModel),
+            ModelKind::OutputHeavy => Box::new(OutputHeavyModel),
+            ModelKind::Failure => Box::new(FailureModel),
+            ModelKind::MsgOrder => Box::new(MsgOrderModel),
+            ModelKind::RaceComplete => Box::new(RaceCompleteModel),
+            ModelKind::Debug => Box::new(self.debug_model()),
+        }
+    }
+
+    /// Records the production incident under the named determinism model,
+    /// producing its [`Recording`] (artifact + log volume + ground truth).
+    pub fn record_model(&self, kind: ModelKind) -> Recording {
+        self.model(kind).record(&self.scenario())
+    }
+
+    /// Replays a model recording against the production incident under this
+    /// session's inference budget.
+    pub fn replay_model(&self, recording: &Recording) -> ReplayResult {
+        self.model(recording.model)
+            .replay(&self.scenario(), recording, &self.budget)
+    }
+
+    /// Replays a persisted [`Artifact`] (e.g. one `dd record --model` wrote
+    /// to disk). Model recording is deterministic, so the ground truth the
+    /// fidelity verdicts compare against is regenerated by re-recording;
+    /// the *loaded* artifact is then substituted in and replayed.
+    pub fn replay_artifact(
+        &self,
+        kind: ModelKind,
+        artifact: Artifact,
+    ) -> (Recording, ReplayResult) {
+        let mut recording = self.record_model(kind);
+        recording.artifact = artifact;
+        let result = self.replay_model(&recording);
+        (recording, result)
     }
 
     // ---- the trace pipeline: record / replay / explore -------------------

@@ -44,6 +44,6 @@ pub use workload::{RunSetup, Workload};
 
 // Re-export the pieces users need alongside the core API.
 pub use dd_replay::{
-    DeterminismModel, FailureModel, InferenceBudget, ModelKind, OutputHeavyModel, OutputLiteModel,
-    PerfectModel, Recording, ReplayResult, ValueModel,
+    DeterminismModel, FailureModel, InferenceBudget, ModelKind, MsgOrderModel, OutputHeavyModel,
+    OutputLiteModel, PerfectModel, RaceCompleteModel, Recording, ReplayResult, ValueModel,
 };

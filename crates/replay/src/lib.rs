@@ -9,6 +9,8 @@
 //! | [`ValueModel`] | iDNA | every value observed per task | feeding logs back |
 //! | [`OutputLiteModel`] | ODR (light) | outputs | searching inputs × schedules × envs |
 //! | [`OutputHeavyModel`] | ODR (heavy) | outputs + inputs | searching schedules × envs |
+//! | [`MsgOrderModel`] | message-order replay | total grant order (RLE task runs) + inputs | order-guided re-execution |
+//! | [`RaceCompleteModel`] | race-complete replay | race report + racing outcomes + racing grant order | guided re-execution, DPOR prefix search, outcome feeding |
 //! | [`FailureModel`] | ESD | failure evidence only | searching for the same failure |
 //!
 //! The debug-determinism model (RCSE) lives in `dd-core`, built from the
@@ -24,6 +26,7 @@
 pub mod divergence;
 pub mod dpor;
 pub mod explorer;
+pub mod guided;
 pub mod models;
 pub mod parallel;
 pub mod recordings;
@@ -36,9 +39,15 @@ pub use explorer::{
     enumerate_failures, search, search_with, BudgetError, InferenceBudget, InferenceBudgetBuilder,
     InferenceStats, SearchResult, SearchStrategy,
 };
-pub use models::{
-    DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel, ReplayResult,
-    ValueModel, RECORDING_CHECKPOINTS,
+pub use guided::{
+    pinned_completion_digest, racing_outcomes, FeedHandle, GuidedHandle, GuidedOrderPolicy,
+    OrderCostObserver, OrderEntry, OrderLog, OrderRecorder, OutcomeFeed, PinSet, RaceOutcome,
 };
-pub use recordings::{costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording};
+pub use models::{
+    DeterminismModel, FailureModel, MsgOrderModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
+    RaceCompleteModel, ReplayResult, ValueModel, RECORDING_CHECKPOINTS,
+};
+pub use recordings::{
+    costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording, UnknownModelKind,
+};
 pub use scenario::{FailureOracle, NondetSpace, PolicyChoice, RunSpec, Scenario};

@@ -7,14 +7,22 @@
 //! determinism, and by bounded search (standing in for symbolic inference)
 //! for the ultra-relaxed models.
 
-use crate::explorer::{search, InferenceBudget, InferenceStats};
+use crate::explorer::{search, search_with, InferenceBudget, InferenceStats, SearchStrategy};
+use crate::guided::{
+    pinned_completion_digest, racing_outcomes, GuidedOrderPolicy, OrderCostObserver, OrderEntry,
+    OrderLog, OrderRecorder, OutcomeFeed, PinSet,
+};
 use crate::recordings::{costs, Artifact, CrewObserver, ModelKind, OriginalRun, Recording};
-use crate::scenario::{PolicyChoice, RunSpec, Scenario};
+use crate::scenario::{NondetSpace, PolicyChoice, RunSpec, Scenario};
+use dd_detect::HbRaceDetector;
 use dd_sim::{EnvConfig, InputScript, IoSummary, Observer, RunOutput, StopReason};
 use dd_trace::{
     FailureSnapshot, InputRecorder, LogStats, OutputRecorder, ScheduleRecorder, Trace,
     ValueRecorder,
 };
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The execution a replayer produced, with fidelity bookkeeping.
 #[derive(Debug)]
@@ -394,6 +402,304 @@ impl DeterminismModel for OutputHeavyModel {
         };
         let script = inputs.to_script();
         replay_outputs(scenario, recording, budget, outputs, Some(&script))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-guided determinism (MsgOrder / RaceComplete)
+// ---------------------------------------------------------------------------
+
+/// Runs the production execution with the scheduling policy wrapped in an
+/// [`OrderRecorder`] over the given pin set, returning the run plus the
+/// recorded grant log.
+fn record_grants(
+    scenario: &Scenario,
+    pin: PinSet,
+    observers: Vec<Box<dyn Observer>>,
+) -> (RunOutput, Vec<OrderEntry>) {
+    let grants = Arc::new(Mutex::new(Vec::new()));
+    let spec = scenario.original_spec();
+    let policy = Box::new(OrderRecorder::new(
+        spec.policy.build(),
+        pin,
+        Arc::clone(&grants),
+    ));
+    let out = scenario.execute_with_policy(&spec, policy, observers);
+    let entries = std::mem::take(&mut *grants.lock());
+    (out, entries)
+}
+
+/// Replays an order log under a [`GuidedOrderPolicy`]; returns the run and
+/// whether the log was consumed exactly (no divergence, no forced-grant
+/// drift, no leftover entries).
+fn replay_guided(
+    scenario: &Scenario,
+    order: &OrderLog,
+    pin: PinSet,
+    inputs: &dd_trace::InputLog,
+    env: &EnvConfig,
+    seed: u64,
+) -> (RunOutput, bool) {
+    let (policy, handle) = GuidedOrderPolicy::new(order, pin);
+    let spec = RunSpec {
+        seed,
+        // Unused: the guided policy is attached directly.
+        policy: PolicyChoice::RoundRobin,
+        inputs: inputs.to_script(),
+        env: env.clone(),
+    };
+    let out = scenario.execute_with_policy(&spec, Box::new(policy), vec![]);
+    let clean = !matches!(out.stop, StopReason::ReplayDivergence { .. }) && handle.fully_consumed();
+    (out, clean)
+}
+
+/// Message-order determinism (Aumayr et al.): records the order in which
+/// the scheduler granted operations (2-byte run-length-encoded task runs —
+/// no candidate sets, no value payloads, no CREW ownership machinery) plus
+/// inputs. Under the simulator's shared per-operation clock the grant order
+/// *is* the receive order of every nondeterminism source, so guided replay
+/// is time-faithful and exact; the model's separation from Perfect is the
+/// recording cost, not the fidelity.
+#[derive(Debug, Default)]
+pub struct MsgOrderModel;
+
+impl DeterminismModel for MsgOrderModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::MsgOrder
+    }
+
+    fn record(&self, scenario: &Scenario) -> Recording {
+        let observers: Vec<Box<dyn Observer>> = vec![
+            Box::new(OrderCostObserver::new(costs::MSG_ORDER, PinSet::Total)),
+            Box::new(InputRecorder::new(costs::INPUT)),
+        ];
+        let (out, entries) = record_grants(scenario, PinSet::Total, observers);
+        let order = OrderLog { entries };
+        let input_rec = out
+            .observer::<InputRecorder>()
+            .expect("input recorder attached");
+        let inputs = input_rec.to_log(&out.registry);
+        let mut log = order.stats();
+        log.merge(input_rec.stats());
+        Recording {
+            model: ModelKind::MsgOrder,
+            artifact: Artifact::MsgOrder {
+                order,
+                inputs,
+                env: scenario.env.clone(),
+                seed: scenario.seed,
+            },
+            overhead_factor: out.stats.overhead_factor(),
+            log,
+            original: original_run(scenario, &out),
+        }
+    }
+
+    fn replay(
+        &self,
+        scenario: &Scenario,
+        recording: &Recording,
+        _budget: &InferenceBudget,
+    ) -> ReplayResult {
+        let Artifact::MsgOrder {
+            order,
+            inputs,
+            env,
+            seed,
+        } = &recording.artifact
+        else {
+            panic!("msg-order replay requires a msg-order artifact");
+        };
+        let (out, clean) = replay_guided(scenario, order, PinSet::Total, inputs, env, *seed);
+        replay_result_from_run(
+            scenario,
+            recording,
+            out,
+            clean,
+            InferenceStats::default(),
+            0,
+        )
+    }
+}
+
+/// Race-complete determinism (Guo et al.): an online vector-clock pass
+/// flags every racing variable; the recording keeps the race report, the
+/// outcomes of racing accesses, and the grant order of the racing pin set.
+/// Accesses to race-free variables are *not* recorded — their order is
+/// happens-before-determined by the pinned operations, so guided replay
+/// reconstructs it; if that ever drifts, a DPOR prefix search over the
+/// recorded seed/inputs/environment re-finds an interleaving matching the
+/// pinned completion order and the racing outcomes.
+#[derive(Debug, Default)]
+pub struct RaceCompleteModel;
+
+impl DeterminismModel for RaceCompleteModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::RaceComplete
+    }
+
+    fn record(&self, scenario: &Scenario) -> Recording {
+        let observers: Vec<Box<dyn Observer>> = vec![
+            Box::new(HbRaceDetector::with_cost(costs::RACE_DETECT_ACCESS)),
+            Box::new(OrderCostObserver::new(
+                costs::RACE_COMPLETE,
+                PinSet::NonLocal,
+            )),
+            Box::new(InputRecorder::new(costs::INPUT)),
+        ];
+        let (out, entries) = record_grants(scenario, PinSet::NonLocal, observers);
+        let races = out
+            .observer::<HbRaceDetector>()
+            .expect("race detector attached")
+            .races()
+            .to_vec();
+        let pin = PinSet::racing(&races);
+        let racing: BTreeSet<u32> = races.iter().map(|r| r.var.0).collect();
+        // A race-free execution needs no order log: the digest still pins
+        // the channel/lock/io completion order, and any divergence from it
+        // is recovered by the constrained search at replay time. This keeps
+        // the artifact input-only on race-free workloads, like Perfect's.
+        let order = if races.is_empty() {
+            OrderLog::default()
+        } else {
+            OrderLog { entries }.retain_pinned(&pin)
+        };
+        let trace = Trace::from_run(&out);
+        let outcomes = racing_outcomes(&trace, &racing);
+        let order_digest = pinned_completion_digest(&trace, &pin);
+        let input_rec = out
+            .observer::<InputRecorder>()
+            .expect("input recorder attached");
+        let inputs = input_rec.to_log(&out.registry);
+        let mut log = order.stats();
+        log.merge(LogStats {
+            records: races.len() as u64 + outcomes.len() as u64,
+            bytes: races.len() as u64 * costs::RACE_REPORT_BYTES
+                + outcomes.len() as u64 * costs::RACE_OUTCOME_BYTES,
+        });
+        log.merge(input_rec.stats());
+        Recording {
+            model: ModelKind::RaceComplete,
+            artifact: Artifact::RaceComplete {
+                races,
+                outcomes,
+                order,
+                order_digest,
+                inputs,
+                env: scenario.env.clone(),
+                seed: scenario.seed,
+            },
+            overhead_factor: out.stats.overhead_factor(),
+            log,
+            original: original_run(scenario, &out),
+        }
+    }
+
+    fn replay(
+        &self,
+        scenario: &Scenario,
+        recording: &Recording,
+        budget: &InferenceBudget,
+    ) -> ReplayResult {
+        let Artifact::RaceComplete {
+            races,
+            outcomes,
+            order,
+            order_digest,
+            inputs,
+            env,
+            seed,
+        } = &recording.artifact
+        else {
+            panic!("race-complete replay requires a race-complete artifact");
+        };
+        let pin = PinSet::racing(races);
+        let racing: BTreeSet<u32> = races.iter().map(|r| r.var.0).collect();
+        let satisfies = |out: &RunOutput| {
+            let trace = Trace::from_run(out);
+            pinned_completion_digest(&trace, &pin) == *order_digest
+                && racing_outcomes(&trace, &racing) == *outcomes
+        };
+
+        // Primary path: guided re-execution from the order log. Race-free
+        // recordings carry no order log — any deterministic schedule under
+        // the recorded seed/inputs/env is a candidate, judged by the digest.
+        let (out, clean) = if races.is_empty() {
+            let spec = RunSpec {
+                seed: *seed,
+                policy: PolicyChoice::Random(0x0C0_FEED),
+                inputs: inputs.to_script(),
+                env: env.clone(),
+            };
+            (scenario.execute(&spec, vec![]), true)
+        } else {
+            replay_guided(scenario, order, pin.clone(), inputs, env, *seed)
+        };
+        let mut stats = InferenceStats::default();
+        stats.charge_run(&out);
+        if clean && satisfies(&out) {
+            stats.found = true;
+            stats.found_at = Some(0);
+            return replay_result_from_run(scenario, recording, out, true, stats, 0);
+        }
+
+        // Fallback: DPOR prefix search over the recorded configuration,
+        // constrained by the pinned completion order and racing outcomes.
+        let strategy = match budget.strategy {
+            s @ (SearchStrategy::Exhaustive { .. }
+            | SearchStrategy::Dpor { .. }
+            | SearchStrategy::DporParallel { .. }) => s,
+            _ => SearchStrategy::Dpor { max_depth: 8 },
+        };
+        let constrained = Scenario {
+            space: NondetSpace {
+                seeds: vec![*seed],
+                inputs: vec![],
+                envs: vec![env.clone()],
+            },
+            ..scenario.clone()
+        };
+        let script = inputs.to_script();
+        let result = search_with(&constrained, budget, strategy, Some(&script), satisfies);
+        stats.explored += result.stats.explored;
+        stats.pruned += result.stats.pruned;
+        stats.ticks += result.stats.ticks;
+        stats.steps_executed += result.stats.steps_executed;
+        stats.steps_skipped += result.stats.steps_skipped;
+        stats.found = result.stats.found;
+        stats.found_at = result.stats.found_at.map(|i| i + 1);
+        if let Some(found) = result.run {
+            return replay_result_from_run(scenario, recording, found, true, stats, 0);
+        }
+        if outcomes.is_empty() {
+            // Nothing to feed: the search exhausted its budget without
+            // matching the recorded completion digest.
+            return replay_result_from_run(scenario, recording, out, false, stats, 0);
+        }
+
+        // Last resort, for time-driven programs where no search budget will
+        // re-find the exact global interleaving: re-deliver the recorded
+        // racing-read outcomes directly (Guo et al.'s core observation —
+        // the failure depends on what the racing reads observed, which the
+        // artifact carries). Race-free reads execute live; the artifact is
+        // satisfied when every recorded racing read was re-delivered.
+        let (feed, handle) = OutcomeFeed::new(outcomes);
+        let spec = RunSpec {
+            seed: *seed,
+            // Arbitrary deterministic schedule: the racing outcomes, not
+            // the interleaving, carry the recorded nondeterminism.
+            policy: PolicyChoice::Random(0x0C0_FEED),
+            inputs: inputs.to_script(),
+            env: env.clone(),
+        };
+        let fed = scenario.execute_with_override(&spec, vec![], Some(Box::new(feed)));
+        stats.charge_run(&fed);
+        let satisfied = handle.fully_consumed();
+        stats.found = satisfied;
+        if satisfied {
+            stats.found_at = Some(stats.explored - 1);
+        }
+        replay_result_from_run(scenario, recording, fed, satisfied, stats, 0)
     }
 }
 

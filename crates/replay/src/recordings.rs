@@ -44,6 +44,27 @@ pub mod costs {
     /// CREW ownership-transfer penalty (page-protection fault + shootdown),
     /// charged by perfect determinism per cross-task shared access.
     pub const CREW_TRANSFER: u64 = 40;
+    /// Message-receive-order logging (Aumayr et al.): one packed append per
+    /// pinned operation — schedule-log territory, far below value logging.
+    pub const MSG_ORDER: CostModel = CostModel {
+        record_milli: 400,
+        byte_milli: 0,
+    };
+    /// Race-complete order/outcome logging (Guo et al.): per pinned append,
+    /// plus the per-access vector-clock cost below.
+    pub const RACE_COMPLETE: CostModel = CostModel {
+        record_milli: 500,
+        byte_milli: 30,
+    };
+    /// Wall ticks the online race pass charges per shared access (vector
+    /// clock compare-and-join).
+    pub const RACE_DETECT_ACCESS: u64 = 2;
+    /// Accounted bytes of one run-length-encoded order-log record.
+    pub const ORDER_ENTRY_BYTES: u64 = 2;
+    /// Accounted bytes of one race report (packed var + two site ids).
+    pub const RACE_REPORT_BYTES: u64 = 12;
+    /// Accounted bytes of one racing-access outcome record.
+    pub const RACE_OUTCOME_BYTES: u64 = 2;
 }
 
 /// Which determinism model produced a recording.
@@ -61,6 +82,10 @@ pub enum ModelKind {
     Failure,
     /// Same failure and same root cause (this paper).
     Debug,
+    /// Pinned-operation (message-receive) order logging (Aumayr et al.).
+    MsgOrder,
+    /// Race report + racing outcomes, rest reconstructed (Guo et al.).
+    RaceComplete,
 }
 
 impl core::fmt::Display for ModelKind {
@@ -72,8 +97,48 @@ impl core::fmt::Display for ModelKind {
             ModelKind::OutputHeavy => "output-heavy",
             ModelKind::Failure => "failure",
             ModelKind::Debug => "debug (RCSE)",
+            ModelKind::MsgOrder => "msg-order",
+            ModelKind::RaceComplete => "race-complete",
         };
         f.write_str(s)
+    }
+}
+
+/// A `--model` string naming no known [`ModelKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelKind(pub String);
+
+impl core::fmt::Display for UnknownModelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown model kind {:?} (expected one of: perfect, value, output-lite, \
+             output-heavy, failure, debug, msg-order, race-complete)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelKind {}
+
+impl core::str::FromStr for ModelKind {
+    type Err = UnknownModelKind;
+
+    /// Parses every [`Display`](core::fmt::Display) rendering back to its
+    /// kind (so display/parse round-trips), plus the bare `"debug"` the CLI
+    /// uses for the RCSE model.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "perfect" => ModelKind::Perfect,
+            "value" => ModelKind::Value,
+            "output-lite" => ModelKind::OutputLite,
+            "output-heavy" => ModelKind::OutputHeavy,
+            "failure" => ModelKind::Failure,
+            "debug" | "debug (RCSE)" | "rcse" => ModelKind::Debug,
+            "msg-order" => ModelKind::MsgOrder,
+            "race-complete" => ModelKind::RaceComplete,
+            other => return Err(UnknownModelKind(other.to_owned())),
+        })
     }
 }
 
@@ -124,6 +189,37 @@ pub enum Artifact {
         /// The production environment configuration.
         env: EnvConfig,
         /// The kernel RNG seed (control-plane configuration).
+        seed: u64,
+    },
+    /// Message-order determinism: the total grant order plus inputs — no
+    /// per-decision candidate sets, no value payloads.
+    MsgOrder {
+        /// Grant-order log (run-length encoded over task runs).
+        order: crate::guided::OrderLog,
+        /// All external inputs.
+        inputs: InputLog,
+        /// The production environment configuration.
+        env: EnvConfig,
+        /// The kernel RNG seed.
+        seed: u64,
+    },
+    /// Race-complete determinism: the dd-detect race report, the outcomes
+    /// of racing accesses, and the order of the (much smaller) pinned set —
+    /// non-racing order is reconstructed, not recorded.
+    RaceComplete {
+        /// Data races the online vector-clock pass flagged.
+        races: Vec<dd_detect::RaceReport>,
+        /// Ordered outcomes of every access to a racing variable.
+        outcomes: Vec<crate::guided::RaceOutcome>,
+        /// Order log over the racing pin set (non-racing vars released).
+        order: crate::guided::OrderLog,
+        /// Digest of the pinned completion order (DPOR fallback constraint).
+        order_digest: u64,
+        /// All external inputs.
+        inputs: InputLog,
+        /// The production environment configuration.
+        env: EnvConfig,
+        /// The kernel RNG seed.
         seed: u64,
     },
 }

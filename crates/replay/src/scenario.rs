@@ -169,6 +169,27 @@ impl Scenario {
         dd_sim::resume_program(self.program.as_ref(), cfg, snapshot, Some(policy), vec![])
     }
 
+    /// Runs a spec under an explicitly constructed policy instance,
+    /// ignoring `spec.policy`. This is how the order-guided models attach
+    /// stateful policies ([`crate::guided::OrderRecorder`],
+    /// [`crate::guided::GuidedOrderPolicy`]) that [`PolicyChoice`] cannot
+    /// describe.
+    pub fn execute_with_policy(
+        &self,
+        spec: &RunSpec,
+        policy: Box<dyn SchedulePolicy>,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            ..RunConfig::default()
+        };
+        dd_sim::run_program(self.program.as_ref(), cfg, policy, observers)
+    }
+
     /// Runs a spec with an optional nondeterminism override (value replay).
     pub fn execute_with_override(
         &self,

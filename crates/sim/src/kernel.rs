@@ -1467,12 +1467,22 @@ impl Kernel {
         debug_assert!(!candidates.is_empty());
         debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
         if candidates.len() == 1 {
-            return Some(candidates[0]);
+            // Forced grants stay invisible to logs, digests and events, but
+            // order-guided policies still need to see them go by.
+            let only = candidates[0];
+            let pending = self.world.tasks[only.index()].pending;
+            self.policy.note_forced(only, pending.as_ref());
+            return Some(only);
         }
+        let enabled: EnabledSet = candidates
+            .iter()
+            .map(|&t| (t, self.world.tasks[t.index()].pending))
+            .collect();
         let point = crate::policy::DecisionPoint {
             seq: self.world.decision_seq,
             kind,
             candidates,
+            enabled: &enabled,
         };
         // Digest the pre-decision machine state (covering every decision
         // already applied and executed) before the policy resolves this one,
@@ -1486,16 +1496,12 @@ impl Kernel {
             let digest = self.world.digest();
             self.world.decision_hashes.push(digest);
         }
-        match self.policy.decide(&point) {
+        let decided = self.policy.decide(&point);
+        match decided {
             Ok(idx) if idx < candidates.len() => {
                 self.world.decision_seq += 1;
                 let chosen = candidates[idx];
-                self.world.decision_enabled.push(
-                    candidates
-                        .iter()
-                        .map(|&t| (t, self.world.tasks[t.index()].pending))
-                        .collect(),
-                );
+                self.world.decision_enabled.push(enabled);
                 self.world.decisions.push(DecisionRecord {
                     kind,
                     n: candidates.len() as u32,

@@ -15,6 +15,7 @@
 //!   priorities with `d-1` priority-change points, good at exposing rare
 //!   interleavings with few runs.
 
+use crate::conflict::OpDesc;
 use crate::error::StopReason;
 use crate::event::DecisionKind;
 use crate::history::ChunkedLog;
@@ -31,6 +32,11 @@ pub struct DecisionPoint<'a> {
     pub kind: DecisionKind,
     /// Candidates, sorted by task id (deterministic).
     pub candidates: &'a [TaskId],
+    /// Each candidate's pending-operation conflict footprint, aligned with
+    /// `candidates`. This is the same enabled-set snapshot the kernel logs
+    /// into [`RunOutput::decision_enabled`](crate::RunOutput); order-guided
+    /// policies use it to tell pinned operations from commuting filler.
+    pub enabled: &'a [(TaskId, Option<OpDesc>)],
 }
 
 /// One recorded decision, as stored in schedule logs.
@@ -58,6 +64,17 @@ pub trait SchedulePolicy: Send + Sync {
     /// Returning `Err` aborts the run with the given [`StopReason`]
     /// (used by replay divergence detection).
     fn decide(&mut self, point: &DecisionPoint<'_>) -> Result<usize, StopReason>;
+
+    /// Notifies the policy of a forced (single-candidate) grant.
+    ///
+    /// Singleton grants are never sent through [`decide`](Self::decide) and
+    /// are never logged, which keeps decision streams schedule-portable —
+    /// but a policy replaying an *operation-order* log (rather than a
+    /// decision stream) still needs to observe them to keep its cursor in
+    /// step: an operation that was one of several candidates when recorded
+    /// may be the only runnable one under a different interleaving of the
+    /// commuting filler around it. The default does nothing.
+    fn note_forced(&mut self, _task: TaskId, _pending: Option<&OpDesc>) {}
 
     /// Clones the policy *with its current state* into a fresh box.
     ///
@@ -378,10 +395,12 @@ mod tests {
         cands: &[u32],
     ) -> Result<usize, StopReason> {
         let (c, seq) = point(seq, cands);
+        let enabled: Vec<(TaskId, Option<OpDesc>)> = c.iter().map(|&t| (t, None)).collect();
         p.decide(&DecisionPoint {
             seq,
             kind: DecisionKind::NextTask,
             candidates: &c,
+            enabled: &enabled,
         })
     }
 

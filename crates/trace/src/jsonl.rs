@@ -15,7 +15,9 @@
 //! The line-per-record shape is what makes the artifact *append-only*: a
 //! recorder can stream decision lines as the run evolves and seal the file
 //! with the footer at the end. Parsing reports errors with 1-based line
-//! numbers, and validates decision-index contiguity, so a truncated or
+//! numbers, validates decision-index contiguity, and rejects unknown
+//! fields anywhere on a line (a v1 reader must refuse forward-version
+//! documents rather than silently drop fields), so a truncated or
 //! hand-mutated file fails loudly at the exact offending line.
 //!
 //! The header is fully deterministic (no timestamps, no host identity):

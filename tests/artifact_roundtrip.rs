@@ -1,0 +1,87 @@
+//! Persistence contract for determinism-model artifacts:
+//!
+//! - every [`Artifact`] variant a model records (Perfect, Value, output
+//!   schemes, Failure, Debug/RCSE, MsgOrder, RaceComplete) survives a JSON
+//!   round-trip bit-for-bit — `dd record --model` writes these documents,
+//!   and a replayer fed a reparsed artifact must see exactly what was
+//!   recorded;
+//! - the v1 JSONL trace envelope rejects unknown trailing fields on any
+//!   line, naming the 1-based offending line — the same contract the `dd`
+//!   binary's exit-4 path surfaces (see `cli_contract.rs`).
+
+mod common;
+
+use common::{model_suite, scenario_grid};
+use debug_determinism::core::{Session, Workload};
+use debug_determinism::replay::Artifact;
+use debug_determinism::trace::JsonlTrace;
+use debug_determinism::workloads::SumWorkload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Recording any workload under the full model suite and JSON
+    /// round-tripping each artifact is the identity. The suite covers every
+    /// `Artifact` variant: Perfect, MsgOrder, Value, RaceComplete,
+    /// OutputHeavy, OutputLite, Failure and Debug (RCSE).
+    #[test]
+    fn every_artifact_variant_json_round_trips(
+        workload_idx in 0usize..4,
+        seed in 0u64..16,
+    ) {
+        let workloads = common::all_workloads();
+        let workload = &workloads[workload_idx];
+        let scenarios = scenario_grid(workload.as_ref(), &[seed]);
+        let scenario = scenarios.last().expect("grid is non-empty");
+        for model in model_suite(workload.as_ref()) {
+            let recording = model.record(scenario);
+            let json = serde_json::to_string(&recording.artifact)
+                .expect("artifact serialises");
+            let back: Artifact = serde_json::from_str(&json)
+                .expect("serialised artifact parses");
+            prop_assert!(
+                back == recording.artifact,
+                "{} / {:?}: JSON round-trip changed the artifact",
+                workload.name(),
+                model.kind()
+            );
+        }
+    }
+}
+
+/// Injecting one unknown trailing field into any line of a sealed v1 trace
+/// makes parsing fail with exactly that 1-based line number — headers,
+/// decision lines and the footer alike. This is the library half of the
+/// `dd replay` exit-4 contract.
+#[test]
+fn unknown_trailing_fields_are_rejected_with_the_offending_line_number() {
+    let session = Session::new(Arc::new(SumWorkload) as Arc<dyn Workload>);
+    let text = session.record().expect("sum records").render();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "trace has at least header + footer");
+    for idx in 0..lines.len() {
+        let mutated = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == idx {
+                    let body = l.trim_end().strip_suffix('}').expect("JSON object line");
+                    format!("{body},\"junk\":1}}")
+                } else {
+                    (*l).to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let err = JsonlTrace::parse(&mutated).expect_err("unknown trailing field must be rejected");
+        assert_eq!(
+            err.line,
+            idx + 1,
+            "unknown field on line {} misreported: {err}",
+            idx + 1
+        );
+    }
+}

@@ -168,6 +168,58 @@ fn missing_or_garbage_trace_exits_four() {
 }
 
 #[test]
+fn unknown_trailing_field_exits_four_with_the_line_number() {
+    let trace = scratch("unknown-field.jsonl");
+    let out = dd(&["record", "sum", "--out", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "record failed: {}", stderr(&out));
+    // Append an unknown field to the header line: v1 readers must reject
+    // rather than silently drop it.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let header = lines[0].strip_suffix('}').expect("header is a JSON object");
+    lines[0] = format!("{header},\"junk\":1}}");
+    std::fs::write(&trace, lines.join("\n") + "\n").unwrap();
+
+    let out = dd(&["replay", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 4, "stdout: {}", stdout(&out));
+    assert!(
+        stderr(&out).contains("line 1"),
+        "rejection names the offending line; stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn model_artifact_record_and_replay_round_trip_through_the_binary() {
+    let artifact = scratch("msgserver.msg-order.json");
+    let out = dd(&[
+        "record",
+        "msgserver",
+        "--model=msg-order",
+        "--out",
+        artifact.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "record --model failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("model      : msg-order"));
+
+    let out = dd(&["replay", artifact.to_str().unwrap(), "--model"]);
+    assert_eq!(code(&out), 0, "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("satisfied  : true"));
+    assert!(stdout(&out).contains("failure reproduced : yes"));
+}
+
+#[test]
+fn unknown_model_kind_exits_three() {
+    let out = dd(&["record", "sum", "--model=frobnicate"]);
+    assert_eq!(code(&out), 3);
+    assert!(
+        stderr(&out).contains("unknown model kind"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn promote_emits_a_runnable_fixture_pair() {
     let trace = scratch("promote-src.jsonl");
     let out = dd(&["record", "sum", "--out", trace.to_str().unwrap()]);

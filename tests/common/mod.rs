@@ -5,8 +5,8 @@
 //! cross-model invariants are checked over.
 
 use debug_determinism::core::{
-    DebugModel, DeterminismModel, FailureModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
-    RcseConfig, RunSetup, ValueModel, Workload,
+    DebugModel, DeterminismModel, FailureModel, MsgOrderModel, OutputHeavyModel, OutputLiteModel,
+    PerfectModel, RaceCompleteModel, RcseConfig, RunSetup, ValueModel, Workload,
 };
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreWorkload};
 use debug_determinism::replay::Scenario;
@@ -74,7 +74,9 @@ pub fn model_suite(workload: &dyn Workload) -> Vec<Box<dyn DeterminismModel>> {
     );
     vec![
         Box::new(PerfectModel),
+        Box::new(MsgOrderModel),
         Box::new(ValueModel),
+        Box::new(RaceCompleteModel),
         Box::new(OutputHeavyModel),
         Box::new(OutputLiteModel),
         Box::new(FailureModel),

@@ -25,8 +25,8 @@ mod common;
 
 use common::{all_workloads, model_suite, msgserver, output_multisets, scenario_grid, SEED_GRID};
 use debug_determinism::core::{
-    debugging_efficiency, debugging_utility, DeterminismModel, FailureModel, OutputHeavyModel,
-    OutputLiteModel, Workload,
+    debugging_efficiency, debugging_utility, DeterminismModel, FailureModel, MsgOrderModel,
+    OutputHeavyModel, OutputLiteModel, PerfectModel, RaceCompleteModel, ValueModel, Workload,
 };
 use debug_determinism::replay::{enumerate_failures, InferenceBudget, ModelKind, SearchStrategy};
 use debug_determinism::trace::OutputLog;
@@ -141,6 +141,45 @@ fn fidelity_lattice_and_metrics_hold_for_every_model_workload_and_seed() {
                             "{label}: satisfied failure artifact must reproduce the failure"
                         );
                     }
+                    ModelKind::MsgOrder => {
+                        // The total grant order is the only time-faithful
+                        // pin set under the per-operation clock, so guided
+                        // replay is exact on every workload: the order log
+                        // must be consumed cleanly and the replay must be
+                        // value-identical (msg-order ⊨ value ⊨ failure).
+                        assert!(
+                            replay.artifact_satisfied,
+                            "{label}: msg-order guided replay diverged"
+                        );
+                        assert_eq!(
+                            replay.io, recording.original.io,
+                            "{label}: msg-order replay must be value-identical"
+                        );
+                        assert!(
+                            replay.reproduced_failure,
+                            "{label}: msg-order ⊨ failure violated"
+                        );
+                    }
+                    ModelKind::RaceComplete => {
+                        // The binding Guo-et-al. claim: whatever path the
+                        // replayer took (guided, DPOR prefix search, or
+                        // outcome feeding), the recorded failure verdict is
+                        // reproduced on every workload and seed.
+                        assert!(
+                            replay.reproduced_failure,
+                            "{label}: race-complete must match Perfect's failure set"
+                        );
+                        // And a satisfied artifact means the racing-access
+                        // outcomes were honoured, which pins observable I/O
+                        // on these workloads.
+                        if replay.artifact_satisfied {
+                            assert_eq!(
+                                output_multisets(&replay.io),
+                                output_multisets(&recording.original.io),
+                                "{label}: satisfied race-complete artifact with drifted outputs"
+                            );
+                        }
+                    }
                     ModelKind::Debug => {
                         // Selective recording carries no unconditional
                         // lattice guarantee; the replay must still terminate
@@ -151,6 +190,63 @@ fn fidelity_lattice_and_metrics_hold_for_every_model_workload_and_seed() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Lattice placement on the *recording-cost* axis: the two new models sit
+/// strictly between the heavyweight recorders and the search-only ones.
+///
+/// - **MsgOrder** is replay-exact everywhere (asserted in the lattice test
+///   above) while recording strictly fewer bytes than Value — and than
+///   Perfect — on the message-passing workloads. Its separation from
+///   Perfect is *cost*, not fidelity: RLE task runs instead of
+///   per-decision candidate sets and CREW ownership transfers.
+/// - **RaceComplete** never records more than Perfect, and records
+///   strictly less as soon as the workload has any scheduling decisions
+///   (on the race-free, zero-decision workloads both bottom out at the
+///   input log and tie). Failure-set parity with Perfect on all four
+///   workloads is asserted in the lattice test above.
+#[test]
+fn new_models_sit_between_value_and_perfect_on_the_recording_cost_axis() {
+    for workload in all_workloads() {
+        let message_passing = matches!(workload.name(), "msgserver-drops" | "hyperstore-issue63");
+        for (variant, scenario) in scenario_grid(workload.as_ref(), SEED_GRID)
+            .iter()
+            .enumerate()
+        {
+            let label = format!("{} / seed-variant {variant}", workload.name());
+            let perfect = PerfectModel.record(scenario);
+            let value = ValueModel.record(scenario);
+            let msg = MsgOrderModel.record(scenario);
+            let race = RaceCompleteModel.record(scenario);
+
+            assert!(
+                race.log.bytes <= perfect.log.bytes,
+                "{label}: race-complete recorded {} bytes, perfect {}",
+                race.log.bytes,
+                perfect.log.bytes
+            );
+            if message_passing {
+                assert!(
+                    msg.log.bytes < value.log.bytes,
+                    "{label}: msg-order recorded {} bytes, value {}",
+                    msg.log.bytes,
+                    value.log.bytes
+                );
+                assert!(
+                    msg.log.bytes < perfect.log.bytes,
+                    "{label}: msg-order recorded {} bytes, perfect {}",
+                    msg.log.bytes,
+                    perfect.log.bytes
+                );
+                assert!(
+                    race.log.bytes < perfect.log.bytes,
+                    "{label}: race-complete recorded {} bytes, perfect {}",
+                    race.log.bytes,
+                    perfect.log.bytes
+                );
             }
         }
     }

@@ -7,8 +7,9 @@
 //! wall-clock dependence), these tests catch it before it can corrupt every
 //! replay-debugging result built on top.
 
+use debug_determinism::detect::HbRaceDetector;
 use debug_determinism::hyperstore::{HyperConfig, HyperstoreProgram};
-use debug_determinism::replay::costs;
+use debug_determinism::replay::{costs, OrderCostObserver, PinSet};
 use debug_determinism::sim::{
     resume_program, run_program, CheckpointPlan, Observer, Program, RandomPolicy, RunConfig,
 };
@@ -86,11 +87,13 @@ fn bufoverflow_trace_hashes_are_reproducible() {
     });
 }
 
-/// The two recording fidelities the golden table is checked under: `Low`
-/// matches RCSE's always-on layer (schedule + inputs), `High` adds
-/// value-determinism-grade recording. Observers charge the wall clock, not
-/// the execution clock, so the trace must be bit-identical to the bare run
-/// under both — recording may never perturb the execution it records.
+/// The recording fidelities the golden table is checked under: `low`
+/// matches RCSE's always-on layer (schedule + inputs), `high` adds
+/// value-determinism-grade recording, `msg-order` and `race-complete` are
+/// the two order-logging fidelities' recording stacks. Observers charge the
+/// wall clock, not the execution clock, so the trace must be bit-identical
+/// to the bare run under all of them — recording may never perturb the
+/// execution it records.
 fn fidelity_observers(level: &str) -> Vec<Box<dyn Observer>> {
     match level {
         "bare" => vec![],
@@ -102,6 +105,18 @@ fn fidelity_observers(level: &str) -> Vec<Box<dyn Observer>> {
             Box::new(ScheduleRecorder::new(costs::SCHEDULE)),
             Box::new(InputRecorder::new(costs::INPUT)),
             Box::new(ValueRecorder::new(costs::VALUE)),
+        ],
+        "msg-order" => vec![
+            Box::new(OrderCostObserver::new(costs::MSG_ORDER, PinSet::Total)),
+            Box::new(InputRecorder::new(costs::INPUT)),
+        ],
+        "race-complete" => vec![
+            Box::new(HbRaceDetector::with_cost(costs::RACE_DETECT_ACCESS)),
+            Box::new(OrderCostObserver::new(
+                costs::RACE_COMPLETE,
+                PinSet::NonLocal,
+            )),
+            Box::new(InputRecorder::new(costs::INPUT)),
         ],
         other => panic!("unknown fidelity {other}"),
     }
@@ -208,7 +223,7 @@ fn golden_trace_hash_table_covers_all_workloads_and_fidelities() {
         }
     };
     for &(name, golden) in GOLDEN {
-        for level in ["bare", "low", "high"] {
+        for level in ["bare", "low", "high", "msg-order", "race-complete"] {
             let actual = run(name, level);
             assert_eq!(
                 actual, golden,
@@ -263,6 +278,62 @@ fn golden_trace_hash_table_holds_for_snapshot_resumed_runs() {
         total_snapshots > 0,
         "no workload produced a snapshot — the resumed-run rows are vacuous"
     );
+}
+
+/// The per-decision enabled-set snapshots (`RunOutput::decision_enabled`)
+/// must be identical between a scratch run and every snapshot-resumed run —
+/// including the channel-receive entries (`OpDesc::Chan`), which ride the
+/// chunked log through snapshot history sharing. A resumed run that
+/// reconstructed the pre-snapshot prefix differently, or dropped pending-op
+/// descriptors across the resume boundary, would silently skew every
+/// enabled-set consumer (DPOR conflict analysis, the order-log pin sets).
+#[test]
+fn decision_enabled_snapshots_survive_snapshot_resume() {
+    use debug_determinism::sim::OpDesc;
+    let program = MsgServerProgram {
+        cfg: MsgServerConfig::default(),
+        fixed: false,
+    };
+    let mk_cfg = || RunConfig {
+        seed: 42,
+        checkpoints: Some(CheckpointPlan::new(2, 16)),
+        ..RunConfig::default()
+    };
+    let original = run_program(&program, mk_cfg(), Box::new(RandomPolicy::new(42)), vec![]);
+    let scratch: Vec<_> = original.decision_enabled.iter().cloned().collect();
+    let chan_entries = scratch
+        .iter()
+        .flatten()
+        .filter(|(_, op)| matches!(op, Some(OpDesc::Chan { .. })))
+        .count();
+    assert!(
+        chan_entries > 0,
+        "msgserver must exercise channel receives in its enabled sets — \
+         otherwise this regression test is vacuous"
+    );
+    assert!(
+        !original.snapshots.is_empty(),
+        "checkpoint plan produced no snapshots — the resumed rows are vacuous"
+    );
+    for snap in &original.snapshots {
+        let resumed = resume_program(
+            &program,
+            RunConfig {
+                seed: 42,
+                ..RunConfig::default()
+            },
+            snap,
+            None,
+            vec![],
+        );
+        let resumed_sets: Vec<_> = resumed.decision_enabled.iter().cloned().collect();
+        assert_eq!(
+            resumed_sets,
+            scratch,
+            "decision_enabled diverged after resuming from decision {}",
+            snap.at_decision()
+        );
+    }
 }
 
 /// Different seeds must be able to produce different schedules — otherwise

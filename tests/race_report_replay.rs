@@ -1,0 +1,61 @@
+//! The dd-detect vector-clock race report is a *derived* view of an
+//! execution: computing it online during the production run and recomputing
+//! it over a strict replay of the sealed JSONL trace must produce the
+//! identical report — same races, same order, same metadata. Anything else
+//! means either the replay is not the recorded execution or the detector
+//! depends on something outside the trace.
+
+mod common;
+
+use common::msgserver;
+use debug_determinism::core::{Session, Workload};
+use debug_determinism::detect::HbRaceDetector;
+use debug_determinism::replay::replay_trace;
+use debug_determinism::sim::Observer;
+use std::sync::Arc;
+
+#[test]
+fn race_report_is_identical_live_and_under_jsonl_replay() {
+    let workload: Arc<dyn Workload> = Arc::new(msgserver());
+    let session = Session::new(workload);
+
+    // Live: the production incident with the online detector attached.
+    let scenario = session.scenario();
+    let detector: Vec<Box<dyn Observer>> = vec![Box::new(HbRaceDetector::new())];
+    let live = scenario.execute(&scenario.original_spec(), detector);
+    let live_races = live
+        .observer::<HbRaceDetector>()
+        .expect("detector attached")
+        .races()
+        .to_vec();
+
+    // Replayed: the same incident sealed into the JSONL envelope, then
+    // re-executed under the strict schedule policy with a fresh detector.
+    let trace = session.record().expect("msgserver records");
+    let replayed_scenario = session.scenario_for_trace(&trace.header);
+    let report = replay_trace(
+        &replayed_scenario,
+        &trace,
+        vec![Box::new(HbRaceDetector::new())],
+    );
+    assert!(
+        report.identical(),
+        "replay diverged: {:?}",
+        report.divergence
+    );
+    let replayed_races = report
+        .out
+        .observer::<HbRaceDetector>()
+        .expect("detector attached")
+        .races()
+        .to_vec();
+
+    assert!(
+        !live_races.is_empty(),
+        "msgserver's compaction race must be visible to the detector"
+    );
+    assert_eq!(
+        live_races, replayed_races,
+        "the race report must be a pure function of the recorded execution"
+    );
+}

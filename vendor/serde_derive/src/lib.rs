@@ -16,6 +16,12 @@
 //! - newtype variant     → `Map { variant_name: value }`
 //! - tuple variant       → `Map { variant_name: Seq }`
 //! - struct variant      → `Map { variant_name: Map }`
+//!
+//! Deserialization of named structs and struct variants is *strict*: maps
+//! carrying keys that name no declared field are rejected (the behaviour
+//! real serde calls `deny_unknown_fields`). Everything this workspace
+//! parses is its own rendered output, so an unknown key is always either
+//! corruption or a forward-version artifact a current reader must refuse.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -240,7 +246,32 @@ fn named_struct_de(ty: &str, path: &str, fields: &[String], map_expr: &str) -> S
         })
         .collect::<Vec<_>>()
         .join(", ");
-    format!("::std::result::Result::Ok({path} {{ {inits} }})")
+    let known = fields
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    // Reject unknown keys: every map key must name a declared field. All
+    // artifacts in this workspace are self-produced round-trips, so a stray
+    // key is always either corruption or a forward-version document that a
+    // v1 reader must refuse rather than silently drop.
+    format!(
+        "{{\n\
+             const __KNOWN: &[&str] = &[{known}];\n\
+             for (__k, _) in {map_expr}.iter() {{\n\
+                 match __k.as_str() {{\n\
+                     ::std::option::Option::Some(__ks) if __KNOWN.contains(&__ks) => {{}}\n\
+                     ::std::option::Option::Some(__ks) => \
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown field `{{__ks}}` for {ty}\"))),\n\
+                     ::std::option::Option::None => \
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"non-string key for {ty}\")),\n\
+                 }}\n\
+             }}\n\
+             ::std::result::Result::Ok({path} {{ {inits} }})\n\
+         }}"
+    )
 }
 
 fn gen_serialize(item: &Input) -> String {
