@@ -20,6 +20,9 @@
 //!   determinism model on every workload, reporting bytes recorded and
 //!   DF/DE/DU, with the two order-logging fidelities (message-order and
 //!   race-complete) placed between value and perfect determinism.
+//! - [`task_scale_sweep`] (ABL-11): task-count scaling of the coroutine
+//!   engine — the max-task-count spawn-storm curve plus the deep-msgserver
+//!   checkpointed-DFS wall clock against the thread-engine baseline.
 
 use dd_core::{InferenceBudget, ModelKind, OutputLiteModel, RcseConfig, Session, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
@@ -596,4 +599,135 @@ pub fn invariant_sweep(run_counts: &[usize]) -> Vec<InvariantPoint> {
             }
         })
         .collect()
+}
+
+/// One task-scale sweep point (ABL-11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskScalePoint {
+    /// Row name: `spawn-storm` or `deep-msgserver-checkpointed`.
+    pub row: String,
+    /// Tasks spawned over the run's lifetime (storm rows) or the DFS
+    /// interleaving budget (the msgserver row).
+    pub tasks: u64,
+    /// Scheduling decisions taken (storm rows) or kernel operations
+    /// executed (the msgserver row).
+    pub steps: u64,
+    /// Host wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// The run reached its natural end (quiescence / budget exhausted)
+    /// without hitting a ceiling.
+    pub completed: bool,
+    /// Committed thread-per-task-engine wall clock for the same
+    /// configuration, where one exists (the msgserver row).
+    pub baseline_wall_ms: Option<u64>,
+    /// `baseline_wall_ms / wall_ms` — how much faster the coroutine
+    /// engine drives the identical walk.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// Deep-msgserver checkpointed-DFS wall clock recorded by the
+/// thread-per-task engine (the pre-coroutine `BENCH_checkpoint.json`
+/// baseline: depth-256 DPOR, 150-execution budget, default checkpoint
+/// interval, single worker). ABL-11's acceptance gate holds the coroutine
+/// engine to ≥ 1.5× faster on this exact walk.
+pub const THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS: u64 = 439;
+
+/// A root task that spawns `n` trivially-exiting children — the maximal
+/// spawn-churn stress for the engine's task table and live-task list.
+struct SpawnStorm {
+    n: u32,
+}
+
+impl dd_sim::Program for SpawnStorm {
+    fn name(&self) -> &'static str {
+        "spawn_storm"
+    }
+
+    fn setup(&self, b: &mut dd_sim::Builder<'_>) {
+        let n = self.n;
+        let spawned = b.out_port("spawned");
+        b.spawn("root", "g", move |mut ctx| async move {
+            let mut ok = 0i64;
+            for i in 0..n {
+                ctx.spawn(&format!("w{i}"), "g", move |_ctx| async move { Ok(()) })
+                    .await?;
+                ok += 1;
+            }
+            ctx.output(spawned, ok, "root::spawned").await
+        });
+    }
+}
+
+/// ABL-11: task-count scaling of the coroutine engine.
+///
+/// Two claims, one table:
+///
+/// - *Max-task-count curve* (`spawn-storm` rows): tasks are heap-allocated
+///   state machines, so a run can own 10^5 of them — two orders of
+///   magnitude past where the thread-per-task engine exhausted OS thread
+///   handles. Near-linear `wall_ms` across the curve also pins the
+///   driver's O(live)-per-step scheduling scan (a quadratic regression
+///   shows up as a bent curve long before it times anything out).
+/// - *Deep-msgserver row*: the ABL-7 deep checkpointed walk (the regime
+///   snapshot restore targets), timed under the coroutine engine and
+///   compared against the committed thread-engine baseline
+///   ([`THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS`]). Same schedule tree, same
+///   failure set — the delta is pure engine overhead: no thread spawns,
+///   no parking handshakes, no re-attachment on snapshot restore.
+pub fn task_scale_sweep(storm_sizes: &[u32]) -> Vec<TaskScalePoint> {
+    let mut points = Vec::new();
+    for &n in storm_sizes {
+        let cfg = dd_sim::RunConfig {
+            max_steps: (n as u64 + 2) * 4,
+            ..dd_sim::RunConfig::with_seed(7)
+        };
+        let t0 = std::time::Instant::now();
+        let out = dd_sim::run_program(
+            &SpawnStorm { n },
+            cfg,
+            Box::new(dd_sim::RandomPolicy::new(7)),
+            vec![],
+        );
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        let spawned = out
+            .io
+            .outputs_on("spawned")
+            .first()
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+        points.push(TaskScalePoint {
+            row: "spawn-storm".to_owned(),
+            tasks: n as u64,
+            steps: out.decisions.len() as u64,
+            wall_ms,
+            completed: out.stop == dd_sim::StopReason::Quiescent
+                && spawned == i64::from(n)
+                && out.io.crashes.is_empty(),
+            baseline_wall_ms: None,
+            speedup_vs_baseline: None,
+        });
+    }
+
+    // The ABL-7 deep regime, checkpointed mode, single worker.
+    let w = MsgServerWorkload::discover(MsgServerConfig::default(), 64)
+        .expect("msgserver failing seed");
+    let scenario = w.scenario();
+    let budget = InferenceBudget::executions(150)
+        .with_checkpoints(InferenceBudget::DEFAULT_CHECKPOINT_INTERVAL);
+    let strategy = SearchStrategy::Dpor { max_depth: 256 };
+    let t0 = std::time::Instant::now();
+    let (failures, stats) = enumerate_failures(&scenario, &budget, strategy);
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    points.push(TaskScalePoint {
+        row: "deep-msgserver-checkpointed".to_owned(),
+        tasks: stats.explored,
+        steps: stats.steps_executed,
+        wall_ms,
+        completed: !failures.is_empty(),
+        baseline_wall_ms: Some(THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS),
+        speedup_vs_baseline: Some(
+            THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS as f64 / (wall_ms.max(1)) as f64,
+        ),
+    });
+    points
 }

@@ -3,7 +3,7 @@
 //! Usage: `cargo run --release --bin repro-ablations [-- <which>] [flags]`
 //! where `<which>` is one of `threshold`, `window`, `budget`, `scale`,
 //! `strategies`, `invariants`, `checkpoint`, `scaling`, `snapshot`,
-//! `fidelity`, or omitted for all.
+//! `fidelity`, `taskscale`, or omitted for all.
 //!
 //! Every sweep renders its table *and* writes machine-readable
 //! `BENCH_<name>.json` at the workspace root (override the directory with
@@ -17,7 +17,8 @@
 
 use dd_bench::{
     budget_sweep, checkpoint_sweep, emit_bench, fidelity_sweep, invariant_sweep, scale_sweep,
-    scaling_sweep, snapshot_cost_sweep, strategy_sweep, threshold_sweep, window_sweep,
+    scaling_sweep, snapshot_cost_sweep, strategy_sweep, task_scale_sweep, threshold_sweep,
+    window_sweep,
 };
 
 /// Renders an optional ratio as `12.34x`, or `-` when undefined.
@@ -300,5 +301,37 @@ fn main() {
         println!("cheaper than value determinism on the message-passing workloads; race-complete");
         println!("logs only the racing fraction plus the dd-detect report — never more bytes than");
         println!("perfect, same failure set.");
+        println!();
+    }
+    if which == "taskscale" || which == "all" {
+        println!("ABL-11 — task-count scaling (coroutine engine)");
+        println!(
+            "{:>28} {:>9} {:>9} {:>8} {:>10} {:>12} {:>9}",
+            "row", "tasks", "steps", "wall-ms", "completed", "baseline-ms", "speedup"
+        );
+        let points = task_scale_sweep(&[1_000, 10_000, 100_000]);
+        for p in &points {
+            println!(
+                "{:>28} {:>9} {:>9} {:>8} {:>10} {:>12} {:>9}",
+                p.row,
+                p.tasks,
+                p.steps,
+                p.wall_ms,
+                p.completed,
+                p.baseline_wall_ms
+                    .map_or_else(|| "-".to_owned(), |b| b.to_string()),
+                ratio(p.speedup_vs_baseline),
+            );
+        }
+        emit_bench("taskscale", &points);
+        println!();
+        println!("reading ABL-11: spawn-storm rows pin the max-task-count curve — tasks are heap");
+        println!("state machines, so 10^5 of them complete where thread-per-task ran out of OS");
+        println!(
+            "handles; near-linear wall-ms across the curve also checks the O(live) scheduling"
+        );
+        println!("scan. The deep-msgserver row re-times the ABL-7 deep checkpointed walk against");
+        println!("the committed thread-engine baseline (acceptance: >= 1.5x on a single core,");
+        println!("re-checked by the CI perf-smoke wall-clock gate).");
     }
 }

@@ -25,8 +25,9 @@ pub mod snapshot_cost;
 
 pub use ablations::{
     budget_sweep, checkpoint_sweep, fidelity_sweep, invariant_sweep, scale_sweep, scaling_sweep,
-    strategy_sweep, threshold_sweep, window_sweep, BudgetPoint, CheckpointPoint, FidelityPoint,
-    InvariantPoint, ScalePoint, ScalingPoint, StrategyPoint, ThresholdPoint, WindowPoint,
+    strategy_sweep, task_scale_sweep, threshold_sweep, window_sweep, BudgetPoint, CheckpointPoint,
+    FidelityPoint, InvariantPoint, ScalePoint, ScalingPoint, StrategyPoint, TaskScalePoint,
+    ThresholdPoint, WindowPoint, THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS,
 };
 pub use emit::{emit_bench, write_bench_json};
 pub use fig1::{fig1, render_fig1, Fig1Point};

@@ -87,21 +87,21 @@ impl Program for Stretcher {
         let done = b.channel::<i64>("done", ChanClass::Local);
         let iters = self.iters;
         for i in 0..2 {
-            b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+            b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
                 for _ in 0..iters {
-                    let v = ctx.read(&total, "stretch::read")?;
-                    ctx.write(&total, v + 1, "stretch::write")?;
-                    ctx.count("adds", 1, "stretch::count")?;
+                    let v = ctx.read(&total, "stretch::read").await?;
+                    ctx.write(&total, v + 1, "stretch::write").await?;
+                    ctx.count("adds", 1, "stretch::count").await?;
                 }
-                ctx.send(&done, 1, "stretch::done")
+                ctx.send(&done, 1, "stretch::done").await
             });
         }
-        b.spawn("reporter", "main", move |ctx| {
+        b.spawn("reporter", "main", move |mut ctx| async move {
             for _ in 0..2 {
-                ctx.recv::<i64>(&done, "stretch::recv")?;
+                ctx.recv::<i64>(&done, "stretch::recv").await?;
             }
-            let v = ctx.read(&total, "stretch::report")?;
-            ctx.output(out, v, "stretch::out")
+            let v = ctx.read(&total, "stretch::report").await?;
+            ctx.output(out, v, "stretch::out").await
         });
     }
 }

@@ -405,20 +405,20 @@ mod tests {
             let out = b.out_port("result");
             let done = b.channel::<i64>("done", ChanClass::Local);
             for i in 0..2 {
-                b.spawn(&format!("w{i}"), "g", move |ctx| {
+                b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
                     for _ in 0..4 {
-                        let v = ctx.read(&total, "w::read")?;
-                        ctx.write(&total, v + 1, "w::write")?;
+                        let v = ctx.read(&total, "w::read").await?;
+                        ctx.write(&total, v + 1, "w::write").await?;
                     }
-                    ctx.send(&done, 1, "w::done")
+                    ctx.send(&done, 1, "w::done").await
                 });
             }
-            b.spawn("r", "main", move |ctx| {
+            b.spawn("r", "main", move |mut ctx| async move {
                 for _ in 0..2 {
-                    ctx.recv(&done, "r::join")?;
+                    ctx.recv(&done, "r::join").await?;
                 }
-                let v = ctx.read(&total, "r::read")?;
-                ctx.output(out, v, "r::out")
+                let v = ctx.read(&total, "r::read").await?;
+                ctx.output(out, v, "r::out").await
             });
         }
     }

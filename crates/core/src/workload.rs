@@ -128,7 +128,9 @@ mod tests {
         }
         fn setup(&self, b: &mut Builder<'_>) {
             let out = b.out_port("out");
-            b.spawn("t", "g", move |ctx| ctx.output(out, 1i64, "t::out"));
+            b.spawn("t", "g", move |mut ctx| async move {
+                ctx.output(out, 1i64, "t::out").await
+            });
         }
     }
 

@@ -202,9 +202,9 @@ mod tests {
         fn setup(&self, b: &mut Builder<'_>) {
             let x = b.var("x", 0i64);
             for i in 0..2 {
-                b.spawn(&format!("w{i}"), "g", move |ctx| {
-                    let v = ctx.read(&x, "w::read")?;
-                    ctx.write(&x, v + 1, "w::write")
+                b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
+                    let v = ctx.read(&x, "w::read").await?;
+                    ctx.write(&x, v + 1, "w::write").await
                 });
             }
         }
@@ -219,11 +219,11 @@ mod tests {
             let x = b.var("x", 0i64);
             let m = b.mutex("m");
             for i in 0..2 {
-                b.spawn(&format!("w{i}"), "g", move |ctx| {
-                    ctx.lock(m, "w::lock")?;
-                    let v = ctx.read(&x, "w::read")?;
-                    ctx.write(&x, v + 1, "w::write")?;
-                    ctx.unlock(m, "w::unlock")
+                b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
+                    ctx.lock(m, "w::lock").await?;
+                    let v = ctx.read(&x, "w::read").await?;
+                    ctx.write(&x, v + 1, "w::write").await?;
+                    ctx.unlock(m, "w::unlock").await
                 });
             }
         }
@@ -262,10 +262,10 @@ mod tests {
             }
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 0i64);
-                b.spawn("only", "g", move |ctx| {
+                b.spawn("only", "g", move |mut ctx| async move {
                     for _ in 0..10 {
-                        let v = ctx.read(&x, "only::read")?;
-                        ctx.write(&x, v + 1, "only::write")?;
+                        let v = ctx.read(&x, "only::read").await?;
+                        ctx.write(&x, v + 1, "only::write").await?;
                     }
                     Ok(())
                 });
@@ -284,8 +284,8 @@ mod tests {
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 42i64);
                 for i in 0..3 {
-                    b.spawn(&format!("r{i}"), "g", move |ctx| {
-                        let _ = ctx.read(&x, "r::read")?;
+                    b.spawn(&format!("r{i}"), "g", move |mut ctx| async move {
+                        let _ = ctx.read(&x, "r::read").await?;
                         Ok(())
                     });
                 }

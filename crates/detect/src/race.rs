@@ -288,9 +288,7 @@ impl Observer for HbRaceDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dd_sim::{
-        run_program, Builder, ChanClass, Program, RandomPolicy, RunConfig, SimResult, TaskCtx,
-    };
+    use dd_sim::{run_program, Builder, ChanClass, Program, RandomPolicy, RunConfig};
 
     struct Racy;
     impl Program for Racy {
@@ -300,9 +298,9 @@ mod tests {
         fn setup(&self, b: &mut Builder<'_>) {
             let x = b.var("x", 0i64);
             for i in 0..2 {
-                b.spawn(&format!("w{i}"), "g", move |ctx| {
-                    let v = ctx.read(&x, "w::read")?;
-                    ctx.write(&x, v + 1, "w::write")
+                b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
+                    let v = ctx.read(&x, "w::read").await?;
+                    ctx.write(&x, v + 1, "w::write").await
                 });
             }
         }
@@ -317,11 +315,11 @@ mod tests {
             let x = b.var("x", 0i64);
             let m = b.mutex("m");
             for i in 0..2 {
-                b.spawn(&format!("w{i}"), "g", move |ctx| {
-                    ctx.lock(m, "w::lock")?;
-                    let v = ctx.read(&x, "w::read")?;
-                    ctx.write(&x, v + 1, "w::write")?;
-                    ctx.unlock(m, "w::unlock")
+                b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
+                    ctx.lock(m, "w::lock").await?;
+                    let v = ctx.read(&x, "w::read").await?;
+                    ctx.write(&x, v + 1, "w::write").await?;
+                    ctx.unlock(m, "w::unlock").await
                 });
             }
         }
@@ -335,14 +333,14 @@ mod tests {
         fn setup(&self, b: &mut Builder<'_>) {
             let x = b.var("x", 0i64);
             let ch = b.channel::<i64>("sync", ChanClass::Local);
-            b.spawn("producer", "g", move |ctx| {
-                ctx.write(&x, 41, "prod::write")?;
-                ctx.send(&ch, 1, "prod::send")
+            b.spawn("producer", "g", move |mut ctx| async move {
+                ctx.write(&x, 41, "prod::write").await?;
+                ctx.send(&ch, 1, "prod::send").await
             });
-            b.spawn("consumer", "g", move |ctx| {
-                ctx.recv(&ch, "cons::recv")?;
-                let v = ctx.read(&x, "cons::read")?;
-                ctx.write(&x, v + 1, "cons::write")
+            b.spawn("consumer", "g", move |mut ctx| async move {
+                ctx.recv(&ch, "cons::recv").await?;
+                let v = ctx.read(&x, "cons::read").await?;
+                ctx.write(&x, v + 1, "cons::write").await
             });
         }
     }
@@ -402,12 +400,13 @@ mod tests {
             }
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 0i64);
-                b.spawn("parent", "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    ctx.write(&x, 7, "parent::write")?;
-                    ctx.spawn("child", "g", move |cctx| {
-                        let _ = cctx.read(&x, "child::read")?;
+                b.spawn("parent", "g", move |mut ctx| async move {
+                    ctx.write(&x, 7, "parent::write").await?;
+                    ctx.spawn("child", "g", move |mut cctx| async move {
+                        let _ = cctx.read(&x, "child::read").await?;
                         Ok(())
-                    })?;
+                    })
+                    .await?;
                     Ok(())
                 });
             }
@@ -430,11 +429,14 @@ mod tests {
             }
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 0i64);
-                b.spawn("parent", "g", move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    let child =
-                        ctx.spawn("child", "g", move |cctx| cctx.write(&x, 9, "child::write"))?;
-                    ctx.join(child, "parent::join")?;
-                    let _ = ctx.read(&x, "parent::read")?;
+                b.spawn("parent", "g", move |mut ctx| async move {
+                    let child = ctx
+                        .spawn("child", "g", move |mut cctx| async move {
+                            cctx.write(&x, 9, "child::write").await
+                        })
+                        .await?;
+                    ctx.join(child, "parent::join").await?;
+                    let _ = ctx.read(&x, "parent::read").await?;
                     Ok(())
                 });
             }
@@ -455,10 +457,10 @@ mod tests {
             fn setup(&self, b: &mut Builder<'_>) {
                 let x = b.var("x", 0i64);
                 for i in 0..2 {
-                    b.spawn(&format!("w{i}"), "g", move |ctx| {
+                    b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
                         for _ in 0..50 {
-                            let v = ctx.read(&x, "w::read")?;
-                            ctx.write(&x, v + 1, "w::write")?;
+                            let v = ctx.read(&x, "w::read").await?;
+                            ctx.write(&x, v + 1, "w::write").await?;
                         }
                         Ok(())
                     });

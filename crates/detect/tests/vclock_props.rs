@@ -4,10 +4,7 @@
 //! event order on seeded traces.
 
 use dd_detect::VectorClock;
-use dd_sim::{
-    run_program, Builder, ChanClass, Event, Program, RandomPolicy, RunConfig, SimResult, TaskCtx,
-    TaskId,
-};
+use dd_sim::{run_program, Builder, ChanClass, Event, Program, RandomPolicy, RunConfig, TaskId};
 use proptest::prelude::*;
 
 /// Builds a clock from up to `vals.len()` components; a zero value leaves
@@ -151,37 +148,31 @@ impl Program for MixedSync {
         let n = self.workers;
         let iters = self.iters;
         for i in 0..n {
-            b.spawn(
-                &format!("w{i}"),
-                "g",
-                move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    for _ in 0..iters {
-                        let v = ctx.read(&shared, "w::read")?;
-                        ctx.write(&shared, v + 1, "w::write")?;
-                        ctx.lock(m, "w::lock")?;
-                        let g = ctx.read(&guarded, "w::gread")?;
-                        ctx.write(&guarded, g + 1, "w::gwrite")?;
-                        ctx.unlock(m, "w::unlock")?;
-                    }
-                    ctx.send(&done, 1, "w::done")
-                },
-            );
-        }
-        b.spawn(
-            "collector",
-            "main",
-            move |ctx: &mut TaskCtx| -> SimResult<()> {
-                let child = ctx.spawn("helper", "main", move |c| {
-                    let _ = c.read(&shared, "h::read")?;
-                    Ok(())
-                })?;
-                for _ in 0..n {
-                    ctx.recv(&done, "c::recv")?;
+            b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
+                for _ in 0..iters {
+                    let v = ctx.read(&shared, "w::read").await?;
+                    ctx.write(&shared, v + 1, "w::write").await?;
+                    ctx.lock(m, "w::lock").await?;
+                    let g = ctx.read(&guarded, "w::gread").await?;
+                    ctx.write(&guarded, g + 1, "w::gwrite").await?;
+                    ctx.unlock(m, "w::unlock").await?;
                 }
-                ctx.join(child, "c::join")?;
-                Ok(())
-            },
-        );
+                ctx.send(&done, 1, "w::done").await
+            });
+        }
+        b.spawn("collector", "main", move |mut ctx| async move {
+            let child = ctx
+                .spawn("helper", "main", move |mut c| async move {
+                    let _ = c.read(&shared, "h::read").await?;
+                    Ok(())
+                })
+                .await?;
+            for _ in 0..n {
+                ctx.recv(&done, "c::recv").await?;
+            }
+            ctx.join(child, "c::join").await?;
+            Ok(())
+        });
     }
 }
 

@@ -121,8 +121,8 @@ impl Program for HyperstoreProgram {
             let cfg = cfg.clone();
             let servers = servers.clone();
             let client_replies = client_replies.clone();
-            b.spawn("master", "master", move |ctx| {
-                master_task(ctx, &cfg, master_ctl, &servers, &client_replies)
+            b.spawn("master", "master", move |mut ctx| async move {
+                master_task(&mut ctx, &cfg, master_ctl, &servers, &client_replies).await
             });
         }
 
@@ -135,14 +135,28 @@ impl Program for HyperstoreProgram {
             b.spawn(
                 &format!("server{j}.handler"),
                 &format!("server{j}"),
-                move |ctx| server_handler(ctx, &cfg_h, j, h, &replies, &all, fixed),
+                move |mut ctx| async move {
+                    server_handler(&mut ctx, &cfg_h, j, h, &replies, &all, fixed).await
+                },
             );
             let cfg_c = cfg.clone();
             let all = servers.clone();
             b.spawn(
                 &format!("server{j}.ctl"),
                 &format!("server{j}"),
-                move |ctx| server_ctl(ctx, &cfg_c, j, h, &all, master_ctl, dumper_reply, fixed),
+                move |mut ctx| async move {
+                    server_ctl(
+                        &mut ctx,
+                        &cfg_c,
+                        j,
+                        h,
+                        &all,
+                        master_ctl,
+                        dumper_reply,
+                        fixed,
+                    )
+                    .await
+                },
             );
         }
 
@@ -152,25 +166,32 @@ impl Program for HyperstoreProgram {
             let reply = client_replies[i as usize];
             let port = key_ports[i as usize];
             let all = servers.clone();
-            b.spawn(&format!("client{i}"), &format!("client{i}"), move |ctx| {
-                loader_task(ctx, &cfg_c, i, port, reply, master_ctl, coord_ctl, &all)
-            });
+            b.spawn(
+                &format!("client{i}"),
+                &format!("client{i}"),
+                move |mut ctx| async move {
+                    loader_task(
+                        &mut ctx, &cfg_c, i, port, reply, master_ctl, coord_ctl, &all,
+                    )
+                    .await
+                },
+            );
         }
 
         // Dump client.
         {
             let cfg_d = cfg.clone();
             let all = servers.clone();
-            b.spawn("dumper", "dumper", move |ctx| {
-                dumper_task(ctx, &cfg_d, dumper_cmd, dumper_reply, &all, dumped_out)
+            b.spawn("dumper", "dumper", move |mut ctx| async move {
+                dumper_task(&mut ctx, &cfg_d, dumper_cmd, dumper_reply, &all, dumped_out).await
             });
         }
 
         // Coordinator.
         {
             let n_clients = cfg.n_clients;
-            b.spawn("coord", "coord", move |ctx| {
-                coordinator_task(ctx, n_clients, coord_ctl, dumper_cmd, loaded_out)
+            b.spawn("coord", "coord", move |mut ctx| async move {
+                coordinator_task(&mut ctx, n_clients, coord_ctl, dumper_cmd, loaded_out).await
             });
         }
     }
@@ -178,7 +199,7 @@ impl Program for HyperstoreProgram {
 
 /// Master: answers locates from its range map; issues the migration plan;
 /// applies ownership changes when migrations complete.
-fn master_task(
+async fn master_task(
     ctx: &mut TaskCtx,
     cfg: &HyperConfig,
     inbox: ChanHandle<Msg>,
@@ -202,7 +223,8 @@ fn master_task(
                 "hyperstore.migrate_issued",
                 step.range as i64,
                 "master::migrate_cmd",
-            )?;
+            )
+            .await?;
             ctx.send(
                 &servers[owner as usize].ctl,
                 Msg::Migrate {
@@ -210,27 +232,30 @@ fn master_task(
                     to,
                 },
                 "master::migrate_cmd",
-            )?;
+            )
+            .await?;
         }
         let wait = plan
             .last()
             .map(|m| m.time.saturating_sub(ctx.now()).max(1))
             .unwrap_or(5_000);
-        match ctx.recv_timeout(&inbox, wait, "master::recv") {
+        match ctx.recv_timeout(&inbox, wait, "master::recv").await {
             Ok(Msg::Locate { client, key }) => {
                 let owner = range_map[cfg.range_of(key) as usize];
                 ctx.send(
                     &client_replies[client as usize],
                     Msg::LocateResp { server: owner },
                     "master::locate",
-                )?;
+                )
+                .await?;
             }
             Ok(Msg::MigrateDone { range }) => {
                 if let Some(pos) = pending.iter().position(|(r, _)| *r == range) {
                     let (_, to) = pending.remove(pos);
                     range_map[range as usize] = to;
                 }
-                ctx.probe("hyperstore.migrate_done", range as i64, "master::done")?;
+                ctx.probe("hyperstore.migrate_done", range as i64, "master::done")
+                    .await?;
             }
             Ok(_) => {}
             Err(SimError::RecvTimeout(_)) => {}
@@ -240,7 +265,7 @@ fn master_task(
 }
 
 /// Put handler: commits rows into the server's index and commit log.
-fn server_handler(
+async fn server_handler(
     ctx: &mut TaskCtx,
     cfg: &HyperConfig,
     me: u32,
@@ -250,7 +275,7 @@ fn server_handler(
     fixed: bool,
 ) -> SimResult<()> {
     loop {
-        let msg = ctx.recv(&h.data, "server::recv_put")?;
+        let msg = ctx.recv(&h.data, "server::recv_put").await?;
         let Msg::Put {
             client,
             key,
@@ -263,20 +288,21 @@ fn server_handler(
         if fixed {
             // FIX: ownership is re-checked at commit time, atomically with
             // the commit, and moved ranges forward to their new owner.
-            ctx.lock(h.lock, "server::commit_lock")?;
-            let ranges = ctx.read(&h.ranges, "server::check_ranges")?;
+            ctx.lock(h.lock, "server::commit_lock").await?;
+            let ranges = ctx.read(&h.ranges, "server::check_ranges").await?;
             let owned = ranges.contains(&(cfg.range_of(key) as i64));
             if owned {
-                commit_row(ctx, me, key, &bytes, &h, cfg)?;
-                ctx.unlock(h.lock, "server::commit_unlock")?;
+                commit_row(ctx, me, key, &bytes, &h, cfg).await?;
+                ctx.unlock(h.lock, "server::commit_unlock").await?;
                 ctx.send(
                     &client_replies[client as usize],
                     Msg::PutAck { key },
                     "server::ack_send",
-                )?;
+                )
+                .await?;
             } else {
-                let fwd = ctx.read(&h.fwd, "server::fwd_read")?;
-                ctx.unlock(h.lock, "server::commit_unlock")?;
+                let fwd = ctx.read(&h.fwd, "server::fwd_read").await?;
+                ctx.unlock(h.lock, "server::commit_unlock").await?;
                 match fwd.iter().find(|(r, _)| *r == cfg.range_of(key) as i64) {
                     Some(&(_, to)) => {
                         ctx.send(
@@ -288,13 +314,14 @@ fn server_handler(
                                 hops: hops + 1,
                             },
                             "server::forward",
-                        )?;
+                        )
+                        .await?;
                     }
                     // The range is migrating *to* this server but the bulk
                     // transfer has not landed yet: defer the put by
                     // requeueing it (bounded by a hop cap).
                     None if hops < 16 => {
-                        ctx.yield_now("server::defer")?;
+                        ctx.yield_now("server::defer").await?;
                         ctx.send(
                             &h.data,
                             Msg::Put {
@@ -304,22 +331,24 @@ fn server_handler(
                                 hops: hops + 1,
                             },
                             "server::defer",
-                        )?;
+                        )
+                        .await?;
                     }
                     None => {
-                        ctx.count("misrouted", 1, "server::misrouted")?;
+                        ctx.count("misrouted", 1, "server::misrouted").await?;
                     }
                 }
             }
         } else {
             // BUG (issue 63): no ownership check at commit time, no lock —
             // a concurrent migration makes this row vanish from dumps.
-            commit_row(ctx, me, key, &bytes, &h, cfg)?;
+            commit_row(ctx, me, key, &bytes, &h, cfg).await?;
             ctx.send(
                 &client_replies[client as usize],
                 Msg::PutAck { key },
                 "server::ack_send",
-            )?;
+            )
+            .await?;
         }
     }
 }
@@ -327,7 +356,7 @@ fn server_handler(
 /// Appends the row to the commit log and index, then probes whether the
 /// server still owned the row's range at commit time (debug
 /// instrumentation; the buggy build does not act on it).
-fn commit_row(
+async fn commit_row(
     ctx: &mut TaskCtx,
     me: u32,
     key: i64,
@@ -335,29 +364,34 @@ fn commit_row(
     h: &ServerHandles,
     cfg: &HyperConfig,
 ) -> SimResult<()> {
-    ctx.write(&h.log, bytes.to_vec(), "server::commit_log")?;
-    let mut index = ctx.read(&h.index, "server::commit_index_read")?;
+    ctx.write(&h.log, bytes.to_vec(), "server::commit_log")
+        .await?;
+    let mut index = ctx.read(&h.index, "server::commit_index_read").await?;
     index.push(key);
-    ctx.write(&h.index, index, "server::commit_index_write")?;
-    let ranges = ctx.read(&h.ranges, "server::commit_check")?;
+    ctx.write(&h.index, index, "server::commit_index_write")
+        .await?;
+    let ranges = ctx.read(&h.ranges, "server::commit_check").await?;
     let owned_now = ranges.contains(&(cfg.range_of(key) as i64));
     ctx.probe(
         "hyperstore.commit_owned",
         owned_now,
         "server::commit_owned_probe",
-    )?;
+    )
+    .await?;
     ctx.probe(
         "hyperstore.commit",
         vec![me as i64, key, owned_now as i64],
         "server::commit_trace",
-    )?;
-    ctx.count("rows_committed", 1, "server::commit_count")?;
+    )
+    .await?;
+    ctx.count("rows_committed", 1, "server::commit_count")
+        .await?;
     Ok(())
 }
 
 /// Control task: migrations out, transfers in, dumps.
 #[allow(clippy::too_many_arguments)]
-fn server_ctl(
+async fn server_ctl(
     ctx: &mut TaskCtx,
     cfg: &HyperConfig,
     me: u32,
@@ -368,30 +402,33 @@ fn server_ctl(
     fixed: bool,
 ) -> SimResult<()> {
     loop {
-        match ctx.recv(&h.ctl, "serverctl::recv")? {
+        match ctx.recv(&h.ctl, "serverctl::recv").await? {
             Msg::Migrate { range, to } => {
                 if fixed {
-                    ctx.lock(h.lock, "serverctl::mig_lock")?;
+                    ctx.lock(h.lock, "serverctl::mig_lock").await?;
                 }
-                let mut ranges = ctx.read(&h.ranges, "serverctl::mig_ranges_read")?;
+                let mut ranges = ctx.read(&h.ranges, "serverctl::mig_ranges_read").await?;
                 ranges.retain(|&r| r != range as i64);
-                ctx.write(&h.ranges, ranges, "serverctl::mig_ranges_write")?;
-                let index = ctx.read(&h.index, "serverctl::mig_index_read")?;
+                ctx.write(&h.ranges, ranges, "serverctl::mig_ranges_write")
+                    .await?;
+                let index = ctx.read(&h.index, "serverctl::mig_index_read").await?;
                 let (moved, kept): (Vec<i64>, Vec<i64>) =
                     index.into_iter().partition(|&k| cfg.range_of(k) == range);
-                ctx.write(&h.index, kept, "serverctl::mig_index_write")?;
+                ctx.write(&h.index, kept, "serverctl::mig_index_write")
+                    .await?;
                 if fixed {
-                    let mut fwd = ctx.read(&h.fwd, "serverctl::fwd_read")?;
+                    let mut fwd = ctx.read(&h.fwd, "serverctl::fwd_read").await?;
                     fwd.retain(|(r, _)| *r != range as i64);
                     fwd.push((range as i64, to as i64));
-                    ctx.write(&h.fwd, fwd, "serverctl::fwd_write")?;
-                    ctx.unlock(h.lock, "serverctl::mig_unlock")?;
+                    ctx.write(&h.fwd, fwd, "serverctl::fwd_write").await?;
+                    ctx.unlock(h.lock, "serverctl::mig_unlock").await?;
                 }
                 ctx.probe(
                     "hyperstore.migrated",
                     vec![me as i64, range as i64, moved.len() as i64],
                     "serverctl::migrated",
-                )?;
+                )
+                .await?;
                 let rows: Vec<(i64, Vec<u8>)> = moved
                     .into_iter()
                     .map(|k| (k, vec![0u8; cfg.row_size as usize]))
@@ -400,39 +437,43 @@ fn server_ctl(
                     &all[to as usize].ctl,
                     Msg::Transfer { range, rows },
                     "serverctl::transfer_send",
-                )?;
-                ctx.send(&master, Msg::MigrateDone { range }, "serverctl::done_send")?;
+                )
+                .await?;
+                ctx.send(&master, Msg::MigrateDone { range }, "serverctl::done_send")
+                    .await?;
             }
             Msg::Transfer { range, rows } => {
                 if fixed {
-                    ctx.lock(h.lock, "serverctl::merge_lock")?;
+                    ctx.lock(h.lock, "serverctl::merge_lock").await?;
                 }
-                let mut ranges = ctx.read(&h.ranges, "serverctl::merge_ranges_read")?;
+                let mut ranges = ctx.read(&h.ranges, "serverctl::merge_ranges_read").await?;
                 if !ranges.contains(&(range as i64)) {
                     ranges.push(range as i64);
                 }
-                ctx.write(&h.ranges, ranges, "serverctl::merge_ranges_write")?;
-                let mut index = ctx.read(&h.index, "serverctl::merge_index_read")?;
+                ctx.write(&h.ranges, ranges, "serverctl::merge_ranges_write")
+                    .await?;
+                let mut index = ctx.read(&h.index, "serverctl::merge_index_read").await?;
                 let mut ingest = Vec::new();
                 for (k, b) in rows {
                     index.push(k);
                     ingest.extend_from_slice(&b);
                 }
-                ctx.write(&h.index, index, "serverctl::merge_index_write")?;
+                ctx.write(&h.index, index, "serverctl::merge_index_write")
+                    .await?;
                 if fixed {
-                    ctx.unlock(h.lock, "serverctl::merge_unlock")?;
+                    ctx.unlock(h.lock, "serverctl::merge_unlock").await?;
                 }
                 // Bulk ingest into the local cellstore (data plane).
-                ctx.write(&h.log, ingest, "serverctl::merge_ingest")?;
+                ctx.write(&h.log, ingest, "serverctl::merge_ingest").await?;
             }
             Msg::Dump => {
                 if fixed {
-                    ctx.lock(h.lock, "serverctl::dump_lock")?;
+                    ctx.lock(h.lock, "serverctl::dump_lock").await?;
                 }
-                let ranges = ctx.read(&h.ranges, "serverctl::dump_ranges_read")?;
-                let index = ctx.read(&h.index, "serverctl::dump_index_read")?;
+                let ranges = ctx.read(&h.ranges, "serverctl::dump_ranges_read").await?;
+                let index = ctx.read(&h.index, "serverctl::dump_index_read").await?;
                 if fixed {
-                    ctx.unlock(h.lock, "serverctl::dump_unlock")?;
+                    ctx.unlock(h.lock, "serverctl::dump_unlock").await?;
                 }
                 // Issue 63's visible half: keys in unowned ranges are
                 // silently ignored.
@@ -446,12 +487,14 @@ fn server_ctl(
                     "hyperstore.dump_ignored",
                     ignored as i64,
                     "serverctl::dump_probe",
-                )?;
+                )
+                .await?;
                 ctx.send(
                     &dumper_reply,
                     Msg::DumpResp { server: me, keys },
                     "serverctl::dump_send",
-                )?;
+                )
+                .await?;
             }
             _ => {}
         }
@@ -461,7 +504,7 @@ fn server_ctl(
 /// Loader: reads keys from its input port, locates, generates the row
 /// payload, stores it, and waits for the acknowledgement.
 #[allow(clippy::too_many_arguments)]
-fn loader_task(
+async fn loader_task(
     ctx: &mut TaskCtx,
     cfg: &HyperConfig,
     me: u32,
@@ -473,7 +516,7 @@ fn loader_task(
 ) -> SimResult<()> {
     let mut loaded: i64 = 0;
     loop {
-        let key: i64 = match ctx.input(keys, "client::input") {
+        let key: i64 = match ctx.input(keys, "client::input").await {
             Ok(k) => k,
             Err(SimError::InputExhausted(_)) => break,
             Err(e) => return Err(e),
@@ -482,12 +525,17 @@ fn loader_task(
             &master,
             Msg::Locate { client: me, key },
             "client::locate_send",
-        )?;
-        let server = match ctx.recv_timeout(&reply, cfg.ack_timeout, "client::locate_recv") {
+        )
+        .await?;
+        let server = match ctx
+            .recv_timeout(&reply, cfg.ack_timeout, "client::locate_recv")
+            .await
+        {
             Ok(Msg::LocateResp { server }) => server,
             Ok(_) => continue,
             Err(SimError::RecvTimeout(_)) => {
-                ctx.count("locate_timeouts", 1, "client::locate_recv")?;
+                ctx.count("locate_timeouts", 1, "client::locate_recv")
+                    .await?;
                 continue;
             }
             Err(e) => return Err(e),
@@ -495,7 +543,7 @@ fn loader_task(
         // One RNG draw expanded locally into the row payload: data-plane
         // contents never influence control flow, so relaxed replay may
         // re-synthesise them freely.
-        let seed = ctx.rand_below(0, "client::gen")?;
+        let seed = ctx.rand_below(0, "client::gen").await?;
         let mut sm = dd_sim::rng::SplitMix64::new(seed);
         let bytes: Vec<u8> = (0..cfg.row_size).map(|_| sm.next_u64() as u8).collect();
         ctx.send(
@@ -507,32 +555,37 @@ fn loader_task(
                 hops: 0,
             },
             "client::put_send",
-        )?;
+        )
+        .await?;
         loaded += 1;
-        match ctx.recv_timeout(&reply, cfg.ack_timeout, "client::ack_recv") {
+        match ctx
+            .recv_timeout(&reply, cfg.ack_timeout, "client::ack_recv")
+            .await
+        {
             Ok(Msg::PutAck { .. }) => {
-                ctx.count("rows_acked", 1, "client::ack_recv")?;
+                ctx.count("rows_acked", 1, "client::ack_recv").await?;
             }
             Ok(_) => {}
             Err(SimError::RecvTimeout(_)) => {
-                ctx.count("ack_timeouts", 1, "client::ack_recv")?;
+                ctx.count("ack_timeouts", 1, "client::ack_recv").await?;
             }
             Err(e) => return Err(e),
         }
     }
-    ctx.count("rows_loaded", loaded, "client::done")?;
+    ctx.count("rows_loaded", loaded, "client::done").await?;
     ctx.send(
         &coord,
         Msg::LoaderDone { client: me, loaded },
         "client::done",
-    )?;
+    )
+    .await?;
     Ok(())
 }
 
 /// Dump client: queries every server and accumulates the returned rows,
 /// charging its memory budget per row (the client-OOM alternative cause
 /// lives here).
-fn dumper_task(
+async fn dumper_task(
     ctx: &mut TaskCtx,
     cfg: &HyperConfig,
     cmd: ChanHandle<Msg>,
@@ -541,7 +594,7 @@ fn dumper_task(
     out: OutPort,
 ) -> SimResult<()> {
     loop {
-        match ctx.recv(&cmd, "dumper::cmd_recv")? {
+        match ctx.recv(&cmd, "dumper::cmd_recv").await? {
             Msg::StartDump => break,
             _ => continue,
         }
@@ -549,15 +602,18 @@ fn dumper_task(
     let mut rows: Vec<i64> = Vec::new();
     let mut oom = false;
     'servers: for (j, s) in servers.iter().enumerate() {
-        ctx.send(&s.ctl, Msg::Dump, "dumper::dump_send")?;
-        match ctx.recv_timeout(&reply, cfg.dump_timeout, "dumper::resp_recv") {
+        ctx.send(&s.ctl, Msg::Dump, "dumper::dump_send").await?;
+        match ctx
+            .recv_timeout(&reply, cfg.dump_timeout, "dumper::resp_recv")
+            .await
+        {
             Ok(Msg::DumpResp { keys, .. }) => {
                 for k in keys {
                     // Materialising a fetched row costs memory.
-                    match ctx.alloc(cfg.row_size as u64, "dumper::alloc") {
+                    match ctx.alloc(cfg.row_size as u64, "dumper::alloc").await {
                         Ok(()) => rows.push(k),
                         Err(SimError::OutOfMemory { .. }) => {
-                            ctx.count("dump_oom", 1, "dumper::alloc")?;
+                            ctx.count("dump_oom", 1, "dumper::alloc").await?;
                             oom = true;
                             break 'servers;
                         }
@@ -567,7 +623,7 @@ fn dumper_task(
             }
             Ok(_) => {}
             Err(SimError::RecvTimeout(_)) => {
-                ctx.count("dump_timeouts", 1, "dumper::resp_recv")?;
+                ctx.count("dump_timeouts", 1, "dumper::resp_recv").await?;
                 let _ = j;
             }
             Err(e) => return Err(e),
@@ -576,15 +632,16 @@ fn dumper_task(
     rows.sort_unstable();
     rows.dedup();
     let _ = oom;
-    ctx.count("rows_dumped", rows.len() as i64, "dumper::out")?;
-    ctx.output(out, rows.len() as i64, "dumper::out")?;
-    ctx.stop_run("dumper::stop")?;
+    ctx.count("rows_dumped", rows.len() as i64, "dumper::out")
+        .await?;
+    ctx.output(out, rows.len() as i64, "dumper::out").await?;
+    ctx.stop_run("dumper::stop").await?;
     Ok(())
 }
 
 /// Coordinator: waits for all loaders, lets in-flight work settle, reports
 /// the loaded count and starts the dump.
-fn coordinator_task(
+async fn coordinator_task(
     ctx: &mut TaskCtx,
     n_clients: u32,
     inbox: ChanHandle<Msg>,
@@ -593,14 +650,15 @@ fn coordinator_task(
 ) -> SimResult<()> {
     let mut total: i64 = 0;
     for _ in 0..n_clients {
-        if let Msg::LoaderDone { loaded, .. } = ctx.recv(&inbox, "coord::recv")? {
+        if let Msg::LoaderDone { loaded, .. } = ctx.recv(&inbox, "coord::recv").await? {
             total += loaded;
         }
     }
     // Let in-flight puts and transfers drain: virtual-time sleep runs every
     // runnable task to quiescence first.
-    ctx.sleep(200, "coord::settle")?;
-    ctx.output(out, total, "coord::out")?;
-    ctx.send(&dumper_cmd, Msg::StartDump, "coord::start_dump")?;
+    ctx.sleep(200, "coord::settle").await?;
+    ctx.output(out, total, "coord::out").await?;
+    ctx.send(&dumper_cmd, Msg::StartDump, "coord::start_dump")
+        .await?;
     Ok(())
 }

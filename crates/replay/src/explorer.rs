@@ -680,10 +680,10 @@ mod tests {
         fn setup(&self, b: &mut Builder<'_>) {
             let p = b.in_port("operands");
             let out = b.out_port("sum");
-            b.spawn("summer", "g", move |ctx| {
-                let a: i64 = ctx.input(p, "sum::a")?;
-                let bb: i64 = ctx.input(p, "sum::b")?;
-                ctx.output(out, a + bb, "sum::out")
+            b.spawn("summer", "g", move |mut ctx| async move {
+                let a: i64 = ctx.input(p, "sum::a").await?;
+                let bb: i64 = ctx.input(p, "sum::b").await?;
+                ctx.output(out, a + bb, "sum::out").await
             });
         }
     }

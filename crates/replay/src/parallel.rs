@@ -15,8 +15,8 @@
 //!   [`InferenceStats`] field — depends on the
 //!   worker count.
 //! - N **workers** each own a private execution shell (their runs build
-//!   their own kernels, observers, policy clones and per-task
-//!   `TaskRuntime` pools — see `dd-sim`'s world/shell split). They pull
+//!   their own kernels, observers, policy clones and coroutine engines —
+//!   see `dd-sim`'s world/shell split). They pull
 //!   jobs from a shared LIFO frontier of `(forced prefix, deepest usable
 //!   WorldSnapshot)` items, restore the snapshot, force the remaining
 //!   prefix, and post the finished [`RunOutput`] back. Restoring is cheap

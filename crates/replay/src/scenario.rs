@@ -294,9 +294,9 @@ mod tests {
         fn setup(&self, b: &mut Builder<'_>) {
             let p = b.in_port("in");
             let out = b.out_port("out");
-            b.spawn("echo", "g", move |ctx| {
-                let v: i64 = ctx.input(p, "echo::in")?;
-                ctx.output(out, v * 2, "echo::out")
+            b.spawn("echo", "g", move |mut ctx| async move {
+                let v: i64 = ctx.input(p, "echo::in").await?;
+                ctx.output(out, v * 2, "echo::out").await
             });
         }
     }

@@ -275,6 +275,12 @@ pub struct RunConfig {
     pub nondet_override: Option<Box<dyn NondetOverride>>,
     /// If `true`, the run stops at the first task crash.
     pub stop_on_crash: bool,
+    /// Maximum number of live-or-exited tasks a run may create. A runtime
+    /// spawn that would exceed it fails with
+    /// [`SimError::TaskLimit`](crate::error::SimError) instead of growing
+    /// the world. Tasks are coroutines (no OS thread per task), so the
+    /// default is generous; lower it to model resource-exhaustion policies.
+    pub max_tasks: u64,
     /// When set, the run records the syscall log and takes resumable
     /// [`WorldSnapshot`](crate::kernel::WorldSnapshot)s per this plan.
     pub checkpoints: Option<CheckpointPlan>,
@@ -299,6 +305,7 @@ impl Default for RunConfig {
             costs: OpCosts::default(),
             nondet_override: None,
             stop_on_crash: false,
+            max_tasks: 1 << 20,
             checkpoints: None,
             hash_decisions: false,
         }
@@ -326,6 +333,7 @@ impl core::fmt::Debug for RunConfig {
             .field("env", &self.env)
             .field("has_override", &self.nondet_override.is_some())
             .field("stop_on_crash", &self.stop_on_crash)
+            .field("max_tasks", &self.max_tasks)
             .field("checkpoints", &self.checkpoints)
             .field("hash_decisions", &self.hash_decisions)
             .finish()

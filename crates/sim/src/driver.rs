@@ -1,15 +1,35 @@
-//! The driver: token-passing scheduling over OS threads, and the public
-//! [`run_program`] entry point.
+//! The driver: a single-threaded coroutine engine and the public
+//! [`run_program`] / [`resume_program`] entry points.
 //!
-//! # Protocol
+//! # Engine
 //!
-//! Exactly one logical processor exists. The driver thread owns scheduling:
-//! at every decision point it picks one `Ready` task, grants it, and sleeps
-//! until that task parks again (at its next operation, blocked, or exited).
-//! Task threads execute their operation *under the kernel lock* when
-//! granted, then run user code lock-free until their next operation. All
-//! cross-task interaction flows through kernel operations, so the recorded
-//! decision stream plus the input script fully determine the execution.
+//! Exactly one logical processor exists, and exactly one real thread runs
+//! the whole simulation. Every task body is a coroutine (see
+//! [`TaskFuture`](crate::program::TaskFuture)); the driver loop owns the
+//! kernel and, at every decision point, picks one `Ready` task and *steps*
+//! it: the announced operation executes against the kernel, the result is
+//! deposited in the task's mailbox ([`TaskSlot`]), and the body is polled —
+//! running user code — until it parks at its next operation, blocks, or
+//! exits. There are no locks, no condvars and no context switches; a
+//! scheduling decision is a function call. All cross-task interaction flows
+//! through kernel operations, so the recorded decision stream plus the
+//! input script fully determine the execution.
+//!
+//! Wakers are never used: the driver always knows which task to poll next,
+//! so futures signal readiness purely through the mailbox. A body that
+//! awaits a non-simulator future would return `Pending` with no request in
+//! its mailbox and is failed loudly with an internal error.
+//!
+//! # Snapshot resume
+//!
+//! Restoring a [`WorldSnapshot`] is a pure data copy — there are no threads
+//! to re-attach. Coroutines, however, cannot be cloned, so
+//! [`resume_program`] rebuilds each started task's future by re-running its
+//! body in *fast-forward*: recorded results from the world's syscall log
+//! are fed back through the mailbox (no kernel work, no events, no cost —
+//! the restored world already contains their effects) until the body
+//! re-parks at the operation it had announced when the snapshot was taken.
+//! The whole rebuild of one task is a single synchronous poll.
 
 use crate::config::RunConfig;
 use crate::error::{SimError, SimResult, StopReason};
@@ -21,23 +41,14 @@ use crate::kernel::{
     SysLogEntry, WorldSnapshot,
 };
 use crate::policy::SchedulePolicy;
-use crate::program::{Builder, Program, TaskCtx, TaskFn};
+use crate::program::{Builder, Program, Request, TaskCtx, TaskFn, TaskFuture, TaskSlot};
 use crate::value::Value;
-use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-/// State shared between the driver and task threads.
-pub(crate) struct Shared {
-    pub state: Mutex<Kernel>,
-    /// Signalled by tasks whenever they park or exit.
-    pub driver_cv: Condvar,
-    /// Join handles of all spawned task threads.
-    pub threads: Mutex<Vec<JoinHandle<()>>>,
-}
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 
 /// Metadata describing one task, for post-run analysis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -275,6 +286,32 @@ impl core::fmt::Debug for RunOutput {
     }
 }
 
+/// The engine's handle on one task: the body factory (until first grant),
+/// the live coroutine (until exit), and the mailbox both share with the
+/// futures the body awaits.
+struct TaskCell {
+    /// The body factory; consumed at first grant (or during rebuild).
+    body: Option<TaskFn>,
+    /// The live coroutine, absent before first grant and after exit.
+    fut: Option<TaskFuture>,
+    /// The mailbox; every future the body creates holds an `Rc` to it.
+    slot: Rc<RefCell<TaskSlot>>,
+    /// Whether the body factory has been invoked (granted at least once, or
+    /// replayed during a snapshot rebuild).
+    started: bool,
+}
+
+impl TaskCell {
+    fn new(body: Option<TaskFn>) -> Self {
+        TaskCell {
+            body,
+            fut: None,
+            slot: Rc::new(RefCell::new(TaskSlot::default())),
+            started: false,
+        }
+    }
+}
+
 /// Runs `program` to completion under the given configuration, scheduling
 /// policy and observers.
 ///
@@ -301,25 +338,24 @@ pub fn run_program(
     kernel.checkpoints = cfg.checkpoints;
     kernel.world.record_syslog = cfg.checkpoints.is_some();
     kernel.world.hash_decisions = cfg.hash_decisions;
-    let shared = Arc::new(Shared {
-        state: Mutex::new(kernel),
-        driver_cv: Condvar::new(),
-        threads: Mutex::new(Vec::new()),
-    });
+    kernel.max_tasks = cfg.max_tasks;
 
     // Setup: declare objects and initial tasks, then load the script.
-    let initial: Vec<(TaskId, TaskFn)> = {
-        let mut st = shared.state.lock();
-        let mut b = Builder::new(&mut st);
-        program.setup(&mut b);
-        let spawns = std::mem::take(&mut b.spawns);
-        if let Err(msg) = st.load_inputs(cfg.inputs.iter().map(|(k, v)| (k.to_owned(), v.to_vec())))
-        {
-            panic!("{}: {msg}", program.name());
-        }
-        spawns
-    };
-    run_to_completion(shared, initial, &cfg, 0, 0)
+    let mut b = Builder::new(&mut kernel);
+    program.setup(&mut b);
+    let initial = std::mem::take(&mut b.spawns);
+    if let Err(msg) = kernel.load_inputs(cfg.inputs.iter().map(|(k, v)| (k.to_owned(), v.to_vec())))
+    {
+        panic!("{}: {msg}", program.name());
+    }
+
+    let mut cells: Vec<TaskCell> = (0..kernel.world.tasks.len())
+        .map(|_| TaskCell::new(None))
+        .collect();
+    for (tid, f) in initial {
+        cells[tid.index()].body = Some(f);
+    }
+    run_to_completion(kernel, cells, &cfg, 0, 0)
 }
 
 /// Resumes a run from a [`WorldSnapshot`].
@@ -332,11 +368,11 @@ pub fn run_program(
 /// point on; pass `None` to continue with the snapshot's own policy state,
 /// which replays the remainder of the original run exactly.
 ///
-/// Task threads cannot be cloned, so each task body is re-run in
+/// Coroutines cannot be cloned, so each started task body is re-run in
 /// fast-forward: completed operations are fed from the snapshot's syscall
 /// log (no kernel work, no events — the restored world already contains
-/// their effects) until the task reaches the sync point it was parked at.
-/// [`RunStats::resumed_steps`]/[`RunStats::resumed_ticks`] report the
+/// their effects) until the body re-parks at the sync point it was parked
+/// at. [`RunStats::resumed_steps`]/[`RunStats::resumed_ticks`] report the
 /// inherited (skipped) work.
 pub fn resume_program(
     program: &dyn Program,
@@ -360,54 +396,35 @@ pub fn resume_program(
     );
     kernel.world.record_syslog = cfg.checkpoints.is_some();
     kernel.world.hash_decisions = cfg.hash_decisions;
-    let shared = Arc::new(Shared {
-        state: Mutex::new(kernel),
-        driver_cv: Condvar::new(),
-        threads: Mutex::new(Vec::new()),
-    });
+    kernel.max_tasks = cfg.max_tasks;
 
     // Rebind setup: re-collect the initial task bodies against the restored
     // world without re-declaring anything (and without re-loading inputs —
     // the pending script is part of the world).
-    let initial: Vec<(TaskId, TaskFn)> = {
-        let mut st = shared.state.lock();
-        let mut b = Builder::rebind(&mut st);
-        program.setup(&mut b);
-        std::mem::take(&mut b.spawns)
-    };
-    run_to_completion(shared, initial, &cfg, resumed_steps, resumed_ticks)
+    let mut b = Builder::rebind(&mut kernel);
+    program.setup(&mut b);
+    let initial = std::mem::take(&mut b.spawns);
+
+    let mut cells: Vec<TaskCell> = (0..kernel.world.tasks.len())
+        .map(|_| TaskCell::new(None))
+        .collect();
+    for (tid, f) in initial {
+        cells[tid.index()].body = Some(f);
+    }
+    rebuild(&mut kernel, &mut cells);
+    run_to_completion(kernel, cells, &cfg, resumed_steps, resumed_ticks)
 }
 
-/// Spawns the initial task threads, drives the run to completion, and
-/// assembles the [`RunOutput`].
+/// Drives the run to completion and assembles the [`RunOutput`].
 fn run_to_completion(
-    shared: Arc<Shared>,
-    initial: Vec<(TaskId, TaskFn)>,
+    mut kernel: Kernel,
+    mut cells: Vec<TaskCell>,
     cfg: &RunConfig,
     resumed_steps: u64,
     resumed_ticks: u64,
 ) -> RunOutput {
-    for (tid, f) in initial {
-        let h = spawn_task_thread(Arc::clone(&shared), tid, f);
-        shared.threads.lock().push(h);
-    }
-
-    drive(&shared, cfg);
-
-    // All tasks have exited; join their threads.
-    loop {
-        let hs: Vec<JoinHandle<()>> = std::mem::take(&mut *shared.threads.lock());
-        if hs.is_empty() {
-            break;
-        }
-        for h in hs {
-            let _ = h.join();
-        }
-    }
-
-    let shared = Arc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("task threads leaked a Shared reference"));
-    let mut kernel = shared.state.into_inner();
+    drive(&mut kernel, &mut cells, cfg);
+    drop(cells);
 
     let registry = Registry {
         tasks: kernel
@@ -479,10 +496,23 @@ fn run_to_completion(
 }
 
 /// The driver loop: schedules tasks until a stop condition, then cancels
-/// everything and waits for all tasks to exit.
-fn drive(shared: &Shared, cfg: &RunConfig) {
-    let mut st = shared.state.lock();
-    'outer: loop {
+/// everything so every task exits.
+fn drive(st: &mut Kernel, cells: &mut Vec<TaskCell>, cfg: &RunConfig) {
+    // Live tasks (not exited, not killed) in ascending id order. Each
+    // scheduling step scans only this list, so a step costs O(live tasks)
+    // rather than O(tasks ever spawned) — the difference between linear
+    // and quadratic total work for spawn-heavy workloads. Exited and
+    // killed tasks never run again, so pruning is sound; new tasks get
+    // strictly increasing ids, so appending keeps the order sorted.
+    let mut alive: Vec<u32> = st
+        .world
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.phase, Phase::Exited { .. }) && !t.killed)
+        .map(|(i, _)| i as u32)
+        .collect();
+    loop {
         if st.world.stop.is_some() {
             break;
         }
@@ -496,33 +526,18 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
             break;
         }
 
-        let runnable: Vec<TaskId> = st
-            .world
-            .tasks
+        alive.retain(|&i| {
+            let t = &st.world.tasks[i as usize];
+            !matches!(t.phase, Phase::Exited { .. }) && !t.killed
+        });
+        let runnable: Vec<TaskId> = alive
             .iter()
-            .enumerate()
-            .filter(|(_, t)| t.phase == Phase::Ready && !t.killed)
-            .map(|(i, _)| TaskId(i as u32))
+            .filter(|&&i| st.world.tasks[i as usize].phase == Phase::Ready)
+            .map(|&i| TaskId(i))
             .collect();
 
         if runnable.is_empty() {
-            let busy = st
-                .world
-                .tasks
-                .iter()
-                .any(|t| matches!(t.phase, Phase::Granted | Phase::Running));
-            if busy {
-                // The granted task is still between operations; wait for it
-                // to park.
-                shared.driver_cv.wait(&mut st);
-                continue;
-            }
-            let all_done = st
-                .world
-                .tasks
-                .iter()
-                .all(|t| matches!(t.phase, Phase::Exited { .. }) || t.killed);
-            if all_done {
+            if alive.is_empty() {
                 st.world.stop = Some(StopReason::Quiescent);
                 break;
             }
@@ -534,13 +549,10 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
                 st.deliver_due();
                 continue;
             }
-            let blocked: Vec<TaskId> = st
-                .world
-                .tasks
+            let blocked: Vec<TaskId> = alive
                 .iter()
-                .enumerate()
-                .filter(|(_, t)| matches!(t.phase, Phase::Blocked(_)) && !t.killed)
-                .map(|(i, _)| TaskId(i as u32))
+                .filter(|&&i| matches!(st.world.tasks[i as usize].phase, Phase::Blocked(_)))
+                .map(|&i| TaskId(i))
                 .collect();
             st.world.stop = Some(StopReason::Deadlock { blocked });
             break;
@@ -575,104 +587,177 @@ fn drive(shared: &Shared, cfg: &RunConfig) {
             Some(c) => c,
             None => break, // Policy error; stop reason already set.
         };
-
-        st.world.tasks[chosen.index()].phase = Phase::Granted;
-        st.runtime[chosen.index()].cv.notify_one();
-        while matches!(
-            st.world.tasks[chosen.index()].phase,
-            Phase::Granted | Phase::Running
-        ) {
-            if st.world.stop.is_some() {
-                // The task set a stop reason mid-operation; it will park or
-                // exit on its own once we start cancelling.
-                break 'outer;
-            }
-            shared.driver_cv.wait(&mut st);
+        let known = cells.len();
+        step_granted(st, cells, chosen);
+        for id in known..cells.len() {
+            alive.push(id as u32);
         }
     }
 
-    // Wind down: wake parked tasks so their pending operations return
-    // `Cancelled`. Tasks are cancelled strictly one at a time, in task-id
-    // order, because each exit emits a `TaskExit` event: waking them all at
-    // once would record the exits in racy OS-scheduling order and make the
-    // trace nondeterministic.
-    st.world.cancelling = true;
-    // At most one task can be between grant and park; let it park or exit
-    // first so the serialized sweep below is the only activity left.
-    while st
-        .world
-        .tasks
-        .iter()
-        .any(|t| matches!(t.phase, Phase::Granted | Phase::Running))
-    {
-        shared.driver_cv.wait(&mut st);
+    wind_down(st, cells);
+}
+
+/// Executes one grant: run the chosen task's announced operation (or first
+/// slice, or parked spawn), then poll its body until it parks again.
+fn step_granted(st: &mut Kernel, cells: &mut Vec<TaskCell>, chosen: TaskId) {
+    let i = chosen.index();
+    st.world.tasks[i].phase = Phase::Granted;
+
+    if !cells[i].started {
+        // First grant: invoke the body factory and run the first slice.
+        cells[i].started = true;
+        st.world.tasks[i].phase = Phase::Running;
+        let body = cells[i]
+            .body
+            .take()
+            .expect("unstarted task has no body factory");
+        let ctx = TaskCtx {
+            slot: Rc::clone(&cells[i].slot),
+            tid: chosen,
+        };
+        match catch_unwind(AssertUnwindSafe(|| body(ctx))) {
+            Ok(fut) => {
+                cells[i].fut = Some(fut);
+                poll_task(st, cells, chosen);
+            }
+            Err(payload) => finish_task(st, cells, chosen, Err(payload)),
+        }
+        return;
     }
-    for i in 0..st.world.tasks.len() {
-        // The poke is what licenses task i to take the cancellation exit;
-        // un-poked tasks keep waiting even if woken spuriously, and a task
-        // whose thread first acquires the lock after `cancelling` was set
-        // (e.g. spawned just before the stop) parks until its turn.
-        st.runtime[i].cancel_poked = true;
-        while !matches!(st.world.tasks[i].phase, Phase::Exited { .. }) {
-            st.runtime[i].cv.notify_one();
-            shared.driver_cv.wait(&mut st);
+
+    // A parked spawn request keeps its payload (name, group, child body) in
+    // the mailbox until granted.
+    let spawn_req = cells[i].slot.borrow_mut().request.take();
+    if let Some(req) = spawn_req {
+        let Request::Spawn { name, group, f } = req else {
+            unreachable!("op requests are drained at announce time");
+        };
+        if st.world.tasks.len() as u64 >= st.max_tasks {
+            // Tasks are cheap coroutines, so the ceiling is a policy choice:
+            // fail the spawn cleanly (no event, no cost, no new task) and
+            // let the spawner decide how to degrade.
+            let err = SimError::TaskLimit {
+                limit: st.max_tasks,
+            };
+            st.log_syscall(chosen, SysLogEntry::Ret(Err(err.clone())));
+            st.world.tasks[i].pending = None;
+            st.world.tasks[i].phase = Phase::Running;
+            cells[i].slot.borrow_mut().spawn_reply = Some(Err(err));
+            poll_task(st, cells, chosen);
+            return;
+        }
+        let child = st.add_task(&name, &group, Some(chosen));
+        let spawn_cost = st.costs.spawn;
+        st.charge(spawn_cost);
+        st.log_syscall(chosen, SysLogEntry::Spawn(child));
+        st.world.tasks[i].pending = None;
+        st.world.tasks[i].phase = Phase::Running;
+        cells.push(TaskCell::new(Some(f)));
+        debug_assert_eq!(cells.len(), st.world.tasks.len());
+        cells[i].slot.borrow_mut().spawn_reply = Some(Ok(child));
+        poll_task(st, cells, chosen);
+        return;
+    }
+
+    // Granted an announced operation: execute it against the kernel.
+    let mut op = st.world.tasks[i]
+        .pending_op
+        .take()
+        .expect("granted task has neither a spawn request nor a pending op");
+    match st.exec_op(chosen, &mut op) {
+        Attempt::Done(res) => {
+            // The clone is only worth paying when the log keeps it.
+            if st.world.record_syslog {
+                st.log_syscall(chosen, SysLogEntry::Ret(res.clone()));
+            }
+            st.world.tasks[i].pending = None;
+            st.world.tasks[i].phase = Phase::Running;
+            cells[i].slot.borrow_mut().reply = Some(res);
+            poll_task(st, cells, chosen);
+        }
+        Attempt::Block(b) => {
+            // Put the op back — it carries accumulated op-local state (a
+            // resolved deadline, a condvar wait past its enter stage) that
+            // the retry after wake-up must see.
+            st.world.tasks[i].pending_op = Some(op);
+            st.world.tasks[i].phase = Phase::Blocked(b);
         }
     }
 }
 
-/// Spawns the OS thread hosting one task.
-pub(crate) fn spawn_task_thread(shared: Arc<Shared>, tid: TaskId, f: TaskFn) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("ddsim-{tid}"))
-        .spawn(move || task_main(shared, tid, f))
-        .expect("failed to spawn task thread")
-}
-
-fn task_main(shared: Arc<Shared>, tid: TaskId, f: TaskFn) {
-    // A task re-spawned after a restore had already been granted its first
-    // slice in the restored world; it goes straight into fast-forward (or,
-    // if it had exited, replays its body to completion). Fresh tasks park
-    // until the driver grants them for the first time.
-    {
-        let mut st = shared.state.lock();
-        let started = st.runtime[tid.index()].ff_remaining > 0
-            || st.runtime[tid.index()].resume_parked
-            || matches!(st.world.tasks[tid.index()].phase, Phase::Exited { .. });
-        if !started {
-            let cv = Arc::clone(&st.runtime[tid.index()].cv);
-            while st.world.tasks[tid.index()].phase != Phase::Granted
-                && !(st.world.cancelling && st.runtime[tid.index()].cancel_poked)
-            {
-                cv.wait(&mut st);
-            }
-            if st.world.cancelling || st.world.tasks[tid.index()].killed {
-                finish_task(&shared, &mut st, tid, Ok(Err(SimError::Cancelled)));
-                return;
-            }
-            st.world.tasks[tid.index()].phase = Phase::Running;
-        }
-    }
-    let mut ctx = TaskCtx {
-        shared: Arc::clone(&shared),
-        tid,
+/// Polls a task's coroutine once (running user code up to the next
+/// suspension point) and files whatever it asked for.
+fn poll_task(st: &mut Kernel, cells: &mut [TaskCell], tid: TaskId) {
+    let i = tid.index();
+    let Some(mut fut) = cells[i].fut.take() else {
+        return;
     };
-    let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-    drop(ctx);
-    let mut st = shared.state.lock();
-    finish_task(&shared, &mut st, tid, result);
+    {
+        let mut slot = cells[i].slot.borrow_mut();
+        slot.now = st.world.time;
+        slot.cancelled = st.world.cancelling || st.world.tasks[i].killed;
+    }
+    let mut cx = Context::from_waker(Waker::noop());
+    let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+    let (request, now_obs) = {
+        let mut slot = cells[i].slot.borrow_mut();
+        (slot.request.take(), std::mem::take(&mut slot.now_obs))
+    };
+    // Clock peeks are not scheduling points, but a replayed body must see
+    // the values the original saw — log one entry per observation.
+    for _ in 0..now_obs {
+        let t = st.world.time;
+        st.log_syscall(tid, SysLogEntry::Now(t));
+    }
+    match polled {
+        Err(payload) => finish_task(st, cells, tid, Err(payload)),
+        Ok(Poll::Ready(res)) => finish_task(st, cells, tid, Ok(res)),
+        Ok(Poll::Pending) => match request {
+            Some(Request::Op(op)) => {
+                // Announce: park at the sync point. The pending footprint is
+                // what the driver snapshots at decision points.
+                st.world.tasks[i].pending = Some(op.desc());
+                st.world.tasks[i].pending_op = Some(op);
+                st.world.tasks[i].phase = Phase::Ready;
+                cells[i].fut = Some(fut);
+            }
+            Some(req @ Request::Spawn { .. }) => {
+                // Spawning changes the enabled set itself; its footprint is
+                // global. The payload stays in the mailbox until granted.
+                cells[i].slot.borrow_mut().request = Some(req);
+                st.world.tasks[i].pending = Some(crate::conflict::OpDesc::Global);
+                st.world.tasks[i].pending_op = None;
+                st.world.tasks[i].phase = Phase::Ready;
+                cells[i].fut = Some(fut);
+            }
+            None => {
+                // Suspended on a future the engine does not drive: nothing
+                // will ever wake it. Fail loudly instead of hanging.
+                finish_task(
+                    st,
+                    cells,
+                    tid,
+                    Ok(Err(SimError::Internal(
+                        "task suspended on a non-simulator future".into(),
+                    ))),
+                );
+            }
+        },
+    }
 }
 
+/// Retires a task whose body returned, panicked, or was cancelled before it
+/// ever ran.
 fn finish_task(
-    shared: &Shared,
     st: &mut Kernel,
+    cells: &mut [TaskCell],
     tid: TaskId,
-    result: std::thread::Result<SimResult<()>>,
+    result: Result<SimResult<()>, Box<dyn std::any::Any + Send>>,
 ) {
-    if matches!(st.world.tasks[tid.index()].phase, Phase::Exited { .. }) {
-        // Fast-forward replay of a task that had already exited before the
-        // snapshot: its exit event, crash records and joiner wakes are all
-        // part of the restored world. Nothing to do.
-        shared.driver_cv.notify_one();
+    let i = tid.index();
+    cells[i].fut = None;
+    cells[i].body = None;
+    if matches!(st.world.tasks[i].phase, Phase::Exited { .. }) {
         return;
     }
     let ok = match result {
@@ -689,13 +774,181 @@ fn finish_task(
             false
         }
     };
-    let joiners = std::mem::take(&mut st.world.tasks[tid.index()].joiners);
+    let joiners = std::mem::take(&mut st.world.tasks[i].joiners);
     for j in joiners {
         st.wake(j);
     }
-    st.world.tasks[tid.index()].phase = Phase::Exited { ok };
+    st.world.tasks[i].phase = Phase::Exited { ok };
     st.emit(Event::TaskExit { task: tid, ok });
-    shared.driver_cv.notify_one();
+}
+
+/// Wind down: cancel every live task so its parked operation returns
+/// [`SimError::Cancelled`] and the body unwinds. Tasks are retired strictly
+/// in task-id order because each exit emits a `TaskExit` event — the same
+/// deterministic order the thread-based engine enforced with its serialized
+/// cancellation sweep.
+fn wind_down(st: &mut Kernel, cells: &mut [TaskCell]) {
+    st.world.cancelling = true;
+    for i in 0..cells.len() {
+        let tid = TaskId(i as u32);
+        if matches!(st.world.tasks[i].phase, Phase::Exited { .. }) {
+            continue;
+        }
+        if !cells[i].started {
+            // Never granted: the body never ran; exit cleanly without
+            // running it.
+            finish_task(st, cells, tid, Ok(Err(SimError::Cancelled)));
+            continue;
+        }
+        {
+            let mut slot = cells[i].slot.borrow_mut();
+            slot.cancelled = true;
+            // Whatever the body is parked on resolves to Cancelled; only
+            // the matching future reads its field, the other is cleared
+            // when the cell is dropped.
+            slot.reply = Some(Err(SimError::Cancelled));
+            slot.spawn_reply = Some(Err(SimError::Cancelled));
+        }
+        poll_task(st, cells, tid);
+        if !matches!(st.world.tasks[i].phase, Phase::Exited { .. }) {
+            // The body swallowed Cancelled and parked again (every request
+            // now fails fast, so this is a refusal to unwind). Retire it.
+            finish_task(
+                st,
+                cells,
+                tid,
+                Ok(Err(SimError::Internal(
+                    "task did not unwind on cancellation".into(),
+                ))),
+            );
+        }
+    }
+}
+
+/// Rebuilds the coroutines of a restored world by fast-forwarding each
+/// started task's body through its retained syscall log (one synchronous
+/// poll per task; see module docs).
+///
+/// Processed in task-id order so a replayed spawning parent deposits its
+/// children's bodies before the children themselves are rebuilt (a child's
+/// id is always greater than its parent's). Exited tasks are only replayed
+/// when their log contains spawns to harvest; any mismatch between a body
+/// and its log stops the run with [`StopReason::ReplayDivergence`].
+fn rebuild(st: &mut Kernel, cells: &mut [TaskCell]) {
+    for i in 0..cells.len() {
+        let tid = TaskId(i as u32);
+        let exited = matches!(st.world.tasks[i].phase, Phase::Exited { .. });
+        // At a decision point every started non-exited task is parked at an
+        // announced operation, so `pending` doubles as the started flag.
+        if !exited && st.world.tasks[i].pending.is_none() {
+            continue; // Never started; takes the normal first-grant path.
+        }
+        cells[i].started = true;
+        let log = &st.world.sys_log[i];
+        if exited && !log.iter().any(|e| matches!(e, SysLogEntry::Spawn(_))) {
+            // Fully retired and spawned nothing: its exit event, crash
+            // records and joiner wakes are all part of the restored world,
+            // and there are no child bodies to harvest. Skip the replay.
+            cells[i].body = None;
+            continue;
+        }
+        {
+            let mut slot = cells[i].slot.borrow_mut();
+            slot.ff = log.iter().cloned().collect();
+            slot.now = st.world.time;
+            slot.cancelled = false;
+        }
+        let Some(body) = cells[i].body.take() else {
+            diverge(st, tid, "no body for a started task (program mismatch)");
+            return;
+        };
+        let ctx = TaskCtx {
+            slot: Rc::clone(&cells[i].slot),
+            tid,
+        };
+        let fut = match catch_unwind(AssertUnwindSafe(|| body(ctx))) {
+            Ok(f) => f,
+            Err(_) => {
+                diverge(st, tid, "body factory panicked during fast-forward");
+                return;
+            }
+        };
+        let mut fut = fut;
+        let mut cx = Context::from_waker(Waker::noop());
+        let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        let (request, divergence, ff_left, now_obs, spawned) = {
+            let mut slot = cells[i].slot.borrow_mut();
+            let ff_left = slot.ff.len();
+            slot.ff.clear();
+            (
+                slot.request.take(),
+                slot.divergence.take(),
+                ff_left,
+                std::mem::take(&mut slot.now_obs),
+                std::mem::take(&mut slot.spawned),
+            )
+        };
+        // Hand harvested child bodies to their cells (children have larger
+        // ids, so their own rebuild is still ahead).
+        for (child, f) in spawned {
+            cells[child.index()].body = Some(f);
+        }
+        let _ = now_obs; // Replay consumed the logged observations instead.
+        if let Some(detail) = divergence {
+            diverge(st, tid, &detail);
+            return;
+        }
+        if ff_left > 0 {
+            diverge(st, tid, "body parked before consuming its recorded log");
+            return;
+        }
+        match polled {
+            Err(_) if exited => { /* Its recorded crash is already in the world. */ }
+            Err(_) => {
+                diverge(st, tid, "body panicked during fast-forward");
+                return;
+            }
+            Ok(Poll::Ready(_)) => {
+                if !exited {
+                    diverge(st, tid, "body completed during fast-forward");
+                    return;
+                }
+            }
+            Ok(Poll::Pending) => {
+                if exited {
+                    diverge(st, tid, "replayed body of an exited task parked");
+                    return;
+                }
+                cells[i].fut = Some(fut);
+                match request {
+                    // The announced operation is already in the world —
+                    // `pending_op` carries any op-local state accumulated
+                    // across blocked attempts, which the body's fresh copy
+                    // lacks. Discard the fresh copy.
+                    Some(Request::Op(_)) => {}
+                    // A parked spawn keeps its payload in the mailbox (the
+                    // world only records the Global footprint).
+                    Some(req @ Request::Spawn { .. }) => {
+                        cells[i].slot.borrow_mut().request = Some(req);
+                    }
+                    None => {
+                        diverge(st, tid, "body suspended on a non-simulator future");
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flags a fast-forward mismatch and stops the run at the first divergence.
+fn diverge(st: &mut Kernel, tid: TaskId, detail: &str) {
+    if st.world.stop.is_none() {
+        st.world.stop = Some(StopReason::ReplayDivergence {
+            step: st.world.decision_seq,
+            detail: format!("fast-forward divergence for {tid}: {detail}"),
+        });
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -706,182 +959,4 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "opaque panic payload".to_owned()
     }
-}
-
-/// The system-call protocol used by every [`TaskCtx`] operation.
-pub(crate) fn syscall(shared: &Shared, me: TaskId, mut op: crate::kernel::Op) -> SimResult<Value> {
-    let mut st = shared.state.lock();
-    // Fast-forward: the restored world already contains this operation's
-    // effects, events and cost — just feed the recorded result back.
-    if st.runtime[me.index()].ff_remaining > 0 {
-        return match st.consume_ff(me) {
-            SysLogEntry::Ret(res) => res,
-            other => Err(SimError::Internal(format!(
-                "fast-forward divergence for {me}: expected an op result, log has {other:?}"
-            ))),
-        };
-    }
-    let resuming = std::mem::take(&mut st.runtime[me.index()].resume_parked);
-    if resuming {
-        // First live attempt after a restore: the restored world already has
-        // this task parked at this sync point (phase, pending footprint,
-        // waiter queues), so re-announcing would corrupt it — in particular
-        // it would flip a Blocked task back to Ready and change the enabled
-        // set. Re-apply any op-local state the in-flight op had accumulated
-        // and fall through to waiting for a grant.
-        if matches!(st.world.tasks[me.index()].phase, Phase::Exited { .. }) {
-            return Err(SimError::Internal(format!(
-                "fast-forward divergence for {me}: syscall after replayed exit"
-            )));
-        }
-        use crate::kernel::{CvStage, InflightPatch, Op};
-        match (&mut op, st.world.tasks[me.index()].inflight) {
-            (Op::CvWait { stage, .. }, Some(InflightPatch::CvRelock)) => {
-                *stage = CvStage::Relock;
-            }
-            (Op::Recv { deadline, .. }, Some(InflightPatch::RecvDeadline(d))) => {
-                *deadline = Some(d);
-            }
-            (Op::Sleep { until, .. }, Some(InflightPatch::SleepUntil(u))) => {
-                *until = Some(u);
-            }
-            _ => {}
-        }
-    } else {
-        if st.world.cancelling || st.world.tasks[me.index()].killed {
-            return Err(SimError::Cancelled);
-        }
-        // Announce: park at the sync point and wait for a grant. The pending
-        // footprint is what the driver snapshots at decision points.
-        st.world.tasks[me.index()].pending = Some(op.desc());
-        st.world.tasks[me.index()].inflight = None;
-        st.world.tasks[me.index()].phase = Phase::Ready;
-        shared.driver_cv.notify_one();
-    }
-    loop {
-        let cv = Arc::clone(&st.runtime[me.index()].cv);
-        while st.world.tasks[me.index()].phase != Phase::Granted
-            && !(st.world.cancelling && st.runtime[me.index()].cancel_poked)
-        {
-            cv.wait(&mut st);
-        }
-        if st.world.cancelling || st.world.tasks[me.index()].killed {
-            return Err(SimError::Cancelled);
-        }
-        match st.exec_op(me, &mut op) {
-            Attempt::Done(res) => {
-                // The clone is only worth paying when the log keeps it.
-                if st.world.record_syslog {
-                    st.log_syscall(me, SysLogEntry::Ret(res.clone()));
-                }
-                st.world.tasks[me.index()].pending = None;
-                st.world.tasks[me.index()].inflight = None;
-                st.world.tasks[me.index()].phase = Phase::Running;
-                shared.driver_cv.notify_one();
-                return res;
-            }
-            Attempt::Block(b) => {
-                st.world.tasks[me.index()].phase = Phase::Blocked(b);
-                shared.driver_cv.notify_one();
-                // Loop: wait to be woken (phase set back to Ready by the
-                // waker) and granted again, then retry the op.
-            }
-        }
-    }
-}
-
-/// The [`TaskCtx::now`] peek, fast-forward aware: replayed tasks observe
-/// the clock value the original execution observed, not the restored
-/// world's (later) clock.
-pub(crate) fn observe_now(shared: &Shared, me: TaskId) -> u64 {
-    let mut st = shared.state.lock();
-    if st.runtime[me.index()].ff_remaining > 0 {
-        // Peek before consuming: swallowing a mismatched entry would shift
-        // every later fast-forward read by one and corrupt the replay far
-        // from the real divergence point.
-        if matches!(st.peek_ff(me), Some(SysLogEntry::Now(_))) {
-            match st.consume_ff(me) {
-                SysLogEntry::Now(t) => return t,
-                _ => unreachable!("peeked entry changed under the kernel lock"),
-            }
-        }
-        // Divergence (the log holds an op result where the body asked for
-        // the clock). now() cannot propagate an error, so stop the run
-        // loudly and return the restored clock.
-        if st.world.stop.is_none() {
-            st.world.stop = Some(StopReason::ReplayDivergence {
-                step: st.world.decision_seq,
-                detail: format!(
-                    "fast-forward divergence for {me}: body observed the clock \
-                     where the log has an op result"
-                ),
-            });
-        }
-        return st.world.time;
-    }
-    let t = st.world.time;
-    st.log_syscall(me, SysLogEntry::Now(t));
-    t
-}
-
-/// Runtime task spawning (called from [`TaskCtx::spawn`]).
-pub(crate) fn spawn_from_ctx(
-    ctx: &mut TaskCtx,
-    name: &str,
-    group: &str,
-    f: TaskFn,
-) -> SimResult<TaskId> {
-    let shared = Arc::clone(&ctx.shared);
-    let me = ctx.tid;
-    let tid = {
-        let mut st = shared.state.lock();
-        // Fast-forward: the child already exists in the restored world; all
-        // that is missing is its OS thread, re-created with the body the
-        // re-run parent just handed us.
-        if st.runtime[me.index()].ff_remaining > 0 {
-            let tid = match st.consume_ff(me) {
-                SysLogEntry::Spawn(tid) => tid,
-                other => {
-                    return Err(SimError::Internal(format!(
-                        "fast-forward divergence for {me}: expected a spawn, log has {other:?}"
-                    )))
-                }
-            };
-            drop(st);
-            let h = spawn_task_thread(Arc::clone(&shared), tid, f);
-            shared.threads.lock().push(h);
-            return Ok(tid);
-        }
-        let resuming = std::mem::take(&mut st.runtime[me.index()].resume_parked);
-        if !resuming {
-            if st.world.cancelling || st.world.tasks[me.index()].killed {
-                return Err(SimError::Cancelled);
-            }
-            // Spawning changes the enabled set itself; its footprint is
-            // global.
-            st.world.tasks[me.index()].pending = Some(crate::conflict::OpDesc::Global);
-            st.world.tasks[me.index()].phase = Phase::Ready;
-            shared.driver_cv.notify_one();
-        }
-        let cv = Arc::clone(&st.runtime[me.index()].cv);
-        while st.world.tasks[me.index()].phase != Phase::Granted
-            && !(st.world.cancelling && st.runtime[me.index()].cancel_poked)
-        {
-            cv.wait(&mut st);
-        }
-        if st.world.cancelling || st.world.tasks[me.index()].killed {
-            return Err(SimError::Cancelled);
-        }
-        let tid = st.add_task(name, group, Some(me));
-        let spawn_cost = st.costs.spawn;
-        st.charge(spawn_cost);
-        st.log_syscall(me, SysLogEntry::Spawn(tid));
-        st.world.tasks[me.index()].pending = None;
-        st.world.tasks[me.index()].phase = Phase::Running;
-        shared.driver_cv.notify_one();
-        tid
-    };
-    let h = spawn_task_thread(Arc::clone(&shared), tid, f);
-    shared.threads.lock().push(h);
-    Ok(tid)
 }

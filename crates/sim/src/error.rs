@@ -23,6 +23,11 @@ pub enum SimError {
     OutOfMemory { requested: u64, budget: u64 },
     /// A join target does not exist.
     NoSuchTask(TaskId),
+    /// A runtime spawn would exceed the configured task limit
+    /// ([`RunConfig::max_tasks`](crate::config::RunConfig)). Tasks are cheap
+    /// coroutines, so the limit is a policy choice, not an OS accident: the
+    /// spawn fails cleanly and the spawner decides how to degrade.
+    TaskLimit { limit: u64 },
     /// An internal invariant was violated (simulator bug).
     Internal(String),
 }
@@ -41,6 +46,9 @@ impl core::fmt::Display for SimError {
                 )
             }
             SimError::NoSuchTask(t) => write!(f, "no such task {t}"),
+            SimError::TaskLimit { limit } => {
+                write!(f, "task limit reached: {limit} tasks already exist")
+            }
             SimError::Internal(msg) => write!(f, "internal simulator error: {msg}"),
         }
     }

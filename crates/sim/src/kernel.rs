@@ -2,10 +2,11 @@
 //!
 //! The kernel owns every machine object (tasks, variables, locks, condition
 //! variables, channels, ports), the virtual clocks, the RNG, the pending
-//! environment events, and the run's observers. Exactly one thread touches
-//! it at a time — either the driver (making scheduling decisions) or the
-//! single granted task (executing its operation) — so all methods take
-//! `&mut self` and there is no interior locking here.
+//! environment events, and the run's observers. The whole simulation is
+//! single-threaded: task bodies are coroutines polled by the driver loop,
+//! so exactly one thing touches the kernel at a time — the driver (making
+//! scheduling decisions) or the operation it is executing on behalf of the
+//! granted task. All methods take `&mut self`; there is no locking here.
 //!
 //! # The `WorldState` / shell split
 //!
@@ -13,7 +14,8 @@
 //!
 //! - `WorldState` — every piece of *machine* state a run evolves: tasks,
 //!   variables, locks, condition variables, channels, ports, clocks, RNG,
-//!   pending timers/inputs/crashes, the trace, the decision stream, and the
+//!   pending timers/inputs/crashes, the trace, the decision stream, each
+//!   parked task's announced operation (`TaskRec::pending_op`), and the
 //!   per-task syscall-result log. It is plain data and `Clone`: cloning it
 //!   at a decision point yields a [`WorldSnapshot`] from which the run can
 //!   be resumed deterministically (restore + re-run ⇒ the identical trace).
@@ -26,18 +28,20 @@
 //!   [`WorldSnapshot::cost`]).
 //! - The shell — everything tied to *this* execution of the run rather
 //!   than the machine it simulates: observers, the scheduling policy, the
-//!   nondeterminism-override hook, per-task OS-thread plumbing
-//!   (`TaskRuntime`: grant condvars, cancellation pokes, fast-forward
-//!   cursors), and collected snapshots. None of it is cloneable and none of
-//!   it is needed to reconstruct the machine.
+//!   nondeterminism-override hook, and collected snapshots. None of it is
+//!   cloneable and none of it is needed to reconstruct the machine. (The
+//!   coroutine futures themselves live one layer further out, in the
+//!   driver's engine — a future is just the *continuation* of a task body;
+//!   everything it has told the machine is already in the world.)
 //!
-//! Restoring a snapshot cannot revive the original task threads (their
-//! stacks are gone), so `resume` re-runs each task body in *fast-forward*
-//! mode: completed operations are fed back from the world's syscall log
-//! without touching kernel state, decisions, or events — those are already
-//! part of the restored world — until the task reaches the sync point it
-//! was parked at when the snapshot was taken. Only from there on do its
-//! operations execute (and cost) anything.
+//! Restoring a snapshot cannot clone the original coroutine futures (Rust
+//! futures are not `Clone`), so `resume` re-runs each started task body in
+//! *fast-forward* mode: completed operations are fed back from the world's
+//! syscall log without touching kernel state, decisions, or events — those
+//! are already part of the restored world — until the body re-reaches the
+//! sync point it was parked at when the snapshot was taken. This is a thin
+//! in-engine replay loop (one synchronous poll per task); there are no
+//! threads to re-attach and no per-task runtime state to reconstruct.
 //!
 //! # Thread-safety of the split
 //!
@@ -45,11 +49,9 @@
 //! [`WorldSnapshot`] are `Send + Sync`: a parallel schedule explorer keeps
 //! one shared pool of snapshots and hands them to worker threads, each of
 //! which owns a private execution shell — its own observers, policy clone
-//! ([`SchedulePolicy::clone_box`] is `Send`-safe), and per-task
-//! `TaskRuntime` pool (grant condvars and fast-forward cursors are
-//! per-execution, never shared between concurrent restores of the same
-//! snapshot). Nothing in the shell crosses threads; everything in the world
-//! may.
+//! ([`SchedulePolicy::clone_box`] is `Send`-safe), and its own coroutine
+//! engine (futures are engine-local and never cross threads). Nothing in
+//! the shell crosses threads; everything in the world may.
 
 use crate::config::{ChanClass, CheckpointPlan, EnvConfig, NondetOverride, OpCosts, TimedInput};
 use crate::conflict::OpDesc;
@@ -63,7 +65,6 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
-use std::sync::Arc;
 
 /// What a blocked task is waiting for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +107,9 @@ pub enum PortDir {
     Out,
 }
 
-/// Snapshot-able per-task machine state. The OS-thread plumbing for the
-/// same task lives in [`TaskRuntime`].
+/// Snapshot-able per-task machine state. A task's *continuation* (the
+/// coroutine future for its body) lives outside the kernel, in the driver's
+/// engine; everything the body has told the machine is here.
 #[derive(Debug, Clone)]
 pub(crate) struct TaskRec {
     pub name: String,
@@ -122,60 +124,19 @@ pub(crate) struct TaskRec {
     /// `None` means the task's next operation is not yet known — explorers
     /// must treat it as conflicting with everything.
     pub pending: Option<OpDesc>,
-    /// Op-local state the in-flight (announced but not completed) operation
-    /// has accumulated across blocked attempts. A resumed task body holds a
-    /// *fresh* copy of the op, so the first live attempt after a restore
-    /// re-applies this patch before executing.
-    pub inflight: Option<InflightPatch>,
-}
-
-/// Per-task execution plumbing — the non-snapshotable half of a task.
-pub(crate) struct TaskRuntime {
-    /// Per-task condvar used by the grant protocol. `Arc` so waiting does not
-    /// borrow the kernel.
-    pub cv: Arc<parking_lot::Condvar>,
-    /// Set by the wind-down sweep when it is this task's turn to cancel.
-    /// Parked tasks may only take the cancellation exit once poked: exiting
-    /// on `cancelling` alone would let late-arriving or spuriously-woken
-    /// threads emit `TaskExit` in racy OS order instead of task-id order.
-    pub cancel_poked: bool,
-    /// Syscall-log entries this task must consume (fast-forward) before its
-    /// operations execute live again. `0` means live.
-    pub ff_remaining: usize,
-    /// `true` until the first live syscall after a restore re-attaches this
-    /// task to the sync point it was parked at when the snapshot was taken
-    /// (that syscall must neither re-announce nor take the cancellation
-    /// exit early — the restored world already encodes the parked state).
-    pub resume_parked: bool,
-}
-
-impl TaskRuntime {
-    fn fresh() -> Self {
-        TaskRuntime {
-            cv: Arc::new(parking_lot::Condvar::new()),
-            cancel_poked: false,
-            ff_remaining: 0,
-            resume_parked: false,
-        }
-    }
-}
-
-/// Mutations an in-flight operation made to its own op-local state (not the
-/// world) across blocked attempts; re-applied on resume. See
-/// [`TaskRec::inflight`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum InflightPatch {
-    /// A `CvWait` executed its `Enter` stage (lock released, waiter queued).
-    CvRelock,
-    /// A `Recv` resolved its relative timeout to this absolute deadline.
-    RecvDeadline(u64),
-    /// A `Sleep` resolved its tick count to this absolute wake time.
-    SleepUntil(u64),
+    /// The announced-but-not-completed operation itself, including any
+    /// op-local state it accumulated across blocked attempts (a resolved
+    /// recv deadline, a condvar wait past its enter stage, an absolute
+    /// sleep time). Held *by value* in the world so a snapshot captures
+    /// mid-operation progress; the driver moves it out to execute and puts
+    /// it back if the op blocks.
+    pub pending_op: Option<Op>,
 }
 
 /// One completed interaction between a task body and the kernel, recorded
-/// (when checkpointing is enabled) so a restored run can fast-forward the
-/// re-spawned task thread to its snapshot position by feeding these back.
+/// (when checkpointing is enabled) so a restored run can fast-forward a
+/// freshly rebuilt task coroutine to its snapshot position by feeding these
+/// back.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum SysLogEntry {
     /// A completed operation's result.
@@ -806,17 +767,25 @@ impl WorldState {
                     h.op_desc(d);
                 }
             }
-            match &t.inflight {
-                None => h.u64(0),
-                Some(InflightPatch::CvRelock) => h.u64(1),
-                Some(InflightPatch::RecvDeadline(d)) => {
+            // Hash the op-local progress the in-flight op has accumulated
+            // (the historical `InflightPatch` encoding, kept byte-identical
+            // so golden digests survive the coroutine-engine refactor).
+            match &t.pending_op {
+                Some(Op::CvWait {
+                    stage: CvStage::Relock,
+                    ..
+                }) => h.u64(1),
+                Some(Op::Recv {
+                    deadline: Some(d), ..
+                }) => {
                     h.u64(2);
                     h.u64(*d);
                 }
-                Some(InflightPatch::SleepUntil(u)) => {
+                Some(Op::Sleep { until: Some(u), .. }) => {
                     h.u64(3);
                     h.u64(*u);
                 }
+                _ => h.u64(0),
             }
         }
         h.u64(self.vars.len() as u64);
@@ -996,8 +965,10 @@ pub(crate) struct Kernel {
     pub policy: Box<dyn SchedulePolicy>,
     pub nondet_override: Option<Box<dyn NondetOverride>>,
     pub stop_on_crash: bool,
-    /// Per-task OS-thread plumbing, aligned with `world.tasks`.
-    pub runtime: Vec<TaskRuntime>,
+    /// Runtime-spawn ceiling (from `RunConfig::max_tasks`): a spawn that
+    /// would push `world.tasks` past this fails with
+    /// [`SimError::TaskLimit`] instead of growing the world.
+    pub max_tasks: u64,
     /// When to clone the world (set from `RunConfig::checkpoints`).
     pub checkpoints: Option<CheckpointPlan>,
     /// Snapshots taken so far, in increasing decision order.
@@ -1029,7 +1000,9 @@ pub(crate) enum CvStage {
 ///
 /// Ops are re-attempted after blocking, so variants carry any state that
 /// must persist across attempts (e.g. [`CvStage`], resolved sleep deadline).
-#[derive(Debug)]
+/// Between attempts the op lives in [`TaskRec::pending_op`] — part of the
+/// snapshotable world — so it must be `Clone`.
+#[derive(Debug, Clone)]
 pub(crate) enum Op {
     Read {
         var: VarId,
@@ -1226,7 +1199,7 @@ impl Kernel {
             policy,
             nondet_override,
             stop_on_crash,
-            runtime: Vec::new(),
+            max_tasks: u64::MAX,
             checkpoints: None,
             snapshots: Vec::new(),
             resumed_at: None,
@@ -1235,11 +1208,11 @@ impl Kernel {
 
     /// Rebuilds a kernel around a restored [`WorldState`].
     ///
-    /// The shell (observers, policy, override, checkpoint plan) is fresh;
-    /// per-task runtimes are initialised for *fast-forward*: every task that
-    /// had started running by the snapshot point replays its syscall log,
-    /// and — unless it had already exited — re-attaches to the sync point it
-    /// was parked at.
+    /// The shell (observers, policy, override, checkpoint plan) is fresh.
+    /// Nothing per-task needs reconstructing here: the driver's engine
+    /// rebuilds each started task's coroutine by fast-forwarding its body
+    /// through the world's retained syscall log (see
+    /// `driver::resume_program`).
     #[allow(clippy::too_many_arguments)] // Internal constructor fed by RunConfig.
     pub fn resume(
         world: WorldState,
@@ -1252,21 +1225,6 @@ impl Kernel {
         checkpoints: Option<CheckpointPlan>,
     ) -> Self {
         let resumed_at = world.decision_seq;
-        let runtime: Vec<TaskRuntime> = world
-            .tasks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut rt = TaskRuntime::fresh();
-                rt.ff_remaining = world.sys_log.get(i).map_or(0, ChunkedLog::len);
-                // A parked task (announced an op that has not completed) must
-                // re-attach to that sync point after its fast-forward;
-                // exited tasks replay to completion, and tasks that never
-                // started take the normal initial-park path.
-                rt.resume_parked = t.pending.is_some() && !matches!(t.phase, Phase::Exited { .. });
-                rt
-            })
-            .collect();
         Kernel {
             world,
             costs,
@@ -1278,7 +1236,7 @@ impl Kernel {
             policy,
             nondet_override,
             stop_on_crash,
-            runtime,
+            max_tasks: u64::MAX,
             checkpoints,
             snapshots: Vec::new(),
             resumed_at: Some(resumed_at),
@@ -1302,29 +1260,6 @@ impl Kernel {
         }
     }
 
-    /// Peeks at the next fast-forward log entry for `task` without
-    /// consuming it (`None` when the task is live).
-    pub(crate) fn peek_ff(&self, task: TaskId) -> Option<&SysLogEntry> {
-        let rt = &self.runtime[task.index()];
-        if rt.ff_remaining == 0 {
-            return None;
-        }
-        let log = &self.world.sys_log[task.index()];
-        log.get(log.len() - rt.ff_remaining)
-    }
-
-    /// Consumes the next fast-forward log entry for `task`. The cursor is
-    /// an offset into the (chunk-shared) restored log, so fast-forward
-    /// reads never copy or mutate history.
-    pub(crate) fn consume_ff(&mut self, task: TaskId) -> SysLogEntry {
-        let rt = &mut self.runtime[task.index()];
-        let log = &self.world.sys_log[task.index()];
-        debug_assert!(rt.ff_remaining > 0 && rt.ff_remaining <= log.len());
-        let entry = log[log.len() - rt.ff_remaining].clone();
-        rt.ff_remaining -= 1;
-        entry
-    }
-
     /// Appends a completed-syscall log entry for `task` (when enabled).
     pub(crate) fn log_syscall(&mut self, task: TaskId, entry: SysLogEntry) {
         if self.world.record_syslog {
@@ -1346,9 +1281,8 @@ impl Kernel {
             mem_used: 0,
             mem_budget,
             pending: None,
-            inflight: None,
+            pending_op: None,
         });
-        self.runtime.push(TaskRuntime::fresh());
         self.world
             .sys_log
             .push(ChunkedLog::with_chunk_len(SYSLOG_CHUNK_LEN));
@@ -1785,7 +1719,6 @@ impl Kernel {
                     });
                     self.wake_lock_waiters(*lock);
                     *stage = CvStage::Relock;
-                    self.world.tasks[task.index()].inflight = Some(InflightPatch::CvRelock);
                     Attempt::Block(BlockOn::Cvar(*cvar))
                 }
                 CvStage::Relock => {
@@ -1923,8 +1856,6 @@ impl Kernel {
                         let d = self.world.time.saturating_add(*t);
                         *deadline = Some(d);
                         self.world.timers.push(Reverse((d, task.0)));
-                        self.world.tasks[task.index()].inflight =
-                            Some(InflightPatch::RecvDeadline(d));
                     }
                 }
                 if let Some(d) = *deadline {
@@ -2041,7 +1972,6 @@ impl Kernel {
                     let u = self.world.time.saturating_add(*ticks);
                     *until = Some(u);
                     self.world.timers.push(Reverse((u, task.0)));
-                    self.world.tasks[task.index()].inflight = Some(InflightPatch::SleepUntil(u));
                     self.emit(Event::Sleep {
                         task,
                         until: u,

@@ -31,20 +31,20 @@
 //!         let out = b.out_port("result");
 //!         let done = b.channel::<i64>("done", dd_sim::ChanClass::Local);
 //!         for i in 0..2 {
-//!             b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+//!             b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
 //!                 for _ in 0..10 {
-//!                     let v = ctx.read(&total, "adder::read")?;
-//!                     ctx.write(&total, v + 1, "adder::write")?;
+//!                     let v = ctx.read(&total, "adder::read").await?;
+//!                     ctx.write(&total, v + 1, "adder::write").await?;
 //!                 }
-//!                 ctx.send(&done, 1, "adder::done")
+//!                 ctx.send(&done, 1, "adder::done").await
 //!             });
 //!         }
-//!         b.spawn("reporter", "main", move |ctx| {
+//!         b.spawn("reporter", "main", move |mut ctx| async move {
 //!             for _ in 0..2 {
-//!                 ctx.recv(&done, "reporter::recv")?;
+//!                 ctx.recv(&done, "reporter::recv").await?;
 //!             }
-//!             let v = ctx.read(&total, "reporter::read")?;
-//!             ctx.output(out, v, "reporter::out")
+//!             let v = ctx.read(&total, "reporter::read").await?;
+//!             ctx.output(out, v, "reporter::out").await
 //!         });
 //!     }
 //! }

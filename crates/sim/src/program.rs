@@ -2,18 +2,33 @@
 //! handles.
 //!
 //! A program declares its shared objects and initial tasks in
-//! [`Program::setup`]; task bodies then interact with the machine
-//! exclusively through [`TaskCtx`] operations, each of which is a scheduling
-//! point. Every operation takes a static [`Site`] label — the stand-in for a
-//! source location — which drives plane classification and selective
-//! recording.
+//! [`Program::setup`]; task bodies are `async` coroutines that interact with
+//! the machine exclusively through [`TaskCtx`] operations, each of which is
+//! an `await` — a scheduling point where the body suspends and the driver
+//! decides who runs next. Every operation takes a static [`Site`] label —
+//! the stand-in for a source location — which drives plane classification
+//! and selective recording.
+//!
+//! The futures here never touch a real async runtime: awaiting an operation
+//! parks the coroutine by leaving a request in its [`TaskSlot`] mailbox and
+//! returning `Pending`; the driver executes the operation against the
+//! kernel and re-polls with the result in the mailbox. Wakers are never
+//! used (the driver knows exactly whom to poll), so task bodies must await
+//! only `TaskCtx` operations — a foreign future that returns `Pending`
+//! would suspend the task forever and is reported as an internal error.
 
 use crate::config::ChanClass;
 use crate::error::{SimError, SimResult};
 use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
-use crate::kernel::{Kernel, PortDir};
+use crate::kernel::{Kernel, Op, PortDir, SysLogEntry};
 use crate::value::{SimData, Value};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
 use std::marker::PhantomData;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
 
 /// A typed shared-variable handle.
 pub struct TVar<T> {
@@ -89,8 +104,150 @@ pub struct InPort(pub PortId);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutPort(pub PortId);
 
-/// A task body: runs once, must propagate [`SimError::Cancelled`] promptly.
-pub type TaskFn = Box<dyn FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static>;
+/// The pinned coroutine for one task body. `!Send` by design: futures are
+/// engine-local (a parallel explorer gives each worker its own engine and
+/// whole world), only the *factories* ([`TaskFn`]) cross threads.
+pub type TaskFuture = Pin<Box<dyn Future<Output = SimResult<()>> + 'static>>;
+
+/// A task body factory: runs once, producing the body's coroutine. The body
+/// must propagate [`SimError::Cancelled`] promptly.
+pub type TaskFn = Box<dyn FnOnce(TaskCtx) -> TaskFuture + Send + 'static>;
+
+/// The per-task mailbox between a body's futures and the driver's engine.
+///
+/// One poll of the body runs user code from one suspension point to the
+/// next; everything the body wants from the machine in between lands here,
+/// and everything the machine answers comes back through here.
+#[derive(Default)]
+pub(crate) struct TaskSlot {
+    /// The operation or spawn the body parked on (set by the awaited
+    /// future, drained by the engine when the poll returns `Pending`).
+    pub request: Option<Request>,
+    /// The completed operation's result, deposited by the engine before the
+    /// wake-up poll.
+    pub reply: Option<SimResult<Value>>,
+    /// The completed spawn's result, deposited by the engine before the
+    /// wake-up poll.
+    pub spawn_reply: Option<SimResult<TaskId>>,
+    /// The execution clock as of this poll (the clock only moves between
+    /// polls, so every [`TaskCtx::now`] in one poll sees the same value).
+    pub now: u64,
+    /// Set when the run is winding down (or this task was killed): every
+    /// subsequent operation fails fast with [`SimError::Cancelled`].
+    pub cancelled: bool,
+    /// Fast-forward queue for snapshot resume: recorded syscall results the
+    /// body consumes (instead of announcing live operations) while it is
+    /// being replayed back to its park point.
+    pub ff: VecDeque<SysLogEntry>,
+    /// Children harvested while fast-forwarding a spawning parent: the
+    /// restored world already has the child task, but only the re-run
+    /// parent body can recreate the child's body closure.
+    pub spawned: Vec<(TaskId, TaskFn)>,
+    /// How many live [`TaskCtx::now`] observations this poll made (the
+    /// engine logs one syscall-log entry per observation afterwards).
+    pub now_obs: u32,
+    /// A fast-forward mismatch detected inside a future (where it cannot
+    /// reach the kernel to stop the run).
+    pub divergence: Option<String>,
+}
+
+/// What a parked task body asked the machine to do.
+pub(crate) enum Request {
+    /// Execute a kernel operation.
+    Op(Op),
+    /// Spawn a child task.
+    Spawn {
+        name: String,
+        group: String,
+        f: TaskFn,
+    },
+}
+
+/// Future for one kernel operation: first poll announces the request (or
+/// consumes a fast-forward entry), wake-up poll takes the reply.
+pub(crate) struct OpCall {
+    slot: Rc<RefCell<TaskSlot>>,
+    op: Option<Op>,
+}
+
+impl Future for OpCall {
+    type Output = SimResult<Value>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut slot = this.slot.borrow_mut();
+        match this.op.take() {
+            Some(op) => {
+                if let Some(entry) = slot.ff.pop_front() {
+                    // Fast-forward: the restored world already contains this
+                    // operation's effects, events and cost — just feed the
+                    // recorded result back (without suspending: the whole
+                    // replay is one poll).
+                    return match entry {
+                        SysLogEntry::Ret(res) => Poll::Ready(res),
+                        other => {
+                            slot.divergence =
+                                Some(format!("expected an op result, log has {other:?}"));
+                            Poll::Ready(Err(SimError::Cancelled))
+                        }
+                    };
+                }
+                if slot.cancelled {
+                    return Poll::Ready(Err(SimError::Cancelled));
+                }
+                slot.request = Some(Request::Op(op));
+                Poll::Pending
+            }
+            None => match slot.reply.take() {
+                Some(res) => Poll::Ready(res),
+                None => Poll::Pending,
+            },
+        }
+    }
+}
+
+/// Future for one runtime spawn (same two-phase shape as [`OpCall`]).
+pub(crate) struct SpawnCall {
+    slot: Rc<RefCell<TaskSlot>>,
+    payload: Option<(String, String, TaskFn)>,
+}
+
+impl Future for SpawnCall {
+    type Output = SimResult<TaskId>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut slot = this.slot.borrow_mut();
+        match this.payload.take() {
+            Some((name, group, f)) => {
+                if let Some(entry) = slot.ff.pop_front() {
+                    // Fast-forward: the child already exists in the restored
+                    // world; hand its body to the engine for rebuilding.
+                    return match entry {
+                        SysLogEntry::Spawn(tid) => {
+                            slot.spawned.push((tid, f));
+                            Poll::Ready(Ok(tid))
+                        }
+                        SysLogEntry::Ret(Err(e)) => Poll::Ready(Err(e)),
+                        other => {
+                            slot.divergence = Some(format!("expected a spawn, log has {other:?}"));
+                            Poll::Ready(Err(SimError::Cancelled))
+                        }
+                    };
+                }
+                if slot.cancelled {
+                    return Poll::Ready(Err(SimError::Cancelled));
+                }
+                slot.request = Some(Request::Spawn { name, group, f });
+                Poll::Pending
+            }
+            None => match slot.spawn_reply.take() {
+                Some(res) => Poll::Ready(res),
+                None => Poll::Pending,
+            },
+        }
+    }
+}
 
 /// A program the machine can run.
 ///
@@ -268,10 +425,12 @@ impl<'k> Builder<'k> {
     }
 
     /// Spawns an initial task in the given failure-domain `group`.
-    pub fn spawn<F>(&mut self, name: &str, group: &str, f: F) -> TaskId
+    pub fn spawn<F, Fut>(&mut self, name: &str, group: &str, f: F) -> TaskId
     where
-        F: FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static,
+        F: FnOnce(TaskCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = SimResult<()>> + 'static,
     {
+        let body: TaskFn = Box::new(move |ctx| Box::pin(f(ctx)) as TaskFuture);
         if let Some(cur) = &mut self.rebind {
             let tid = TaskId(cur.tasks);
             cur.tasks += 1;
@@ -284,23 +443,23 @@ impl<'k> Builder<'k> {
                     .get(tid.index())
                     .map(|t| t.name.as_str()),
             );
-            self.spawns.push((tid, Box::new(f)));
+            self.spawns.push((tid, body));
             return tid;
         }
         let tid = self.kernel.add_task(name, group, None);
-        self.spawns.push((tid, Box::new(f)));
+        self.spawns.push((tid, body));
         tid
     }
 }
 
-/// The per-task operation context.
+/// The per-task operation context, owned by the task body's coroutine.
 ///
-/// All methods are scheduling points: the calling task parks, the driver
-/// picks who runs next, and the operation executes atomically with respect
-/// to every other task. Methods return [`SimError::Cancelled`] once the run
-/// is winding down; bodies must propagate it (use `?`).
+/// All async methods are scheduling points: the calling body suspends, the
+/// driver picks who runs next, and the operation executes atomically with
+/// respect to every other task. Methods return [`SimError::Cancelled`] once
+/// the run is winding down; bodies must propagate it (use `?`).
 pub struct TaskCtx {
-    pub(crate) shared: std::sync::Arc<crate::driver::Shared>,
+    pub(crate) slot: Rc<RefCell<TaskSlot>>,
     pub(crate) tid: TaskId,
 }
 
@@ -312,121 +471,160 @@ impl TaskCtx {
 
     /// Returns the current execution-clock time.
     ///
-    /// This is a lock-free-equivalent peek: the task logically owns the
-    /// processor while running, so the clock cannot move underneath it.
-    /// During fast-forward after a restore it returns the clock value the
-    /// original execution observed at this point.
+    /// Not a scheduling point: the task logically owns the processor while
+    /// running, so the clock cannot move underneath it. During fast-forward
+    /// after a restore it returns the clock value the original execution
+    /// observed at this point.
     pub fn now(&self) -> u64 {
-        crate::driver::observe_now(&self.shared, self.tid)
+        let mut slot = self.slot.borrow_mut();
+        if let Some(entry) = slot.ff.pop_front() {
+            match entry {
+                SysLogEntry::Now(t) => return t,
+                other => {
+                    // Divergence (the log holds an op result where the body
+                    // asked for the clock). now() cannot propagate an error;
+                    // flag it for the engine and fall back to the restored
+                    // clock.
+                    slot.divergence = Some(format!(
+                        "body observed the clock where the log has {other:?}"
+                    ));
+                    return slot.now;
+                }
+            }
+        }
+        slot.now_obs += 1;
+        slot.now
     }
 
     /// Reads a typed shared variable.
     ///
     /// Returns [`SimError::Internal`] if the stored value does not decode as
     /// `T` (a programming error, surfaced loudly).
-    pub fn read<T: SimData>(&mut self, var: &TVar<T>, site: Site) -> SimResult<T> {
-        let v = self.op_read(var.id, site)?;
+    pub async fn read<T: SimData>(&mut self, var: &TVar<T>, site: Site) -> SimResult<T> {
+        let v = self.syscall(Op::Read { var: var.id, site }).await?;
         T::from_value(&v).ok_or_else(|| {
             SimError::Internal(format!("type mismatch reading {} at {site}", var.id))
         })
     }
 
     /// Writes a typed shared variable.
-    pub fn write<T: SimData>(&mut self, var: &TVar<T>, value: T, site: Site) -> SimResult<()> {
-        self.op_write(var.id, value.into_value(), site)
+    pub async fn write<T: SimData>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+        site: Site,
+    ) -> SimResult<()> {
+        self.syscall(Op::Write {
+            var: var.id,
+            value: value.into_value(),
+            site,
+        })
+        .await
+        .map(drop)
     }
 
     /// Reads an untyped shared variable.
-    pub fn read_raw(&mut self, var: VarId, site: Site) -> SimResult<Value> {
-        self.op_read(var, site)
+    pub async fn read_raw(&mut self, var: VarId, site: Site) -> SimResult<Value> {
+        self.syscall(Op::Read { var, site }).await
     }
 
     /// Writes an untyped shared variable.
-    pub fn write_raw(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
-        self.op_write(var, value, site)
+    pub async fn write_raw(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
+        self.syscall(Op::Write { var, value, site }).await.map(drop)
     }
 
     /// Acquires a lock (blocking).
-    pub fn lock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Lock { lock: m.0, site })
-            .map(drop)
+    pub async fn lock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(Op::Lock { lock: m.0, site }).await.map(drop)
     }
 
     /// Releases a lock.
-    pub fn unlock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Unlock { lock: m.0, site })
-            .map(drop)
+    pub async fn unlock(&mut self, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(Op::Unlock { lock: m.0, site }).await.map(drop)
     }
 
     /// Waits on a condition variable, atomically releasing `m`; on return
     /// the lock is held again.
-    pub fn wait(&mut self, cv: CondvarHandle, m: MutexHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CvWait {
+    pub async fn wait(&mut self, cv: CondvarHandle, m: MutexHandle, site: Site) -> SimResult<()> {
+        self.syscall(Op::CvWait {
             cvar: cv.0,
             lock: m.0,
             stage: crate::kernel::CvStage::Enter,
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Wakes one waiter (scheduling-policy choice among waiters).
-    pub fn notify_one(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CvNotify {
+    pub async fn notify_one(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
+        self.syscall(Op::CvNotify {
             cvar: cv.0,
             all: false,
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Wakes all waiters.
-    pub fn notify_all(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CvNotify {
+    pub async fn notify_all(&mut self, cv: CondvarHandle, site: Site) -> SimResult<()> {
+        self.syscall(Op::CvNotify {
             cvar: cv.0,
             all: true,
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Sends a message (unbounded queue; may be dropped on congested
     /// network channels).
-    pub fn send<T: SimData>(&mut self, ch: &ChanHandle<T>, msg: T, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Send {
+    pub async fn send<T: SimData>(
+        &mut self,
+        ch: &ChanHandle<T>,
+        msg: T,
+        site: Site,
+    ) -> SimResult<()> {
+        self.syscall(Op::Send {
             chan: ch.id,
             value: msg.into_value(),
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Receives a message (blocking).
-    pub fn recv<T: SimData>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<T> {
-        let v = self.syscall(crate::kernel::Op::Recv {
-            chan: ch.id,
-            deadline: None,
-            timeout: None,
-            site,
-        })?;
+    pub async fn recv<T: SimData>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<T> {
+        let v = self
+            .syscall(Op::Recv {
+                chan: ch.id,
+                deadline: None,
+                timeout: None,
+                site,
+            })
+            .await?;
         T::from_value(&v).ok_or_else(|| {
             SimError::Internal(format!("type mismatch receiving on {} at {site}", ch.id))
         })
     }
 
     /// Receives a message, giving up after `ticks` of virtual time.
-    pub fn recv_timeout<T: SimData>(
+    pub async fn recv_timeout<T: SimData>(
         &mut self,
         ch: &ChanHandle<T>,
         ticks: u64,
         site: Site,
     ) -> SimResult<T> {
-        let v = self.syscall(crate::kernel::Op::Recv {
-            chan: ch.id,
-            deadline: None,
-            timeout: Some(ticks),
-            site,
-        })?;
+        let v = self
+            .syscall(Op::Recv {
+                chan: ch.id,
+                deadline: None,
+                timeout: Some(ticks),
+                site,
+            })
+            .await?;
         T::from_value(&v).ok_or_else(|| {
             SimError::Internal(format!("type mismatch receiving on {} at {site}", ch.id))
         })
@@ -434,122 +632,135 @@ impl TaskCtx {
 
     /// Closes a channel; subsequent receives on an empty queue fail with
     /// [`SimError::ChannelClosed`].
-    pub fn close<T>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::CloseChan { chan: ch.id, site })
+    pub async fn close<T>(&mut self, ch: &ChanHandle<T>, site: Site) -> SimResult<()> {
+        self.syscall(Op::CloseChan { chan: ch.id, site })
+            .await
             .map(drop)
     }
 
     /// Reads the next scripted input from a port (blocking until arrival;
     /// fails with [`SimError::InputExhausted`] when the script has ended).
-    pub fn input<T: SimData>(&mut self, p: InPort, site: Site) -> SimResult<T> {
-        let v = self.syscall(crate::kernel::Op::ReadInput { port: p.0, site })?;
+    pub async fn input<T: SimData>(&mut self, p: InPort, site: Site) -> SimResult<T> {
+        let v = self.syscall(Op::ReadInput { port: p.0, site }).await?;
         T::from_value(&v).ok_or_else(|| {
             SimError::Internal(format!("type mismatch reading input {} at {site}", p.0))
         })
     }
 
     /// Emits an observable output.
-    pub fn output<T: SimData>(&mut self, p: OutPort, value: T, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::WriteOutput {
+    pub async fn output<T: SimData>(&mut self, p: OutPort, value: T, site: Site) -> SimResult<()> {
+        self.syscall(Op::WriteOutput {
             port: p.0,
             value: value.into_value(),
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Samples a named probe point (consumed by invariant inference).
-    pub fn probe<T: SimData>(&mut self, name: &'static str, value: T, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Probe {
+    pub async fn probe<T: SimData>(
+        &mut self,
+        name: &'static str,
+        value: T,
+        site: Site,
+    ) -> SimResult<()> {
+        self.syscall(Op::Probe {
             name,
             value: value.into_value(),
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Adjusts a named counter (part of the observable I/O summary) and
     /// returns the new total.
-    pub fn count(&mut self, name: &'static str, delta: i64, site: Site) -> SimResult<i64> {
-        let v = self.syscall(crate::kernel::Op::Count { name, delta, site })?;
+    pub async fn count(&mut self, name: &'static str, delta: i64, site: Site) -> SimResult<i64> {
+        let v = self.syscall(Op::Count { name, delta, site }).await?;
         Ok(v.as_int().unwrap_or(0))
     }
 
     /// Draws a uniform value in `[0, bound)` from the kernel RNG
     /// (`bound = 0` means the full 64-bit range).
-    pub fn rand_below(&mut self, bound: u64, site: Site) -> SimResult<u64> {
-        let v = self.syscall(crate::kernel::Op::Rng { bound, site })?;
+    pub async fn rand_below(&mut self, bound: u64, site: Site) -> SimResult<u64> {
+        let v = self.syscall(Op::Rng { bound, site }).await?;
         Ok(v.as_int().unwrap_or(0) as u64)
     }
 
     /// Sleeps for `ticks` of virtual time.
-    pub fn sleep(&mut self, ticks: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Sleep {
+    pub async fn sleep(&mut self, ticks: u64, site: Site) -> SimResult<()> {
+        self.syscall(Op::Sleep {
             until: None,
             ticks,
             site,
         })
+        .await
         .map(drop)
     }
 
     /// Yields the processor (a pure scheduling point).
-    pub fn yield_now(&mut self, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Yield { site }).map(drop)
+    pub async fn yield_now(&mut self, site: Site) -> SimResult<()> {
+        self.syscall(Op::Yield { site }).await.map(drop)
     }
 
     /// Accounts `bytes` of allocation against this task's memory budget.
-    pub fn alloc(&mut self, bytes: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Alloc { bytes, site })
-            .map(drop)
+    pub async fn alloc(&mut self, bytes: u64, site: Site) -> SimResult<()> {
+        self.syscall(Op::Alloc { bytes, site }).await.map(drop)
     }
 
     /// Returns `bytes` of allocation to the budget.
-    pub fn free(&mut self, bytes: u64, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Free { bytes, site })
-            .map(drop)
+    pub async fn free(&mut self, bytes: u64, site: Site) -> SimResult<()> {
+        self.syscall(Op::Free { bytes, site }).await.map(drop)
     }
 
     /// Blocks until `task` exits (or was killed).
-    pub fn join(&mut self, task: TaskId, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Join { task, site })
-            .map(drop)
+    pub async fn join(&mut self, task: TaskId, site: Site) -> SimResult<()> {
+        self.syscall(Op::Join { task, site }).await.map(drop)
     }
 
     /// Records a crash of this task and unwinds it.
     ///
     /// Always returns an error so it can be written as
-    /// `return ctx.crash("reason", site)`.
-    pub fn crash(&mut self, reason: &str, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Crash {
+    /// `return ctx.crash("reason", site).await`.
+    pub async fn crash(&mut self, reason: &str, site: Site) -> SimResult<()> {
+        self.syscall(Op::Crash {
             reason: reason.to_owned(),
             site,
-        })?;
+        })
+        .await?;
         Err(SimError::Cancelled)
     }
 
     /// Requests an orderly early stop of the whole run.
-    pub fn stop_run(&mut self, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::StopRun { site }).map(drop)
+    pub async fn stop_run(&mut self, site: Site) -> SimResult<()> {
+        self.syscall(Op::StopRun { site }).await.map(drop)
     }
 
     /// Spawns a new task in the given failure-domain group.
-    pub fn spawn<F>(&mut self, name: &str, group: &str, f: F) -> SimResult<TaskId>
+    ///
+    /// Fails with [`SimError::TaskLimit`] when the run is already at its
+    /// configured [`max_tasks`](crate::config::RunConfig) ceiling.
+    pub async fn spawn<F, Fut>(&mut self, name: &str, group: &str, f: F) -> SimResult<TaskId>
     where
-        F: FnOnce(&mut TaskCtx) -> SimResult<()> + Send + 'static,
+        F: FnOnce(TaskCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = SimResult<()>> + 'static,
     {
-        crate::driver::spawn_from_ctx(self, name, group, Box::new(f))
+        SpawnCall {
+            slot: Rc::clone(&self.slot),
+            payload: Some((
+                name.to_owned(),
+                group.to_owned(),
+                Box::new(move |ctx| Box::pin(f(ctx)) as TaskFuture),
+            )),
+        }
+        .await
     }
 
-    fn op_read(&mut self, var: VarId, site: Site) -> SimResult<Value> {
-        self.syscall(crate::kernel::Op::Read { var, site })
-    }
-
-    fn op_write(&mut self, var: VarId, value: Value, site: Site) -> SimResult<()> {
-        self.syscall(crate::kernel::Op::Write { var, value, site })
-            .map(drop)
-    }
-
-    fn syscall(&mut self, op: crate::kernel::Op) -> SimResult<Value> {
-        crate::driver::syscall(&self.shared, self.tid, op)
+    fn syscall(&mut self, op: Op) -> OpCall {
+        OpCall {
+            slot: Rc::clone(&self.slot),
+            op: Some(op),
+        }
     }
 }

@@ -2,8 +2,8 @@
 //! summaries, condition variables, and policy decision plumbing.
 
 use dd_sim::{
-    run_program, Builder, ChanClass, InputScript, Program, RandomPolicy, RunConfig, SimResult,
-    StopReason, TaskCtx, Value,
+    run_program, Builder, ChanClass, InputScript, Program, RandomPolicy, RunConfig, StopReason,
+    Value,
 };
 
 struct CvarPipeline;
@@ -19,29 +19,25 @@ impl Program for CvarPipeline {
         let ready = b.var("ready", 0i64);
         let out = b.out_port("out");
         for i in 0..3 {
-            b.spawn(
-                &format!("waiter{i}"),
-                "g",
-                move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    ctx.lock(m, "w::lock")?;
-                    loop {
-                        let r = ctx.read(&ready, "w::read")?;
-                        if r != 0 {
-                            break;
-                        }
-                        ctx.wait(cv, m, "w::wait")?;
+            b.spawn(&format!("waiter{i}"), "g", move |mut ctx| async move {
+                ctx.lock(m, "w::lock").await?;
+                loop {
+                    let r = ctx.read(&ready, "w::read").await?;
+                    if r != 0 {
+                        break;
                     }
-                    ctx.unlock(m, "w::unlock")?;
-                    ctx.output(out, 1i64, "w::done")
-                },
-            );
+                    ctx.wait(cv, m, "w::wait").await?;
+                }
+                ctx.unlock(m, "w::unlock").await?;
+                ctx.output(out, 1i64, "w::done").await
+            });
         }
-        b.spawn("signaller", "g", move |ctx| {
-            ctx.sleep(50, "s::sleep")?;
-            ctx.lock(m, "s::lock")?;
-            ctx.write(&ready, 1, "s::write")?;
-            ctx.notify_all(cv, "s::notify")?;
-            ctx.unlock(m, "s::unlock")
+        b.spawn("signaller", "g", move |mut ctx| async move {
+            ctx.sleep(50, "s::sleep").await?;
+            ctx.lock(m, "s::lock").await?;
+            ctx.write(&ready, 1, "s::write").await?;
+            ctx.notify_all(cv, "s::notify").await?;
+            ctx.unlock(m, "s::unlock").await
         });
     }
 }
@@ -73,32 +69,28 @@ impl Program for NotifyOnePipeline {
         let tokens = b.var("tokens", 0i64);
         let out = b.out_port("out");
         for i in 0..3 {
-            b.spawn(
-                &format!("waiter{i}"),
-                "g",
-                move |ctx: &mut TaskCtx| -> SimResult<()> {
-                    ctx.lock(m, "w::lock")?;
-                    loop {
-                        let t = ctx.read(&tokens, "w::read")?;
-                        if t > 0 {
-                            ctx.write(&tokens, t - 1, "w::take")?;
-                            break;
-                        }
-                        ctx.wait(cv, m, "w::wait")?;
+            b.spawn(&format!("waiter{i}"), "g", move |mut ctx| async move {
+                ctx.lock(m, "w::lock").await?;
+                loop {
+                    let t = ctx.read(&tokens, "w::read").await?;
+                    if t > 0 {
+                        ctx.write(&tokens, t - 1, "w::take").await?;
+                        break;
                     }
-                    ctx.unlock(m, "w::unlock")?;
-                    ctx.output(out, i as i64, "w::done")
-                },
-            );
+                    ctx.wait(cv, m, "w::wait").await?;
+                }
+                ctx.unlock(m, "w::unlock").await?;
+                ctx.output(out, i as i64, "w::done").await
+            });
         }
-        b.spawn("producer", "g", move |ctx| {
+        b.spawn("producer", "g", move |mut ctx| async move {
             for _ in 0..3 {
-                ctx.sleep(20, "p::gap")?;
-                ctx.lock(m, "p::lock")?;
-                let t = ctx.read(&tokens, "p::read")?;
-                ctx.write(&tokens, t + 1, "p::write")?;
-                ctx.notify_one(cv, "p::notify")?;
-                ctx.unlock(m, "p::unlock")?;
+                ctx.sleep(20, "p::gap").await?;
+                ctx.lock(m, "p::lock").await?;
+                let t = ctx.read(&tokens, "p::read").await?;
+                ctx.write(&tokens, t + 1, "p::write").await?;
+                ctx.notify_one(cv, "p::notify").await?;
+                ctx.unlock(m, "p::unlock").await?;
             }
             Ok(())
         });
@@ -143,11 +135,11 @@ impl Program for EchoInputs {
         let q = b.in_port("other");
         let out = b.out_port("resp");
         let _unused = b.channel::<i64>("spare", ChanClass::Network);
-        b.spawn("echo", "g", move |ctx| {
+        b.spawn("echo", "g", move |mut ctx| async move {
             let _ = q;
             loop {
-                match ctx.input::<i64>(p, "echo::in") {
-                    Ok(v) => ctx.output(out, v, "echo::out")?,
+                match ctx.input::<i64>(p, "echo::in").await {
+                    Ok(v) => ctx.output(out, v, "echo::out").await?,
                     Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
                     Err(e) => return Err(e),
                 }

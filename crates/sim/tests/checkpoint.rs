@@ -31,41 +31,43 @@ impl Program for Gauntlet {
         let out = b.out_port("out");
 
         for i in 0..2 {
-            b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+            b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
                 for _ in 0..4 {
-                    let jitter = ctx.rand_below(3, "adder::jitter")?;
-                    ctx.sleep(1 + jitter, "adder::pace")?;
-                    let v = ctx.read(&total, "adder::read")?;
-                    ctx.write(&total, v + 1, "adder::write")?;
-                    ctx.count("adds", 1, "adder::count")?;
+                    let jitter = ctx.rand_below(3, "adder::jitter").await?;
+                    ctx.sleep(1 + jitter, "adder::pace").await?;
+                    let v = ctx.read(&total, "adder::read").await?;
+                    ctx.write(&total, v + 1, "adder::write").await?;
+                    ctx.count("adds", 1, "adder::count").await?;
                 }
-                ctx.send(&work, i, "adder::done")
+                ctx.send(&work, i, "adder::done").await
             });
         }
-        b.spawn("waiter", "main", move |ctx| {
-            ctx.lock(m, "waiter::lock")?;
+        b.spawn("waiter", "main", move |mut ctx| async move {
+            ctx.lock(m, "waiter::lock").await?;
             loop {
-                if ctx.read(&ready, "waiter::read")? != 0 {
+                if ctx.read(&ready, "waiter::read").await? != 0 {
                     break;
                 }
-                ctx.wait(cv, m, "waiter::wait")?;
+                ctx.wait(cv, m, "waiter::wait").await?;
             }
-            ctx.unlock(m, "waiter::unlock")?;
-            ctx.output(out, ctx.now() as i64, "waiter::stamp")
+            ctx.unlock(m, "waiter::unlock").await?;
+            ctx.output(out, ctx.now() as i64, "waiter::stamp").await
         });
-        b.spawn("driver", "main", move |ctx| {
+        b.spawn("driver", "main", move |mut ctx| async move {
             // Collect both adders, then spawn a late reporter and join it.
-            ctx.recv::<i64>(&work, "driver::recv0")?;
-            ctx.recv::<i64>(&work, "driver::recv1")?;
-            ctx.lock(m, "driver::lock")?;
-            ctx.write(&ready, 1, "driver::ready")?;
-            ctx.notify_one(cv, "driver::notify")?;
-            ctx.unlock(m, "driver::unlock")?;
-            let late = ctx.spawn("late", "main", move |ctx| {
-                let v = ctx.read(&total, "late::read")?;
-                ctx.output(out, v, "late::out")
-            })?;
-            ctx.join(late, "driver::join")
+            ctx.recv::<i64>(&work, "driver::recv0").await?;
+            ctx.recv::<i64>(&work, "driver::recv1").await?;
+            ctx.lock(m, "driver::lock").await?;
+            ctx.write(&ready, 1, "driver::ready").await?;
+            ctx.notify_one(cv, "driver::notify").await?;
+            ctx.unlock(m, "driver::unlock").await?;
+            let late = ctx
+                .spawn("late", "main", move |mut ctx| async move {
+                    let v = ctx.read(&total, "late::read").await?;
+                    ctx.output(out, v, "late::out").await
+                })
+                .await?;
+            ctx.join(late, "driver::join").await
         });
     }
 }

@@ -24,20 +24,20 @@ impl Program for RacyCounter {
         let done = b.channel::<i64>("done", ChanClass::Local);
         let iters = self.iters;
         for i in 0..2 {
-            b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+            b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
                 for _ in 0..iters {
-                    let v = ctx.read(&total, "adder::read")?;
-                    ctx.write(&total, v + 1, "adder::write")?;
+                    let v = ctx.read(&total, "adder::read").await?;
+                    ctx.write(&total, v + 1, "adder::write").await?;
                 }
-                ctx.send(&done, 1, "adder::done")
+                ctx.send(&done, 1, "adder::done").await
             });
         }
-        b.spawn("reporter", "main", move |ctx| {
+        b.spawn("reporter", "main", move |mut ctx| async move {
             for _ in 0..2 {
-                ctx.recv(&done, "reporter::recv")?;
+                ctx.recv(&done, "reporter::recv").await?;
             }
-            let v = ctx.read(&total, "reporter::read")?;
-            ctx.output(out, v, "reporter::out")
+            let v = ctx.read(&total, "reporter::read").await?;
+            ctx.output(out, v, "reporter::out").await
         });
     }
 }
@@ -139,19 +139,19 @@ impl Program for AbbaDeadlock {
     fn setup(&self, b: &mut Builder<'_>) {
         let a = b.mutex("A");
         let m = b.mutex("B");
-        b.spawn("t0", "g", move |ctx| {
-            ctx.lock(a, "t0::lockA")?;
-            ctx.yield_now("t0::yield")?;
-            ctx.lock(m, "t0::lockB")?;
-            ctx.unlock(m, "t0::unlockB")?;
-            ctx.unlock(a, "t0::unlockA")
+        b.spawn("t0", "g", move |mut ctx| async move {
+            ctx.lock(a, "t0::lockA").await?;
+            ctx.yield_now("t0::yield").await?;
+            ctx.lock(m, "t0::lockB").await?;
+            ctx.unlock(m, "t0::unlockB").await?;
+            ctx.unlock(a, "t0::unlockA").await
         });
-        b.spawn("t1", "g", move |ctx| {
-            ctx.lock(m, "t1::lockB")?;
-            ctx.yield_now("t1::yield")?;
-            ctx.lock(a, "t1::lockA")?;
-            ctx.unlock(a, "t1::unlockA")?;
-            ctx.unlock(m, "t1::unlockB")
+        b.spawn("t1", "g", move |mut ctx| async move {
+            ctx.lock(m, "t1::lockB").await?;
+            ctx.yield_now("t1::yield").await?;
+            ctx.lock(a, "t1::lockA").await?;
+            ctx.unlock(a, "t1::unlockA").await?;
+            ctx.unlock(m, "t1::unlockB").await
         });
     }
 }
@@ -179,9 +179,9 @@ impl Program for SleeperProgram {
 
     fn setup(&self, b: &mut Builder<'_>) {
         let out = b.out_port("events");
-        b.spawn("sleeper", "g", move |ctx| {
-            ctx.sleep(100, "sleeper::sleep")?;
-            ctx.output(out, ctx.now() as i64, "sleeper::report")
+        b.spawn("sleeper", "g", move |mut ctx| async move {
+            ctx.sleep(100, "sleeper::sleep").await?;
+            ctx.output(out, ctx.now() as i64, "sleeper::report").await
         });
     }
 }
@@ -209,11 +209,16 @@ impl Program for InputEcho {
     fn setup(&self, b: &mut Builder<'_>) {
         let p = b.in_port("req");
         let out = b.out_port("resp");
-        b.spawn("echo", "g", move |ctx| loop {
-            match ctx.input::<i64>(p, "echo::input") {
-                Ok(v) => ctx.output(out, (v, ctx.now() as i64), "echo::output")?,
-                Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
-                Err(e) => return Err(e),
+        b.spawn("echo", "g", move |mut ctx| async move {
+            loop {
+                match ctx.input::<i64>(p, "echo::input").await {
+                    Ok(v) => {
+                        ctx.output(out, (v, ctx.now() as i64), "echo::output")
+                            .await?
+                    }
+                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
             }
         });
     }
@@ -250,13 +255,15 @@ impl Program for CrashyGroup {
 
     fn setup(&self, b: &mut Builder<'_>) {
         let out = b.out_port("beats");
-        b.spawn("victim", "node1", move |ctx| loop {
-            ctx.sleep(10, "victim::beat")?;
-            ctx.output(out, 1i64, "victim::output")?;
+        b.spawn("victim", "node1", move |mut ctx| async move {
+            loop {
+                ctx.sleep(10, "victim::beat").await?;
+                ctx.output(out, 1i64, "victim::output").await?;
+            }
         });
-        b.spawn("survivor", "node2", move |ctx| {
-            ctx.sleep(100, "survivor::wait")?;
-            ctx.output(out, 2i64, "survivor::output")
+        b.spawn("survivor", "node2", move |mut ctx| async move {
+            ctx.sleep(100, "survivor::wait").await?;
+            ctx.output(out, 2i64, "survivor::output").await
         });
     }
 }
@@ -301,10 +308,10 @@ impl Program for TimeoutProgram {
     fn setup(&self, b: &mut Builder<'_>) {
         let ch = b.channel::<i64>("never", ChanClass::Local);
         let out = b.out_port("result");
-        b.spawn("waiter", "g", move |ctx| {
-            match ctx.recv_timeout(&ch, 75, "waiter::recv") {
+        b.spawn("waiter", "g", move |mut ctx| async move {
+            match ctx.recv_timeout(&ch, 75, "waiter::recv").await {
                 Err(dd_sim::SimError::RecvTimeout(_)) => {
-                    ctx.output(out, ctx.now() as i64, "waiter::timeout")
+                    ctx.output(out, ctx.now() as i64, "waiter::timeout").await
                 }
                 Ok(_) => panic!("received on an empty channel"),
                 Err(e) => Err(e),
@@ -335,9 +342,11 @@ impl Program for Forever {
 
     fn setup(&self, b: &mut Builder<'_>) {
         let v = b.var("x", 0i64);
-        b.spawn("spinner", "g", move |ctx| loop {
-            let x = ctx.read(&v, "spin::read")?;
-            ctx.write(&v, x + 1, "spin::write")?;
+        b.spawn("spinner", "g", move |mut ctx| async move {
+            loop {
+                let x = ctx.read(&v, "spin::read").await?;
+                ctx.write(&v, x + 1, "spin::write").await?;
+            }
         });
     }
 }
@@ -371,11 +380,16 @@ impl Program for PanicProgram {
     }
 
     fn setup(&self, b: &mut Builder<'_>) {
-        b.spawn("boomer", "g", |_ctx| panic!("intentional test panic"));
+        b.spawn("boomer", "g", |_ctx| async move {
+            if true {
+                panic!("intentional test panic");
+            }
+            Ok(())
+        });
         let out = b.out_port("ok");
-        b.spawn("bystander", "g", move |ctx| {
-            ctx.sleep(10, "bystander::sleep")?;
-            ctx.output(out, 1i64, "bystander::output")
+        b.spawn("bystander", "g", move |mut ctx| async move {
+            ctx.sleep(10, "bystander::sleep").await?;
+            ctx.output(out, 1i64, "bystander::output").await
         });
     }
 }
@@ -405,23 +419,25 @@ impl Program for SpawnerProgram {
     fn setup(&self, b: &mut Builder<'_>) {
         let out = b.out_port("sum");
         let ch = b.channel::<i64>("results", ChanClass::Local);
-        b.spawn("parent", "g", move |ctx| {
+        b.spawn("parent", "g", move |mut ctx| async move {
             let mut kids = Vec::new();
             for i in 0..4i64 {
                 let ch = ch;
-                let kid = ctx.spawn(&format!("kid{i}"), "g", move |kctx| {
-                    kctx.send(&ch, i * i, "kid::send")
-                })?;
+                let kid = ctx
+                    .spawn(&format!("kid{i}"), "g", move |mut kctx| async move {
+                        kctx.send(&ch, i * i, "kid::send").await
+                    })
+                    .await?;
                 kids.push(kid);
             }
             for kid in kids {
-                ctx.join(kid, "parent::join")?;
+                ctx.join(kid, "parent::join").await?;
             }
             let mut sum = 0;
             for _ in 0..4 {
-                sum += ctx.recv(&ch, "parent::recv")?;
+                sum += ctx.recv(&ch, "parent::recv").await?;
             }
-            ctx.output(out, sum, "parent::output")
+            ctx.output(out, sum, "parent::output").await
         });
     }
 }
@@ -446,12 +462,14 @@ impl Program for StopRunProgram {
     }
 
     fn setup(&self, b: &mut Builder<'_>) {
-        b.spawn("stopper", "g", move |ctx| {
-            ctx.sleep(10, "stopper::sleep")?;
-            ctx.stop_run("stopper::stop")
+        b.spawn("stopper", "g", move |mut ctx| async move {
+            ctx.sleep(10, "stopper::sleep").await?;
+            ctx.stop_run("stopper::stop").await
         });
-        b.spawn("worker", "g", move |ctx| loop {
-            ctx.yield_now("worker::spin")?;
+        b.spawn("worker", "g", move |mut ctx| async move {
+            loop {
+                ctx.yield_now("worker::spin").await?;
+            }
         });
     }
 }
@@ -476,9 +494,9 @@ fn congestion_drops_are_deterministic_per_seed() {
         }
         fn setup(&self, b: &mut Builder<'_>) {
             let net = b.channel::<i64>("net", ChanClass::Network);
-            b.spawn("sender", "g", move |ctx| {
+            b.spawn("sender", "g", move |mut ctx| async move {
                 for i in 0..100 {
-                    ctx.send(&net, i, "sender::send")?;
+                    ctx.send(&net, i, "sender::send").await?;
                 }
                 Ok(())
             });
@@ -514,11 +532,13 @@ fn memory_budget_enforced_per_group() {
         }
         fn setup(&self, b: &mut Builder<'_>) {
             let out = b.out_port("result");
-            b.spawn("hog", "small", move |ctx| {
-                ctx.alloc(400, "hog::alloc")?;
-                match ctx.alloc(400, "hog::alloc2") {
-                    Err(dd_sim::SimError::OutOfMemory { .. }) => ctx.output(out, -1i64, "hog::oom"),
-                    Ok(()) => ctx.output(out, 1i64, "hog::fine"),
+            b.spawn("hog", "small", move |mut ctx| async move {
+                ctx.alloc(400, "hog::alloc").await?;
+                match ctx.alloc(400, "hog::alloc2").await {
+                    Err(dd_sim::SimError::OutOfMemory { .. }) => {
+                        ctx.output(out, -1i64, "hog::oom").await
+                    }
+                    Ok(()) => ctx.output(out, 1i64, "hog::fine").await,
                     Err(e) => Err(e),
                 }
             });

@@ -41,21 +41,21 @@ impl Program for Racy {
         let done = b.channel::<i64>("done", ChanClass::Local);
         let iters = self.iters;
         for i in 0..2 {
-            b.spawn(&format!("adder{i}"), "workers", move |ctx| {
+            b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
                 for _ in 0..iters {
-                    let v = ctx.read(&total, "racy::read")?;
-                    ctx.write(&total, v + 1, "racy::write")?;
-                    ctx.count("adds", 1, "racy::count")?;
+                    let v = ctx.read(&total, "racy::read").await?;
+                    ctx.write(&total, v + 1, "racy::write").await?;
+                    ctx.count("adds", 1, "racy::count").await?;
                 }
-                ctx.send(&done, 1, "racy::done")
+                ctx.send(&done, 1, "racy::done").await
             });
         }
-        b.spawn("reporter", "main", move |ctx| {
+        b.spawn("reporter", "main", move |mut ctx| async move {
             for _ in 0..2 {
-                ctx.recv::<i64>(&done, "racy::recv")?;
+                ctx.recv::<i64>(&done, "racy::recv").await?;
             }
-            let v = ctx.read(&total, "racy::report")?;
-            ctx.output(out, v, "racy::out")
+            let v = ctx.read(&total, "racy::report").await?;
+            ctx.output(out, v, "racy::out").await
         });
     }
 }

@@ -1,0 +1,120 @@
+//! Spawn-scale behaviour of the coroutine engine.
+//!
+//! Tasks are heap-allocated state machines, not OS threads, so task count
+//! is bounded by memory and [`RunConfig::max_tasks`] — never by thread
+//! handles. These tests pin both sides of that contract: a 10^5-task
+//! spawn/exit storm must complete (the thread-per-task engine exhausted the
+//! OS long before this), and blowing past the configured ceiling must
+//! surface as the typed [`SimError::TaskLimit`], not a panic.
+
+use dd_sim::{run_program, Builder, Program, RandomPolicy, RunConfig, SimError, StopReason};
+
+/// A root task that spawns `n` trivially-exiting children, counting
+/// successful spawns and reporting the ceiling if it hits one.
+struct SpawnStorm {
+    n: u32,
+}
+
+impl Program for SpawnStorm {
+    fn name(&self) -> &'static str {
+        "spawn_storm"
+    }
+
+    fn setup(&self, b: &mut Builder<'_>) {
+        let n = self.n;
+        let spawned = b.out_port("spawned");
+        let ceiling = b.out_port("ceiling");
+        b.spawn("root", "g", move |mut ctx| async move {
+            let mut ok = 0i64;
+            for i in 0..n {
+                let child = ctx
+                    .spawn(&format!("w{i}"), "g", move |_ctx| async move { Ok(()) })
+                    .await;
+                match child {
+                    Ok(_) => ok += 1,
+                    Err(SimError::TaskLimit { limit }) => {
+                        ctx.output(ceiling, limit as i64, "root::ceiling").await?;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            ctx.output(spawned, ok, "root::spawned").await
+        });
+    }
+}
+
+fn run(n: u32, cfg: RunConfig) -> dd_sim::RunOutput {
+    run_program(
+        &SpawnStorm { n },
+        cfg,
+        Box::new(RandomPolicy::new(7)),
+        vec![],
+    )
+}
+
+/// The coroutine engine drives a hundred thousand tasks through spawn and
+/// exit. Also exercises the driver's live-task list: with tasks exiting as
+/// fast as they are spawned, each scheduling step must scan O(live) tasks,
+/// not O(ever spawned), or this test times out quadratically.
+#[test]
+fn hundred_thousand_tasks_spawn_and_exit() {
+    let out = run(
+        100_000,
+        RunConfig {
+            max_steps: 2_000_000,
+            ..RunConfig::with_seed(7)
+        },
+    );
+    assert_eq!(out.stop, StopReason::Quiescent, "storm did not finish");
+    assert_eq!(out.io.outputs_on("spawned")[0].as_int(), Some(100_000));
+    assert!(out.io.outputs_on("ceiling").is_empty(), "hit default limit");
+    assert!(
+        out.io.crashes.is_empty(),
+        "storm crashed: {:?}",
+        out.io.crashes
+    );
+}
+
+/// Exceeding `max_tasks` is a typed, recoverable error delivered to the
+/// spawner — the run carries on and stops cleanly.
+#[test]
+fn task_limit_is_a_typed_recoverable_error() {
+    let out = run(
+        64,
+        RunConfig {
+            max_tasks: 8,
+            ..RunConfig::with_seed(7)
+        },
+    );
+    assert_eq!(out.stop, StopReason::Quiescent);
+    // Root occupies one slot; seven spawns fit under a ceiling of eight.
+    assert_eq!(out.io.outputs_on("spawned")[0].as_int(), Some(7));
+    assert_eq!(out.io.outputs_on("ceiling")[0].as_int(), Some(8));
+    assert!(out.io.crashes.is_empty(), "limit crashed the run");
+}
+
+/// The limit error formats with the configured ceiling.
+#[test]
+fn task_limit_error_names_the_ceiling() {
+    let e = SimError::TaskLimit { limit: 12 };
+    assert_eq!(e.to_string(), "task limit reached: 12 tasks already exist");
+}
+
+/// Identically-seeded storms produce identical traces: spawn-heavy
+/// schedules stay deterministic at scale.
+#[test]
+fn spawn_storm_is_deterministic() {
+    let h = |seed: u64| {
+        let out = run(
+            2_000,
+            RunConfig {
+                max_steps: 200_000,
+                ..RunConfig::with_seed(seed)
+            },
+        );
+        assert_eq!(out.stop, StopReason::Quiescent);
+        out.decisions.len()
+    };
+    assert_eq!(h(3), h(3));
+}

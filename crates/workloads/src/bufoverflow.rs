@@ -44,26 +44,31 @@ impl Program for BufOverflowProgram {
         let requests = b.in_port("requests");
         let acks = b.out_port("acks");
         let stack = b.var("handler.stack", Vec::<u8>::new());
-        b.spawn("handler", "server", move |ctx| {
+        b.spawn("handler", "server", move |mut ctx| async move {
             loop {
-                let req: Vec<u8> = match ctx.input(requests, "handler::input") {
+                let req: Vec<u8> = match ctx.input(requests, "handler::input").await {
                     Ok(r) => r,
                     Err(SimError::InputExhausted(_)) => return Ok(()),
                     Err(e) => return Err(e),
                 };
-                ctx.probe("bufoverflow.req_len", req.len(), "handler::check")?;
+                ctx.probe("bufoverflow.req_len", req.len(), "handler::check")
+                    .await?;
                 if fixed && req.len() > CAPACITY {
                     // FIX: the predicate P — reject instead of copying.
-                    ctx.output(acks, Value::Str("rejected".into()), "handler::reject")?;
+                    ctx.output(acks, Value::Str("rejected".into()), "handler::reject")
+                        .await?;
                     continue;
                 }
                 // Copy the request into the fixed-size buffer.
-                ctx.write(&stack, req.clone(), "handler::copy")?;
+                ctx.write(&stack, req.clone(), "handler::copy").await?;
                 if req.len() > CAPACITY {
                     // The copy ran past the buffer: stack smashed.
-                    return ctx.crash("stack smashed by oversized request", "handler::copy");
+                    return ctx
+                        .crash("stack smashed by oversized request", "handler::copy")
+                        .await;
                 }
-                ctx.output(acks, Value::Str("ok".into()), "handler::ack")?;
+                ctx.output(acks, Value::Str("ok".into()), "handler::ack")
+                    .await?;
             }
         });
     }

@@ -102,20 +102,20 @@ impl Program for MsgServerProgram {
             b.spawn(
                 &format!("producer{p}"),
                 &format!("producer{p}"),
-                move |ctx| {
+                move |mut ctx| async move {
                     let mut i = 0;
                     while i < cfg_p.msgs_per_producer {
-                        ctx.sleep(cfg_p.send_gap, "producer::pace")?;
+                        ctx.sleep(cfg_p.send_gap, "producer::pace").await?;
                         for _ in 0..cfg_p.burst.min(cfg_p.msgs_per_producer - i) {
                             let id = (p as i64) * 1_000_000 + i as i64;
                             // One draw expanded locally into the payload; the
                             // message carries its id in the first 8 bytes.
-                            let seed = ctx.rand_below(0, "producer::gen")?;
+                            let seed = ctx.rand_below(0, "producer::gen").await?;
                             let mut sm = dd_sim::rng::SplitMix64::new(seed);
                             let mut bytes = id.to_le_bytes().to_vec();
                             bytes.extend((8..cfg_p.payload).map(|_| sm.next_u64() as u8));
-                            ctx.send(&net, bytes, "producer::send")?;
-                            ctx.count("msgs_sent", 1, "producer::send")?;
+                            ctx.send(&net, bytes, "producer::send").await?;
+                            ctx.count("msgs_sent", 1, "producer::send").await?;
                             i += 1;
                         }
                     }
@@ -126,34 +126,36 @@ impl Program for MsgServerProgram {
 
         // Receiver: network → shared buffer, compacting when it grows.
         let cfg_r = cfg.clone();
-        b.spawn("receiver", "server", move |ctx| {
+        b.spawn("receiver", "server", move |mut ctx| async move {
             loop {
-                let bytes = ctx.recv(&net, "receiver::recv")?;
+                let bytes = ctx.recv(&net, "receiver::recv").await?;
                 let id = i64::from_le_bytes(bytes[..8].try_into().expect("8-byte id"));
                 if fixed {
-                    ctx.lock(buffer_lock, "receiver::lock")?;
+                    ctx.lock(buffer_lock, "receiver::lock").await?;
                 }
-                let mut buf = ctx.read(&buffer, "receiver::buf_read")?;
+                let mut buf = ctx.read(&buffer, "receiver::buf_read").await?;
                 buf.push(id);
                 let len = buf.len();
                 if len >= cfg_r.compact_at {
                     // Compaction: drop the consumed prefix and rewind the
                     // cursor. BUG: without the lock this read-modify-write
                     // races with the consumer's cursor bump.
-                    let c = ctx.read(&cursor, "receiver::cursor_read")? as usize;
+                    let c = ctx.read(&cursor, "receiver::cursor_read").await? as usize;
                     let c = c.min(buf.len());
                     let compacted: Vec<i64> = buf[c..].to_vec();
-                    ctx.write(&buffer, compacted, "receiver::compact")?;
-                    ctx.write(&cursor, 0i64, "receiver::cursor_reset")?;
-                    ctx.probe("msgserver.compacted", c, "receiver::compact")?;
+                    ctx.write(&buffer, compacted, "receiver::compact").await?;
+                    ctx.write(&cursor, 0i64, "receiver::cursor_reset").await?;
+                    ctx.probe("msgserver.compacted", c, "receiver::compact")
+                        .await?;
                 } else {
-                    ctx.write(&buffer, buf, "receiver::buf_write")?;
+                    ctx.write(&buffer, buf, "receiver::buf_write").await?;
                 }
                 if fixed {
-                    ctx.unlock(buffer_lock, "receiver::unlock")?;
+                    ctx.unlock(buffer_lock, "receiver::unlock").await?;
                 }
-                ctx.probe("msgserver.buflen", len, "receiver::buf_write")?;
-                ctx.count("msgs_buffered", 1, "receiver::buf_write")?;
+                ctx.probe("msgserver.buflen", len, "receiver::buf_write")
+                    .await?;
+                ctx.count("msgs_buffered", 1, "receiver::buf_write").await?;
             }
         });
 
@@ -161,15 +163,15 @@ impl Program for MsgServerProgram {
         // cursor, committing the cursor once per batch (at-least-once
         // processing, idempotent by message id).
         let cfg_c = cfg.clone();
-        b.spawn("consumer", "server", move |ctx| {
+        b.spawn("consumer", "server", move |mut ctx| async move {
             let mut seen = std::collections::HashSet::new();
             loop {
-                ctx.sleep(cfg_c.poll_gap, "consumer::poll")?;
+                ctx.sleep(cfg_c.poll_gap, "consumer::poll").await?;
                 if fixed {
-                    ctx.lock(buffer_lock, "consumer::lock")?;
+                    ctx.lock(buffer_lock, "consumer::lock").await?;
                 }
-                let c = ctx.read(&cursor, "consumer::cursor_read")?;
-                let buf = ctx.read(&buffer, "consumer::buf_read")?;
+                let c = ctx.read(&cursor, "consumer::cursor_read").await?;
+                let buf = ctx.read(&buffer, "consumer::buf_read").await?;
                 let batch: Vec<i64> = buf.iter().skip(c as usize).copied().collect();
                 for id in &batch {
                     if seen.insert(*id) {
@@ -178,27 +180,29 @@ impl Program for MsgServerProgram {
                             &out_log,
                             vec![0u8; cfg_c.payload as usize],
                             "consumer::process",
-                        )?;
-                        ctx.count("msgs_processed", 1, "consumer::process")?;
+                        )
+                        .await?;
+                        ctx.count("msgs_processed", 1, "consumer::process").await?;
                     }
                 }
                 if !batch.is_empty() {
                     // BUG: committing the stale batch-end position can
                     // clobber a concurrent compaction's cursor reset,
                     // skipping messages that were never processed.
-                    ctx.write(&cursor, buf.len() as i64, "consumer::cursor_commit")?;
+                    ctx.write(&cursor, buf.len() as i64, "consumer::cursor_commit")
+                        .await?;
                 }
                 if fixed {
-                    ctx.unlock(buffer_lock, "consumer::unlock")?;
+                    ctx.unlock(buffer_lock, "consumer::unlock").await?;
                 }
             }
         });
 
         // Reporter: ends the run at the configured time.
         let end = cfg.end_time;
-        b.spawn("reporter", "reporter", move |ctx| {
-            ctx.sleep(end, "reporter::wait")?;
-            ctx.stop_run("reporter::stop")
+        b.spawn("reporter", "reporter", move |mut ctx| async move {
+            ctx.sleep(end, "reporter::wait").await?;
+            ctx.stop_run("reporter::stop").await
         });
     }
 }

@@ -46,23 +46,26 @@ impl Program for SumProgram {
         let lut = b.var("sum.table", table);
         let operands = b.in_port("operands");
         let out = b.out_port("sum");
-        b.spawn("adder", "adder", move |ctx| loop {
-            let a: i64 = match ctx.input(operands, "sum::input_a") {
-                Ok(v) => v,
-                Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
-                Err(e) => return Err(e),
-            };
-            let bb: i64 = ctx.input(operands, "sum::input_b")?;
-            let naive = a + bb;
-            let result = if (0..TABLE_SIZE).contains(&naive) {
-                let table = ctx.read(&lut, "sum::table_lookup")?;
-                let hit = table[naive as usize];
-                ctx.probe("sum.lut_hit", vec![naive, hit], "sum::table_lookup")?;
-                hit
-            } else {
-                naive
-            };
-            ctx.output(out, result, "sum::output")?;
+        b.spawn("adder", "adder", move |mut ctx| async move {
+            loop {
+                let a: i64 = match ctx.input(operands, "sum::input_a").await {
+                    Ok(v) => v,
+                    Err(dd_sim::SimError::InputExhausted(_)) => return Ok(()),
+                    Err(e) => return Err(e),
+                };
+                let bb: i64 = ctx.input(operands, "sum::input_b").await?;
+                let naive = a + bb;
+                let result = if (0..TABLE_SIZE).contains(&naive) {
+                    let table = ctx.read(&lut, "sum::table_lookup").await?;
+                    let hit = table[naive as usize];
+                    ctx.probe("sum.lut_hit", vec![naive, hit], "sum::table_lookup")
+                        .await?;
+                    hit
+                } else {
+                    naive
+                };
+                ctx.output(out, result, "sum::output").await?;
+            }
         });
     }
 }

@@ -24,21 +24,25 @@ impl Program for RacyCounter {
         let out = b.out_port("result");
         let done = b.channel::<i64>("done", ChanClass::Local);
         for i in 0..2 {
-            b.spawn(&format!("worker{i}"), "workers", move |ctx| {
-                for _ in 0..10 {
-                    // BUG: unsynchronised read-modify-write.
-                    let v = ctx.read(&total, "worker::read")?;
-                    ctx.write(&total, v + 1, "worker::write")?;
-                }
-                ctx.send(&done, 1, "worker::done")
-            });
+            b.spawn(
+                &format!("worker{i}"),
+                "workers",
+                move |mut ctx| async move {
+                    for _ in 0..10 {
+                        // BUG: unsynchronised read-modify-write.
+                        let v = ctx.read(&total, "worker::read").await?;
+                        ctx.write(&total, v + 1, "worker::write").await?;
+                    }
+                    ctx.send(&done, 1, "worker::done").await
+                },
+            );
         }
-        b.spawn("reporter", "main", move |ctx| {
+        b.spawn("reporter", "main", move |mut ctx| async move {
             for _ in 0..2 {
-                ctx.recv(&done, "reporter::join")?;
+                ctx.recv(&done, "reporter::join").await?;
             }
-            let v = ctx.read(&total, "reporter::read")?;
-            ctx.output(out, v, "reporter::out")
+            let v = ctx.read(&total, "reporter::read").await?;
+            ctx.output(out, v, "reporter::out").await
         });
     }
 }

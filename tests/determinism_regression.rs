@@ -336,6 +336,79 @@ fn decision_enabled_snapshots_survive_snapshot_resume() {
     }
 }
 
+/// The coroutine-engine equivalence property, sampled: any (workload,
+/// fidelity, resume point) combination must land on the workload's pinned
+/// golden hash, whether the run starts from scratch or from a mid-run
+/// snapshot with the fidelity's recording stack attached. The exhaustive
+/// scratch matrix lives in `golden_trace_hash_table_covers_all_workloads_
+/// and_fidelities`; this property additionally crosses fidelities with
+/// snapshot resume, where the engine must rebuild mid-operation coroutines
+/// before the observers see a single event.
+mod engine_equivalence {
+    use super::*;
+    use debug_determinism::sim::CheckpointPlan;
+    use proptest::prelude::*;
+
+    const LEVELS: &[&str] = &["bare", "low", "high", "msg-order", "race-complete"];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn any_fidelity_and_resume_point_reproduces_the_golden_trace(
+            widx in 0usize..4,
+            lidx in 0usize..5,
+            snap_sel in 0usize..1024,
+        ) {
+            let (name, golden) = GOLDEN[widx];
+            let level = LEVELS[lidx];
+            let (mk_cfg, program) = golden_cfg(name);
+
+            // Scratch run under this fidelity's recording stack.
+            let scratch = run_program(
+                program.as_ref(),
+                mk_cfg(),
+                Box::new(RandomPolicy::new(42)),
+                fidelity_observers(level),
+            );
+            let h = common::trace_hash(&scratch);
+            prop_assert!(
+                h == golden,
+                "workload {} at fidelity {}: scratch hash {:#018x} != golden {:#018x}",
+                name, level, h, golden
+            );
+
+            // Snapshot-resumed run under the same stack.
+            let mut cfg = mk_cfg();
+            cfg.checkpoints = Some(CheckpointPlan::new(2, 16));
+            let original = run_program(
+                program.as_ref(),
+                cfg,
+                Box::new(RandomPolicy::new(42)),
+                vec![],
+            );
+            // Single-task workloads (sum) legitimately never snapshot.
+            if !original.snapshots.is_empty() {
+                let snap = &original.snapshots[snap_sel % original.snapshots.len()];
+                let resumed = resume_program(
+                    program.as_ref(),
+                    mk_cfg(),
+                    snap,
+                    None,
+                    fidelity_observers(level),
+                );
+                let h = common::trace_hash(&resumed);
+                prop_assert!(
+                    h == golden,
+                    "workload {} at fidelity {} resumed from decision {}: \
+                     hash {:#018x} != golden {:#018x}",
+                    name, level, snap.at_decision(), h, golden
+                );
+            }
+        }
+    }
+}
+
 /// Different seeds must be able to produce different schedules — otherwise
 /// the "same seed ⇒ same trace" checks above would pass vacuously.
 #[test]

@@ -1,0 +1,67 @@
+//! The ABL-11 wall-clock acceptance gate, run by the perf-smoke CI job
+//! with `DD_PERF_GATE=1` in release mode.
+//!
+//! Two claims from the coroutine-engine PR:
+//!
+//! - a 10^5-task spawn/exit storm completes (tasks are heap state
+//!   machines, not OS threads), and the storm curve stays near-linear —
+//!   the driver scans O(live) tasks per step, not O(ever spawned);
+//! - the ABL-7 deep-msgserver checkpointed DFS runs ≥ 1.5× faster than
+//!   the committed thread-per-task baseline on a single core.
+//!
+//! Wall-clock claims stay out of the regular `test` job per the PR-4
+//! convention (shared runners make them advisory): without `DD_PERF_GATE`
+//! — or in debug builds, whose wall clocks say nothing about the release
+//! baseline — the test is a no-op. The deterministic half of the scale
+//! claim (storm completion, typed `TaskLimit`) gates unconditionally in
+//! `crates/sim/tests/task_scale.rs`.
+
+use dd_bench::{task_scale_sweep, THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS};
+
+#[test]
+fn abl11_task_scale_meets_the_wall_clock_gate() {
+    if std::env::var_os("DD_PERF_GATE").is_none() || cfg!(debug_assertions) {
+        eprintln!("DD_PERF_GATE unset or debug build — ABL-11 wall-clock gate skipped");
+        return;
+    }
+    let points = task_scale_sweep(&[1_000, 10_000, 100_000]);
+
+    let storms: Vec<_> = points.iter().filter(|p| p.row == "spawn-storm").collect();
+    assert_eq!(storms.len(), 3, "storm curve missing rows");
+    for p in &storms {
+        assert!(
+            p.completed,
+            "spawn-storm at {} tasks did not complete cleanly",
+            p.tasks
+        );
+    }
+    // 100× the tasks must not cost more than ~quadratic-detecting slack
+    // over 100× the time: a O(ever-spawned) scan would be ~100× worse.
+    let (small, big) = (storms[0], storms[2]);
+    let per_task_small = small.wall_ms.max(1) as f64 / small.tasks as f64;
+    let per_task_big = big.wall_ms.max(1) as f64 / big.tasks as f64;
+    assert!(
+        per_task_big <= per_task_small * 10.0,
+        "storm curve bent: {:.4} ms/task at {} vs {:.4} ms/task at {} — \
+         the scheduling scan is no longer O(live)",
+        per_task_big,
+        big.tasks,
+        per_task_small,
+        small.tasks
+    );
+
+    let deep = points
+        .iter()
+        .find(|p| p.row == "deep-msgserver-checkpointed")
+        .expect("deep msgserver row");
+    assert!(deep.completed, "deep walk found no failures");
+    let speedup = deep.speedup_vs_baseline.expect("deep row carries baseline");
+    assert!(
+        speedup >= 1.5,
+        "deep-msgserver checkpointed DFS: {} ms vs {} ms thread-engine \
+         baseline is only {:.2}x (gate: >= 1.5x single-core)",
+        deep.wall_ms,
+        THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS,
+        speedup
+    );
+}

@@ -28,20 +28,20 @@ impl Program for RacyCounter {
         let n = self.workers;
         let iters = self.iters;
         for i in 0..n {
-            b.spawn(&format!("w{i}"), "g", move |ctx| {
+            b.spawn(&format!("w{i}"), "g", move |mut ctx| async move {
                 for _ in 0..iters {
-                    let v = ctx.read(&total, "w::read")?;
-                    ctx.write(&total, v + 1, "w::write")?;
+                    let v = ctx.read(&total, "w::read").await?;
+                    ctx.write(&total, v + 1, "w::write").await?;
                 }
-                ctx.send(&done, 1, "w::done")
+                ctx.send(&done, 1, "w::done").await
             });
         }
-        b.spawn("reporter", "main", move |ctx| {
+        b.spawn("reporter", "main", move |mut ctx| async move {
             for _ in 0..n {
-                ctx.recv(&done, "r::recv")?;
+                ctx.recv(&done, "r::recv").await?;
             }
-            let v = ctx.read(&total, "r::read")?;
-            ctx.output(out, v, "r::out")
+            let v = ctx.read(&total, "r::read").await?;
+            ctx.output(out, v, "r::out").await
         });
     }
 }
