@@ -22,6 +22,7 @@ pub mod emit;
 pub mod fig1;
 pub mod fig2;
 pub mod snapshot_cost;
+pub mod snapshot_store;
 
 pub use ablations::{
     budget_sweep, checkpoint_sweep, fidelity_sweep, invariant_sweep, scale_sweep, scaling_sweep,
@@ -33,3 +34,4 @@ pub use emit::{emit_bench, write_bench_json};
 pub use fig1::{fig1, render_fig1, Fig1Point};
 pub use fig2::{fig2, render_fig2, Fig2Result, Fig2Row};
 pub use snapshot_cost::{deep_msgserver_point, snapshot_cost_sweep, SnapshotCostPoint};
+pub use snapshot_store::{snapshot_store_sweep, SnapshotStorePoint};

@@ -1,19 +1,25 @@
 //! # dd-cli — the `dd` command-line driver
 //!
-//! Four verbs over [`dd_core::driver::Session`]:
+//! Five verbs over [`dd_core::driver::Session`]:
 //!
 //! - `dd record <workload>`: run the workload's production incident with
 //!   per-decision state digests and write an append-only JSONL trace.
 //!   With `--model <kind>`, record under a named determinism model
 //!   (perfect, value, …, msg-order, race-complete) instead and write its
-//!   artifact as a JSON document.
+//!   artifact as a JSON document. With `--spill`, checkpoints go to an
+//!   on-disk [`SnapshotStore`] at
+//!   `<trace>.snapshots/` instead of RAM.
 //! - `dd replay <trace>`: re-execute the trace under the strict schedule
 //!   policy, comparing state digests at every decision, and stop at the
 //!   first divergence. With `--model`, replay a model artifact written by
-//!   `dd record --model` through that model's replayer instead.
+//!   `dd record --model` through that model's replayer instead. With
+//!   `--from N`, restore the nearest stored snapshot at or before decision
+//!   `N` and fast-forward the remainder.
 //! - `dd explore <trace>`: hand the recorded configuration to the
 //!   systematic (DPOR / parallel) search and look for other executions of
-//!   the recorded failure.
+//!   the recorded failure; `--warm` seeds the walk from the trace's
+//!   snapshot store.
+//! - `dd snapshots <trace>`: list the trace's on-disk snapshot store.
 //! - `dd promote <trace> --emit-test`: render the trace into a committed
 //!   fixture plus a Rust integration test that replays it in tier-1.
 //!
@@ -33,7 +39,8 @@ use dd_core::driver::Session;
 use dd_core::Workload;
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
 use dd_replay::{Artifact, ModelKind, SearchStrategy};
-use dd_trace::{JsonlTrace, TraceHeader};
+use dd_sim::{CheckpointPlan, RandomPolicy};
+use dd_trace::{JsonlTrace, RetentionPolicy, SnapshotStore, TraceHeader};
 use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -95,11 +102,15 @@ const USAGE: &str = "\
 dd — record/replay debugging over the debug-determinism simulator
 
 USAGE:
-    dd record  <workload> [--out FILE] [--seed N] [--sched-seed N]
-                          [--max-steps N] [--discover N] [--model KIND]
-    dd replay  <trace>    [--invariant-only] [--snapshot FILE] [--model]
-    dd explore <trace>    [--executions N] [--depth N] [--workers N]
-    dd promote <trace>    --emit-test [--name NAME] [--dir DIR]
+    dd record    <workload> [--out FILE] [--seed N] [--sched-seed N]
+                            [--max-steps N] [--discover N] [--model KIND]
+                            [--spill] [--spill-every N] [--spill-bound D]
+                            [--spill-keep N]
+    dd replay    <trace>    [--invariant-only] [--snapshot FILE] [--model]
+                            [--from DECISION]
+    dd explore   <trace>    [--executions N] [--depth N] [--workers N] [--warm]
+    dd snapshots <trace>
+    dd promote   <trace>    --emit-test [--name NAME] [--dir DIR]
 
 WORKLOADS:
     msgserver | sum | bufoverflow | hyperstore (or their canonical names)
@@ -107,6 +118,13 @@ WORKLOADS:
 MODELS (--model):
     perfect | value | output-lite | output-heavy | failure | debug |
     msg-order | race-complete
+
+SNAPSHOT SPILLING:
+    `dd record --spill` writes world checkpoints to <trace>.snapshots/
+    (an on-disk SnapshotStore) instead of RAM. `dd replay --from N`
+    restores the nearest stored snapshot at or before decision N and
+    fast-forwards the rest; `dd snapshots` lists the store; `dd explore
+    --warm` seeds the search from it.
 
 EXIT CODES:
     0 identical   1 divergence   2 invariant drift   3 usage   4 I/O
@@ -124,6 +142,7 @@ pub fn run(args: &[String]) -> i32 {
         "record" => cmd_record(rest),
         "replay" => cmd_replay(rest),
         "explore" => cmd_explore(rest),
+        "snapshots" => cmd_snapshots(rest),
         "promote" => cmd_promote(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -198,6 +217,10 @@ fn cmd_record(rest: &[String]) -> i32 {
     let mut max_steps: Option<u64> = None;
     let mut discover: Option<u64> = None;
     let mut model: Option<ModelKind> = None;
+    let mut spill = false;
+    let mut spill_every: u64 = 8;
+    let mut spill_bound: u64 = 64;
+    let mut spill_keep: u64 = 8;
     let parse_model = |v: &str| -> Result<ModelKind, String> {
         v.parse()
             .map_err(|e: dd_replay::UnknownModelKind| e.to_string())
@@ -213,6 +236,13 @@ fn cmd_record(rest: &[String]) -> i32 {
                 .value("--model")
                 .and_then(&parse_model)
                 .map(|k| model = Some(k)),
+            "--spill" => {
+                spill = true;
+                Ok(())
+            }
+            "--spill-every" => args.parse("--spill-every").map(|v| spill_every = v),
+            "--spill-bound" => args.parse("--spill-bound").map(|v| spill_bound = v),
+            "--spill-keep" => args.parse("--spill-keep").map(|v| spill_keep = v),
             kv if kv.starts_with("--model=") => {
                 parse_model(&kv["--model=".len()..]).map(|k| model = Some(k))
             }
@@ -270,18 +300,67 @@ fn cmd_record(rest: &[String]) -> i32 {
     }
 
     if let Some(kind) = model {
+        if spill {
+            eprintln!("dd record: --spill does not combine with --model");
+            return exit::USAGE;
+        }
         return record_model_artifact(&session, kind, &name, out);
     }
 
-    let trace = match session.record() {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("dd record: {e}");
-            return exit::IO;
+    let path = out.unwrap_or_else(|| PathBuf::from(format!("dd-{name}.trace.jsonl")));
+    let session = if spill {
+        session.with_checkpoint_plan(CheckpointPlan::new(spill_every, u64::MAX))
+    } else {
+        session
+    };
+    let trace = if spill {
+        // Persistent checkpoints: the run offers every snapshot the plan
+        // fires to an on-disk SnapshotStore next to the trace instead of
+        // keeping them in memory. Spilling does not perturb execution —
+        // the decision/digest streams are bit-identical either way; only
+        // the footer's epoch marks additionally carry store snapshot ids.
+        let store_dir = PathBuf::from(format!("{}.snapshots", path.display()));
+        if store_dir.exists() {
+            if let Err(e) = std::fs::remove_dir_all(&store_dir) {
+                eprintln!("dd record: {}: {e}", store_dir.display());
+                return exit::IO;
+            }
+        }
+        let store = match SnapshotStore::create(
+            &store_dir,
+            RetentionPolicy::new(spill_bound, spill_keep),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dd record: {e}");
+                return exit::IO;
+            }
+        };
+        match session.record_spilled(Box::new(store)) {
+            Ok((t, spill_errors)) => {
+                if !spill_errors.is_empty() {
+                    for e in &spill_errors {
+                        eprintln!("dd record: spill: {e}");
+                    }
+                    return exit::IO;
+                }
+                t
+            }
+            Err(e) => {
+                eprintln!("dd record: {e}");
+                return exit::IO;
+            }
+        }
+    } else {
+        match session.record() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dd record: {e}");
+                return exit::IO;
+            }
         }
     };
     let text = trace.render();
-    let path = out.unwrap_or_else(|| PathBuf::from(format!("dd-{name}.trace.jsonl")));
     if let Err(e) = std::fs::write(&path, &text) {
         eprintln!("dd record: {}: {e}", path.display());
         return exit::IO;
@@ -302,6 +381,24 @@ fn cmd_record(rest: &[String]) -> i32 {
             .unwrap_or("none (run passed)")
     );
     println!("trace      : {}", path.display());
+    if spill {
+        let store_dir = PathBuf::from(format!("{}.snapshots", path.display()));
+        match SnapshotStore::open(&store_dir) {
+            Ok(store) => {
+                println!(
+                    "snapshots  : {} stored in {} ({} bytes, worst restore distance {})",
+                    store.list().len(),
+                    store_dir.display(),
+                    store.disk_bytes(),
+                    store.max_gap(trace.footer.decisions),
+                );
+            }
+            Err(e) => {
+                eprintln!("dd record: {e}");
+                return exit::IO;
+            }
+        }
+    }
     println!("trace-hash : {:016x}", fnv64(text.as_bytes()));
     exit::OK
 }
@@ -449,6 +546,7 @@ fn cmd_replay(rest: &[String]) -> i32 {
     let mut invariant_only = false;
     let mut model = false;
     let mut snapshot: Option<PathBuf> = None;
+    let mut from: Option<u64> = None;
     while let Some(a) = args.next() {
         let r = match a {
             "--invariant-only" => {
@@ -462,6 +560,7 @@ fn cmd_replay(rest: &[String]) -> i32 {
             "--snapshot" => args
                 .value("--snapshot")
                 .map(|v| snapshot = Some(PathBuf::from(v))),
+            "--from" => args.parse("--from").map(|v| from = Some(v)),
             p if !p.starts_with('-') && trace_path.is_none() => {
                 trace_path = Some(p.to_owned());
                 Ok(())
@@ -489,6 +588,14 @@ fn cmd_replay(rest: &[String]) -> i32 {
         Err(code) => return code,
     };
 
+    if let Some(from) = from {
+        if invariant_only {
+            eprintln!("dd replay: --from does not combine with --invariant-only");
+            return exit::USAGE;
+        }
+        return replay_from_store(&session, &trace, &path, from, snapshot);
+    }
+
     let report = session.replay(&trace);
     println!(
         "replayed {} of {} recorded decisions ({} digest comparison points matched)",
@@ -510,6 +617,16 @@ fn cmd_replay(rest: &[String]) -> i32 {
         };
     }
 
+    divergence_verdict(&trace, &report, snapshot)
+}
+
+/// Prints the divergence verdict shared by `dd replay` and `dd replay
+/// --from` and returns the exit code.
+fn divergence_verdict(
+    trace: &JsonlTrace,
+    report: &dd_replay::DivergenceReport,
+    snapshot: Option<PathBuf>,
+) -> i32 {
     match &report.divergence {
         None => {
             println!("replay identical: every state digest matched, final digest matched");
@@ -541,7 +658,7 @@ fn cmd_replay(rest: &[String]) -> i32 {
                 );
             }
             if let Some(snap) = snapshot {
-                match write_snapshot_diff(&snap, &trace, &report) {
+                match write_snapshot_diff(&snap, trace, report) {
                     Ok(()) => println!("  state diff written to {}", snap.display()),
                     Err(e) => {
                         eprintln!("dd replay: {}: {e}", snap.display());
@@ -552,6 +669,72 @@ fn cmd_replay(rest: &[String]) -> i32 {
             exit::DIVERGENCE
         }
     }
+}
+
+/// The snapshot-store directory written next to a trace by `dd record
+/// --spill` (and read back by `--from`, `--warm` and `dd snapshots`).
+fn store_dir_for(trace_path: &str) -> PathBuf {
+    PathBuf::from(format!("{trace_path}.snapshots"))
+}
+
+/// `dd replay --from N`: restore the nearest stored snapshot at or before
+/// decision `N` from the trace's on-disk store and fast-forward the
+/// remainder under the strict replay policy. With no store (or no snapshot
+/// that early) the replay falls back to scratch — same verdict, no fast
+/// path. A store that exists but cannot be read is an I/O error naming the
+/// offending file.
+fn replay_from_store(
+    session: &Session,
+    trace: &JsonlTrace,
+    trace_path: &str,
+    from: u64,
+    snapshot_diff: Option<PathBuf>,
+) -> i32 {
+    let store_dir = store_dir_for(trace_path);
+    let report = if store_dir.exists() {
+        let store = match SnapshotStore::open(&store_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dd replay: {e}");
+                return exit::IO;
+            }
+        };
+        match store.nearest_at_or_before(from) {
+            Some(entry) => {
+                let snap = match store.load(entry.id, Box::new(RandomPolicy::new(0))) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("dd replay: {e}");
+                        return exit::IO;
+                    }
+                };
+                println!(
+                    "restored snapshot {} at decision {} ({} recorded decisions skipped, \
+                     {} replayed live)",
+                    entry.id,
+                    entry.decision,
+                    entry.decision,
+                    trace.footer.decisions.saturating_sub(entry.decision),
+                );
+                session.replay_from(trace, &snap)
+            }
+            None => {
+                println!("no stored snapshot at or before decision {from}; replaying from scratch");
+                session.replay(trace)
+            }
+        }
+    } else {
+        println!(
+            "no snapshot store at {}; replaying from scratch",
+            store_dir.display()
+        );
+        session.replay(trace)
+    };
+    println!(
+        "replayed {} of {} recorded decisions ({} digest comparison points matched)",
+        report.replayed_decisions, trace.footer.decisions, report.matched
+    );
+    divergence_verdict(trace, &report, snapshot_diff)
 }
 
 /// One endpoint (recorded or replayed) in the `--snapshot` diff file.
@@ -629,6 +812,72 @@ fn write_snapshot_diff(
 }
 
 // ---------------------------------------------------------------------------
+// dd snapshots
+// ---------------------------------------------------------------------------
+
+/// `dd snapshots <trace>`: list the on-disk snapshot store a `dd record
+/// --spill` run wrote next to the trace — one row per stored snapshot with
+/// its decision index, marginal (delta) bytes and delta parent.
+fn cmd_snapshots(rest: &[String]) -> i32 {
+    let mut args = Args::new(rest);
+    let mut trace_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a {
+            p if !p.starts_with('-') && trace_path.is_none() => trace_path = Some(p.to_owned()),
+            other => {
+                eprintln!("dd snapshots: unexpected argument `{other}`");
+                return exit::USAGE;
+            }
+        }
+    }
+    let Some(path) = trace_path else {
+        eprintln!("dd snapshots: missing <trace>");
+        return exit::USAGE;
+    };
+    let store_dir = store_dir_for(&path);
+    if !store_dir.exists() {
+        eprintln!(
+            "dd snapshots: no snapshot store at {} (record with --spill first)",
+            store_dir.display()
+        );
+        return exit::IO;
+    }
+    let store = match SnapshotStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dd snapshots: {e}");
+            return exit::IO;
+        }
+    };
+    let policy = store.policy();
+    println!("store      : {}", store_dir.display());
+    println!(
+        "policy     : restore-distance bound {}, capacity {} snapshots",
+        policy.bound, policy.max_snapshots
+    );
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>12}  {:>7}",
+        "id", "decision", "step", "delta-bytes", "parent"
+    );
+    for e in store.list() {
+        println!(
+            "{:>4}  {:>9}  {:>9}  {:>12}  {:>7}",
+            e.id,
+            e.decision,
+            e.step,
+            e.bytes,
+            e.parent.map_or_else(|| "-".into(), |p| p.to_string()),
+        );
+    }
+    println!(
+        "total      : {} snapshots, {} bytes on disk",
+        store.list().len(),
+        store.disk_bytes()
+    );
+    exit::OK
+}
+
+// ---------------------------------------------------------------------------
 // dd explore
 // ---------------------------------------------------------------------------
 
@@ -638,11 +887,16 @@ fn cmd_explore(rest: &[String]) -> i32 {
     let mut executions: u64 = 256;
     let mut depth: u32 = dd_core::driver::DEFAULT_EXPLORE_DEPTH;
     let mut workers: u32 = 1;
+    let mut warm = false;
     while let Some(a) = args.next() {
         let r = match a {
             "--executions" => args.parse("--executions").map(|v| executions = v),
             "--depth" => args.parse("--depth").map(|v| depth = v),
             "--workers" => args.parse("--workers").map(|v| workers = v),
+            "--warm" => {
+                warm = true;
+                Ok(())
+            }
             p if !p.starts_with('-') && trace_path.is_none() => {
                 trace_path = Some(p.to_owned());
                 Ok(())
@@ -676,7 +930,38 @@ fn cmd_explore(rest: &[String]) -> i32 {
     };
     let session = session.with_executions(executions).with_strategy(strategy);
 
-    let exploration = session.explore(&trace);
+    let exploration = if warm {
+        // Warm start: seed the tree walk's snapshot pool from the store a
+        // spilled recording left next to the trace. Seeds whose decision
+        // path diverges from the walk are skipped safely, so this can only
+        // save work, never change the search's outcome.
+        let store_dir = store_dir_for(&path);
+        let store = match SnapshotStore::open(&store_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dd explore: {e}");
+                return exit::IO;
+            }
+        };
+        let mut seeds = Vec::new();
+        for entry in store.list() {
+            match store.load(entry.id, Box::new(RandomPolicy::new(0))) {
+                Ok(s) => seeds.push(Arc::new(s)),
+                Err(e) => {
+                    eprintln!("dd explore: {e}");
+                    return exit::IO;
+                }
+            }
+        }
+        println!(
+            "warm-start : {} stored snapshots from {}",
+            seeds.len(),
+            store_dir.display()
+        );
+        session.explore_warm(&trace, seeds)
+    } else {
+        session.explore(&trace)
+    };
     println!(
         "target     : {}",
         exploration

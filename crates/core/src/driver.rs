@@ -25,12 +25,12 @@ use crate::experiment::{enumerate_root_causes, evaluate_model_on, ModelReport};
 use crate::rcse::{train, DebugModel, RcseConfig, Training};
 use crate::workload::{RunSetup, Workload};
 use dd_replay::{
-    replay_trace, search_with, Artifact, DeterminismModel, DivergenceReport, FailureModel,
-    InferenceBudget, ModelKind, MsgOrderModel, OutputHeavyModel, OutputLiteModel, PerfectModel,
-    RaceCompleteModel, Recording, ReplayResult, Scenario, SearchResult, SearchStrategy, ValueModel,
-    RECORDING_CHECKPOINTS,
+    replay_trace, replay_trace_from, search_with_warm, Artifact, DeterminismModel,
+    DivergenceReport, FailureModel, InferenceBudget, ModelKind, MsgOrderModel, OutputHeavyModel,
+    OutputLiteModel, PerfectModel, RaceCompleteModel, Recording, ReplayResult, Scenario,
+    SearchResult, SearchStrategy, ValueModel, RECORDING_CHECKPOINTS,
 };
-use dd_sim::{CheckpointPlan, IoSummary};
+use dd_sim::{CheckpointPlan, IoSummary, SnapshotSink, WorldSnapshot};
 use dd_trace::{JsonlError, JsonlTrace, TraceHeader};
 use std::sync::Arc;
 
@@ -284,6 +284,36 @@ impl Session {
         JsonlTrace::from_run(header, &out)
     }
 
+    /// [`Session::record`] with snapshot retention redirected to a
+    /// persistent sink — the `dd record --spill` configuration. The run is
+    /// bit-identical to [`Session::record`] (spilling does not perturb
+    /// execution), so the trace artifact hashes the same; checkpoints the
+    /// session's plan fires are offered to `sink` instead of accumulating
+    /// in memory.
+    ///
+    /// Also returns the sink's write errors (one message per declined
+    /// checkpoint): the run itself never fails because a spill did — the
+    /// caller decides whether an incomplete store is acceptable.
+    pub fn record_spilled(
+        &self,
+        sink: Box<dyn SnapshotSink>,
+    ) -> Result<(JsonlTrace, Vec<String>), JsonlError> {
+        let p = self.production();
+        let scenario = self.workload.scenario_for(&p);
+        let mut out =
+            scenario.execute_spilled(&scenario.original_spec(), self.checkpoints, sink, vec![]);
+        let spill_errors = std::mem::take(&mut out.spill_errors);
+        let header = TraceHeader::new(
+            self.workload.name(),
+            p.seed,
+            p.sched_seed,
+            p.max_steps,
+            p.inputs,
+            p.env,
+        );
+        JsonlTrace::from_run(header, &out).map(|t| (t, spill_errors))
+    }
+
     /// The replay scenario for a trace's recorded configuration (the
     /// header's seeds/inputs/environment, this session's workload).
     pub fn scenario_for_trace(&self, header: &TraceHeader) -> Scenario {
@@ -302,6 +332,15 @@ impl Session {
     pub fn replay(&self, trace: &JsonlTrace) -> DivergenceReport {
         let scenario = self.scenario_for_trace(&trace.header);
         replay_trace(&scenario, trace, vec![])
+    }
+
+    /// [`Session::replay`] fast-forwarded from a restored mid-run world
+    /// snapshot — `dd replay --from`. The strict policy resumes at the
+    /// snapshot's decision; the divergence report still covers the whole
+    /// run (see [`dd_replay::replay_trace_from`]).
+    pub fn replay_from(&self, trace: &JsonlTrace, snapshot: &WorldSnapshot) -> DivergenceReport {
+        let scenario = self.scenario_for_trace(&trace.header);
+        replay_trace_from(&scenario, trace, snapshot)
     }
 
     /// Compares recorded vs replayed *behaviour* (the I/O specification's
@@ -323,6 +362,16 @@ impl Session {
     /// if the recorded run passed). Uses the budget's strategy when it is
     /// systematic, otherwise DPOR at the default depth.
     pub fn explore(&self, trace: &JsonlTrace) -> Exploration {
+        self.explore_warm(trace, Vec::new())
+    }
+
+    /// [`Session::explore`] warm-started from previously captured world
+    /// snapshots — typically restored from the trace's on-disk
+    /// [`SnapshotStore`](dd_trace::SnapshotStore), letting a fresh process
+    /// skip re-executing the recorded prefix on the walk's first descents.
+    /// Incompatible seeds are skipped safely, so passing snapshots from an
+    /// unrelated run degrades to a cold [`Session::explore`].
+    pub fn explore_warm(&self, trace: &JsonlTrace, warm: Vec<Arc<WorldSnapshot>>) -> Exploration {
         let scenario = self.scenario_for_trace(&trace.header);
         let target = (scenario.failure_of)(&trace.footer.io).map(|f| f.failure_id);
         let strategy = match self.budget.strategy {
@@ -335,11 +384,12 @@ impl Session {
         };
         let inputs = scenario.inputs.clone();
         let sought = target.clone();
-        let result = search_with(
+        let result = search_with_warm(
             &scenario,
             &self.budget,
             strategy,
             Some(&inputs),
+            warm,
             |out| match (&sought, (scenario.failure_of)(&out.io)) {
                 (Some(id), Some(f)) => f.failure_id == *id,
                 (None, found) => found.is_some(),

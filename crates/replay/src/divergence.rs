@@ -88,6 +88,43 @@ pub fn replay_trace_with(
     }
 }
 
+/// Replays `trace` against `scenario` starting from a mid-run world
+/// snapshot (typically restored from the trace's on-disk
+/// [`SnapshotStore`](dd_trace::SnapshotStore)) instead of from scratch —
+/// the `dd replay --from` fast path.
+///
+/// The restored world already contains the effects of the first
+/// `snapshot.at_decision()` recorded decisions, so the strict replay policy
+/// resumes at the next one. The report still covers the *whole* run: a
+/// resumed run's digest stream is cumulative (the snapshot carries the
+/// recorded prefix's digests; re-execution appends the tail), so the
+/// comparison against the trace is index-for-index identical to a scratch
+/// [`replay_trace`].
+pub fn replay_trace_from(
+    scenario: &Scenario,
+    trace: &JsonlTrace,
+    snapshot: &dd_sim::WorldSnapshot,
+) -> DivergenceReport {
+    let spec = scenario.original_spec();
+    let consumed = snapshot.at_decision() as usize;
+    let policy = dd_sim::ReplayPolicy::resuming_at(trace.schedule_log().decisions, consumed);
+    let out = scenario.resume_hashed(&spec, snapshot, Box::new(policy));
+    let recorded = trace.hashes();
+    let report = compare_streams(
+        &recorded,
+        trace.footer.final_hash,
+        &out.decision_hashes.iter().copied().collect::<Vec<u64>>(),
+        out.final_state_hash,
+        &out.stop,
+    );
+    DivergenceReport {
+        divergence: report.0,
+        matched: report.1,
+        replayed_decisions: out.decisions.len() as u64,
+        out,
+    }
+}
+
 /// Replays `trace` against `scenario` using the scenario's own seed, inputs
 /// and environment, driving the scheduler from the trace's schedule log.
 pub fn replay_trace(

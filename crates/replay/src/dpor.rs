@@ -93,6 +93,14 @@ pub(crate) struct TreeConfig<'a> {
     /// prefix instead of re-executing from the first instruction. `None`
     /// re-executes every branch from scratch.
     pub checkpoint_every: Option<u64>,
+    /// Snapshots restored from a persistent store that seed the walk's
+    /// pool (warm start): a fresh process re-exploring the same tree binds
+    /// branches to these instead of re-executing the shared prefixes its
+    /// predecessor already paid for. Entries whose decision path diverges
+    /// from a branch's forced prefix are skipped by the compatibility
+    /// check, so stale or foreign snapshots are harmless. Only effective
+    /// with `checkpoint_every` set.
+    pub warm: Vec<Arc<WorldSnapshot>>,
 }
 
 /// One decision node on the DFS stack.
@@ -148,6 +156,26 @@ pub(crate) fn plan_of(cfg: &TreeConfig<'_>) -> Option<CheckpointPlan> {
         .map(|k| CheckpointPlan::new(k, (cfg.max_depth as u64).saturating_sub(1)))
 }
 
+/// The deepest snapshot in `pool` that a run forced to `prefix` may fork
+/// from: strictly inside the prefix, and leading to the run's own path (the
+/// prefix starts with the snapshot's decision path). The pool may hold
+/// entries that are not on the current path — warm-start seeds from a
+/// persistent store, or (for the parallel fetcher's mirror) snapshots from
+/// subtrees the walk has since left — so compatibility is checked
+/// explicitly rather than assumed.
+pub(crate) fn deepest_compatible(
+    pool: &SnapshotPool,
+    prefix: &[u32],
+) -> Option<(u64, Arc<WorldSnapshot>)> {
+    pool.range(..prefix.len() as u64)
+        .rev()
+        .find(|(&d, snap)| {
+            snap.decision_prefix()
+                .eq(prefix[..d as usize].iter().copied())
+        })
+        .map(|(&d, snap)| (d, Arc::clone(snap)))
+}
+
 /// The sequential fetcher: executes every run inline, restoring the deepest
 /// usable snapshot itself.
 struct SeqRuns<'a> {
@@ -162,16 +190,15 @@ impl RunFetcher for SeqRuns<'_> {
             None => self.scenario.execute(spec, vec![]),
             Some(plan) => {
                 // Fork instead of replaying from scratch: restore the
-                // deepest snapshot strictly inside the unchanged prefix
-                // (the fork decision itself is `prefix.len() - 1`, so any
-                // snapshot at `d < prefix.len()` is compatible) and force
-                // only the remaining prefix decisions.
-                match pool.range(..prefix.len() as u64).next_back() {
-                    Some((&d, snap)) => {
+                // deepest compatible snapshot strictly inside the prefix
+                // (the fork decision itself is `prefix.len() - 1`) and
+                // force only the remaining prefix decisions.
+                match deepest_compatible(pool, prefix) {
+                    Some((d, snap)) => {
                         let forced: Vec<u32> = prefix[d as usize..].to_vec();
                         self.scenario.resume(
                             spec,
-                            snap,
+                            &snap,
                             Box::new(PrefixPolicy::new(forced, self.tail_seed)),
                             plan,
                         )
@@ -233,6 +260,16 @@ pub(crate) fn walk(
     // each fork point, so everything in the pool stays prefix-compatible.
     let mut pool: SnapshotPool = BTreeMap::new();
     let checkpointing = cfg.checkpoint_every.is_some();
+    if checkpointing {
+        // Warm start: seed the pool with store-restored snapshots. The
+        // compatibility check at every resume point skips any that are not
+        // on the branch being executed, so seeding is always safe; when a
+        // fresh process re-walks the tree its predecessor explored, these
+        // replace the scratch re-execution of shared prefixes.
+        for s in &cfg.warm {
+            pool.entry(s.at_decision()).or_insert_with(|| Arc::clone(s));
+        }
+    }
     loop {
         if stats.explored >= budget.max_executions || stats.ticks >= budget.max_ticks {
             return None;
@@ -247,9 +284,7 @@ pub(crate) fn walk(
         // inside the forced prefix. Captured before the fetch so the charge
         // below reflects this walk's pool, not the fetcher's private choice.
         let canon: Option<(u64, u64, u64)> = if checkpointing {
-            pool.range(..prefix.len() as u64)
-                .next_back()
-                .map(|(&d, s)| (d, s.steps(), s.time()))
+            deepest_compatible(&pool, &prefix).map(|(d, s)| (d, s.steps(), s.time()))
         } else {
             None
         };
@@ -260,7 +295,11 @@ pub(crate) fn walk(
             // deeper ones); keeping the pools identical keeps the charges
             // identical.
             if canon.is_none_or(|(d, _, _)| s.at_decision() > d) {
-                pool.entry(s.at_decision()).or_insert_with(|| Arc::new(s));
+                // Unconditional insert: the just-executed run is on the
+                // current path by construction, so its snapshot supersedes
+                // any warm-start seed parked at the same decision (which
+                // may be from a diverged path).
+                pool.insert(s.at_decision(), Arc::new(s));
             }
         }
         let (skip_steps, skip_ticks) = canon.map_or((0, 0), |(_, steps, ticks)| (steps, ticks));

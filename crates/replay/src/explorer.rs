@@ -12,9 +12,10 @@
 use crate::dpor::TreeConfig;
 use crate::parallel::explore_tree_parallel;
 use crate::scenario::{PolicyChoice, RunSpec, Scenario};
-use dd_sim::RunOutput;
+use dd_sim::{RunOutput, WorldSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Bounds on inference work, plus the schedule-candidate strategy the
 /// replayer should use inside those bounds.
@@ -458,6 +459,29 @@ pub fn search_with(
     fixed_inputs: Option<&dd_sim::InputScript>,
     accept: impl Fn(&RunOutput) -> bool,
 ) -> SearchResult {
+    search_with_warm(scenario, budget, strategy, fixed_inputs, Vec::new(), accept)
+}
+
+/// [`search_with`] additionally seeding systematic tree walks with
+/// previously captured world snapshots (warm start).
+///
+/// The seeds typically come from a persistent
+/// [`SnapshotStore`](dd_trace::SnapshotStore) written by a recorded run in
+/// another process: the walk's first descents fork from the deepest
+/// compatible seed instead of re-executing the shared prefix from scratch.
+/// Seeds whose decision path diverges from the walk's current prefix are
+/// skipped (compatibility is always checked explicitly), so stale or
+/// foreign snapshots degrade to a cold start rather than corrupting the
+/// search. Non-systematic strategies and walks without checkpointing ignore
+/// the seeds entirely.
+pub fn search_with_warm(
+    scenario: &Scenario,
+    budget: &InferenceBudget,
+    strategy: SearchStrategy,
+    fixed_inputs: Option<&dd_sim::InputScript>,
+    warm: Vec<Arc<WorldSnapshot>>,
+    accept: impl Fn(&RunOutput) -> bool,
+) -> SearchResult {
     let space = &scenario.space;
     let seeds: &[u64] = if space.seeds.is_empty() {
         &[0]
@@ -506,6 +530,7 @@ pub fn search_with(
                         max_depth: max_depth as usize,
                         checkpoint_every: (budget.checkpoint_interval > 0)
                             .then_some(budget.checkpoint_interval),
+                        warm: warm.clone(),
                     };
                     if let Some((out, spec)) = explore_tree_parallel(
                         scenario,
@@ -612,6 +637,7 @@ pub fn enumerate_failures(
                 max_depth: max_depth as usize,
                 checkpoint_every: (budget.checkpoint_interval > 0)
                     .then_some(budget.checkpoint_interval),
+                warm: Vec::new(),
             };
             explore_tree_parallel(
                 scenario,

@@ -33,11 +33,12 @@ pub mod recordings;
 pub mod scenario;
 
 pub use divergence::{
-    compare_streams, replay_trace, replay_trace_with, Divergence, DivergenceReport,
+    compare_streams, replay_trace, replay_trace_from, replay_trace_with, Divergence,
+    DivergenceReport,
 };
 pub use explorer::{
-    enumerate_failures, search, search_with, BudgetError, InferenceBudget, InferenceBudgetBuilder,
-    InferenceStats, SearchResult, SearchStrategy,
+    enumerate_failures, search, search_with, search_with_warm, BudgetError, InferenceBudget,
+    InferenceBudgetBuilder, InferenceStats, SearchResult, SearchStrategy,
 };
 pub use guided::{
     pinned_completion_digest, racing_outcomes, FeedHandle, GuidedHandle, GuidedOrderPolicy,

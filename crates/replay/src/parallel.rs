@@ -65,13 +65,14 @@
 //! compound: many pending subtrees in flight, each forked from a deep
 //! snapshot.
 
-use crate::dpor::{explore_tree, plan_of, walk, RunFetcher, SnapshotPool, TreeConfig};
+use crate::dpor::{
+    deepest_compatible, explore_tree, plan_of, walk, RunFetcher, SnapshotPool, TreeConfig,
+};
 use crate::explorer::{InferenceBudget, InferenceStats};
 use crate::scenario::{PolicyChoice, RunSpec, Scenario};
-use dd_sim::{CheckpointPlan, PrefixPolicy, RunOutput, WorldSnapshot};
+use dd_sim::{CheckpointPlan, PrefixPolicy, RunOutput};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 /// One unit of speculative work: a forced schedule prefix. The snapshot to
 /// fork from is *not* bound here — the worker re-binds the deepest
@@ -117,21 +118,6 @@ struct Frontier {
     /// so a fast pool cannot balloon memory arbitrarily far ahead of the
     /// walk. The job the coordinator is blocked on is exempt.
     high_water: usize,
-}
-
-/// The deepest snapshot in `pool` that a run forced to `prefix` may fork
-/// from: strictly inside the prefix, and leading to the run's own path (the
-/// prefix starts with the snapshot's decision path). The mirror may hold
-/// entries from subtrees the walk has since left, so compatibility is
-/// checked explicitly.
-fn deepest_compatible(pool: &SnapshotPool, prefix: &[u32]) -> Option<(u64, Arc<WorldSnapshot>)> {
-    pool.range(..prefix.len() as u64)
-        .rev()
-        .find(|(&d, snap)| {
-            snap.decision_prefix()
-                .eq(prefix[..d as usize].iter().copied())
-        })
-        .map(|(&d, snap)| (d, Arc::clone(snap)))
 }
 
 /// Executes one job inside a worker's private shell, forking from the

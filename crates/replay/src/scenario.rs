@@ -148,6 +148,32 @@ impl Scenario {
         dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)
     }
 
+    /// [`Scenario::execute_recorded`] with snapshot retention redirected to
+    /// a persistent [`dd_sim::SnapshotSink`]: each checkpoint the plan fires
+    /// is offered to the sink (typically a `dd-trace` `SnapshotStore`
+    /// spilling to disk) instead of accumulating in memory. The run is still
+    /// bit-identical to [`Scenario::execute`]; the output's `spilled` marks
+    /// identify the snapshots the sink accepted and `snapshots` stays empty.
+    pub fn execute_spilled(
+        &self,
+        spec: &RunSpec,
+        plan: dd_sim::CheckpointPlan,
+        sink: Box<dyn dd_sim::SnapshotSink>,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            checkpoints: Some(plan),
+            hash_decisions: true,
+            snapshot_sink: Some(sink),
+            ..RunConfig::default()
+        };
+        dd_sim::run_program(self.program.as_ref(), cfg, spec.policy.build(), observers)
+    }
+
     /// Resumes this scenario's program from a snapshot under `policy`,
     /// continuing to collect deeper snapshots per `plan`. `spec` must carry
     /// the same seed/inputs/environment as the run the snapshot came from.
@@ -164,6 +190,30 @@ impl Scenario {
             inputs: spec.inputs.clone(),
             env: spec.env.clone(),
             checkpoints: Some(plan),
+            ..RunConfig::default()
+        };
+        dd_sim::resume_program(self.program.as_ref(), cfg, snapshot, Some(policy), vec![])
+    }
+
+    /// Resumes this scenario's program from a snapshot under `policy`,
+    /// with per-decision state digests enabled and no further snapshot
+    /// collection — the configuration `dd replay --from` uses to
+    /// fast-forward from a stored checkpoint while still localising
+    /// divergence. The snapshot carries the digest prefix of the recorded
+    /// run, so the output's `decision_hashes` covers the *whole* run:
+    /// restored prefix plus re-executed tail.
+    pub fn resume_hashed(
+        &self,
+        spec: &RunSpec,
+        snapshot: &dd_sim::WorldSnapshot,
+        policy: Box<dyn SchedulePolicy>,
+    ) -> RunOutput {
+        let cfg = RunConfig {
+            seed: spec.seed,
+            max_steps: self.max_steps,
+            inputs: spec.inputs.clone(),
+            env: spec.env.clone(),
+            hash_decisions: true,
             ..RunConfig::default()
         };
         dd_sim::resume_program(self.program.as_ref(), cfg, snapshot, Some(policy), vec![])

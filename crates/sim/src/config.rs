@@ -284,6 +284,14 @@ pub struct RunConfig {
     /// When set, the run records the syscall log and takes resumable
     /// [`WorldSnapshot`](crate::kernel::WorldSnapshot)s per this plan.
     pub checkpoints: Option<CheckpointPlan>,
+    /// When set (together with `checkpoints`), snapshots are *offered* to
+    /// this sink — typically `dd-trace`'s on-disk store — instead of
+    /// accumulating in memory; the run's
+    /// [`RunOutput::spilled`](crate::driver::RunOutput) reports which
+    /// offers the sink kept and under what ids. Spilling bounds the run's
+    /// resident snapshot memory at zero while keeping mid-run decisions
+    /// restorable after the process exits.
+    pub snapshot_sink: Option<Box<dyn crate::snapshot::SnapshotSink>>,
     /// When `true`, the kernel records an FNV-1a digest of the machine
     /// state before every multi-candidate decision (see
     /// [`RunOutput::decision_hashes`](crate::driver::RunOutput)), plus a
@@ -307,6 +315,7 @@ impl Default for RunConfig {
             stop_on_crash: false,
             max_tasks: 1 << 20,
             checkpoints: None,
+            snapshot_sink: None,
             hash_decisions: false,
         }
     }
@@ -335,6 +344,7 @@ impl core::fmt::Debug for RunConfig {
             .field("stop_on_crash", &self.stop_on_crash)
             .field("max_tasks", &self.max_tasks)
             .field("checkpoints", &self.checkpoints)
+            .field("has_snapshot_sink", &self.snapshot_sink.is_some())
             .field("hash_decisions", &self.hash_decisions)
             .finish()
     }

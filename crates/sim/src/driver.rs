@@ -5,10 +5,10 @@
 //!
 //! Exactly one logical processor exists, and exactly one real thread runs
 //! the whole simulation. Every task body is a coroutine (see
-//! [`TaskFuture`](crate::program::TaskFuture)); the driver loop owns the
+//! [`TaskFuture`]); the driver loop owns the
 //! kernel and, at every decision point, picks one `Ready` task and *steps*
 //! it: the announced operation executes against the kernel, the result is
-//! deposited in the task's mailbox ([`TaskSlot`]), and the body is polled —
+//! deposited in the task's mailbox (`TaskSlot`), and the body is polled —
 //! running user code — until it parks at its next operation, blocks, or
 //! exits. There are no locks, no condvars and no context switches; a
 //! scheduling decision is a function call. All cross-task interaction flows
@@ -42,6 +42,7 @@ use crate::kernel::{
 };
 use crate::policy::SchedulePolicy;
 use crate::program::{Builder, Program, Request, TaskCtx, TaskFn, TaskFuture, TaskSlot};
+use crate::snapshot::SnapshotMark;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -229,8 +230,19 @@ pub struct RunOutput {
     pub trace: Option<ChunkedLog<(EventMeta, Event)>>,
     /// Resumable world snapshots taken per the run's
     /// [`CheckpointPlan`](crate::config::CheckpointPlan), in increasing
-    /// decision order (empty when checkpointing is disabled).
+    /// decision order (empty when checkpointing is disabled, and when a
+    /// [`snapshot_sink`](crate::config::RunConfig) spilled them to disk
+    /// instead — see [`spilled`](Self::spilled)).
     pub snapshots: Vec<WorldSnapshot>,
+    /// Marks of the snapshots the configured
+    /// [`snapshot_sink`](crate::config::RunConfig) kept, in increasing
+    /// decision order (empty unless a sink was configured). Each mark
+    /// carries the sink-assigned id the snapshot is restorable under.
+    pub spilled: Vec<SnapshotMark>,
+    /// Sink write failures, in occurrence order. A failed offer never
+    /// stops the run — it only loses that restore point — so callers that
+    /// care about the availability bound must check this.
+    pub spill_errors: Vec<String>,
     /// FNV-1a digests of the machine state before each recorded decision,
     /// aligned index-for-index with `decisions` (empty unless the run was
     /// configured with [`hash_decisions`](crate::config::RunConfig)).
@@ -336,6 +348,7 @@ pub fn run_program(
         cfg.stop_on_crash,
     );
     kernel.checkpoints = cfg.checkpoints;
+    kernel.sink = cfg.snapshot_sink.take();
     kernel.world.record_syslog = cfg.checkpoints.is_some();
     kernel.world.hash_decisions = cfg.hash_decisions;
     kernel.max_tasks = cfg.max_tasks;
@@ -394,6 +407,7 @@ pub fn resume_program(
         cfg.stop_on_crash,
         cfg.checkpoints,
     );
+    kernel.sink = cfg.snapshot_sink.take();
     kernel.world.record_syslog = cfg.checkpoints.is_some();
     kernel.world.hash_decisions = cfg.hash_decisions;
     kernel.max_tasks = cfg.max_tasks;
@@ -489,6 +503,8 @@ fn run_to_completion(
         decision_enabled: std::mem::take(&mut kernel.world.decision_enabled),
         trace: kernel.world.trace.take(),
         snapshots: std::mem::take(&mut kernel.snapshots),
+        spilled: std::mem::take(&mut kernel.spilled),
+        spill_errors: std::mem::take(&mut kernel.spill_errors),
         decision_hashes: std::mem::take(&mut kernel.world.decision_hashes),
         final_state_hash,
         observers: kernel.take_observers(),
@@ -562,18 +578,38 @@ fn drive(st: &mut Kernel, cells: &mut Vec<TaskCell>, cfg: &RunConfig) {
         // task is granted or running: the canonical checkpoint position.
         if let Some(plan) = st.checkpoints {
             let d = st.world.decision_seq;
+            let already = if st.sink.is_some() {
+                st.spilled.last().is_some_and(|m| m.decision >= d)
+            } else {
+                st.snapshots.last().is_some_and(|s| s.at_decision() >= d)
+            };
             if runnable.len() > 1
                 && d > 0
                 && d <= plan.max_decision
                 && d.is_multiple_of(plan.every.max(1))
-                && st.snapshots.last().is_none_or(|s| s.at_decision() < d)
+                && !already
                 // A resumed run's caller already holds the snapshot it was
                 // restored from; re-taking it would be a full-world clone
                 // the explorer immediately discards.
                 && st.resumed_at != Some(d)
             {
                 let snap = st.take_snapshot();
-                st.snapshots.push(snap);
+                if let Some(sink) = st.sink.as_mut() {
+                    // Spill instead of retaining: the sink's policy decides
+                    // whether this offer becomes a durable restore point.
+                    match sink.offer(&snap) {
+                        Ok(Some(id)) => st.spilled.push(SnapshotMark {
+                            decision: snap.at_decision(),
+                            step: snap.steps(),
+                            time: snap.time(),
+                            id,
+                        }),
+                        Ok(None) => {}
+                        Err(e) => st.spill_errors.push(e),
+                    }
+                } else {
+                    st.snapshots.push(snap);
+                }
             }
             // Past the last possible snapshot point the syscall log has no
             // consumer (restores replay a *snapshot's* log, never the final

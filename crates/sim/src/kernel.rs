@@ -61,13 +61,14 @@ use crate::history::ChunkedLog;
 use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
 use crate::policy::SchedulePolicy;
 use crate::rng::DetRng;
+use crate::snapshot::{SnapshotMark, SnapshotSink};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// What a blocked task is waiting for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum BlockOn {
     /// Lock is held by someone else.
     Lock(LockId),
@@ -84,7 +85,7 @@ pub(crate) enum BlockOn {
 }
 
 /// Scheduling phase of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum Phase {
     /// Parked at a sync point; eligible to be granted.
     Ready,
@@ -110,7 +111,7 @@ pub enum PortDir {
 /// Snapshot-able per-task machine state. A task's *continuation* (the
 /// coroutine future for its body) lives outside the kernel, in the driver's
 /// engine; everything the body has told the machine is here.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct TaskRec {
     pub name: String,
     pub group: String,
@@ -137,7 +138,7 @@ pub(crate) struct TaskRec {
 /// (when checkpointing is enabled) so a restored run can fast-forward a
 /// freshly rebuilt task coroutine to its snapshot position by feeding these
 /// back.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) enum SysLogEntry {
     /// A completed operation's result.
     Ret(SimResult<Value>),
@@ -147,26 +148,26 @@ pub(crate) enum SysLogEntry {
     Now(u64),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct VarRec {
     pub name: String,
     pub value: Value,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct LockRec {
     pub name: String,
     pub holder: Option<TaskId>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct CvarRec {
     pub name: String,
     /// FIFO of waiting tasks (each also remembers its lock in its op state).
     pub waiters: Vec<TaskId>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct ChanRec {
     pub name: String,
     pub class: ChanClass,
@@ -174,7 +175,7 @@ pub(crate) struct ChanRec {
     pub closed: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct PortRec {
     pub name: String,
     pub dir: PortDir,
@@ -231,7 +232,7 @@ struct ObserverSlot {
 }
 
 /// A pending scripted input (time-sorted, consumed front to back).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct PendingInput {
     time: u64,
     port: PortId,
@@ -973,6 +974,13 @@ pub(crate) struct Kernel {
     pub checkpoints: Option<CheckpointPlan>,
     /// Snapshots taken so far, in increasing decision order.
     pub snapshots: Vec<WorldSnapshot>,
+    /// When set, snapshots the plan calls for are offered to this sink
+    /// (spilled) instead of pushed onto `snapshots`.
+    pub sink: Option<Box<dyn SnapshotSink>>,
+    /// Marks of the offers the sink kept, in increasing decision order.
+    pub spilled: Vec<SnapshotMark>,
+    /// Sink write failures, in occurrence order (the run keeps going).
+    pub spill_errors: Vec<String>,
     /// Decision index this kernel was resumed at, if it was restored from a
     /// snapshot. The driver skips re-snapshotting at this index — the
     /// caller, by definition, already holds that snapshot.
@@ -988,7 +996,7 @@ pub(crate) enum Attempt {
 }
 
 /// Stage of a condition-variable wait (the op is re-attempted across wakes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum CvStage {
     /// Not yet enqueued: release the lock and start waiting.
     Enter,
@@ -1002,7 +1010,7 @@ pub(crate) enum CvStage {
 /// must persist across attempts (e.g. [`CvStage`], resolved sleep deadline).
 /// Between attempts the op lives in [`TaskRec::pending_op`] — part of the
 /// snapshotable world — so it must be `Clone`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum Op {
     Read {
         var: VarId,
@@ -1202,6 +1210,9 @@ impl Kernel {
             max_tasks: u64::MAX,
             checkpoints: None,
             snapshots: Vec::new(),
+            sink: None,
+            spilled: Vec::new(),
+            spill_errors: Vec::new(),
             resumed_at: None,
         }
     }
@@ -1239,6 +1250,9 @@ impl Kernel {
             max_tasks: u64::MAX,
             checkpoints,
             snapshots: Vec::new(),
+            sink: None,
+            spilled: Vec::new(),
+            spill_errors: Vec::new(),
             resumed_at: Some(resumed_at),
         }
     }

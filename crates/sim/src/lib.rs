@@ -71,6 +71,7 @@ pub mod kernel;
 pub mod policy;
 pub mod program;
 pub mod rng;
+pub mod snapshot;
 pub mod value;
 
 pub use config::{
@@ -98,6 +99,10 @@ pub use program::{
     TaskFn,
 };
 pub use rng::DetRng;
+pub use snapshot::{
+    decode_snapshot, encode_manifest, sealed_chunk, LogManifest, SnapshotManifest, SnapshotMark,
+    SnapshotSink, SNAPSHOT_FORMAT_VERSION,
+};
 pub use value::{SimData, Value};
 
 /// Implements the [`Observer`] upcast boilerplate (`as_any`, `as_any_mut`).

@@ -198,6 +198,23 @@ impl ReplayPolicy {
         }
     }
 
+    /// Creates a strict replay policy whose cursor starts at `consumed` —
+    /// the policy a run *resumed from a snapshot taken at decision
+    /// `consumed`* needs: the restored world already contains the effects
+    /// of the first `consumed` recorded decisions, so replay picks up at
+    /// the next one.
+    pub fn resuming_at(
+        decisions: impl Into<ChunkedLog<RecordedDecision>>,
+        consumed: usize,
+    ) -> Self {
+        ReplayPolicy {
+            decisions: decisions.into(),
+            cursor: consumed,
+            on_exhausted: ExhaustedBehavior::Strict,
+            fallback: DetRng::seed_from(0),
+        }
+    }
+
     /// Returns how many recorded decisions have been consumed.
     pub fn consumed(&self) -> usize {
         self.cursor

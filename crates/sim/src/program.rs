@@ -10,7 +10,7 @@
 //! and selective recording.
 //!
 //! The futures here never touch a real async runtime: awaiting an operation
-//! parks the coroutine by leaving a request in its [`TaskSlot`] mailbox and
+//! parks the coroutine by leaving a request in its `TaskSlot` mailbox and
 //! returning `Pending`; the driver executes the operation against the
 //! kernel and re-polls with the result in the mailbox. Wakers are never
 //! used (the driver knows exactly whom to poll), so task bodies must await

@@ -1,0 +1,441 @@
+//! The on-disk snapshot codec and the spill hook.
+//!
+//! A [`WorldSnapshot`] splits into two very
+//! different kinds of state:
+//!
+//! - *live* machine state (tasks, variables, locks, channels, ports,
+//!   clocks, RNG, pending environment events) — small, different at every
+//!   snapshot; and
+//! - *history* logs ([`ChunkedLog`]s) — large, append-only, and chunked
+//!   into immutable sealed chunks plus one bounded mutable tail.
+//!
+//! Sealed chunks never change after sealing, so two snapshots of the same
+//! run share every chunk of their common prefix. The on-disk format
+//! exploits exactly that: a snapshot *manifest* carries the live state, the
+//! inline log tails, and for each log only the *number* of sealed chunks it
+//! references — the chunk payloads themselves are content-addressed by
+//! `(log name, chunk index)` and written once, the first time any snapshot
+//! references them. A later snapshot of the same run is therefore a
+//! *delta*: its manifest plus whichever chunks sealed since the previous
+//! spill.
+//!
+//! This module owns the *codec* (world ⇄ serializable manifest + chunk
+//! payloads) and the [`SnapshotSink`] hook the driver offers snapshots
+//! through; the store that lays manifests and chunks out on disk (and
+//! enforces the replay-starting-point availability bound) lives in
+//! `dd-trace`, which has the file-format dependencies.
+//!
+//! Integrity: the manifest embeds the world's FNV-1a
+//! `WorldState::digest` at encode time, and
+//! [`decode_snapshot`] recomputes it after reassembly — a truncated or
+//! garbled artifact fails decode with an error naming the mismatch instead
+//! of resuming from a corrupt world.
+
+use crate::error::StopReason;
+use crate::history::ChunkedLog;
+use crate::kernel::{
+    ChanRec, CvarRec, LockRec, PendingInput, PortRec, TaskRec, VarRec, WorldSnapshot, WorldState,
+};
+use crate::policy::SchedulePolicy;
+use crate::rng::DetRng;
+use serde::{Content, Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Version tag of the snapshot manifest format.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// One history log's entry in a [`SnapshotManifest`]: the chunking
+/// geometry, how many sealed chunks the snapshot references (their payloads
+/// live in separate content-addressed artifacts), and the mutable tail
+/// inline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogManifest {
+    /// Canonical log name (`"trace"`, `"decisions"`, `"syslog-3"`, …).
+    pub name: String,
+    /// Elements per sealed chunk.
+    pub chunk_len: u64,
+    /// Number of sealed chunks; payload `i` is fetched by
+    /// `(name, i)` for `i < sealed`.
+    pub sealed: u64,
+    /// The mutable tail, encoded inline (always smaller than one chunk).
+    pub tail: Content,
+}
+
+/// The serializable form of one [`WorldSnapshot`] minus the sealed chunk
+/// payloads (see the [module docs](self) for the delta layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotManifest {
+    /// Format version ([`SNAPSHOT_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Decision index the snapshot was taken at.
+    pub decision: u64,
+    /// Successful operations executed up to the snapshot point.
+    pub step: u64,
+    /// Execution-clock value at the snapshot point.
+    pub time: u64,
+    /// FNV-1a digest of the world at encode time; decode recomputes and
+    /// compares it to reject corrupt or truncated artifacts.
+    pub digest: u64,
+    /// The live (non-log) machine state, encoded.
+    pub live: Content,
+    /// One entry per history log present in the world.
+    pub logs: Vec<LogManifest>,
+}
+
+/// Identifies one spilled snapshot in a [`RunOutput`](crate::driver::RunOutput):
+/// where in the run it was taken and the sink-assigned id it is retrievable
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotMark {
+    /// Decision index the snapshot was taken at.
+    pub decision: u64,
+    /// Operation count at the snapshot point.
+    pub step: u64,
+    /// Execution-clock value at the snapshot point.
+    pub time: u64,
+    /// Sink-assigned retrieval id.
+    pub id: u64,
+}
+
+/// Destination for spilled snapshots (see
+/// [`RunConfig::snapshot_sink`](crate::config::RunConfig)).
+///
+/// When a sink is configured, the driver *offers* it every snapshot the
+/// run's [`CheckpointPlan`](crate::config::CheckpointPlan) calls for
+/// instead of accumulating them in memory. The sink decides whether to keep the offer (its placement and
+/// eviction policy is its own business — `dd-trace`'s store maintains a
+/// bounded distance-to-nearest-checkpoint guarantee) and returns the id the
+/// kept snapshot is retrievable under.
+pub trait SnapshotSink: Send {
+    /// Offers one snapshot. Returns `Ok(Some(id))` if the sink kept it,
+    /// `Ok(None)` if it declined, and `Err` on a write failure (the run
+    /// continues; errors are surfaced in
+    /// [`RunOutput::spill_errors`](crate::driver::RunOutput)).
+    fn offer(&mut self, snap: &WorldSnapshot) -> Result<Option<u64>, String>;
+}
+
+/// The live (non-log) half of a [`WorldState`], in a serializable mirror.
+#[derive(Serialize, Deserialize)]
+struct LiveState {
+    tasks: Vec<TaskRec>,
+    vars: Vec<VarRec>,
+    locks: Vec<LockRec>,
+    cvars: Vec<CvarRec>,
+    chans: Vec<ChanRec>,
+    ports: Vec<PortRec>,
+    time: u64,
+    wall_extra: u64,
+    steps: u64,
+    events: u64,
+    rng: DetRng,
+    timers: BinaryHeap<Reverse<(u64, u32)>>,
+    pending_inputs: VecDeque<PendingInput>,
+    pending_crashes: VecDeque<(u64, String)>,
+    counters: BTreeMap<String, i64>,
+    cancelling: bool,
+    stop: Option<StopReason>,
+    decision_seq: u64,
+    net_sends: u64,
+    record_syslog: bool,
+    hash_decisions: bool,
+}
+
+impl LiveState {
+    fn of(w: &WorldState) -> LiveState {
+        LiveState {
+            tasks: w.tasks.clone(),
+            vars: w.vars.clone(),
+            locks: w.locks.clone(),
+            cvars: w.cvars.clone(),
+            chans: w.chans.clone(),
+            ports: w.ports.clone(),
+            time: w.time,
+            wall_extra: w.wall_extra,
+            steps: w.steps,
+            events: w.events,
+            rng: w.rng.clone(),
+            timers: w.timers.clone(),
+            pending_inputs: w.pending_inputs.clone(),
+            pending_crashes: w.pending_crashes.clone(),
+            counters: w.counters.clone(),
+            cancelling: w.cancelling,
+            stop: w.stop.clone(),
+            decision_seq: w.decision_seq,
+            net_sends: w.net_sends,
+            record_syslog: w.record_syslog,
+            hash_decisions: w.hash_decisions,
+        }
+    }
+}
+
+fn log_manifest<T: Serialize>(name: &str, log: &ChunkedLog<T>) -> LogManifest {
+    LogManifest {
+        name: name.to_owned(),
+        chunk_len: log.chunk_len() as u64,
+        sealed: log.sealed_chunk_count() as u64,
+        tail: log.tail().to_content(),
+    }
+}
+
+/// Encodes a snapshot's manifest: live state, log geometry, inline tails,
+/// and the integrity digest. Chunk payloads are fetched separately via
+/// [`sealed_chunk`].
+///
+/// The scheduling policy is *not* part of the manifest — the two consumers
+/// supply their own (exact replay rebuilds a
+/// [`ReplayPolicy`](crate::policy::ReplayPolicy) from the schedule
+/// artifact's decisions; exploration forks with a search policy).
+pub fn encode_manifest(snap: &WorldSnapshot) -> SnapshotManifest {
+    let w = &snap.world;
+    let mut logs = Vec::new();
+    if let Some(trace) = &w.trace {
+        logs.push(log_manifest("trace", trace));
+    }
+    logs.push(log_manifest("outputs", &w.outputs));
+    logs.push(log_manifest("inputs_seen", &w.inputs_seen));
+    logs.push(log_manifest("crashes", &w.crashes));
+    logs.push(log_manifest("decisions", &w.decisions));
+    logs.push(log_manifest("decision_enabled", &w.decision_enabled));
+    logs.push(log_manifest("decision_hashes", &w.decision_hashes));
+    for (i, log) in w.sys_log.iter().enumerate() {
+        logs.push(log_manifest(&format!("syslog-{i}"), log));
+    }
+    SnapshotManifest {
+        version: SNAPSHOT_FORMAT_VERSION,
+        decision: w.decision_seq,
+        step: w.steps,
+        time: w.time,
+        digest: w.digest(),
+        live: LiveState::of(w).to_content(),
+        logs,
+    }
+}
+
+/// Encodes the payload of one sealed chunk of the named log, or `None` if
+/// the log or index does not exist in this snapshot. Chunk payloads are
+/// immutable: `(log, index)` encodes identically in every later snapshot of
+/// the same run, which is what lets a store write each one exactly once.
+pub fn sealed_chunk(snap: &WorldSnapshot, log: &str, index: u64) -> Option<Content> {
+    let w = &snap.world;
+    let i = usize::try_from(index).ok()?;
+    match log {
+        "trace" => w
+            .trace
+            .as_ref()
+            .and_then(|l| l.sealed_chunk(i))
+            .map(|s| s.to_content()),
+        "outputs" => w.outputs.sealed_chunk(i).map(|s| s.to_content()),
+        "inputs_seen" => w.inputs_seen.sealed_chunk(i).map(|s| s.to_content()),
+        "crashes" => w.crashes.sealed_chunk(i).map(|s| s.to_content()),
+        "decisions" => w.decisions.sealed_chunk(i).map(|s| s.to_content()),
+        "decision_enabled" => w.decision_enabled.sealed_chunk(i).map(|s| s.to_content()),
+        "decision_hashes" => w.decision_hashes.sealed_chunk(i).map(|s| s.to_content()),
+        _ => log
+            .strip_prefix("syslog-")
+            .and_then(|n| n.parse::<usize>().ok())
+            .and_then(|t| w.sys_log.get(t))
+            .and_then(|l| l.sealed_chunk(i))
+            .map(|s| s.to_content()),
+    }
+}
+
+fn decode_log<T: Deserialize>(
+    m: &LogManifest,
+    fetch: &mut dyn FnMut(&str, u64) -> Result<Content, String>,
+) -> Result<ChunkedLog<T>, String> {
+    let mut sealed = Vec::with_capacity(m.sealed as usize);
+    for i in 0..m.sealed {
+        let payload = fetch(&m.name, i)?;
+        let chunk = Vec::<T>::from_content(&payload)
+            .map_err(|e| format!("log `{}` chunk {i}: {e}", m.name))?;
+        sealed.push(chunk);
+    }
+    let tail =
+        Vec::<T>::from_content(&m.tail).map_err(|e| format!("log `{}` tail: {e}", m.name))?;
+    ChunkedLog::from_parts(m.chunk_len as usize, sealed, tail)
+        .map_err(|e| format!("log `{}`: {e}", m.name))
+}
+
+fn find<'a>(logs: &'a [LogManifest], name: &str) -> Result<&'a LogManifest, String> {
+    logs.iter()
+        .find(|l| l.name == name)
+        .ok_or_else(|| format!("manifest is missing log `{name}`"))
+}
+
+/// Reassembles a [`WorldSnapshot`] from a manifest, a chunk fetcher (called
+/// once per `(log, index)` the manifest references), and the scheduling
+/// policy to attach.
+///
+/// Fails — never panics — on version mismatch, missing or malformed logs,
+/// and on any digest mismatch between the manifest and the reassembled
+/// world (truncated or garbled artifacts).
+pub fn decode_snapshot(
+    manifest: &SnapshotManifest,
+    fetch: &mut dyn FnMut(&str, u64) -> Result<Content, String>,
+    policy: Box<dyn SchedulePolicy>,
+) -> Result<WorldSnapshot, String> {
+    if manifest.version != SNAPSHOT_FORMAT_VERSION {
+        return Err(format!(
+            "unsupported snapshot format version {} (this build reads {})",
+            manifest.version, SNAPSHOT_FORMAT_VERSION
+        ));
+    }
+    let live = LiveState::from_content(&manifest.live).map_err(|e| format!("live state: {e}"))?;
+    let trace = match manifest.logs.iter().find(|l| l.name == "trace") {
+        Some(m) => Some(decode_log(m, fetch)?),
+        None => None,
+    };
+    let outputs = decode_log(find(&manifest.logs, "outputs")?, fetch)?;
+    let inputs_seen = decode_log(find(&manifest.logs, "inputs_seen")?, fetch)?;
+    let crashes = decode_log(find(&manifest.logs, "crashes")?, fetch)?;
+    let decisions = decode_log(find(&manifest.logs, "decisions")?, fetch)?;
+    let decision_enabled = decode_log(find(&manifest.logs, "decision_enabled")?, fetch)?;
+    let decision_hashes = decode_log(find(&manifest.logs, "decision_hashes")?, fetch)?;
+    let mut sys_log = Vec::with_capacity(live.tasks.len());
+    for i in 0..live.tasks.len() {
+        sys_log.push(decode_log(
+            find(&manifest.logs, &format!("syslog-{i}"))?,
+            fetch,
+        )?);
+    }
+    let world = WorldState {
+        tasks: live.tasks,
+        vars: live.vars,
+        locks: live.locks,
+        cvars: live.cvars,
+        chans: live.chans,
+        ports: live.ports,
+        time: live.time,
+        wall_extra: live.wall_extra,
+        steps: live.steps,
+        events: live.events,
+        rng: live.rng,
+        timers: live.timers,
+        pending_inputs: live.pending_inputs,
+        pending_crashes: live.pending_crashes,
+        trace,
+        outputs,
+        inputs_seen,
+        counters: live.counters,
+        crashes,
+        decisions,
+        decision_enabled,
+        cancelling: live.cancelling,
+        stop: live.stop,
+        decision_seq: live.decision_seq,
+        net_sends: live.net_sends,
+        sys_log,
+        record_syslog: live.record_syslog,
+        decision_hashes,
+        hash_decisions: live.hash_decisions,
+    };
+    let digest = world.digest();
+    if digest != manifest.digest {
+        return Err(format!(
+            "snapshot digest mismatch: manifest says {:016x}, reassembled world is {digest:016x} \
+             (corrupt or truncated artifact)",
+            manifest.digest
+        ));
+    }
+    Ok(WorldSnapshot { world, policy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheckpointPlan, RunConfig};
+    use crate::driver::{resume_program, run_program};
+    use crate::policy::RandomPolicy;
+    use crate::program::{Builder, Program};
+
+    struct Racer;
+
+    impl Program for Racer {
+        fn name(&self) -> &'static str {
+            "racer"
+        }
+        fn setup(&self, b: &mut Builder<'_>) {
+            let total = b.var("total", 0i64);
+            let out = b.out_port("result");
+            let done = b.channel::<i64>("done", crate::config::ChanClass::Local);
+            for i in 0..3 {
+                b.spawn(&format!("adder{i}"), "workers", move |mut ctx| async move {
+                    for _ in 0..8 {
+                        let v = ctx.read(&total, "adder::read").await?;
+                        ctx.write(&total, v + 1, "adder::write").await?;
+                    }
+                    ctx.send(&done, 1, "adder::done").await
+                });
+            }
+            b.spawn("reporter", "main", move |mut ctx| async move {
+                for _ in 0..3 {
+                    ctx.recv(&done, "reporter::recv").await?;
+                }
+                let v = ctx.read(&total, "reporter::read").await?;
+                ctx.output(out, v, "reporter::out").await
+            });
+        }
+    }
+
+    fn checkpointed_cfg() -> RunConfig {
+        RunConfig {
+            seed: 11,
+            checkpoints: Some(CheckpointPlan::new(4, 200)),
+            hash_decisions: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_resumes_identically() {
+        let out = run_program(
+            &Racer,
+            checkpointed_cfg(),
+            Box::new(RandomPolicy::new(7)),
+            vec![],
+        );
+        assert!(!out.snapshots.is_empty(), "run took no snapshots");
+        let snap = &out.snapshots[out.snapshots.len() / 2];
+
+        let manifest = encode_manifest(snap);
+        let decoded = decode_snapshot(
+            &manifest,
+            &mut |log, i| {
+                sealed_chunk(snap, log, i).ok_or_else(|| format!("missing chunk {log}/{i}"))
+            },
+            snap.policy.clone_box(),
+        )
+        .expect("roundtrip decodes");
+        assert_eq!(decoded.at_decision(), snap.at_decision());
+        assert_eq!(decoded.world.digest(), snap.world.digest());
+
+        // The restored world resumes to the same behaviour as the original.
+        let a = resume_program(&Racer, checkpointed_cfg(), snap, None, vec![]);
+        let b = resume_program(&Racer, checkpointed_cfg(), &decoded, None, vec![]);
+        assert_eq!(a.final_state_hash, b.final_state_hash);
+        assert_eq!(a.io, b.io);
+    }
+
+    #[test]
+    fn garbled_manifest_digest_is_rejected() {
+        let out = run_program(
+            &Racer,
+            checkpointed_cfg(),
+            Box::new(RandomPolicy::new(7)),
+            vec![],
+        );
+        let snap = out.snapshots.first().expect("run took snapshots");
+        let mut manifest = encode_manifest(snap);
+        manifest.digest ^= 1;
+        let err = decode_snapshot(
+            &manifest,
+            &mut |log, i| {
+                sealed_chunk(snap, log, i).ok_or_else(|| format!("missing chunk {log}/{i}"))
+            },
+            snap.policy.clone_box(),
+        )
+        .expect_err("digest mismatch must fail decode");
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+}

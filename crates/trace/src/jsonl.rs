@@ -192,13 +192,20 @@ impl JsonlTrace {
                 hash: *hash,
             })
             .collect::<Vec<_>>();
+        let mut epochs: Vec<EpochMark> = out
+            .snapshots
+            .iter()
+            .map(EpochMark::of)
+            .chain(out.spilled.iter().map(EpochMark::of_spilled))
+            .collect();
+        epochs.sort_by_key(|e| e.decision);
         let footer = TraceFooter {
             t: "end".to_owned(),
             decisions: decisions.len() as u64,
             stop: out.stop.clone(),
             final_hash: out.final_state_hash.expect("checked above"),
             io: out.io.clone(),
-            epochs: out.snapshots.iter().map(crate::EpochMark::of).collect(),
+            epochs,
         };
         Ok(JsonlTrace {
             header,
@@ -388,6 +395,7 @@ mod tests {
                 decision: 2,
                 step: 20,
                 time: 40,
+                snapshot: None,
             }],
         };
         JsonlTrace {

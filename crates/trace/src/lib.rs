@@ -19,6 +19,7 @@ pub mod jsonl;
 pub mod logs;
 pub mod persist;
 pub mod recorder;
+pub mod store;
 pub mod trace;
 
 pub use cost::{log_size, ChargeAcc, CostModel, LogStats};
@@ -33,5 +34,8 @@ pub use persist::{load_json, save_json, PersistError};
 pub use recorder::{
     InputRecorder, OutputRecorder, RecordFilter, ScheduleRecorder, SelectiveRecorder, SiteProfiler,
     ValueRecorder,
+};
+pub use store::{
+    LogRef, RetentionPolicy, SnapEntry, SnapshotStore, StoreError, STORE_FORMAT_VERSION,
 };
 pub use trace::{AccessRecord, Trace, TraceEvent};

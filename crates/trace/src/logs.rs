@@ -17,13 +17,19 @@ use std::sync::{Arc, Mutex};
 ///   field).
 /// - v2 — adds `version` and `epochs`: checkpoint markers recording where
 ///   resumable snapshot points existed during the recorded run.
-pub const SCHEDULE_LOG_VERSION: u32 = 2;
+/// - v3 — epoch markers may carry a `snapshot` id referencing a snapshot
+///   persisted in an on-disk [`SnapshotStore`](crate::SnapshotStore),
+///   letting replay restore a stored world instead of re-executing the
+///   prefix. Writers emit v3 only when at least one epoch carries an id, so
+///   artifacts without stored snapshots stay byte-identical to v2; readers
+///   accept v1 through v3.
+pub const SCHEDULE_LOG_VERSION: u32 = 3;
 
 /// One epoch marker: a point in the recorded run where a resumable world
 /// snapshot existed. Replay tooling uses these to pick intermediate replay
 /// starting points instead of always re-executing from the first
 /// instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochMark {
     /// Decision index the snapshot was taken at (state before this
     /// decision).
@@ -32,16 +38,81 @@ pub struct EpochMark {
     pub step: u64,
     /// Execution-clock value at the snapshot point.
     pub time: u64,
+    /// Id of the spilled snapshot in the run's on-disk store, when the
+    /// recorder persisted one (v3); `None` for in-memory-only checkpoints
+    /// and for all v1/v2 artifacts.
+    pub snapshot: Option<u64>,
 }
 
 impl EpochMark {
-    /// The epoch marker for a world snapshot.
+    /// The epoch marker for an in-memory world snapshot.
     pub fn of(snapshot: &dd_sim::WorldSnapshot) -> Self {
         EpochMark {
             decision: snapshot.at_decision(),
             step: snapshot.steps(),
             time: snapshot.time(),
+            snapshot: None,
         }
+    }
+
+    /// The epoch marker for a snapshot spilled to an on-disk store.
+    pub fn of_spilled(mark: &dd_sim::SnapshotMark) -> Self {
+        EpochMark {
+            decision: mark.decision,
+            step: mark.step,
+            time: mark.time,
+            snapshot: Some(mark.id),
+        }
+    }
+}
+
+// Hand-written so the `snapshot` field is omitted when absent: v2 artifacts
+// (no stored snapshots) keep rendering byte-identically, which is what lets
+// golden trace hashes survive the v3 migration.
+impl Serialize for EpochMark {
+    fn to_content(&self) -> serde::Content {
+        let mut map = vec![
+            (
+                serde::Content::Str("decision".into()),
+                self.decision.to_content(),
+            ),
+            (serde::Content::Str("step".into()), self.step.to_content()),
+            (serde::Content::Str("time".into()), self.time.to_content()),
+        ];
+        if let Some(id) = self.snapshot {
+            map.push((serde::Content::Str("snapshot".into()), id.to_content()));
+        }
+        serde::Content::Map(map)
+    }
+}
+
+// Tolerates a missing `snapshot` (v1/v2 artifacts) but still rejects
+// unknown keys, matching the strictness of the derived form it replaces.
+impl Deserialize for EpochMark {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected an EpochMark map"))?;
+        let mut mark = EpochMark {
+            decision: 0,
+            step: 0,
+            time: 0,
+            snapshot: None,
+        };
+        for (k, v) in map {
+            match k.as_str() {
+                Some("decision") => mark.decision = u64::from_content(v)?,
+                Some("step") => mark.step = u64::from_content(v)?,
+                Some("time") => mark.time = u64::from_content(v)?,
+                Some("snapshot") => mark.snapshot = Some(u64::from_content(v)?),
+                _ => {
+                    return Err(serde::Error::custom(format!(
+                        "unknown EpochMark field {k:?}"
+                    )))
+                }
+            }
+        }
+        Ok(mark)
     }
 }
 
@@ -105,10 +176,26 @@ impl serde::Deserialize for ScheduleLog {
 
 impl ScheduleLog {
     /// Builds the log from a finished run's decision records, carrying over
-    /// the run's checkpoint epochs (if it took snapshots).
+    /// the run's checkpoint epochs — both in-memory snapshots and marks of
+    /// snapshots spilled to an on-disk store (which carry their store id).
+    ///
+    /// The emitted `version` is the *minimal* one that can express the log:
+    /// 2 unless some epoch references a stored snapshot, so recordings
+    /// without spill stay byte-identical to pre-v3 artifacts.
     pub fn from_run(out: &dd_sim::RunOutput) -> Self {
+        let mut epochs: Vec<EpochMark> = out
+            .snapshots
+            .iter()
+            .map(EpochMark::of)
+            .chain(out.spilled.iter().map(EpochMark::of_spilled))
+            .collect();
+        epochs.sort_by_key(|e| e.decision);
         ScheduleLog {
-            version: SCHEDULE_LOG_VERSION,
+            version: if epochs.iter().any(|e| e.snapshot.is_some()) {
+                SCHEDULE_LOG_VERSION
+            } else {
+                2
+            },
             decisions: out
                 .decisions
                 .iter()
@@ -117,7 +204,7 @@ impl ScheduleLog {
                     chosen: d.chosen,
                 })
                 .collect(),
-            epochs: out.snapshots.iter().map(EpochMark::of).collect(),
+            epochs,
         }
     }
 
@@ -646,11 +733,13 @@ mod tests {
                     decision: 1,
                     step: 0,
                     time: 0,
+                    snapshot: None,
                 },
                 EpochMark {
                     decision: 4,
                     step: 12,
                     time: 31,
+                    snapshot: None,
                 },
             ],
             ..ScheduleLog::default()
@@ -683,11 +772,13 @@ mod tests {
                     decision: 2,
                     step: 3,
                     time: 5,
+                    snapshot: None,
                 },
                 EpochMark {
                     decision: 6,
                     step: 11,
                     time: 20,
+                    snapshot: None,
                 },
             ],
             ..ScheduleLog::default()
@@ -704,6 +795,7 @@ mod tests {
             decision,
             step,
             time: step * 2,
+            snapshot: None,
         };
         // Three concurrent recorders, each observing a different slice of
         // the same run's snapshot stream (resumed runs only report epochs
@@ -735,6 +827,7 @@ mod tests {
             decision,
             step: decision * 10,
             time: decision * 20,
+            snapshot: None,
         };
         // `epochs` is a pub field: an externally-produced artifact can
         // arrive unsorted and with duplicates. A merge must re-establish

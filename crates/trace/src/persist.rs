@@ -102,6 +102,7 @@ mod tests {
                 decision: 2,
                 step: 17,
                 time: 40,
+                snapshot: None,
             }],
             ..ScheduleLog::default()
         };

@@ -525,6 +525,7 @@ mod tests {
             decision,
             step: decision * 10,
             time: decision * 20,
+            snapshot: None,
         };
         // Two workers of a parallel explorer re-executed slices of the
         // same schedule; each recorder carries the epochs its own

@@ -130,6 +130,11 @@ proptest! {
                     decision: i as u64 * 2 + 1,
                     step: i as u64 * 11 + rng.below(7),
                     time: i as u64 * 23 + rng.below(9),
+                    snapshot: if rng.below(3) == 0 {
+                        Some(i as u64)
+                    } else {
+                        None
+                    },
                 })
                 .collect(),
             ..ScheduleLog::default()

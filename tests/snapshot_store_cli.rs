@@ -1,0 +1,248 @@
+//! The persistent snapshot store, end to end through the real `dd` binary:
+//!
+//! - `dd record --spill` writes a `<trace>.snapshots/` store whose trace
+//!   artifact is byte-stable across invocations;
+//! - `dd replay --from N` restores the nearest stored snapshot in a *fresh
+//!   process* (every `dd` invocation here is its own process, cold from
+//!   on-disk artifacts) and reproduces the recorded digest stream for all
+//!   four workloads — including the scratch fallback when the run is too
+//!   short to have stored anything;
+//! - corrupt store artifacts (garbled chunk, truncated manifest, garbled
+//!   index) exit `4` and name the offending file, never panic;
+//! - `dd snapshots` lists the store.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn dd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dd"))
+        .args(args)
+        .output()
+        .expect("spawn dd")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("dd exited with a code")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch file under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dd-snapstore-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn record_spilled(workload: &str, path: &Path) {
+    let out = dd(&[
+        "record",
+        workload,
+        "--out",
+        path.to_str().unwrap(),
+        "--spill",
+        "--spill-every",
+        "4",
+    ]);
+    assert_eq!(code(&out), 0, "record --spill failed: {}", stderr(&out));
+}
+
+/// The recorded decision count, parsed from the trace artifact.
+fn decisions_of(path: &Path) -> u64 {
+    debug_determinism::trace::JsonlTrace::load(path)
+        .expect("spilled trace parses")
+        .footer
+        .decisions
+}
+
+#[test]
+fn replay_from_reproduces_all_four_workloads_from_cold_artifacts() {
+    for workload in ["msgserver", "sum", "bufoverflow", "hyperstore"] {
+        let trace = scratch(&format!("grid-{workload}.jsonl"));
+        record_spilled(workload, &trace);
+        let mid = decisions_of(&trace) / 2;
+        let out = dd(&[
+            "replay",
+            trace.to_str().unwrap(),
+            "--from",
+            &mid.to_string(),
+        ]);
+        assert_eq!(
+            code(&out),
+            0,
+            "{workload}: replay --from {mid} failed: {}{}",
+            stdout(&out),
+            stderr(&out)
+        );
+        assert!(
+            stdout(&out).contains("replay identical"),
+            "{workload}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn spilled_recording_is_byte_stable_across_invocations() {
+    let a = scratch("stable-a.jsonl");
+    let b = scratch("stable-b.jsonl");
+    record_spilled("msgserver", &a);
+    record_spilled("msgserver", &b);
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "dd record --spill must be deterministic"
+    );
+}
+
+#[test]
+fn replay_from_restores_a_mid_run_snapshot_not_scratch() {
+    let trace = scratch("midrun.jsonl");
+    record_spilled("msgserver", &trace);
+    let mid = decisions_of(&trace) / 2;
+    let out = dd(&[
+        "replay",
+        trace.to_str().unwrap(),
+        "--from",
+        &mid.to_string(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("restored snapshot"),
+        "deep spilled run must restore from the store, got: {text}"
+    );
+}
+
+#[test]
+fn corrupt_chunk_exits_four_and_names_the_file() {
+    let trace = scratch("corrupt-chunk.jsonl");
+    record_spilled("msgserver", &trace);
+    let chunks = PathBuf::from(format!("{}.snapshots", trace.display())).join("chunks");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&chunks)
+        .expect("chunks dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "spilled store has sealed chunks");
+    // Which chunks a restore touches depends on which snapshot is nearest,
+    // so garble them all: the restore must fail on whichever it reads
+    // first, and the error must name that file.
+    for victim in &files {
+        std::fs::write(victim, "{ not json").unwrap();
+    }
+
+    let mid = decisions_of(&trace) / 2;
+    let out = dd(&[
+        "replay",
+        trace.to_str().unwrap(),
+        "--from",
+        &mid.to_string(),
+    ]);
+    assert_eq!(
+        code(&out),
+        4,
+        "stdout: {} stderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        files
+            .iter()
+            .any(|f| err.contains(f.file_name().unwrap().to_str().unwrap())),
+        "error must name the corrupt chunk file: {err}"
+    );
+}
+
+#[test]
+fn truncated_manifest_exits_four_and_names_the_file() {
+    let trace = scratch("corrupt-manifest.jsonl");
+    record_spilled("msgserver", &trace);
+    let snaps = PathBuf::from(format!("{}.snapshots", trace.display())).join("snaps");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&snaps)
+        .expect("snaps dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    for victim in &files {
+        let body = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &body[..body.len() / 2]).unwrap();
+    }
+    let mid = decisions_of(&trace) / 2;
+    let out = dd(&[
+        "replay",
+        trace.to_str().unwrap(),
+        "--from",
+        &mid.to_string(),
+    ]);
+    assert_eq!(
+        code(&out),
+        4,
+        "stdout: {} stderr: {}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains(".json"),
+        "error must name a manifest file: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn garbled_index_exits_four_and_names_store_json() {
+    let trace = scratch("corrupt-index.jsonl");
+    record_spilled("msgserver", &trace);
+    let index = PathBuf::from(format!("{}.snapshots", trace.display())).join("store.json");
+    std::fs::write(&index, "]]]").unwrap();
+    let out = dd(&["replay", trace.to_str().unwrap(), "--from", "10"]);
+    assert_eq!(code(&out), 4, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("store.json"), "{}", stderr(&out));
+}
+
+#[test]
+fn snapshots_verb_lists_the_store_and_missing_store_exits_four() {
+    let trace = scratch("listing.jsonl");
+    record_spilled("msgserver", &trace);
+    let out = dd(&["snapshots", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("restore-distance bound"), "{text}");
+    assert!(text.contains("delta-bytes"), "{text}");
+    assert!(text.contains("snapshots,"), "{text}");
+
+    let bare = scratch("no-store.jsonl");
+    let out = dd(&["record", "msgserver", "--out", bare.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let out = dd(&["snapshots", bare.to_str().unwrap()]);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no snapshot store"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn explore_warm_seeds_from_the_store() {
+    let trace = scratch("warm.jsonl");
+    record_spilled("msgserver", &trace);
+    let out = dd(&[
+        "explore",
+        trace.to_str().unwrap(),
+        "--warm",
+        "--executions",
+        "8",
+        "--depth",
+        "4",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("warm-start"), "{}", stdout(&out));
+}

@@ -12,7 +12,7 @@
 //! real thing for the shapes used here (no `#[serde(...)]` attributes, no
 //! generic derived types).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 #[cfg(feature = "derive")]
@@ -71,6 +71,21 @@ impl Content {
             Content::Seq(_) => "sequence",
             Content::Map(_) => "map",
         }
+    }
+}
+
+// `Content` embeds verbatim in derived structs (identity encoding) — used
+// by codecs that carry an already-encoded payload, e.g. the snapshot
+// manifest's inline log tails.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
     }
 }
 
@@ -272,6 +287,34 @@ impl Serialize for str {
     }
 }
 
+/// Interned `'static` strings for `Deserialize for &'static str`.
+///
+/// Sites in this codebase are a small closed set of string literals, so the
+/// table is bounded in practice; each distinct string is leaked exactly once.
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap();
+    if let Some(&existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(intern)
+            .ok_or_else(|| Error::expected("string", content))
+    }
+}
+
 impl Serialize for () {
     fn to_content(&self) -> Content {
         Content::Null
@@ -335,6 +378,46 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+// `Result` uses serde's externally-tagged enum encoding — the same shape
+// the derive macro emits for newtype variants: `{"Ok": value}` /
+// `{"Err": error}`.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_content(&self) -> Content {
+        match self {
+            Ok(v) => Content::Map(vec![(Content::Str("Ok".to_owned()), v.to_content())]),
+            Err(e) => Content::Map(vec![(Content::Str("Err".to_owned()), e.to_content())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| Error::expected("`Result` variant map", content))?;
+        match map {
+            [(tag, value)] => match tag.as_str() {
+                Some("Ok") => T::from_content(value).map(Ok),
+                Some("Err") => E::from_content(value).map(Err),
+                _ => Err(Error::custom("expected `Ok` or `Err` variant")),
+            },
+            _ => Err(Error::custom("expected single-entry `Result` variant map")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::cmp::Reverse<T> {
+    fn to_content(&self) -> Content {
+        self.0.to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::cmp::Reverse<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(std::cmp::Reverse)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sequences
 // ---------------------------------------------------------------------------
@@ -375,6 +458,23 @@ impl<T: Serialize> Serialize for VecDeque<T> {
 impl<T: Deserialize> Deserialize for VecDeque<T> {
     fn from_content(content: &Content) -> Result<Self, Error> {
         Vec::<T>::from_content(content).map(VecDeque::from)
+    }
+}
+
+// Heap iteration order is unspecified, so serialize in ascending element
+// order — like the hash collections below, this keeps the encoding
+// deterministic across runs.
+impl<T: Serialize + Ord> Serialize for BinaryHeap<T> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Content::Seq(items.into_iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BinaryHeap<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(content).map(BinaryHeap::from)
     }
 }
 
