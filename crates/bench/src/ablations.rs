@@ -23,6 +23,9 @@
 //! - [`task_scale_sweep`] (ABL-11): task-count scaling of the coroutine
 //!   engine — the max-task-count spawn-storm curve plus the deep-msgserver
 //!   checkpointed-DFS wall clock against the thread-engine baseline.
+//! - [`fault_sweep`] (ABL-13): the fault grid — both failover hyperstore
+//!   builds under every candidate fault schedule; the fixed build must
+//!   never lose an acknowledged row.
 
 use dd_core::{InferenceBudget, ModelKind, OutputLiteModel, RcseConfig, Session, Workload};
 use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
@@ -729,5 +732,124 @@ pub fn task_scale_sweep(storm_sizes: &[u32]) -> Vec<TaskScalePoint> {
             THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS as f64 / (wall_ms.max(1)) as f64,
         ),
     });
+    points
+}
+
+/// One fault-grid sweep point (ABL-13): one build under one fault
+/// schedule, aggregated over a deterministic seed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPoint {
+    /// `buggy-failover` or `fixed-failover`.
+    pub build: String,
+    /// Human name of the injected fault schedule.
+    pub schedule: String,
+    /// Schedule seeds run for this cell.
+    pub seeds: u64,
+    /// Runs the durability spec failed.
+    pub failed: u64,
+    /// ... of which silent data loss (`hyperstore.rows-missing`).
+    pub rows_missing: u64,
+    /// ... of which availability loss (`hyperstore.ranges-unavailable`).
+    pub ranges_unavailable: u64,
+    /// Total acked rows promotion observed missing from the replica
+    /// (the `promote_lost_rows` counter summed over the cell).
+    pub lost_rows: u64,
+    /// Group crashes and restarts actually fired across the cell — a
+    /// zero here means the schedule never reached its fault, so the cell
+    /// proves nothing.
+    pub crashes: u64,
+    /// See `crashes`.
+    pub restarts: u64,
+    /// Host wall-clock milliseconds for the whole cell.
+    pub wall_ms: u64,
+}
+
+/// Names a fault schedule by which event kinds it carries.
+fn fault_schedule_name(env: &dd_sim::EnvConfig) -> String {
+    match (
+        env.crashes.is_empty(),
+        env.partitions.is_empty(),
+        env.restarts.is_empty(),
+    ) {
+        (true, true, true) => "clean",
+        (false, true, true) => "crash",
+        (false, true, false) => "crash+restart",
+        (true, false, true) => "partition-load",
+        _ => "mixed",
+    }
+    .to_owned()
+}
+
+/// ABL-13: the fault grid — both failover builds under every candidate
+/// fault schedule (crash mid-migration, load-window partition,
+/// crash+restart recovery, clean), `seeds_per_cell` schedule seeds each.
+///
+/// The acceptance gate: the fixed build's `rows_missing` column is zero on
+/// *every* row — synchronous log shipping never loses an acknowledged row,
+/// whatever the schedule — while the buggy build's crash rows reproduce
+/// the lost-suffix failure with a non-zero `lost_rows` witness. All faults
+/// are input nondeterminism, so each cell replays byte-identically.
+pub fn fault_sweep(seeds_per_cell: u64) -> Vec<FaultPoint> {
+    use dd_hyperstore::{failover_env_candidates, failover_spec, HyperstoreProgram};
+
+    let cfg = HyperConfig::default();
+    let inputs = cfg.input_script();
+    let spec = failover_spec(cfg.n_ranges);
+    let builds: [(&str, HyperstoreProgram); 2] = [
+        (
+            "buggy-failover",
+            HyperstoreProgram::buggy_failover(cfg.clone()),
+        ),
+        (
+            "fixed-failover",
+            HyperstoreProgram::fixed_failover(cfg.clone()),
+        ),
+    ];
+    let mut points = Vec::new();
+    for (build, program) in &builds {
+        for env in failover_env_candidates(&cfg) {
+            let t0 = std::time::Instant::now();
+            let mut p = FaultPoint {
+                build: (*build).to_owned(),
+                schedule: fault_schedule_name(&env),
+                seeds: seeds_per_cell,
+                failed: 0,
+                rows_missing: 0,
+                ranges_unavailable: 0,
+                lost_rows: 0,
+                crashes: 0,
+                restarts: 0,
+                wall_ms: 0,
+            };
+            for seed in 0..seeds_per_cell {
+                let rc = dd_sim::RunConfig {
+                    seed,
+                    max_steps: 500_000,
+                    inputs: inputs.clone(),
+                    env: env.clone(),
+                    ..dd_sim::RunConfig::default()
+                };
+                let out = dd_sim::run_program(
+                    program,
+                    rc,
+                    Box::new(dd_sim::RandomPolicy::new(seed)),
+                    vec![],
+                );
+                if let Some(f) = spec.check(&out.io) {
+                    p.failed += 1;
+                    match f.failure_id.as_str() {
+                        dd_hyperstore::ROWS_MISSING => p.rows_missing += 1,
+                        dd_hyperstore::RANGES_UNAVAILABLE => p.ranges_unavailable += 1,
+                        _ => {}
+                    }
+                }
+                p.lost_rows += out.io.counter("promote_lost_rows").max(0) as u64;
+                p.crashes += out.io.group_crashes.values().sum::<u64>();
+                p.restarts += out.io.group_restarts.values().sum::<u64>();
+            }
+            p.wall_ms = t0.elapsed().as_millis() as u64;
+            points.push(p);
+        }
+    }
     points
 }

@@ -25,10 +25,11 @@ pub mod snapshot_cost;
 pub mod snapshot_store;
 
 pub use ablations::{
-    budget_sweep, checkpoint_sweep, fidelity_sweep, invariant_sweep, scale_sweep, scaling_sweep,
-    strategy_sweep, task_scale_sweep, threshold_sweep, window_sweep, BudgetPoint, CheckpointPoint,
-    FidelityPoint, InvariantPoint, ScalePoint, ScalingPoint, StrategyPoint, TaskScalePoint,
-    ThresholdPoint, WindowPoint, THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS,
+    budget_sweep, checkpoint_sweep, fault_sweep, fidelity_sweep, invariant_sweep, scale_sweep,
+    scaling_sweep, strategy_sweep, task_scale_sweep, threshold_sweep, window_sweep, BudgetPoint,
+    CheckpointPoint, FaultPoint, FidelityPoint, InvariantPoint, ScalePoint, ScalingPoint,
+    StrategyPoint, TaskScalePoint, ThresholdPoint, WindowPoint,
+    THREAD_ENGINE_DEEP_MSGSERVER_WALL_MS,
 };
 pub use emit::{emit_bench, write_bench_json};
 pub use fig1::{fig1, render_fig1, Fig1Point};

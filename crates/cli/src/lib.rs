@@ -37,9 +37,9 @@
 
 use dd_core::driver::Session;
 use dd_core::Workload;
-use dd_hyperstore::{HyperConfig, HyperstoreWorkload};
+use dd_hyperstore::{HyperConfig, HyperstoreFailoverWorkload, HyperstoreWorkload};
 use dd_replay::{Artifact, ModelKind, SearchStrategy};
-use dd_sim::{CheckpointPlan, RandomPolicy};
+use dd_sim::{CheckpointPlan, CrashEvent, PartitionEvent, RandomPolicy, RestartEvent};
 use dd_trace::{JsonlTrace, RetentionPolicy, SnapshotStore, TraceHeader};
 use dd_workloads::{BufOverflowWorkload, MsgServerConfig, MsgServerWorkload, SumWorkload};
 use std::path::{Path, PathBuf};
@@ -66,6 +66,7 @@ pub const WORKLOADS: &[(&str, &str)] = &[
     ("sum-2plus2", "sum"),
     ("bufoverflow", "bufoverflow"),
     ("hyperstore-issue63", "hyperstore"),
+    ("hyperstore-failover", "failover"),
 ];
 
 /// Resolves a workload by canonical name or alias. Discovery-based
@@ -82,6 +83,10 @@ pub fn workload_by_name(name: &str) -> Option<Arc<dyn Workload>> {
         "hyperstore" | "hyperstore-issue63" => Some(Arc::new(
             HyperstoreWorkload::discover(HyperConfig::default(), 200)
                 .expect("hyperstore failing seed exists for the default config"),
+        )),
+        "failover" | "hyperstore-failover" => Some(Arc::new(
+            HyperstoreFailoverWorkload::discover(HyperConfig::default(), 200)
+                .expect("failover failing seed exists under the crash schedule"),
         )),
         _ => None,
     }
@@ -105,7 +110,9 @@ USAGE:
     dd record    <workload> [--out FILE] [--seed N] [--sched-seed N]
                             [--max-steps N] [--discover N] [--model KIND]
                             [--spill] [--spill-every N] [--spill-bound D]
-                            [--spill-keep N]
+                            [--spill-keep N] [--crash TIME:GROUP]...
+                            [--partition START:HEAL:A:B]...
+                            [--restart TIME:GROUP]...
     dd replay    <trace>    [--invariant-only] [--snapshot FILE] [--model]
                             [--from DECISION]
     dd explore   <trace>    [--executions N] [--depth N] [--workers N] [--warm]
@@ -113,7 +120,15 @@ USAGE:
     dd promote   <trace>    --emit-test [--name NAME] [--dir DIR]
 
 WORKLOADS:
-    msgserver | sum | bufoverflow | hyperstore (or their canonical names)
+    msgserver | sum | bufoverflow | hyperstore | failover
+    (or their canonical names)
+
+FAULT INJECTION (repeatable, appended to the production environment):
+    --crash TIME:GROUP          kill every task in GROUP at virtual TIME
+    --partition START:HEAL:A:B  drop messages between groups A and B in
+                                [START, HEAL) — deterministic, replayable
+    --restart TIME:GROUP        respawn GROUP at TIME through the
+                                program's recovery entry point
 
 MODELS (--model):
     perfect | value | output-lite | output-heavy | failure | debug |
@@ -184,6 +199,48 @@ impl<'a> Args<'a> {
     }
 }
 
+/// Parses a `--crash`/`--restart` operand of the form `TIME:GROUP`.
+fn parse_time_group(flag: &str, v: &str) -> Result<(u64, String), String> {
+    let (t, g) = v
+        .split_once(':')
+        .ok_or_else(|| format!("{flag}: expected TIME:GROUP, got `{v}`"))?;
+    let time = t
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse time `{t}`"))?;
+    if g.is_empty() {
+        return Err(format!("{flag}: empty group in `{v}`"));
+    }
+    Ok((time, g.to_owned()))
+}
+
+/// Parses a `--partition` operand of the form `START:HEAL:A:B`.
+fn parse_partition(v: &str) -> Result<PartitionEvent, String> {
+    let parts: Vec<&str> = v.splitn(4, ':').collect();
+    let [start, heal, a, b] = parts[..] else {
+        return Err(format!("--partition: expected START:HEAL:A:B, got `{v}`"));
+    };
+    let start: u64 = start
+        .parse()
+        .map_err(|_| format!("--partition: cannot parse start `{start}`"))?;
+    let heal: u64 = heal
+        .parse()
+        .map_err(|_| format!("--partition: cannot parse heal `{heal}`"))?;
+    if heal <= start {
+        return Err(format!(
+            "--partition: heal {heal} must be after start {start}"
+        ));
+    }
+    if a.is_empty() || b.is_empty() {
+        return Err(format!("--partition: empty group in `{v}`"));
+    }
+    Ok(PartitionEvent {
+        start,
+        heal,
+        a: a.to_owned(),
+        b: b.to_owned(),
+    })
+}
+
 fn load_trace(path: &str) -> Result<JsonlTrace, i32> {
     JsonlTrace::load(Path::new(path)).map_err(|e| {
         eprintln!("dd: {path}: {e}");
@@ -221,6 +278,9 @@ fn cmd_record(rest: &[String]) -> i32 {
     let mut spill_every: u64 = 8;
     let mut spill_bound: u64 = 64;
     let mut spill_keep: u64 = 8;
+    let mut crashes: Vec<CrashEvent> = Vec::new();
+    let mut partitions: Vec<PartitionEvent> = Vec::new();
+    let mut restarts: Vec<RestartEvent> = Vec::new();
     let parse_model = |v: &str| -> Result<ModelKind, String> {
         v.parse()
             .map_err(|e: dd_replay::UnknownModelKind| e.to_string())
@@ -243,6 +303,18 @@ fn cmd_record(rest: &[String]) -> i32 {
             "--spill-every" => args.parse("--spill-every").map(|v| spill_every = v),
             "--spill-bound" => args.parse("--spill-bound").map(|v| spill_bound = v),
             "--spill-keep" => args.parse("--spill-keep").map(|v| spill_keep = v),
+            "--crash" => args
+                .value("--crash")
+                .and_then(|v| parse_time_group("--crash", v))
+                .map(|(time, group)| crashes.push(CrashEvent { time, group })),
+            "--partition" => args
+                .value("--partition")
+                .and_then(parse_partition)
+                .map(|p| partitions.push(p)),
+            "--restart" => args
+                .value("--restart")
+                .and_then(|v| parse_time_group("--restart", v))
+                .map(|(time, group)| restarts.push(RestartEvent { time, group })),
             kv if kv.starts_with("--model=") => {
                 parse_model(&kv["--model=".len()..]).map(|k| model = Some(k))
             }
@@ -274,7 +346,8 @@ fn cmd_record(rest: &[String]) -> i32 {
     };
 
     let mut session = Session::new(w);
-    if seed.is_some() || sched_seed.is_some() || max_steps.is_some() {
+    let inject_faults = !crashes.is_empty() || !partitions.is_empty() || !restarts.is_empty();
+    if seed.is_some() || sched_seed.is_some() || max_steps.is_some() || inject_faults {
         let mut p = session.production();
         if let Some(s) = seed {
             p.seed = s;
@@ -285,6 +358,12 @@ fn cmd_record(rest: &[String]) -> i32 {
         if let Some(s) = max_steps {
             p.max_steps = s;
         }
+        // Injected faults stack on top of whatever schedule the workload's
+        // production incident already carries; the merged environment is
+        // sealed into the trace header, so replay sees the same faults.
+        p.env.crashes.extend(crashes);
+        p.env.partitions.extend(partitions);
+        p.env.restarts.extend(restarts);
         session = session.with_production(p);
     }
     if let Some(limit) = discover {
@@ -1158,6 +1237,39 @@ mod tests {
         assert!(test.contains("include_str!(\"fixtures/promoted_sum.jsonl\")"));
         assert!(test.contains("sum-2plus2"));
         assert!(test.contains(&format!("{}", trace.footer.decisions)));
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_time_group("--crash", "270:server1").unwrap(),
+            (270, "server1".to_owned())
+        );
+        assert!(parse_time_group("--crash", "server1").is_err());
+        assert!(parse_time_group("--crash", "x:server1").is_err());
+        assert!(parse_time_group("--crash", "270:").is_err());
+        let p = parse_partition("40:200:server1:server2").unwrap();
+        assert_eq!(
+            (p.start, p.heal, p.a.as_str(), p.b.as_str()),
+            (40, 200, "server1", "server2")
+        );
+        assert!(parse_partition("40:server1:server2").is_err());
+        assert!(parse_partition("200:40:a:b").is_err(), "heal before start");
+        assert!(parse_partition("40:200::b").is_err(), "empty group");
+    }
+
+    #[test]
+    fn record_rejects_malformed_fault_flags() {
+        let a = |s: &str| s.to_owned();
+        assert_eq!(
+            run(&[a("record"), a("sum"), a("--crash"), a("oops")]),
+            exit::USAGE
+        );
+        assert_eq!(
+            run(&[a("record"), a("sum"), a("--partition"), a("1:2:a")]),
+            exit::USAGE
+        );
+        assert_eq!(run(&[a("record"), a("sum"), a("--restart")]), exit::USAGE);
     }
 
     #[test]

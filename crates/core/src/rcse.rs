@@ -214,6 +214,8 @@ impl RcseRecorder {
             drop_per_mille: 0,
             drop_script: Some(self.dropped_sends),
             mem_budget: base_env.mem_budget.clone(),
+            partitions: base_env.partitions.clone(),
+            restarts: base_env.restarts.clone(),
         };
         Artifact::Debug {
             schedule: self.schedule,

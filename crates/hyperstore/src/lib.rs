@@ -12,6 +12,16 @@
 //! the dump client exhausting memory — which is exactly why
 //! failure-deterministic replay scores DF = 1/3 on this bug (§4).
 //!
+//! The **failover** builds ([`HyperstoreProgram::buggy_failover`]) extend
+//! the cluster with replica sets: primaries ship their commit log to a ring
+//! follower, clients retry with backoff and report unresponsive primaries,
+//! the master promotes followers, restarted servers recover their index
+//! from the commit log, and the dump degrades to the ranges that answered.
+//! The buggy failover build ships fire-and-forget batches, so a primary
+//! crash during the migration window makes promotion silently lose the
+//! un-shipped commit-log suffix — a genuinely distributed root cause that
+//! only manifests under a specific fault schedule.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,8 +43,11 @@ pub mod workload;
 
 pub use config::{HyperConfig, MigrationStep};
 pub use msg::Msg;
-pub use program::HyperstoreProgram;
+pub use program::{HyperstoreProgram, PUT_RETRIES, SHIP_BATCH};
 pub use workload::{
-    check_run, env_candidates, hyperstore_root_causes, hyperstore_spec, HyperstoreWorkload,
-    INCOMPLETE, RC_CLIENT_OOM, RC_MIGRATION_RACE, RC_SERVER_CRASH, ROWS_MISSING,
+    check_failover_run, check_run, env_candidates, failover_env_candidates, failover_fault_env,
+    failover_root_causes, failover_spec, hyperstore_root_causes, hyperstore_spec,
+    HyperstoreFailoverWorkload, HyperstoreWorkload, INCOMPLETE, RANGES_UNAVAILABLE, RC_CLIENT_OOM,
+    RC_LOST_LOG_SUFFIX, RC_MIGRATION_RACE, RC_PARTITION_SHIPPING, RC_REPLICA_DOWN, RC_SERVER_CRASH,
+    ROWS_MISSING,
 };

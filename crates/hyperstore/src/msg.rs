@@ -71,6 +71,54 @@ pub enum Msg {
     },
     /// Coordinator starts the dump phase.
     StartDump,
+    /// Primary ships committed keys to its follower (failover mode).
+    LogShip {
+        /// Shipping primary.
+        from: u32,
+        /// Committed keys in ship order.
+        entries: Vec<i64>,
+    },
+    /// Follower acknowledges a shipment (failover mode, fixed build only).
+    LogShipAck {
+        /// Replica-log length after the append.
+        upto: u64,
+    },
+    /// Client reports an unresponsive server to the master (failover mode).
+    Suspect {
+        /// The suspected server.
+        server: u32,
+    },
+    /// Master promotes a failed server's follower (failover mode).
+    Promote {
+        /// The failed primary.
+        failed: u32,
+        /// Ranges moving to the follower.
+        ranges: Vec<i64>,
+    },
+    /// A restarted server announces itself to the master (failover mode).
+    Rejoin {
+        /// The recovered server.
+        server: u32,
+    },
+    /// Server's dump answer carrying its range claim (failover mode): the
+    /// dumper reports which ranges answered instead of hanging on a dead
+    /// server.
+    DumpRangeResp {
+        /// Answering server.
+        server: u32,
+        /// Ranges the server currently claims.
+        ranges: Vec<i64>,
+        /// Keys in those ranges.
+        keys: Vec<i64>,
+    },
+    /// Master verifies a suspicion before promoting (failover mode): a
+    /// server that answers within the timeout is slow, not dead.
+    Ping,
+    /// A pinged server's liveness answer (failover mode).
+    Pong {
+        /// The answering server.
+        server: u32,
+    },
 }
 
 const TAG_LOCATE: i64 = 0;
@@ -84,6 +132,14 @@ const TAG_DUMP: i64 = 7;
 const TAG_DUMP_RESP: i64 = 8;
 const TAG_LOADER_DONE: i64 = 9;
 const TAG_START_DUMP: i64 = 10;
+const TAG_LOG_SHIP: i64 = 11;
+const TAG_LOG_SHIP_ACK: i64 = 12;
+const TAG_SUSPECT: i64 = 13;
+const TAG_PROMOTE: i64 = 14;
+const TAG_REJOIN: i64 = 15;
+const TAG_DUMP_RANGE_RESP: i64 = 16;
+const TAG_PING: i64 = 17;
+const TAG_PONG: i64 = 18;
 
 impl SimData for Msg {
     fn into_value(self) -> Value {
@@ -138,6 +194,39 @@ impl SimData for Msg {
                 Value::Int(loaded),
             ]),
             Msg::StartDump => Value::List(vec![Value::Int(TAG_START_DUMP)]),
+            Msg::LogShip { from, entries } => Value::List(vec![
+                Value::Int(TAG_LOG_SHIP),
+                Value::Int(from as i64),
+                Value::List(entries.into_iter().map(Value::Int).collect()),
+            ]),
+            Msg::LogShipAck { upto } => {
+                Value::List(vec![Value::Int(TAG_LOG_SHIP_ACK), Value::Int(upto as i64)])
+            }
+            Msg::Suspect { server } => {
+                Value::List(vec![Value::Int(TAG_SUSPECT), Value::Int(server as i64)])
+            }
+            Msg::Promote { failed, ranges } => Value::List(vec![
+                Value::Int(TAG_PROMOTE),
+                Value::Int(failed as i64),
+                Value::List(ranges.into_iter().map(Value::Int).collect()),
+            ]),
+            Msg::Rejoin { server } => {
+                Value::List(vec![Value::Int(TAG_REJOIN), Value::Int(server as i64)])
+            }
+            Msg::DumpRangeResp {
+                server,
+                ranges,
+                keys,
+            } => Value::List(vec![
+                Value::Int(TAG_DUMP_RANGE_RESP),
+                Value::Int(server as i64),
+                Value::List(ranges.into_iter().map(Value::Int).collect()),
+                Value::List(keys.into_iter().map(Value::Int).collect()),
+            ]),
+            Msg::Ping => Value::List(vec![Value::Int(TAG_PING)]),
+            Msg::Pong { server } => {
+                Value::List(vec![Value::Int(TAG_PONG), Value::Int(server as i64)])
+            }
         }
     }
 
@@ -206,6 +295,52 @@ impl SimData for Msg {
                 loaded: l.get(2)?.as_int()?,
             }),
             TAG_START_DUMP => Some(Msg::StartDump),
+            TAG_LOG_SHIP => Some(Msg::LogShip {
+                from: l.get(1)?.as_int()? as u32,
+                entries: l
+                    .get(2)?
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_int)
+                    .collect::<Option<_>>()?,
+            }),
+            TAG_LOG_SHIP_ACK => Some(Msg::LogShipAck {
+                upto: l.get(1)?.as_int()? as u64,
+            }),
+            TAG_SUSPECT => Some(Msg::Suspect {
+                server: l.get(1)?.as_int()? as u32,
+            }),
+            TAG_PROMOTE => Some(Msg::Promote {
+                failed: l.get(1)?.as_int()? as u32,
+                ranges: l
+                    .get(2)?
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_int)
+                    .collect::<Option<_>>()?,
+            }),
+            TAG_REJOIN => Some(Msg::Rejoin {
+                server: l.get(1)?.as_int()? as u32,
+            }),
+            TAG_DUMP_RANGE_RESP => Some(Msg::DumpRangeResp {
+                server: l.get(1)?.as_int()? as u32,
+                ranges: l
+                    .get(2)?
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_int)
+                    .collect::<Option<_>>()?,
+                keys: l
+                    .get(3)?
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_int)
+                    .collect::<Option<_>>()?,
+            }),
+            TAG_PING => Some(Msg::Ping),
+            TAG_PONG => Some(Msg::Pong {
+                server: l.get(1)?.as_int()? as u32,
+            }),
             _ => None,
         }
     }
@@ -247,6 +382,24 @@ mod tests {
             loaded: 10,
         });
         round_trip(Msg::StartDump);
+        round_trip(Msg::LogShip {
+            from: 1,
+            entries: vec![4, 5, 6],
+        });
+        round_trip(Msg::LogShipAck { upto: 12 });
+        round_trip(Msg::Suspect { server: 1 });
+        round_trip(Msg::Promote {
+            failed: 1,
+            ranges: vec![1, 4],
+        });
+        round_trip(Msg::Rejoin { server: 1 });
+        round_trip(Msg::DumpRangeResp {
+            server: 2,
+            ranges: vec![0, 3],
+            keys: vec![7, 9],
+        });
+        round_trip(Msg::Ping);
+        round_trip(Msg::Pong { server: 2 });
     }
 
     #[test]

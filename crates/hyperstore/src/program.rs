@@ -22,13 +22,60 @@
 //! the migration partition and re-checks ownership at commit time,
 //! forwarding the row to the range's new owner when it has moved — the fix
 //! predicate P of the paper's §3 ("ownership holds at commit time").
+//!
+//! ## Failover mode (the replication bug)
+//!
+//! [`HyperstoreProgram::buggy_failover`] runs the same cluster with a
+//! replica set per range: every server is the *primary* for its ranges and
+//! ships committed keys to its ring follower (`(j + 1) % n`). Clients
+//! retry puts with backoff, report unresponsive primaries to the master
+//! (`Suspect`), and the master promotes the follower of a suspected
+//! server. Restarted servers rebuild their row index from their local
+//! commit log ([`Program::recover`]) and rejoin. The dump degrades
+//! gracefully: each answer carries the server's range claim, and the
+//! dumper reports how many ranges answered instead of hanging on a dead
+//! server.
+//!
+//! The buggy build ships the commit log to the follower in fire-and-forget
+//! batches of [`SHIP_BATCH`]: a primary that crashes with a partial batch
+//! (or whose shipments a network partition dropped) has acknowledged rows
+//! its follower never saw, and promotion silently loses that un-shipped
+//! commit-log suffix. The fixed build ships synchronously — every commit
+//! is shipped and acknowledged by the follower (with bounded retry) before
+//! the client's ack — so no acknowledged row can be lost by promotion.
 
 use crate::config::HyperConfig;
 use crate::msg::Msg;
 use dd_sim::{
-    Builder, ChanClass, ChanHandle, InPort, MutexHandle, OutPort, Program, SimError, SimResult,
-    TVar, TaskCtx,
+    Builder, ChanClass, ChanHandle, InPort, MutexHandle, OutPort, Program, RecoveryBuilder,
+    SimError, SimResult, TVar, TaskCtx,
 };
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Buggy failover builds ship the commit log in fire-and-forget batches of
+/// this many commits; the un-shipped tail is what promotion loses.
+pub const SHIP_BATCH: usize = 3;
+/// How many times a loader retries a put (after the first attempt) before
+/// giving the key up.
+pub const PUT_RETRIES: u32 = 3;
+
+/// Replication handles a server carries in failover mode only (the base
+/// issue-63 cluster never declares them, so its kernel object layout — and
+/// therefore its golden trace hashes — are untouched).
+#[derive(Clone, Copy)]
+struct ReplHandles {
+    /// Replication log: every key this server committed, in commit order.
+    /// Durable (survives a crash); recovery rebuilds the index from it.
+    rlog: TVar<Vec<i64>>,
+    /// Keys this server holds *as a follower* for its ring predecessor.
+    replica: TVar<Vec<i64>>,
+    /// Keys whose put this server acknowledged to a client. The
+    /// replication contract is `replica(follower) ⊇ acked(primary)`.
+    acked: TVar<Vec<i64>>,
+    /// Channel on which this server receives shipment acknowledgements.
+    repl: ChanHandle<Msg>,
+}
 
 /// Per-server handles shared by the put handler and control tasks.
 #[derive(Clone, Copy)]
@@ -47,38 +94,102 @@ struct ServerHandles {
     data: ChanHandle<Msg>,
     /// Control channel (migrations, transfers, dumps).
     ctl: ChanHandle<Msg>,
+    /// Replication handles (failover mode only).
+    repl: Option<ReplHandles>,
 }
 
-/// The hyperstore program (buggy or fixed).
+/// Everything [`Program::recover`] needs to respawn a server's tasks after
+/// an environment-scheduled restart, stashed by the failover setup.
+#[derive(Clone)]
+struct ClusterHandles {
+    servers: Vec<ServerHandles>,
+    client_replies: Vec<ChanHandle<Msg>>,
+    master_ctl: ChanHandle<Msg>,
+    master_pong: ChanHandle<Msg>,
+    dumper_reply: ChanHandle<Msg>,
+}
+
+/// The ring follower that replicates server `j`'s commits.
+fn follower(j: u32, n: u32) -> u32 {
+    (j + 1) % n
+}
+
+/// The hyperstore program (buggy or fixed; plain or failover).
 pub struct HyperstoreProgram {
     /// Cluster configuration.
     pub cfg: HyperConfig,
-    /// Whether the ownership-recheck fix is applied.
+    /// Whether the fix is applied (issue-63 recheck, or synchronous
+    /// log-shipping in failover mode).
     pub fixed: bool,
+    /// Whether the replicated/failover cluster is built instead of the
+    /// plain issue-63 cluster.
+    pub failover: bool,
+    /// Handles stashed by the failover setup for [`Program::recover`].
+    /// Re-stashing on re-setup (resume, explore) writes identical ids.
+    cluster: Mutex<Option<ClusterHandles>>,
 }
 
 impl HyperstoreProgram {
     /// The buggy production build.
     pub fn buggy(cfg: HyperConfig) -> Self {
-        HyperstoreProgram { cfg, fixed: false }
+        HyperstoreProgram {
+            cfg,
+            fixed: false,
+            failover: false,
+            cluster: Mutex::new(None),
+        }
     }
 
     /// The build with the issue-63 fix applied.
     pub fn fixed(cfg: HyperConfig) -> Self {
-        HyperstoreProgram { cfg, fixed: true }
+        HyperstoreProgram {
+            cfg,
+            fixed: true,
+            failover: false,
+            cluster: Mutex::new(None),
+        }
+    }
+
+    /// The replicated cluster with batched fire-and-forget log shipping:
+    /// promotion after a primary crash silently loses the un-shipped
+    /// commit-log suffix (up to [`SHIP_BATCH`] acknowledged rows).
+    pub fn buggy_failover(cfg: HyperConfig) -> Self {
+        HyperstoreProgram {
+            cfg,
+            fixed: false,
+            failover: true,
+            cluster: Mutex::new(None),
+        }
+    }
+
+    /// The replicated cluster with synchronous acknowledged shipping: every
+    /// commit reaches the follower before the client's ack, so promotion
+    /// never loses an acknowledged row.
+    pub fn fixed_failover(cfg: HyperConfig) -> Self {
+        HyperstoreProgram {
+            cfg,
+            fixed: true,
+            failover: true,
+            cluster: Mutex::new(None),
+        }
     }
 }
 
 impl Program for HyperstoreProgram {
     fn name(&self) -> &'static str {
-        if self.fixed {
-            "hyperstore-fixed"
-        } else {
-            "hyperstore"
+        match (self.failover, self.fixed) {
+            (false, false) => "hyperstore",
+            (false, true) => "hyperstore-fixed",
+            (true, false) => "hyperstore-failover",
+            (true, true) => "hyperstore-failover-fixed",
         }
     }
 
     fn setup(&self, b: &mut Builder<'_>) {
+        if self.failover {
+            self.setup_failover(b);
+            return;
+        }
         let cfg = self.cfg.clone();
         let fixed = self.fixed;
         let n = cfg.n_servers;
@@ -102,6 +213,7 @@ impl Program for HyperstoreProgram {
                     lock: b.mutex(&format!("server{j}.lock")),
                     data: b.channel::<Msg>(&format!("server{j}.data"), ChanClass::Network),
                     ctl: b.channel::<Msg>(&format!("server{j}.ctl"), ChanClass::Network),
+                    repl: None,
                 }
             })
             .collect();
@@ -194,6 +306,222 @@ impl Program for HyperstoreProgram {
                 coordinator_task(&mut ctx, n_clients, coord_ctl, dumper_cmd, loaded_out).await
             });
         }
+    }
+
+    /// Respawns a restarted range server's tasks (failover mode): the fresh
+    /// control task replays the replication log into the volatile index,
+    /// then rejoins the master for a fresh ownership grant.
+    fn recover(&self, group: &str, rb: &mut RecoveryBuilder) {
+        if !self.failover {
+            return; // The plain cluster has no recovery story: stay down.
+        }
+        let Some(j) = group
+            .strip_prefix("server")
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            return; // Only range servers recover; other groups stay down.
+        };
+        let cl = self
+            .cluster
+            .lock()
+            .expect("cluster handle stash poisoned")
+            .clone()
+            .expect("recover() before setup()");
+        let h = cl.servers[j as usize];
+        let fixed = self.fixed;
+
+        // Same spawn order as setup: handler first, control task second
+        // (recovery must be deterministic; the resume path re-validates
+        // task names against this order).
+        {
+            let cfg = self.cfg.clone();
+            let replies = cl.client_replies.clone();
+            let all = cl.servers.clone();
+            rb.spawn(&format!("server{j}.handler"), move |mut ctx| async move {
+                fo_handler(&mut ctx, &cfg, j, h, &replies, &all, fixed).await
+            });
+        }
+        {
+            let cfg = self.cfg.clone();
+            let all = cl.servers.clone();
+            let master_ctl = cl.master_ctl;
+            let master_pong = cl.master_pong;
+            let dumper_reply = cl.dumper_reply;
+            rb.spawn(&format!("server{j}.ctl"), move |mut ctx| async move {
+                fo_ctl(
+                    &mut ctx,
+                    &cfg,
+                    j,
+                    h,
+                    &all,
+                    master_ctl,
+                    master_pong,
+                    dumper_reply,
+                    fixed,
+                    true, // recovering: replay the rlog, then rejoin.
+                )
+                .await
+            });
+        }
+    }
+}
+
+impl HyperstoreProgram {
+    /// Builds the replicated failover cluster: the issue-63 topology plus a
+    /// replication log, a follower replica and an ack channel per server, a
+    /// retrying loader, a suspicion-driven master and a degrading dumper.
+    fn setup_failover(&self, b: &mut Builder<'_>) {
+        let cfg = self.cfg.clone();
+        let fixed = self.fixed;
+        let n = cfg.n_servers;
+
+        let master_ctl = b.channel::<Msg>("master.ctl", ChanClass::Network);
+        // Liveness answers for the master's verify-before-promote pings.
+        let master_pong = b.channel::<Msg>("master.pong", ChanClass::Network);
+        let coord_ctl = b.channel::<Msg>("coord.ctl", ChanClass::Network);
+        let dumper_cmd = b.channel::<Msg>("dumper.cmd", ChanClass::Network);
+        let dumper_reply = b.channel::<Msg>("dumper.reply", ChanClass::Network);
+
+        let servers: Vec<ServerHandles> = (0..n)
+            .map(|j| {
+                let owned: Vec<i64> = (0..cfg.n_ranges)
+                    .filter(|&r| cfg.initial_owner(r) == j)
+                    .map(|r| r as i64)
+                    .collect();
+                ServerHandles {
+                    ranges: b.var(&format!("server{j}.ranges"), owned),
+                    index: b.var(&format!("server{j}.index"), Vec::<i64>::new()),
+                    log: b.var(&format!("server{j}.log"), Vec::<u8>::new()),
+                    fwd: b.var(&format!("server{j}.fwd"), Vec::<(i64, i64)>::new()),
+                    lock: b.mutex(&format!("server{j}.lock")),
+                    data: b.channel::<Msg>(&format!("server{j}.data"), ChanClass::Network),
+                    ctl: b.channel::<Msg>(&format!("server{j}.ctl"), ChanClass::Network),
+                    repl: Some(ReplHandles {
+                        rlog: b.var(&format!("server{j}.rlog"), Vec::<i64>::new()),
+                        replica: b.var(&format!("server{j}.replica"), Vec::<i64>::new()),
+                        acked: b.var(&format!("server{j}.acked"), Vec::<i64>::new()),
+                        repl: b.channel::<Msg>(&format!("server{j}.repl"), ChanClass::Network),
+                    }),
+                }
+            })
+            .collect();
+
+        let client_replies: Vec<ChanHandle<Msg>> = (0..cfg.n_clients)
+            .map(|i| b.channel::<Msg>(&format!("client{i}.reply"), ChanClass::Network))
+            .collect();
+        let key_ports: Vec<InPort> = (0..cfg.n_clients)
+            .map(|i| b.in_port(&format!("client{i}.keys")))
+            .collect();
+
+        let loaded_out = b.out_port("loaded");
+        let dumped_out = b.out_port("dumped");
+        let covered_out = b.out_port("covered");
+
+        // Master: range map + migration plan + failure detection.
+        {
+            let cfg = cfg.clone();
+            let servers = servers.clone();
+            let client_replies = client_replies.clone();
+            b.spawn("master", "master", move |mut ctx| async move {
+                fo_master(
+                    &mut ctx,
+                    &cfg,
+                    master_ctl,
+                    master_pong,
+                    &servers,
+                    &client_replies,
+                )
+                .await
+            });
+        }
+
+        // Servers: put handler + control task each.
+        for j in 0..n {
+            let h = servers[j as usize];
+            let cfg_h = cfg.clone();
+            let replies = client_replies.clone();
+            let all = servers.clone();
+            b.spawn(
+                &format!("server{j}.handler"),
+                &format!("server{j}"),
+                move |mut ctx| async move {
+                    fo_handler(&mut ctx, &cfg_h, j, h, &replies, &all, fixed).await
+                },
+            );
+            let cfg_c = cfg.clone();
+            let all = servers.clone();
+            b.spawn(
+                &format!("server{j}.ctl"),
+                &format!("server{j}"),
+                move |mut ctx| async move {
+                    fo_ctl(
+                        &mut ctx,
+                        &cfg_c,
+                        j,
+                        h,
+                        &all,
+                        master_ctl,
+                        master_pong,
+                        dumper_reply,
+                        fixed,
+                        false,
+                    )
+                    .await
+                },
+            );
+        }
+
+        // Retrying loader clients.
+        for i in 0..cfg.n_clients {
+            let cfg_c = cfg.clone();
+            let reply = client_replies[i as usize];
+            let port = key_ports[i as usize];
+            let all = servers.clone();
+            b.spawn(
+                &format!("client{i}"),
+                &format!("client{i}"),
+                move |mut ctx| async move {
+                    fo_loader(
+                        &mut ctx, &cfg_c, i, port, reply, master_ctl, coord_ctl, &all,
+                    )
+                    .await
+                },
+            );
+        }
+
+        // Degrading dump client.
+        {
+            let cfg_d = cfg.clone();
+            let all = servers.clone();
+            b.spawn("dumper", "dumper", move |mut ctx| async move {
+                fo_dumper(
+                    &mut ctx,
+                    &cfg_d,
+                    dumper_cmd,
+                    dumper_reply,
+                    &all,
+                    dumped_out,
+                    covered_out,
+                )
+                .await
+            });
+        }
+
+        // Coordinator (unchanged from the plain cluster).
+        {
+            let n_clients = cfg.n_clients;
+            b.spawn("coord", "coord", move |mut ctx| async move {
+                coordinator_task(&mut ctx, n_clients, coord_ctl, dumper_cmd, loaded_out).await
+            });
+        }
+
+        *self.cluster.lock().expect("cluster handle stash poisoned") = Some(ClusterHandles {
+            servers,
+            client_replies,
+            master_ctl,
+            master_pong,
+            dumper_reply,
+        });
     }
 }
 
@@ -660,5 +988,778 @@ async fn coordinator_task(
     ctx.output(out, total, "coord::out").await?;
     ctx.send(&dumper_cmd, Msg::StartDump, "coord::start_dump")
         .await?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Failover-mode tasks (replication, promotion, retry, recovery).
+// ---------------------------------------------------------------------------
+
+/// Failover put handler: commits under the lock with an ownership recheck
+/// (the issue-63 fix is baked into both failover builds), then replicates
+/// to the ring follower.
+///
+/// The buggy build batches shipments ([`SHIP_BATCH`]) fire-and-forget; the
+/// fixed build ships every commit and waits for the follower's cumulative
+/// acknowledgement (bounded retry) before acknowledging the client.
+async fn fo_handler(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    h: ServerHandles,
+    client_replies: &[ChanHandle<Msg>],
+    all: &[ServerHandles],
+    fixed: bool,
+) -> SimResult<()> {
+    let repl = h.repl.expect("failover handles");
+    let fol_ctl = all[follower(me, cfg.n_servers) as usize].ctl;
+    // Task-local shipment batch: exactly the window the buggy build loses —
+    // keys already acknowledged to clients whose shipment has not left this
+    // task when the environment kills the group.
+    let mut batch: Vec<i64> = Vec::new();
+    // Total entries this handler has shipped; compared against the
+    // follower's cumulative ack so stale acknowledgements are harmless.
+    let mut shipped: u64 = 0;
+    loop {
+        let msg = ctx.recv(&h.data, "server::recv_put").await?;
+        let Msg::Put {
+            client,
+            key,
+            bytes,
+            hops,
+        } = msg
+        else {
+            continue;
+        };
+        ctx.lock(h.lock, "server::commit_lock").await?;
+        let ranges = ctx.read(&h.ranges, "server::check_ranges").await?;
+        let owned = ranges.contains(&(cfg.range_of(key) as i64));
+        if owned {
+            commit_row(ctx, me, key, &bytes, &h, cfg).await?;
+            let mut rlog = ctx.read(&repl.rlog, "server::rlog_read").await?;
+            rlog.push(key);
+            ctx.write(&repl.rlog, rlog, "server::rlog_write").await?;
+            ctx.unlock(h.lock, "server::commit_unlock").await?;
+            if fixed {
+                // FIX: ship synchronously — the client's ack below implies
+                // the follower holds the row, so promotion cannot lose it.
+                shipped += 1;
+                ctx.send(
+                    &fol_ctl,
+                    Msg::LogShip {
+                        from: me,
+                        entries: vec![key],
+                    },
+                    "server::ship",
+                )
+                .await?;
+                loop {
+                    match ctx
+                        .recv_timeout(&repl.repl, cfg.ack_timeout, "server::ship_ack")
+                        .await
+                    {
+                        Ok(Msg::LogShipAck { upto }) if upto >= shipped => break,
+                        Ok(_) => continue,
+                        Err(SimError::RecvTimeout(_)) => {
+                            // Follower looks dead: re-send once (best
+                            // effort — the cumulative ack makes a late
+                            // duplicate harmless) and ack the client
+                            // anyway. The stall is bounded by ONE ship
+                            // timeout so a primary with a dead follower
+                            // stays fast enough that clients never
+                            // falsely suspect *it* (their ack deadline
+                            // is two timeouts).
+                            ctx.count("ship_ack_timeouts", 1, "server::ship_ack")
+                                .await?;
+                            ctx.send(
+                                &fol_ctl,
+                                Msg::LogShip {
+                                    from: me,
+                                    entries: vec![key],
+                                },
+                                "server::ship_retry",
+                            )
+                            .await?;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            } else {
+                // BUG: fire-and-forget batched shipping. A crash (or a
+                // partition swallowing the send) loses the whole batch,
+                // yet the client acks below still go out.
+                batch.push(key);
+                if batch.len() >= SHIP_BATCH {
+                    let entries = std::mem::take(&mut batch);
+                    shipped += entries.len() as u64;
+                    ctx.send(&fol_ctl, Msg::LogShip { from: me, entries }, "server::ship")
+                        .await?;
+                }
+            }
+            ctx.send(
+                &client_replies[client as usize],
+                Msg::PutAck { key },
+                "server::ack_send",
+            )
+            .await?;
+            ctx.lock(h.lock, "server::acked_lock").await?;
+            let mut acked = ctx.read(&repl.acked, "server::acked_read").await?;
+            acked.push(key);
+            ctx.write(&repl.acked, acked, "server::acked_write").await?;
+            ctx.unlock(h.lock, "server::acked_unlock").await?;
+        } else {
+            // Not owned: forward or defer, exactly like the fixed issue-63
+            // build (both failover builds recheck ownership).
+            let fwd = ctx.read(&h.fwd, "server::fwd_read").await?;
+            ctx.unlock(h.lock, "server::commit_unlock").await?;
+            match fwd.iter().find(|(r, _)| *r == cfg.range_of(key) as i64) {
+                Some(&(_, to)) => {
+                    ctx.send(
+                        &all[to as usize].data,
+                        Msg::Put {
+                            client,
+                            key,
+                            bytes,
+                            hops: hops + 1,
+                        },
+                        "server::forward",
+                    )
+                    .await?;
+                }
+                None if hops < 16 => {
+                    ctx.yield_now("server::defer").await?;
+                    ctx.send(
+                        &h.data,
+                        Msg::Put {
+                            client,
+                            key,
+                            bytes,
+                            hops: hops + 1,
+                        },
+                        "server::defer",
+                    )
+                    .await?;
+                }
+                None => {
+                    ctx.count("misrouted", 1, "server::misrouted").await?;
+                }
+            }
+        }
+    }
+}
+
+/// Failover control task: migrations, transfers, shipment ingestion,
+/// promotion and degraded dumps. On `recovering` it first rebuilds the
+/// volatile index from the durable replication log and rejoins the master.
+#[allow(clippy::too_many_arguments)]
+async fn fo_ctl(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    h: ServerHandles,
+    all: &[ServerHandles],
+    master: ChanHandle<Msg>,
+    pong: ChanHandle<Msg>,
+    dumper_reply: ChanHandle<Msg>,
+    fixed: bool,
+    recovering: bool,
+) -> SimResult<()> {
+    let repl = h.repl.expect("failover handles");
+    let fol_ctl = all[follower(me, cfg.n_servers) as usize].ctl;
+    if recovering {
+        // Crash recovery: replay the replication log into the index (commit
+        // order, deduplicated), drop the stale ownership claim and ask the
+        // master for a fresh grant.
+        ctx.lock(h.lock, "serverctl::recover_lock").await?;
+        let rlog = ctx.read(&repl.rlog, "serverctl::recover_rlog").await?;
+        let mut index: Vec<i64> = Vec::new();
+        for k in rlog {
+            if !index.contains(&k) {
+                index.push(k);
+            }
+        }
+        let recovered = index.len() as i64;
+        ctx.write(&h.index, index, "serverctl::recover_index")
+            .await?;
+        ctx.write(&h.ranges, Vec::new(), "serverctl::recover_ranges")
+            .await?;
+        ctx.unlock(h.lock, "serverctl::recover_unlock").await?;
+        ctx.probe(
+            "hyperstore.recovered",
+            vec![me as i64, recovered],
+            "serverctl::recovered",
+        )
+        .await?;
+        ctx.send(&master, Msg::Rejoin { server: me }, "serverctl::rejoin")
+            .await?;
+    }
+    loop {
+        match ctx.recv(&h.ctl, "serverctl::recv").await? {
+            Msg::Migrate { range, to } => {
+                ctx.lock(h.lock, "serverctl::mig_lock").await?;
+                let mut ranges = ctx.read(&h.ranges, "serverctl::mig_ranges_read").await?;
+                ranges.retain(|&r| r != range as i64);
+                ctx.write(&h.ranges, ranges, "serverctl::mig_ranges_write")
+                    .await?;
+                let index = ctx.read(&h.index, "serverctl::mig_index_read").await?;
+                let (moved, kept): (Vec<i64>, Vec<i64>) =
+                    index.into_iter().partition(|&k| cfg.range_of(k) == range);
+                ctx.write(&h.index, kept, "serverctl::mig_index_write")
+                    .await?;
+                // Moved rows are no longer this primary's durability
+                // responsibility (the lost-suffix predicate reads `acked`).
+                let mut acked = ctx.read(&repl.acked, "serverctl::mig_acked_read").await?;
+                acked.retain(|&k| cfg.range_of(k) != range);
+                ctx.write(&repl.acked, acked, "serverctl::mig_acked_write")
+                    .await?;
+                let mut fwd = ctx.read(&h.fwd, "serverctl::fwd_read").await?;
+                fwd.retain(|(r, _)| *r != range as i64);
+                fwd.push((range as i64, to as i64));
+                ctx.write(&h.fwd, fwd, "serverctl::fwd_write").await?;
+                ctx.unlock(h.lock, "serverctl::mig_unlock").await?;
+                ctx.probe(
+                    "hyperstore.migrated",
+                    vec![me as i64, range as i64, moved.len() as i64],
+                    "serverctl::migrated",
+                )
+                .await?;
+                let rows: Vec<(i64, Vec<u8>)> = moved
+                    .into_iter()
+                    .map(|k| (k, vec![0u8; cfg.row_size as usize]))
+                    .collect();
+                ctx.send(
+                    &all[to as usize].ctl,
+                    Msg::Transfer { range, rows },
+                    "serverctl::transfer_send",
+                )
+                .await?;
+                ctx.send(&master, Msg::MigrateDone { range }, "serverctl::done_send")
+                    .await?;
+            }
+            Msg::Transfer { range, rows } => {
+                ctx.lock(h.lock, "serverctl::merge_lock").await?;
+                let mut ranges = ctx.read(&h.ranges, "serverctl::merge_ranges_read").await?;
+                if !ranges.contains(&(range as i64)) {
+                    ranges.push(range as i64);
+                }
+                ctx.write(&h.ranges, ranges, "serverctl::merge_ranges_write")
+                    .await?;
+                let mut index = ctx.read(&h.index, "serverctl::merge_index_read").await?;
+                let mut keys = Vec::new();
+                let mut ingest = Vec::new();
+                for (k, b) in rows {
+                    index.push(k);
+                    keys.push(k);
+                    ingest.extend_from_slice(&b);
+                }
+                ctx.write(&h.index, index, "serverctl::merge_index_write")
+                    .await?;
+                // Inherited rows become this primary's responsibility: log
+                // them and (below) re-replicate to this server's follower.
+                let mut rlog = ctx.read(&repl.rlog, "serverctl::merge_rlog_read").await?;
+                rlog.extend_from_slice(&keys);
+                ctx.write(&repl.rlog, rlog, "serverctl::merge_rlog_write")
+                    .await?;
+                let mut acked = ctx.read(&repl.acked, "serverctl::merge_acked_read").await?;
+                acked.extend_from_slice(&keys);
+                ctx.write(&repl.acked, acked, "serverctl::merge_acked_write")
+                    .await?;
+                ctx.unlock(h.lock, "serverctl::merge_unlock").await?;
+                // Bulk ingest into the local cellstore (data plane).
+                ctx.write(&h.log, ingest, "serverctl::merge_ingest").await?;
+                if !keys.is_empty() {
+                    // Buffered send: once sent it survives even our crash.
+                    ctx.send(
+                        &fol_ctl,
+                        Msg::LogShip {
+                            from: me,
+                            entries: keys,
+                        },
+                        "serverctl::merge_ship",
+                    )
+                    .await?;
+                }
+            }
+            Msg::LogShip { from, entries } => {
+                let mut replica = ctx.read(&repl.replica, "serverctl::replica_read").await?;
+                replica.extend_from_slice(&entries);
+                let upto = replica.len() as u64;
+                ctx.write(&repl.replica, replica, "serverctl::replica_write")
+                    .await?;
+                if fixed {
+                    ctx.send(
+                        &all[from as usize].repl.expect("failover handles").repl,
+                        Msg::LogShipAck { upto },
+                        "serverctl::ship_ack",
+                    )
+                    .await?;
+                }
+            }
+            Msg::Promote {
+                failed,
+                ranges: granted,
+            } => {
+                ctx.lock(h.lock, "serverctl::promote_lock").await?;
+                let mut ranges = ctx
+                    .read(&h.ranges, "serverctl::promote_ranges_read")
+                    .await?;
+                for r in &granted {
+                    if !ranges.contains(r) {
+                        ranges.push(*r);
+                    }
+                }
+                ctx.write(&h.ranges, ranges, "serverctl::promote_ranges_write")
+                    .await?;
+                let replica = ctx
+                    .read(&repl.replica, "serverctl::promote_replica_read")
+                    .await?;
+                let mut index = ctx.read(&h.index, "serverctl::promote_index_read").await?;
+                let mut merged: Vec<i64> = Vec::new();
+                for &k in &replica {
+                    if granted.contains(&(cfg.range_of(k) as i64))
+                        && !index.contains(&k)
+                        && !merged.contains(&k)
+                    {
+                        merged.push(k);
+                    }
+                }
+                index.extend_from_slice(&merged);
+                // What the failed primary acknowledged in the granted
+                // ranges but this follower never received: the silently
+                // lost commit-log suffix.
+                let failed_acked: BTreeSet<i64> = ctx
+                    .read(
+                        &all[failed as usize].repl.expect("failover handles").acked,
+                        "serverctl::promote_acked_read",
+                    )
+                    .await?
+                    .into_iter()
+                    .collect();
+                let lost = failed_acked
+                    .iter()
+                    .filter(|&&k| {
+                        granted.contains(&(cfg.range_of(k) as i64)) && !index.contains(&k)
+                    })
+                    .count() as i64;
+                ctx.write(&h.index, index, "serverctl::promote_index_write")
+                    .await?;
+                let mut rlog = ctx.read(&repl.rlog, "serverctl::promote_rlog_read").await?;
+                rlog.extend_from_slice(&merged);
+                ctx.write(&repl.rlog, rlog, "serverctl::promote_rlog_write")
+                    .await?;
+                let mut acked = ctx
+                    .read(&repl.acked, "serverctl::promote_acked_write")
+                    .await?;
+                acked.extend_from_slice(&merged);
+                ctx.write(&repl.acked, acked, "serverctl::promote_acked_write")
+                    .await?;
+                ctx.unlock(h.lock, "serverctl::promote_unlock").await?;
+                ctx.probe(
+                    "hyperstore.promote_lost",
+                    vec![failed as i64, lost],
+                    "serverctl::promote_lost",
+                )
+                .await?;
+                if lost > 0 {
+                    ctx.count("promote_lost_rows", lost, "serverctl::promote_lost")
+                        .await?;
+                }
+                ctx.probe(
+                    "hyperstore.promoted",
+                    vec![
+                        me as i64,
+                        failed as i64,
+                        granted.len() as i64,
+                        merged.len() as i64,
+                    ],
+                    "serverctl::promoted",
+                )
+                .await?;
+                if !merged.is_empty() {
+                    ctx.send(
+                        &fol_ctl,
+                        Msg::LogShip {
+                            from: me,
+                            entries: merged,
+                        },
+                        "serverctl::promote_ship",
+                    )
+                    .await?;
+                }
+            }
+            Msg::Dump => {
+                ctx.lock(h.lock, "serverctl::dump_lock").await?;
+                let ranges = ctx.read(&h.ranges, "serverctl::dump_ranges_read").await?;
+                let index = ctx.read(&h.index, "serverctl::dump_index_read").await?;
+                ctx.unlock(h.lock, "serverctl::dump_unlock").await?;
+                let keys: Vec<i64> = index
+                    .iter()
+                    .copied()
+                    .filter(|&k| ranges.contains(&(cfg.range_of(k) as i64)))
+                    .collect();
+                let ignored = index.len() - keys.len();
+                ctx.probe(
+                    "hyperstore.dump_ignored",
+                    ignored as i64,
+                    "serverctl::dump_probe",
+                )
+                .await?;
+                ctx.send(
+                    &dumper_reply,
+                    Msg::DumpRangeResp {
+                        server: me,
+                        ranges,
+                        keys,
+                    },
+                    "serverctl::dump_send",
+                )
+                .await?;
+            }
+            Msg::Ping => {
+                // Liveness check from the master's verify-before-promote
+                // path: answering proves this server is slow, not dead.
+                ctx.send(&pong, Msg::Pong { server: me }, "serverctl::pong")
+                    .await?;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Failover master: the plain master's range map and migration plan, plus
+/// failure detection — clients report unresponsive primaries (`Suspect`),
+/// the master verifies the suspicion with a ping (a primary stalled on its
+/// own dead follower still answers — promoting it would hand its ranges to
+/// a cold replica), promotes the failed server's first live ring follower
+/// only if the ping times out, and a recovered server (`Rejoin`) is
+/// re-granted whatever the map still assigns to it.
+async fn fo_master(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    inbox: ChanHandle<Msg>,
+    pong: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+    client_replies: &[ChanHandle<Msg>],
+) -> SimResult<()> {
+    let n = cfg.n_servers;
+    let mut range_map: Vec<u32> = (0..cfg.n_ranges).map(|r| cfg.initial_owner(r)).collect();
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut dead: BTreeSet<u32> = BTreeSet::new();
+    let mut plan = cfg.migrations.clone();
+    plan.sort_by_key(|m| m.time);
+    plan.reverse(); // Pop from the back in time order.
+
+    loop {
+        // Issue due migrations — except onto or off of dead servers.
+        while plan.last().is_some_and(|m| m.time <= ctx.now()) {
+            let step = plan.pop().expect("checked non-empty");
+            let owner = range_map[step.range as usize];
+            let to = (owner + 1) % n;
+            if dead.contains(&owner) || dead.contains(&to) {
+                ctx.probe(
+                    "hyperstore.migrate_skipped",
+                    step.range as i64,
+                    "master::migrate_cmd",
+                )
+                .await?;
+                continue;
+            }
+            pending.push((step.range, to));
+            ctx.probe(
+                "hyperstore.migrate_issued",
+                step.range as i64,
+                "master::migrate_cmd",
+            )
+            .await?;
+            ctx.send(
+                &servers[owner as usize].ctl,
+                Msg::Migrate {
+                    range: step.range,
+                    to,
+                },
+                "master::migrate_cmd",
+            )
+            .await?;
+        }
+        let wait = plan
+            .last()
+            .map(|m| m.time.saturating_sub(ctx.now()).max(1))
+            .unwrap_or(5_000);
+        match ctx.recv_timeout(&inbox, wait, "master::recv").await {
+            Ok(Msg::Locate { client, key }) => {
+                let owner = range_map[cfg.range_of(key) as usize];
+                ctx.send(
+                    &client_replies[client as usize],
+                    Msg::LocateResp { server: owner },
+                    "master::locate",
+                )
+                .await?;
+            }
+            Ok(Msg::MigrateDone { range }) => {
+                if let Some(pos) = pending.iter().position(|(r, _)| *r == range) {
+                    let (_, to) = pending.remove(pos);
+                    range_map[range as usize] = to;
+                }
+                ctx.probe("hyperstore.migrate_done", range as i64, "master::done")
+                    .await?;
+            }
+            Ok(Msg::Suspect { server }) => {
+                ctx.probe("hyperstore.suspect", server as i64, "master::suspect")
+                    .await?;
+                if !dead.contains(&server) {
+                    // Verify before promoting: ping the accused server and
+                    // only treat it as dead if the ping times out.
+                    ctx.send(&servers[server as usize].ctl, Msg::Ping, "master::ping")
+                        .await?;
+                    let alive = loop {
+                        match ctx
+                            .recv_timeout(&pong, cfg.ack_timeout, "master::verify")
+                            .await
+                        {
+                            Ok(Msg::Pong { server: s }) if s == server => break true,
+                            Ok(_) => continue, // Stale pong from an earlier round.
+                            Err(SimError::RecvTimeout(_)) => break false,
+                            Err(e) => return Err(e),
+                        }
+                    };
+                    if alive {
+                        ctx.probe("hyperstore.false_suspect", server as i64, "master::verify")
+                            .await?;
+                        continue;
+                    }
+                    dead.insert(server);
+                    // Promote the first live server on the ring after the
+                    // failed one.
+                    let mut f = follower(server, n);
+                    while dead.contains(&f) && f != server {
+                        f = follower(f, n);
+                    }
+                    if f != server {
+                        let granted: Vec<i64> = range_map
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &o)| o == server)
+                            .map(|(r, _)| r as i64)
+                            .collect();
+                        for &r in &granted {
+                            range_map[r as usize] = f;
+                        }
+                        ctx.probe(
+                            "hyperstore.promote",
+                            vec![server as i64, f as i64, granted.len() as i64],
+                            "master::promote",
+                        )
+                        .await?;
+                        ctx.send(
+                            &servers[f as usize].ctl,
+                            Msg::Promote {
+                                failed: server,
+                                ranges: granted,
+                            },
+                            "master::promote",
+                        )
+                        .await?;
+                    }
+                }
+            }
+            Ok(Msg::Rejoin { server }) => {
+                dead.remove(&server);
+                // Re-grant whatever the map still assigns to the recovered
+                // server (nothing, if its ranges were promoted away).
+                let granted: Vec<i64> = range_map
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &o)| o == server)
+                    .map(|(r, _)| r as i64)
+                    .collect();
+                ctx.probe(
+                    "hyperstore.rejoin",
+                    vec![server as i64, granted.len() as i64],
+                    "master::rejoin",
+                )
+                .await?;
+                ctx.send(
+                    &servers[server as usize].ctl,
+                    Msg::Promote {
+                        failed: server,
+                        ranges: granted,
+                    },
+                    "master::rejoin",
+                )
+                .await?;
+            }
+            Ok(_) => {}
+            Err(SimError::RecvTimeout(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Failover loader: locates and stores with a bounded retry loop. A put
+/// acknowledgement timeout reports the primary to the master (`Suspect`)
+/// and backs off before retrying — the retry relocates, so it lands on the
+/// promoted follower. Only acknowledged rows count as loaded.
+#[allow(clippy::too_many_arguments)]
+async fn fo_loader(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    me: u32,
+    keys: InPort,
+    reply: ChanHandle<Msg>,
+    master: ChanHandle<Msg>,
+    coord: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+) -> SimResult<()> {
+    let mut acked_rows: i64 = 0;
+    loop {
+        let key: i64 = match ctx.input(keys, "client::input").await {
+            Ok(k) => k,
+            Err(SimError::InputExhausted(_)) => break,
+            Err(e) => return Err(e),
+        };
+        // One RNG draw per key regardless of retries — retries resend the
+        // same payload, so the retry count never shifts the RNG stream.
+        let seed = ctx.rand_below(0, "client::gen").await?;
+        let mut sm = dd_sim::rng::SplitMix64::new(seed);
+        let bytes: Vec<u8> = (0..cfg.row_size).map(|_| sm.next_u64() as u8).collect();
+        'attempts: for attempt in 0..=PUT_RETRIES {
+            ctx.send(
+                &master,
+                Msg::Locate { client: me, key },
+                "client::locate_send",
+            )
+            .await?;
+            let server = match ctx
+                .recv_timeout(&reply, cfg.ack_timeout, "client::locate_recv")
+                .await
+            {
+                Ok(Msg::LocateResp { server }) => server,
+                Ok(_) => continue 'attempts, // A stale reply burns the attempt.
+                Err(SimError::RecvTimeout(_)) => {
+                    ctx.count("locate_timeouts", 1, "client::locate_recv")
+                        .await?;
+                    ctx.sleep(cfg.put_gap * (attempt as u64 + 1), "client::backoff")
+                        .await?;
+                    continue 'attempts;
+                }
+                Err(e) => return Err(e),
+            };
+            ctx.send(
+                &servers[server as usize].data,
+                Msg::Put {
+                    client: me,
+                    key,
+                    bytes: bytes.clone(),
+                    hops: 0,
+                },
+                "client::put_send",
+            )
+            .await?;
+            // Two timeouts, not one: a fixed-build primary whose follower
+            // is dead stalls for one ship timeout before acking, and that
+            // slowness must read as slow, not dead — otherwise every
+            // crash cascades into a false suspicion of the healthy
+            // ring predecessor.
+            match ctx
+                .recv_timeout(&reply, 2 * cfg.ack_timeout, "client::ack_recv")
+                .await
+            {
+                Ok(Msg::PutAck { key: k }) if k == key => {
+                    ctx.count("rows_acked", 1, "client::ack_recv").await?;
+                    acked_rows += 1;
+                    break 'attempts;
+                }
+                Ok(_) => continue 'attempts, // Stale ack for an older key.
+                Err(SimError::RecvTimeout(_)) => {
+                    ctx.count("ack_timeouts", 1, "client::ack_recv").await?;
+                    // The primary looks dead: tell the master, back off,
+                    // then relocate and retry.
+                    ctx.send(&master, Msg::Suspect { server }, "client::suspect")
+                        .await?;
+                    ctx.sleep(cfg.put_gap * (attempt as u64 + 1), "client::backoff")
+                        .await?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    ctx.count("rows_loaded", acked_rows, "client::done").await?;
+    ctx.send(
+        &coord,
+        Msg::LoaderDone {
+            client: me,
+            loaded: acked_rows,
+        },
+        "client::done",
+    )
+    .await?;
+    Ok(())
+}
+
+/// Failover dump client: queries every server, accumulates rows and the
+/// union of answered range claims. A dead server simply times out — the
+/// dump degrades to the ranges that answered (reported on the `covered`
+/// output port) instead of hanging.
+async fn fo_dumper(
+    ctx: &mut TaskCtx,
+    cfg: &HyperConfig,
+    cmd: ChanHandle<Msg>,
+    reply: ChanHandle<Msg>,
+    servers: &[ServerHandles],
+    dumped: OutPort,
+    covered: OutPort,
+) -> SimResult<()> {
+    loop {
+        match ctx.recv(&cmd, "dumper::cmd_recv").await? {
+            Msg::StartDump => break,
+            _ => continue,
+        }
+    }
+    let mut rows: Vec<i64> = Vec::new();
+    let mut answered: BTreeSet<i64> = BTreeSet::new();
+    'servers: for s in servers.iter() {
+        ctx.send(&s.ctl, Msg::Dump, "dumper::dump_send").await?;
+        match ctx
+            .recv_timeout(&reply, cfg.dump_timeout, "dumper::resp_recv")
+            .await
+        {
+            Ok(Msg::DumpRangeResp { ranges, keys, .. }) => {
+                answered.extend(ranges.iter().copied());
+                for k in keys {
+                    // Materialising a fetched row costs memory.
+                    match ctx.alloc(cfg.row_size as u64, "dumper::alloc").await {
+                        Ok(()) => rows.push(k),
+                        Err(SimError::OutOfMemory { .. }) => {
+                            ctx.count("dump_oom", 1, "dumper::alloc").await?;
+                            break 'servers;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(SimError::RecvTimeout(_)) => {
+                // Degrade: a dead server's ranges go unanswered.
+                ctx.count("dump_timeouts", 1, "dumper::resp_recv").await?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    let answered_list: Vec<i64> = answered.iter().copied().collect();
+    ctx.probe(
+        "hyperstore.ranges_answered",
+        answered_list,
+        "dumper::covered",
+    )
+    .await?;
+    ctx.count("rows_dumped", rows.len() as i64, "dumper::out")
+        .await?;
+    ctx.output(dumped, rows.len() as i64, "dumper::out").await?;
+    ctx.output(covered, answered.len() as i64, "dumper::covered")
+        .await?;
+    ctx.stop_run("dumper::stop").await?;
     Ok(())
 }

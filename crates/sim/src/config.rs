@@ -157,6 +157,43 @@ pub struct CrashEvent {
     pub group: String,
 }
 
+/// A scheduled network partition between two failure-domain groups.
+///
+/// From `start` until `heal` (execution clock), every send on a
+/// [`ChanClass::Network`] channel crossing the cut — sender in a group
+/// matching one side, receiving channel owned by a group matching the other
+/// — is deterministically dropped (it behaves exactly like a congestion
+/// drop, emitting `SendDropped`). Sides match by group-name prefix, so
+/// `"client"` partitions every `client0`, `client1`, … group at once while
+/// `"server2"` names one node. Partitions are symmetric and purely
+/// time-driven: no RNG is consumed, so the same environment always drops
+/// the same messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionEvent {
+    /// When the partition starts (execution clock).
+    pub start: u64,
+    /// When the partition heals; sends at `time >= heal` go through again.
+    pub heal: u64,
+    /// One side of the cut (group-name prefix).
+    pub a: String,
+    /// The other side of the cut (group-name prefix).
+    pub b: String,
+}
+
+/// A scheduled node restart: at `time`, the (typically crashed) group's
+/// tasks are respawned through the program's recovery entry point
+/// ([`Program::recover`](crate::program::Program::recover)). Shared state
+/// (variables, channels, locks) survives — only the group's tasks died —
+/// so recovery code rebuilds its in-memory view from whatever durable
+/// state the program modelled (e.g. a commit log in a shared variable).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartEvent {
+    /// When the restart fires (execution clock).
+    pub time: u64,
+    /// The task group (node) that comes back.
+    pub group: String,
+}
+
 /// The environment model: faults and resource limits.
 ///
 /// Everything here is *input nondeterminism* from the program's point of
@@ -175,6 +212,11 @@ pub struct EnvConfig {
     /// set, and `drop_per_mille` is ignored. Used by replayers to reproduce
     /// recorded congestion without knowing the RNG seed.
     pub drop_script: Option<std::collections::BTreeSet<u64>>,
+    /// Scheduled network partitions between failure-domain groups.
+    pub partitions: Vec<PartitionEvent>,
+    /// Scheduled node restarts (respawn a group through
+    /// [`Program::recover`](crate::program::Program::recover)).
+    pub restarts: Vec<RestartEvent>,
 }
 
 impl EnvConfig {
@@ -184,11 +226,26 @@ impl EnvConfig {
     }
 
     /// Returns `true` if this environment injects no faults at all.
+    ///
+    /// Derived by exhaustive destructuring — adding a field to
+    /// [`EnvConfig`] without deciding its cleanliness here is a compile
+    /// error, so a new fault source can never be silently treated as
+    /// clean.
     pub fn is_clean(&self) -> bool {
-        self.crashes.is_empty()
-            && self.drop_per_mille == 0
-            && self.mem_budget.is_empty()
-            && self.drop_script.is_none()
+        let EnvConfig {
+            crashes,
+            drop_per_mille,
+            mem_budget,
+            drop_script,
+            partitions,
+            restarts,
+        } = self;
+        crashes.is_empty()
+            && *drop_per_mille == 0
+            && mem_budget.is_empty()
+            && drop_script.is_none()
+            && partitions.is_empty()
+            && restarts.is_empty()
     }
 }
 
@@ -393,6 +450,55 @@ mod tests {
         let mut e = EnvConfig::clean();
         e.drop_per_mille = 5;
         assert!(!e.is_clean());
+    }
+
+    #[test]
+    fn env_drop_per_mille_endpoints() {
+        // 0 per mille is the reliable network — clean.
+        let reliable = EnvConfig {
+            drop_per_mille: 0,
+            ..EnvConfig::clean()
+        };
+        assert!(reliable.is_clean());
+        // 1000 per mille (everything dropped) is the far endpoint — still a
+        // fault, still detected.
+        let lossy = EnvConfig {
+            drop_per_mille: 1000,
+            ..EnvConfig::clean()
+        };
+        assert!(!lossy.is_clean());
+    }
+
+    #[test]
+    fn env_every_fault_field_defeats_is_clean() {
+        let with = |f: &dyn Fn(&mut EnvConfig)| {
+            let mut e = EnvConfig::clean();
+            f(&mut e);
+            e
+        };
+        assert!(!with(&|e| e.crashes.push(CrashEvent {
+            time: 1,
+            group: "g".into(),
+        }))
+        .is_clean());
+        assert!(!with(&|e| e.drop_per_mille = 1).is_clean());
+        assert!(!with(&|e| {
+            e.mem_budget.insert("g".into(), 64);
+        })
+        .is_clean());
+        assert!(!with(&|e| e.drop_script = Some(Default::default())).is_clean());
+        assert!(!with(&|e| e.partitions.push(PartitionEvent {
+            start: 1,
+            heal: 2,
+            a: "x".into(),
+            b: "y".into(),
+        }))
+        .is_clean());
+        assert!(!with(&|e| e.restarts.push(RestartEvent {
+            time: 1,
+            group: "g".into(),
+        }))
+        .is_clean());
     }
 
     #[test]

@@ -41,7 +41,9 @@ use crate::kernel::{
     SysLogEntry, WorldSnapshot,
 };
 use crate::policy::SchedulePolicy;
-use crate::program::{Builder, Program, Request, TaskCtx, TaskFn, TaskFuture, TaskSlot};
+use crate::program::{
+    Builder, Program, RecoveryBuilder, Request, TaskCtx, TaskFn, TaskFuture, TaskSlot,
+};
 use crate::snapshot::SnapshotMark;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -175,6 +177,11 @@ pub struct IoSummary {
     pub counters: BTreeMap<String, i64>,
     /// Crashes, in order of occurrence.
     pub crashes: Vec<CrashRecord>,
+    /// Environment crash count per failure-domain group (scheduled node
+    /// kills — distinct from the task-level `crashes` above).
+    pub group_crashes: BTreeMap<String, u64>,
+    /// Environment restart count per failure-domain group.
+    pub group_restarts: BTreeMap<String, u64>,
 }
 
 impl IoSummary {
@@ -368,7 +375,7 @@ pub fn run_program(
     for (tid, f) in initial {
         cells[tid.index()].body = Some(f);
     }
-    run_to_completion(kernel, cells, &cfg, 0, 0)
+    run_to_completion(program, kernel, cells, &cfg, 0, 0)
 }
 
 /// Resumes a run from a [`WorldSnapshot`].
@@ -425,19 +432,41 @@ pub fn resume_program(
     for (tid, f) in initial {
         cells[tid.index()].body = Some(f);
     }
+    // Restart-spawned tasks have no spawning parent whose syscall log could
+    // hand their bodies back, so regenerate them by re-invoking the
+    // program's recovery entry point in the original firing order (recovery
+    // is deterministic, like setup; names are validated as a divergence
+    // tripwire).
+    let fired = kernel.world.restarts_fired.clone();
+    for (group, base) in fired {
+        let mut rb = RecoveryBuilder::new(&group);
+        program.recover(&group, &mut rb);
+        for (j, (name, f)) in rb.spawns.into_iter().enumerate() {
+            let idx = base as usize + j;
+            match kernel.world.tasks.get(idx).map(|t| t.name.as_str()) {
+                Some(have) if have == name => {}
+                have => panic!(
+                    "resume rebind diverged: recovery for group {group:?} declared \
+                     task {name:?}, restored world has {have:?} at this position"
+                ),
+            }
+            cells[idx].body = Some(f);
+        }
+    }
     rebuild(&mut kernel, &mut cells);
-    run_to_completion(kernel, cells, &cfg, resumed_steps, resumed_ticks)
+    run_to_completion(program, kernel, cells, &cfg, resumed_steps, resumed_ticks)
 }
 
 /// Drives the run to completion and assembles the [`RunOutput`].
 fn run_to_completion(
+    program: &dyn Program,
     mut kernel: Kernel,
     mut cells: Vec<TaskCell>,
     cfg: &RunConfig,
     resumed_steps: u64,
     resumed_ticks: u64,
 ) -> RunOutput {
-    drive(&mut kernel, &mut cells, cfg);
+    drive(&mut kernel, &mut cells, cfg, program);
     drop(cells);
 
     let registry = Registry {
@@ -493,6 +522,8 @@ fn run_to_completion(
         inputs: kernel.world.inputs_seen.to_vec(),
         counters: std::mem::take(&mut kernel.world.counters),
         crashes: kernel.world.crashes.to_vec(),
+        group_crashes: std::mem::take(&mut kernel.world.crash_counts),
+        group_restarts: std::mem::take(&mut kernel.world.restart_counts),
     };
     RunOutput {
         stop: kernel.world.stop.clone().unwrap_or(StopReason::Quiescent),
@@ -511,9 +542,43 @@ fn run_to_completion(
     }
 }
 
+/// Respawns every restarted group the kernel staged in
+/// [`deliver_due`](Kernel::deliver_due): invokes the program's recovery
+/// entry point and registers the replacement tasks. Runs at the driver loop
+/// head — before any scheduling decision — so the staging area is always
+/// empty at decision points (and therefore in snapshots).
+fn respawn_restarted(
+    st: &mut Kernel,
+    cells: &mut Vec<TaskCell>,
+    alive: &mut Vec<u32>,
+    program: &dyn Program,
+) {
+    if st.world.restarts_due.is_empty() {
+        return;
+    }
+    for group in std::mem::take(&mut st.world.restarts_due) {
+        let base = st.world.tasks.len() as u32;
+        let mut rb = RecoveryBuilder::new(&group);
+        program.recover(&group, &mut rb);
+        let mut tasks = Vec::new();
+        for (name, f) in rb.spawns {
+            let tid = st.add_task(&name, &group, None);
+            cells.push(TaskCell::new(Some(f)));
+            alive.push(tid.0);
+            tasks.push(tid);
+        }
+        debug_assert_eq!(cells.len(), st.world.tasks.len());
+        st.emit(Event::GroupRestarted {
+            group: group.clone(),
+            tasks,
+        });
+        st.world.restarts_fired.push((group, base));
+    }
+}
+
 /// The driver loop: schedules tasks until a stop condition, then cancels
 /// everything so every task exits.
-fn drive(st: &mut Kernel, cells: &mut Vec<TaskCell>, cfg: &RunConfig) {
+fn drive(st: &mut Kernel, cells: &mut Vec<TaskCell>, cfg: &RunConfig, program: &dyn Program) {
     // Live tasks (not exited, not killed) in ascending id order. Each
     // scheduling step scans only this list, so a step costs O(live tasks)
     // rather than O(tasks ever spawned) — the difference between linear
@@ -533,6 +598,7 @@ fn drive(st: &mut Kernel, cells: &mut Vec<TaskCell>, cfg: &RunConfig) {
             break;
         }
         st.deliver_due();
+        respawn_restarted(st, cells, &mut alive, program);
         if st.world.steps >= cfg.max_steps {
             st.world.stop = Some(StopReason::MaxSteps);
             break;

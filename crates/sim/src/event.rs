@@ -296,6 +296,27 @@ pub enum Event {
         /// Tasks that died.
         tasks: Vec<TaskId>,
     },
+    /// The environment restarted a previously killed group (node recovery).
+    GroupRestarted {
+        /// The group name.
+        group: String,
+        /// The fresh tasks spawned by the recovery entry point.
+        tasks: Vec<TaskId>,
+    },
+    /// A scheduled network partition between two group prefixes began.
+    PartitionStart {
+        /// First group prefix of the partitioned pair.
+        a: String,
+        /// Second group prefix of the partitioned pair.
+        b: String,
+    },
+    /// A scheduled network partition healed.
+    PartitionHeal {
+        /// First group prefix of the partitioned pair.
+        a: String,
+        /// Second group prefix of the partitioned pair.
+        b: String,
+    },
     /// A draw from the kernel RNG (input nondeterminism).
     RngDraw {
         /// The drawing task.
@@ -334,7 +355,12 @@ impl Event {
             | Event::Joined { task, .. }
             | Event::Yield { task, .. }
             | Event::RngDraw { task, .. } => Some(*task),
-            Event::Decision { .. } | Event::InputArrival { .. } | Event::GroupKilled { .. } => None,
+            Event::Decision { .. }
+            | Event::InputArrival { .. }
+            | Event::GroupKilled { .. }
+            | Event::GroupRestarted { .. }
+            | Event::PartitionStart { .. }
+            | Event::PartitionHeal { .. } => None,
         }
     }
 
@@ -416,6 +442,9 @@ impl Event {
             Event::Joined { .. } => "joined",
             Event::Yield { .. } => "yield",
             Event::GroupKilled { .. } => "group_killed",
+            Event::GroupRestarted { .. } => "group_restarted",
+            Event::PartitionStart { .. } => "partition_start",
+            Event::PartitionHeal { .. } => "partition_heal",
             Event::RngDraw { .. } => "rng_draw",
         }
     }

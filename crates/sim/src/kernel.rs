@@ -58,14 +58,14 @@ use crate::conflict::OpDesc;
 use crate::error::{SimError, SimResult, StopReason};
 use crate::event::{DecisionKind, Event, EventMeta, Observer};
 use crate::history::ChunkedLog;
-use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId};
+use crate::ids::{ChanId, CondvarId, LockId, PortId, Site, TaskId, VarId, KERNEL_SITE};
 use crate::policy::SchedulePolicy;
 use crate::rng::DetRng;
 use crate::snapshot::{SnapshotMark, SnapshotSink};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// What a blocked task is waiting for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -284,6 +284,28 @@ pub(crate) struct WorldState {
     pub pending_inputs: VecDeque<PendingInput>,
     /// Time-sorted scheduled crashes not yet fired.
     pub pending_crashes: VecDeque<(u64, String)>,
+    /// Time-sorted scheduled partition starts not yet fired
+    /// (`(start, a, b)`).
+    pub pending_partitions: VecDeque<(u64, String, String)>,
+    /// Time-sorted scheduled partition heals not yet fired
+    /// (`(heal, a, b)`).
+    pub pending_heals: VecDeque<(u64, String, String)>,
+    /// Currently active partitions, as order-normalised group-prefix pairs.
+    pub active_partitions: BTreeSet<(String, String)>,
+    /// Time-sorted scheduled restarts not yet fired.
+    pub pending_restarts: VecDeque<(u64, String)>,
+    /// Restart groups delivered by [`deliver_due`](Kernel::deliver_due) and
+    /// not yet respawned. The driver drains this immediately after every
+    /// delivery, so it is empty at decision points (and thus in snapshots).
+    pub restarts_due: Vec<String>,
+    /// Completed restarts in firing order: `(group, base task id)` of each
+    /// respawned batch. Snapshot resume replays these through the program's
+    /// recovery entry point to regenerate the respawned task bodies.
+    pub restarts_fired: Vec<(String, u32)>,
+    /// Per-group environment crash counts (scheduled group kills).
+    pub crash_counts: BTreeMap<String, u64>,
+    /// Per-group restart counts.
+    pub restart_counts: BTreeMap<String, u64>,
 
     pub trace: Option<ChunkedLog<(EventMeta, Event)>>,
 
@@ -630,6 +652,38 @@ impl WorldState {
             .iter()
             .map(|(_, g)| sz::<(u64, String)>() + g.len() as u64)
             .sum();
+        let faults: u64 = self
+            .pending_partitions
+            .iter()
+            .chain(&self.pending_heals)
+            .map(|(_, a, b)| sz::<(u64, String, String)>() + (a.len() + b.len()) as u64)
+            .sum::<u64>()
+            + self
+                .active_partitions
+                .iter()
+                .map(|(a, b)| sz::<(String, String)>() + (a.len() + b.len()) as u64)
+                .sum::<u64>()
+            + self
+                .pending_restarts
+                .iter()
+                .map(|(_, g)| sz::<(u64, String)>() + g.len() as u64)
+                .sum::<u64>()
+            + self
+                .restarts_due
+                .iter()
+                .map(|g| sz::<String>() + g.len() as u64)
+                .sum::<u64>()
+            + self
+                .restarts_fired
+                .iter()
+                .map(|(g, _)| sz::<(String, u32)>() + g.len() as u64)
+                .sum::<u64>()
+            + self
+                .crash_counts
+                .keys()
+                .chain(self.restart_counts.keys())
+                .map(|k| k.len() as u64 + 8 + 48)
+                .sum::<u64>();
         let counters: u64 = self
             .counters
             .keys()
@@ -645,6 +699,7 @@ impl WorldState {
             + timers
             + pending_inputs
             + pending_crashes
+            + faults
             + counters
     }
 
@@ -838,6 +893,66 @@ impl WorldState {
         for (time, group) in &self.pending_crashes {
             h.u64(*time);
             h.str(group);
+        }
+        // Fault-plane state is hashed only when present, so clean-run
+        // digests (pinned by the golden-hash suites and promoted fixtures)
+        // are byte-identical to the pre-fault-plane encoding.
+        if !self.pending_partitions.is_empty() {
+            h.u64(self.pending_partitions.len() as u64);
+            for (time, a, b) in &self.pending_partitions {
+                h.u64(*time);
+                h.str(a);
+                h.str(b);
+            }
+        }
+        if !self.pending_heals.is_empty() {
+            h.u64(self.pending_heals.len() as u64);
+            for (time, a, b) in &self.pending_heals {
+                h.u64(*time);
+                h.str(a);
+                h.str(b);
+            }
+        }
+        if !self.active_partitions.is_empty() {
+            h.u64(self.active_partitions.len() as u64);
+            for (a, b) in &self.active_partitions {
+                h.str(a);
+                h.str(b);
+            }
+        }
+        if !self.pending_restarts.is_empty() {
+            h.u64(self.pending_restarts.len() as u64);
+            for (time, group) in &self.pending_restarts {
+                h.u64(*time);
+                h.str(group);
+            }
+        }
+        if !self.restarts_due.is_empty() {
+            h.u64(self.restarts_due.len() as u64);
+            for group in &self.restarts_due {
+                h.str(group);
+            }
+        }
+        if !self.restarts_fired.is_empty() {
+            h.u64(self.restarts_fired.len() as u64);
+            for (group, base) in &self.restarts_fired {
+                h.str(group);
+                h.u64(*base as u64);
+            }
+        }
+        if !self.crash_counts.is_empty() {
+            h.u64(self.crash_counts.len() as u64);
+            for (group, n) in &self.crash_counts {
+                h.str(group);
+                h.u64(*n);
+            }
+        }
+        if !self.restart_counts.is_empty() {
+            h.u64(self.restart_counts.len() as u64);
+            for (group, n) in &self.restart_counts {
+                h.str(group);
+                h.u64(*n);
+            }
         }
         h.u64(self.counters.len() as u64);
         for (name, total) in &self.counters {
@@ -1165,6 +1280,24 @@ impl Kernel {
             .map(|c| (c.time, c.group.clone()))
             .collect();
         pending_crashes.sort_by_key(|c| c.0);
+        let mut pending_partitions: Vec<(u64, String, String)> = env
+            .partitions
+            .iter()
+            .map(|p| (p.start, p.a.clone(), p.b.clone()))
+            .collect();
+        pending_partitions.sort_by_key(|p| p.0);
+        let mut pending_heals: Vec<(u64, String, String)> = env
+            .partitions
+            .iter()
+            .map(|p| (p.heal, p.a.clone(), p.b.clone()))
+            .collect();
+        pending_heals.sort_by_key(|p| p.0);
+        let mut pending_restarts: Vec<(u64, String)> = env
+            .restarts
+            .iter()
+            .map(|r| (r.time, r.group.clone()))
+            .collect();
+        pending_restarts.sort_by_key(|r| r.0);
         let world = WorldState {
             tasks: Vec::new(),
             vars: Vec::new(),
@@ -1180,6 +1313,14 @@ impl Kernel {
             timers: BinaryHeap::new(),
             pending_inputs: VecDeque::new(),
             pending_crashes: pending_crashes.into(),
+            pending_partitions: pending_partitions.into(),
+            pending_heals: pending_heals.into(),
+            active_partitions: BTreeSet::new(),
+            pending_restarts: pending_restarts.into(),
+            restarts_due: Vec::new(),
+            restarts_fired: Vec::new(),
+            crash_counts: BTreeMap::new(),
+            restart_counts: BTreeMap::new(),
             trace: collect_trace.then(ChunkedLog::new),
             outputs: ChunkedLog::new(),
             inputs_seen: ChunkedLog::new(),
@@ -1532,16 +1673,23 @@ impl Kernel {
 
     // ---- environment ----------------------------------------------------
 
-    /// Earliest pending wake-up time (timer, input, or crash), if any.
+    /// Earliest pending wake-up time (timer, input, crash, partition edge
+    /// or restart), if any.
     pub fn next_pending_time(&self) -> Option<u64> {
         let t1 = self.world.timers.peek().map(|Reverse((t, _))| *t);
         let t2 = self.world.pending_inputs.front().map(|p| p.time);
         let t3 = self.world.pending_crashes.front().map(|c| c.0);
-        [t1, t2, t3].into_iter().flatten().min()
+        let t4 = self.world.pending_partitions.front().map(|p| p.0);
+        let t5 = self.world.pending_heals.front().map(|p| p.0);
+        let t6 = self.world.pending_restarts.front().map(|r| r.0);
+        [t1, t2, t3, t4, t5, t6].into_iter().flatten().min()
     }
 
-    /// Delivers every input, timer and crash due at or before the current
-    /// time. Returns `true` if anything was delivered.
+    /// Delivers every input, timer, crash, partition edge and restart due
+    /// at or before the current time. Returns `true` if anything was
+    /// delivered. Delivered restarts are staged in
+    /// [`WorldState::restarts_due`]; the driver respawns them through the
+    /// program's recovery entry point right after this returns.
     pub fn deliver_due(&mut self) -> bool {
         let mut any = false;
         while self
@@ -1602,11 +1750,88 @@ impl Kernel {
             self.kill_group(&group);
             any = true;
         }
+        while self
+            .world
+            .pending_partitions
+            .front()
+            .is_some_and(|p| p.0 <= self.world.time)
+        {
+            let (_, a, b) = self
+                .world
+                .pending_partitions
+                .pop_front()
+                .expect("checked non-empty");
+            let pair = if a <= b { (a, b) } else { (b, a) };
+            self.world.active_partitions.insert(pair.clone());
+            self.emit(Event::PartitionStart {
+                a: pair.0,
+                b: pair.1,
+            });
+            any = true;
+        }
+        while self
+            .world
+            .pending_heals
+            .front()
+            .is_some_and(|p| p.0 <= self.world.time)
+        {
+            let (_, a, b) = self
+                .world
+                .pending_heals
+                .pop_front()
+                .expect("checked non-empty");
+            let pair = if a <= b { (a, b) } else { (b, a) };
+            self.world.active_partitions.remove(&pair);
+            self.emit(Event::PartitionHeal {
+                a: pair.0,
+                b: pair.1,
+            });
+            any = true;
+        }
+        while self
+            .world
+            .pending_restarts
+            .front()
+            .is_some_and(|r| r.0 <= self.world.time)
+        {
+            let (_, group) = self
+                .world
+                .pending_restarts
+                .pop_front()
+                .expect("checked non-empty");
+            *self.world.restart_counts.entry(group.clone()).or_insert(0) += 1;
+            self.world.restarts_due.push(group);
+            any = true;
+        }
         any
+    }
+
+    /// Whether an active partition separates `task`'s group from the
+    /// failure domain that owns channel `chan`.
+    ///
+    /// The receiving domain is derived from the channel name: everything
+    /// before the first `.` (the convention distributed workloads use for
+    /// node-owned channels, e.g. `server0.data`). Matching is by group-name
+    /// *prefix* in both directions, so a partition between `server0` and
+    /// `client` cuts every client group off from `server0`'s channels.
+    /// Purely a function of the environment schedule and the clock — no RNG
+    /// is consumed, so partitions stay input nondeterminism.
+    fn partitioned(&self, task: TaskId, chan: ChanId) -> bool {
+        if self.world.active_partitions.is_empty() {
+            return false;
+        }
+        let sender = &self.world.tasks[task.index()].group;
+        let chan_name = &self.world.chans[chan.index()].name;
+        let receiver = chan_name.split('.').next().unwrap_or(chan_name);
+        self.world.active_partitions.iter().any(|(a, b)| {
+            (sender.starts_with(a.as_str()) && receiver.starts_with(b.as_str()))
+                || (sender.starts_with(b.as_str()) && receiver.starts_with(a.as_str()))
+        })
     }
 
     /// Kills every task in `group` (node crash).
     pub fn kill_group(&mut self, group: &str) {
+        *self.world.crash_counts.entry(group.to_owned()).or_insert(0) += 1;
         let victims: Vec<TaskId> = self
             .world
             .tasks
@@ -1631,6 +1856,24 @@ impl Kernel {
             let joiners = std::mem::take(&mut self.world.tasks[t.index()].joiners);
             for j in joiners {
                 self.wake(j);
+            }
+        }
+        // A group kill models a *process* crash: in-process mutexes die with
+        // it. Force-release every lock a victim held so survivors (and tasks
+        // respawned by recovery) are not deadlocked on an orphaned holder.
+        for l in 0..self.world.locks.len() {
+            let lock = LockId(l as u32);
+            match self.world.locks[l].holder {
+                Some(h) if victims.contains(&h) => {
+                    self.world.locks[l].holder = None;
+                    self.emit(Event::LockRelease {
+                        task: h,
+                        lock,
+                        site: KERNEL_SITE.into(),
+                    });
+                    self.wake_lock_waiters(lock);
+                }
+                _ => {}
             }
         }
         self.emit(Event::GroupKilled {
@@ -1801,6 +2044,19 @@ impl Kernel {
                 if class == ChanClass::Network {
                     let idx = self.world.net_sends;
                     self.world.net_sends += 1;
+                    // Active partitions drop the send deterministically —
+                    // before the drop script / congestion roll, and without
+                    // consuming RNG, so the same env replays identically.
+                    if self.partitioned(task, *chan) {
+                        self.charge(self.costs.msg_cost(bytes));
+                        self.emit(Event::SendDropped {
+                            task,
+                            chan: *chan,
+                            bytes,
+                            site: (*site).into(),
+                        });
+                        return Attempt::Done(Ok(Value::Unit));
+                    }
                     let dropped = match &self.env.drop_script {
                         Some(script) => script.contains(&idx),
                         None => {
@@ -2491,6 +2747,109 @@ mod tests {
     }
 
     #[test]
+    fn partition_drops_cross_group_sends_until_heal() {
+        use crate::config::PartitionEvent;
+        let mut env = EnvConfig::clean();
+        env.partitions.push(PartitionEvent {
+            start: 5,
+            heal: 10,
+            a: "server0".into(),
+            b: "client".into(),
+        });
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            env,
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        );
+        let client = k.add_task("loader", "client0", None);
+        let server = k.add_task("handler", "server0", None);
+        let to_server = k.add_chan("server0.data", ChanClass::Network);
+        let to_client = k.add_chan("client0.reply", ChanClass::Network);
+        let local = k.add_chan("client0.scratch", ChanClass::Local);
+        let send = |chan| Op::Send {
+            chan,
+            value: Value::Int(1),
+            site: "s",
+        };
+        // Before the partition starts, cross-group sends deliver.
+        let mut s = send(to_server);
+        assert!(matches!(k.exec_op(client, &mut s), Attempt::Done(Ok(_))));
+        assert_eq!(k.world.chans[to_server.index()].queue.len(), 1);
+        // Partition starts at t=5: both directions drop; local traffic and
+        // the RNG are untouched.
+        k.world.time = 5;
+        assert!(k.deliver_due());
+        let rng_before = k.world.rng.clone();
+        let mut s = send(to_server);
+        assert!(matches!(k.exec_op(client, &mut s), Attempt::Done(Ok(_))));
+        assert_eq!(k.world.chans[to_server.index()].queue.len(), 1);
+        let mut s = send(to_client);
+        assert!(matches!(k.exec_op(server, &mut s), Attempt::Done(Ok(_))));
+        assert!(k.world.chans[to_client.index()].queue.is_empty());
+        let mut s = send(local);
+        assert!(matches!(k.exec_op(client, &mut s), Attempt::Done(Ok(_))));
+        assert_eq!(k.world.chans[local.index()].queue.len(), 1);
+        assert_eq!(k.world.rng.digest_words(), rng_before.digest_words());
+        let drops = k
+            .world
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::SendDropped { .. }))
+            .count();
+        assert_eq!(drops, 2);
+        // Heal at t=10: traffic flows again.
+        k.world.time = 10;
+        assert!(k.deliver_due());
+        assert!(k.world.active_partitions.is_empty());
+        let mut s = send(to_server);
+        assert!(matches!(k.exec_op(client, &mut s), Attempt::Done(Ok(_))));
+        assert_eq!(k.world.chans[to_server.index()].queue.len(), 2);
+    }
+
+    #[test]
+    fn restart_is_staged_for_the_driver_and_counted() {
+        use crate::config::RestartEvent;
+        let mut env = EnvConfig::clean();
+        env.restarts.push(RestartEvent {
+            time: 3,
+            group: "node1".into(),
+        });
+        let mut k = Kernel::new(
+            1,
+            OpCosts::default(),
+            env,
+            Box::new(RandomPolicy::new(1)),
+            Vec::new(),
+            None,
+            true,
+            false,
+        );
+        k.add_task("a", "node1", None);
+        assert_eq!(k.next_pending_time(), Some(3));
+        k.world.time = 3;
+        assert!(k.deliver_due());
+        assert_eq!(k.world.restarts_due, vec!["node1".to_owned()]);
+        assert_eq!(k.world.restart_counts["node1"], 1);
+    }
+
+    #[test]
+    fn kill_group_bumps_per_group_crash_count() {
+        let mut k = kernel();
+        k.add_task("a", "node1", None);
+        k.kill_group("node1");
+        k.kill_group("node1");
+        assert_eq!(k.world.crash_counts["node1"], 2);
+        assert!(k.world.restart_counts.is_empty());
+    }
+
+    #[test]
     fn kill_group_marks_tasks_and_cleans_cvars() {
         let mut k = kernel();
         let t0 = k.add_task("a", "node1", None);
@@ -2501,6 +2860,29 @@ mod tests {
         assert!(k.world.tasks[t0.index()].killed);
         assert!(!k.world.tasks[t1.index()].killed);
         assert!(k.world.cvars[cv.index()].waiters.is_empty());
+    }
+
+    #[test]
+    fn kill_group_releases_held_locks_and_wakes_waiters() {
+        let mut k = kernel();
+        let t0 = k.add_task("a", "node1", None);
+        let t1 = k.add_task("b", "node2", None);
+        let l = k.add_lock("m");
+        let mut a = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t0, &mut a), Attempt::Done(Ok(_))));
+        let mut b = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(
+            k.exec_op(t1, &mut b),
+            Attempt::Block(BlockOn::Lock(_))
+        ));
+        k.world.tasks[t1.index()].phase = Phase::Blocked(BlockOn::Lock(l));
+        // The crash models a process death: its mutexes are released, not
+        // orphaned, so the surviving waiter acquires the lock.
+        k.kill_group("node1");
+        assert_eq!(k.world.locks[l.index()].holder, None);
+        assert_eq!(k.world.tasks[t1.index()].phase, Phase::Ready);
+        let mut again = Op::Lock { lock: l, site: "s" };
+        assert!(matches!(k.exec_op(t1, &mut again), Attempt::Done(Ok(_))));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub mod value;
 
 pub use config::{
     ChanClass, CheckpointPlan, CrashEvent, EnvConfig, InputScript, NoOverride, NondetOverride,
-    OpCosts, RunConfig, TimedInput,
+    OpCosts, PartitionEvent, RestartEvent, RunConfig, TimedInput,
 };
 pub use conflict::OpDesc;
 pub use driver::{
@@ -95,8 +95,8 @@ pub use policy::{
     RoundRobinPolicy, SchedulePolicy,
 };
 pub use program::{
-    Builder, ChanHandle, CondvarHandle, InPort, MutexHandle, OutPort, Program, TVar, TaskCtx,
-    TaskFn,
+    Builder, ChanHandle, CondvarHandle, InPort, MutexHandle, OutPort, Program, RecoveryBuilder,
+    TVar, TaskCtx, TaskFn,
 };
 pub use rng::DetRng;
 pub use snapshot::{

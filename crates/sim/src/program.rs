@@ -260,6 +260,56 @@ pub trait Program: Send + Sync {
 
     /// Declares shared objects and spawns the initial tasks.
     fn setup(&self, b: &mut Builder<'_>);
+
+    /// Respawns tasks for a failure-domain group the environment restarted
+    /// (a scheduled [`RestartEvent`](crate::config::RestartEvent) fired
+    /// after the group was killed).
+    ///
+    /// The replacement tasks are fresh coroutines with *new* task ids; the
+    /// group's shared objects (variables, locks, channels) survive the
+    /// crash untouched, so recovery code typically rebuilds volatile state
+    /// from the durable state it finds there — like a database replaying
+    /// its commit log. Must be deterministic, like [`setup`](Self::setup).
+    ///
+    /// The default recovers nothing: the restart is counted but the group
+    /// stays down.
+    fn recover(&self, group: &str, b: &mut RecoveryBuilder) {
+        let _ = (group, b);
+    }
+}
+
+/// Collects the replacement tasks a program's recovery entry point spawns
+/// when the environment restarts a killed failure-domain group (see
+/// [`Program::recover`]).
+pub struct RecoveryBuilder {
+    group: String,
+    pub(crate) spawns: Vec<(String, TaskFn)>,
+}
+
+impl RecoveryBuilder {
+    pub(crate) fn new(group: &str) -> Self {
+        RecoveryBuilder {
+            group: group.to_owned(),
+            spawns: Vec::new(),
+        }
+    }
+
+    /// The failure-domain group being restarted.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Spawns a replacement task (in the restarting group).
+    pub fn spawn<F, Fut>(&mut self, name: &str, f: F)
+    where
+        F: FnOnce(TaskCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = SimResult<()>> + 'static,
+    {
+        self.spawns.push((
+            name.to_owned(),
+            Box::new(move |ctx| Box::pin(f(ctx)) as TaskFuture),
+        ));
+    }
 }
 
 /// Object-declaration counters for rebind-mode setup (see [`Builder`]).

@@ -40,10 +40,14 @@ use crate::policy::SchedulePolicy;
 use crate::rng::DetRng;
 use serde::{Content, Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Version tag of the snapshot manifest format.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the fault-plane runtime state (partition schedule
+/// status, restart queue, per-group crash/restart counters) to the live
+/// state; version-1 manifests predate scheduled faults and are rejected.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// One history log's entry in a [`SnapshotManifest`]: the chunking
 /// geometry, how many sealed chunks the snapshot references (their payloads
@@ -132,6 +136,14 @@ struct LiveState {
     timers: BinaryHeap<Reverse<(u64, u32)>>,
     pending_inputs: VecDeque<PendingInput>,
     pending_crashes: VecDeque<(u64, String)>,
+    pending_partitions: VecDeque<(u64, String, String)>,
+    pending_heals: VecDeque<(u64, String, String)>,
+    active_partitions: BTreeSet<(String, String)>,
+    pending_restarts: VecDeque<(u64, String)>,
+    restarts_due: Vec<String>,
+    restarts_fired: Vec<(String, u32)>,
+    crash_counts: BTreeMap<String, u64>,
+    restart_counts: BTreeMap<String, u64>,
     counters: BTreeMap<String, i64>,
     cancelling: bool,
     stop: Option<StopReason>,
@@ -158,6 +170,14 @@ impl LiveState {
             timers: w.timers.clone(),
             pending_inputs: w.pending_inputs.clone(),
             pending_crashes: w.pending_crashes.clone(),
+            pending_partitions: w.pending_partitions.clone(),
+            pending_heals: w.pending_heals.clone(),
+            active_partitions: w.active_partitions.clone(),
+            pending_restarts: w.pending_restarts.clone(),
+            restarts_due: w.restarts_due.clone(),
+            restarts_fired: w.restarts_fired.clone(),
+            crash_counts: w.crash_counts.clone(),
+            restart_counts: w.restart_counts.clone(),
             counters: w.counters.clone(),
             cancelling: w.cancelling,
             stop: w.stop.clone(),
@@ -314,6 +334,14 @@ pub fn decode_snapshot(
         timers: live.timers,
         pending_inputs: live.pending_inputs,
         pending_crashes: live.pending_crashes,
+        pending_partitions: live.pending_partitions,
+        pending_heals: live.pending_heals,
+        active_partitions: live.active_partitions,
+        pending_restarts: live.pending_restarts,
+        restarts_due: live.restarts_due,
+        restarts_fired: live.restarts_fired,
+        crash_counts: live.crash_counts,
+        restart_counts: live.restart_counts,
         trace,
         outputs,
         inputs_seen,
@@ -344,7 +372,7 @@ pub fn decode_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CheckpointPlan, RunConfig};
+    use crate::config::{CheckpointPlan, EnvConfig, PartitionEvent, RestartEvent, RunConfig};
     use crate::driver::{resume_program, run_program};
     use crate::policy::RandomPolicy;
     use crate::program::{Builder, Program};
@@ -415,6 +443,141 @@ mod tests {
         let b = resume_program(&Racer, checkpointed_cfg(), &decoded, None, vec![]);
         assert_eq!(a.final_state_hash, b.final_state_hash);
         assert_eq!(a.io, b.io);
+    }
+
+    /// Like [`checkpointed_cfg`] but with a fault schedule arranged so every
+    /// mid-run snapshot carries non-empty fault-plane state: an immediately
+    /// active partition whose heal is far in the future, a second partition
+    /// that stays pending forever, and a restart that fires before the first
+    /// decision. The partitioned pair never exchanges `Network` messages in
+    /// `Racer`, so outputs are unaffected.
+    fn faulted_cfg() -> RunConfig {
+        RunConfig {
+            env: EnvConfig {
+                partitions: vec![
+                    PartitionEvent {
+                        start: 0,
+                        heal: 1 << 40,
+                        a: "workers".to_owned(),
+                        b: "main".to_owned(),
+                    },
+                    PartitionEvent {
+                        start: 1 << 41,
+                        heal: (1 << 41) + 1,
+                        a: "east".to_owned(),
+                        b: "west".to_owned(),
+                    },
+                ],
+                restarts: vec![RestartEvent {
+                    time: 0,
+                    group: "workers".to_owned(),
+                }],
+                ..EnvConfig::default()
+            },
+            ..checkpointed_cfg()
+        }
+    }
+
+    #[test]
+    fn fault_state_roundtrips_and_resumes_identically() {
+        let out = run_program(
+            &Racer,
+            faulted_cfg(),
+            Box::new(RandomPolicy::new(7)),
+            vec![],
+        );
+        assert!(!out.snapshots.is_empty(), "run took no snapshots");
+        let snap = &out.snapshots[out.snapshots.len() / 2];
+        let w = &snap.world;
+        assert!(
+            !w.active_partitions.is_empty(),
+            "partition should still be active at the snapshot"
+        );
+        assert!(!w.pending_heals.is_empty());
+        assert!(!w.pending_partitions.is_empty());
+        assert_eq!(w.restart_counts.get("workers"), Some(&1));
+        assert!(!w.restarts_fired.is_empty());
+
+        let manifest = encode_manifest(snap);
+        let decoded = decode_snapshot(
+            &manifest,
+            &mut |log, i| {
+                sealed_chunk(snap, log, i).ok_or_else(|| format!("missing chunk {log}/{i}"))
+            },
+            snap.policy.clone_box(),
+        )
+        .expect("fault-state roundtrip decodes");
+        assert_eq!(decoded.world.active_partitions, w.active_partitions);
+        assert_eq!(decoded.world.restarts_fired, w.restarts_fired);
+        assert_eq!(decoded.world.digest(), w.digest());
+
+        let a = resume_program(&Racer, faulted_cfg(), snap, None, vec![]);
+        let b = resume_program(&Racer, faulted_cfg(), &decoded, None, vec![]);
+        assert_eq!(a.final_state_hash, b.final_state_hash);
+        assert_eq!(a.io, b.io);
+        assert_eq!(a.io.group_restarts.get("workers"), Some(&1));
+    }
+
+    #[test]
+    fn truncated_fault_state_is_rejected_naming_the_live_state() {
+        let out = run_program(
+            &Racer,
+            faulted_cfg(),
+            Box::new(RandomPolicy::new(7)),
+            vec![],
+        );
+        let snap = &out.snapshots[out.snapshots.len() / 2];
+        let mut manifest = encode_manifest(snap);
+        // Drop the fault-plane fields from the live-state map — the shape a
+        // manifest truncated at the version-1 field boundary would have.
+        let Content::Map(fields) = &mut manifest.live else {
+            panic!("live state encodes as a map");
+        };
+        fields.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                Some("pending_partitions" | "active_partitions" | "restart_counts")
+            )
+        });
+        let err = decode_snapshot(
+            &manifest,
+            &mut |log, i| {
+                sealed_chunk(snap, log, i).ok_or_else(|| format!("missing chunk {log}/{i}"))
+            },
+            snap.policy.clone_box(),
+        )
+        .expect_err("truncated live state must fail decode");
+        assert!(
+            err.contains("live state") && err.contains("pending_partitions"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn garbled_crash_log_tail_is_rejected_naming_the_log() {
+        let out = run_program(
+            &Racer,
+            faulted_cfg(),
+            Box::new(RandomPolicy::new(7)),
+            vec![],
+        );
+        let snap = &out.snapshots[out.snapshots.len() / 2];
+        let mut manifest = encode_manifest(snap);
+        let crashes = manifest
+            .logs
+            .iter_mut()
+            .find(|l| l.name == "crashes")
+            .expect("manifest carries the crash log");
+        crashes.tail = Content::Null;
+        let err = decode_snapshot(
+            &manifest,
+            &mut |log, i| {
+                sealed_chunk(snap, log, i).ok_or_else(|| format!("missing chunk {log}/{i}"))
+            },
+            snap.policy.clone_box(),
+        )
+        .expect_err("garbled crash-log tail must fail decode");
+        assert!(err.contains("log `crashes` tail"), "{err}");
     }
 
     #[test]

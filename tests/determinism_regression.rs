@@ -409,6 +409,112 @@ mod engine_equivalence {
     }
 }
 
+/// Fault schedules are input nondeterminism: a run under an injected crash,
+/// partition, or restart schedule must be exactly as reproducible as a clean
+/// run, under every recording fidelity. The golden table pins the seed-42
+/// buggy-failover trace for each fault-environment candidate — a kernel or
+/// fault-plane change that perturbs any of them fails loudly.
+mod fault_schedule_determinism {
+    use super::*;
+    use debug_determinism::hyperstore::failover_env_candidates;
+    use proptest::prelude::*;
+
+    /// Seed-42 buggy-failover hashes, one per `failover_env_candidates`
+    /// entry (crash, partition-load, crash+restart, clean — in order).
+    const FAULT_GOLDEN: &[u64] = &[
+        0xcd93_e8dc_90fa_0f69, // crash during migration window
+        0x53ae_903e_3bea_b633, // partition during load, heals pre-migration
+        0x9083_45ea_c4d1_0ce2, // crash + restart
+        0x1fd6_751e_15e6_e155, // clean
+    ];
+
+    fn fault_cfg(env_idx: usize) -> RunConfig {
+        let cfg = HyperConfig::default();
+        RunConfig {
+            seed: 42,
+            inputs: cfg.input_script(),
+            max_steps: 500_000,
+            env: failover_env_candidates(&cfg)[env_idx].clone(),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn golden_fault_trace_hashes_hold_across_all_fidelities() {
+        let cfg = HyperConfig::default();
+        let envs = failover_env_candidates(&cfg);
+        assert_eq!(
+            envs.len(),
+            FAULT_GOLDEN.len(),
+            "failover_env_candidates grew: extend FAULT_GOLDEN"
+        );
+        let program = HyperstoreProgram::buggy_failover(cfg);
+        for (i, &golden) in FAULT_GOLDEN.iter().enumerate() {
+            for level in ["bare", "low", "high", "msg-order", "race-complete"] {
+                let actual = trace_hash_with(&program, fault_cfg(i), 42, fidelity_observers(level));
+                assert_eq!(
+                    actual, golden,
+                    "fault env candidate {i} at fidelity {level:?}: trace hash \
+                     {actual:#018x} does not match the golden {golden:#018x}. \
+                     If the change is intentional, update FAULT_GOLDEN with \
+                     the actual hash printed here."
+                );
+            }
+            println!("fault golden ok: candidate {i} {golden:#018x}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Any (seed, fault schedule, build, fidelity) records the same
+        /// trace twice — and the recording stack never perturbs it.
+        #[test]
+        fn any_fault_schedule_replays_byte_identically(
+            seed in 0u64..64,
+            env_sel in 0usize..1024,
+            build_sel in 0usize..2,
+            lidx in 0usize..5,
+        ) {
+            let cfg = HyperConfig::default();
+            let envs = failover_env_candidates(&cfg);
+            let env_idx = env_sel % envs.len();
+            let fixed = build_sel == 1;
+            let program: Box<dyn Program> = if fixed {
+                Box::new(HyperstoreProgram::fixed_failover(cfg.clone()))
+            } else {
+                Box::new(HyperstoreProgram::buggy_failover(cfg.clone()))
+            };
+            let mk_cfg = || RunConfig {
+                seed,
+                inputs: cfg.input_script(),
+                max_steps: 500_000,
+                env: envs[env_idx].clone(),
+                ..RunConfig::default()
+            };
+            let level = ["bare", "low", "high", "msg-order", "race-complete"][lidx];
+            let bare = trace_hash(program.as_ref(), mk_cfg(), seed);
+            let again = trace_hash(program.as_ref(), mk_cfg(), seed);
+            prop_assert!(
+                bare == again,
+                "fault run diverged between identical runs (seed {}, env {})",
+                seed, env_idx
+            );
+            let observed = trace_hash_with(
+                program.as_ref(),
+                mk_cfg(),
+                seed,
+                fidelity_observers(level),
+            );
+            prop_assert!(
+                bare == observed,
+                "fidelity {} perturbed a fault-schedule trace (seed {}, env {})",
+                level, seed, env_idx
+            );
+        }
+    }
+}
+
 /// Different seeds must be able to produce different schedules — otherwise
 /// the "same seed ⇒ same trace" checks above would pass vacuously.
 #[test]
